@@ -1,0 +1,44 @@
+//! E8 timing: availability engines (BDD, SDP, Monte-Carlo) on the USI UPSIM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use netgen::usi::{printing_service, table_i_mapping, usi_infrastructure};
+use std::hint::black_box;
+use upsim_core::pipeline::UpsimPipeline;
+
+fn model() -> ServiceAvailabilityModel {
+    let mut pipeline =
+        UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping()).unwrap();
+    let run = pipeline.run().unwrap();
+    ServiceAvailabilityModel::from_run(pipeline.infrastructure(), &run, AnalysisOptions::default())
+}
+
+fn bench_availability(c: &mut Criterion) {
+    let m = model();
+
+    c.bench_function("usi/availability_bdd_service", |b| {
+        b.iter(|| black_box(m.availability_bdd()))
+    });
+
+    c.bench_function("usi/availability_sdp_pair", |b| {
+        b.iter(|| black_box(m.pair_availability_sdp(0)))
+    });
+
+    c.bench_function("usi/availability_pairwise_product", |b| {
+        b.iter(|| black_box(m.availability_pairwise_product()))
+    });
+
+    let mut group = c.benchmark_group("usi/monte_carlo");
+    group.sample_size(10);
+    group.bench_function("50k_samples_4_workers", |b| {
+        b.iter(|| black_box(m.monte_carlo(50_000, 4, 7).estimate))
+    });
+    group.finish();
+
+    c.bench_function("usi/importance_all_components", |b| {
+        b.iter(|| black_box(dependability::importance::component_importance(&m).len()))
+    });
+}
+
+criterion_group!(benches, bench_availability);
+criterion_main!(benches);

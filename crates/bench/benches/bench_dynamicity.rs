@@ -1,0 +1,65 @@
+//! E10 timing: incremental re-execution after each kind of model change
+//! (paper Sec. V-A3) vs a cold rebuild.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgen::usi::{
+    printing_service, second_perspective_mapping, table_i_mapping, usi_infrastructure,
+};
+use std::hint::black_box;
+use upsim_core::pipeline::UpsimPipeline;
+
+fn bench_dynamicity(c: &mut Criterion) {
+    c.bench_function("dynamicity/mapping_only_change", |b| {
+        let mut pipeline =
+            UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping())
+                .unwrap();
+        pipeline.record_paths = false;
+        pipeline.run().unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            pipeline
+                .update_mapping(|m| {
+                    *m = if flip { second_perspective_mapping() } else { table_i_mapping() };
+                })
+                .unwrap();
+            black_box(pipeline.run().unwrap().upsim.instances.len())
+        })
+    });
+
+    c.bench_function("dynamicity/full_rebuild", |b| {
+        b.iter(|| {
+            let mut pipeline =
+                UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping())
+                    .unwrap();
+            pipeline.record_paths = false;
+            black_box(pipeline.run().unwrap().upsim.instances.len())
+        })
+    });
+
+    c.bench_function("dynamicity/topology_change", |b| {
+        let mut pipeline =
+            UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping())
+                .unwrap();
+        pipeline.record_paths = false;
+        pipeline.run().unwrap();
+        let mut connected = false;
+        b.iter(|| {
+            connected = !connected;
+            pipeline
+                .update_infrastructure(|infra| {
+                    if connected {
+                        infra.connect("d3", "c2")?;
+                    } else {
+                        infra.disconnect("d3", "c2")?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            black_box(pipeline.run().unwrap().upsim.instances.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_dynamicity);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Engine scaling: BDD vs SDP vs cut-set fault tree vs Monte-Carlo on
+//! systems with growing redundancy (parallel chains sharing terminals —
+//! the structure UPSIMs produce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dependability::bdd::Bdd;
+use dependability::cutsets::{fault_tree_from_cut_sets, minimal_cut_sets, CutLimits};
+use dependability::montecarlo::estimate_single;
+use dependability::sdp::union_probability;
+use std::hint::black_box;
+
+/// `routes` disjoint 3-hop chains sharing requester (var 0) and provider
+/// (var 1): path i = {0, 1, 2+2i, 3+2i}.
+fn shared_terminal_system(routes: usize) -> (Vec<Vec<usize>>, Vec<f64>) {
+    let sets: Vec<Vec<usize>> =
+        (0..routes).map(|i| vec![0, 1, 2 + 2 * i, 3 + 2 * i]).collect();
+    let probs = vec![0.95; 2 + 2 * routes];
+    (sets, probs)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    for routes in [2usize, 4, 8] {
+        let (sets, probs) = shared_terminal_system(routes);
+
+        group.bench_with_input(BenchmarkId::new("bdd", routes), &routes, |b, _| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let f = bdd.from_path_sets(&sets);
+                black_box(bdd.probability(f, &probs))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("sdp", routes), &routes, |b, _| {
+            b.iter(|| black_box(union_probability(&sets, &probs)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("cutset_ft", routes), &routes, |b, _| {
+            b.iter(|| {
+                let cuts = minimal_cut_sets(&sets, CutLimits::default());
+                let ft = fault_tree_from_cut_sets(&cuts);
+                black_box(ft.top_event_probability(&probs))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engines/monte_carlo_20k");
+    group.sample_size(10);
+    for routes in [2usize, 8] {
+        let (sets, probs) = shared_terminal_system(routes);
+        group.bench_with_input(BenchmarkId::from_parameter(routes), &routes, |b, _| {
+            b.iter(|| black_box(estimate_single(&probs, &sets, 20_000, 1, 5).estimate))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

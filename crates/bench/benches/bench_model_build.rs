@@ -1,0 +1,60 @@
+//! E2 timing: model construction, XMI serialization and model-space import
+//! (Steps 1–2 and 5–6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgen::usi::{printing_service, table_i_mapping, usi_infrastructure};
+use std::hint::black_box;
+use vpm::ModelSpace;
+
+fn bench_model_build(c: &mut Criterion) {
+    c.bench_function("model/usi_infrastructure_build", |b| {
+        b.iter(|| black_box(usi_infrastructure().device_count()))
+    });
+
+    let infra = usi_infrastructure();
+
+    c.bench_function("model/xmi_serialize_object_diagram", |b| {
+        b.iter(|| black_box(uml::xmi::object_diagram_to_xml(&infra.objects).len()))
+    });
+
+    let xml = uml::xmi::object_diagram_to_xml(&infra.objects);
+    c.bench_function("model/xmi_parse_object_diagram", |b| {
+        b.iter(|| black_box(uml::xmi::object_diagram_from_xml(&xml).unwrap().instances.len()))
+    });
+
+    c.bench_function("model/space_import_infrastructure", |b| {
+        b.iter(|| {
+            let mut space = ModelSpace::new();
+            upsim_core::importers::import_infrastructure(&mut space, &infra).unwrap();
+            black_box(space.entity_count())
+        })
+    });
+
+    c.bench_function("model/space_import_mapping", |b| {
+        let mut space = ModelSpace::new();
+        upsim_core::importers::import_infrastructure(&mut space, &infra).unwrap();
+        let mapping = table_i_mapping();
+        b.iter(|| {
+            upsim_core::importers::import_mapping(&mut space, &mapping).unwrap();
+            black_box(space.relation_count())
+        })
+    });
+
+    c.bench_function("model/mapping_xml_roundtrip", |b| {
+        let mapping = table_i_mapping();
+        b.iter(|| {
+            let xml = mapping.to_xml();
+            black_box(
+                upsim_core::mapping::ServiceMapping::from_xml(&xml).unwrap().pairs().len(),
+            )
+        })
+    });
+
+    c.bench_function("model/service_validate", |b| {
+        let svc = printing_service();
+        b.iter(|| black_box(svc.activity().validate().is_ok()))
+    });
+}
+
+criterion_group!(benches, bench_model_build);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E11 timing: sequential vs parallel all-paths enumeration (IPPS angle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use upsim_core::discovery::{discover_on_graph, DiscoveryOptions};
+use upsim_core::mapping::ServiceMappingPair;
+
+fn bench_parallel_enumeration(c: &mut Criterion) {
+    let infra = netgen::random::complete(9);
+    let (graph, index) = infra.to_graph();
+    let pair = ServiceMappingPair::new("s", "n0", "n8");
+
+    let mut group = c.benchmark_group("parallel/k9_all_paths");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+            black_box(d.len())
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let options = DiscoveryOptions { parallel: true, threads, ..Default::default() };
+            b.iter(|| {
+                let d = discover_on_graph(&graph, &index, &pair, options).unwrap();
+                black_box(d.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_monte_carlo(c: &mut Criterion) {
+    // Monte-Carlo availability fan-out (dependability engine).
+    let path_sets: Vec<Vec<usize>> = (0..8).map(|i| vec![0, 1 + i, 9]).collect();
+    let availability = vec![0.99; 10];
+    let mut group = c.benchmark_group("parallel/monte_carlo_100k");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let r = dependability::montecarlo::estimate_single(
+                    &availability,
+                    &path_sets,
+                    100_000,
+                    w,
+                    42,
+                );
+                black_box(r.estimate)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_enumeration, bench_parallel_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 timing: path discovery on the USI case study (Step 7, Sec. V-D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgen::usi::usi_infrastructure;
+use std::hint::black_box;
+use upsim_core::discovery::{discover_on_graph, DiscoveryOptions};
+use upsim_core::mapping::ServiceMappingPair;
+
+fn bench_discovery(c: &mut Criterion) {
+    let infra = usi_infrastructure();
+    let (graph, index) = infra.to_graph();
+
+    c.bench_function("usi/discover_t1_printS", |b| {
+        let pair = ServiceMappingPair::new("Request printing", "t1", "printS");
+        b.iter(|| {
+            let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+            black_box(d.len())
+        })
+    });
+
+    c.bench_function("usi/discover_all_table_i_pairs", |b| {
+        let mapping = netgen::usi::table_i_mapping();
+        b.iter(|| {
+            let mut total = 0;
+            for pair in mapping.pairs() {
+                total += discover_on_graph(&graph, &index, pair, DiscoveryOptions::default())
+                    .unwrap()
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+
+    c.bench_function("usi/graph_extraction", |b| {
+        b.iter(|| {
+            let (g, idx) = infra.to_graph();
+            black_box((g.node_count(), idx.len()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

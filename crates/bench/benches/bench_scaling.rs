@@ -1,0 +1,58 @@
+//! E9 timing: path-discovery scaling — factorial on complete graphs,
+//! benign on tree-like campus networks (paper Sec. V-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgen::campus::{campus_scenario, CampusParams};
+use std::hint::black_box;
+use upsim_core::discovery::{discover_on_graph, DiscoveryOptions};
+use upsim_core::mapping::ServiceMappingPair;
+
+fn bench_complete_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/complete_graph");
+    group.sample_size(10);
+    for n in [5usize, 6, 7, 8] {
+        let infra = netgen::random::complete(n);
+        let (graph, index) = infra.to_graph();
+        let pair = ServiceMappingPair::new("s", "n0", format!("n{}", n - 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let d =
+                    discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+                black_box(d.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_campus_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/campus");
+    for distributions in [2usize, 8, 32] {
+        let params = CampusParams {
+            core: 2,
+            distributions,
+            edges_per_distribution: 2,
+            clients_per_edge: 4,
+            servers: 3,
+            dual_homed_edges: false,
+        };
+        let (infra, _, _) = campus_scenario(params);
+        let (graph, index) = infra.to_graph();
+        let pair = ServiceMappingPair::new("s", "t0_0_0", "srv0");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(infra.device_count()),
+            &distributions,
+            |b, _| {
+                b.iter(|| {
+                    let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default())
+                        .unwrap();
+                    black_box(d.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complete_graphs, bench_campus_sizes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E6/E7 timing: end-to-end UPSIM generation (Steps 5–8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgen::usi::{printing_service, table_i_mapping, usi_infrastructure};
+use std::hint::black_box;
+use upsim_core::pipeline::UpsimPipeline;
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("usi/pipeline_cold", |b| {
+        b.iter(|| {
+            let mut pipeline =
+                UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping())
+                    .unwrap();
+            pipeline.record_paths = false;
+            let run = pipeline.run().unwrap();
+            black_box(run.upsim.instances.len())
+        })
+    });
+
+    c.bench_function("usi/pipeline_warm_rerun", |b| {
+        let mut pipeline =
+            UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping())
+                .unwrap();
+        pipeline.record_paths = false;
+        pipeline.run().unwrap();
+        b.iter(|| {
+            let run = pipeline.run().unwrap();
+            black_box(run.upsim.instances.len())
+        })
+    });
+
+    c.bench_function("usi/generate_only", |b| {
+        let infra = usi_infrastructure();
+        let mapping = table_i_mapping();
+        let (graph, index) = infra.to_graph();
+        let discovered: Vec<_> = mapping
+            .pairs()
+            .iter()
+            .map(|p| {
+                upsim_core::discovery::discover_on_graph(&graph, &index, p, Default::default())
+                    .unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            let upsim = upsim_core::generate::generate_upsim(&infra, &discovered, "upsim");
+            black_box(upsim.instances.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # upsim-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper (experiments E1–E15,
+//! indexed in DESIGN.md §3) as plain-text reports. The `experiments` binary
+//! prints them; the Criterion benches in `benches/` time the underlying
+//! operations. Recorded outputs live in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

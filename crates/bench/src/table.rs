@@ -1,0 +1,105 @@
+//! Minimal aligned-column ASCII tables for experiment reports.
+
+use std::fmt;
+
+/// A simple table: headers plus rows, rendered with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str("| ");
+                line.push_str(cell);
+                line.push_str(&" ".repeat(w - cell.chars().count() + 1));
+            }
+            line.push('|');
+            writeln!(f, "{line}")
+        };
+        write_row(f, &self.headers)?;
+        let mut sep = String::new();
+        for w in &widths {
+            sep.push_str(&format!("|{}", "-".repeat(w + 2)));
+        }
+        sep.push('|');
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["AS", "RQ", "PR"]);
+        t.row(["Request printing", "t1", "printS"]);
+        t.row(["Login to printer", "p2", "printS"]);
+        let s = t.to_string();
+        assert!(s.contains("| Request printing | t1 |"), "{s}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{s}");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! `upsim` — command-line front end for the UPSIM methodology.
+//!
+//! Subcommands:
+//!
+//! * `export-case-study <dir>` — write the USI case-study models
+//!   (infrastructure, printing service, Table I mapping) as XML files,
+//! * `generate -i <infra.xml> -s <service.xml> -m <mapping.xml>` — run the
+//!   pipeline and print the UPSIM (optionally `--dot <file>`,
+//!   `--xmi <file>`),
+//! * `paths -i <infra.xml> --from <a> --to <b>` — all simple paths between
+//!   two components (`--parallel <threads>` for the parallel enumerator),
+//! * `availability -i ... -s ... -m ...` — user-perceived steady-state
+//!   service availability (`--links`, `--paper-formula`, `--mc <samples>`),
+//! * `validate -i ... [-s ... -m ...]` — well-formedness checks.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dependability::importance::component_importance;
+use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use upsim_core::discovery::{discover, DiscoveredPaths, DiscoveryOptions};
+use upsim_core::generate::object_diagram_dot;
+use upsim_core::infrastructure::Infrastructure;
+use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
+use upsim_core::pipeline::UpsimPipeline;
+use upsim_core::service::CompositeService;
+
+const USAGE: &str = "upsim — user-perceived service infrastructure models (IPPS 2013)
+
+USAGE:
+  upsim export-case-study <dir>
+  upsim generate     -i <infra.xml> -s <service.xml> -m <mapping.xml> [--dot <file>] [--xmi <file>]
+  upsim paths        -i <infra.xml> --from <component> --to <component> [--parallel <threads>]
+  upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
+  upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
+  upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
+  upsim help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs and boolean `--flag`s into a map.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if !arg.starts_with('-') {
+            return Err(format!("unexpected positional argument '{arg}'"));
+        }
+        let key = arg.trim_start_matches('-').to_string();
+        let boolean = matches!(key.as_str(), "links" | "paper-formula" | "transient" | "sensitivity");
+        if boolean {
+            flags.insert(key, "true".into());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag '{arg}' needs a value"))?
+                .clone();
+            flags.insert(key, value);
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Option<&'a str> {
+    names.iter().find_map(|n| flags.get(*n).map(String::as_str))
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Result<&'a str, String> {
+    flag(flags, names).ok_or_else(|| format!("missing required flag --{}", names[0]))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
+}
+
+fn write(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write '{path}': {e}"))
+}
+
+fn load_models(
+    flags: &HashMap<String, String>,
+) -> Result<(Infrastructure, CompositeService, ServiceMapping), String> {
+    let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
+        .map_err(|e| e.to_string())?;
+    let service = CompositeService::from_xml(&read(require(flags, &["s", "service"])?)?)
+        .map_err(|e| e.to_string())?;
+    let mapping = ServiceMapping::from_xml(&read(require(flags, &["m", "mapping"])?)?)
+        .map_err(|e| e.to_string())?;
+    Ok((infra, service, mapping))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        "export-case-study" => export_case_study(args.get(1).map(String::as_str).unwrap_or(".")),
+        "generate" => generate(&parse_flags(&args[1..])?),
+        "paths" => paths(&parse_flags(&args[1..])?),
+        "availability" => availability(&parse_flags(&args[1..])?),
+        "redundancy" => redundancy(&parse_flags(&args[1..])?),
+        "validate" => validate(&parse_flags(&args[1..])?),
+        other => Err(format!("unknown command '{other}'; try 'upsim help'")),
+    }
+}
+
+fn export_case_study(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create '{dir}': {e}"))?;
+    let infra = netgen::usi::usi_infrastructure();
+    let service = netgen::usi::printing_service();
+    let mapping = netgen::usi::table_i_mapping();
+    let second = netgen::usi::second_perspective_mapping();
+    write(&format!("{dir}/usi-infrastructure.xml"), &infra.to_xml())?;
+    write(&format!("{dir}/printing-service.xml"), &service.to_xml())?;
+    write(&format!("{dir}/mapping-t1-p2.xml"), &mapping.to_xml())?;
+    write(&format!("{dir}/mapping-t15-p3.xml"), &second.to_xml())?;
+    println!("wrote 4 case-study model files to {dir}/");
+    Ok(())
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (infra, service, mapping) = load_models(flags)?;
+    let mut pipeline =
+        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let run = pipeline.run().map_err(|e| e.to_string())?;
+
+    println!("UPSIM '{}'", run.upsim.name);
+    print!(
+        "{}",
+        upsim_core::statistics::run_statistics(pipeline.infrastructure(), &run).render()
+    );
+    for inst in &run.upsim.instances {
+        println!("  {}", inst.signature());
+    }
+    for d in &run.discovered {
+        println!(
+            "pair '{}' ({} -> {}): {} path(s)",
+            d.pair.atomic_service,
+            d.pair.requester,
+            d.pair.provider,
+            d.len()
+        );
+    }
+    for timing in &run.timings {
+        println!(
+            "step {}: {:?}{}",
+            timing.step,
+            timing.duration,
+            if timing.cached { " (cached)" } else { "" }
+        );
+    }
+    if let Some(path) = flag(flags, &["dot"]) {
+        write(path, &object_diagram_dot(&run.upsim))?;
+        println!("wrote DOT to {path}");
+    }
+    if let Some(path) = flag(flags, &["xmi"]) {
+        write(path, &uml::xmi::object_diagram_to_xml(&run.upsim))?;
+        println!("wrote XMI to {path}");
+    }
+    Ok(())
+}
+
+fn paths(flags: &HashMap<String, String>) -> Result<(), String> {
+    let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
+        .map_err(|e| e.to_string())?;
+    let from = require(flags, &["from"])?;
+    let to = require(flags, &["to"])?;
+    let mut options = DiscoveryOptions::default();
+    if let Some(threads) = flag(flags, &["parallel"]) {
+        options.parallel = true;
+        options.threads = threads.parse().map_err(|_| "--parallel expects a thread count")?;
+    }
+    let pair = ServiceMappingPair::new("cli", from, to);
+    let d = discover(&infra, &pair, options).map_err(|e| e.to_string())?;
+    for path in &d.node_paths {
+        println!("{}", DiscoveredPaths::render_path(path));
+    }
+    println!("{} path(s) between {} and {}", d.len(), from, to);
+    Ok(())
+}
+
+fn availability(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (infra, service, mapping) = load_models(flags)?;
+    let mut pipeline =
+        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let run = pipeline.run().map_err(|e| e.to_string())?;
+    let options = AnalysisOptions {
+        include_links: flag(flags, &["links"]).is_some(),
+        paper_formula: flag(flags, &["paper-formula"]).is_some(),
+    };
+    let model = ServiceAvailabilityModel::from_run(pipeline.infrastructure(), &run, options);
+
+    println!("components ({}):", model.components.len());
+    for c in &model.components {
+        println!(
+            "  {:<12} MTBF {:>10}  MTTR {:>6}  A = {:.9}",
+            c.name, c.mtbf, c.mttr, c.availability
+        );
+    }
+    for (i, system) in model.systems.iter().enumerate() {
+        println!(
+            "pair '{}' ({} -> {}): {} minimal path set(s), A = {:.9}",
+            system.atomic_service,
+            system.requester,
+            system.provider,
+            system.path_sets.len(),
+            model.pair_availability_bdd(i)
+        );
+    }
+    println!("service availability (exact, BDD):       {:.9}", model.availability_bdd());
+    println!("service availability (pairwise product): {:.9}", model.availability_pairwise_product());
+    if let Some(samples) = flag(flags, &["mc"]) {
+        let samples: usize = samples.parse().map_err(|_| "--mc expects a sample count")?;
+        let mc = model.monte_carlo(samples, 0, 2013);
+        let (lo, hi) = mc.confidence_95();
+        println!(
+            "service availability (Monte-Carlo, {} samples): {:.6} [{:.6}, {:.6}]",
+            mc.samples, mc.estimate, lo, hi
+        );
+    }
+    println!("component importance (Birnbaum-ranked):");
+    for imp in component_importance(&model) {
+        println!(
+            "  {:<12} B = {:.3e}  criticality = {:.4}  FV = {:.4}",
+            imp.name, imp.birnbaum, imp.criticality, imp.fussell_vesely
+        );
+    }
+    if flag(flags, &["transient"]).is_some() {
+        let transient = dependability::transient::TransientAnalysis::new(&model);
+        println!("transient curves:");
+        println!("  {:>10} {:>14} {:>14}", "t [h]", "A(t)", "R(t)");
+        for t in [0.0, 1.0, 8.0, 24.0, 168.0, 720.0, 8760.0] {
+            println!(
+                "  {:>10} {:>14.9} {:>14.9}",
+                t,
+                transient.availability_at(t),
+                transient.reliability_at(t)
+            );
+        }
+    }
+    if flag(flags, &["sensitivity"]).is_some() {
+        println!("parameter sensitivity (per hour, most MTTR-sensitive first):");
+        let mut sens = dependability::sensitivity::component_sensitivities(&model);
+        sens.sort_by(|a, b| b.d_mttr.abs().partial_cmp(&a.d_mttr.abs()).unwrap());
+        for s in sens {
+            println!(
+                "  {:<12} dA/dMTBF = {:+.3e}  dA/dMTTR = {:+.3e}",
+                s.name, s.d_mtbf, s.d_mttr
+            );
+        }
+    }
+    Ok(())
+}
+
+fn redundancy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (infra, service, mapping) = load_models(flags)?;
+    let (graph, index) = infra.to_graph();
+    let mut pipeline =
+        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let run = pipeline.run().map_err(|e| e.to_string())?;
+    println!("node-disjoint routes per mapping pair (Menger):");
+    for d in &run.discovered {
+        let disjoint = ict_graph::disjoint::max_disjoint_paths(
+            &graph,
+            index[&d.pair.requester],
+            index[&d.pair.provider],
+        );
+        println!(
+            "  {:<22} {} -> {}: {} simple path(s), {} disjoint route(s)",
+            d.pair.atomic_service,
+            d.pair.requester,
+            d.pair.provider,
+            d.len(),
+            if disjoint == usize::MAX { "∞".to_string() } else { disjoint.to_string() }
+        );
+    }
+    Ok(())
+}
+
+fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
+        .map_err(|e| e.to_string())?;
+    infra.validate().map_err(|e| e.to_string())?;
+    println!(
+        "infrastructure '{}' OK: {} classes, {} devices, {} links",
+        infra.name,
+        infra.classes.classes.len(),
+        infra.device_count(),
+        infra.link_count()
+    );
+    if let Some(path) = flag(flags, &["s", "service"]) {
+        let service = CompositeService::from_xml(&read(path)?).map_err(|e| e.to_string())?;
+        println!(
+            "service '{}' OK: {} atomic services",
+            service.name(),
+            service.atomic_services().len()
+        );
+        if let Some(mpath) = flag(flags, &["m", "mapping"]) {
+            let mapping = ServiceMapping::from_xml(&read(mpath)?).map_err(|e| e.to_string())?;
+            mapping.validate(&service, &infra).map_err(|e| e.to_string())?;
+            println!("mapping OK: {} pairs, all resolvable", mapping.pairs().len());
+        }
+    }
+    Ok(())
+}

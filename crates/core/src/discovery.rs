@@ -1,0 +1,273 @@
+//! Path discovery per service mapping pair — methodology Step 7.
+//!
+//! Paper Sec. V-D: *"For every service mapping pair, the algorithm
+//! discovers a set of paths between the respective requester and provider,
+//! and stores the visited entities in a reserved tree structure inside the
+//! model space. [...] We chose to implement a depth-first search (DFS)
+//! algorithm with a path tracking mechanism to avoid live-locks within
+//! cycles."*
+//!
+//! The DFS itself lives in `ict_graph::paths` (with a parallel variant in
+//! `ict_graph::parallel` — path discovery is the only super-polynomial step
+//! and parallelizes embarrassingly over prefixes). This module binds it to
+//! the methodology: resolve the pair against the infrastructure, enumerate,
+//! convert back to component names, and optionally record the paths in the
+//! model space (the paper's "reserved tree structure").
+
+use crate::error::{UpsimError, UpsimResult};
+use crate::importers::PATHS_NS;
+use crate::infrastructure::Infrastructure;
+use crate::mapping::ServiceMappingPair;
+use ict_graph::parallel::{parallel_simple_paths, ParallelOptions};
+use ict_graph::paths::{simple_paths, PathLimits};
+use ict_graph::{Graph, NodeId};
+use std::collections::HashMap;
+use vpm::ModelSpace;
+
+/// Options for Step 7.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscoveryOptions {
+    /// Use the parallel enumerator (crossbeam prefix fan-out).
+    pub parallel: bool,
+    /// Worker threads for the parallel enumerator (0 = all cores).
+    pub threads: usize,
+    /// Path limits (both enumerators).
+    pub limits: PathLimits,
+}
+
+/// The Step 7 output for one mapping pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredPaths {
+    /// The mapping pair the paths belong to.
+    pub pair: ServiceMappingPair,
+    /// Node-name sequences, requester first, provider last.
+    pub node_paths: Vec<Vec<String>>,
+    /// Link-index sequences (indices into the infrastructure's
+    /// `objects.links`), aligned with `node_paths`.
+    pub link_paths: Vec<Vec<usize>>,
+}
+
+impl DiscoveredPaths {
+    /// Number of discovered paths.
+    pub fn len(&self) -> usize {
+        self.node_paths.len()
+    }
+
+    /// `true` if no path connects the pair.
+    pub fn is_empty(&self) -> bool {
+        self.node_paths.is_empty()
+    }
+
+    /// All distinct component names on any path (insertion order of first
+    /// occurrence — "multiple occurrences are ignored", Sec. VI-H).
+    pub fn components(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for path in &self.node_paths {
+            for node in path {
+                if !out.contains(&node.as_str()) {
+                    out.push(node);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a path the way the paper prints them:
+    /// `t1—e1—d1—c1—d4—printS`.
+    pub fn render_path(path: &[String]) -> String {
+        path.join("\u{2014}")
+    }
+}
+
+/// Discovers all simple paths for one mapping pair on a pre-built graph
+/// view (see [`Infrastructure::to_graph`]).
+pub fn discover_on_graph(
+    graph: &Graph<String, usize>,
+    index: &HashMap<String, NodeId>,
+    pair: &ServiceMappingPair,
+    options: DiscoveryOptions,
+) -> UpsimResult<DiscoveredPaths> {
+    let resolve = |role: &'static str, name: &str| {
+        index.get(name).copied().ok_or_else(|| UpsimError::UnknownComponent {
+            atomic_service: pair.atomic_service.clone(),
+            role,
+            component: name.to_string(),
+        })
+    };
+    let source = resolve("requester", &pair.requester)?;
+    let target = resolve("provider", &pair.provider)?;
+
+    let raw = if options.parallel {
+        parallel_simple_paths(
+            graph,
+            source,
+            target,
+            ParallelOptions { threads: options.threads, limits: options.limits, ..Default::default() },
+        )
+    } else {
+        simple_paths(graph, source, target, options.limits).collect()
+    };
+
+    let mut node_paths = Vec::with_capacity(raw.len());
+    let mut link_paths = Vec::with_capacity(raw.len());
+    for path in raw {
+        node_paths.push(
+            path.nodes
+                .iter()
+                .map(|&n| graph.node(n).expect("live node").clone())
+                .collect::<Vec<String>>(),
+        );
+        link_paths.push(
+            path.edges.iter().map(|&e| *graph.edge(e).expect("live edge")).collect::<Vec<usize>>(),
+        );
+    }
+    Ok(DiscoveredPaths { pair: pair.clone(), node_paths, link_paths })
+}
+
+/// Convenience: discovery straight from an infrastructure (builds the graph
+/// view internally; the pipeline caches it instead).
+pub fn discover(
+    infrastructure: &Infrastructure,
+    pair: &ServiceMappingPair,
+    options: DiscoveryOptions,
+) -> UpsimResult<DiscoveredPaths> {
+    let (graph, index) = infrastructure.to_graph();
+    discover_on_graph(&graph, &index, pair, options)
+}
+
+/// Records discovered paths in the model space — the paper's "reserved tree
+/// structure": `paths.<atomic_service>.p<i>` entities whose value is the
+/// rendered path, with `visits` relations to the topology instance entities
+/// in traversal order.
+pub fn record_in_space(space: &mut ModelSpace, discovered: &DiscoveredPaths) -> UpsimResult<()> {
+    let sanitized = discovered.pair.atomic_service.replace('.', "_").replace(' ', "_");
+    let fqn = format!("{PATHS_NS}.{sanitized}");
+    if let Ok(old) = space.resolve(&fqn) {
+        space.delete_entity(old)?;
+    }
+    let root = space.ensure_path(&fqn)?;
+    let topology = space.resolve(crate::importers::TOPOLOGY_NS)?;
+    for (i, path) in discovered.node_paths.iter().enumerate() {
+        let p = space.new_entity(root, &format!("p{i}"))?;
+        space.set_value(p, Some(DiscoveredPaths::render_path(path)))?;
+        for node in path {
+            let sanitized_node = node.replace('.', "_").replace(' ', "_");
+            if let Some(entity) = space.child(topology, &sanitized_node)? {
+                space.new_relation("visits", p, entity)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infrastructure::DeviceClassSpec;
+
+    /// diamond: t1 - (a|b) - srv
+    fn diamond() -> Infrastructure {
+        let mut infra = Infrastructure::new("diamond");
+        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
+        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
+        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra.add_device("t1", "Comp").unwrap();
+        infra.add_device("a", "Sw").unwrap();
+        infra.add_device("b", "Sw").unwrap();
+        infra.add_device("srv", "Server").unwrap();
+        infra.connect("t1", "a").unwrap();
+        infra.connect("t1", "b").unwrap();
+        infra.connect("a", "srv").unwrap();
+        infra.connect("b", "srv").unwrap();
+        infra
+    }
+
+    fn pair() -> ServiceMappingPair {
+        ServiceMappingPair::new("fetch", "t1", "srv")
+    }
+
+    #[test]
+    fn discovers_both_redundant_paths() {
+        let d = discover(&diamond(), &pair(), DiscoveryOptions::default()).unwrap();
+        assert_eq!(d.len(), 2);
+        let rendered: Vec<String> =
+            d.node_paths.iter().map(|p| DiscoveredPaths::render_path(p)).collect();
+        assert!(rendered.contains(&"t1—a—srv".to_string()));
+        assert!(rendered.contains(&"t1—b—srv".to_string()));
+        assert_eq!(d.components().len(), 4);
+    }
+
+    #[test]
+    fn link_paths_align_with_infrastructure_links() {
+        let infra = diamond();
+        let d = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        for (nodes, links) in d.node_paths.iter().zip(&d.link_paths) {
+            assert_eq!(nodes.len(), links.len() + 1);
+            for (i, &li) in links.iter().enumerate() {
+                let link = &infra.objects.links[li];
+                let (a, b) = (&nodes[i], &nodes[i + 1]);
+                assert!(
+                    (&link.end_a == a && &link.end_b == b) || (&link.end_a == b && &link.end_b == a),
+                    "link {li} does not connect {a}-{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_discovery_matches_sequential() {
+        let infra = diamond();
+        let mut seq = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        let mut par = discover(
+            &infra,
+            &pair(),
+            DiscoveryOptions { parallel: true, threads: 2, ..Default::default() },
+        )
+        .unwrap();
+        seq.node_paths.sort();
+        par.node_paths.sort();
+        assert_eq!(seq.node_paths, par.node_paths);
+    }
+
+    #[test]
+    fn unknown_requester_reported() {
+        let err = discover(
+            &diamond(),
+            &ServiceMappingPair::new("x", "ghost", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, UpsimError::UnknownComponent { role: "requester", .. }));
+    }
+
+    #[test]
+    fn same_component_pair_yields_trivial_path() {
+        let d = discover(
+            &diamond(),
+            &ServiceMappingPair::new("local", "srv", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.node_paths[0], vec!["srv".to_string()]);
+        assert!(d.link_paths[0].is_empty());
+    }
+
+    #[test]
+    fn paths_recorded_in_model_space() {
+        let infra = diamond();
+        let mut space = ModelSpace::new();
+        crate::importers::import_infrastructure(&mut space, &infra).unwrap();
+        let d = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        record_in_space(&mut space, &d).unwrap();
+        let root = space.resolve("paths.fetch").unwrap();
+        assert_eq!(space.children(root).unwrap().len(), 2);
+        let p0 = space.resolve("paths.fetch.p0").unwrap();
+        assert!(space.value(p0).unwrap().unwrap().starts_with("t1—"));
+        assert_eq!(space.relations_from(p0, "visits").count(), 3);
+        // Re-recording replaces.
+        record_in_space(&mut space, &d).unwrap();
+        let root = space.resolve("paths.fetch").unwrap();
+        assert_eq!(space.children(root).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Summary statistics of a pipeline run — the numbers an operator reads
+//! off a UPSIM before diving into the full dependability analysis.
+
+use crate::infrastructure::Infrastructure;
+use crate::pipeline::UpsimRun;
+use std::collections::BTreeMap;
+
+/// Aggregated facts about one [`UpsimRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStatistics {
+    /// Instances in the UPSIM.
+    pub upsim_instances: usize,
+    /// Links in the UPSIM.
+    pub upsim_links: usize,
+    /// `|UPSIM| / |N|` over instances.
+    pub reduction_ratio: f64,
+    /// Instance count per class within the UPSIM, sorted by class name.
+    pub class_histogram: Vec<(String, usize)>,
+    /// Total discovered paths across all pairs.
+    pub total_paths: usize,
+    /// Shortest / longest path length (hops) over all pairs, if any.
+    pub path_length_range: Option<(usize, usize)>,
+    /// Mean path length (hops) over all discovered paths.
+    pub mean_path_length: f64,
+    /// Pairs that found no path at all (service currently broken for them).
+    pub disconnected_pairs: Vec<String>,
+}
+
+/// Computes [`RunStatistics`] for a run against its infrastructure.
+pub fn run_statistics(infrastructure: &Infrastructure, run: &UpsimRun) -> RunStatistics {
+    let mut classes: BTreeMap<String, usize> = BTreeMap::new();
+    for inst in &run.upsim.instances {
+        *classes.entry(inst.class.clone()).or_default() += 1;
+    }
+    let mut lengths: Vec<usize> = Vec::new();
+    let mut disconnected = Vec::new();
+    for d in &run.discovered {
+        if d.is_empty() {
+            disconnected.push(d.pair.atomic_service.clone());
+        }
+        lengths.extend(d.node_paths.iter().map(|p| p.len().saturating_sub(1)));
+    }
+    let total_paths = lengths.len();
+    let path_length_range = lengths
+        .iter()
+        .copied()
+        .min()
+        .zip(lengths.iter().copied().max());
+    let mean_path_length = if total_paths == 0 {
+        0.0
+    } else {
+        lengths.iter().sum::<usize>() as f64 / total_paths as f64
+    };
+    let _ = infrastructure;
+    RunStatistics {
+        upsim_instances: run.upsim.instances.len(),
+        upsim_links: run.upsim.links.len(),
+        reduction_ratio: run.reduction_ratio,
+        class_histogram: classes.into_iter().collect(),
+        total_paths,
+        path_length_range,
+        mean_path_length,
+        disconnected_pairs: disconnected,
+    }
+}
+
+impl RunStatistics {
+    /// Renders a compact multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "UPSIM: {} instances / {} links (reduction {:.3})\n",
+            self.upsim_instances, self.upsim_links, self.reduction_ratio
+        ));
+        let hist: Vec<String> =
+            self.class_histogram.iter().map(|(c, n)| format!("{c}×{n}")).collect();
+        out.push_str(&format!("classes: {}\n", hist.join(", ")));
+        match self.path_length_range {
+            Some((lo, hi)) => out.push_str(&format!(
+                "paths: {} total, {lo}–{hi} hops (mean {:.2})\n",
+                self.total_paths, self.mean_path_length
+            )),
+            None => out.push_str("paths: none discovered\n"),
+        }
+        if !self.disconnected_pairs.is_empty() {
+            out.push_str(&format!("DISCONNECTED pairs: {}\n", self.disconnected_pairs.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infrastructure::DeviceClassSpec;
+    use crate::mapping::{ServiceMapping, ServiceMappingPair};
+    use crate::pipeline::UpsimPipeline;
+    use crate::service::CompositeService;
+
+    fn run() -> (Infrastructure, UpsimRun) {
+        let mut infra = Infrastructure::new("s");
+        infra.define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0)).unwrap();
+        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
+        infra.define_device_class(DeviceClassSpec::server("S", 60000.0, 0.1)).unwrap();
+        for (n, c) in [("t1", "C"), ("a", "Sw"), ("b", "Sw"), ("srv", "S")] {
+            infra.add_device(n, c).unwrap();
+        }
+        for (u, v) in [("t1", "a"), ("t1", "b"), ("a", "srv"), ("b", "srv")] {
+            infra.connect(u, v).unwrap();
+        }
+        let svc = CompositeService::sequential("f", &["r"]).unwrap();
+        let mapping = ServiceMapping::new().with(ServiceMappingPair::new("r", "t1", "srv"));
+        let mut pipeline = UpsimPipeline::new(infra.clone(), svc, mapping).unwrap();
+        let r = pipeline.run().unwrap();
+        (infra, r)
+    }
+
+    #[test]
+    fn statistics_summarize_the_run() {
+        let (infra, r) = run();
+        let stats = run_statistics(&infra, &r);
+        assert_eq!(stats.upsim_instances, 4);
+        assert_eq!(stats.upsim_links, 4);
+        assert_eq!(stats.total_paths, 2);
+        assert_eq!(stats.path_length_range, Some((2, 2)));
+        assert!((stats.mean_path_length - 2.0).abs() < 1e-12);
+        assert_eq!(
+            stats.class_histogram,
+            vec![("C".to_string(), 1), ("S".to_string(), 1), ("Sw".to_string(), 2)]
+        );
+        assert!(stats.disconnected_pairs.is_empty());
+        let text = stats.render();
+        assert!(text.contains("Sw×2"), "{text}");
+        assert!(text.contains("2–2 hops"), "{text}");
+    }
+
+    #[test]
+    fn disconnected_pairs_are_called_out() {
+        let (mut infra, _) = run();
+        infra.disconnect("t1", "a").unwrap();
+        infra.disconnect("t1", "b").unwrap();
+        let svc = CompositeService::sequential("f", &["r"]).unwrap();
+        let mapping = ServiceMapping::new().with(ServiceMappingPair::new("r", "t1", "srv"));
+        let mut pipeline = UpsimPipeline::new(infra.clone(), svc, mapping).unwrap();
+        let r = pipeline.run().unwrap();
+        let stats = run_statistics(&infra, &r);
+        assert_eq!(stats.disconnected_pairs, vec!["r".to_string()]);
+        assert_eq!(stats.path_length_range, None);
+        assert!(stats.render().contains("DISCONNECTED"));
+    }
+}

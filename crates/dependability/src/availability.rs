@@ -1,0 +1,151 @@
+//! Formula 1: steady-state availability from MTBF and MTTR.
+//!
+//! The paper prints `A_comp = 1 − MTTR/MTBF` (Formula 1) — the first-order
+//! approximation of the standard renewal-theory result
+//! `A = MTBF / (MTBF + MTTR)`. Both are provided; for every class of the
+//! case study the difference is below 1e-4 (MTBF ≫ MTTR), which experiment
+//! E8 verifies.
+
+/// Exact steady-state availability `MTBF / (MTBF + MTTR)`.
+///
+/// Both times must be positive and finite; returns a value in `(0, 1)`.
+pub fn steady_state(mtbf: f64, mttr: f64) -> f64 {
+    assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive, got {mtbf}");
+    assert!(mttr >= 0.0 && mttr.is_finite(), "MTTR must be non-negative, got {mttr}");
+    mtbf / (mtbf + mttr)
+}
+
+/// The paper's printed Formula 1: `1 − MTTR/MTBF`. Clamped at zero for the
+/// degenerate case `MTTR > MTBF` (where the approximation breaks down).
+pub fn paper_approximation(mtbf: f64, mttr: f64) -> f64 {
+    assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive, got {mtbf}");
+    assert!(mttr >= 0.0 && mttr.is_finite(), "MTTR must be non-negative, got {mttr}");
+    (1.0 - mttr / mtbf).max(0.0)
+}
+
+/// Availability of a component backed by `redundant` identical spares
+/// (`redundantComponents` attribute, Fig. 6): the assembly fails only when
+/// all `redundant + 1` units fail, `A' = 1 − (1 − A)^(r+1)`.
+pub fn with_redundancy(availability: f64, redundant: i64) -> f64 {
+    assert!((0.0..=1.0).contains(&availability), "availability out of range: {availability}");
+    assert!(redundant >= 0, "redundantComponents must be non-negative");
+    1.0 - (1.0 - availability).powi(redundant as i32 + 1)
+}
+
+/// A named component with its dependability attributes and the resulting
+/// availability — one row of the per-component table in experiment E8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentAvailability {
+    /// Component (instance) name.
+    pub name: String,
+    /// Mean time between failures, hours.
+    pub mtbf: f64,
+    /// Mean time to repair, hours.
+    pub mttr: f64,
+    /// Redundant components.
+    pub redundant: i64,
+    /// Steady-state availability including redundancy.
+    pub availability: f64,
+}
+
+impl ComponentAvailability {
+    /// Computes the availability of a component from its attributes, using
+    /// the exact formula (or the paper's approximation when
+    /// `paper_formula`), then applying redundancy.
+    pub fn from_attributes(
+        name: impl Into<String>,
+        mtbf: f64,
+        mttr: f64,
+        redundant: i64,
+        paper_formula: bool,
+    ) -> Self {
+        let base = if paper_formula {
+            paper_approximation(mtbf, mttr)
+        } else {
+            steady_state(mtbf, mttr)
+        };
+        ComponentAvailability {
+            name: name.into(),
+            mtbf,
+            mttr,
+            redundant,
+            availability: with_redundancy(base, redundant),
+        }
+    }
+
+    /// Unavailability `1 − A`.
+    pub fn unavailability(&self) -> f64 {
+        1.0 - self.availability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_formula_on_case_study_classes() {
+        // Server: 60000 / 60000.1
+        let a = steady_state(60_000.0, 0.1);
+        assert!((a - 60_000.0 / 60_000.1).abs() < 1e-15);
+        // Comp: 3000 / 3024
+        let a = steady_state(3_000.0, 24.0);
+        assert!((a - 3_000.0 / 3_024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approximation_close_to_exact_when_mtbf_dominates() {
+        for (mtbf, mttr) in [
+            (60_000.0, 0.1),
+            (183_498.0, 0.5),
+            (61_320.0, 0.5),
+            (199_000.0, 0.5),
+            (188_575.0, 0.5),
+            (3_000.0, 24.0),
+            (2_880.0, 1.0),
+        ] {
+            let exact = steady_state(mtbf, mttr);
+            let approx = paper_approximation(mtbf, mttr);
+            assert!(approx <= exact, "approximation is a lower bound");
+            assert!(exact - approx < 1e-4, "{mtbf}/{mttr}: {} vs {}", exact, approx);
+        }
+    }
+
+    #[test]
+    fn approximation_clamps_degenerate_inputs() {
+        assert_eq!(paper_approximation(1.0, 2.0), 0.0);
+        assert!(steady_state(1.0, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn redundancy_improves_availability() {
+        let a = 0.9;
+        assert_eq!(with_redundancy(a, 0), a);
+        assert!((with_redundancy(a, 1) - 0.99).abs() < 1e-12);
+        assert!((with_redundancy(a, 2) - 0.999).abs() < 1e-12);
+        assert_eq!(with_redundancy(1.0, 5), 1.0);
+        assert_eq!(with_redundancy(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn component_availability_composes_formula_and_redundancy() {
+        let c = ComponentAvailability::from_attributes("c1", 100.0, 100.0, 1, false);
+        // base = 0.5, with 1 spare = 0.75
+        assert!((c.availability - 0.75).abs() < 1e-12);
+        assert!((c.unavailability() - 0.25).abs() < 1e-12);
+        let paper = ComponentAvailability::from_attributes("c1", 100.0, 50.0, 0, true);
+        assert!((paper.availability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_rejected() {
+        steady_state(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mttr_rejected() {
+        steady_state(10.0, -1.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! A reduced ordered binary decision diagram (ROBDD) engine.
+//!
+//! Two-terminal availability with shared components (the USI core switches
+//! sit on *every* path) cannot be computed by multiplying path
+//! probabilities — the events are dependent. The textbook exact method is
+//! to build the structure function as a BDD and evaluate it bottom-up with
+//! Shannon expansion: `P(f) = p·P(f|x=1) + (1−p)·P(f|x=0)`, which is linear
+//! in the BDD size.
+//!
+//! The engine is a classic hash-consed ROBDD with an ITE-based apply,
+//! natural variable order (callers control ordering by choosing variable
+//! indices), restriction, and memoized probability evaluation.
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node (or terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+const FALSE: BddRef = BddRef(0);
+const TRUE: BddRef = BddRef(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: BddRef,
+    high: BddRef,
+}
+
+/// The BDD manager: owns the node table and operation caches.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    /// nodes[0], nodes[1] are dummies for the terminals.
+    nodes: Vec<Node>,
+    unique: HashMap<Node, BddRef>,
+    and_cache: HashMap<(BddRef, BddRef), BddRef>,
+    or_cache: HashMap<(BddRef, BddRef), BddRef>,
+}
+
+impl Bdd {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        let dummy = Node { var: u32::MAX, low: FALSE, high: FALSE };
+        Bdd {
+            nodes: vec![dummy, dummy],
+            unique: HashMap::new(),
+            and_cache: HashMap::new(),
+            or_cache: HashMap::new(),
+        }
+    }
+
+    /// The FALSE terminal.
+    pub fn zero(&self) -> BddRef {
+        FALSE
+    }
+
+    /// The TRUE terminal.
+    pub fn one(&self) -> BddRef {
+        TRUE
+    }
+
+    /// `true` if `r` is a terminal.
+    fn is_terminal(r: BddRef) -> bool {
+        r.0 < 2
+    }
+
+    fn var_of(&self, r: BddRef) -> u32 {
+        if Self::is_terminal(r) {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    /// Number of live nodes (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    fn mk(&mut self, var: u32, low: BddRef, high: BddRef) -> BddRef {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// The single-variable function `x_var`.
+    pub fn var(&mut self, var: u32) -> BddRef {
+        self.mk(var, FALSE, TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE {
+            return b;
+        }
+        if b == TRUE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = self.cofactors(a, top);
+        let (b0, b1) = self.cofactors(b, top);
+        let low = self.and(a0, b0);
+        let high = self.and(a1, b1);
+        let r = self.mk(top, low, high);
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.or_cache.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = self.cofactors(a, top);
+        let (b0, b1) = self.cofactors(b, top);
+        let low = self.or(a0, b0);
+        let high = self.or(a1, b1);
+        let r = self.mk(top, low, high);
+        self.or_cache.insert(key, r);
+        r
+    }
+
+    /// Negation (computed structurally; no complement edges).
+    pub fn not(&mut self, a: BddRef) -> BddRef {
+        if a == TRUE {
+            return FALSE;
+        }
+        if a == FALSE {
+            return TRUE;
+        }
+        let node = self.nodes[a.0 as usize];
+        let low = self.not(node.low);
+        let high = self.not(node.high);
+        self.mk(node.var, low, high)
+    }
+
+    fn cofactors(&self, r: BddRef, var: u32) -> (BddRef, BddRef) {
+        if Self::is_terminal(r) || self.var_of(r) != var {
+            (r, r)
+        } else {
+            let n = self.nodes[r.0 as usize];
+            (n.low, n.high)
+        }
+    }
+
+    /// Restriction `f|x_var = value`.
+    pub fn restrict(&mut self, r: BddRef, var: u32, value: bool) -> BddRef {
+        if Self::is_terminal(r) {
+            return r;
+        }
+        let node = self.nodes[r.0 as usize];
+        if node.var > var {
+            return r; // var does not occur (ordered BDD)
+        }
+        if node.var == var {
+            return if value { node.high } else { node.low };
+        }
+        let low = self.restrict(node.low, var, value);
+        let high = self.restrict(node.high, var, value);
+        self.mk(node.var, low, high)
+    }
+
+    /// Probability that the function is TRUE when variable `i` is TRUE
+    /// independently with probability `probs[i]`. Linear in BDD size.
+    pub fn probability(&self, r: BddRef, probs: &[f64]) -> f64 {
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        self.prob_rec(r, probs, &mut memo)
+    }
+
+    fn prob_rec(&self, r: BddRef, probs: &[f64], memo: &mut HashMap<BddRef, f64>) -> f64 {
+        if r == TRUE {
+            return 1.0;
+        }
+        if r == FALSE {
+            return 0.0;
+        }
+        if let Some(&p) = memo.get(&r) {
+            return p;
+        }
+        let node = self.nodes[r.0 as usize];
+        let p_var = probs[node.var as usize];
+        let p = p_var * self.prob_rec(node.high, probs, memo)
+            + (1.0 - p_var) * self.prob_rec(node.low, probs, memo);
+        memo.insert(r, p);
+        p
+    }
+
+    /// Builds the structure function of a path-set system: OR over path
+    /// sets of the AND of their variables. Variables are component indices.
+    pub fn from_path_sets(&mut self, path_sets: &[Vec<usize>]) -> BddRef {
+        let mut result = FALSE;
+        for set in path_sets {
+            // AND variables in descending index order — building from the
+            // bottom of the order keeps intermediate BDDs small.
+            let mut sorted: Vec<usize> = set.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let mut conj = TRUE;
+            for &v in &sorted {
+                let lit = self.var(v as u32);
+                conj = self.and(conj, lit);
+            }
+            result = self.or(result, conj);
+        }
+        result
+    }
+
+    /// Evaluates the function under a full assignment (for brute-force
+    /// cross-checks in tests).
+    pub fn evaluate(&self, r: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = r;
+        while !Self::is_terminal(cur) {
+            let node = self.nodes[cur.0 as usize];
+            cur = if assignment[node.var as usize] { node.high } else { node.low };
+        }
+        cur == TRUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_variables() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        assert_ne!(x, bdd.zero());
+        assert_eq!(bdd.var(0), x, "hash-consing");
+        assert_eq!(bdd.node_count(), 1);
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let one = bdd.one();
+        let zero = bdd.zero();
+        assert_eq!(bdd.and(x, one), x);
+        assert_eq!(bdd.and(x, zero), zero);
+        assert_eq!(bdd.or(x, zero), x);
+        assert_eq!(bdd.or(x, one), one);
+        let xy = bdd.and(x, y);
+        let yx = bdd.and(y, x);
+        assert_eq!(xy, yx, "canonicity");
+        let not_x = bdd.not(x);
+        assert_eq!(bdd.and(x, not_x), zero);
+        assert_eq!(bdd.or(x, not_x), one);
+        let double_neg = bdd.not(not_x);
+        assert_eq!(double_neg, x);
+    }
+
+    #[test]
+    fn probability_of_series_and_parallel() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let series = bdd.and(x, y);
+        let parallel = bdd.or(x, y);
+        let p = [0.9, 0.8];
+        assert!((bdd.probability(series, &p) - 0.72).abs() < 1e-12);
+        assert!((bdd.probability(parallel, &p) - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_component_dependence_handled() {
+        // Two paths {0,1} and {0,2}: P = p0 * (1 - (1-p1)(1-p2)), NOT
+        // the naive 1 - (1-p0p1)(1-p0p2).
+        let mut bdd = Bdd::new();
+        let f = bdd.from_path_sets(&[vec![0, 1], vec![0, 2]]);
+        let p = [0.9, 0.8, 0.7];
+        let exact = 0.9 * (1.0 - 0.2 * 0.3);
+        assert!((bdd.probability(f, &p) - exact).abs() < 1e-12);
+        let naive = 1.0 - (1.0 - 0.72) * (1.0 - 0.63);
+        assert!((bdd.probability(f, &p) - naive).abs() > 1e-3, "naive differs");
+    }
+
+    #[test]
+    fn restriction_fixes_variables() {
+        let mut bdd = Bdd::new();
+        let f = bdd.from_path_sets(&[vec![0, 1], vec![2]]);
+        let f_no2 = bdd.restrict(f, 2, false);
+        let p = [0.5, 0.5, 0.9];
+        assert!((bdd.probability(f_no2, &p) - 0.25).abs() < 1e-12);
+        let f_yes2 = bdd.restrict(f, 2, true);
+        assert_eq!(f_yes2, bdd.one());
+    }
+
+    #[test]
+    fn probability_matches_brute_force_enumeration() {
+        let mut bdd = Bdd::new();
+        let sets = vec![vec![0, 1], vec![1, 2], vec![0, 3], vec![2, 3]];
+        let f = bdd.from_path_sets(&sets);
+        let p = [0.9, 0.85, 0.7, 0.6];
+        let mut expected = 0.0;
+        for mask in 0..16u32 {
+            let assign: Vec<bool> = (0..4).map(|i| mask >> i & 1 == 1).collect();
+            let up = sets.iter().any(|s| s.iter().all(|&v| assign[v]));
+            if up {
+                let weight: f64 = (0..4)
+                    .map(|i| if assign[i] { p[i] } else { 1.0 - p[i] })
+                    .product();
+                expected += weight;
+            }
+            assert_eq!(bdd.evaluate(f, &assign), up);
+        }
+        assert!((bdd.probability(f, &p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_path_set_means_always_up() {
+        // A trivial path (requester == provider) is the empty conjunction.
+        let mut bdd = Bdd::new();
+        let f = bdd.from_path_sets(&[vec![]]);
+        assert_eq!(f, bdd.one());
+    }
+
+    #[test]
+    fn no_paths_means_never_up() {
+        let mut bdd = Bdd::new();
+        let f = bdd.from_path_sets(&[]);
+        assert_eq!(f, bdd.zero());
+    }
+}

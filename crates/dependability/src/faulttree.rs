@@ -1,0 +1,182 @@
+//! Fault trees — the dual view of the RBD (paper Sec. VII offers both).
+//!
+//! A fault tree describes the *failure* of the service: the top event
+//! occurs when the gate structure over basic component-failure events is
+//! true. [`Gate::from_rbd`] builds the dual tree of an RBD (series →
+//! OR-of-failures, parallel → AND-of-failures); evaluation goes through the
+//! BDD engine, so repeated basic events are handled exactly.
+
+use crate::bdd::{Bdd, BddRef};
+use crate::rbd::Block;
+
+/// A fault-tree gate over basic events (component indices; the event is
+/// "component i has failed").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Basic event: failure of one component.
+    Basic(usize),
+    /// Output fails when **any** input fails... i.e. logical OR of failures.
+    Or(Vec<Gate>),
+    /// Output fails when **all** inputs fail (redundancy).
+    And(Vec<Gate>),
+    /// Output fails when at least `k` inputs fail.
+    AtLeast {
+        /// Failure threshold.
+        k: usize,
+        /// Input gates.
+        gates: Vec<Gate>,
+    },
+}
+
+impl Gate {
+    /// The dual fault tree of an RBD: the system *fails* iff the block
+    /// structure is *down*.
+    pub fn from_rbd(block: &Block) -> Gate {
+        match block {
+            Block::Unit(i) => Gate::Basic(*i),
+            // Series works iff all work → fails iff any fails.
+            Block::Series(bs) => Gate::Or(bs.iter().map(Gate::from_rbd).collect()),
+            // Parallel works iff any works → fails iff all fail.
+            Block::Parallel(bs) => Gate::And(bs.iter().map(Gate::from_rbd).collect()),
+            // k-of-n works iff ≥k work → fails iff ≥ n-k+1 fail.
+            Block::KOfN { k, blocks } => Gate::AtLeast {
+                k: blocks.len() - k + 1,
+                gates: blocks.iter().map(Gate::from_rbd).collect(),
+            },
+        }
+    }
+
+    /// Encodes the failure function into a BDD. Variables keep the
+    /// *availability* polarity (variable true = component up), so the
+    /// returned function is true when the top event occurs.
+    pub fn to_bdd(&self, bdd: &mut Bdd) -> BddRef {
+        match self {
+            Gate::Basic(i) => {
+                let up = bdd.var(*i as u32);
+                bdd.not(up)
+            }
+            Gate::Or(gs) => {
+                let mut acc = bdd.zero();
+                for g in gs {
+                    let sub = g.to_bdd(bdd);
+                    acc = bdd.or(acc, sub);
+                }
+                acc
+            }
+            Gate::And(gs) => {
+                let mut acc = bdd.one();
+                for g in gs {
+                    let sub = g.to_bdd(bdd);
+                    acc = bdd.and(acc, sub);
+                }
+                acc
+            }
+            Gate::AtLeast { k, gates } => {
+                fn rec(bdd: &mut Bdd, gates: &[Gate], i: usize, need: usize) -> BddRef {
+                    if need == 0 {
+                        return bdd.one();
+                    }
+                    if i == gates.len() || gates.len() - i < need {
+                        return bdd.zero();
+                    }
+                    let g = gates[i].to_bdd(bdd);
+                    let not_g = bdd.not(g);
+                    let with = rec(bdd, gates, i + 1, need - 1);
+                    let without = rec(bdd, gates, i + 1, need);
+                    let hi = bdd.and(g, with);
+                    let lo = bdd.and(not_g, without);
+                    bdd.or(hi, lo)
+                }
+                rec(bdd, gates, 0, *k)
+            }
+        }
+    }
+
+    /// Exact top-event probability (system unavailability) given component
+    /// **availabilities**.
+    pub fn top_event_probability(&self, availability: &[f64]) -> f64 {
+        let mut bdd = Bdd::new();
+        let f = self.to_bdd(&mut bdd);
+        bdd.probability(f, availability)
+    }
+
+    /// All basic events (with repetition).
+    pub fn basic_events(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            Gate::Basic(i) => out.push(*i),
+            Gate::Or(gs) | Gate::And(gs) | Gate::AtLeast { gates: gs, .. } => {
+                gs.iter().for_each(|g| g.collect(out))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duality_with_rbd() {
+        // Any single-use RBD: unavailability of RBD == top-event prob of FT.
+        let comp = [0.9, 0.8, 0.7, 0.95];
+        let rbd = Block::Series(vec![
+            Block::Unit(3),
+            Block::Parallel(vec![
+                Block::Series(vec![Block::Unit(0), Block::Unit(1)]),
+                Block::Unit(2),
+            ]),
+        ]);
+        let ft = Gate::from_rbd(&rbd);
+        let unavailability = 1.0 - rbd.availability(&comp);
+        assert!((ft.top_event_probability(&comp) - unavailability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_gate_is_series_failure() {
+        let ft = Gate::Or(vec![Gate::Basic(0), Gate::Basic(1)]);
+        let comp = [0.9, 0.8];
+        // fails unless both up: 1 - 0.72
+        assert!((ft.top_event_probability(&comp) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_gate_is_redundancy() {
+        let ft = Gate::And(vec![Gate::Basic(0), Gate::Basic(1)]);
+        let comp = [0.9, 0.8];
+        // fails only if both down: 0.1 * 0.2
+        assert!((ft.top_event_probability(&comp) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_matches_k_of_n_dual() {
+        let comp = [0.9; 4];
+        let rbd = Block::KOfN { k: 3, blocks: (0..4).map(Block::Unit).collect() };
+        let ft = Gate::from_rbd(&rbd);
+        assert!(matches!(ft, Gate::AtLeast { k: 2, .. }));
+        let unavailability = 1.0 - rbd.availability(&comp);
+        assert!((ft.top_event_probability(&comp) - unavailability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_events_are_exact() {
+        // Failure = c0 down OR (c1 down AND c0 down) — simplifies to c0 down.
+        let ft = Gate::Or(vec![
+            Gate::Basic(0),
+            Gate::And(vec![Gate::Basic(1), Gate::Basic(0)]),
+        ]);
+        let comp = [0.9, 0.5];
+        assert!((ft.top_event_probability(&comp) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_events_enumeration() {
+        let ft = Gate::Or(vec![Gate::Basic(2), Gate::And(vec![Gate::Basic(0), Gate::Basic(2)])]);
+        assert_eq!(ft.basic_events(), vec![2, 0, 2]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dependability — user-perceived service dependability analysis
+//!
+//! The paper's Sec. VII outlook: the generated UPSIM *"can be used to
+//! facilitate analysis of various user-perceived dependability properties
+//! [...] by transforming the UPSIM to a reliability block diagram (RBD) or
+//! fault-tree (FT), in which entities correspond to components of the
+//! UPSIM. The availability for individual components can be calculated
+//! using the component attributes MTBF and MTTR (Formula 1)."* The
+//! companion paper [20] ("Model-driven evaluation of user-perceived service
+//! availability") carries out that transformation; this crate implements
+//! both, plus the exact engines an RBD cannot cover:
+//!
+//! * [`availability`] — Formula 1 (exact steady-state and the paper's
+//!   printed first-order approximation) and redundancy expansion,
+//! * [`rbd`] — reliability block diagrams (series / parallel / k-of-n),
+//! * [`faulttree`] — fault trees (AND / OR / k-of-n gates) with the
+//!   RBD-dual construction,
+//! * [`bdd`] — a reduced ordered binary decision diagram engine for exact
+//!   evaluation of structure functions with **shared components** (the USI
+//!   core appears in every path — naive products are wrong there),
+//! * [`sdp`] — sum of disjoint products over minimal path sets (Abraham's
+//!   disjointing), the classical alternative to BDDs,
+//! * [`montecarlo`] — parallel Monte-Carlo estimation with confidence
+//!   intervals (crossbeam worker fan-out), used to cross-validate the
+//!   analytic engines,
+//! * [`transform`] — the UPSIM → availability-model transformation: builds
+//!   a [`transform::ServiceAvailabilityModel`] from an object diagram, the
+//!   class diagram it instantiates and the service mapping pairs, and
+//!   evaluates user-perceived steady-state service availability through any
+//!   of the engines,
+//! * [`importance`] — Birnbaum / criticality / Fussell-Vesely component
+//!   importance, identifying *"which ICT components can be the cause"*
+//!   of service problems (Sec. VII).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod availability;
+pub mod bdd;
+pub mod cutsets;
+pub mod downtime;
+pub mod faulttree;
+pub mod importance;
+pub mod montecarlo;
+pub mod performance;
+pub mod rbd;
+pub mod sdp;
+pub mod sensitivity;
+pub mod transform;
+pub mod transient;
+
+pub use availability::{steady_state, paper_approximation, with_redundancy, ComponentAvailability};
+pub use bdd::{Bdd, BddRef};
+pub use rbd::Block;
+pub use transform::{AnalysisOptions, ServiceAvailabilityModel};

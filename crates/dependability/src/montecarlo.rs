@@ -1,0 +1,172 @@
+//! Parallel Monte-Carlo estimation of service availability.
+//!
+//! Cross-validates the analytic engines (BDD, SDP) and scales to systems
+//! whose structure functions are too large for them. Sampling: every
+//! component is up independently with its availability; the service is up
+//! when **every** mapping pair has at least one fully-up path (all atomic
+//! services of a composite service execute — paper Sec. V-E). Workers fan
+//! out over a crossbeam scope with deterministic per-worker RNG streams, so
+//! results are reproducible for a fixed `(seed, workers)` pair.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Estimated availability.
+    pub estimate: f64,
+    /// Standard error of the estimate (binomial).
+    pub std_error: f64,
+    /// Total samples drawn.
+    pub samples: usize,
+}
+
+impl MonteCarloResult {
+    /// Two-sided 95% confidence interval (normal approximation), clamped to
+    /// `[0, 1]`.
+    pub fn confidence_95(&self) -> (f64, f64) {
+        let delta = 1.96 * self.std_error;
+        ((self.estimate - delta).max(0.0), (self.estimate + delta).min(1.0))
+    }
+
+    /// `true` when `value` lies in the 95% confidence interval.
+    pub fn covers(&self, value: f64) -> bool {
+        let (lo, hi) = self.confidence_95();
+        (lo..=hi).contains(&value)
+    }
+}
+
+/// Estimates `P(every system has an up path)` where each system is a list
+/// of path sets over shared component indices.
+///
+/// * `availability[i]` — up-probability of component `i`,
+/// * `systems` — one entry per mapping pair, each a list of path sets,
+/// * `samples` — total samples (split over workers),
+/// * `workers` — 0 = available parallelism,
+/// * `seed` — base RNG seed.
+pub fn estimate(
+    availability: &[f64],
+    systems: &[Vec<Vec<usize>>],
+    samples: usize,
+    workers: usize,
+    seed: u64,
+) -> MonteCarloResult {
+    assert!(samples > 0, "need at least one sample");
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
+    let per_worker = samples.div_ceil(workers);
+    let total = per_worker * workers;
+
+    let successes: usize = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+                let mut up = vec![false; availability.len()];
+                let mut ok = 0usize;
+                for _ in 0..per_worker {
+                    for (i, &a) in availability.iter().enumerate() {
+                        up[i] = rng.random::<f64>() < a;
+                    }
+                    let service_up = systems
+                        .iter()
+                        .all(|paths| paths.iter().any(|set| set.iter().all(|&v| up[v])));
+                    if service_up {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+    .expect("crossbeam scope");
+
+    let estimate = successes as f64 / total as f64;
+    let std_error = (estimate * (1.0 - estimate) / total as f64).sqrt();
+    MonteCarloResult { estimate, std_error, samples: total }
+}
+
+/// Single-system convenience (one mapping pair).
+pub fn estimate_single(
+    availability: &[f64],
+    path_sets: &[Vec<usize>],
+    samples: usize,
+    workers: usize,
+    seed: u64,
+) -> MonteCarloResult {
+    estimate(availability, &[path_sets.to_vec()], samples, workers, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdp::union_probability;
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_workers() {
+        let p = [0.9, 0.8, 0.7];
+        let sets = vec![vec![0, 1], vec![0, 2]];
+        let a = estimate_single(&p, &sets, 10_000, 2, 42);
+        let b = estimate_single(&p, &sets, 10_000, 2, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn converges_to_exact_value() {
+        let p = [0.9, 0.8, 0.7];
+        let sets = vec![vec![0, 1], vec![0, 2]];
+        let exact = union_probability(&sets, &p);
+        let mc = estimate_single(&p, &sets, 200_000, 4, 7);
+        assert!(mc.covers(exact), "CI {:?} misses {exact}", mc.confidence_95());
+        assert!((mc.estimate - exact).abs() < 0.01);
+    }
+
+    #[test]
+    fn multi_pair_conjunction_is_not_product_when_shared() {
+        // Two pairs sharing component 0: P(both) = p0·p1·p2 when each pair
+        // is {0,1} / {0,2} singly-pathed — the independent product would be
+        // (p0 p1)(p0 p2).
+        let p = [0.6, 0.9, 0.9];
+        let systems = vec![vec![vec![0, 1]], vec![vec![0, 2]]];
+        let exact = 0.6 * 0.9 * 0.9;
+        let naive = (0.6 * 0.9) * (0.6 * 0.9);
+        let mc = estimate(&p, &systems, 400_000, 4, 11);
+        assert!(mc.covers(exact), "CI {:?} misses exact {exact}", mc.confidence_95());
+        assert!(!mc.covers(naive), "MC should reject the naive product {naive}");
+    }
+
+    #[test]
+    fn degenerate_systems() {
+        let p = [0.5];
+        // No pairs: service trivially up.
+        let always = estimate(&p, &[], 1000, 1, 1);
+        assert_eq!(always.estimate, 1.0);
+        assert_eq!(always.std_error, 0.0);
+        // A pair with no paths: never up.
+        let never = estimate(&p, &[vec![]], 1000, 1, 1);
+        assert_eq!(never.estimate, 0.0);
+        // A pair with a trivial path: always up.
+        let trivial = estimate(&p, &[vec![vec![]]], 1000, 1, 1);
+        assert_eq!(trivial.estimate, 1.0);
+    }
+
+    #[test]
+    fn worker_split_covers_requested_samples() {
+        let p = [0.9];
+        let mc = estimate_single(&p, &[vec![0]], 1001, 4, 3);
+        assert!(mc.samples >= 1001);
+    }
+
+    #[test]
+    fn perfect_components_give_certainty() {
+        let p = [1.0, 1.0];
+        let mc = estimate_single(&p, &[vec![0, 1]], 5_000, 2, 9);
+        assert_eq!(mc.estimate, 1.0);
+        assert_eq!(mc.confidence_95(), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,297 @@
+//! Reliability block diagrams (RBDs).
+//!
+//! Paper Sec. VII: *"Such analysis can be performed by transforming the
+//! UPSIM to a reliability block diagram (RBD) or fault-tree (FT), in which
+//! entities correspond to components of the UPSIM."* An RBD is valid only
+//! when every component appears in exactly one block — evaluation assumes
+//! block independence. [`Block::validate_single_use`] checks that; for
+//! UPSIMs with shared components the `bdd`/`sdp` engines are exact instead.
+
+use crate::bdd::Bdd;
+use ict_graph::seriesparallel::SpTree;
+
+/// A reliability block over component indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// A single component (index into the availability vector).
+    Unit(usize),
+    /// All sub-blocks must work.
+    Series(Vec<Block>),
+    /// At least one sub-block must work.
+    Parallel(Vec<Block>),
+    /// At least `k` of the sub-blocks must work (identical independent
+    /// positions).
+    KOfN {
+        /// Minimum number of working sub-blocks.
+        k: usize,
+        /// The sub-blocks.
+        blocks: Vec<Block>,
+    },
+}
+
+impl Block {
+    /// Availability of the block given per-component availabilities,
+    /// assuming all components are independent and used once.
+    pub fn availability(&self, component: &[f64]) -> f64 {
+        match self {
+            Block::Unit(i) => component[*i],
+            Block::Series(blocks) => blocks.iter().map(|b| b.availability(component)).product(),
+            Block::Parallel(blocks) => {
+                1.0 - blocks.iter().map(|b| 1.0 - b.availability(component)).product::<f64>()
+            }
+            Block::KOfN { k, blocks } => {
+                // Exact via dynamic programming over "number of working
+                // sub-blocks": O(n²).
+                let probs: Vec<f64> = blocks.iter().map(|b| b.availability(component)).collect();
+                let mut dist = vec![0.0; probs.len() + 1];
+                dist[0] = 1.0;
+                for (i, &p) in probs.iter().enumerate() {
+                    for w in (0..=i).rev() {
+                        dist[w + 1] += dist[w] * p;
+                        dist[w] *= 1.0 - p;
+                    }
+                }
+                dist.iter().skip(*k).sum()
+            }
+        }
+    }
+
+    /// All component indices referenced by the block (with repetition).
+    pub fn components(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            Block::Unit(i) => out.push(*i),
+            Block::Series(bs) | Block::Parallel(bs) | Block::KOfN { blocks: bs, .. } => {
+                bs.iter().for_each(|b| b.collect(out))
+            }
+        }
+    }
+
+    /// `true` when every component occurs at most once — the precondition
+    /// for [`Block::availability`] to be exact.
+    pub fn validate_single_use(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.components().into_iter().all(|c| seen.insert(c))
+    }
+
+    /// Renders the block structure in the conventional inline RBD notation:
+    /// series as `—`-joined, parallel as `( … | … )`, k-of-n as
+    /// `k-of-n( … )`, units as `[name]`.
+    pub fn render(&self, name: &impl Fn(usize) -> String) -> String {
+        match self {
+            Block::Unit(i) => format!("[{}]", name(*i)),
+            Block::Series(bs) => bs
+                .iter()
+                .map(|b| b.render(name))
+                .collect::<Vec<_>>()
+                .join("\u{2014}"),
+            Block::Parallel(bs) => format!(
+                "({})",
+                bs.iter().map(|b| b.render(name)).collect::<Vec<_>>().join(" | ")
+            ),
+            Block::KOfN { k, blocks } => format!(
+                "{k}-of-{}({})",
+                blocks.len(),
+                blocks.iter().map(|b| b.render(name)).collect::<Vec<_>>().join(", ")
+            ),
+        }
+    }
+
+    /// Builds an RBD from a series-parallel decomposition
+    /// ([`ict_graph::seriesparallel::reduce`]), mapping each original edge
+    /// through `component_of`.
+    pub fn from_sp_tree(tree: &SpTree, component_of: &impl Fn(ict_graph::EdgeId) -> usize) -> Block {
+        match tree {
+            SpTree::Edge(e) => Block::Unit(component_of(*e)),
+            SpTree::Series(ts) => {
+                Block::Series(ts.iter().map(|t| Block::from_sp_tree(t, component_of)).collect())
+            }
+            SpTree::Parallel(ts) => {
+                Block::Parallel(ts.iter().map(|t| Block::from_sp_tree(t, component_of)).collect())
+            }
+        }
+    }
+
+    /// Encodes the block's structure function into a BDD (for
+    /// cross-validation and for blocks that violate single-use).
+    pub fn to_bdd(&self, bdd: &mut Bdd) -> crate::bdd::BddRef {
+        match self {
+            Block::Unit(i) => bdd.var(*i as u32),
+            Block::Series(bs) => {
+                let mut acc = bdd.one();
+                for b in bs {
+                    let sub = b.to_bdd(bdd);
+                    acc = bdd.and(acc, sub);
+                }
+                acc
+            }
+            Block::Parallel(bs) => {
+                let mut acc = bdd.zero();
+                for b in bs {
+                    let sub = b.to_bdd(bdd);
+                    acc = bdd.or(acc, sub);
+                }
+                acc
+            }
+            Block::KOfN { k, blocks } => {
+                // OR over all subsets of size >= k is exponential; encode
+                // recursively: f(i, need) = need==0 ? 1 : i==n ? 0 :
+                //   blocks[i]·f(i+1, need-1) + ¬blocks[i]·f(i+1, need)
+                fn rec(
+                    bdd: &mut Bdd,
+                    blocks: &[Block],
+                    i: usize,
+                    need: usize,
+                ) -> crate::bdd::BddRef {
+                    if need == 0 {
+                        return bdd.one();
+                    }
+                    if i == blocks.len() || blocks.len() - i < need {
+                        return bdd.zero();
+                    }
+                    let b = blocks[i].to_bdd(bdd);
+                    let with = rec(bdd, blocks, i + 1, need - 1);
+                    let without = rec(bdd, blocks, i + 1, need);
+                    let not_b = bdd.not(b);
+                    let hi = bdd.and(b, with);
+                    let lo = bdd.and(not_b, without);
+                    bdd.or(hi, lo)
+                }
+                rec(bdd, blocks, 0, *k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_parallel_evaluation() {
+        let comp = [0.9, 0.8, 0.7];
+        let series = Block::Series(vec![Block::Unit(0), Block::Unit(1)]);
+        assert!((series.availability(&comp) - 0.72).abs() < 1e-12);
+        let parallel = Block::Parallel(vec![Block::Unit(0), Block::Unit(1)]);
+        assert!((parallel.availability(&comp) - 0.98).abs() < 1e-12);
+        let nested = Block::Series(vec![
+            Block::Unit(2),
+            Block::Parallel(vec![Block::Unit(0), Block::Unit(1)]),
+        ]);
+        assert!((nested.availability(&comp) - 0.7 * 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_matches_binomial() {
+        let comp = [0.9; 3];
+        let two_of_three = Block::KOfN {
+            k: 2,
+            blocks: vec![Block::Unit(0), Block::Unit(1), Block::Unit(2)],
+        };
+        // 3·p²(1-p) + p³
+        let expected = 3.0 * 0.81 * 0.1 + 0.729;
+        assert!((two_of_three.availability(&comp) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_edge_cases() {
+        let comp = [0.9, 0.8];
+        let zero_of_two = Block::KOfN { k: 0, blocks: vec![Block::Unit(0), Block::Unit(1)] };
+        assert!((zero_of_two.availability(&comp) - 1.0).abs() < 1e-12);
+        let all = Block::KOfN { k: 2, blocks: vec![Block::Unit(0), Block::Unit(1)] };
+        assert!((all.availability(&comp) - 0.72).abs() < 1e-12, "k=n is series");
+    }
+
+    #[test]
+    fn single_use_validation() {
+        let ok = Block::Series(vec![Block::Unit(0), Block::Unit(1)]);
+        assert!(ok.validate_single_use());
+        let shared = Block::Parallel(vec![
+            Block::Series(vec![Block::Unit(0), Block::Unit(1)]),
+            Block::Series(vec![Block::Unit(0), Block::Unit(2)]),
+        ]);
+        assert!(!shared.validate_single_use());
+    }
+
+    #[test]
+    fn bdd_agrees_with_analytic_when_single_use() {
+        let comp = [0.9, 0.8, 0.7, 0.6];
+        let block = Block::Parallel(vec![
+            Block::Series(vec![Block::Unit(0), Block::Unit(1)]),
+            Block::Series(vec![Block::Unit(2), Block::Unit(3)]),
+        ]);
+        let mut bdd = Bdd::new();
+        let f = block.to_bdd(&mut bdd);
+        assert!((bdd.probability(f, &comp) - block.availability(&comp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdd_is_exact_when_components_shared() {
+        let comp = [0.9, 0.8, 0.7];
+        let shared = Block::Parallel(vec![
+            Block::Series(vec![Block::Unit(0), Block::Unit(1)]),
+            Block::Series(vec![Block::Unit(0), Block::Unit(2)]),
+        ]);
+        let mut bdd = Bdd::new();
+        let f = shared.to_bdd(&mut bdd);
+        let exact = 0.9 * (1.0 - 0.2 * 0.3);
+        assert!((bdd.probability(f, &comp) - exact).abs() < 1e-12);
+        // The naive RBD formula over-counts.
+        assert!((shared.availability(&comp) - exact).abs() > 1e-3);
+    }
+
+    #[test]
+    fn k_of_n_bdd_agrees() {
+        let comp = [0.9, 0.85, 0.8, 0.75];
+        let block = Block::KOfN {
+            k: 3,
+            blocks: (0..4).map(Block::Unit).collect(),
+        };
+        let mut bdd = Bdd::new();
+        let f = block.to_bdd(&mut bdd);
+        assert!((bdd.probability(f, &comp) - block.availability(&comp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_produces_conventional_notation() {
+        let names = ["t1", "a", "b", "srv"];
+        let name = |i: usize| names[i].to_string();
+        let block = Block::Series(vec![
+            Block::Unit(0),
+            Block::Parallel(vec![Block::Unit(1), Block::Unit(2)]),
+            Block::Unit(3),
+        ]);
+        assert_eq!(block.render(&name), "[t1]\u{2014}([a] | [b])\u{2014}[srv]");
+        let kofn = Block::KOfN { k: 2, blocks: vec![Block::Unit(1), Block::Unit(2), Block::Unit(3)] };
+        assert_eq!(kofn.render(&name), "2-of-3([a], [b], [srv])");
+    }
+
+    #[test]
+    fn from_sp_tree_maps_edges() {
+        use ict_graph::seriesparallel::{reduce, SpReduction};
+        use ict_graph::Graph;
+        // diamond s-(a|b)-t as edges 0..4
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let t = g.add_node(3);
+        g.add_edge(s, a, ());
+        g.add_edge(a, t, ());
+        g.add_edge(s, b, ());
+        g.add_edge(b, t, ());
+        let SpReduction::SeriesParallel(tree) = reduce(&g, s, t) else {
+            panic!("diamond is SP")
+        };
+        let block = Block::from_sp_tree(&tree, &|e| e.index());
+        assert!(block.validate_single_use());
+        let comp = [0.9, 0.9, 0.8, 0.8];
+        let expected = 1.0 - (1.0 - 0.81) * (1.0 - 0.64);
+        assert!((block.availability(&comp) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal cut sets and max-flow min-cut for two-terminal analysis.
+//!
+//! A *minimal cut set* is a minimal set of intermediate components whose
+//! joint failure disconnects requester from provider — the dual of the
+//! paper's path sets, and the core input for fault-tree construction
+//! (paper Sec. VII).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::paths::minimal_path_sets;
+use std::collections::VecDeque;
+
+/// Caps for the (worst-case exponential) cut-set enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutLimits {
+    /// Maximum cardinality of reported cut sets.
+    pub max_size: usize,
+    /// Maximum number of cut sets to report.
+    pub max_cuts: usize,
+}
+
+impl Default for CutLimits {
+    fn default() -> Self {
+        CutLimits { max_size: 8, max_cuts: 10_000 }
+    }
+}
+
+/// Enumerates minimal **node** cut sets between `source` and `target`,
+/// excluding the terminals themselves (a requester/provider failure is a
+/// trivial cut and is handled separately by the availability model).
+///
+/// Implementation: minimal transversals (hitting sets) of the minimal path
+/// sets, computed incrementally (Berge's algorithm) with minimization after
+/// every step. Sets exceeding `limits.max_size` are pruned.
+pub fn minimal_node_cut_sets<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    limits: CutLimits,
+) -> Vec<Vec<NodeId>> {
+    let path_sets: Vec<Vec<NodeId>> = minimal_path_sets(graph, source, target)
+        .into_iter()
+        .map(|set| {
+            set.into_iter().filter(|&n| n != source && n != target).collect::<Vec<_>>()
+        })
+        .collect();
+    if path_sets.is_empty() {
+        return Vec::new(); // already disconnected: no cut needed
+    }
+    if path_sets.iter().any(Vec::is_empty) {
+        // A direct source—target link exists: no intermediate node cut can
+        // sever the pair.
+        return Vec::new();
+    }
+
+    // Berge: transversals of the first set are its singletons.
+    let mut transversals: Vec<Vec<NodeId>> =
+        path_sets[0].iter().map(|&n| vec![n]).collect();
+    for set in &path_sets[1..] {
+        let mut next: Vec<Vec<NodeId>> = Vec::new();
+        for t in &transversals {
+            if t.iter().any(|n| set.contains(n)) {
+                next.push(t.clone());
+            } else {
+                for &n in set {
+                    let mut extended = t.clone();
+                    extended.push(n);
+                    extended.sort_unstable();
+                    extended.dedup();
+                    if extended.len() <= limits.max_size {
+                        next.push(extended);
+                    }
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        transversals = minimize(next);
+        if transversals.len() > limits.max_cuts {
+            transversals.truncate(limits.max_cuts);
+        }
+    }
+    transversals.sort_by_key(|t| (t.len(), t.clone()));
+    transversals
+}
+
+/// Removes non-minimal (superset) sets. Input must be sorted sets.
+fn minimize(mut sets: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    sets.sort_by_key(Vec::len);
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    'outer: for cand in sets {
+        for kept in &out {
+            if kept.iter().all(|n| cand.binary_search(n).is_ok()) {
+                continue 'outer;
+            }
+        }
+        out.push(cand);
+    }
+    out
+}
+
+/// Size of the minimum **edge** cut between `source` and `target`
+/// (unit capacities, Edmonds–Karp), together with one witness cut.
+///
+/// For an undirected graph each edge is usable in both directions.
+pub fn min_edge_cut<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+) -> (usize, Vec<EdgeId>) {
+    if source == target {
+        return (0, Vec::new());
+    }
+    // Residual capacities per (edge, direction): dir 0 = source->target
+    // orientation as stored, dir 1 = reverse.
+    let ecap = graph.edge_capacity();
+    let mut cap = vec![[0i32; 2]; ecap];
+    for (e, _, _, _) in graph.edges() {
+        cap[e.index()][0] = 1;
+        cap[e.index()][1] = if graph.is_directed() { 0 } else { 1 };
+    }
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut prev: Vec<Option<(NodeId, EdgeId, usize)>> = vec![None; graph.node_capacity()];
+        let mut visited = vec![false; graph.node_capacity()];
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        visited[source.index()] = true;
+        'bfs: while let Some(n) = queue.pop_front() {
+            for (e, s, t, _) in graph.edges() {
+                let (next, dir) = if s == n {
+                    (t, 0usize)
+                } else if t == n {
+                    (s, 1usize)
+                } else {
+                    continue;
+                };
+                if visited[next.index()] || cap[e.index()][dir] <= 0 {
+                    continue;
+                }
+                visited[next.index()] = true;
+                prev[next.index()] = Some((n, e, dir));
+                if next == target {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+        if !visited[target.index()] {
+            // No augmenting path: cut = saturated edges crossing the
+            // reachable frontier.
+            let mut cut = Vec::new();
+            for (e, s, t, _) in graph.edges() {
+                let s_in = visited[s.index()];
+                let t_in = visited[t.index()];
+                if s_in != t_in {
+                    cut.push(e);
+                }
+            }
+            cut.sort_unstable();
+            cut.dedup();
+            return (flow, cut);
+        }
+        // Augment by 1 along the path.
+        let mut cur = target;
+        while cur != source {
+            let (p, e, dir) = prev[cur.index()].expect("path recorded");
+            cap[e.index()][dir] -= 1;
+            cap[e.index()][1 - dir] += 1;
+            cur = p;
+        }
+        flow += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// s - a - t  and  s - b - t (two disjoint routes).
+    fn two_routes() -> (Graph<&'static str, ()>, [NodeId; 4]) {
+        let mut g = Graph::new_undirected();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_edge(s, a, ());
+        g.add_edge(a, t, ());
+        g.add_edge(s, b, ());
+        g.add_edge(b, t, ());
+        (g, [s, a, b, t])
+    }
+
+    #[test]
+    fn disjoint_routes_cut_requires_both() {
+        let (g, [s, a, b, t]) = two_routes();
+        let cuts = minimal_node_cut_sets(&g, s, t, CutLimits::default());
+        assert_eq!(cuts, vec![vec![a.min(b), a.max(b)]]);
+    }
+
+    #[test]
+    fn chain_every_inner_node_is_singleton_cut() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        let cuts = minimal_node_cut_sets(&g, ids[0], ids[3], CutLimits::default());
+        assert_eq!(cuts.len(), 2);
+        assert!(cuts.contains(&vec![ids[1]]));
+        assert!(cuts.contains(&vec![ids[2]]));
+    }
+
+    #[test]
+    fn direct_link_means_no_node_cut() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        let m = g.add_node(2);
+        g.add_edge(s, t, ());
+        g.add_edge(s, m, ());
+        g.add_edge(m, t, ());
+        assert!(minimal_node_cut_sets(&g, s, t, CutLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_has_no_cuts() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        assert!(minimal_node_cut_sets(&g, s, t, CutLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn min_edge_cut_on_disjoint_routes_is_two() {
+        let (g, [s, _, _, t]) = two_routes();
+        let (value, cut) = min_edge_cut(&g, s, t);
+        assert_eq!(value, 2);
+        assert_eq!(cut.len(), 2);
+    }
+
+    #[test]
+    fn min_edge_cut_on_chain_is_one() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..3).map(|i| g.add_node(i)).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[2], ());
+        let (value, cut) = min_edge_cut(&g, ids[0], ids[2]);
+        assert_eq!(value, 1);
+        assert_eq!(cut.len(), 1);
+    }
+
+    #[test]
+    fn min_edge_cut_counts_parallel_edges() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        g.add_edge(s, t, ());
+        g.add_edge(s, t, ());
+        let (value, _) = min_edge_cut(&g, s, t);
+        assert_eq!(value, 2);
+    }
+
+    #[test]
+    fn min_edge_cut_disconnected_is_zero() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        let (value, cut) = min_edge_cut(&g, s, t);
+        assert_eq!(value, 0);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn directed_min_cut_respects_orientation() {
+        let mut g: Graph<u32, ()> = Graph::new_directed();
+        let s = g.add_node(0);
+        let m = g.add_node(1);
+        let t = g.add_node(2);
+        g.add_edge(s, m, ());
+        g.add_edge(m, t, ());
+        g.add_edge(t, s, ()); // reverse edge cannot carry forward flow
+        let (value, _) = min_edge_cut(&g, s, t);
+        assert_eq!(value, 1);
+    }
+}

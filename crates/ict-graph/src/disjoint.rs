@@ -1,0 +1,239 @@
+//! Node-disjoint path analysis (Menger).
+//!
+//! The number of internally node-disjoint requester→provider routes is the
+//! sharpest redundancy measure of a user's infrastructure: by Menger's
+//! theorem it equals the minimum node cut, i.e. how many *simultaneous*
+//! component failures the pair is guaranteed to survive. The UPSIM
+//! visualization question of the paper ("which ICT components can be the
+//! cause", Sec. VII) has this as its quantitative companion.
+//!
+//! Implementation: standard node splitting — every vertex `v` becomes
+//! `v_in → v_out` with unit capacity (terminals get infinite capacity),
+//! every undirected edge `{u,v}` becomes `u_out → v_in` and `v_out → u_in`
+//! — followed by unit-capacity max flow (Edmonds–Karp on an explicit
+//! residual adjacency list).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// The maximum number of internally node-disjoint paths between `source`
+/// and `target` (∞ would be the answer for `source == target`; this
+/// returns `usize::MAX` in that degenerate case). Parallel edges and a
+/// direct `source—target` link each contribute one disjoint route.
+pub fn max_disjoint_paths<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> usize {
+    if source == target {
+        return usize::MAX;
+    }
+    if !graph.contains_node(source) || !graph.contains_node(target) {
+        return 0;
+    }
+    // Split nodes: index 2v = v_in, 2v+1 = v_out.
+    let n = graph.node_capacity();
+    let node_in = |v: NodeId| 2 * v.index();
+    let node_out = |v: NodeId| 2 * v.index() + 1;
+
+    // Arc list with residual capacities; adjacency as arc indices.
+    let mut arcs: Vec<(usize, usize, i64)> = Vec::new(); // (from, to, cap)
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+    let push_arc = |arcs: &mut Vec<(usize, usize, i64)>,
+                        adjacency: &mut Vec<Vec<usize>>,
+                        from: usize,
+                        to: usize,
+                        cap: i64| {
+        adjacency[from].push(arcs.len());
+        arcs.push((from, to, cap));
+        adjacency[to].push(arcs.len());
+        arcs.push((to, from, 0)); // residual twin
+    };
+
+    const BIG: i64 = i64::MAX / 4;
+    for v in graph.node_ids() {
+        let cap = if v == source || v == target { BIG } else { 1 };
+        push_arc(&mut arcs, &mut adjacency, node_in(v), node_out(v), cap);
+    }
+    for (_, a, b, _) in graph.edges() {
+        if a == b {
+            continue;
+        }
+        push_arc(&mut arcs, &mut adjacency, node_out(a), node_in(b), 1);
+        if !graph.is_directed() {
+            push_arc(&mut arcs, &mut adjacency, node_out(b), node_in(a), 1);
+        }
+    }
+
+    let (s, t) = (node_out(source), node_in(target));
+    let mut flow = 0usize;
+    loop {
+        // BFS over residual arcs.
+        let mut parent_arc: Vec<Option<usize>> = vec![None; 2 * n];
+        let mut visited = vec![false; 2 * n];
+        visited[s] = true;
+        let mut queue = VecDeque::from([s]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &ai in &adjacency[u] {
+                let (from, to, cap) = arcs[ai];
+                if from != u || cap <= 0 || visited[to] {
+                    continue;
+                }
+                visited[to] = true;
+                parent_arc[to] = Some(ai);
+                if to == t {
+                    break 'bfs;
+                }
+                queue.push_back(to);
+            }
+        }
+        if !visited[t] {
+            return flow;
+        }
+        // Augment by 1 (all internal capacities are units).
+        let mut cur = t;
+        while cur != s {
+            let ai = parent_arc[cur].expect("path recorded");
+            arcs[ai].2 -= 1;
+            arcs[ai ^ 1].2 += 1;
+            cur = arcs[ai].0;
+        }
+        flow += 1;
+    }
+}
+
+/// Menger cross-check helper: `true` if removing any set of fewer than
+/// `k` internal nodes leaves the pair connected (exhaustive — only for
+/// small graphs / tests).
+pub fn survives_any_failures<N: Clone, E: Clone>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    failures: usize,
+) -> bool {
+    let internal: Vec<NodeId> =
+        graph.node_ids().filter(|&v| v != source && v != target).collect();
+    fn combos(items: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
+        if k == 0 {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &first) in items.iter().enumerate() {
+            for mut rest in combos(&items[i + 1..], k - 1) {
+                rest.insert(0, first);
+                out.push(rest);
+            }
+        }
+        out
+    }
+    for kill in combos(&internal, failures) {
+        let mut g = graph.clone();
+        for v in kill {
+            g.remove_node(v);
+        }
+        if !crate::traversal::is_reachable(&g, source, target) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn diamond() -> (Graph<u32, ()>, [NodeId; 4]) {
+        let mut g = Graph::new_undirected();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let t = g.add_node(3);
+        g.add_edge(s, a, ());
+        g.add_edge(a, t, ());
+        g.add_edge(s, b, ());
+        g.add_edge(b, t, ());
+        (g, [s, a, b, t])
+    }
+
+    #[test]
+    fn diamond_has_two_disjoint_paths() {
+        let (g, [s, _, _, t]) = diamond();
+        assert_eq!(max_disjoint_paths(&g, s, t), 2);
+    }
+
+    #[test]
+    fn chain_has_one() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        assert_eq!(max_disjoint_paths(&g, ids[0], ids[3]), 1);
+    }
+
+    #[test]
+    fn shared_middle_node_limits_to_one() {
+        // s - m - t with two parallel edges each side: edge-disjoint 2,
+        // node-disjoint 1.
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let m = g.add_node(1);
+        let t = g.add_node(2);
+        g.add_edge(s, m, ());
+        g.add_edge(s, m, ());
+        g.add_edge(m, t, ());
+        g.add_edge(m, t, ());
+        assert_eq!(max_disjoint_paths(&g, s, t), 1);
+    }
+
+    #[test]
+    fn direct_link_adds_a_route() {
+        let (mut g, [s, _, _, t]) = diamond();
+        g.add_edge(s, t, ());
+        assert_eq!(max_disjoint_paths(&g, s, t), 3);
+    }
+
+    #[test]
+    fn complete_graph_menger() {
+        // K_n: n-1 internally disjoint routes between any pair (the direct
+        // edge + n-2 two-hop routes).
+        for n in 3..=6 {
+            let mut g: Graph<usize, ()> = Graph::new_undirected();
+            let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    g.add_edge(ids[i], ids[j], ());
+                }
+            }
+            assert_eq!(max_disjoint_paths(&g, ids[0], ids[1]), n - 1, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn unreachable_and_degenerate() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        assert_eq!(max_disjoint_paths(&g, s, t), 0);
+        assert_eq!(max_disjoint_paths(&g, s, s), usize::MAX);
+    }
+
+    #[test]
+    fn menger_theorem_on_small_graphs() {
+        // disjoint count k ⇒ survives any k-1 internal failures but not
+        // every set of k failures.
+        let (g, [s, _, _, t]) = diamond();
+        let k = max_disjoint_paths(&g, s, t);
+        assert!(survives_any_failures(&g, s, t, k - 1));
+        assert!(!survives_any_failures(&g, s, t, k));
+    }
+
+    #[test]
+    fn directed_graphs_respect_orientation() {
+        let mut g: Graph<u32, ()> = Graph::new_directed();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let t = g.add_node(2);
+        g.add_edge(s, a, ());
+        g.add_edge(a, t, ());
+        g.add_edge(t, s, ()); // wrong direction, no extra route
+        assert_eq!(max_disjoint_paths(&g, s, t), 1);
+    }
+}

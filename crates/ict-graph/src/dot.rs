@@ -1,0 +1,86 @@
+//! Graphviz DOT export — the UPSIM visualization side goal of the paper
+//! ("a practical way to automatically identify and visualize
+//! dependability-relevant ICT components", Sec. VIII).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Renders the graph in DOT format.
+///
+/// `node_label` and `edge_label` produce the display labels; empty edge
+/// labels are omitted.
+pub fn to_dot<N, E>(
+    graph: &Graph<N, E>,
+    name: &str,
+    node_label: impl Fn(NodeId, &N) -> String,
+    edge_label: impl Fn(EdgeId, &E) -> String,
+) -> String {
+    let (keyword, arrow) = if graph.is_directed() { ("digraph", "->") } else { ("graph", "--") };
+    let mut out = String::new();
+    out.push_str(&format!("{keyword} \"{}\" {{\n", sanitize(name)));
+    out.push_str("  node [shape=box, fontsize=10];\n");
+    for (id, w) in graph.nodes() {
+        out.push_str(&format!(
+            "  n{} [label=\"{}\"];\n",
+            id.index(),
+            sanitize(&node_label(id, w))
+        ));
+    }
+    for (id, s, t, w) in graph.edges() {
+        let label = edge_label(id, w);
+        if label.is_empty() {
+            out.push_str(&format!("  n{} {arrow} n{};\n", s.index(), t.index()));
+        } else {
+            out.push_str(&format!(
+                "  n{} {arrow} n{} [label=\"{}\"];\n",
+                s.index(),
+                t.index(),
+                sanitize(&label)
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn undirected_dot_shape() {
+        let mut g: Graph<&str, f64> = Graph::new_undirected();
+        let a = g.add_node("t1:Comp");
+        let b = g.add_node("e1:HP2650");
+        g.add_edge(a, b, 1000.0);
+        let dot = to_dot(&g, "usi", |_, w| w.to_string(), |_, w| format!("{w}"));
+        assert!(dot.starts_with("graph \"usi\""));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("t1:Comp"));
+        assert!(dot.contains("label=\"1000\""));
+    }
+
+    #[test]
+    fn directed_dot_uses_arrows() {
+        let mut g: Graph<&str, ()> = Graph::new_directed();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, ());
+        let dot = to_dot(&g, "flow", |_, w| w.to_string(), |_, _| String::new());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: Graph<&str, ()> = Graph::new_undirected();
+        g.add_node("say \"hi\"\nthere");
+        let dot = to_dot(&g, "q\"x", |_, w| w.to_string(), |_, _| String::new());
+        assert!(dot.contains("say \\\"hi\\\"\\nthere"));
+        assert!(dot.contains("q\\\"x"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Parallel all-simple-paths enumeration.
+//!
+//! The venue of the paper (IPPS) is a parallel-processing symposium and the
+//! path discovery is the only super-polynomial step of the methodology
+//! (Sec. V-D: `O(n!)` on complete graphs). This module parallelizes it with
+//! a two-phase scheme:
+//!
+//! 1. **Prefix expansion** (sequential): a bounded BFS expands partial paths
+//!    from the source until at least `tasks_per_thread × threads` open
+//!    prefixes exist (completed paths encountered on the way are collected
+//!    directly).
+//! 2. **Fan-out** (parallel): the open prefixes are distributed over a
+//!    crossbeam scope; every worker finishes its prefixes with the same
+//!    sequential DFS used by [`crate::paths::simple_paths`].
+//!
+//! The result is the *same multiset of paths* as the sequential enumeration
+//! (ordering differs; both sides sort in the equivalence tests).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::paths::{Path, PathLimits};
+use std::collections::VecDeque;
+
+/// Tuning options for [`parallel_simple_paths`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Number of worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Desired open prefixes per worker before fanning out.
+    pub tasks_per_thread: usize,
+    /// Per-path limits (`max_paths` is applied globally *after* the merge,
+    /// so results are a prefix of the sorted enumeration).
+    pub limits: PathLimits,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions { threads: 0, tasks_per_thread: 16, limits: PathLimits::unlimited() }
+    }
+}
+
+fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// A partial path under expansion.
+#[derive(Debug, Clone)]
+struct Prefix {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+/// Enumerates all simple paths from `source` to `target` in parallel.
+///
+/// Returns the paths sorted lexicographically (by node sequence, then edge
+/// sequence) so the output is deterministic regardless of scheduling.
+pub fn parallel_simple_paths<N: Sync, E: Sync>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    options: ParallelOptions,
+) -> Vec<Path> {
+    if !graph.contains_node(source) || !graph.contains_node(target) {
+        return Vec::new();
+    }
+    if source == target {
+        return vec![Path { nodes: vec![source], edges: vec![] }];
+    }
+    let threads = effective_threads(options.threads);
+    let want_tasks = threads.saturating_mul(options.tasks_per_thread).max(1);
+
+    // Phase 1: BFS prefix expansion.
+    let mut complete: Vec<Path> = Vec::new();
+    let mut open: VecDeque<Prefix> = VecDeque::new();
+    open.push_back(Prefix { nodes: vec![source], edges: vec![] });
+    while open.len() < want_tasks {
+        let Some(prefix) = open.pop_front() else { break };
+        let head = *prefix.nodes.last().expect("non-empty prefix");
+        let mut extended = false;
+        for adj in graph.neighbors(head) {
+            if adj.node == target {
+                if options.limits.max_nodes.is_none_or(|cap| prefix.nodes.len() + 1 <= cap) {
+                    let mut nodes = prefix.nodes.clone();
+                    nodes.push(target);
+                    let mut edges = prefix.edges.clone();
+                    edges.push(adj.edge);
+                    complete.push(Path { nodes, edges });
+                }
+                continue;
+            }
+            if prefix.nodes.contains(&adj.node) {
+                continue;
+            }
+            if options.limits.max_nodes.is_some_and(|cap| prefix.nodes.len() + 2 > cap) {
+                continue;
+            }
+            let mut nodes = prefix.nodes.clone();
+            nodes.push(adj.node);
+            let mut edges = prefix.edges.clone();
+            edges.push(adj.edge);
+            open.push_back(Prefix { nodes, edges });
+            extended = true;
+        }
+        let _ = extended;
+        if open.is_empty() {
+            break;
+        }
+    }
+
+    // Phase 2: parallel completion of the open prefixes. Each worker sorts
+    // its own output so the (serial) final step is only a k-way merge —
+    // a global sort would otherwise dominate and erase the speedup.
+    complete.sort();
+    let prefixes: Vec<Prefix> = open.into();
+    let mut sorted_chunks: Vec<Vec<Path>> = vec![complete];
+    if !prefixes.is_empty() {
+        let chunk = prefixes.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for batch in prefixes.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for p in batch {
+                        complete_prefix(graph, p, target, options.limits, &mut local);
+                    }
+                    local.sort();
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<Vec<Path>>>()
+        })
+        .expect("crossbeam scope");
+        sorted_chunks.extend(results);
+    }
+
+    let mut merged = merge_sorted(sorted_chunks);
+    // Prefixes are pairwise distinct, so paths from different chunks can
+    // never coincide — no dedup needed.
+    if let Some(cap) = options.limits.max_paths {
+        merged.truncate(cap);
+    }
+    merged
+}
+
+/// K-way merge of individually sorted path lists.
+fn merge_sorted(mut chunks: Vec<Vec<Path>>) -> Vec<Path> {
+    chunks.retain(|c| !c.is_empty());
+    match chunks.len() {
+        0 => return Vec::new(),
+        1 => return chunks.pop().expect("len checked"),
+        _ => {}
+    }
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Cursor per chunk; a linear scan over ≤ threads+1 heads is cheaper
+    // than a heap for realistic worker counts. Paths are *moved* out of
+    // their chunks (taking a drained path is O(1) via the cursor), never
+    // cloned — cloning 10⁵ paths would serialize the run again.
+    let mut cursors = vec![0usize; chunks.len()];
+    for _ in 0..total {
+        let mut best = usize::MAX;
+        for (i, chunk) in chunks.iter().enumerate() {
+            if cursors[i] < chunk.len()
+                && (best == usize::MAX || chunk[cursors[i]] < chunks[best][cursors[best]])
+            {
+                best = i;
+            }
+        }
+        let taken = std::mem::replace(
+            &mut chunks[best][cursors[best]],
+            Path { nodes: Vec::new(), edges: Vec::new() },
+        );
+        out.push(taken);
+        cursors[best] += 1;
+    }
+    out
+}
+
+/// Sequential DFS completing a single prefix (the paper's algorithm with the
+/// path-tracking set seeded from the prefix).
+fn complete_prefix<N, E>(
+    graph: &Graph<N, E>,
+    prefix: &Prefix,
+    target: NodeId,
+    limits: PathLimits,
+    out: &mut Vec<Path>,
+) {
+    struct Frame {
+        neighbors: Vec<crate::graph::Adjacency>,
+        cursor: usize,
+    }
+    let mut on_path = vec![false; graph.node_capacity()];
+    for &n in &prefix.nodes {
+        on_path[n.index()] = true;
+    }
+    let mut nodes = prefix.nodes.clone();
+    let mut edges = prefix.edges.clone();
+    let head = *nodes.last().expect("non-empty prefix");
+    let mut stack = vec![Frame { neighbors: graph.neighbors(head).collect(), cursor: 0 }];
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.cursor >= frame.neighbors.len() {
+            stack.pop();
+            if !stack.is_empty() {
+                let n = nodes.pop().expect("aligned");
+                on_path[n.index()] = false;
+                edges.pop();
+            }
+            continue;
+        }
+        let adj = frame.neighbors[frame.cursor];
+        frame.cursor += 1;
+        if adj.node == target {
+            if limits.max_nodes.is_none_or(|cap| nodes.len() + 1 <= cap) {
+                let mut pn = nodes.clone();
+                pn.push(target);
+                let mut pe = edges.clone();
+                pe.push(adj.edge);
+                out.push(Path { nodes: pn, edges: pe });
+            }
+            continue;
+        }
+        if on_path[adj.node.index()] {
+            continue;
+        }
+        if limits.max_nodes.is_some_and(|cap| nodes.len() + 2 > cap) {
+            continue;
+        }
+        on_path[adj.node.index()] = true;
+        nodes.push(adj.node);
+        edges.push(adj.edge);
+        stack.push(Frame { neighbors: graph.neighbors(adj.node).collect(), cursor: 0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::all_simple_paths;
+
+    fn complete_graph(n: usize) -> (Graph<usize, ()>, Vec<NodeId>) {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(ids[i], ids[j], ());
+            }
+        }
+        (g, ids)
+    }
+
+    fn assert_matches_sequential(g: &Graph<usize, ()>, s: NodeId, t: NodeId) {
+        let mut seq = all_simple_paths(g, s, t);
+        seq.sort();
+        for threads in [1, 2, 4] {
+            let par = parallel_simple_paths(
+                g,
+                s,
+                t,
+                ParallelOptions { threads, ..Default::default() },
+            );
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_complete_graphs() {
+        for n in 2..=7 {
+            let (g, ids) = complete_graph(n);
+            assert_matches_sequential(&g, ids[0], ids[n - 1]);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_ring() {
+        let mut g: Graph<usize, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..8).map(|i| g.add_node(i)).collect();
+        for i in 0..8 {
+            g.add_edge(ids[i], ids[(i + 1) % 8], ());
+        }
+        assert_matches_sequential(&g, ids[0], ids[4]);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_cases() {
+        let (g, ids) = complete_graph(3);
+        let same = parallel_simple_paths(&g, ids[0], ids[0], ParallelOptions::default());
+        assert_eq!(same.len(), 1);
+        assert!(same[0].is_empty());
+
+        let mut g2: Graph<usize, ()> = Graph::new_undirected();
+        let a = g2.add_node(0);
+        let b = g2.add_node(1);
+        assert!(parallel_simple_paths(&g2, a, b, ParallelOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn max_paths_truncates_sorted_output() {
+        let (g, ids) = complete_graph(6);
+        let limits = PathLimits::unlimited().with_max_paths(5);
+        let par = parallel_simple_paths(
+            &g,
+            ids[0],
+            ids[5],
+            ParallelOptions { limits, ..Default::default() },
+        );
+        assert_eq!(par.len(), 5);
+        let mut seq = all_simple_paths(&g, ids[0], ids[5]);
+        seq.sort();
+        assert_eq!(par[..], seq[..5]);
+    }
+
+    #[test]
+    fn max_nodes_respected() {
+        let (g, ids) = complete_graph(5);
+        let limits = PathLimits::unlimited().with_max_nodes(3);
+        let par = parallel_simple_paths(
+            &g,
+            ids[0],
+            ids[4],
+            ParallelOptions { limits, ..Default::default() },
+        );
+        assert!(par.iter().all(|p| p.nodes.len() <= 3));
+        assert_eq!(par.len(), 4); // direct + 3 one-intermediate
+    }
+}

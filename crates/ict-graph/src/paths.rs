@@ -1,0 +1,460 @@
+//! All-simple-paths discovery — the paper's path discovery algorithm.
+//!
+//! Paper Sec. V-D: *"We chose to implement a depth-first search (DFS)
+//! algorithm with a path tracking mechanism to avoid live-locks within
+//! cycles."* This module implements exactly that as a lazy iterator: the
+//! current path is tracked in an on-path bitset, so cycles are never
+//! re-entered, and every maximal extension reaching the target is emitted.
+//!
+//! The enumeration is **edge-distinct**: two parallel edges between the same
+//! device pair yield two distinct paths (they are distinct physical routes
+//! with independent failure behaviour, which matters for the downstream
+//! reliability analysis).
+
+use crate::graph::{Adjacency, EdgeId, Graph, NodeId};
+
+/// A simple path: `nodes.len() == edges.len() + 1`, no repeated nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    /// Visited nodes from source to target, inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges, `edges[i]` connecting `nodes[i]` and `nodes[i+1]`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Number of edges (hops).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` for the trivial single-node path (source == target).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("path has at least one node")
+    }
+
+    /// The target node.
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+
+    /// Checks the structural invariants against a graph: endpoints match,
+    /// every edge connects consecutive nodes, no node repeats.
+    pub fn validate<N, E>(&self, graph: &Graph<N, E>) -> bool {
+        if self.nodes.is_empty() || self.nodes.len() != self.edges.len() + 1 {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !self.nodes.iter().all(|n| seen.insert(*n)) {
+            return false;
+        }
+        self.edges.iter().enumerate().all(|(i, &e)| {
+            graph
+                .endpoints(e)
+                .is_some_and(|(s, t)| {
+                    (s == self.nodes[i] && t == self.nodes[i + 1])
+                        || (!graph.is_directed() && t == self.nodes[i] && s == self.nodes[i + 1])
+                })
+        })
+    }
+}
+
+/// Caps on the enumeration, to keep worst-case `O(n!)` searches bounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathLimits {
+    /// Maximum number of nodes per emitted path (`None` = unlimited).
+    pub max_nodes: Option<usize>,
+    /// Maximum number of paths to emit (`None` = unlimited).
+    pub max_paths: Option<usize>,
+}
+
+impl PathLimits {
+    /// No limits — the paper's semantics ("all redundant paths included").
+    pub fn unlimited() -> Self {
+        PathLimits::default()
+    }
+
+    /// Caps the number of nodes per path.
+    pub fn with_max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Caps the number of emitted paths.
+    pub fn with_max_paths(mut self, n: usize) -> Self {
+        self.max_paths = Some(n);
+        self
+    }
+}
+
+struct Frame {
+    neighbors: Vec<Adjacency>,
+    cursor: usize,
+}
+
+/// Lazy iterator over all simple paths from `source` to `target`.
+pub struct SimplePaths<'g, N, E> {
+    graph: &'g Graph<N, E>,
+    target: NodeId,
+    limits: PathLimits,
+    stack: Vec<Frame>,
+    on_path: Vec<bool>,
+    path_nodes: Vec<NodeId>,
+    path_edges: Vec<EdgeId>,
+    emitted: usize,
+    trivial_pending: bool,
+    done: bool,
+}
+
+/// Enumerates all simple paths from `source` to `target`.
+///
+/// If `source == target` the single trivial path `[source]` is emitted
+/// (a requester co-located with its provider uses no network components
+/// beyond itself).
+pub fn simple_paths<'g, N, E>(
+    graph: &'g Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    limits: PathLimits,
+) -> SimplePaths<'g, N, E> {
+    let mut on_path = vec![false; graph.node_capacity()];
+    let trivial = source == target && graph.contains_node(source);
+    let mut stack = Vec::new();
+    let mut path_nodes = Vec::new();
+    if graph.contains_node(source) && graph.contains_node(target) && !trivial {
+        on_path[source.index()] = true;
+        path_nodes.push(source);
+        stack.push(Frame { neighbors: graph.neighbors(source).collect(), cursor: 0 });
+    }
+    SimplePaths {
+        graph,
+        target,
+        limits,
+        stack,
+        on_path,
+        path_nodes,
+        path_edges: Vec::new(),
+        emitted: 0,
+        trivial_pending: trivial,
+        done: false,
+    }
+}
+
+impl<N, E> Iterator for SimplePaths<'_, N, E> {
+    type Item = Path;
+
+    fn next(&mut self) -> Option<Path> {
+        if self.done {
+            return None;
+        }
+        if let Some(cap) = self.limits.max_paths {
+            if self.emitted >= cap {
+                self.done = true;
+                return None;
+            }
+        }
+        if self.trivial_pending {
+            self.trivial_pending = false;
+            self.done = true;
+            self.emitted += 1;
+            let source = self.target;
+            return Some(Path { nodes: vec![source], edges: vec![] });
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.done = true;
+                return None;
+            };
+            if frame.cursor >= frame.neighbors.len() {
+                // Exhausted: backtrack.
+                self.stack.pop();
+                if let Some(n) = self.path_nodes.pop() {
+                    self.on_path[n.index()] = false;
+                }
+                self.path_edges.pop();
+                continue;
+            }
+            let adj = frame.neighbors[frame.cursor];
+            frame.cursor += 1;
+
+            if adj.node == self.target {
+                let within = self
+                    .limits
+                    .max_nodes
+                    .is_none_or(|cap| self.path_nodes.len() + 1 <= cap);
+                if within {
+                    let mut nodes = self.path_nodes.clone();
+                    nodes.push(self.target);
+                    let mut edges = self.path_edges.clone();
+                    edges.push(adj.edge);
+                    self.emitted += 1;
+                    return Some(Path { nodes, edges });
+                }
+                continue;
+            }
+            if self.on_path[adj.node.index()] {
+                continue; // path tracking: never re-enter the current path
+            }
+            // Only descend if a target hop could still fit under the cap.
+            let room = self
+                .limits
+                .max_nodes
+                .is_none_or(|cap| self.path_nodes.len() + 2 <= cap);
+            if !room {
+                continue;
+            }
+            self.on_path[adj.node.index()] = true;
+            self.path_nodes.push(adj.node);
+            self.path_edges.push(adj.edge);
+            self.stack.push(Frame {
+                neighbors: self.graph.neighbors(adj.node).collect(),
+                cursor: 0,
+            });
+        }
+    }
+}
+
+/// Collects all simple paths into a vector (convenience wrapper).
+pub fn all_simple_paths<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+) -> Vec<Path> {
+    simple_paths(graph, source, target, PathLimits::unlimited()).collect()
+}
+
+/// Counts simple paths without materializing them.
+pub fn count_simple_paths<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> usize {
+    simple_paths(graph, source, target, PathLimits::unlimited()).count()
+}
+
+/// Computes the **minimal path sets** over nodes: the node sets of all
+/// simple paths, with non-minimal sets (strict supersets of another path's
+/// set) removed. This is the input to the sum-of-disjoint-products and
+/// cut-set analyses in the `dependability` crate.
+pub fn minimal_path_sets<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+) -> Vec<Vec<NodeId>> {
+    let mut sets: Vec<Vec<NodeId>> = all_simple_paths(graph, source, target)
+        .into_iter()
+        .map(|p| {
+            let mut nodes = p.nodes;
+            nodes.sort_unstable();
+            nodes
+        })
+        .collect();
+    sets.sort();
+    sets.dedup();
+    // Subset minimization: keep a set only if no *other* kept set is a
+    // strict subset. Sorting by length lets us only test shorter sets.
+    sets.sort_by_key(Vec::len);
+    let mut minimal: Vec<Vec<NodeId>> = Vec::new();
+    'outer: for candidate in sets {
+        for kept in &minimal {
+            if is_subset(kept, &candidate) {
+                continue 'outer;
+            }
+        }
+        minimal.push(candidate);
+    }
+    minimal
+}
+
+/// `true` if sorted slice `a` ⊆ sorted slice `b`.
+fn is_subset(a: &[NodeId], b: &[NodeId]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn complete(n: usize) -> (Graph<usize, ()>, Vec<NodeId>) {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(ids[i], ids[j], ());
+            }
+        }
+        (g, ids)
+    }
+
+    /// Expected #simple paths between two distinct vertices of `K_n`:
+    /// sum over k intermediates of (n-2)!/(n-2-k)!.
+    fn expected_kn_paths(n: usize) -> usize {
+        let m = n - 2;
+        (0..=m)
+            .map(|k| ((m - k + 1)..=m).product::<usize>())
+            .sum()
+    }
+
+    #[test]
+    fn triangle_has_two_paths() {
+        let (g, ids) = complete(3);
+        let paths = all_simple_paths(&g, ids[0], ids[2]);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.validate(&g));
+            assert_eq!(p.source(), ids[0]);
+            assert_eq!(p.target(), ids[2]);
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts_match_formula() {
+        for n in 2..=6 {
+            let (g, ids) = complete(n);
+            assert_eq!(
+                count_simple_paths(&g, ids[0], ids[1]),
+                expected_kn_paths(n),
+                "K_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_paths() {
+        let mut g: Graph<&str, u8> = Graph::new_undirected();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        let paths = all_simple_paths(&g, a, b);
+        assert_eq!(paths.len(), 2);
+        assert_ne!(paths[0].edges, paths[1].edges);
+        assert_eq!(paths[0].nodes, paths[1].nodes);
+    }
+
+    #[test]
+    fn directed_graph_respects_orientation() {
+        let mut g: Graph<(), ()> = Graph::new_directed();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ()); // back edge must not create an a->c shortcut
+        assert_eq!(count_simple_paths(&g, a, c), 1);
+        assert_eq!(count_simple_paths(&g, c, b), 1); // c->a->b
+    }
+
+    #[test]
+    fn trivial_path_when_source_equals_target() {
+        let (g, ids) = complete(3);
+        let paths = all_simple_paths(&g, ids[0], ids[0]);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_empty());
+        assert_eq!(paths[0].nodes, vec![ids[0]]);
+    }
+
+    #[test]
+    fn unreachable_target_yields_no_paths() {
+        let mut g: Graph<(), ()> = Graph::new_undirected();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        assert_eq!(count_simple_paths(&g, a, c), 0);
+    }
+
+    #[test]
+    fn max_paths_limit_respected() {
+        let (g, ids) = complete(6);
+        let limited: Vec<_> =
+            simple_paths(&g, ids[0], ids[1], PathLimits::default().with_max_paths(7)).collect();
+        assert_eq!(limited.len(), 7);
+    }
+
+    #[test]
+    fn max_nodes_limit_respected() {
+        let (g, ids) = complete(5);
+        let limited: Vec<_> =
+            simple_paths(&g, ids[0], ids[1], PathLimits::default().with_max_nodes(3)).collect();
+        // direct (2 nodes) + one-intermediate paths (3 nodes): 1 + 3 = 4
+        assert_eq!(limited.len(), 4);
+        assert!(limited.iter().all(|p| p.nodes.len() <= 3));
+    }
+
+    #[test]
+    fn cycles_do_not_livelock() {
+        // Ring of 6: exactly 2 simple paths between opposite nodes.
+        let mut g: Graph<usize, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..6).map(|i| g.add_node(i)).collect();
+        for i in 0..6 {
+            g.add_edge(ids[i], ids[(i + 1) % 6], ());
+        }
+        assert_eq!(count_simple_paths(&g, ids[0], ids[3]), 2);
+    }
+
+    #[test]
+    fn all_emitted_paths_are_valid_and_unique() {
+        let (g, ids) = complete(5);
+        let paths = all_simple_paths(&g, ids[0], ids[4]);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(p.validate(&g));
+            assert!(seen.insert(p.clone()), "duplicate path {p:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_path_sets_drop_supersets() {
+        // a - b - t  plus direct a - t: the 2-node set {a,t} makes the
+        // 3-node set {a,b,t} non-minimal.
+        let mut g: Graph<&str, ()> = Graph::new_undirected();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_edge(a, b, ());
+        g.add_edge(b, t, ());
+        g.add_edge(a, t, ());
+        let sets = minimal_path_sets(&g, a, t);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 2);
+    }
+
+    #[test]
+    fn minimal_path_sets_keep_disjoint_routes() {
+        // Two disjoint 3-hop routes: both minimal.
+        let mut g: Graph<&str, ()> = Graph::new_undirected();
+        let s = g.add_node("s");
+        let x = g.add_node("x");
+        let y = g.add_node("y");
+        let t = g.add_node("t");
+        g.add_edge(s, x, ());
+        g.add_edge(x, t, ());
+        g.add_edge(s, y, ());
+        g.add_edge(y, t, ());
+        assert_eq!(minimal_path_sets(&g, s, t).len(), 2);
+    }
+
+    #[test]
+    fn is_subset_logic() {
+        let a = [NodeId::from_index(1), NodeId::from_index(3)];
+        let b = [NodeId::from_index(1), NodeId::from_index(2), NodeId::from_index(3)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+    }
+}

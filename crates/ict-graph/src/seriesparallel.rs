@@ -1,0 +1,330 @@
+//! Two-terminal series-parallel recognition and reduction.
+//!
+//! The companion transformation of the paper ([20], "Model-driven evaluation
+//! of user-perceived service availability") turns a UPSIM into a reliability
+//! block diagram. A two-terminal graph maps to a *pure* RBD exactly when it
+//! is series-parallel reducible; this module performs the reduction and
+//! returns the block structure as an [`SpTree`]. Non-SP graphs (e.g. the
+//! bridge formed by the redundant USI core) are detected so callers can fall
+//! back to exact BDD / sum-of-disjoint-products analysis.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A series-parallel decomposition over original edge ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpTree {
+    /// A single original edge.
+    Edge(EdgeId),
+    /// Components in series (all must work).
+    Series(Vec<SpTree>),
+    /// Components in parallel (at least one must work).
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// Number of original edges referenced by this tree.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            SpTree::Edge(_) => 1,
+            SpTree::Series(ts) | SpTree::Parallel(ts) => ts.iter().map(SpTree::edge_count).sum(),
+        }
+    }
+
+    /// All original edges referenced by this tree.
+    pub fn edges(&self) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        self.collect_edges(&mut out);
+        out
+    }
+
+    fn collect_edges(&self, out: &mut Vec<EdgeId>) {
+        match self {
+            SpTree::Edge(e) => out.push(*e),
+            SpTree::Series(ts) | SpTree::Parallel(ts) => {
+                ts.iter().for_each(|t| t.collect_edges(out))
+            }
+        }
+    }
+
+    /// Flattens nested `Series(Series(..))` / `Parallel(Parallel(..))`.
+    pub fn normalized(self) -> SpTree {
+        match self {
+            SpTree::Edge(e) => SpTree::Edge(e),
+            SpTree::Series(ts) => {
+                let mut flat = Vec::new();
+                for t in ts {
+                    match t.normalized() {
+                        SpTree::Series(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    SpTree::Series(flat)
+                }
+            }
+            SpTree::Parallel(ts) => {
+                let mut flat = Vec::new();
+                for t in ts {
+                    match t.normalized() {
+                        SpTree::Parallel(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    SpTree::Parallel(flat)
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of [`reduce`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpReduction {
+    /// The graph reduced to a single block between the terminals.
+    SeriesParallel(SpTree),
+    /// The graph is not two-terminal series-parallel (e.g. contains a
+    /// bridge/Wheatstone structure); `remaining_nodes` is the size of the
+    /// irreducible kernel, useful for diagnostics.
+    Irreducible {
+        /// Node count of the irreducible kernel.
+        remaining_nodes: usize,
+        /// Edge count of the irreducible kernel.
+        remaining_edges: usize,
+    },
+    /// The terminals are not connected at all.
+    Disconnected,
+}
+
+/// Attempts the series-parallel reduction of the subgraph between
+/// `source` and `target`.
+///
+/// Reduction rules, applied to fixpoint on a scratch copy:
+/// 1. **Prune**: drop non-terminal nodes of degree ≤ 1 (dead ends carry no
+///    traffic between the terminals),
+/// 2. **Parallel**: merge multi-edges between the same node pair,
+/// 3. **Series**: splice out non-terminal degree-2 nodes.
+///
+/// Note the *node* itself disappears in a series splice; callers that model
+/// node failures (as the dependability crate does) must expand nodes into
+/// edges beforehand — see `dependability::transform`.
+pub fn reduce<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> SpReduction {
+    // Scratch multigraph carrying SpTrees on edges.
+    let mut work: Graph<NodeId, SpTree> = Graph::new_undirected();
+    let mut map = vec![None; graph.node_capacity()];
+    for n in graph.node_ids() {
+        map[n.index()] = Some(work.add_node(n));
+    }
+    let get = |map: &Vec<Option<NodeId>>, n: NodeId| map[n.index()].expect("mapped");
+    for (e, s, t, _) in graph.edges() {
+        if s == t {
+            continue; // self loops are irrelevant for two-terminal analysis
+        }
+        work.add_edge(get(&map, s), get(&map, t), SpTree::Edge(e));
+    }
+    let s = get(&map, source);
+    let t = get(&map, target);
+    if s == t {
+        return SpReduction::Disconnected; // degenerate; callers special-case
+    }
+
+    loop {
+        let mut changed = false;
+
+        // 1. prune dead ends
+        let dead: Vec<NodeId> = work
+            .node_ids()
+            .filter(|&n| n != s && n != t && work.degree(n) <= 1)
+            .collect();
+        for n in dead {
+            work.remove_node(n);
+            changed = true;
+        }
+
+        // 2. parallel merge: find a pair with >= 2 edges
+        let mut parallel_pair: Option<(NodeId, NodeId)> = None;
+        'scan: for n in work.node_ids() {
+            let mut seen: Vec<NodeId> = Vec::new();
+            for adj in work.neighbors(n) {
+                if seen.contains(&adj.node) {
+                    parallel_pair = Some((n, adj.node));
+                    break 'scan;
+                }
+                seen.push(adj.node);
+            }
+        }
+        if let Some((a, b)) = parallel_pair {
+            let edge_ids = work.edges_between(a, b);
+            let mut branches = Vec::new();
+            for e in edge_ids {
+                branches.push(work.remove_edge(e).expect("live edge"));
+            }
+            work.add_edge(a, b, SpTree::Parallel(branches).normalized());
+            changed = true;
+        }
+
+        // 3. series splice: a non-terminal degree-2 node with two distinct
+        //    incident edges
+        let splice = work.node_ids().find(|&n| n != s && n != t && work.degree(n) == 2);
+        if let Some(n) = splice {
+            let adjs: Vec<_> = work.neighbors(n).collect();
+            debug_assert_eq!(adjs.len(), 2);
+            let (a1, a2) = (adjs[0], adjs[1]);
+            let t1 = work.remove_edge(a1.edge).expect("live edge");
+            let t2 = work.remove_edge(a2.edge).expect("live edge");
+            work.remove_node(n);
+            work.add_edge(a1.node, a2.node, SpTree::Series(vec![t1, t2]).normalized());
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let nodes = work.node_count();
+    let edges = work.edge_count();
+    if edges == 0 {
+        return SpReduction::Disconnected;
+    }
+    if nodes == 2 && edges == 1 {
+        let e = work.edge_ids().next().expect("one edge");
+        let (a, b) = work.endpoints(e).expect("live");
+        if (a == s && b == t) || (a == t && b == s) {
+            return SpReduction::SeriesParallel(work.edge(e).expect("live").clone());
+        }
+    }
+    if !crate::traversal::is_reachable(&work, s, t) {
+        return SpReduction::Disconnected;
+    }
+    SpReduction::Irreducible { remaining_nodes: nodes, remaining_edges: edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn chain_reduces_to_series() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        let mut es = Vec::new();
+        for w in ids.windows(2) {
+            es.push(g.add_edge(w[0], w[1], ()));
+        }
+        match reduce(&g, ids[0], ids[3]) {
+            SpReduction::SeriesParallel(tree) => {
+                assert_eq!(tree.edge_count(), 3);
+                let mut edges = tree.edges();
+                edges.sort_unstable();
+                assert_eq!(edges, es);
+                assert!(matches!(tree, SpTree::Series(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_edges_reduce_to_parallel() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        g.add_edge(s, t, ());
+        g.add_edge(s, t, ());
+        match reduce(&g, s, t) {
+            SpReduction::SeriesParallel(SpTree::Parallel(branches)) => {
+                assert_eq!(branches.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_reduces_to_parallel_of_series() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let t = g.add_node(3);
+        g.add_edge(s, a, ());
+        g.add_edge(a, t, ());
+        g.add_edge(s, b, ());
+        g.add_edge(b, t, ());
+        match reduce(&g, s, t) {
+            SpReduction::SeriesParallel(SpTree::Parallel(branches)) => {
+                assert_eq!(branches.len(), 2);
+                assert!(branches.iter().all(|b| matches!(b, SpTree::Series(inner) if inner.len() == 2)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wheatstone_bridge_is_irreducible() {
+        // s-a, s-b, a-b (the bridge), a-t, b-t
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let t = g.add_node(3);
+        g.add_edge(s, a, ());
+        g.add_edge(s, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(a, t, ());
+        g.add_edge(b, t, ());
+        assert!(matches!(reduce(&g, s, t), SpReduction::Irreducible { .. }));
+    }
+
+    #[test]
+    fn dead_ends_are_pruned() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        let stub = g.add_node(2);
+        g.add_edge(s, t, ());
+        g.add_edge(s, stub, ());
+        match reduce(&g, s, t) {
+            SpReduction::SeriesParallel(tree) => assert_eq!(tree.edge_count(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_terminals_detected() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        let u = g.add_node(2);
+        g.add_edge(t, u, ());
+        assert_eq!(reduce(&g, s, t), SpReduction::Disconnected);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g: Graph<u32, ()> = Graph::new_undirected();
+        let s = g.add_node(0);
+        let t = g.add_node(1);
+        g.add_edge(s, s, ());
+        g.add_edge(s, t, ());
+        assert!(matches!(reduce(&g, s, t), SpReduction::SeriesParallel(SpTree::Edge(_))));
+    }
+
+    #[test]
+    fn normalization_flattens_nesting() {
+        let e = |i| SpTree::Edge(EdgeId::from_index(i));
+        let nested = SpTree::Series(vec![
+            SpTree::Series(vec![e(0), e(1)]),
+            e(2),
+            SpTree::Series(vec![e(3)]),
+        ]);
+        match nested.normalized() {
+            SpTree::Series(flat) => assert_eq!(flat.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Shortest paths: unweighted BFS, Dijkstra, and Yen's k-shortest.
+//!
+//! The paper's methodology enumerates *all* simple paths; operators of very
+//! large infrastructures often want the k most plausible routes instead.
+//! Yen's algorithm provides that as a bounded alternative and is used in the
+//! scaling experiments (E9) as the "practical" comparison point.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::paths::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Shortest path by hop count (BFS). Returns `None` if unreachable.
+pub fn bfs_shortest_path<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+) -> Option<Path> {
+    dijkstra_filtered(graph, source, target, |_| 1.0, |_| true, |_| true).map(|(p, _)| p)
+}
+
+/// Dijkstra shortest path under a non-negative edge cost function.
+pub fn dijkstra<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    cost: impl Fn(EdgeId) -> f64,
+) -> Option<(Path, f64)> {
+    dijkstra_filtered(graph, source, target, cost, |_| true, |_| true)
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties broken on node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra with node and edge admission filters (the machinery Yen needs).
+pub fn dijkstra_filtered<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    cost: impl Fn(EdgeId) -> f64,
+    node_ok: impl Fn(NodeId) -> bool,
+    edge_ok: impl Fn(EdgeId) -> bool,
+) -> Option<(Path, f64)> {
+    if !graph.contains_node(source) || !graph.contains_node(target) {
+        return None;
+    }
+    if !node_ok(source) || !node_ok(target) {
+        return None;
+    }
+    let cap = graph.node_capacity();
+    let mut dist = vec![f64::INFINITY; cap];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; cap];
+    let mut settled = vec![false; cap];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapItem { cost: 0.0, node: source });
+
+    while let Some(HeapItem { cost: d, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        if node == target {
+            break;
+        }
+        for adj in graph.neighbors(node) {
+            if !edge_ok(adj.edge) || !node_ok(adj.node) || settled[adj.node.index()] {
+                continue;
+            }
+            let c = cost(adj.edge);
+            debug_assert!(c >= 0.0, "Dijkstra requires non-negative costs");
+            let nd = d + c;
+            if nd < dist[adj.node.index()] {
+                dist[adj.node.index()] = nd;
+                prev[adj.node.index()] = Some((node, adj.edge));
+                heap.push(HeapItem { cost: nd, node: adj.node });
+            }
+        }
+    }
+
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (p, e) = prev[cur.index()].expect("predecessor chain is complete");
+        nodes.push(p);
+        edges.push(e);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some((Path { nodes, edges }, dist[target.index()]))
+}
+
+/// Yen's algorithm: the `k` shortest loopless paths by total cost.
+///
+/// Returns at most `k` paths, sorted by ascending cost; fewer when the graph
+/// does not contain `k` simple paths.
+pub fn yen_k_shortest<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    cost: impl Fn(EdgeId) -> f64 + Copy,
+) -> Vec<(Path, f64)> {
+    let mut result: Vec<(Path, f64)> = Vec::new();
+    let Some(first) = dijkstra(graph, source, target, cost) else {
+        return result;
+    };
+    result.push(first);
+    // Candidate set; kept sorted on extraction.
+    let mut candidates: Vec<(Path, f64)> = Vec::new();
+
+    while result.len() < k {
+        let (last_path, _) = result.last().expect("at least one accepted path").clone();
+        for i in 0..last_path.nodes.len() - 1 {
+            let spur_node = last_path.nodes[i];
+            let root_nodes = &last_path.nodes[..=i];
+            let root_edges = &last_path.edges[..i];
+            let root_cost: f64 = root_edges.iter().map(|&e| cost(e)).sum();
+
+            // Edges leaving the spur node along any accepted path sharing
+            // this root are banned.
+            let mut banned_edges: Vec<EdgeId> = Vec::new();
+            for (p, _) in result.iter().chain(candidates.iter()) {
+                if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
+                    if let Some(&e) = p.edges.get(i) {
+                        banned_edges.push(e);
+                    }
+                }
+            }
+            // Root nodes (except spur) are banned to keep paths loopless.
+            let banned_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
+
+            let spur = dijkstra_filtered(
+                graph,
+                spur_node,
+                target,
+                cost,
+                |n| !banned_nodes.contains(&n),
+                |e| !banned_edges.contains(&e),
+            );
+            if let Some((spur_path, spur_cost)) = spur {
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur_path.nodes[1..]);
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur_path.edges);
+                let total = Path { nodes, edges };
+                let total_cost = root_cost + spur_cost;
+                if !result.iter().any(|(p, _)| *p == total)
+                    && !candidates.iter().any(|(p, _)| *p == total)
+                {
+                    candidates.push((total, total_cost));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the cheapest candidate (deterministic tie-break on path).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, (pa, ca)), (_, (pb, cb))| {
+                ca.partial_cmp(cb).unwrap_or(Ordering::Equal).then_with(|| pa.cmp(pb))
+            })
+            .map(|(i, _)| i)
+            .expect("candidates non-empty");
+        result.push(candidates.swap_remove(best));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// s -1- a -1- t   and   s -5- t  and  s -1- b -1- a
+    fn weighted() -> (Graph<&'static str, f64>, [NodeId; 4]) {
+        let mut g = Graph::new_undirected();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_edge(s, a, 1.0);
+        g.add_edge(a, t, 1.0);
+        g.add_edge(s, t, 5.0);
+        g.add_edge(s, b, 1.0);
+        g.add_edge(b, a, 1.0);
+        (g, [s, a, b, t])
+    }
+
+    fn cost_of<'a>(g: &'a Graph<&'static str, f64>) -> impl Fn(EdgeId) -> f64 + Copy + 'a {
+        move |e| *g.edge(e).unwrap()
+    }
+
+    #[test]
+    fn bfs_finds_fewest_hops() {
+        let (g, [s, _, _, t]) = weighted();
+        let p = bfs_shortest_path(&g, s, t).unwrap();
+        assert_eq!(p.len(), 1); // direct edge despite weight
+    }
+
+    #[test]
+    fn dijkstra_finds_cheapest() {
+        let (g, [s, a, _, t]) = weighted();
+        let (p, c) = dijkstra(&g, s, t, cost_of(&g)).unwrap();
+        assert_eq!(p.nodes, vec![s, a, t]);
+        assert!((c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let mut g: Graph<(), f64> = Graph::new_undirected();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(dijkstra(&g, a, b, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn yen_returns_paths_in_cost_order() {
+        let (g, [s, _, _, t]) = weighted();
+        let ks = yen_k_shortest(&g, s, t, 10, cost_of(&g));
+        // Simple paths s->t: s-a-t (2), s-b-a-t (3), s-t (5)
+        assert_eq!(ks.len(), 3);
+        let costs: Vec<f64> = ks.iter().map(|(_, c)| *c).collect();
+        assert_eq!(costs, vec![2.0, 3.0, 5.0]);
+        for (p, _) in &ks {
+            assert!(p.validate(&g));
+        }
+    }
+
+    #[test]
+    fn yen_k_smaller_than_path_count() {
+        let (g, [s, _, _, t]) = weighted();
+        let ks = yen_k_shortest(&g, s, t, 2, cost_of(&g));
+        assert_eq!(ks.len(), 2);
+    }
+
+    #[test]
+    fn yen_on_single_path_graph() {
+        let mut g: Graph<(), f64> = Graph::new_undirected();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        let ks = yen_k_shortest(&g, a, b, 5, |_| 1.0);
+        assert_eq!(ks.len(), 1);
+    }
+}

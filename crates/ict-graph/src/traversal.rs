@@ -1,0 +1,148 @@
+//! Depth-first and breadth-first traversal.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Iterative depth-first traversal from a start node.
+pub struct Dfs {
+    stack: Vec<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl Dfs {
+    /// Creates a DFS rooted at `start`.
+    pub fn new<N, E>(graph: &Graph<N, E>, start: NodeId) -> Self {
+        let mut visited = vec![false; graph.node_capacity()];
+        let mut stack = Vec::new();
+        if graph.contains_node(start) {
+            stack.push(start);
+            visited[start.index()] = true;
+        }
+        Dfs { stack, visited }
+    }
+
+    /// Advances the traversal, returning the next node in DFS pre-order.
+    pub fn next<N, E>(&mut self, graph: &Graph<N, E>) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push neighbours in reverse so the first-inserted neighbour is
+        // visited first (stable, insertion-ordered traversal).
+        let neighbors: Vec<_> = graph.neighbors(node).collect();
+        for adj in neighbors.into_iter().rev() {
+            if !self.visited[adj.node.index()] {
+                self.visited[adj.node.index()] = true;
+                self.stack.push(adj.node);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// Iterative breadth-first traversal from a start node.
+pub struct Bfs {
+    queue: VecDeque<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl Bfs {
+    /// Creates a BFS rooted at `start`.
+    pub fn new<N, E>(graph: &Graph<N, E>, start: NodeId) -> Self {
+        let mut visited = vec![false; graph.node_capacity()];
+        let mut queue = VecDeque::new();
+        if graph.contains_node(start) {
+            queue.push_back(start);
+            visited[start.index()] = true;
+        }
+        Bfs { queue, visited }
+    }
+
+    /// Advances the traversal, returning the next node in BFS order.
+    pub fn next<N, E>(&mut self, graph: &Graph<N, E>) -> Option<NodeId> {
+        let node = self.queue.pop_front()?;
+        for adj in graph.neighbors(node) {
+            if !self.visited[adj.node.index()] {
+                self.visited[adj.node.index()] = true;
+                self.queue.push_back(adj.node);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// The set of nodes reachable from `start` (including `start`).
+pub fn reachable_from<N, E>(graph: &Graph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut dfs = Dfs::new(graph, start);
+    let mut out = Vec::new();
+    while let Some(n) = dfs.next(graph) {
+        out.push(n);
+    }
+    out
+}
+
+/// `true` if `target` is reachable from `source`.
+pub fn is_reachable<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> bool {
+    let mut dfs = Dfs::new(graph, source);
+    while let Some(n) = dfs.next(graph) {
+        if n == target {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn chain(n: usize) -> (Graph<usize, ()>, Vec<NodeId>) {
+        let mut g = Graph::new_undirected();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn dfs_visits_all_reachable_once() {
+        let (g, ids) = chain(5);
+        let order = reachable_from(&g, ids[0]);
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        // star: center 0 with leaves 1..=3, leaf 3 chains to 4
+        let mut g: Graph<usize, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..5).map(|i| g.add_node(i)).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[0], ids[2], ());
+        g.add_edge(ids[0], ids[3], ());
+        g.add_edge(ids[3], ids[4], ());
+        let mut bfs = Bfs::new(&g, ids[0]);
+        let mut order = Vec::new();
+        while let Some(n) = bfs.next(&g) {
+            order.push(n);
+        }
+        assert_eq!(order, vec![ids[0], ids[1], ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn reachability_respects_components() {
+        let (mut g, ids) = chain(4);
+        let island = g.add_node(99);
+        assert!(is_reachable(&g, ids[0], ids[3]));
+        assert!(!is_reachable(&g, ids[0], island));
+        assert!(is_reachable(&g, island, island));
+    }
+
+    #[test]
+    fn directed_reachability_is_one_way() {
+        let mut g: Graph<(), ()> = Graph::new_directed();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        assert!(is_reachable(&g, a, b));
+        assert!(!is_reachable(&g, b, a));
+    }
+}

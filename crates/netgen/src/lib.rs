@@ -1,0 +1,26 @@
+//! # netgen — topology and workload generators for the UPSIM experiments
+//!
+//! * [`usi`] — the paper's case study: the University of Lugano campus
+//!   network (Figs. 5, 8, 9), the printing service (Fig. 10) and the
+//!   Table I service mapping, reconstructed per DESIGN.md §4.1,
+//! * [`campus`] — parameterized campus networks with the same architecture
+//!   (redundant core, dual-homed distribution, tree-shaped periphery) for
+//!   the scalability experiments (paper Sec. VIII: "the proposed
+//!   methodology is scalable and applicable to complex, dynamic networks"),
+//! * [`random`] — classic topology families (complete graphs for the
+//!   `O(n!)` worst case of Sec. V-D, rings, grids, Erdős–Rényi),
+//! * [`services`] — random composite services and mappings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campus;
+pub mod random;
+pub mod services;
+pub mod usi;
+
+pub use campus::{campus_infrastructure, campus_scenario, CampusParams};
+pub use usi::{
+    backup_mapping, backup_service, printing_service, second_perspective_mapping,
+    table_i_mapping, usi_infrastructure,
+};

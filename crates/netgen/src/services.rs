@@ -1,0 +1,106 @@
+//! Random service and mapping generators.
+//!
+//! Builds composite services of configurable length and maps their atomic
+//! services onto random (requester, provider) pairs from an infrastructure,
+//! mimicking the paper's pattern that consecutive atomic services ping-pong
+//! between a client-side component and a provider (Table I).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use upsim_core::infrastructure::{DeviceKind, Infrastructure};
+use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
+use upsim_core::service::CompositeService;
+
+/// Generates a sequential composite service with `len` atomic services
+/// named `<name>-as<i>`.
+pub fn sequential_service(name: &str, len: usize) -> CompositeService {
+    let names: Vec<String> = (0..len).map(|i| format!("{name}-as{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    CompositeService::sequential(name, &refs).expect("generated services are well-formed")
+}
+
+/// Picks a random (client, server) pair and maps every atomic service of
+/// `service` onto it, alternating direction per step (Table I pattern).
+///
+/// Falls back to arbitrary devices when the infrastructure has no
+/// client/server-typed instances.
+pub fn random_mapping(
+    service: &CompositeService,
+    infrastructure: &Infrastructure,
+    seed: u64,
+) -> ServiceMapping {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clients = Vec::new();
+    let mut servers = Vec::new();
+    let mut all = Vec::new();
+    for inst in &infrastructure.objects.instances {
+        all.push(inst.name.clone());
+        match infrastructure.kind_of(&inst.name) {
+            Ok(DeviceKind::Client) => clients.push(inst.name.clone()),
+            Ok(DeviceKind::Server) => servers.push(inst.name.clone()),
+            _ => {}
+        }
+    }
+    let requester = clients
+        .choose(&mut rng)
+        .or_else(|| all.first())
+        .expect("infrastructure has devices")
+        .clone();
+    let provider = servers
+        .choose(&mut rng)
+        .or_else(|| all.last())
+        .expect("infrastructure has devices")
+        .clone();
+
+    let mut mapping = ServiceMapping::new();
+    for (i, atomic) in service.atomic_services().into_iter().enumerate() {
+        let (rq, pr) = if i % 2 == 0 { (&requester, &provider) } else { (&provider, &requester) };
+        mapping.add(ServiceMappingPair::new(atomic, rq.clone(), pr.clone()));
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campus::{campus_infrastructure, CampusParams};
+
+    #[test]
+    fn sequential_service_has_requested_length() {
+        let svc = sequential_service("mail", 4);
+        assert_eq!(svc.atomic_services().len(), 4);
+        assert_eq!(svc.atomic_services()[2], "mail-as2");
+    }
+
+    #[test]
+    fn random_mapping_is_valid_and_deterministic() {
+        let infra = campus_infrastructure(CampusParams::default());
+        let svc = sequential_service("mail", 5);
+        let m1 = random_mapping(&svc, &infra, 99);
+        let m2 = random_mapping(&svc, &infra, 99);
+        assert_eq!(m1, m2);
+        m1.validate(&svc, &infra).unwrap();
+        // Requester of even steps is a client, provider a server.
+        let p0 = m1.pair("mail-as0").unwrap();
+        assert_eq!(infra.kind_of(&p0.requester).unwrap(), DeviceKind::Client);
+        assert_eq!(infra.kind_of(&p0.provider).unwrap(), DeviceKind::Server);
+        // Alternation.
+        let p1 = m1.pair("mail-as1").unwrap();
+        assert_eq!(p1.requester, p0.provider);
+        assert_eq!(p1.provider, p0.requester);
+    }
+
+    #[test]
+    fn different_seeds_can_pick_different_pairs() {
+        let infra = campus_infrastructure(CampusParams {
+            clients_per_edge: 8,
+            ..Default::default()
+        });
+        let svc = sequential_service("mail", 2);
+        let picks: std::collections::HashSet<String> = (0..20)
+            .map(|seed| random_mapping(&svc, &infra, seed).pair("mail-as0").unwrap().requester.clone())
+            .collect();
+        assert!(picks.len() > 1, "20 seeds all picked the same client");
+    }
+}

@@ -1,0 +1,517 @@
+//! UML activity diagrams: composite services as flows of atomic services.
+//!
+//! Paper Sec. V-A2: *"A composite service consists of initial and final
+//! nodes, atomic services and join and fork figures. [...] It is assumed
+//! that each atomic service is being executed — in series or in parallel.
+//! Instead of using decision nodes, separate decision branches are modeled
+//! as separate services."*
+//!
+//! The well-formedness rules below encode exactly those constraints: one
+//! initial node, at least one final node, fan-out only at forks, fan-in
+//! only at joins, no cycles, everything on a path from initial to final,
+//! and **no decision nodes at all**.
+
+use crate::error::{ModelError, ModelResult};
+
+/// Handle to an activity node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityNodeId(pub(crate) usize);
+
+impl ActivityNodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The kinds of activity nodes the paper's service model uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The initial node (exactly one).
+    Initial,
+    /// A final node (at least one).
+    Final,
+    /// An action — an **atomic service** in the paper's terminology.
+    Action(String),
+    /// A fork bar: splits the flow into parallel branches.
+    Fork,
+    /// A join bar: synchronizes parallel branches.
+    Join,
+}
+
+/// A composite-service description (paper Fig. 10 is one `Activity`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Activity {
+    /// Activity (composite service) name.
+    pub name: String,
+    nodes: Vec<NodeKind>,
+    edges: Vec<(ActivityNodeId, ActivityNodeId)>,
+}
+
+impl Activity {
+    /// Creates an empty activity.
+    pub fn new(name: impl Into<String>) -> Self {
+        Activity { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Convenience: builds the common purely sequential composite service
+    /// `initial → a₁ → a₂ → … → final` (the shape of the paper's printing
+    /// service, Fig. 10).
+    pub fn sequence(name: impl Into<String>, actions: &[&str]) -> Self {
+        let mut a = Activity::new(name);
+        let initial = a.add_node(NodeKind::Initial);
+        let mut prev = initial;
+        for action in actions {
+            let node = a.add_node(NodeKind::Action(action.to_string()));
+            a.connect(prev, node);
+            prev = node;
+        }
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(prev, fin);
+        a
+    }
+
+    /// Adds a node of the given kind.
+    pub fn add_node(&mut self, kind: NodeKind) -> ActivityNodeId {
+        let id = ActivityNodeId(self.nodes.len());
+        self.nodes.push(kind);
+        id
+    }
+
+    /// Adds a control-flow edge.
+    pub fn connect(&mut self, from: ActivityNodeId, to: ActivityNodeId) {
+        self.edges.push((from, to));
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, id: ActivityNodeId) -> Option<&NodeKind> {
+        self.nodes.get(id.0)
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = ActivityNodeId> + '_ {
+        (0..self.nodes.len()).map(ActivityNodeId)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The control-flow edges.
+    pub fn edges(&self) -> &[(ActivityNodeId, ActivityNodeId)] {
+        &self.edges
+    }
+
+    /// The atomic-service names in insertion order.
+    pub fn actions(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|k| match k {
+                NodeKind::Action(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn out_edges(&self, id: ActivityNodeId) -> impl Iterator<Item = ActivityNodeId> + '_ {
+        self.edges.iter().filter(move |(f, _)| *f == id).map(|(_, t)| *t)
+    }
+
+    fn in_degree(&self, id: ActivityNodeId) -> usize {
+        self.edges.iter().filter(|(_, t)| *t == id).count()
+    }
+
+    fn out_degree(&self, id: ActivityNodeId) -> usize {
+        self.edges.iter().filter(|(f, _)| *f == id).count()
+    }
+
+    /// Topological order of all nodes; errors on cycles.
+    pub fn topological_order(&self) -> ModelResult<Vec<ActivityNodeId>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(ActivityNodeId(i))).collect();
+        let mut queue: Vec<ActivityNodeId> =
+            (0..n).map(ActivityNodeId).filter(|&i| indeg[i.0] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(node) = queue.pop() {
+            order.push(node);
+            for next in self.out_edges(node) {
+                indeg[next.0] -= 1;
+                if indeg[next.0] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(ModelError::WellFormedness {
+                rule: "acyclic-control-flow",
+                details: format!("activity '{}' contains a control-flow cycle", self.name),
+            });
+        }
+        Ok(order)
+    }
+
+    /// The action names in a valid execution order (topological).
+    pub fn action_order(&self) -> ModelResult<Vec<String>> {
+        // A plain topological sort processes ready nodes in arbitrary order;
+        // for reproducibility we run Kahn's algorithm with a smallest-id
+        // first policy, which for sequential activities equals flow order.
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(ActivityNodeId(i))).collect();
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::new();
+        let mut seen = 0usize;
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            seen += 1;
+            if let NodeKind::Action(name) = &self.nodes[i] {
+                order.push(name.clone());
+            }
+            for next in self.out_edges(ActivityNodeId(i)) {
+                indeg[next.0] -= 1;
+                if indeg[next.0] == 0 {
+                    ready.insert(next.0);
+                }
+            }
+        }
+        if seen != n {
+            return Err(ModelError::WellFormedness {
+                rule: "acyclic-control-flow",
+                details: format!("activity '{}' contains a control-flow cycle", self.name),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Pairs of atomic services that may execute **in parallel**: actions
+    /// with no control-flow path between them in either direction (the
+    /// fork/join semantics of Fig. 2 — atomic services 2 and 3 there).
+    /// Returned as name pairs in node order; sequential activities yield
+    /// an empty list.
+    pub fn concurrent_action_pairs(&self) -> ModelResult<Vec<(String, String)>> {
+        // Reachability closure over the (acyclic) control flow.
+        let order = self.topological_order()?;
+        let n = self.nodes.len();
+        let mut reach = vec![vec![false; n]; n];
+        for &node in order.iter().rev() {
+            for next in self.out_edges(node) {
+                reach[node.0][next.0] = true;
+                for k in 0..n {
+                    if reach[next.0][k] {
+                        reach[node.0][k] = true;
+                    }
+                }
+            }
+        }
+        let actions: Vec<(usize, &str)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| match k {
+                NodeKind::Action(name) => Some((i, name.as_str())),
+                _ => None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (ai, (i, a)) in actions.iter().enumerate() {
+            for (j, b) in actions.iter().skip(ai + 1) {
+                if !reach[*i][*j] && !reach[*j][*i] {
+                    out.push((a.to_string(), b.to_string()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` if the activity is purely sequential (no concurrent actions).
+    pub fn is_sequential(&self) -> ModelResult<bool> {
+        Ok(self.concurrent_action_pairs()?.is_empty())
+    }
+
+    /// Validates the paper's well-formedness rules (see module docs).
+    pub fn validate(&self) -> ModelResult<()> {
+        let wf = |rule: &'static str, details: String| ModelError::WellFormedness { rule, details };
+
+        let initials: Vec<_> = self
+            .node_ids()
+            .filter(|&i| matches!(self.nodes[i.0], NodeKind::Initial))
+            .collect();
+        if initials.len() != 1 {
+            return Err(wf("single-initial", format!("found {} initial nodes", initials.len())));
+        }
+        let finals: Vec<_> = self
+            .node_ids()
+            .filter(|&i| matches!(self.nodes[i.0], NodeKind::Final))
+            .collect();
+        if finals.is_empty() {
+            return Err(wf("has-final", "no final node".to_string()));
+        }
+        let initial = initials[0];
+
+        for id in self.node_ids() {
+            let (ind, outd) = (self.in_degree(id), self.out_degree(id));
+            match &self.nodes[id.0] {
+                NodeKind::Initial => {
+                    if ind != 0 {
+                        return Err(wf("initial-no-incoming", format!("{ind} incoming edges")));
+                    }
+                    if outd != 1 {
+                        return Err(wf("initial-single-outgoing", format!("{outd} outgoing edges")));
+                    }
+                }
+                NodeKind::Final => {
+                    if outd != 0 {
+                        return Err(wf("final-no-outgoing", format!("{outd} outgoing edges")));
+                    }
+                    if ind == 0 {
+                        return Err(wf("final-reached", "final node unreachable".to_string()));
+                    }
+                }
+                NodeKind::Action(name) => {
+                    // No decision nodes: actions never branch or merge.
+                    if outd != 1 {
+                        return Err(wf(
+                            "no-decision-nodes",
+                            format!("action '{name}' has out-degree {outd} (must be 1)"),
+                        ));
+                    }
+                    if ind != 1 {
+                        return Err(wf(
+                            "no-merge-nodes",
+                            format!("action '{name}' has in-degree {ind} (must be 1)"),
+                        ));
+                    }
+                }
+                NodeKind::Fork => {
+                    if ind != 1 || outd < 2 {
+                        return Err(wf(
+                            "fork-shape",
+                            format!("fork must have in-degree 1 and out-degree ≥ 2 (got {ind}/{outd})"),
+                        ));
+                    }
+                }
+                NodeKind::Join => {
+                    if ind < 2 || outd != 1 {
+                        return Err(wf(
+                            "join-shape",
+                            format!("join must have in-degree ≥ 2 and out-degree 1 (got {ind}/{outd})"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        self.topological_order()?;
+
+        // Reachability from the initial node.
+        let mut reached = vec![false; self.nodes.len()];
+        let mut stack = vec![initial];
+        reached[initial.0] = true;
+        while let Some(n) = stack.pop() {
+            for next in self.out_edges(n) {
+                if !reached[next.0] {
+                    reached[next.0] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        if let Some(i) = reached.iter().position(|r| !r) {
+            return Err(wf(
+                "all-reachable",
+                format!("node {:?} ({:?}) unreachable from initial", i, self.nodes[i]),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's printing service (Fig. 10): five atomic services in
+    /// sequence.
+    fn printing_service() -> Activity {
+        Activity::sequence(
+            "printing",
+            &["Request printing", "Login to printer", "Send document list", "Select documents", "Send documents"],
+        )
+    }
+
+    /// The paper's Fig. 2 shape: as1 then (as2 ∥ as3).
+    fn fork_join_service() -> Activity {
+        let mut a = Activity::new("fig2");
+        let initial = a.add_node(NodeKind::Initial);
+        let as1 = a.add_node(NodeKind::Action("Atomic Service 1".into()));
+        let fork = a.add_node(NodeKind::Fork);
+        let as2 = a.add_node(NodeKind::Action("Atomic Service 2".into()));
+        let as3 = a.add_node(NodeKind::Action("Atomic Service 3".into()));
+        let join = a.add_node(NodeKind::Join);
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(initial, as1);
+        a.connect(as1, fork);
+        a.connect(fork, as2);
+        a.connect(fork, as3);
+        a.connect(as2, join);
+        a.connect(as3, join);
+        a.connect(join, fin);
+        a
+    }
+
+    #[test]
+    fn printing_service_is_valid_and_ordered() {
+        let a = printing_service();
+        a.validate().unwrap();
+        assert_eq!(
+            a.action_order().unwrap(),
+            vec![
+                "Request printing",
+                "Login to printer",
+                "Send document list",
+                "Select documents",
+                "Send documents"
+            ]
+        );
+        assert_eq!(a.actions().len(), 5);
+    }
+
+    #[test]
+    fn fork_join_is_valid() {
+        let a = fork_join_service();
+        a.validate().unwrap();
+        let order = a.action_order().unwrap();
+        assert_eq!(order[0], "Atomic Service 1");
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn concurrency_detection_matches_fig2() {
+        // Fig. 2: as2 and as3 run in parallel; as1 precedes both.
+        let a = fork_join_service();
+        let pairs = a.concurrent_action_pairs().unwrap();
+        assert_eq!(
+            pairs,
+            vec![("Atomic Service 2".to_string(), "Atomic Service 3".to_string())]
+        );
+        assert!(!a.is_sequential().unwrap());
+    }
+
+    #[test]
+    fn sequential_services_have_no_concurrency() {
+        let a = printing_service();
+        assert!(a.concurrent_action_pairs().unwrap().is_empty());
+        assert!(a.is_sequential().unwrap());
+    }
+
+    #[test]
+    fn nested_forks_detected() {
+        // fork -> (x, fork -> (y, z)) : x∥y, x∥z, y∥z.
+        let mut a = Activity::new("nested");
+        let i = a.add_node(NodeKind::Initial);
+        let f1 = a.add_node(NodeKind::Fork);
+        let x = a.add_node(NodeKind::Action("x".into()));
+        let f2 = a.add_node(NodeKind::Fork);
+        let y = a.add_node(NodeKind::Action("y".into()));
+        let z = a.add_node(NodeKind::Action("z".into()));
+        let j2 = a.add_node(NodeKind::Join);
+        let j1 = a.add_node(NodeKind::Join);
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(i, f1);
+        a.connect(f1, x);
+        a.connect(f1, f2);
+        a.connect(f2, y);
+        a.connect(f2, z);
+        a.connect(y, j2);
+        a.connect(z, j2);
+        a.connect(j2, j1);
+        a.connect(x, j1);
+        a.connect(j1, fin);
+        a.validate().unwrap();
+        assert_eq!(a.concurrent_action_pairs().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn two_initials_rejected() {
+        let mut a = printing_service();
+        a.add_node(NodeKind::Initial);
+        assert!(matches!(
+            a.validate(),
+            Err(ModelError::WellFormedness { rule: "single-initial", .. })
+        ));
+    }
+
+    #[test]
+    fn missing_final_rejected() {
+        let mut a = Activity::new("x");
+        let i = a.add_node(NodeKind::Initial);
+        let act = a.add_node(NodeKind::Action("a".into()));
+        a.connect(i, act);
+        assert!(matches!(a.validate(), Err(ModelError::WellFormedness { rule: "has-final", .. })));
+    }
+
+    #[test]
+    fn branching_action_rejected_as_decision() {
+        // An action with two outgoing edges is a disguised decision node.
+        let mut a = Activity::new("x");
+        let i = a.add_node(NodeKind::Initial);
+        let act = a.add_node(NodeKind::Action("a".into()));
+        let f1 = a.add_node(NodeKind::Final);
+        let f2 = a.add_node(NodeKind::Final);
+        a.connect(i, act);
+        a.connect(act, f1);
+        a.connect(act, f2);
+        assert!(matches!(
+            a.validate(),
+            Err(ModelError::WellFormedness { rule: "no-decision-nodes", .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut a = Activity::new("x");
+        let i = a.add_node(NodeKind::Initial);
+        let a1 = a.add_node(NodeKind::Action("a1".into()));
+        let a2 = a.add_node(NodeKind::Action("a2".into()));
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(i, a1);
+        a.connect(a1, a2);
+        a.connect(a2, a1); // cycle — also violates degree rules; check topo directly
+        a.connect(a2, fin);
+        assert!(a.topological_order().is_err());
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn unreachable_node_rejected() {
+        let mut a = printing_service();
+        a.add_node(NodeKind::Action("orphan".into()));
+        // orphan has in/out degree 0 → caught by degree rules first.
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_fork_rejected() {
+        let mut a = Activity::new("x");
+        let i = a.add_node(NodeKind::Initial);
+        let fork = a.add_node(NodeKind::Fork);
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(i, fork);
+        a.connect(fork, fin); // out-degree 1: not a real fork
+        assert!(matches!(a.validate(), Err(ModelError::WellFormedness { rule: "fork-shape", .. })));
+    }
+
+    #[test]
+    fn empty_sequence_is_valid_noop_service() {
+        let a = Activity::sequence("noop", &[]);
+        a.validate().unwrap();
+        assert!(a.actions().is_empty());
+    }
+
+    #[test]
+    fn topological_order_covers_all_nodes() {
+        let a = fork_join_service();
+        let order = a.topological_order().unwrap();
+        assert_eq!(order.len(), a.node_count());
+    }
+}

@@ -1,0 +1,307 @@
+//! UML class diagrams: the structural description of ICT component types.
+//!
+//! Paper Sec. V-A1: devices are modeled as classes, possible communication
+//! links as associations; *"to ensure that two different instances of the
+//! same class have also the same properties, every class may only have
+//! static attributes"*. Accordingly, attribute **values** live on the
+//! [`Class`]/[`Association`] (mostly via stereotype applications, e.g. the
+//! `MTBF`/`MTTR` values of Fig. 8) and instances in the object diagram never
+//! override them.
+
+use crate::error::{ModelError, ModelResult};
+use crate::profile::{Metaclass, Profile, StereotypeApplication};
+use crate::value::Value;
+
+/// A class describing one ICT component type (e.g. `C6500`, `Comp`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class {
+    /// Class name, unique within the diagram.
+    pub name: String,
+    /// `true` for abstract classes (cannot be instantiated).
+    pub is_abstract: bool,
+    /// Plain static attributes with values (outside any profile).
+    pub attributes: Vec<(String, Value)>,
+    /// Stereotype applications (e.g. `Component` + `Switch` in Fig. 8).
+    pub applied: Vec<StereotypeApplication>,
+}
+
+impl Class {
+    /// Creates a concrete class with no attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        Class { name: name.into(), is_abstract: false, attributes: Vec::new(), applied: Vec::new() }
+    }
+
+    /// Looks up an attribute value: own attributes first, then applied
+    /// stereotypes in application order.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .or_else(|| self.applied.iter().find_map(|app| app.value(name)))
+    }
+
+    /// The names of all applied stereotypes.
+    pub fn stereotype_names(&self) -> Vec<&str> {
+        self.applied.iter().map(|a| a.stereotype.as_str()).collect()
+    }
+
+    /// `true` if a stereotype of this name is applied.
+    pub fn has_stereotype(&self, name: &str) -> bool {
+        self.applied.iter().any(|a| a.stereotype == name)
+    }
+}
+
+/// An association between two classes — a possible connection type.
+///
+/// Paper Fig. 1: every `Connector` must be associated to exactly **two**
+/// `Device`s; this is structural here (two end fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Association {
+    /// Association name, unique within the diagram.
+    pub name: String,
+    /// First end: a class name.
+    pub end_a: String,
+    /// Second end: a class name.
+    pub end_b: String,
+    /// Multiplicity at end a (UML notation, e.g. `"*"`, `"0..1"`).
+    pub multiplicity_a: String,
+    /// Multiplicity at end b.
+    pub multiplicity_b: String,
+    /// Stereotype applications (e.g. `Component` + `Communication`).
+    pub applied: Vec<StereotypeApplication>,
+}
+
+impl Association {
+    /// Creates an association with `*`/`*` multiplicities.
+    pub fn new(name: impl Into<String>, end_a: impl Into<String>, end_b: impl Into<String>) -> Self {
+        Association {
+            name: name.into(),
+            end_a: end_a.into(),
+            end_b: end_b.into(),
+            multiplicity_a: "*".to_string(),
+            multiplicity_b: "*".to_string(),
+            applied: Vec::new(),
+        }
+    }
+
+    /// Looks up an attribute value among applied stereotypes.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.applied.iter().find_map(|app| app.value(name))
+    }
+
+    /// `true` if a stereotype of this name is applied.
+    pub fn has_stereotype(&self, name: &str) -> bool {
+        self.applied.iter().any(|a| a.stereotype == name)
+    }
+
+    /// `true` if this association can connect instances of `class_a` and
+    /// `class_b` (in either orientation).
+    pub fn connects(&self, class_a: &str, class_b: &str) -> bool {
+        (self.end_a == class_a && self.end_b == class_b)
+            || (self.end_a == class_b && self.end_b == class_a)
+    }
+}
+
+/// A class diagram: the classes and associations of one model
+/// (paper Fig. 8 is one `ClassDiagram` value — see `netgen::usi`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassDiagram {
+    /// Diagram name.
+    pub name: String,
+    /// The classes.
+    pub classes: Vec<Class>,
+    /// The associations.
+    pub associations: Vec<Association>,
+}
+
+impl ClassDiagram {
+    /// Creates an empty diagram.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDiagram { name: name.into(), classes: Vec::new(), associations: Vec::new() }
+    }
+
+    /// Adds a class, enforcing unique names.
+    pub fn add_class(&mut self, class: Class) -> ModelResult<()> {
+        if self.class(&class.name).is_some() {
+            return Err(ModelError::DuplicateName { kind: "class", name: class.name });
+        }
+        self.classes.push(class);
+        Ok(())
+    }
+
+    /// Adds an association, enforcing unique names and resolvable ends.
+    pub fn add_association(&mut self, assoc: Association) -> ModelResult<()> {
+        if self.association(&assoc.name).is_some() {
+            return Err(ModelError::DuplicateName { kind: "association", name: assoc.name });
+        }
+        for end in [&assoc.end_a, &assoc.end_b] {
+            if self.class(end).is_none() {
+                return Err(ModelError::UnknownElement { kind: "class", name: end.clone() });
+            }
+        }
+        self.associations.push(assoc);
+        Ok(())
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&Class> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable class lookup.
+    pub fn class_mut(&mut self, name: &str) -> Option<&mut Class> {
+        self.classes.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Looks up an association by name.
+    pub fn association(&self, name: &str) -> Option<&Association> {
+        self.associations.iter().find(|a| a.name == name)
+    }
+
+    /// Mutable association lookup.
+    pub fn association_mut(&mut self, name: &str) -> Option<&mut Association> {
+        self.associations.iter_mut().find(|a| a.name == name)
+    }
+
+    /// All associations that can connect the two classes.
+    pub fn associations_between(&self, class_a: &str, class_b: &str) -> Vec<&Association> {
+        self.associations.iter().filter(|a| a.connects(class_a, class_b)).collect()
+    }
+
+    /// Applies a stereotype from `profile` to the class `class_name`,
+    /// validating metaclass, types and required attributes
+    /// (paper methodology Step 1: "a UML profile can be applied to classes
+    /// in this step").
+    pub fn apply_to_class(
+        &mut self,
+        profile: &Profile,
+        class_name: &str,
+        stereotype: &str,
+        values: &[(String, Value)],
+    ) -> ModelResult<()> {
+        let resolved = profile.check_application(stereotype, Metaclass::Class, values)?;
+        let class = self.class_mut(class_name).ok_or_else(|| ModelError::UnknownElement {
+            kind: "class",
+            name: class_name.to_string(),
+        })?;
+        class.applied.push(StereotypeApplication {
+            profile: profile.name.clone(),
+            stereotype: stereotype.to_string(),
+            values: resolved,
+        });
+        Ok(())
+    }
+
+    /// Applies a stereotype from `profile` to the association `assoc_name`.
+    pub fn apply_to_association(
+        &mut self,
+        profile: &Profile,
+        assoc_name: &str,
+        stereotype: &str,
+        values: &[(String, Value)],
+    ) -> ModelResult<()> {
+        let resolved = profile.check_application(stereotype, Metaclass::Association, values)?;
+        let assoc = self.association_mut(assoc_name).ok_or_else(|| ModelError::UnknownElement {
+            kind: "association",
+            name: assoc_name.to_string(),
+        })?;
+        assoc.applied.push(StereotypeApplication {
+            profile: profile.name.clone(),
+            stereotype: stereotype.to_string(),
+            values: resolved,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Stereotype;
+    use crate::value::{Attribute, ValueType};
+
+    fn sample_profile() -> Profile {
+        Profile::new("availability").with_stereotype(
+            Stereotype::new("Device", Metaclass::Class)
+                .with_attribute(Attribute::new("MTBF", ValueType::Real)),
+        )
+    }
+
+    fn sample_diagram() -> ClassDiagram {
+        let mut d = ClassDiagram::new("usi-classes");
+        d.add_class(Class::new("C6500")).unwrap();
+        d.add_class(Class::new("Comp")).unwrap();
+        d.add_association(Association::new("comp-c6500", "Comp", "C6500")).unwrap();
+        d
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut d = sample_diagram();
+        assert!(matches!(
+            d.add_class(Class::new("Comp")),
+            Err(ModelError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn association_requires_existing_ends() {
+        let mut d = sample_diagram();
+        assert!(matches!(
+            d.add_association(Association::new("x", "Comp", "Ghost")),
+            Err(ModelError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn connects_is_orientation_free() {
+        let d = sample_diagram();
+        let a = d.association("comp-c6500").unwrap();
+        assert!(a.connects("Comp", "C6500"));
+        assert!(a.connects("C6500", "Comp"));
+        assert!(!a.connects("Comp", "Comp"));
+        assert_eq!(d.associations_between("C6500", "Comp").len(), 1);
+    }
+
+    #[test]
+    fn stereotype_application_stores_resolved_values() {
+        let p = sample_profile();
+        let mut d = sample_diagram();
+        d.apply_to_class(&p, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
+            .unwrap();
+        let c = d.class("C6500").unwrap();
+        assert!(c.has_stereotype("Device"));
+        assert_eq!(c.value("MTBF"), Some(&Value::Real(183498.0)));
+        assert_eq!(c.stereotype_names(), vec!["Device"]);
+    }
+
+    #[test]
+    fn application_to_unknown_class_fails() {
+        let p = sample_profile();
+        let mut d = sample_diagram();
+        let err = d
+            .apply_to_class(&p, "Ghost", "Device", &[("MTBF".into(), Value::Real(1.0))])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownElement { .. }));
+    }
+
+    #[test]
+    fn class_stereotype_cannot_go_on_association() {
+        let p = sample_profile();
+        let mut d = sample_diagram();
+        let err = d
+            .apply_to_association(&p, "comp-c6500", "Device", &[("MTBF".into(), Value::Real(1.0))])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::MetaclassMismatch { .. }));
+    }
+
+    #[test]
+    fn own_attributes_shadow_stereotype_values() {
+        let p = sample_profile();
+        let mut d = sample_diagram();
+        d.apply_to_class(&p, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))]).unwrap();
+        d.class_mut("Comp").unwrap().attributes.push(("MTBF".into(), Value::Real(99.0)));
+        assert_eq!(d.class("Comp").unwrap().value("MTBF"), Some(&Value::Real(99.0)));
+    }
+}

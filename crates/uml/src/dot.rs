@@ -1,0 +1,147 @@
+//! Graphviz DOT rendering of UML diagrams — the textual stand-in for the
+//! Papyrus diagram views of the paper's figures.
+
+use crate::activity::{Activity, NodeKind};
+use crate::class_diagram::ClassDiagram;
+use crate::object_diagram::ObjectDiagram;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a class diagram (Fig. 8-style): one record node per class with
+/// its stereotypes and attribute values, one edge per association.
+pub fn class_diagram_dot(diagram: &ClassDiagram) -> String {
+    let mut out = format!("graph \"{}\" {{\n", escape(&diagram.name));
+    out.push_str("  node [shape=record, fontsize=10];\n");
+    for (i, class) in diagram.classes.iter().enumerate() {
+        let stereotypes = class
+            .applied
+            .iter()
+            .map(|a| a.stereotype.as_str())
+            .collect::<Vec<_>>()
+            .join(";");
+        let mut attrs: Vec<String> = Vec::new();
+        for app in &class.applied {
+            for (name, value) in &app.values {
+                attrs.push(format!("{name}={}", value.render()));
+            }
+        }
+        for (name, value) in &class.attributes {
+            attrs.push(format!("{name}={}", value.render()));
+        }
+        let header = if stereotypes.is_empty() {
+            class.name.clone()
+        } else {
+            format!("\\<\\<{stereotypes}\\>\\>\\n{}", class.name)
+        };
+        out.push_str(&format!(
+            "  c{i} [label=\"{{{}|{}}}\"];\n",
+            escape(&header).replace('<', "").replace('>', ""),
+            escape(&attrs.join("\\n"))
+        ));
+    }
+    let index_of = |name: &str| diagram.classes.iter().position(|c| c.name == name);
+    for assoc in &diagram.associations {
+        if let (Some(a), Some(b)) = (index_of(&assoc.end_a), index_of(&assoc.end_b)) {
+            out.push_str(&format!("  c{a} -- c{b} [label=\"{}\"];\n", escape(&assoc.name)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an object diagram (Fig. 9 / 11 / 12-style): one box per
+/// instance labelled with its `name:Class` signature.
+pub fn object_diagram_dot(diagram: &ObjectDiagram) -> String {
+    let mut out = format!("graph \"{}\" {{\n", escape(&diagram.name));
+    out.push_str("  node [shape=box, fontsize=10];\n");
+    for (i, inst) in diagram.instances.iter().enumerate() {
+        out.push_str(&format!("  i{i} [label=\"{}\"];\n", escape(&inst.signature())));
+    }
+    let index_of = |name: &str| diagram.instances.iter().position(|x| x.name == name);
+    for link in &diagram.links {
+        if let (Some(a), Some(b)) = (index_of(&link.end_a), index_of(&link.end_b)) {
+            out.push_str(&format!("  i{a} -- i{b};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an activity diagram (Fig. 10-style): initial/final as circles,
+/// actions as rounded boxes, forks/joins as bars, directed control flow.
+pub fn activity_dot(activity: &Activity) -> String {
+    let mut out = format!("digraph \"{}\" {{\n", escape(&activity.name));
+    out.push_str("  rankdir=LR;\n  node [fontsize=10];\n");
+    for id in activity.node_ids() {
+        let i = id.index();
+        match activity.kind(id).expect("live node") {
+            NodeKind::Initial => {
+                out.push_str(&format!("  n{i} [shape=circle, style=filled, fillcolor=black, label=\"\", width=0.15];\n"));
+            }
+            NodeKind::Final => {
+                out.push_str(&format!("  n{i} [shape=doublecircle, style=filled, fillcolor=black, label=\"\", width=0.12];\n"));
+            }
+            NodeKind::Action(name) => {
+                out.push_str(&format!("  n{i} [shape=box, style=rounded, label=\"{}\"];\n", escape(name)));
+            }
+            NodeKind::Fork | NodeKind::Join => {
+                out.push_str(&format!("  n{i} [shape=box, style=filled, fillcolor=black, label=\"\", height=0.08, width=0.6];\n"));
+            }
+        }
+    }
+    for (from, to) in activity.edges() {
+        out.push_str(&format!("  n{} -> n{};\n", from.index(), to.index()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_diagram::{Association, Class};
+    use crate::object_diagram::{InstanceSpecification, Link};
+    use crate::profile::{Metaclass, Profile, Stereotype};
+    use crate::value::{Attribute, Value, ValueType};
+
+    #[test]
+    fn class_diagram_dot_contains_stereotypes_and_values() {
+        let profile = Profile::new("availability").with_stereotype(
+            Stereotype::new("Device", Metaclass::Class)
+                .with_attribute(Attribute::new("MTBF", ValueType::Real)),
+        );
+        let mut d = ClassDiagram::new("fig8");
+        d.add_class(Class::new("C6500")).unwrap();
+        d.add_class(Class::new("Comp")).unwrap();
+        d.apply_to_class(&profile, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
+            .unwrap();
+        d.add_association(Association::new("l", "Comp", "C6500")).unwrap();
+        let dot = class_diagram_dot(&d);
+        assert!(dot.contains("Device"));
+        assert!(dot.contains("MTBF=183498"));
+        assert!(dot.contains("c1 -- c0") || dot.contains("c0 -- c1"), "{dot}");
+    }
+
+    #[test]
+    fn object_diagram_dot_uses_signatures() {
+        let mut o = ObjectDiagram::new("fig9");
+        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        o.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        o.add_link(Link::new("l", "t1", "e1")).unwrap();
+        let dot = object_diagram_dot(&o);
+        assert!(dot.contains("t1:Comp"));
+        assert!(dot.contains("i0 -- i1"));
+    }
+
+    #[test]
+    fn activity_dot_is_directed_and_complete() {
+        let a = Activity::sequence("printing", &["Request printing", "Send documents"]);
+        let dot = activity_dot(&a);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Request printing"));
+        assert_eq!(dot.matches(" -> ").count(), a.edges().len());
+        assert!(dot.contains("doublecircle"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by all model operations.
+
+use std::fmt;
+
+/// Result alias for model operations.
+pub type ModelResult<T> = std::result::Result<T, ModelError>;
+
+/// An error raised while building, validating or (de)serializing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A referenced element does not exist.
+    UnknownElement {
+        /// Element kind ("class", "stereotype", ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An element with this name already exists where names must be unique.
+    DuplicateName {
+        /// Element kind.
+        kind: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A stereotype was applied to an element of the wrong metaclass.
+    MetaclassMismatch {
+        /// The stereotype name.
+        stereotype: String,
+        /// The metaclass the stereotype extends.
+        expected: &'static str,
+        /// The metaclass of the annotated element.
+        found: &'static str,
+    },
+    /// An abstract stereotype was applied directly.
+    AbstractStereotype(String),
+    /// A stereotype attribute value has the wrong type.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Declared type.
+        expected: crate::value::ValueType,
+        /// Supplied value (rendered).
+        found: String,
+    },
+    /// A well-formedness rule was violated; `rule` names it.
+    WellFormedness {
+        /// Short rule identifier.
+        rule: &'static str,
+        /// Human-readable details.
+        details: String,
+    },
+    /// A (de)serialization problem.
+    Serialization(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownElement { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            ModelError::DuplicateName { kind, name } => write!(f, "duplicate {kind} name '{name}'"),
+            ModelError::MetaclassMismatch { stereotype, expected, found } => write!(
+                f,
+                "stereotype '{stereotype}' extends metaclass {expected} and cannot be applied to a {found}"
+            ),
+            ModelError::AbstractStereotype(name) => {
+                write!(f, "abstract stereotype '{name}' cannot be applied directly")
+            }
+            ModelError::TypeMismatch { attribute, expected, found } => {
+                write!(f, "attribute '{attribute}' expects {expected:?}, got {found}")
+            }
+            ModelError::WellFormedness { rule, details } => {
+                write!(f, "well-formedness rule '{rule}' violated: {details}")
+            }
+            ModelError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<xmlio::Error> for ModelError {
+    fn from(err: xmlio::Error) -> Self {
+        ModelError::Serialization(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let err = ModelError::UnknownElement { kind: "class", name: "C6500".into() };
+        assert_eq!(err.to_string(), "unknown class 'C6500'");
+        let err = ModelError::MetaclassMismatch {
+            stereotype: "Device".into(),
+            expected: "Class",
+            found: "Association",
+        };
+        assert!(err.to_string().contains("Device"));
+        assert!(err.to_string().contains("Association"));
+    }
+
+    #[test]
+    fn xml_errors_convert() {
+        let xml_err = xmlio::Document::parse("<a>").unwrap_err();
+        let model_err: ModelError = xml_err.into();
+        assert!(matches!(model_err, ModelError::Serialization(_)));
+    }
+}

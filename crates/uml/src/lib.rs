@@ -1,0 +1,55 @@
+//! # uml — the UML subset used by the UPSIM methodology
+//!
+//! The paper (Dittrich et al., IPPS 2013, Sec. V-A) models everything in
+//! UML:
+//!
+//! * **class diagrams** describe the structural units of the network
+//!   (routers, clients, servers), their properties and relations,
+//! * **object diagrams** describe the deployed topology as
+//!   `instanceSpecification`s and links — both the complete network *and*
+//!   the generated UPSIM,
+//! * **activity diagrams** describe composite services as flows of atomic
+//!   services,
+//! * **profiles and stereotypes** impose dependability attributes
+//!   (MTBF, MTTR, redundantComponents — paper Fig. 6) and network typing
+//!   (Router/Switch/Printer/Computer/Client/Server — paper Fig. 7) onto
+//!   classes and associations.
+//!
+//! The paper's toolchain was Eclipse Papyrus; no equivalent exists in Rust,
+//! so this crate implements the required subset from scratch, including an
+//! XMI-style XML serialization ([`xmi`]) on top of the `xmlio` substrate.
+//!
+//! Semantics faithfully reproduced from the paper:
+//!
+//! * every `Connector` (association) joins exactly **two** devices, while a
+//!   device may have any number of connectors (Fig. 1),
+//! * classes carry only **static attributes**, so any two instances of a
+//!   class share the same property values (Sec. V-A1),
+//! * stereotypes **extend a metaclass** and can only be applied to elements
+//!   of that metaclass; applied stereotypes contribute their (inherited)
+//!   attributes to the element (Sec. II),
+//! * activity diagrams consist of an initial node, a final node, actions
+//!   (atomic services) and fork/join bars; decision nodes are *excluded* —
+//!   separate decision branches are modeled as separate services
+//!   (Sec. V-A2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activity;
+pub mod class_diagram;
+pub mod dot;
+pub mod error;
+pub mod multiplicity;
+pub mod object_diagram;
+pub mod profile;
+pub mod validation;
+pub mod value;
+pub mod xmi;
+
+pub use activity::{Activity, ActivityNodeId, NodeKind};
+pub use class_diagram::{Association, Class, ClassDiagram};
+pub use error::{ModelError, ModelResult};
+pub use object_diagram::{InstanceSpecification, Link, ObjectDiagram};
+pub use profile::{Metaclass, Profile, Stereotype, StereotypeApplication};
+pub use value::{Attribute, Value, ValueType};

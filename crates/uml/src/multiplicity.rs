@@ -1,0 +1,201 @@
+//! UML multiplicity parsing and checking (`1`, `*`, `0..1`, `1..*`, `2..5`).
+//!
+//! Fig. 1 of the paper states the one structural multiplicity the
+//! methodology relies on: every Connector joins exactly two Devices, while
+//! a Device may have any number of Connectors (`*`). Association ends
+//! carry multiplicity strings; this module gives them semantics so object
+//! diagrams can be checked against them.
+
+use crate::error::{ModelError, ModelResult};
+use std::fmt;
+
+/// A parsed multiplicity range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Multiplicity {
+    /// Minimum links per instance at this end.
+    pub lower: u32,
+    /// Maximum links (`None` = unbounded, the `*` upper bound).
+    pub upper: Option<u32>,
+}
+
+impl Multiplicity {
+    /// The `*` multiplicity (0..unbounded).
+    pub const ANY: Multiplicity = Multiplicity { lower: 0, upper: None };
+
+    /// Parses UML notation: `"*"`, `"3"`, `"0..1"`, `"1..*"`, `"2..5"`.
+    pub fn parse(text: &str) -> ModelResult<Multiplicity> {
+        let invalid = || ModelError::WellFormedness {
+            rule: "multiplicity-syntax",
+            details: format!("cannot parse multiplicity '{text}'"),
+        };
+        let text = text.trim();
+        if text == "*" {
+            return Ok(Multiplicity::ANY);
+        }
+        if let Some((lo, hi)) = text.split_once("..") {
+            let lower: u32 = lo.trim().parse().map_err(|_| invalid())?;
+            let upper = match hi.trim() {
+                "*" => None,
+                n => Some(n.parse::<u32>().map_err(|_| invalid())?),
+            };
+            if let Some(u) = upper {
+                if u < lower {
+                    return Err(ModelError::WellFormedness {
+                        rule: "multiplicity-order",
+                        details: format!("upper bound below lower bound in '{text}'"),
+                    });
+                }
+            }
+            return Ok(Multiplicity { lower, upper });
+        }
+        let exact: u32 = text.parse().map_err(|_| invalid())?;
+        Ok(Multiplicity { lower: exact, upper: Some(exact) })
+    }
+
+    /// `true` if a link count satisfies this multiplicity.
+    pub fn allows(&self, count: usize) -> bool {
+        let count = count as u32;
+        count >= self.lower && self.upper.is_none_or(|u| count <= u)
+    }
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lower, self.upper) {
+            (0, None) => write!(f, "*"),
+            (lo, None) => write!(f, "{lo}..*"),
+            (lo, Some(hi)) if lo == hi => write!(f, "{lo}"),
+            (lo, Some(hi)) => write!(f, "{lo}..{hi}"),
+        }
+    }
+}
+
+/// Checks every instance of an object diagram against the multiplicities of
+/// the associations its class participates in. Returns all violations.
+///
+/// Semantics: for an association `A` with ends `(X, m_x) — (Y, m_y)`, every
+/// instance of `X` must have a number of `A`-links satisfying `m_y` (how
+/// many Y-partners an X sees), and symmetrically.
+pub fn check_multiplicities(
+    classes: &crate::class_diagram::ClassDiagram,
+    objects: &crate::object_diagram::ObjectDiagram,
+) -> ModelResult<Vec<String>> {
+    let mut violations = Vec::new();
+    for assoc in &classes.associations {
+        let m_a = Multiplicity::parse(&assoc.multiplicity_a)?;
+        let m_b = Multiplicity::parse(&assoc.multiplicity_b)?;
+        for inst in &objects.instances {
+            // Count this instance's links of this association.
+            let count = objects
+                .links
+                .iter()
+                .filter(|l| {
+                    l.association == assoc.name && (l.end_a == inst.name || l.end_b == inst.name)
+                })
+                .count();
+            // Which end does the instance play? (self-associations play both)
+            let partner_mult: Option<Multiplicity> = if inst.class == assoc.end_a {
+                Some(m_b) // an X sees m_b-many Ys
+            } else if inst.class == assoc.end_b {
+                Some(m_a)
+            } else {
+                None
+            };
+            if let Some(m) = partner_mult {
+                if !m.allows(count) {
+                    violations.push(format!(
+                        "instance '{}' has {count} '{}' link(s), multiplicity {m} requires otherwise",
+                        inst.name, assoc.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_diagram::{Association, Class, ClassDiagram};
+    use crate::object_diagram::{InstanceSpecification, Link, ObjectDiagram};
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["*", "1", "0..1", "1..*", "2..5"] {
+            let m = Multiplicity::parse(text).unwrap();
+            assert_eq!(m.to_string(), text);
+        }
+        assert_eq!(Multiplicity::parse(" 0 .. 1 ").unwrap(), Multiplicity { lower: 0, upper: Some(1) });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "a", "1..", "..2", "5..2", "-1"] {
+            assert!(Multiplicity::parse(text).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn allows_checks_bounds() {
+        let m = Multiplicity::parse("1..2").unwrap();
+        assert!(!m.allows(0));
+        assert!(m.allows(1));
+        assert!(m.allows(2));
+        assert!(!m.allows(3));
+        assert!(Multiplicity::ANY.allows(0));
+        assert!(Multiplicity::ANY.allows(1000));
+    }
+
+    fn model(mult_client_side: &str) -> (ClassDiagram, ObjectDiagram) {
+        let mut classes = ClassDiagram::new("c");
+        classes.add_class(Class::new("Comp")).unwrap();
+        classes.add_class(Class::new("Switch")).unwrap();
+        let mut assoc = Association::new("uplink", "Comp", "Switch");
+        // A Comp must have exactly this many Switch partners.
+        assoc.multiplicity_b = mult_client_side.to_string();
+        classes.add_association(assoc).unwrap();
+
+        let mut objects = ObjectDiagram::new("o");
+        objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        objects.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
+        objects.add_instance(InstanceSpecification::new("sw", "Switch")).unwrap();
+        objects.add_link(Link::new("uplink", "t1", "sw")).unwrap();
+        (classes, objects)
+    }
+
+    #[test]
+    fn satisfied_multiplicities_pass() {
+        let (classes, objects) = model("0..1");
+        assert!(check_multiplicities(&classes, &objects).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_mandatory_link_reported() {
+        // Every Comp needs exactly one uplink; t2 has none.
+        let (classes, objects) = model("1");
+        let violations = check_multiplicities(&classes, &objects).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("t2"), "{violations:?}");
+    }
+
+    #[test]
+    fn excess_links_reported() {
+        let (classes, mut objects) = model("0..1");
+        objects.add_instance(InstanceSpecification::new("sw2", "Switch")).unwrap();
+        objects.add_link(Link::new("uplink", "t1", "sw2")).unwrap();
+        let violations = check_multiplicities(&classes, &objects).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("t1"), "{violations:?}");
+    }
+
+    #[test]
+    fn star_ends_never_violate() {
+        let (classes, mut objects) = model("*");
+        for i in 0..5 {
+            objects.add_instance(InstanceSpecification::new(format!("x{i}"), "Switch")).unwrap();
+            objects.add_link(Link::new("uplink", "t1", format!("x{i}"))).unwrap();
+        }
+        assert!(check_multiplicities(&classes, &objects).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! UML object diagrams: deployed network topologies.
+//!
+//! Paper Sec. V-A1: *"Object diagrams describe a deployed network
+//! structure/topology composed of class instances, namely objects with all
+//! properties of the parent class, and links as instances of their
+//! relations. Object diagrams are used to describe both the complete
+//! network structure as well as the UPSIM."*
+//!
+//! Instances carry no own values — they inherit everything from their class
+//! (static attributes, Sec. V-A1). Links are instances of associations; a
+//! link may only connect instances whose classes match the association's
+//! ends (*"the possibility for connections is ruled by those existing
+//! associations"*, Sec. VI-B).
+
+use crate::class_diagram::ClassDiagram;
+use crate::error::{ModelError, ModelResult};
+use crate::value::Value;
+
+/// An `instanceSpecification`: a deployed component such as `t1:Comp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSpecification {
+    /// Instance name, unique within the diagram (e.g. `t1`).
+    pub name: String,
+    /// Name of the instantiated class (e.g. `Comp`).
+    pub class: String,
+}
+
+impl InstanceSpecification {
+    /// Creates an instance of `class` named `name`.
+    pub fn new(name: impl Into<String>, class: impl Into<String>) -> Self {
+        InstanceSpecification { name: name.into(), class: class.into() }
+    }
+
+    /// The UML rendering `name:Class` used in the paper's figures.
+    pub fn signature(&self) -> String {
+        format!("{}:{}", self.name, self.class)
+    }
+}
+
+/// A link: an instance of an association between two instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// The instantiated association's name.
+    pub association: String,
+    /// First endpoint (instance name).
+    pub end_a: String,
+    /// Second endpoint (instance name).
+    pub end_b: String,
+}
+
+impl Link {
+    /// Creates a link of `association` between the two named instances.
+    pub fn new(
+        association: impl Into<String>,
+        end_a: impl Into<String>,
+        end_b: impl Into<String>,
+    ) -> Self {
+        Link { association: association.into(), end_a: end_a.into(), end_b: end_b.into() }
+    }
+}
+
+/// An object diagram: the deployed topology (paper Fig. 9) or a UPSIM
+/// (paper Figs. 11, 12).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObjectDiagram {
+    /// Diagram name.
+    pub name: String,
+    /// Instances in insertion order.
+    pub instances: Vec<InstanceSpecification>,
+    /// Links in insertion order.
+    pub links: Vec<Link>,
+}
+
+impl ObjectDiagram {
+    /// Creates an empty diagram.
+    pub fn new(name: impl Into<String>) -> Self {
+        ObjectDiagram { name: name.into(), instances: Vec::new(), links: Vec::new() }
+    }
+
+    /// Adds an instance, enforcing unique names.
+    pub fn add_instance(&mut self, instance: InstanceSpecification) -> ModelResult<()> {
+        if self.instance(&instance.name).is_some() {
+            return Err(ModelError::DuplicateName { kind: "instance", name: instance.name });
+        }
+        self.instances.push(instance);
+        Ok(())
+    }
+
+    /// Adds a link; endpoints must be existing instances.
+    pub fn add_link(&mut self, link: Link) -> ModelResult<()> {
+        for end in [&link.end_a, &link.end_b] {
+            if self.instance(end).is_none() {
+                return Err(ModelError::UnknownElement { kind: "instance", name: end.clone() });
+            }
+        }
+        self.links.push(link);
+        Ok(())
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&InstanceSpecification> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// Resolves an attribute of an instance through its class (static
+    /// attributes — the instance itself holds no values).
+    pub fn instance_value<'d>(
+        &self,
+        classes: &'d ClassDiagram,
+        instance: &str,
+        attribute: &str,
+    ) -> Option<&'d Value> {
+        let inst = self.instance(instance)?;
+        classes.class(&inst.class)?.value(attribute)
+    }
+
+    /// All links incident to an instance.
+    pub fn links_of(&self, instance: &str) -> Vec<&Link> {
+        self.links.iter().filter(|l| l.end_a == instance || l.end_b == instance).collect()
+    }
+
+    /// Validates this diagram against its class diagram:
+    ///
+    /// 1. every instance's class exists and is concrete,
+    /// 2. every link's association exists,
+    /// 3. every link connects instances whose classes the association allows
+    ///    (either orientation),
+    /// 4. links connect exactly two (existing) instances — structural, but
+    ///    re-checked for diagrams built by deserialization.
+    pub fn validate(&self, classes: &ClassDiagram) -> ModelResult<()> {
+        for inst in &self.instances {
+            let class = classes.class(&inst.class).ok_or_else(|| ModelError::UnknownElement {
+                kind: "class",
+                name: inst.class.clone(),
+            })?;
+            if class.is_abstract {
+                return Err(ModelError::WellFormedness {
+                    rule: "no-abstract-instances",
+                    details: format!("instance '{}' instantiates abstract class '{}'", inst.name, class.name),
+                });
+            }
+        }
+        for link in &self.links {
+            let assoc = classes.association(&link.association).ok_or_else(|| {
+                ModelError::UnknownElement { kind: "association", name: link.association.clone() }
+            })?;
+            let a = self.instance(&link.end_a).ok_or_else(|| ModelError::UnknownElement {
+                kind: "instance",
+                name: link.end_a.clone(),
+            })?;
+            let b = self.instance(&link.end_b).ok_or_else(|| ModelError::UnknownElement {
+                kind: "instance",
+                name: link.end_b.clone(),
+            })?;
+            if !assoc.connects(&a.class, &b.class) {
+                return Err(ModelError::WellFormedness {
+                    rule: "link-conforms-to-association",
+                    details: format!(
+                        "link {}--{} instantiates '{}' which connects {}--{}, not {}--{}",
+                        link.end_a, link.end_b, assoc.name, assoc.end_a, assoc.end_b, a.class, b.class
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if this diagram is a sub-diagram of `other`: every instance
+    /// (by signature) and every link also occurs there. This is the UPSIM ⊆
+    /// infrastructure property of Definition 2.
+    pub fn is_subdiagram_of(&self, other: &ObjectDiagram) -> bool {
+        let inst_ok = self.instances.iter().all(|i| {
+            other.instance(&i.name).is_some_and(|o| o.class == i.class)
+        });
+        let link_ok = self.links.iter().all(|l| {
+            other.links.iter().any(|o| {
+                o.association == l.association
+                    && ((o.end_a == l.end_a && o.end_b == l.end_b)
+                        || (o.end_a == l.end_b && o.end_b == l.end_a))
+            })
+        });
+        inst_ok && link_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_diagram::{Association, Class, ClassDiagram};
+
+    fn classes() -> ClassDiagram {
+        let mut d = ClassDiagram::new("classes");
+        d.add_class(Class::new("Comp")).unwrap();
+        d.add_class(Class::new("HP2650")).unwrap();
+        let mut abstract_class = Class::new("Computer");
+        abstract_class.is_abstract = true;
+        d.add_class(abstract_class).unwrap();
+        d.add_association(Association::new("comp-hp", "Comp", "HP2650")).unwrap();
+        d
+    }
+
+    fn objects() -> ObjectDiagram {
+        let mut o = ObjectDiagram::new("topology");
+        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        o.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        o.add_link(Link::new("comp-hp", "t1", "e1")).unwrap();
+        o
+    }
+
+    #[test]
+    fn valid_diagram_passes() {
+        objects().validate(&classes()).unwrap();
+    }
+
+    #[test]
+    fn signature_matches_paper_notation() {
+        assert_eq!(InstanceSpecification::new("t1", "Comp").signature(), "t1:Comp");
+    }
+
+    #[test]
+    fn duplicate_instance_rejected() {
+        let mut o = objects();
+        assert!(matches!(
+            o.add_instance(InstanceSpecification::new("t1", "Comp")),
+            Err(ModelError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn link_to_missing_instance_rejected() {
+        let mut o = objects();
+        assert!(matches!(
+            o.add_link(Link::new("comp-hp", "t1", "ghost")),
+            Err(ModelError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_class_fails_validation() {
+        let mut o = objects();
+        o.instances.push(InstanceSpecification::new("x", "Ghost"));
+        assert!(matches!(o.validate(&classes()), Err(ModelError::UnknownElement { .. })));
+    }
+
+    #[test]
+    fn abstract_class_cannot_be_instantiated() {
+        let mut o = objects();
+        o.instances.push(InstanceSpecification::new("x", "Computer"));
+        assert!(matches!(
+            o.validate(&classes()),
+            Err(ModelError::WellFormedness { rule: "no-abstract-instances", .. })
+        ));
+    }
+
+    #[test]
+    fn link_must_conform_to_association_ends() {
+        let mut o = objects();
+        o.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
+        o.links.push(Link::new("comp-hp", "t1", "t2")); // Comp--Comp not allowed
+        assert!(matches!(
+            o.validate(&classes()),
+            Err(ModelError::WellFormedness { rule: "link-conforms-to-association", .. })
+        ));
+    }
+
+    #[test]
+    fn link_orientation_is_free() {
+        let mut o = objects();
+        o.links.push(Link::new("comp-hp", "e1", "t1")); // reversed is fine
+        o.validate(&classes()).unwrap();
+    }
+
+    #[test]
+    fn instance_values_resolve_through_class() {
+        let mut c = classes();
+        c.class_mut("Comp").unwrap().attributes.push(("MTBF".into(), Value::Real(3000.0)));
+        let o = objects();
+        assert_eq!(o.instance_value(&c, "t1", "MTBF"), Some(&Value::Real(3000.0)));
+        assert_eq!(o.instance_value(&c, "t1", "nope"), None);
+        assert_eq!(o.instance_value(&c, "ghost", "MTBF"), None);
+    }
+
+    #[test]
+    fn subdiagram_check() {
+        let full = objects();
+        let mut sub = ObjectDiagram::new("upsim");
+        sub.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        assert!(sub.is_subdiagram_of(&full));
+        sub.add_instance(InstanceSpecification::new("zz", "Comp")).unwrap();
+        assert!(!sub.is_subdiagram_of(&full));
+    }
+
+    #[test]
+    fn subdiagram_links_match_either_orientation() {
+        let full = objects();
+        let mut sub = ObjectDiagram::new("upsim");
+        sub.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        sub.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        sub.add_link(Link::new("comp-hp", "e1", "t1")).unwrap();
+        assert!(sub.is_subdiagram_of(&full));
+    }
+
+    #[test]
+    fn links_of_lists_incident_links() {
+        let o = objects();
+        assert_eq!(o.links_of("t1").len(), 1);
+        assert_eq!(o.links_of("e1").len(), 1);
+        assert!(o.links_of("nope").is_empty());
+    }
+}

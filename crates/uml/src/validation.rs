@@ -1,0 +1,205 @@
+//! Whole-model validation: collects *all* problems instead of stopping at
+//! the first, for tooling that reports to a human (methodology Step 1–3
+//! are manual in the paper; good diagnostics replace the Papyrus UI).
+
+use crate::activity::Activity;
+use crate::class_diagram::ClassDiagram;
+use crate::error::ModelError;
+use crate::object_diagram::ObjectDiagram;
+use crate::profile::Profile;
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Issue {
+    /// Which model the issue is in.
+    pub location: String,
+    /// The underlying error.
+    pub error: ModelError,
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.location, self.error)
+    }
+}
+
+/// Validates a complete model set and returns every issue found.
+///
+/// Checks:
+/// * object diagram conforms to the class diagram (instances, links),
+/// * every activity is well-formed per the paper's service-model rules,
+/// * every stereotype application on classes/associations references a
+///   known profile and stereotype with a compatible metaclass,
+/// * atomic-service names are unique across the supplied activities
+///   (paper Sec. II: "every atomic service provides a different
+///   functionality").
+pub fn validate_model(
+    profiles: &[&Profile],
+    classes: &ClassDiagram,
+    objects: &ObjectDiagram,
+    activities: &[&Activity],
+) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let push = |issues: &mut Vec<Issue>, location: &str, error: ModelError| {
+        issues.push(Issue { location: location.to_string(), error });
+    };
+
+    if let Err(e) = objects.validate(classes) {
+        push(&mut issues, &objects.name, e);
+    }
+
+    for activity in activities {
+        if let Err(e) = activity.validate() {
+            push(&mut issues, &activity.name, e);
+        }
+    }
+
+    // Stereotype application integrity.
+    let find_profile = |name: &str| profiles.iter().find(|p| p.name == name);
+    for class in &classes.classes {
+        for app in &class.applied {
+            match find_profile(&app.profile) {
+                None => push(
+                    &mut issues,
+                    &classes.name,
+                    ModelError::UnknownElement { kind: "profile", name: app.profile.clone() },
+                ),
+                Some(profile) => {
+                    if let Err(e) = profile.check_application(
+                        &app.stereotype,
+                        crate::profile::Metaclass::Class,
+                        &app.values,
+                    ) {
+                        push(&mut issues, &format!("{}::{}", classes.name, class.name), e);
+                    }
+                }
+            }
+        }
+    }
+    for assoc in &classes.associations {
+        for app in &assoc.applied {
+            match find_profile(&app.profile) {
+                None => push(
+                    &mut issues,
+                    &classes.name,
+                    ModelError::UnknownElement { kind: "profile", name: app.profile.clone() },
+                ),
+                Some(profile) => {
+                    if let Err(e) = profile.check_application(
+                        &app.stereotype,
+                        crate::profile::Metaclass::Association,
+                        &app.values,
+                    ) {
+                        push(&mut issues, &format!("{}::{}", classes.name, assoc.name), e);
+                    }
+                }
+            }
+        }
+    }
+
+    // Multiplicity conformance of the deployed links.
+    match crate::multiplicity::check_multiplicities(classes, objects) {
+        Ok(violations) => {
+            for v in violations {
+                push(
+                    &mut issues,
+                    &objects.name,
+                    ModelError::WellFormedness { rule: "multiplicity", details: v },
+                );
+            }
+        }
+        Err(e) => push(&mut issues, &classes.name, e),
+    }
+
+    // Atomic-service uniqueness across all composite services.
+    let mut seen = std::collections::HashSet::new();
+    for activity in activities {
+        for action in activity.actions() {
+            if !seen.insert(action.to_string()) {
+                push(
+                    &mut issues,
+                    &activity.name,
+                    ModelError::DuplicateName { kind: "atomic service", name: action.to_string() },
+                );
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_diagram::{Association, Class};
+    use crate::object_diagram::{InstanceSpecification, Link};
+    use crate::profile::{Metaclass, Stereotype};
+    use crate::value::{Attribute, Value, ValueType};
+
+    fn fixture() -> (Profile, ClassDiagram, ObjectDiagram, Activity) {
+        let profile = Profile::new("availability").with_stereotype(
+            Stereotype::new("Device", Metaclass::Class)
+                .with_attribute(Attribute::new("MTBF", ValueType::Real)),
+        );
+        let mut classes = ClassDiagram::new("classes");
+        classes.add_class(Class::new("Comp")).unwrap();
+        classes.add_class(Class::new("Server")).unwrap();
+        classes.add_association(Association::new("c-s", "Comp", "Server")).unwrap();
+        classes
+            .apply_to_class(&profile, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))])
+            .unwrap();
+        let mut objects = ObjectDiagram::new("topology");
+        objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        objects.add_instance(InstanceSpecification::new("s1", "Server")).unwrap();
+        objects.add_link(Link::new("c-s", "t1", "s1")).unwrap();
+        let activity = Activity::sequence("svc", &["authenticate", "send mail"]);
+        (profile, classes, objects, activity)
+    }
+
+    #[test]
+    fn clean_model_has_no_issues() {
+        let (p, c, o, a) = fixture();
+        assert!(validate_model(&[&p], &c, &o, &[&a]).is_empty());
+    }
+
+    #[test]
+    fn missing_profile_reported() {
+        let (_, c, o, a) = fixture();
+        let issues = validate_model(&[], &c, &o, &[&a]);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0].error, ModelError::UnknownElement { kind: "profile", .. }));
+    }
+
+    #[test]
+    fn duplicate_atomic_services_reported() {
+        let (p, c, o, _) = fixture();
+        let a1 = Activity::sequence("svc1", &["authenticate"]);
+        let a2 = Activity::sequence("svc2", &["authenticate"]);
+        let issues = validate_model(&[&p], &c, &o, &[&a1, &a2]);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0].error, ModelError::DuplicateName { kind: "atomic service", .. }));
+        assert!(issues[0].to_string().contains("svc2"));
+    }
+
+    #[test]
+    fn multiplicity_violations_surface_as_issues() {
+        let (p, mut c, o, a) = fixture();
+        // Require every Comp to hold exactly 2 server links; t1 has 1.
+        c.association_mut("c-s").unwrap().multiplicity_b = "2".into();
+        let issues = validate_model(&[&p], &c, &o, &[&a]);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(matches!(
+            issues[0].error,
+            ModelError::WellFormedness { rule: "multiplicity", .. }
+        ));
+    }
+
+    #[test]
+    fn multiple_issues_all_collected() {
+        let (p, c, mut o, _) = fixture();
+        o.instances.push(InstanceSpecification::new("x", "Ghost"));
+        let bad_activity = Activity::new("broken"); // no initial, no final
+        let issues = validate_model(&[&p], &c, &o, &[&bad_activity]);
+        assert!(issues.len() >= 2, "{issues:?}");
+    }
+}

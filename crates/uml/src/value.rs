@@ -1,0 +1,247 @@
+//! Typed attribute values for classes and stereotypes.
+
+use crate::error::{ModelError, ModelResult};
+use std::fmt;
+
+/// The primitive UML types used by the paper's profiles
+/// (`Real`, `Integer`, `String`; `Boolean` for completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// UML `String`.
+    String,
+    /// UML `Real` (IEEE double).
+    Real,
+    /// UML `Integer`.
+    Integer,
+    /// UML `Boolean`.
+    Boolean,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::String => "String",
+            ValueType::Real => "Real",
+            ValueType::Integer => "Integer",
+            ValueType::Boolean => "Boolean",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ValueType {
+    /// Parses the display name back into the type.
+    pub fn parse(s: &str) -> Option<ValueType> {
+        match s {
+            "String" => Some(ValueType::String),
+            "Real" => Some(ValueType::Real),
+            "Integer" => Some(ValueType::Integer),
+            "Boolean" => Some(ValueType::Boolean),
+            _ => None,
+        }
+    }
+}
+
+/// A typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    String(String),
+    /// A real number.
+    Real(f64),
+    /// An integer.
+    Integer(i64),
+    /// A boolean.
+    Boolean(bool),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::String(_) => ValueType::String,
+            Value::Real(_) => ValueType::Real,
+            Value::Integer(_) => ValueType::Integer,
+            Value::Boolean(_) => ValueType::Boolean,
+        }
+    }
+
+    /// Extracts a real, also accepting integers (UML's `Integer` conforms
+    /// to `Real` in the contexts the profiles use).
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the value in its XMI text form.
+    pub fn render(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::Real(r) => format!("{r}"),
+            Value::Integer(i) => format!("{i}"),
+            Value::Boolean(b) => format!("{b}"),
+        }
+    }
+
+    /// Parses a value of a known type from its XMI text form.
+    pub fn parse(ty: ValueType, text: &str) -> ModelResult<Value> {
+        let mismatch = || ModelError::TypeMismatch {
+            attribute: String::new(),
+            expected: ty,
+            found: text.to_string(),
+        };
+        Ok(match ty {
+            ValueType::String => Value::String(text.to_string()),
+            ValueType::Real => Value::Real(text.parse::<f64>().map_err(|_| mismatch())?),
+            ValueType::Integer => Value::Integer(text.parse::<i64>().map_err(|_| mismatch())?),
+            ValueType::Boolean => Value::Boolean(text.parse::<bool>().map_err(|_| mismatch())?),
+        })
+    }
+
+    /// Checks that this value conforms to `ty` (integers conform to Real).
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        self.value_type() == ty || (ty == ValueType::Real && matches!(self, Value::Integer(_)))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Integer(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Boolean(b)
+    }
+}
+
+/// A named, typed attribute declaration with an optional default.
+///
+/// Paper Sec. V-A1: classes may only have **static** attributes so that two
+/// instances of the same class are guaranteed identical properties; this is
+/// enforced structurally — an [`Attribute`] lives on the class/stereotype
+/// and instances never override it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (e.g. `MTBF`).
+    pub name: String,
+    /// Declared type.
+    pub value_type: ValueType,
+    /// Optional default value.
+    pub default: Option<Value>,
+}
+
+impl Attribute {
+    /// Declares an attribute without a default.
+    pub fn new(name: impl Into<String>, value_type: ValueType) -> Self {
+        Attribute { name: name.into(), value_type, default: None }
+    }
+
+    /// Declares an attribute with a default value.
+    ///
+    /// # Panics
+    /// Panics if the default does not conform to `value_type` — that is a
+    /// programming error in model construction code.
+    pub fn with_default(name: impl Into<String>, value: Value) -> Self {
+        let value_type = value.value_type();
+        Attribute { name: name.into(), value_type, default: Some(value) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Real(2.5).as_real(), Some(2.5));
+        assert_eq!(Value::Integer(3).as_real(), Some(3.0));
+        assert_eq!(Value::Integer(3).as_integer(), Some(3));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Boolean(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_real(), None);
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        for (ty, text) in [
+            (ValueType::Real, "60000"),
+            (ValueType::Real, "0.5"),
+            (ValueType::Integer, "-3"),
+            (ValueType::Boolean, "true"),
+            (ValueType::String, "copper"),
+        ] {
+            let v = Value::parse(ty, text).unwrap();
+            let back = Value::parse(ty, &v.render()).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse(ValueType::Real, "abc").is_err());
+        assert!(Value::parse(ValueType::Integer, "1.5").is_err());
+        assert!(Value::parse(ValueType::Boolean, "yes").is_err());
+    }
+
+    #[test]
+    fn conformance_rules() {
+        assert!(Value::Integer(1).conforms_to(ValueType::Real));
+        assert!(!Value::Real(1.0).conforms_to(ValueType::Integer));
+        assert!(Value::from("a").conforms_to(ValueType::String));
+    }
+
+    #[test]
+    fn value_type_display_parse_roundtrip() {
+        for ty in [ValueType::String, ValueType::Real, ValueType::Integer, ValueType::Boolean] {
+            assert_eq!(ValueType::parse(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(ValueType::parse("Complex"), None);
+    }
+}

@@ -1,0 +1,428 @@
+//! XMI-style XML serialization of the UML subset.
+//!
+//! The paper's toolchain exchanges models as XMI files between Papyrus and
+//! VIATRA2 (methodology Step 5). This module provides the equivalent
+//! interchange format on top of the `xmlio` substrate. The element
+//! vocabulary is a simplified XMI: one element per model construct, values
+//! rendered with explicit types so round-trips are lossless.
+
+use crate::activity::{Activity, ActivityNodeId, NodeKind};
+use crate::class_diagram::{Association, Class, ClassDiagram};
+use crate::error::{ModelError, ModelResult};
+use crate::object_diagram::{InstanceSpecification, Link, ObjectDiagram};
+use crate::profile::{Metaclass, Profile, Stereotype, StereotypeApplication};
+use crate::value::{Attribute, Value, ValueType};
+use xmlio::{Document, Element};
+
+fn ser_err(msg: impl Into<String>) -> ModelError {
+    ModelError::Serialization(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// values
+// ---------------------------------------------------------------------------
+
+fn value_element(tag: &str, name: &str, value: &Value) -> Element {
+    Element::new(tag)
+        .with_attr("name", name)
+        .with_attr("type", value.value_type().to_string())
+        .with_attr("value", value.render())
+}
+
+fn parse_value_element(el: &Element) -> ModelResult<(String, Value)> {
+    let name = el.require_attr("name")?.to_string();
+    let ty = ValueType::parse(el.require_attr("type")?)
+        .ok_or_else(|| ser_err(format!("unknown value type on '{name}'")))?;
+    let value = Value::parse(ty, el.require_attr("value")?)?;
+    Ok((name, value))
+}
+
+fn application_element(app: &StereotypeApplication) -> Element {
+    let mut el = Element::new("appliedStereotype")
+        .with_attr("profile", &app.profile)
+        .with_attr("stereotype", &app.stereotype);
+    for (name, value) in &app.values {
+        el.push_element(value_element("value", name, value));
+    }
+    el
+}
+
+fn parse_application(el: &Element) -> ModelResult<StereotypeApplication> {
+    let mut values = Vec::new();
+    for v in el.children_named("value") {
+        values.push(parse_value_element(v)?);
+    }
+    Ok(StereotypeApplication {
+        profile: el.require_attr("profile")?.to_string(),
+        stereotype: el.require_attr("stereotype")?.to_string(),
+        values,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// profiles
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Profile`] to XML.
+pub fn profile_to_xml(profile: &Profile) -> String {
+    let mut root = Element::new("profile").with_attr("name", &profile.name);
+    for st in &profile.stereotypes {
+        let mut el = Element::new("stereotype")
+            .with_attr("name", &st.name)
+            .with_attr("extends", st.extends.name())
+            .with_attr("abstract", st.is_abstract.to_string());
+        if let Some(parent) = &st.specializes {
+            el.set_attr("specializes", parent);
+        }
+        for attr in &st.attributes {
+            let mut a = Element::new("attribute")
+                .with_attr("name", &attr.name)
+                .with_attr("type", attr.value_type.to_string());
+            if let Some(default) = &attr.default {
+                a.set_attr("default", default.render());
+            }
+            el.push_element(a);
+        }
+        root.push_element(el);
+    }
+    xmlio::to_string_pretty(&Document::new(root))
+}
+
+/// Parses a [`Profile`] from XML.
+pub fn profile_from_xml(xml: &str) -> ModelResult<Profile> {
+    let doc = Document::parse(xml)?;
+    if doc.root.name != "profile" {
+        return Err(ser_err(format!("expected <profile>, found <{}>", doc.root.name)));
+    }
+    let mut profile = Profile::new(doc.root.require_attr("name")?);
+    for st_el in doc.root.children_named("stereotype") {
+        let extends = match st_el.require_attr("extends")? {
+            "Class" => Metaclass::Class,
+            "Association" => Metaclass::Association,
+            other => return Err(ser_err(format!("unknown metaclass '{other}'"))),
+        };
+        let mut st = Stereotype::new(st_el.require_attr("name")?, extends);
+        st.is_abstract = st_el.attr("abstract") == Some("true");
+        st.specializes = st_el.attr("specializes").map(str::to_string);
+        for a in st_el.children_named("attribute") {
+            let ty = ValueType::parse(a.require_attr("type")?)
+                .ok_or_else(|| ser_err("unknown attribute type"))?;
+            let mut attr = Attribute::new(a.require_attr("name")?, ty);
+            if let Some(default) = a.attr("default") {
+                attr.default = Some(Value::parse(ty, default)?);
+            }
+            st.attributes.push(attr);
+        }
+        profile.add_stereotype(st)?;
+    }
+    Ok(profile)
+}
+
+// ---------------------------------------------------------------------------
+// class diagrams
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`ClassDiagram`] to XML.
+pub fn class_diagram_to_xml(diagram: &ClassDiagram) -> String {
+    let mut root = Element::new("classDiagram").with_attr("name", &diagram.name);
+    for class in &diagram.classes {
+        let mut el = Element::new("class")
+            .with_attr("name", &class.name)
+            .with_attr("abstract", class.is_abstract.to_string());
+        for (name, value) in &class.attributes {
+            el.push_element(value_element("attribute", name, value));
+        }
+        for app in &class.applied {
+            el.push_element(application_element(app));
+        }
+        root.push_element(el);
+    }
+    for assoc in &diagram.associations {
+        let mut el = Element::new("association")
+            .with_attr("name", &assoc.name)
+            .with_attr("endA", &assoc.end_a)
+            .with_attr("endB", &assoc.end_b)
+            .with_attr("multiplicityA", &assoc.multiplicity_a)
+            .with_attr("multiplicityB", &assoc.multiplicity_b);
+        for app in &assoc.applied {
+            el.push_element(application_element(app));
+        }
+        root.push_element(el);
+    }
+    xmlio::to_string_pretty(&Document::new(root))
+}
+
+/// Parses a [`ClassDiagram`] from XML.
+pub fn class_diagram_from_xml(xml: &str) -> ModelResult<ClassDiagram> {
+    let doc = Document::parse(xml)?;
+    if doc.root.name != "classDiagram" {
+        return Err(ser_err(format!("expected <classDiagram>, found <{}>", doc.root.name)));
+    }
+    let mut diagram = ClassDiagram::new(doc.root.require_attr("name")?);
+    for el in doc.root.children_named("class") {
+        let mut class = Class::new(el.require_attr("name")?);
+        class.is_abstract = el.attr("abstract") == Some("true");
+        for a in el.children_named("attribute") {
+            class.attributes.push(parse_value_element(a)?);
+        }
+        for app in el.children_named("appliedStereotype") {
+            class.applied.push(parse_application(app)?);
+        }
+        diagram.add_class(class)?;
+    }
+    for el in doc.root.children_named("association") {
+        let mut assoc = Association::new(
+            el.require_attr("name")?,
+            el.require_attr("endA")?,
+            el.require_attr("endB")?,
+        );
+        if let Some(m) = el.attr("multiplicityA") {
+            assoc.multiplicity_a = m.to_string();
+        }
+        if let Some(m) = el.attr("multiplicityB") {
+            assoc.multiplicity_b = m.to_string();
+        }
+        for app in el.children_named("appliedStereotype") {
+            assoc.applied.push(parse_application(app)?);
+        }
+        diagram.add_association(assoc)?;
+    }
+    Ok(diagram)
+}
+
+// ---------------------------------------------------------------------------
+// object diagrams
+// ---------------------------------------------------------------------------
+
+/// Serializes an [`ObjectDiagram`] to XML.
+pub fn object_diagram_to_xml(diagram: &ObjectDiagram) -> String {
+    let mut root = Element::new("objectDiagram").with_attr("name", &diagram.name);
+    for inst in &diagram.instances {
+        root.push_element(
+            Element::new("instance")
+                .with_attr("name", &inst.name)
+                .with_attr("class", &inst.class),
+        );
+    }
+    for link in &diagram.links {
+        root.push_element(
+            Element::new("link")
+                .with_attr("association", &link.association)
+                .with_attr("endA", &link.end_a)
+                .with_attr("endB", &link.end_b),
+        );
+    }
+    xmlio::to_string_pretty(&Document::new(root))
+}
+
+/// Parses an [`ObjectDiagram`] from XML.
+pub fn object_diagram_from_xml(xml: &str) -> ModelResult<ObjectDiagram> {
+    let doc = Document::parse(xml)?;
+    if doc.root.name != "objectDiagram" {
+        return Err(ser_err(format!("expected <objectDiagram>, found <{}>", doc.root.name)));
+    }
+    let mut diagram = ObjectDiagram::new(doc.root.require_attr("name")?);
+    for el in doc.root.children_named("instance") {
+        diagram.add_instance(InstanceSpecification::new(
+            el.require_attr("name")?,
+            el.require_attr("class")?,
+        ))?;
+    }
+    for el in doc.root.children_named("link") {
+        diagram.add_link(Link::new(
+            el.require_attr("association")?,
+            el.require_attr("endA")?,
+            el.require_attr("endB")?,
+        ))?;
+    }
+    Ok(diagram)
+}
+
+// ---------------------------------------------------------------------------
+// activities
+// ---------------------------------------------------------------------------
+
+/// Serializes an [`Activity`] to XML.
+pub fn activity_to_xml(activity: &Activity) -> String {
+    let mut root = Element::new("activity").with_attr("name", &activity.name);
+    for id in activity.node_ids() {
+        let kind = activity.kind(id).expect("live node");
+        let mut el = Element::new("node").with_attr("id", id.index().to_string());
+        match kind {
+            NodeKind::Initial => el.set_attr("kind", "initial"),
+            NodeKind::Final => el.set_attr("kind", "final"),
+            NodeKind::Fork => el.set_attr("kind", "fork"),
+            NodeKind::Join => el.set_attr("kind", "join"),
+            NodeKind::Action(name) => {
+                el.set_attr("kind", "action");
+                el.set_attr("name", name);
+            }
+        }
+        root.push_element(el);
+    }
+    for (from, to) in activity.edges() {
+        root.push_element(
+            Element::new("edge")
+                .with_attr("from", from.index().to_string())
+                .with_attr("to", to.index().to_string()),
+        );
+    }
+    xmlio::to_string_pretty(&Document::new(root))
+}
+
+/// Parses an [`Activity`] from XML. Node ids must be dense `0..n` in
+/// document order (the form `activity_to_xml` produces).
+pub fn activity_from_xml(xml: &str) -> ModelResult<Activity> {
+    let doc = Document::parse(xml)?;
+    if doc.root.name != "activity" {
+        return Err(ser_err(format!("expected <activity>, found <{}>", doc.root.name)));
+    }
+    let mut activity = Activity::new(doc.root.require_attr("name")?);
+    for (expected, el) in doc.root.children_named("node").enumerate() {
+        let id: usize = el
+            .require_attr("id")?
+            .parse()
+            .map_err(|_| ser_err("non-numeric node id"))?;
+        if id != expected {
+            return Err(ser_err(format!("node ids must be dense, got {id} expected {expected}")));
+        }
+        let kind = match el.require_attr("kind")? {
+            "initial" => NodeKind::Initial,
+            "final" => NodeKind::Final,
+            "fork" => NodeKind::Fork,
+            "join" => NodeKind::Join,
+            "action" => NodeKind::Action(el.require_attr("name")?.to_string()),
+            other => return Err(ser_err(format!("unknown node kind '{other}'"))),
+        };
+        activity.add_node(kind);
+    }
+    let n = activity.node_count();
+    for el in doc.root.children_named("edge") {
+        let from: usize =
+            el.require_attr("from")?.parse().map_err(|_| ser_err("non-numeric edge endpoint"))?;
+        let to: usize =
+            el.require_attr("to")?.parse().map_err(|_| ser_err("non-numeric edge endpoint"))?;
+        if from >= n || to >= n {
+            return Err(ser_err(format!("edge endpoint out of range: {from}->{to}")));
+        }
+        activity.connect(ActivityNodeId(from), ActivityNodeId(to));
+    }
+    Ok(activity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Stereotype;
+
+    fn profile() -> Profile {
+        Profile::new("availability")
+            .with_stereotype(
+                Stereotype::new("Component", Metaclass::Class)
+                    .abstract_()
+                    .with_attribute(Attribute::new("MTBF", ValueType::Real))
+                    .with_attribute(Attribute::with_default(
+                        "redundantComponents",
+                        Value::Integer(0),
+                    )),
+            )
+            .with_stereotype(Stereotype::new("Device", Metaclass::Class).specializing("Component"))
+            .with_stereotype(Stereotype::new("Connector", Metaclass::Association))
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        let p = profile();
+        let xml = profile_to_xml(&p);
+        let back = profile_from_xml(&xml).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn class_diagram_roundtrip() {
+        let p = profile();
+        let mut d = ClassDiagram::new("classes");
+        d.add_class(Class::new("C6500")).unwrap();
+        d.add_class(Class::new("Comp")).unwrap();
+        d.apply_to_class(&p, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
+            .unwrap();
+        let mut assoc = Association::new("link", "Comp", "C6500");
+        assoc.multiplicity_a = "1".into();
+        d.add_association(assoc).unwrap();
+        d.apply_to_association(&p, "link", "Connector", &[]).unwrap();
+
+        let xml = class_diagram_to_xml(&d);
+        let back = class_diagram_from_xml(&xml).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.class("C6500").unwrap().value("MTBF"), Some(&Value::Real(183498.0)));
+    }
+
+    #[test]
+    fn object_diagram_roundtrip() {
+        let mut o = ObjectDiagram::new("topology");
+        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        o.add_instance(InstanceSpecification::new("c1", "C6500")).unwrap();
+        o.add_link(Link::new("link", "t1", "c1")).unwrap();
+        let xml = object_diagram_to_xml(&o);
+        let back = object_diagram_from_xml(&xml).unwrap();
+        assert_eq!(o, back);
+    }
+
+    #[test]
+    fn activity_roundtrip() {
+        let a = Activity::sequence("printing", &["Request printing", "Login to printer"]);
+        let xml = activity_to_xml(&a);
+        let back = activity_from_xml(&xml).unwrap();
+        assert_eq!(a, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn activity_with_fork_roundtrip() {
+        let mut a = Activity::new("par");
+        let i = a.add_node(NodeKind::Initial);
+        let fork = a.add_node(NodeKind::Fork);
+        let x = a.add_node(NodeKind::Action("x".into()));
+        let y = a.add_node(NodeKind::Action("y".into()));
+        let join = a.add_node(NodeKind::Join);
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(i, fork);
+        a.connect(fork, x);
+        a.connect(fork, y);
+        a.connect(x, join);
+        a.connect(y, join);
+        a.connect(join, fin);
+        let back = activity_from_xml(&activity_to_xml(&a)).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn wrong_root_detected() {
+        assert!(profile_from_xml("<nope/>").is_err());
+        assert!(class_diagram_from_xml("<nope/>").is_err());
+        assert!(object_diagram_from_xml("<nope/>").is_err());
+        assert!(activity_from_xml("<nope/>").is_err());
+    }
+
+    #[test]
+    fn bad_edge_endpoint_detected() {
+        let xml = "<activity name=\"x\"><node id=\"0\" kind=\"initial\"/><edge from=\"0\" to=\"7\"/></activity>";
+        assert!(activity_from_xml(xml).is_err());
+    }
+
+    #[test]
+    fn sparse_node_ids_rejected() {
+        let xml = "<activity name=\"x\"><node id=\"1\" kind=\"initial\"/></activity>";
+        assert!(activity_from_xml(xml).is_err());
+    }
+
+    #[test]
+    fn values_with_special_characters_roundtrip() {
+        let mut d = ClassDiagram::new("q");
+        let mut c = Class::new("A");
+        c.attributes.push(("note".into(), Value::from("a<b & \"c\"")));
+        d.add_class(c).unwrap();
+        let back = class_diagram_from_xml(&class_diagram_to_xml(&d)).unwrap();
+        assert_eq!(back.class("A").unwrap().value("note"), Some(&Value::from("a<b & \"c\"")));
+    }
+}

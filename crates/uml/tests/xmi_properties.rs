@@ -1,0 +1,120 @@
+//! Property-based XMI roundtrips: randomly generated model elements must
+//! survive serialization unchanged (the interchange guarantee Steps 5–6
+//! rely on).
+
+use proptest::prelude::*;
+use uml::activity::{Activity, NodeKind};
+use uml::class_diagram::{Association, Class, ClassDiagram};
+use uml::object_diagram::{InstanceSpecification, Link, ObjectDiagram};
+use uml::value::Value;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_ .-]{0,10}"
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        name_strategy().prop_map(Value::String),
+        // Finite reals that survive text roundtrips exactly.
+        (-1_000_000i32..1_000_000).prop_map(|i| Value::Real(i as f64 / 8.0)),
+        any::<i32>().prop_map(|i| Value::Integer(i as i64)),
+        any::<bool>().prop_map(Value::Boolean),
+    ]
+}
+
+fn class_diagram_strategy() -> impl Strategy<Value = ClassDiagram> {
+    (
+        name_strategy(),
+        proptest::collection::vec(
+            (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..3), any::<bool>()),
+            1..5,
+        ),
+    )
+        .prop_map(|(name, class_specs)| {
+            let mut d = ClassDiagram::new(name);
+            for (i, (base, attrs, is_abstract)) in class_specs.into_iter().enumerate() {
+                let mut c = Class::new(format!("{base}_{i}")); // unique names
+                c.is_abstract = is_abstract;
+                for (n, v) in attrs {
+                    if c.value(&n).is_none() {
+                        c.attributes.push((n, v));
+                    }
+                }
+                d.add_class(c).unwrap();
+            }
+            // A few associations between random class pairs.
+            let class_names: Vec<String> = d.classes.iter().map(|c| c.name.clone()).collect();
+            for (i, pair) in class_names.windows(2).enumerate() {
+                d.add_association(Association::new(format!("assoc_{i}"), &pair[0], &pair[1]))
+                    .unwrap();
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn class_diagrams_roundtrip(diagram in class_diagram_strategy()) {
+        let xml = uml::xmi::class_diagram_to_xml(&diagram);
+        let back = uml::xmi::class_diagram_from_xml(&xml).unwrap();
+        prop_assert_eq!(back, diagram);
+    }
+
+    #[test]
+    fn object_diagrams_roundtrip(
+        diagram in class_diagram_strategy(),
+        instance_count in 1usize..6,
+    ) {
+        let mut objects = ObjectDiagram::new("objects");
+        let concrete: Vec<&Class> = diagram.classes.iter().filter(|c| !c.is_abstract).collect();
+        if concrete.is_empty() {
+            return Ok(()); // nothing instantiable this round
+        }
+        for i in 0..instance_count {
+            let class = concrete[i % concrete.len()];
+            objects
+                .add_instance(InstanceSpecification::new(format!("i{i}"), &class.name))
+                .unwrap();
+        }
+        if instance_count >= 2 {
+            if let Some(assoc) = diagram.associations.first() {
+                // Link validity against the class diagram isn't required for
+                // the serialization roundtrip.
+                objects.add_link(Link::new(&assoc.name, "i0", "i1")).unwrap();
+            }
+        }
+        let xml = uml::xmi::object_diagram_to_xml(&objects);
+        let back = uml::xmi::object_diagram_from_xml(&xml).unwrap();
+        prop_assert_eq!(back, objects);
+    }
+
+    #[test]
+    fn sequential_activities_roundtrip(actions in proptest::collection::vec(name_strategy(), 0..6)) {
+        let refs: Vec<&str> = actions.iter().map(String::as_str).collect();
+        let activity = Activity::sequence("svc", &refs);
+        let xml = uml::xmi::activity_to_xml(&activity);
+        let back = uml::xmi::activity_from_xml(&xml).unwrap();
+        prop_assert_eq!(back, activity);
+    }
+
+    #[test]
+    fn forked_activities_roundtrip(branches in 2usize..5) {
+        let mut a = Activity::new("par");
+        let i = a.add_node(NodeKind::Initial);
+        let fork = a.add_node(NodeKind::Fork);
+        let join = a.add_node(NodeKind::Join);
+        let fin = a.add_node(NodeKind::Final);
+        a.connect(i, fork);
+        for b in 0..branches {
+            let action = a.add_node(NodeKind::Action(format!("branch {b}")));
+            a.connect(fork, action);
+            a.connect(action, join);
+        }
+        a.connect(join, fin);
+        a.validate().unwrap();
+        let back = uml::xmi::activity_from_xml(&uml::xmi::activity_to_xml(&a)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+}

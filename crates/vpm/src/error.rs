@@ -1,0 +1,70 @@
+//! Error type for model-space operations.
+
+use std::fmt;
+
+/// Result alias for model-space operations.
+pub type VpmResult<T> = std::result::Result<T, VpmError>;
+
+/// An error raised by model-space, pattern or transformation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VpmError {
+    /// No entity at the given fully-qualified name.
+    UnknownFqn(String),
+    /// The entity/relation id is dead or out of range.
+    DeadElement(String),
+    /// A sibling with this name already exists.
+    DuplicateChild {
+        /// Parent FQN.
+        parent: String,
+        /// Offending child name.
+        name: String,
+    },
+    /// Entity names may not contain the FQN separator.
+    InvalidName(String),
+    /// A pattern referenced an undeclared variable.
+    UnboundVariable(usize),
+    /// A transformation exceeded its iteration budget.
+    FixpointDiverged {
+        /// Rule name.
+        rule: String,
+        /// The budget that was exhausted.
+        max_iterations: usize,
+    },
+    /// An action reported a domain error.
+    Action(String),
+}
+
+impl fmt::Display for VpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpmError::UnknownFqn(fqn) => write!(f, "no entity at '{fqn}'"),
+            VpmError::DeadElement(what) => write!(f, "dead or invalid element: {what}"),
+            VpmError::DuplicateChild { parent, name } => {
+                write!(f, "'{parent}' already has a child named '{name}'")
+            }
+            VpmError::InvalidName(name) => {
+                write!(f, "invalid entity name '{name}' (must be non-empty, no '.')")
+            }
+            VpmError::UnboundVariable(v) => write!(f, "pattern uses undeclared variable #{v}"),
+            VpmError::FixpointDiverged { rule, max_iterations } => {
+                write!(f, "rule '{rule}' did not reach a fixpoint within {max_iterations} iterations")
+            }
+            VpmError::Action(msg) => write!(f, "transformation action failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_subject() {
+        assert!(VpmError::UnknownFqn("a.b".into()).to_string().contains("a.b"));
+        assert!(VpmError::FixpointDiverged { rule: "r1".into(), max_iterations: 7 }
+            .to_string()
+            .contains("r1"));
+    }
+}

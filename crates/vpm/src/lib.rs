@@ -1,0 +1,40 @@
+//! # vpm — a VIATRA2-style model space for model-to-model transformation
+//!
+//! The paper's methodology (Dittrich et al., IPPS 2013, Sec. V-C) runs on
+//! VIATRA2: models are imported into the **Visual and Precise Metamodeling
+//! (VPM) model space**, manipulated with declarative graph patterns and
+//! transformation rules (the VTCL language), and exported as the target
+//! model. VIATRA2 is an Eclipse/Java tool with no Rust equivalent, so this
+//! crate rebuilds the parts the methodology needs:
+//!
+//! * [`space::ModelSpace`] — hierarchical **entities** with fully-qualified
+//!   names, optional string values, `instanceOf` typing (with transitive
+//!   `supertypeOf`), and first-class typed **relations**,
+//! * [`pattern`] — declarative graph patterns over the model space with a
+//!   backtracking matcher (the VTCL pattern sublanguage),
+//! * [`transform`] — transformation rules (pattern + action) and execution
+//!   strategies (`choose`, `forall`, fixpoint iteration), with a
+//!   transformation **trace** substituting VIATRA2's reserved tree of
+//!   visited entities,
+//! * [`uml_import`] — the "UML native importer" of methodology Step 5:
+//!   profiles, class diagrams, object diagrams and activities from the
+//!   `uml` crate become model-space entities and relations.
+//!
+//! The concrete syntaxes (VTML metamodels, VTCL transformations) are
+//! replaced by typed Rust builders with the same semantics; see DESIGN.md
+//! §4.5 for the substitution rationale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod pattern;
+pub mod space;
+pub mod transform;
+pub mod uml_import;
+pub mod xml_import;
+
+pub use error::{VpmError, VpmResult};
+pub use pattern::{Constraint, Match, Pattern, Var};
+pub use space::{EntityId, ModelSpace, RelationId};
+pub use transform::{Machine, Rule, TraceEntry};

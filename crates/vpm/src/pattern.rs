@@ -1,0 +1,358 @@
+//! Declarative graph patterns over the model space.
+//!
+//! VIATRA2's VTCL offers *"declarative model queries and manipulation
+//! based on mathematical formalisms"* (paper Sec. V-C, [18]). A
+//! [`Pattern`] here is the same thing in Rust form: a set of entity
+//! variables plus constraints; [`Pattern::matches`] enumerates every
+//! assignment of live entities to variables satisfying all constraints
+//! (basic backtracking with relation-guided candidate pruning).
+
+use crate::error::{VpmError, VpmResult};
+use crate::space::{EntityId, ModelSpace};
+
+/// A pattern variable (index into the match row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub usize);
+
+/// A single pattern constraint.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// The variable is an instance of the type at this FQN
+    /// (transitively through supertypes).
+    InstanceOf(Var, String),
+    /// The variable's local name equals this string.
+    NameEquals(Var, String),
+    /// The variable's value equals this string.
+    ValueEquals(Var, String),
+    /// The variable lies in the subtree of this FQN (strictly below).
+    Under(Var, String),
+    /// A relation of this name runs from the first to the second variable.
+    RelatedTo(Var, String, Var),
+    /// A relation of this name connects the two variables in either
+    /// direction (network links are symmetric).
+    Adjacent(Var, String, Var),
+    /// A relation of *any* name connects the two variables in either
+    /// direction — used when relation names carry model data (the topology
+    /// links are named after their associations).
+    AdjacentAny(Var, Var),
+    /// **Negative** application condition: no relation of this name runs
+    /// from the first to the second variable.
+    NotRelated(Var, String, Var),
+    /// The two variables are bound to different entities.
+    Distinct(Var, Var),
+}
+
+/// A declarative pattern: `variables` entity variables constrained by
+/// `constraints`.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// Number of variables; match rows have this length.
+    pub variables: usize,
+    /// Conjunctive constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+/// One satisfying assignment: `row[v]` is the entity bound to `Var(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    row: Vec<EntityId>,
+}
+
+impl Match {
+    /// The entity bound to `var`.
+    pub fn get(&self, var: Var) -> EntityId {
+        self.row[var.0]
+    }
+
+    /// The full binding row.
+    pub fn row(&self) -> &[EntityId] {
+        &self.row
+    }
+}
+
+impl Pattern {
+    /// Creates a pattern with `variables` variables.
+    pub fn new(variables: usize) -> Self {
+        Pattern { variables, constraints: Vec::new() }
+    }
+
+    /// Builder: adds a constraint.
+    pub fn with(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    fn check_vars(&self) -> VpmResult<()> {
+        let check = |v: &Var| {
+            if v.0 >= self.variables {
+                Err(VpmError::UnboundVariable(v.0))
+            } else {
+                Ok(())
+            }
+        };
+        for c in &self.constraints {
+            match c {
+                Constraint::InstanceOf(v, _)
+                | Constraint::NameEquals(v, _)
+                | Constraint::ValueEquals(v, _)
+                | Constraint::Under(v, _) => check(v)?,
+                Constraint::RelatedTo(a, _, b)
+                | Constraint::Adjacent(a, _, b)
+                | Constraint::AdjacentAny(a, b)
+                | Constraint::NotRelated(a, _, b)
+                | Constraint::Distinct(a, b) => {
+                    check(a)?;
+                    check(b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a single constraint against a (possibly partial) assignment;
+    /// `None` entries are unbound and make the constraint vacuously true
+    /// for pruning purposes.
+    fn satisfied(
+        &self,
+        space: &ModelSpace,
+        constraint: &Constraint,
+        binding: &[Option<EntityId>],
+    ) -> VpmResult<bool> {
+        Ok(match constraint {
+            Constraint::InstanceOf(v, fqn) => match binding[v.0] {
+                Some(e) => {
+                    let ty = space.resolve(fqn)?;
+                    space.is_instance_of(e, ty)?
+                }
+                None => true,
+            },
+            Constraint::NameEquals(v, name) => match binding[v.0] {
+                Some(e) => space.name(e)? == name,
+                None => true,
+            },
+            Constraint::ValueEquals(v, value) => match binding[v.0] {
+                Some(e) => space.value(e)? == Some(value.as_str()),
+                None => true,
+            },
+            Constraint::Under(v, fqn) => match binding[v.0] {
+                Some(e) => {
+                    let ancestor = space.resolve(fqn)?;
+                    let mut cursor = space.parent(e)?;
+                    let mut found = false;
+                    while let Some(p) = cursor {
+                        if p == ancestor {
+                            found = true;
+                            break;
+                        }
+                        cursor = space.parent(p)?;
+                    }
+                    found
+                }
+                None => true,
+            },
+            Constraint::RelatedTo(a, name, b) => match (binding[a.0], binding[b.0]) {
+                (Some(ea), Some(eb)) => space.relations_from(ea, name).any(|(_, t)| t == eb),
+                _ => true,
+            },
+            Constraint::Adjacent(a, name, b) => match (binding[a.0], binding[b.0]) {
+                (Some(ea), Some(eb)) => {
+                    space.relations_from(ea, name).any(|(_, t)| t == eb)
+                        || space.relations_from(eb, name).any(|(_, t)| t == ea)
+                }
+                _ => true,
+            },
+            Constraint::AdjacentAny(a, b) => match (binding[a.0], binding[b.0]) {
+                (Some(ea), Some(eb)) => space
+                    .relations()
+                    .any(|(_, _, s, t)| (s == ea && t == eb) || (s == eb && t == ea)),
+                _ => true,
+            },
+            Constraint::NotRelated(a, name, b) => match (binding[a.0], binding[b.0]) {
+                (Some(ea), Some(eb)) => !space.relations_from(ea, name).any(|(_, t)| t == eb),
+                _ => true,
+            },
+            Constraint::Distinct(a, b) => match (binding[a.0], binding[b.0]) {
+                (Some(ea), Some(eb)) => ea != eb,
+                _ => true,
+            },
+        })
+    }
+
+    /// Enumerates all matches in a deterministic order (entity-id order per
+    /// variable).
+    pub fn matches(&self, space: &ModelSpace) -> VpmResult<Vec<Match>> {
+        self.check_vars()?;
+        let universe: Vec<EntityId> = space.entity_ids().collect();
+        let mut binding: Vec<Option<EntityId>> = vec![None; self.variables];
+        let mut out = Vec::new();
+        self.backtrack(space, &universe, &mut binding, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn backtrack(
+        &self,
+        space: &ModelSpace,
+        universe: &[EntityId],
+        binding: &mut Vec<Option<EntityId>>,
+        var: usize,
+        out: &mut Vec<Match>,
+    ) -> VpmResult<()> {
+        if var == self.variables {
+            out.push(Match { row: binding.iter().map(|b| b.expect("complete")).collect() });
+            return Ok(());
+        }
+        'candidates: for &candidate in universe {
+            binding[var] = Some(candidate);
+            for c in &self.constraints {
+                if !self.satisfied(space, c, binding)? {
+                    continue 'candidates;
+                }
+            }
+            self.backtrack(space, universe, binding, var + 1, out)?;
+        }
+        binding[var] = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small network-ish model space:
+    /// types.Device, types.Client (subtype of Device);
+    /// net.{t1,t2}:Client, net.{s1}:Device; links t1-s1, t2-s1.
+    fn space() -> ModelSpace {
+        let mut ms = ModelSpace::new();
+        let device = ms.ensure_path("types.Device").unwrap();
+        let client = ms.ensure_path("types.Client").unwrap();
+        ms.set_supertype(client, device).unwrap();
+        let t1 = ms.ensure_path("net.t1").unwrap();
+        let t2 = ms.ensure_path("net.t2").unwrap();
+        let s1 = ms.ensure_path("net.s1").unwrap();
+        ms.set_instance_of(t1, client).unwrap();
+        ms.set_instance_of(t2, client).unwrap();
+        ms.set_instance_of(s1, device).unwrap();
+        ms.new_relation("link", t1, s1).unwrap();
+        ms.new_relation("link", t2, s1).unwrap();
+        ms.set_value(t1, Some("laptop".into())).unwrap();
+        ms
+    }
+
+    #[test]
+    fn instance_of_matches_subtypes() {
+        let ms = space();
+        let p = Pattern::new(1).with(Constraint::InstanceOf(Var(0), "types.Device".into()));
+        assert_eq!(p.matches(&ms).unwrap().len(), 3); // t1, t2, s1
+        let p = Pattern::new(1).with(Constraint::InstanceOf(Var(0), "types.Client".into()));
+        assert_eq!(p.matches(&ms).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn related_to_is_directional_adjacent_is_not() {
+        let ms = space();
+        let t1 = ms.resolve("net.t1").unwrap();
+        let s1 = ms.resolve("net.s1").unwrap();
+        let directed = Pattern::new(2)
+            .with(Constraint::NameEquals(Var(0), "s1".into()))
+            .with(Constraint::RelatedTo(Var(0), "link".into(), Var(1)));
+        assert!(directed.matches(&ms).unwrap().is_empty()); // links point t->s
+
+        let adjacent = Pattern::new(2)
+            .with(Constraint::NameEquals(Var(0), "s1".into()))
+            .with(Constraint::Adjacent(Var(0), "link".into(), Var(1)));
+        let m = adjacent.matches(&ms).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|mm| mm.get(Var(0)) == s1));
+        assert!(m.iter().any(|mm| mm.get(Var(1)) == t1));
+    }
+
+    #[test]
+    fn value_and_name_constraints() {
+        let ms = space();
+        let p = Pattern::new(1).with(Constraint::ValueEquals(Var(0), "laptop".into()));
+        let m = p.matches(&ms).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(ms.name(m[0].get(Var(0))).unwrap(), "t1");
+    }
+
+    #[test]
+    fn under_scopes_to_subtree() {
+        let ms = space();
+        let p = Pattern::new(1)
+            .with(Constraint::Under(Var(0), "net".into()));
+        assert_eq!(p.matches(&ms).unwrap().len(), 3);
+        let p = Pattern::new(1).with(Constraint::Under(Var(0), "types".into()));
+        assert_eq!(p.matches(&ms).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn distinct_prunes_diagonal() {
+        let ms = space();
+        let both_clients = |extra: Option<Constraint>| {
+            let mut p = Pattern::new(2)
+                .with(Constraint::InstanceOf(Var(0), "types.Client".into()))
+                .with(Constraint::InstanceOf(Var(1), "types.Client".into()));
+            if let Some(c) = extra {
+                p = p.with(c);
+            }
+            p.matches(&ms).unwrap().len()
+        };
+        assert_eq!(both_clients(None), 4);
+        assert_eq!(both_clients(Some(Constraint::Distinct(Var(0), Var(1)))), 2);
+    }
+
+    #[test]
+    fn adjacent_any_ignores_relation_names() {
+        let mut ms = space();
+        let t1 = ms.resolve("net.t1").unwrap();
+        let t2 = ms.resolve("net.t2").unwrap();
+        ms.new_relation("special-cable", t1, t2).unwrap();
+        let p = Pattern::new(2)
+            .with(Constraint::NameEquals(Var(0), "t1".into()))
+            .with(Constraint::AdjacentAny(Var(0), Var(1)));
+        let m = p.matches(&ms).unwrap();
+        // t1 is linked (named "link") to s1 and (named "special-cable") to t2.
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn not_related_is_a_negative_condition() {
+        let ms = space();
+        // Clients with NO outgoing link to s1 — none exist.
+        let p = Pattern::new(2)
+            .with(Constraint::InstanceOf(Var(0), "types.Client".into()))
+            .with(Constraint::NameEquals(Var(1), "s1".into()))
+            .with(Constraint::NotRelated(Var(0), "link".into(), Var(1)));
+        assert!(p.matches(&ms).unwrap().is_empty());
+        // ...but with a nonexistent relation name everything matches.
+        let p = Pattern::new(2)
+            .with(Constraint::InstanceOf(Var(0), "types.Client".into()))
+            .with(Constraint::NameEquals(Var(1), "s1".into()))
+            .with(Constraint::NotRelated(Var(0), "tunnel".into(), Var(1)));
+        assert_eq!(p.matches(&ms).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let ms = space();
+        let p = Pattern::new(1).with(Constraint::Distinct(Var(0), Var(5)));
+        assert!(matches!(p.matches(&ms), Err(VpmError::UnboundVariable(5))));
+    }
+
+    #[test]
+    fn joined_pattern_finds_shared_provider() {
+        // Two distinct clients adjacent to the same device.
+        let ms = space();
+        let p = Pattern::new(3)
+            .with(Constraint::InstanceOf(Var(0), "types.Client".into()))
+            .with(Constraint::InstanceOf(Var(1), "types.Client".into()))
+            .with(Constraint::Distinct(Var(0), Var(1)))
+            .with(Constraint::Adjacent(Var(0), "link".into(), Var(2)))
+            .with(Constraint::Adjacent(Var(1), "link".into(), Var(2)));
+        let m = p.matches(&ms).unwrap();
+        assert_eq!(m.len(), 2); // (t1,t2,s1) and (t2,t1,s1)
+        let s1 = ms.resolve("net.s1").unwrap();
+        assert!(m.iter().all(|mm| mm.get(Var(2)) == s1));
+    }
+}

@@ -1,0 +1,569 @@
+//! The VPM model space: hierarchical typed entities and relations.
+//!
+//! VIATRA2's VPM core has exactly three concepts — *entities* (nodes in a
+//! containment tree, each with a fully-qualified name and an optional
+//! value), *relations* (typed edges between entities) and *typing*
+//! (`instanceOf` between any two entities, plus `supertypeOf` between
+//! types). This module reproduces that core. "The model space provides a
+//! flexible way to capture languages and models from various domains by
+//! identifying their entities and relations" (paper Sec. V-C).
+
+use crate::error::{VpmError, VpmResult};
+
+/// Handle to an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(u32);
+
+/// Handle to a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(u32);
+
+impl EntityId {
+    /// Raw index (for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// Raw index (for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entity {
+    name: String,
+    parent: Option<EntityId>,
+    value: Option<String>,
+    /// Direct types (instanceOf targets).
+    types: Vec<EntityId>,
+    /// Direct supertypes (for type entities).
+    supertypes: Vec<EntityId>,
+    children: Vec<EntityId>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Relation {
+    name: String,
+    source: EntityId,
+    target: EntityId,
+    alive: bool,
+}
+
+/// The model space. Created with an implicit root entity whose FQN is `""`.
+#[derive(Debug, Clone)]
+pub struct ModelSpace {
+    entities: Vec<Entity>,
+    relations: Vec<Relation>,
+}
+
+impl ModelSpace {
+    /// Creates a model space containing only the root.
+    pub fn new() -> Self {
+        ModelSpace {
+            entities: vec![Entity {
+                name: String::new(),
+                parent: None,
+                value: None,
+                types: Vec::new(),
+                supertypes: Vec::new(),
+                children: Vec::new(),
+                alive: true,
+            }],
+            relations: Vec::new(),
+        }
+    }
+
+    /// The root entity.
+    pub fn root(&self) -> EntityId {
+        EntityId(0)
+    }
+
+    fn entity_ref(&self, id: EntityId) -> VpmResult<&Entity> {
+        self.entities
+            .get(id.index())
+            .filter(|e| e.alive)
+            .ok_or_else(|| VpmError::DeadElement(format!("entity {:?}", id)))
+    }
+
+    fn entity_mut(&mut self, id: EntityId) -> VpmResult<&mut Entity> {
+        self.entities
+            .get_mut(id.index())
+            .filter(|e| e.alive)
+            .ok_or_else(|| VpmError::DeadElement(format!("entity {:?}", id)))
+    }
+
+    /// `true` if the entity is live.
+    pub fn is_live(&self, id: EntityId) -> bool {
+        self.entities.get(id.index()).is_some_and(|e| e.alive)
+    }
+
+    /// Creates a child entity under `parent`. Sibling names are unique.
+    pub fn new_entity(&mut self, parent: EntityId, name: &str) -> VpmResult<EntityId> {
+        if name.is_empty() || name.contains('.') {
+            return Err(VpmError::InvalidName(name.to_string()));
+        }
+        if self.child(parent, name)?.is_some() {
+            return Err(VpmError::DuplicateChild { parent: self.fqn(parent)?, name: name.to_string() });
+        }
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Entity {
+            name: name.to_string(),
+            parent: Some(parent),
+            value: None,
+            types: Vec::new(),
+            supertypes: Vec::new(),
+            children: Vec::new(),
+            alive: true,
+        });
+        self.entity_mut(parent)?.children.push(id);
+        Ok(id)
+    }
+
+    /// Deletes an entity, its subtree, and every relation touching any
+    /// deleted entity.
+    pub fn delete_entity(&mut self, id: EntityId) -> VpmResult<()> {
+        self.entity_ref(id)?;
+        // Collect subtree.
+        let mut doomed = vec![id];
+        let mut i = 0;
+        while i < doomed.len() {
+            let children = self.entity_ref(doomed[i])?.children.clone();
+            doomed.extend(children);
+            i += 1;
+        }
+        if let Some(parent) = self.entity_ref(id)?.parent {
+            let me = id;
+            self.entity_mut(parent)?.children.retain(|&c| c != me);
+        }
+        for d in &doomed {
+            self.entities[d.index()].alive = false;
+        }
+        for rel in &mut self.relations {
+            if rel.alive && (doomed.contains(&rel.source) || doomed.contains(&rel.target)) {
+                rel.alive = false;
+            }
+        }
+        // Drop dangling instanceOf/supertype references.
+        for e in &mut self.entities {
+            if e.alive {
+                e.types.retain(|t| !doomed.contains(t));
+                e.supertypes.retain(|t| !doomed.contains(t));
+            }
+        }
+        Ok(())
+    }
+
+    /// The local name of an entity.
+    pub fn name(&self, id: EntityId) -> VpmResult<&str> {
+        Ok(&self.entity_ref(id)?.name)
+    }
+
+    /// The parent of an entity (`None` for the root).
+    pub fn parent(&self, id: EntityId) -> VpmResult<Option<EntityId>> {
+        Ok(self.entity_ref(id)?.parent)
+    }
+
+    /// The children of an entity, in creation order.
+    pub fn children(&self, id: EntityId) -> VpmResult<Vec<EntityId>> {
+        Ok(self.entity_ref(id)?.children.clone())
+    }
+
+    /// The child of `parent` named `name`, if any.
+    pub fn child(&self, parent: EntityId, name: &str) -> VpmResult<Option<EntityId>> {
+        Ok(self
+            .entity_ref(parent)?
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.entities[c.index()].alive && self.entities[c.index()].name == name))
+    }
+
+    /// Sets (or clears) the value of an entity.
+    pub fn set_value(&mut self, id: EntityId, value: Option<String>) -> VpmResult<()> {
+        self.entity_mut(id)?.value = value;
+        Ok(())
+    }
+
+    /// The value of an entity.
+    pub fn value(&self, id: EntityId) -> VpmResult<Option<&str>> {
+        Ok(self.entity_ref(id)?.value.as_deref())
+    }
+
+    /// The fully-qualified dotted name (root = `""`).
+    pub fn fqn(&self, id: EntityId) -> VpmResult<String> {
+        let mut parts = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(c) = cursor {
+            let e = self.entity_ref(c)?;
+            if !e.name.is_empty() {
+                parts.push(e.name.clone());
+            }
+            cursor = e.parent;
+        }
+        parts.reverse();
+        Ok(parts.join("."))
+    }
+
+    /// Resolves a dotted FQN to an entity.
+    pub fn resolve(&self, fqn: &str) -> VpmResult<EntityId> {
+        let mut cursor = self.root();
+        if fqn.is_empty() {
+            return Ok(cursor);
+        }
+        for part in fqn.split('.') {
+            cursor = self
+                .child(cursor, part)?
+                .ok_or_else(|| VpmError::UnknownFqn(fqn.to_string()))?;
+        }
+        Ok(cursor)
+    }
+
+    /// Resolves a dotted FQN, creating missing path segments.
+    pub fn ensure_path(&mut self, fqn: &str) -> VpmResult<EntityId> {
+        let mut cursor = self.root();
+        if fqn.is_empty() {
+            return Ok(cursor);
+        }
+        for part in fqn.split('.') {
+            cursor = match self.child(cursor, part)? {
+                Some(c) => c,
+                None => self.new_entity(cursor, part)?,
+            };
+        }
+        Ok(cursor)
+    }
+
+    // -- typing ------------------------------------------------------------
+
+    /// Declares `instance` to be an instance of `type_entity`.
+    pub fn set_instance_of(&mut self, instance: EntityId, type_entity: EntityId) -> VpmResult<()> {
+        self.entity_ref(type_entity)?;
+        let e = self.entity_mut(instance)?;
+        if !e.types.contains(&type_entity) {
+            e.types.push(type_entity);
+        }
+        Ok(())
+    }
+
+    /// Declares `supertype` to be a supertype of `subtype`.
+    pub fn set_supertype(&mut self, subtype: EntityId, supertype: EntityId) -> VpmResult<()> {
+        self.entity_ref(supertype)?;
+        let e = self.entity_mut(subtype)?;
+        if !e.supertypes.contains(&supertype) {
+            e.supertypes.push(supertype);
+        }
+        Ok(())
+    }
+
+    /// Direct types of an entity.
+    pub fn types_of(&self, id: EntityId) -> VpmResult<Vec<EntityId>> {
+        Ok(self.entity_ref(id)?.types.clone())
+    }
+
+    /// `true` if `instance` is an instance of `type_entity`, directly or via
+    /// the transitive supertype closure of its direct types.
+    pub fn is_instance_of(&self, instance: EntityId, type_entity: EntityId) -> VpmResult<bool> {
+        for &direct in &self.entity_ref(instance)?.types {
+            if direct == type_entity || self.is_subtype_of(direct, type_entity)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// `true` if `sub` is (transitively) a subtype of `sup`.
+    pub fn is_subtype_of(&self, sub: EntityId, sup: EntityId) -> VpmResult<bool> {
+        let mut stack = vec![sub];
+        let mut seen = vec![sub];
+        while let Some(s) = stack.pop() {
+            for &parent in &self.entity_ref(s)?.supertypes {
+                if parent == sup {
+                    return Ok(true);
+                }
+                if !seen.contains(&parent) {
+                    seen.push(parent);
+                    stack.push(parent);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // -- relations -----------------------------------------------------------
+
+    /// Creates a named relation between two live entities.
+    pub fn new_relation(
+        &mut self,
+        name: &str,
+        source: EntityId,
+        target: EntityId,
+    ) -> VpmResult<RelationId> {
+        self.entity_ref(source)?;
+        self.entity_ref(target)?;
+        let id = RelationId(self.relations.len() as u32);
+        self.relations.push(Relation {
+            name: name.to_string(),
+            source,
+            target,
+            alive: true,
+        });
+        Ok(id)
+    }
+
+    /// Deletes a relation.
+    pub fn delete_relation(&mut self, id: RelationId) -> VpmResult<()> {
+        let rel = self
+            .relations
+            .get_mut(id.index())
+            .filter(|r| r.alive)
+            .ok_or_else(|| VpmError::DeadElement(format!("relation {:?}", id)))?;
+        rel.alive = false;
+        Ok(())
+    }
+
+    /// `(name, source, target)` of a live relation.
+    pub fn relation(&self, id: RelationId) -> VpmResult<(&str, EntityId, EntityId)> {
+        let rel = self
+            .relations
+            .get(id.index())
+            .filter(|r| r.alive)
+            .ok_or_else(|| VpmError::DeadElement(format!("relation {:?}", id)))?;
+        Ok((&rel.name, rel.source, rel.target))
+    }
+
+    /// Iterates over live relations as `(id, name, source, target)`.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &str, EntityId, EntityId)> {
+        self.relations.iter().enumerate().filter_map(|(i, r)| {
+            r.alive.then(|| (RelationId(i as u32), r.name.as_str(), r.source, r.target))
+        })
+    }
+
+    /// Live relations with the given name leaving `source`.
+    pub fn relations_from<'a>(
+        &'a self,
+        source: EntityId,
+        name: &'a str,
+    ) -> impl Iterator<Item = (RelationId, EntityId)> + 'a {
+        self.relations().filter_map(move |(id, n, s, t)| {
+            (s == source && n == name).then_some((id, t))
+        })
+    }
+
+    /// Live entity ids (including the root).
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.entities
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.alive.then_some(EntityId(i as u32)))
+    }
+
+    /// Number of live entities (including the root).
+    pub fn entity_count(&self) -> usize {
+        self.entities.iter().filter(|e| e.alive).count()
+    }
+
+    /// Number of live relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.iter().filter(|r| r.alive).count()
+    }
+
+    /// Renders the containment tree under `root` as indented text, with
+    /// values, types and outgoing relations — the debugging view VIATRA2's
+    /// model-space browser provides.
+    pub fn dump(&self, root: EntityId) -> VpmResult<String> {
+        let mut out = String::new();
+        self.dump_rec(root, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn dump_rec(&self, id: EntityId, depth: usize, out: &mut String) -> VpmResult<()> {
+        let e = self.entity_ref(id)?;
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(if e.name.is_empty() { "(root)" } else { &e.name });
+        if let Some(v) = &e.value {
+            out.push_str(&format!(" = {v:?}"));
+        }
+        let types: Vec<String> =
+            e.types.iter().filter_map(|&t| self.fqn(t).ok()).collect();
+        if !types.is_empty() {
+            out.push_str(&format!(" : {}", types.join(", ")));
+        }
+        let rels: Vec<String> = self
+            .relations()
+            .filter(|(_, _, s, _)| *s == id)
+            .filter_map(|(_, n, _, t)| self.fqn(t).ok().map(|f| format!("-{n}-> {f}")))
+            .collect();
+        if !rels.is_empty() {
+            out.push_str(&format!("  [{}]", rels.join(", ")));
+        }
+        out.push('\n');
+        for child in e.children.clone() {
+            if self.is_live(child) {
+                self.dump_rec(child, depth + 1, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All live entities in the subtree of `root` (inclusive).
+    pub fn subtree(&self, root: EntityId) -> VpmResult<Vec<EntityId>> {
+        let mut out = vec![root];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(
+                self.entity_ref(out[i])?
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| self.entities[c.index()].alive),
+            );
+            i += 1;
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ModelSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fqn_roundtrip() {
+        let mut ms = ModelSpace::new();
+        let id = ms.ensure_path("models.usi.t1").unwrap();
+        assert_eq!(ms.fqn(id).unwrap(), "models.usi.t1");
+        assert_eq!(ms.resolve("models.usi.t1").unwrap(), id);
+        assert_eq!(ms.resolve("").unwrap(), ms.root());
+        assert!(ms.resolve("models.nope").is_err());
+    }
+
+    #[test]
+    fn ensure_path_is_idempotent() {
+        let mut ms = ModelSpace::new();
+        let a = ms.ensure_path("a.b").unwrap();
+        let b = ms.ensure_path("a.b").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ms.entity_count(), 3); // root, a, a.b
+    }
+
+    #[test]
+    fn sibling_names_unique() {
+        let mut ms = ModelSpace::new();
+        let p = ms.ensure_path("ns").unwrap();
+        ms.new_entity(p, "x").unwrap();
+        assert!(matches!(ms.new_entity(p, "x"), Err(VpmError::DuplicateChild { .. })));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut ms = ModelSpace::new();
+        let root = ms.root();
+        assert!(matches!(ms.new_entity(root, ""), Err(VpmError::InvalidName(_))));
+        assert!(matches!(ms.new_entity(root, "a.b"), Err(VpmError::InvalidName(_))));
+    }
+
+    #[test]
+    fn values_settable() {
+        let mut ms = ModelSpace::new();
+        let e = ms.ensure_path("x").unwrap();
+        assert_eq!(ms.value(e).unwrap(), None);
+        ms.set_value(e, Some("183498".into())).unwrap();
+        assert_eq!(ms.value(e).unwrap(), Some("183498"));
+    }
+
+    #[test]
+    fn typing_with_supertypes() {
+        let mut ms = ModelSpace::new();
+        let class = ms.ensure_path("uml.Class").unwrap();
+        let device = ms.ensure_path("uml.Device").unwrap();
+        ms.set_supertype(device, class).unwrap();
+        let c6500 = ms.ensure_path("models.C6500").unwrap();
+        ms.set_instance_of(c6500, device).unwrap();
+        assert!(ms.is_instance_of(c6500, device).unwrap());
+        assert!(ms.is_instance_of(c6500, class).unwrap());
+        assert!(!ms.is_instance_of(c6500, ms.root()).unwrap());
+        assert!(ms.is_subtype_of(device, class).unwrap());
+        assert!(!ms.is_subtype_of(class, device).unwrap());
+    }
+
+    #[test]
+    fn supertype_cycles_do_not_hang() {
+        let mut ms = ModelSpace::new();
+        let a = ms.ensure_path("a").unwrap();
+        let b = ms.ensure_path("b").unwrap();
+        ms.set_supertype(a, b).unwrap();
+        ms.set_supertype(b, a).unwrap();
+        assert!(ms.is_subtype_of(a, b).unwrap());
+        assert!(ms.is_subtype_of(b, a).unwrap());
+        let c = ms.ensure_path("c").unwrap();
+        assert!(!ms.is_subtype_of(a, c).unwrap());
+    }
+
+    #[test]
+    fn relations_crud() {
+        let mut ms = ModelSpace::new();
+        let a = ms.ensure_path("m.a").unwrap();
+        let b = ms.ensure_path("m.b").unwrap();
+        let r = ms.new_relation("link", a, b).unwrap();
+        assert_eq!(ms.relation(r).unwrap(), ("link", a, b));
+        assert_eq!(ms.relations_from(a, "link").count(), 1);
+        assert_eq!(ms.relations_from(b, "link").count(), 0);
+        ms.delete_relation(r).unwrap();
+        assert_eq!(ms.relation_count(), 0);
+        assert!(ms.delete_relation(r).is_err());
+    }
+
+    #[test]
+    fn delete_entity_cascades() {
+        let mut ms = ModelSpace::new();
+        let parent = ms.ensure_path("m").unwrap();
+        let a = ms.ensure_path("m.a").unwrap();
+        let a_child = ms.ensure_path("m.a.attr").unwrap();
+        let b = ms.ensure_path("m.b").unwrap();
+        ms.new_relation("link", a, b).unwrap();
+        ms.new_relation("link", b, a_child).unwrap();
+        ms.delete_entity(a).unwrap();
+        assert!(!ms.is_live(a));
+        assert!(!ms.is_live(a_child));
+        assert!(ms.is_live(b));
+        assert_eq!(ms.relation_count(), 0);
+        assert_eq!(ms.children(parent).unwrap(), vec![b]);
+        // Name is free for reuse.
+        ms.new_entity(parent, "a").unwrap();
+    }
+
+    #[test]
+    fn dump_renders_names_values_types_and_relations() {
+        let mut ms = ModelSpace::new();
+        let ty = ms.ensure_path("uml.Class").unwrap();
+        let a = ms.ensure_path("m.a").unwrap();
+        let b = ms.ensure_path("m.b").unwrap();
+        ms.set_instance_of(a, ty).unwrap();
+        ms.set_value(a, Some("x".into())).unwrap();
+        ms.new_relation("link", a, b).unwrap();
+        let dump = ms.dump(ms.root()).unwrap();
+        assert!(dump.contains("(root)"), "{dump}");
+        assert!(dump.contains("a = \"x\" : uml.Class  [-link-> m.b]"), "{dump}");
+        // Indentation reflects containment depth.
+        assert!(dump.lines().any(|l| l.starts_with("    a")), "{dump}");
+    }
+
+    #[test]
+    fn subtree_lists_descendants() {
+        let mut ms = ModelSpace::new();
+        ms.ensure_path("m.a.x").unwrap();
+        ms.ensure_path("m.b").unwrap();
+        let m = ms.resolve("m").unwrap();
+        assert_eq!(ms.subtree(m).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Transformation rules and execution machine.
+//!
+//! VIATRA2 transformations combine graph patterns with abstract-state-
+//! machine control structures (paper Sec. V-C, [18]). The [`Machine`] here
+//! provides the strategies the methodology needs: `choose` (apply to the
+//! first match), `forall` (apply to every match of a frozen snapshot) and
+//! `iterate` (re-match and apply until fixpoint, with a divergence budget).
+//! Every application is recorded in a [`TraceEntry`] log — the substitute
+//! for VIATRA2's reserved tree of visited entities.
+
+use crate::error::{VpmError, VpmResult};
+use crate::pattern::{Match, Pattern};
+use crate::space::ModelSpace;
+
+/// The effect of a rule: mutates the space given one match.
+pub type Action<'a> = Box<dyn Fn(&mut ModelSpace, &Match) -> VpmResult<()> + 'a>;
+
+/// A transformation rule: a precondition pattern plus an action.
+pub struct Rule<'a> {
+    /// Rule name (for traces and diagnostics).
+    pub name: String,
+    /// Precondition.
+    pub pattern: Pattern,
+    /// Effect.
+    pub action: Action<'a>,
+}
+
+impl<'a> Rule<'a> {
+    /// Creates a rule.
+    pub fn new(
+        name: impl Into<String>,
+        pattern: Pattern,
+        action: impl Fn(&mut ModelSpace, &Match) -> VpmResult<()> + 'a,
+    ) -> Self {
+        Rule { name: name.into(), pattern, action: Box::new(action) }
+    }
+}
+
+/// One recorded rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The rule that fired.
+    pub rule: String,
+    /// The strategy under which it fired.
+    pub strategy: &'static str,
+    /// The match row (entity ids) it fired on.
+    pub bindings: Vec<crate::space::EntityId>,
+}
+
+/// Executes rules against a model space, recording a trace.
+#[derive(Default)]
+pub struct Machine {
+    trace: Vec<TraceEntry>,
+}
+
+impl Machine {
+    /// Creates a machine with an empty trace.
+    pub fn new() -> Self {
+        Machine { trace: Vec::new() }
+    }
+
+    /// The recorded applications so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Clears the trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    fn record(&mut self, rule: &Rule<'_>, strategy: &'static str, m: &Match) {
+        self.trace.push(TraceEntry {
+            rule: rule.name.clone(),
+            strategy,
+            bindings: m.row().to_vec(),
+        });
+    }
+
+    /// Applies the rule to the first match, if any. Returns whether it fired.
+    pub fn choose(&mut self, space: &mut ModelSpace, rule: &Rule<'_>) -> VpmResult<bool> {
+        let matches = rule.pattern.matches(space)?;
+        match matches.into_iter().next() {
+            Some(m) => {
+                (rule.action)(space, &m)?;
+                self.record(rule, "choose", &m);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Applies the rule once to **every** match of the current state
+    /// (matches are computed before any action runs, VTCL `forall`
+    /// semantics). Matches whose bound entities were deleted by earlier
+    /// actions in the same sweep are skipped. Returns the number of
+    /// applications.
+    pub fn forall(&mut self, space: &mut ModelSpace, rule: &Rule<'_>) -> VpmResult<usize> {
+        let matches = rule.pattern.matches(space)?;
+        let mut fired = 0;
+        for m in matches {
+            if m.row().iter().any(|&e| !space.is_live(e)) {
+                continue;
+            }
+            (rule.action)(space, &m)?;
+            self.record(rule, "forall", &m);
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Repeats `choose` until the pattern no longer matches, up to
+    /// `max_iterations` applications. Returns the number of applications.
+    pub fn iterate(
+        &mut self,
+        space: &mut ModelSpace,
+        rule: &Rule<'_>,
+        max_iterations: usize,
+    ) -> VpmResult<usize> {
+        for fired in 0..max_iterations {
+            let matches = rule.pattern.matches(space)?;
+            match matches.into_iter().next() {
+                Some(m) => {
+                    (rule.action)(space, &m)?;
+                    self.record(rule, "iterate", &m);
+                }
+                None => return Ok(fired),
+            }
+        }
+        // Budget exhausted: one more match means divergence.
+        if rule.pattern.matches(space)?.is_empty() {
+            Ok(max_iterations)
+        } else {
+            Err(VpmError::FixpointDiverged { rule: rule.name.clone(), max_iterations })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Constraint, Var};
+
+    /// Space with N "pending" entities under `queue` that rules move to
+    /// `done`.
+    fn space(n: usize) -> ModelSpace {
+        let mut ms = ModelSpace::new();
+        ms.ensure_path("queue").unwrap();
+        ms.ensure_path("done").unwrap();
+        for i in 0..n {
+            let e = ms.ensure_path(&format!("queue.item{i}")).unwrap();
+            ms.set_value(e, Some("pending".into())).unwrap();
+        }
+        ms
+    }
+
+    fn pending_pattern() -> Pattern {
+        Pattern::new(1)
+            .with(Constraint::Under(Var(0), "queue".into()))
+            .with(Constraint::ValueEquals(Var(0), "pending".into()))
+    }
+
+    #[test]
+    fn choose_fires_once() {
+        let mut ms = space(3);
+        let rule = Rule::new("complete-one", pending_pattern(), |space, m| {
+            space.set_value(m.get(Var(0)), Some("done".into()))
+        });
+        let mut machine = Machine::new();
+        assert!(machine.choose(&mut ms, &rule).unwrap());
+        let still_pending = pending_pattern().matches(&ms).unwrap().len();
+        assert_eq!(still_pending, 2);
+        assert_eq!(machine.trace().len(), 1);
+        assert_eq!(machine.trace()[0].strategy, "choose");
+    }
+
+    #[test]
+    fn choose_reports_no_match() {
+        let mut ms = space(0);
+        let rule = Rule::new("noop", pending_pattern(), |_, _| Ok(()));
+        let mut machine = Machine::new();
+        assert!(!machine.choose(&mut ms, &rule).unwrap());
+        assert!(machine.trace().is_empty());
+    }
+
+    #[test]
+    fn forall_applies_to_snapshot() {
+        let mut ms = space(4);
+        let rule = Rule::new("complete-all", pending_pattern(), |space, m| {
+            space.set_value(m.get(Var(0)), Some("done".into()))
+        });
+        let mut machine = Machine::new();
+        assert_eq!(machine.forall(&mut ms, &rule).unwrap(), 4);
+        assert!(pending_pattern().matches(&ms).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forall_skips_entities_deleted_mid_sweep() {
+        let mut ms = space(3);
+        // Deleting item0's *sibling* item1 during the sweep invalidates the
+        // pre-computed match for item1.
+        let rule = Rule::new("delete-next", pending_pattern(), |space, m| {
+            let me = m.get(Var(0));
+            if space.name(me)? == "item0" {
+                let victim = space.resolve("queue.item1")?;
+                space.delete_entity(victim)?;
+            } else {
+                space.set_value(me, Some("done".into()))?;
+            }
+            Ok(())
+        });
+        let mut machine = Machine::new();
+        let fired = machine.forall(&mut ms, &rule).unwrap();
+        assert_eq!(fired, 2); // item0 and item2; item1 was gone
+    }
+
+    #[test]
+    fn iterate_reaches_fixpoint() {
+        let mut ms = space(5);
+        let rule = Rule::new("drain", pending_pattern(), |space, m| {
+            space.set_value(m.get(Var(0)), Some("done".into()))
+        });
+        let mut machine = Machine::new();
+        assert_eq!(machine.iterate(&mut ms, &rule, 100).unwrap(), 5);
+        assert_eq!(machine.trace().len(), 5);
+    }
+
+    #[test]
+    fn iterate_detects_divergence() {
+        let mut ms = space(1);
+        // Action never changes the match set → diverges.
+        let rule = Rule::new("spin", pending_pattern(), |_, _| Ok(()));
+        let mut machine = Machine::new();
+        assert!(matches!(
+            machine.iterate(&mut ms, &rule, 10),
+            Err(VpmError::FixpointDiverged { .. })
+        ));
+    }
+
+    #[test]
+    fn iterate_exact_budget_is_ok() {
+        let mut ms = space(3);
+        let rule = Rule::new("drain", pending_pattern(), |space, m| {
+            space.set_value(m.get(Var(0)), Some("done".into()))
+        });
+        let mut machine = Machine::new();
+        assert_eq!(machine.iterate(&mut ms, &rule, 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn action_errors_propagate() {
+        let mut ms = space(1);
+        let rule = Rule::new("fail", pending_pattern(), |_, _| {
+            Err(VpmError::Action("boom".into()))
+        });
+        let mut machine = Machine::new();
+        assert!(matches!(machine.choose(&mut ms, &rule), Err(VpmError::Action(_))));
+    }
+}

@@ -1,0 +1,353 @@
+//! The "UML native importer" — methodology Step 5.
+//!
+//! Paper Sec. V-B: *"Import ICT infrastructure and service UML models to
+//! the VIATRA2 model space using its native UML importer. VIATRA2 creates
+//! entities for model elements and their relations. Also, atomic services
+//! are transformed into entities of the model space."*
+//!
+//! Mapping conventions (mirroring VIATRA2's UML2 importer):
+//!
+//! * a metamodel namespace `uml.metamodel` holds one type entity per UML
+//!   construct (`Class`, `Association`, `InstanceSpecification`, `Activity`,
+//!   `Action`, ...),
+//! * profiles land under `profiles.<name>`; each stereotype becomes a type
+//!   entity whose `supertypeOf` chain mirrors stereotype specialization,
+//! * classes land under the given namespace, `instanceOf uml.metamodel.Class`
+//!   **and** `instanceOf` every applied stereotype's entity — so patterns can
+//!   query by stereotype (e.g. "all Switch-stereotyped classes"),
+//!   with attribute values as child entities (name = attribute, value =
+//!   rendered value),
+//! * object-diagram instances are `instanceOf` their **class entity** (VPM
+//!   typing spans model levels), links become relations *named after their
+//!   association* between the instance entities,
+//! * activities become a subtree with one child per node and `flow`
+//!   relations for control flow; actions carry the atomic-service name as
+//!   their value.
+
+use crate::error::VpmResult;
+use crate::space::{EntityId, ModelSpace};
+use uml::activity::{Activity, NodeKind};
+use uml::class_diagram::ClassDiagram;
+use uml::object_diagram::ObjectDiagram;
+use uml::profile::Profile;
+
+/// FQN of the metamodel namespace.
+pub const METAMODEL_NS: &str = "uml.metamodel";
+/// Relation name used for activity control flow.
+pub const FLOW_RELATION: &str = "flow";
+
+/// The UML constructs registered in the metamodel namespace.
+pub const METAMODEL_TYPES: &[&str] = &[
+    "Class",
+    "Association",
+    "InstanceSpecification",
+    "Activity",
+    "Action",
+    "InitialNode",
+    "FinalNode",
+    "ForkNode",
+    "JoinNode",
+    "Attribute",
+    "Profile",
+    "Stereotype",
+];
+
+/// Replaces FQN-hostile characters in element names.
+fn sanitize(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// Ensures the metamodel namespace exists and returns its entity.
+pub fn ensure_metamodel(space: &mut ModelSpace) -> VpmResult<EntityId> {
+    let ns = space.ensure_path(METAMODEL_NS)?;
+    for ty in METAMODEL_TYPES {
+        if space.child(ns, ty)?.is_none() {
+            space.new_entity(ns, ty)?;
+        }
+    }
+    Ok(ns)
+}
+
+fn metatype(space: &mut ModelSpace, name: &str) -> VpmResult<EntityId> {
+    ensure_metamodel(space)?;
+    space.resolve(&format!("{METAMODEL_NS}.{name}"))
+}
+
+/// Imports a profile under `profiles.<name>`; returns the profile entity.
+pub fn import_profile(space: &mut ModelSpace, profile: &Profile) -> VpmResult<EntityId> {
+    let ty_profile = metatype(space, "Profile")?;
+    let ty_stereotype = metatype(space, "Stereotype")?;
+    let ty_attribute = metatype(space, "Attribute")?;
+    let root = space.ensure_path(&format!("profiles.{}", sanitize(&profile.name)))?;
+    space.set_instance_of(root, ty_profile)?;
+    // First pass: create stereotype entities.
+    for st in &profile.stereotypes {
+        let e = space.new_entity(root, &sanitize(&st.name))?;
+        space.set_instance_of(e, ty_stereotype)?;
+        if st.is_abstract {
+            space.set_value(e, Some("abstract".into()))?;
+        }
+        for attr in &st.attributes {
+            let a = space.new_entity(e, &sanitize(&attr.name))?;
+            space.set_instance_of(a, ty_attribute)?;
+            space.set_value(a, Some(attr.value_type.to_string()))?;
+        }
+    }
+    // Second pass: specialization → supertypeOf.
+    for st in &profile.stereotypes {
+        if let Some(parent) = &st.specializes {
+            let sub = space.child(root, &sanitize(&st.name))?.expect("created above");
+            let sup = space.child(root, &sanitize(parent))?.expect("declared in profile");
+            space.set_supertype(sub, sup)?;
+        }
+    }
+    Ok(root)
+}
+
+/// Imports a class diagram under the namespace `ns`; returns the namespace
+/// entity. Applied stereotypes must have been imported (via
+/// [`import_profile`]) for the stereotype typing links to resolve; missing
+/// profiles degrade gracefully (the class is still imported, typed only as
+/// `Class`).
+pub fn import_class_diagram(
+    space: &mut ModelSpace,
+    diagram: &ClassDiagram,
+    ns: &str,
+) -> VpmResult<EntityId> {
+    let ty_class = metatype(space, "Class")?;
+    let ty_assoc = metatype(space, "Association")?;
+    let ty_attribute = metatype(space, "Attribute")?;
+    let root = space.ensure_path(ns)?;
+
+    for class in &diagram.classes {
+        let e = space.new_entity(root, &sanitize(&class.name))?;
+        space.set_instance_of(e, ty_class)?;
+        // Stereotype typing: instanceOf the stereotype entity.
+        for app in &class.applied {
+            let fqn = format!("profiles.{}.{}", sanitize(&app.profile), sanitize(&app.stereotype));
+            if let Ok(st) = space.resolve(&fqn) {
+                space.set_instance_of(e, st)?;
+            }
+            for (name, value) in &app.values {
+                let sanitized = sanitize(name);
+                if space.child(e, &sanitized)?.is_none() {
+                    let a = space.new_entity(e, &sanitized)?;
+                    space.set_instance_of(a, ty_attribute)?;
+                    space.set_value(a, Some(value.render()))?;
+                }
+            }
+        }
+        for (name, value) in &class.attributes {
+            let sanitized = sanitize(name);
+            if space.child(e, &sanitized)?.is_none() {
+                let a = space.new_entity(e, &sanitized)?;
+                space.set_instance_of(a, ty_attribute)?;
+                space.set_value(a, Some(value.render()))?;
+            } else if let Some(existing) = space.child(e, &sanitized)? {
+                // Own attributes shadow stereotype values (same rule as
+                // `uml::Class::value`).
+                space.set_value(existing, Some(value.render()))?;
+            }
+        }
+    }
+    for assoc in &diagram.associations {
+        let e = space.new_entity(root, &sanitize(&assoc.name))?;
+        space.set_instance_of(e, ty_assoc)?;
+        let end_a = space.child(root, &sanitize(&assoc.end_a))?;
+        let end_b = space.child(root, &sanitize(&assoc.end_b))?;
+        if let (Some(a), Some(b)) = (end_a, end_b) {
+            space.new_relation("end", e, a)?;
+            space.new_relation("end", e, b)?;
+        }
+    }
+    Ok(root)
+}
+
+/// Imports an object diagram under `ns`, typing instances by the class
+/// entities previously imported under `class_ns`. Links become relations
+/// named after their association. Returns the namespace entity.
+pub fn import_object_diagram(
+    space: &mut ModelSpace,
+    diagram: &ObjectDiagram,
+    ns: &str,
+    class_ns: &str,
+) -> VpmResult<EntityId> {
+    let ty_instance = metatype(space, "InstanceSpecification")?;
+    let root = space.ensure_path(ns)?;
+    let class_root = space.resolve(class_ns)?;
+
+    for inst in &diagram.instances {
+        let e = space.new_entity(root, &sanitize(&inst.name))?;
+        space.set_instance_of(e, ty_instance)?;
+        if let Some(class_entity) = space.child(class_root, &sanitize(&inst.class))? {
+            space.set_instance_of(e, class_entity)?;
+        }
+    }
+    for link in &diagram.links {
+        let a = space.child(root, &sanitize(&link.end_a))?.expect("instance imported");
+        let b = space.child(root, &sanitize(&link.end_b))?.expect("instance imported");
+        space.new_relation(&sanitize(&link.association), a, b)?;
+    }
+    Ok(root)
+}
+
+/// Imports an activity under `ns.<activity-name>`; returns the activity
+/// entity. Node children are named `n0..n{k}`; actions carry the atomic
+/// service name as value (the paper's "atomic services are transformed into
+/// entities").
+pub fn import_activity(space: &mut ModelSpace, activity: &Activity, ns: &str) -> VpmResult<EntityId> {
+    let ty_activity = metatype(space, "Activity")?;
+    let ty_action = metatype(space, "Action")?;
+    let ty_initial = metatype(space, "InitialNode")?;
+    let ty_final = metatype(space, "FinalNode")?;
+    let ty_fork = metatype(space, "ForkNode")?;
+    let ty_join = metatype(space, "JoinNode")?;
+
+    let parent = space.ensure_path(ns)?;
+    let root = space.new_entity(parent, &sanitize(&activity.name))?;
+    space.set_instance_of(root, ty_activity)?;
+
+    let mut node_entities = Vec::with_capacity(activity.node_count());
+    for id in activity.node_ids() {
+        let e = space.new_entity(root, &format!("n{}", id.index()))?;
+        match activity.kind(id).expect("live node") {
+            NodeKind::Initial => space.set_instance_of(e, ty_initial)?,
+            NodeKind::Final => space.set_instance_of(e, ty_final)?,
+            NodeKind::Fork => space.set_instance_of(e, ty_fork)?,
+            NodeKind::Join => space.set_instance_of(e, ty_join)?,
+            NodeKind::Action(name) => {
+                space.set_instance_of(e, ty_action)?;
+                space.set_value(e, Some(name.clone()))?;
+            }
+        }
+        node_entities.push(e);
+    }
+    for (from, to) in activity.edges() {
+        space.new_relation(FLOW_RELATION, node_entities[from.index()], node_entities[to.index()])?;
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uml::class_diagram::{Association, Class};
+    use uml::object_diagram::{InstanceSpecification, Link};
+    use uml::profile::{Metaclass, Stereotype};
+    use uml::value::{Attribute, Value, ValueType};
+
+    fn sample_profile() -> Profile {
+        Profile::new("availability")
+            .with_stereotype(
+                Stereotype::new("Component", Metaclass::Class)
+                    .abstract_()
+                    .with_attribute(Attribute::new("MTBF", ValueType::Real)),
+            )
+            .with_stereotype(Stereotype::new("Device", Metaclass::Class).specializing("Component"))
+    }
+
+    fn sample_classes() -> ClassDiagram {
+        let p = sample_profile();
+        let mut d = ClassDiagram::new("classes");
+        d.add_class(Class::new("Comp")).unwrap();
+        d.add_class(Class::new("Server")).unwrap();
+        d.apply_to_class(&p, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))]).unwrap();
+        d.add_association(Association::new("c-s", "Comp", "Server")).unwrap();
+        d
+    }
+
+    #[test]
+    fn metamodel_created_once() {
+        let mut ms = ModelSpace::new();
+        ensure_metamodel(&mut ms).unwrap();
+        let count = ms.entity_count();
+        ensure_metamodel(&mut ms).unwrap();
+        assert_eq!(ms.entity_count(), count);
+        assert!(ms.resolve("uml.metamodel.Class").is_ok());
+    }
+
+    #[test]
+    fn profile_import_builds_type_hierarchy() {
+        let mut ms = ModelSpace::new();
+        import_profile(&mut ms, &sample_profile()).unwrap();
+        let component = ms.resolve("profiles.availability.Component").unwrap();
+        let device = ms.resolve("profiles.availability.Device").unwrap();
+        assert!(ms.is_subtype_of(device, component).unwrap());
+        assert_eq!(ms.value(component).unwrap(), Some("abstract"));
+        let mtbf = ms.resolve("profiles.availability.Component.MTBF").unwrap();
+        assert_eq!(ms.value(mtbf).unwrap(), Some("Real"));
+    }
+
+    #[test]
+    fn class_import_types_by_stereotype() {
+        let mut ms = ModelSpace::new();
+        import_profile(&mut ms, &sample_profile()).unwrap();
+        import_class_diagram(&mut ms, &sample_classes(), "models.classes").unwrap();
+        let comp = ms.resolve("models.classes.Comp").unwrap();
+        let device = ms.resolve("profiles.availability.Device").unwrap();
+        let component = ms.resolve("profiles.availability.Component").unwrap();
+        let class_ty = ms.resolve("uml.metamodel.Class").unwrap();
+        assert!(ms.is_instance_of(comp, class_ty).unwrap());
+        assert!(ms.is_instance_of(comp, device).unwrap());
+        assert!(ms.is_instance_of(comp, component).unwrap(), "via supertype");
+        // Attribute values are value children.
+        let mtbf = ms.resolve("models.classes.Comp.MTBF").unwrap();
+        assert_eq!(ms.value(mtbf).unwrap(), Some("3000"));
+    }
+
+    #[test]
+    fn association_import_links_ends() {
+        let mut ms = ModelSpace::new();
+        import_class_diagram(&mut ms, &sample_classes(), "models.classes").unwrap();
+        let assoc = ms.resolve("models.classes.c-s").unwrap();
+        let ends: Vec<_> = ms.relations_from(assoc, "end").map(|(_, t)| t).collect();
+        assert_eq!(ends.len(), 2);
+    }
+
+    #[test]
+    fn object_import_types_instances_by_class_entity() {
+        let mut ms = ModelSpace::new();
+        import_class_diagram(&mut ms, &sample_classes(), "models.classes").unwrap();
+        let mut od = ObjectDiagram::new("topology");
+        od.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        od.add_instance(InstanceSpecification::new("s1", "Server")).unwrap();
+        od.add_link(Link::new("c-s", "t1", "s1")).unwrap();
+        import_object_diagram(&mut ms, &od, "models.topology", "models.classes").unwrap();
+
+        let t1 = ms.resolve("models.topology.t1").unwrap();
+        let comp_class = ms.resolve("models.classes.Comp").unwrap();
+        assert!(ms.is_instance_of(t1, comp_class).unwrap());
+        let s1 = ms.resolve("models.topology.s1").unwrap();
+        assert_eq!(ms.relations_from(t1, "c-s").map(|(_, t)| t).collect::<Vec<_>>(), vec![s1]);
+    }
+
+    #[test]
+    fn activity_import_builds_flow() {
+        let mut ms = ModelSpace::new();
+        let act = Activity::sequence("printing", &["Request printing", "Login to printer"]);
+        import_activity(&mut ms, &act, "services").unwrap();
+        let root = ms.resolve("services.printing").unwrap();
+        assert_eq!(ms.children(root).unwrap().len(), 4); // initial + 2 actions + final
+        let action_ty = ms.resolve("uml.metamodel.Action").unwrap();
+        let actions: Vec<String> = ms
+            .subtree(root)
+            .unwrap()
+            .into_iter()
+            .filter(|&e| ms.is_instance_of(e, action_ty).unwrap())
+            .map(|e| ms.value(e).unwrap().unwrap().to_string())
+            .collect();
+        assert_eq!(actions, vec!["Request printing", "Login to printer"]);
+        // Flow relations: initial->a1->a2->final = 3 edges.
+        let flows = ms.relations().filter(|(_, n, _, _)| *n == FLOW_RELATION).count();
+        assert_eq!(flows, 3);
+    }
+
+    #[test]
+    fn names_with_dots_are_sanitized() {
+        let mut ms = ModelSpace::new();
+        let mut d = ClassDiagram::new("x");
+        d.add_class(Class::new("v2.0")).unwrap();
+        import_class_diagram(&mut ms, &d, "models.x").unwrap();
+        assert!(ms.resolve("models.x.v2_0").is_ok());
+    }
+}

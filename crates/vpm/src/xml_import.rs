@@ -1,0 +1,188 @@
+//! Generic XML importer — any XML document becomes a model-space subtree.
+//!
+//! VIATRA2 ships generic importers that lift arbitrary structured models
+//! into the VPM space; the paper's custom mapping importer (Step 6) is a
+//! specialization of this idea. The generic lifting used here:
+//!
+//! * an element becomes an entity `instanceOf xml.metamodel.Element`, named
+//!   after its tag (suffixed for repeated siblings),
+//! * attributes become child entities `instanceOf xml.metamodel.Attribute`
+//!   holding the attribute value,
+//! * text content is concatenated into the element entity's value,
+//! * document order of element children is preserved via `next` relations
+//!   between sibling entities (XML order is semantically relevant, FQNs
+//!   are not ordered).
+
+use crate::error::VpmResult;
+use crate::space::{EntityId, ModelSpace};
+use xmlio::{Element, Node};
+
+/// FQN of the XML metamodel namespace.
+pub const XML_METAMODEL_NS: &str = "xml.metamodel";
+/// Relation linking consecutive element children.
+pub const NEXT_RELATION: &str = "next";
+
+fn metamodel(space: &mut ModelSpace) -> VpmResult<(EntityId, EntityId)> {
+    let ns = space.ensure_path(XML_METAMODEL_NS)?;
+    let element = match space.child(ns, "Element")? {
+        Some(e) => e,
+        None => space.new_entity(ns, "Element")?,
+    };
+    let attribute = match space.child(ns, "Attribute")? {
+        Some(e) => e,
+        None => space.new_entity(ns, "Attribute")?,
+    };
+    Ok((element, attribute))
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned = name.replace('.', "_").replace(' ', "_");
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Creates a child entity with a unique sibling name derived from `base`.
+fn unique_child(space: &mut ModelSpace, parent: EntityId, base: &str) -> VpmResult<EntityId> {
+    let base = sanitize(base);
+    if space.child(parent, &base)?.is_none() {
+        return space.new_entity(parent, &base);
+    }
+    let mut i = 2usize;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if space.child(parent, &candidate)?.is_none() {
+            return space.new_entity(parent, &candidate);
+        }
+        i += 1;
+    }
+}
+
+fn import_element(
+    space: &mut ModelSpace,
+    parent: EntityId,
+    element: &Element,
+    ty_element: EntityId,
+    ty_attribute: EntityId,
+) -> VpmResult<EntityId> {
+    let entity = unique_child(space, parent, &element.name)?;
+    space.set_instance_of(entity, ty_element)?;
+    for (name, value) in &element.attributes {
+        let attr = unique_child(space, entity, name)?;
+        space.set_instance_of(attr, ty_attribute)?;
+        space.set_value(attr, Some(value.clone()))?;
+    }
+    let mut text = String::new();
+    let mut previous: Option<EntityId> = None;
+    for child in &element.children {
+        match child {
+            Node::Element(e) => {
+                let child_entity =
+                    import_element(space, entity, e, ty_element, ty_attribute)?;
+                if let Some(prev) = previous {
+                    space.new_relation(NEXT_RELATION, prev, child_entity)?;
+                }
+                previous = Some(child_entity);
+            }
+            Node::Text(t) => text.push_str(t),
+            Node::Comment(_) => {}
+        }
+    }
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        space.set_value(entity, Some(trimmed.to_string()))?;
+    }
+    Ok(entity)
+}
+
+/// Imports an XML document under the namespace `ns`; returns the entity of
+/// the document's root element.
+pub fn import_xml(space: &mut ModelSpace, xml: &str, ns: &str) -> VpmResult<EntityId> {
+    let doc = xmlio::parse(xml)
+        .map_err(|e| crate::error::VpmError::Action(format!("XML parse failed: {e}")))?;
+    let (ty_element, ty_attribute) = metamodel(space)?;
+    let parent = space.ensure_path(ns)?;
+    import_element(space, parent, &doc.root, ty_element, ty_attribute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_file_lifts_to_entities() {
+        // The paper's Fig. 3 fragment through the *generic* importer.
+        let xml = "<atomicservice id=\"as1\">\
+                   <requester id=\"t1\"/><provider id=\"printS\"/>\
+                   </atomicservice>";
+        let mut space = ModelSpace::new();
+        let root = import_xml(&mut space, xml, "imported").unwrap();
+        assert_eq!(space.fqn(root).unwrap(), "imported.atomicservice");
+        let id_attr = space.resolve("imported.atomicservice.id").unwrap();
+        assert_eq!(space.value(id_attr).unwrap(), Some("as1"));
+        let rq = space.resolve("imported.atomicservice.requester").unwrap();
+        let ty = space.resolve("xml.metamodel.Element").unwrap();
+        assert!(space.is_instance_of(rq, ty).unwrap());
+        assert_eq!(
+            space.value(space.resolve("imported.atomicservice.requester.id").unwrap()).unwrap(),
+            Some("t1")
+        );
+    }
+
+    #[test]
+    fn repeated_siblings_get_unique_names_and_order_relations() {
+        let xml = "<m><p x=\"1\"/><p x=\"2\"/><p x=\"3\"/></m>";
+        let mut space = ModelSpace::new();
+        import_xml(&mut space, xml, "doc").unwrap();
+        let first = space.resolve("doc.m.p").unwrap();
+        let second = space.resolve("doc.m.p_2").unwrap();
+        let third = space.resolve("doc.m.p_3").unwrap();
+        // Document order chained via `next`.
+        let next_of = |space: &ModelSpace, e| {
+            space.relations_from(e, NEXT_RELATION).map(|(_, t)| t).next()
+        };
+        assert_eq!(next_of(&space, first), Some(second));
+        assert_eq!(next_of(&space, second), Some(third));
+        assert_eq!(next_of(&space, third), None);
+    }
+
+    #[test]
+    fn text_content_becomes_value() {
+        let xml = "<note>remember <b>this</b> well</note>";
+        let mut space = ModelSpace::new();
+        let root = import_xml(&mut space, xml, "doc").unwrap();
+        assert_eq!(space.value(root).unwrap(), Some("remember  well"));
+        let b = space.resolve("doc.note.b").unwrap();
+        assert_eq!(space.value(b).unwrap(), Some("this"));
+    }
+
+    #[test]
+    fn name_collision_between_attribute_and_element_resolved() {
+        let xml = "<m id=\"a\"><id>body</id></m>";
+        let mut space = ModelSpace::new();
+        import_xml(&mut space, xml, "doc").unwrap();
+        let attr = space.resolve("doc.m.id").unwrap();
+        let element = space.resolve("doc.m.id_2").unwrap();
+        let ty_attr = space.resolve("xml.metamodel.Attribute").unwrap();
+        assert!(space.is_instance_of(attr, ty_attr).unwrap());
+        assert!(!space.is_instance_of(element, ty_attr).unwrap());
+    }
+
+    #[test]
+    fn invalid_xml_is_reported() {
+        let mut space = ModelSpace::new();
+        assert!(import_xml(&mut space, "<oops>", "doc").is_err());
+    }
+
+    #[test]
+    fn multiple_imports_share_the_metamodel() {
+        let mut space = ModelSpace::new();
+        import_xml(&mut space, "<a/>", "d1").unwrap();
+        let count = space.entity_count();
+        import_xml(&mut space, "<b/>", "d2").unwrap();
+        // Only the d2 namespace and the b element were added.
+        assert_eq!(space.entity_count(), count + 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration: VTCL-style declarative queries over the imported USI case
+//! study — the model-space view of the paper's Fig. 8/9 facts.
+
+use uml::class_diagram::{Association, Class, ClassDiagram};
+use uml::object_diagram::{InstanceSpecification, Link, ObjectDiagram};
+use uml::profile::{Metaclass, Profile, Stereotype};
+use uml::value::{Attribute, Value, ValueType};
+use vpm::{Constraint, ModelSpace, Pattern, Var};
+
+/// A miniature of the USI model structure: two stereotyped classes, a
+/// topology with two clients on a switch.
+fn build_space() -> ModelSpace {
+    let network = Profile::new("network")
+        .with_stereotype(
+            Stereotype::new("Network Device", Metaclass::Class)
+                .abstract_()
+                .with_attribute(Attribute::with_default("manufacturer", Value::from("unknown"))),
+        )
+        .with_stereotype(Stereotype::new("Switch", Metaclass::Class).specializing("Network Device"))
+        .with_stereotype(
+            Stereotype::new("Computer", Metaclass::Class).abstract_().specializing("Network Device"),
+        )
+        .with_stereotype(Stereotype::new("Client", Metaclass::Class).specializing("Computer"));
+    let availability = Profile::new("availability").with_stereotype(
+        Stereotype::new("Device", Metaclass::Class)
+            .with_attribute(Attribute::new("MTBF", ValueType::Real)),
+    );
+
+    let mut classes = ClassDiagram::new("classes");
+    classes.add_class(Class::new("HP2650")).unwrap();
+    classes.add_class(Class::new("Comp")).unwrap();
+    classes.apply_to_class(&network, "HP2650", "Switch", &[("manufacturer".into(), Value::from("HP"))]).unwrap();
+    classes.apply_to_class(&availability, "HP2650", "Device", &[("MTBF".into(), Value::Real(199_000.0))]).unwrap();
+    classes.apply_to_class(&network, "Comp", "Client", &[]).unwrap();
+    classes.apply_to_class(&availability, "Comp", "Device", &[("MTBF".into(), Value::Real(3_000.0))]).unwrap();
+    classes.add_association(Association::new("uplink", "Comp", "HP2650")).unwrap();
+
+    let mut objects = ObjectDiagram::new("topology");
+    objects.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+    objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+    objects.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
+    objects.add_link(Link::new("uplink", "t1", "e1")).unwrap();
+    objects.add_link(Link::new("uplink", "t2", "e1")).unwrap();
+
+    let mut space = ModelSpace::new();
+    vpm::uml_import::import_profile(&mut space, &network).unwrap();
+    vpm::uml_import::import_profile(&mut space, &availability).unwrap();
+    vpm::uml_import::import_class_diagram(&mut space, &classes, "models.classes").unwrap();
+    vpm::uml_import::import_object_diagram(&mut space, &objects, "models.topology", "models.classes")
+        .unwrap();
+    space
+}
+
+#[test]
+fn query_classes_by_abstract_stereotype() {
+    let space = build_space();
+    // Both classes are Network Devices through stereotype specialization.
+    let p = Pattern::new(1)
+        .with(Constraint::Under(Var(0), "models.classes".into()))
+        .with(Constraint::InstanceOf(Var(0), "profiles.network.Network Device".into()));
+    assert_eq!(p.matches(&space).unwrap().len(), 2);
+    // Only one is a Switch.
+    let p = Pattern::new(1)
+        .with(Constraint::InstanceOf(Var(0), "profiles.network.Switch".into()));
+    let m = p.matches(&space).unwrap();
+    assert_eq!(m.len(), 1);
+    assert_eq!(space.name(m[0].get(Var(0))).unwrap(), "HP2650");
+}
+
+#[test]
+fn query_instances_through_class_typing() {
+    let space = build_space();
+    let comp_class = space.resolve("models.classes.Comp").unwrap();
+    // All instances of the Comp class.
+    let instances: Vec<String> = space
+        .entity_ids()
+        .filter(|&e| space.is_instance_of(e, comp_class).unwrap())
+        .filter(|&e| space.fqn(e).unwrap().starts_with("models.topology"))
+        .map(|e| space.name(e).unwrap().to_string())
+        .collect();
+    assert_eq!(instances, vec!["t1", "t2"]);
+}
+
+#[test]
+fn query_attribute_values_in_the_space() {
+    let space = build_space();
+    let mtbf = space.resolve("models.classes.HP2650.MTBF").unwrap();
+    assert_eq!(space.value(mtbf).unwrap(), Some("199000"));
+    let manufacturer = space.resolve("models.classes.HP2650.manufacturer").unwrap();
+    assert_eq!(space.value(manufacturer).unwrap(), Some("HP"));
+}
+
+#[test]
+fn adjacency_query_finds_the_shared_switch() {
+    let space = build_space();
+    // Two distinct entities adjacent (via the uplink relation) to the same
+    // third — the shared-provider join.
+    let p = Pattern::new(3)
+        .with(Constraint::Under(Var(0), "models.topology".into()))
+        .with(Constraint::Under(Var(1), "models.topology".into()))
+        .with(Constraint::Distinct(Var(0), Var(1)))
+        .with(Constraint::Adjacent(Var(0), "uplink".into(), Var(2)))
+        .with(Constraint::Adjacent(Var(1), "uplink".into(), Var(2)));
+    let matches = p.matches(&space).unwrap();
+    assert_eq!(matches.len(), 2); // (t1,t2,e1) and (t2,t1,e1)
+    let e1 = space.resolve("models.topology.e1").unwrap();
+    assert!(matches.iter().all(|m| m.get(Var(2)) == e1));
+}
+
+#[test]
+fn space_dump_shows_the_whole_import() {
+    let space = build_space();
+    let dump = space.dump(space.root()).unwrap();
+    for needle in ["HP2650", "MTBF = \"199000\"", "t1", "-uplink->"] {
+        assert!(dump.contains(needle), "missing {needle:?} in dump:\n{dump}");
+    }
+}

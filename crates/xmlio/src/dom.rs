@@ -1,0 +1,244 @@
+//! A simple document object model built from the event stream.
+
+use crate::error::{Error, ErrorKind, Position, Result};
+use crate::parser::{Event, Parser};
+use crate::writer::{WriteOptions, Writer};
+
+/// A child node of an [`Element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data.
+    Text(String),
+    /// A comment (`<!-- ... -->`).
+    Comment(String),
+}
+
+impl Node {
+    /// Returns the contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: name, attributes (in document order) and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element (tag) name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: adds an attribute and returns `self`.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder-style: appends a child element and returns `self`.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: appends character data and returns `self`.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Sets (or replaces) an attribute value.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a mandatory attribute, with a descriptive error.
+    pub fn require_attr(&self, name: &str) -> Result<&str> {
+        self.attr(name).ok_or_else(|| {
+            Error::new(
+                Position::START,
+                ErrorKind::InvalidName(format!("<{}> is missing required attribute '{}'", self.name, name)),
+            )
+        })
+    }
+
+    /// Appends a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Iterates over child elements (skipping text and comments).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterates over child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Returns the first child element with the given tag name.
+    pub fn child_named(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated character data of the direct children (no recursion).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let Node::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Recursively counts elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+}
+
+/// A parsed XML document: a root element (comments around it are dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wraps a root element into a document.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// Parses a complete document from `input`.
+    pub fn parse(input: &str) -> Result<Document> {
+        let mut parser = Parser::new(input);
+        Self::from_events(&mut parser)
+    }
+
+    /// Builds the document by draining `parser` until [`Event::Eof`].
+    pub fn from_events(parser: &mut Parser<'_>) -> Result<Document> {
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        loop {
+            match parser.next_event()? {
+                Event::Start { name, attributes } => {
+                    stack.push(Element { name, attributes, children: Vec::new() });
+                }
+                Event::End { .. } => {
+                    let done = stack.pop().expect("parser guarantees balance");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::Element(done));
+                    } else {
+                        root = Some(done);
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(parent) = stack.last_mut() {
+                        // Merge adjacent text nodes (e.g. around entities).
+                        if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                            prev.push_str(&t);
+                        } else {
+                            parent.children.push(Node::Text(t));
+                        }
+                    }
+                }
+                Event::Comment(c) => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::Comment(c));
+                    }
+                    // Comments outside the root are dropped.
+                }
+                Event::Eof => break,
+            }
+        }
+        root.map(Document::new)
+            .ok_or_else(|| Error::new(parser.position(), ErrorKind::NoRoot))
+    }
+
+    /// Serializes with the given options.
+    pub fn to_xml(&self, options: WriteOptions) -> String {
+        Writer::new(options).document(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_api_constructs_expected_tree() {
+        let e = Element::new("atomicservice")
+            .with_attr("id", "as1")
+            .with_child(Element::new("requester").with_attr("id", "t1"))
+            .with_child(Element::new("provider").with_attr("id", "printS"));
+        assert_eq!(e.attr("id"), Some("as1"));
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.child_named("provider").unwrap().attr("id"), Some("printS"));
+        assert_eq!(e.subtree_size(), 3);
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let mut e = Element::new("x");
+        e.set_attr("a", "1");
+        e.set_attr("a", "2");
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.attr("a"), Some("2"));
+    }
+
+    #[test]
+    fn parse_builds_nested_structure() {
+        let doc = Document::parse("<s><m id=\"1\"><q>hi</q></m><m id=\"2\"/></s>").unwrap();
+        assert_eq!(doc.root.children_named("m").count(), 2);
+        let first = doc.root.child_named("m").unwrap();
+        assert_eq!(first.child_named("q").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn adjacent_text_merges() {
+        let doc = Document::parse("<a>x&amp;y</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+        assert_eq!(doc.root.text(), "x&y");
+    }
+
+    #[test]
+    fn require_attr_errors_helpfully() {
+        let e = Element::new("provider");
+        let err = e.require_attr("id").unwrap_err();
+        assert!(err.to_string().contains("provider"));
+        assert!(err.to_string().contains("id"));
+    }
+
+    #[test]
+    fn comments_preserved_inside_root() {
+        let doc = Document::parse("<a><!-- note --><b/></a>").unwrap();
+        assert!(matches!(doc.root.children[0], Node::Comment(_)));
+    }
+}

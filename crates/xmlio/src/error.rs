@@ -1,0 +1,130 @@
+//! Error and result types for XML parsing and document handling.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A position inside the source text, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in Unicode scalar values).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the document.
+    pub const START: Position = Position { line: 1, column: 1 };
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An XML parse or structure error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Where in the source the error was detected.
+    pub position: Position,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+impl Error {
+    pub(crate) fn new(position: Position, kind: ErrorKind) -> Self {
+        Error { position, kind }
+    }
+}
+
+/// The category of an [`Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that is not allowed at this point.
+    UnexpectedChar {
+        /// The character found.
+        found: char,
+        /// What the parser expected instead.
+        expected: &'static str,
+    },
+    /// A closing tag does not match the innermost open tag.
+    MismatchedTag {
+        /// Name of the currently open element.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+    },
+    /// A closing tag with no matching open tag.
+    UnmatchedClose(String),
+    /// The document ended while elements were still open.
+    UnclosedElements(Vec<String>),
+    /// An element or attribute name is empty or malformed.
+    InvalidName(String),
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// A `&...;` reference that cannot be resolved.
+    InvalidEntity(String),
+    /// Content found outside the root element.
+    ContentOutsideRoot,
+    /// More than one root element.
+    MultipleRoots,
+    /// The document has no root element at all.
+    NoRoot,
+    /// An unsupported construct (e.g. a DTD internal subset).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: ", self.position)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input while parsing {ctx}"),
+            ErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "closing tag </{close}> does not match open element <{open}>")
+            }
+            ErrorKind::UnmatchedClose(name) => write!(f, "closing tag </{name}> has no open element"),
+            ErrorKind::UnclosedElements(names) => {
+                write!(f, "document ended with unclosed elements: {}", names.join(", "))
+            }
+            ErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            ErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}"),
+            ErrorKind::InvalidEntity(ent) => write!(f, "invalid entity reference &{ent};"),
+            ErrorKind::ContentOutsideRoot => write!(f, "non-whitespace content outside the root element"),
+            ErrorKind::MultipleRoots => write!(f, "more than one root element"),
+            ErrorKind::NoRoot => write!(f, "document contains no root element"),
+            ErrorKind::Unsupported(what) => write!(f, "unsupported XML construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_message() {
+        let err = Error::new(
+            Position { line: 3, column: 7 },
+            ErrorKind::UnmatchedClose("foo".into()),
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("3:7"), "{msg}");
+        assert!(msg.contains("</foo>"), "{msg}");
+    }
+
+    #[test]
+    fn position_start_is_one_one() {
+        assert_eq!(Position::START.line, 1);
+        assert_eq!(Position::START.column, 1);
+    }
+}

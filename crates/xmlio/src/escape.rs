@@ -1,0 +1,110 @@
+//! Escaping and entity resolution for character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escapes a string for use as element character data.
+///
+/// `<`, `>` and `&` are replaced by their predefined entities. Quotes are
+/// left alone — they are only significant inside attribute values.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+///
+/// In addition to the text escapes, `"` becomes `&quot;` and the whitespace
+/// control characters become numeric references so attribute-value
+/// normalization cannot corrupt round-trips.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs_escape = |c: char| {
+        matches!(c, '<' | '>' | '&') || (attr && matches!(c, '"' | '\n' | '\r' | '\t'))
+    };
+    if !s.chars().any(needs_escape) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            '\t' if attr => out.push_str("&#9;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves a single entity name (the text between `&` and `;`).
+///
+/// Supports the five predefined entities plus decimal (`#NN`) and
+/// hexadecimal (`#xNN`) character references. Returns `None` when the
+/// reference is not resolvable, in which case the parser reports an
+/// [`crate::error::ErrorKind::InvalidEntity`].
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = name.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_roundtrip_critical_chars() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_text("plain"), "plain");
+        assert!(matches!(escape_text("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b"), "a&quot;b");
+        assert_eq!(escape_attr("a\nb\tc"), "a&#10;b&#9;c");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+    }
+
+    #[test]
+    fn numeric_entities_resolve() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('\u{1F600}'));
+    }
+
+    #[test]
+    fn bad_entities_are_rejected() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#xD800"), None); // surrogate
+        assert_eq!(resolve_entity("#"), None);
+        assert_eq!(resolve_entity(""), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! # xmlio — minimal XML 1.0 subset for model interchange
+//!
+//! The UPSIM methodology (Dittrich et al., IPPS 2013) exchanges its models as
+//! XML documents: the *service mapping* file (paper Fig. 3) and the XMI-style
+//! serializations of the UML models. The paper's implementation used the Java
+//! XML stack inside Eclipse; this crate is the Rust substrate replacing it.
+//!
+//! The crate provides three layers:
+//!
+//! * [`parser`] — a pull-based event parser ([`parser::Event`]) over a UTF-8
+//!   string, tracking line/column positions for diagnostics,
+//! * [`dom`] — a simple document object model ([`dom::Document`],
+//!   [`dom::Element`]) built on top of the event stream,
+//! * [`writer`] — serialization of a DOM back to text, with optional
+//!   pretty-printing and guaranteed escaping.
+//!
+//! Supported XML subset: elements, attributes, character data, CDATA
+//! sections, comments, processing instructions and the XML declaration
+//! (both skipped on input), numeric and the five predefined entity
+//! references. Not supported (rejected with a clear error): DTDs with
+//! internal subsets, custom entities, non-UTF-8 encodings.
+//!
+//! ```
+//! let doc = xmlio::parse("<mapping><atomicservice id=\"as1\"/></mapping>").unwrap();
+//! assert_eq!(doc.root.name, "mapping");
+//! assert_eq!(doc.root.children_named("atomicservice").count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::{Error, Result};
+pub use parser::{Event, Parser};
+pub use writer::{WriteOptions, Writer};
+
+/// Parses a complete XML document into a [`Document`].
+///
+/// This is the convenience entry point used by the model importers; it is
+/// equivalent to driving a [`Parser`] through [`dom::Document::from_events`].
+pub fn parse(input: &str) -> Result<Document> {
+    Document::parse(input)
+}
+
+/// Serializes a [`Document`] to a compact, single-line string.
+pub fn to_string(doc: &Document) -> String {
+    Writer::new(WriteOptions::compact()).document(doc)
+}
+
+/// Serializes a [`Document`] with two-space indentation.
+pub fn to_string_pretty(doc: &Document) -> String {
+    Writer::new(WriteOptions::pretty()).document(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_reserialize_mapping_file() {
+        // The exact shape of the paper's Fig. 3.
+        let src = "<atomicservice id=\"atomic_service_1\">\
+                   <requester id=\"component_a\"></requester>\
+                   <provider id=\"component_b\"></provider>\
+                   </atomicservice>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root.name, "atomicservice");
+        assert_eq!(doc.root.attr("id"), Some("atomic_service_1"));
+        let rq = doc.root.child_named("requester").unwrap();
+        assert_eq!(rq.attr("id"), Some("component_a"));
+        let out = to_string(&doc);
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let doc = parse("<a><b x=\"1\"/><c>text</c></a>").unwrap();
+        let pretty = to_string_pretty(&doc);
+        assert!(pretty.contains('\n'));
+        let doc2 = parse(&pretty).unwrap();
+        assert_eq!(doc2.root.child_named("b").unwrap().attr("x"), Some("1"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Pull-based event parser over a UTF-8 XML string.
+//!
+//! The parser yields a flat stream of [`Event`]s. It enforces
+//! well-formedness (tag balance, attribute uniqueness, single root) so that
+//! downstream consumers such as [`crate::dom`] can build trees without
+//! re-validating.
+
+use crate::error::{Error, ErrorKind, Position, Result};
+use crate::escape::resolve_entity;
+
+/// A single parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>` — also emitted for self-closing tags, which are
+    /// immediately followed by a matching [`Event::End`].
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// `</name>` (or the synthetic end of a self-closing tag).
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Character data with entities resolved; CDATA sections are delivered
+    /// verbatim as text. Whitespace-only text between elements is preserved.
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// End of the document; always the final event.
+    Eof,
+}
+
+/// Pull parser; call [`Parser::next_event`] until [`Event::Eof`].
+pub struct Parser<'a> {
+    chars: std::str::Chars<'a>,
+    /// One-character lookahead.
+    peeked: Option<char>,
+    position: Position,
+    /// Stack of currently open element names.
+    open: Vec<String>,
+    /// Whether the (single) root element has been closed already.
+    root_closed: bool,
+    /// Whether any root element has been seen.
+    seen_root: bool,
+    /// Pending synthetic end event for a self-closing tag.
+    pending_end: Option<String>,
+    finished: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars(),
+            peeked: None,
+            position: Position::START,
+            open: Vec::new(),
+            root_closed: false,
+            seen_root: false,
+            pending_end: None,
+            finished: false,
+        }
+    }
+
+    /// The current source position (start of the next unread character).
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(self.position, kind)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next());
+        if let Some(c) = c {
+            if c == '\n' {
+                self.position.line += 1;
+                self.position.column = 1;
+            } else {
+                self.position.column += 1;
+            }
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char, ctx: &'static str) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+            None => Err(self.err(ErrorKind::UnexpectedEof(ctx))),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        Self::is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+    }
+
+    fn read_name(&mut self, ctx: &'static str) -> Result<String> {
+        let mut name = String::new();
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                name.push(c);
+                self.bump();
+            }
+            Some(c) => return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+            None => return Err(self.err(ErrorKind::UnexpectedEof(ctx))),
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            name.push(self.bump().unwrap());
+        }
+        Ok(name)
+    }
+
+    fn read_entity(&mut self) -> Result<char> {
+        // '&' already consumed.
+        let mut name = String::new();
+        loop {
+            match self.bump() {
+                Some(';') => break,
+                Some(c) if name.len() < 12 => name.push(c),
+                Some(_) => return Err(self.err(ErrorKind::InvalidEntity(name))),
+                None => return Err(self.err(ErrorKind::UnexpectedEof("entity reference"))),
+            }
+        }
+        resolve_entity(&name).ok_or_else(|| self.err(ErrorKind::InvalidEntity(name)))
+    }
+
+    fn read_attr_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(c @ ('"' | '\'')) => c,
+            Some(c) => {
+                return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: "attribute value quote" }))
+            }
+            None => return Err(self.err(ErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('&') => value.push(self.read_entity()?),
+                Some('<') => {
+                    return Err(self.err(ErrorKind::UnexpectedChar { found: '<', expected: "attribute value content" }))
+                }
+                Some(c) => value.push(c),
+                None => return Err(self.err(ErrorKind::UnexpectedEof("attribute value"))),
+            }
+        }
+        Ok(value)
+    }
+
+    /// Parses the inside of a `<...>` start tag (after `<` and name check).
+    fn read_start_tag(&mut self) -> Result<Event> {
+        let name = self.read_name("element name")?;
+        let mut attributes: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect('>', "'>' after '/' in self-closing tag")?;
+                    self.pending_end = Some(name.clone());
+                    break;
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let attr_name = self.read_name("attribute name")?;
+                    if attributes.iter().any(|(n, _)| *n == attr_name) {
+                        return Err(self.err(ErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    self.skip_whitespace();
+                    self.expect('=', "'=' after attribute name")?;
+                    self.skip_whitespace();
+                    let value = self.read_attr_value()?;
+                    attributes.push((attr_name, value));
+                }
+                Some(c) => {
+                    return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: "attribute, '/>' or '>'" }))
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof("start tag"))),
+            }
+        }
+        if self.open.is_empty() {
+            if self.seen_root {
+                return Err(self.err(ErrorKind::MultipleRoots));
+            }
+            self.seen_root = true;
+        }
+        self.open.push(name.clone());
+        Ok(Event::Start { name, attributes })
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event> {
+        // "</" already consumed.
+        let name = self.read_name("closing tag name")?;
+        self.skip_whitespace();
+        self.expect('>', "'>' in closing tag")?;
+        match self.open.pop() {
+            Some(open) if open == name => {
+                if self.open.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(Event::End { name })
+            }
+            Some(open) => Err(self.err(ErrorKind::MismatchedTag { open, close: name })),
+            None => Err(self.err(ErrorKind::UnmatchedClose(name))),
+        }
+    }
+
+    fn read_comment(&mut self) -> Result<Event> {
+        // "<!--" already consumed.
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('-') if self.peek() == Some('-') => {
+                    self.bump();
+                    self.expect('>', "'>' at end of comment")?;
+                    return Ok(Event::Comment(text));
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(ErrorKind::UnexpectedEof("comment"))),
+            }
+        }
+    }
+
+    fn read_cdata(&mut self) -> Result<String> {
+        // "<![CDATA[" already consumed.
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(']') => {
+                    // Collapse a run of ']' so that the *last two* before a
+                    // '>' always form the terminator, e.g. "]]]>": one ']'
+                    // belongs to the content.
+                    let mut run = 1usize;
+                    while self.peek() == Some(']') {
+                        self.bump();
+                        run += 1;
+                    }
+                    if run >= 2 && self.peek() == Some('>') {
+                        self.bump();
+                        text.extend(std::iter::repeat(']').take(run - 2));
+                        return Ok(text);
+                    }
+                    text.extend(std::iter::repeat(']').take(run));
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(ErrorKind::UnexpectedEof("CDATA section"))),
+            }
+        }
+    }
+
+    /// Skips `<?...?>` processing instructions / XML declarations.
+    fn skip_pi(&mut self) -> Result<()> {
+        loop {
+            match self.bump() {
+                Some('?') if self.peek() == Some('>') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {}
+                None => return Err(self.err(ErrorKind::UnexpectedEof("processing instruction"))),
+            }
+        }
+    }
+
+    /// Consumes a literal keyword such as `[CDATA[` or `DOCTYPE`.
+    fn eat_keyword(&mut self, kw: &str, ctx: &'static str) -> Result<bool> {
+        for (i, want) in kw.chars().enumerate() {
+            match self.peek() {
+                Some(c) if c == want => {
+                    self.bump();
+                }
+                Some(_) if i == 0 => return Ok(false),
+                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+                None => return Err(self.err(ErrorKind::UnexpectedEof(ctx))),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns the next event, or an error.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if let Some(name) = self.pending_end.take() {
+            self.open.pop();
+            if self.open.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(Event::End { name });
+        }
+        if self.finished {
+            return Ok(Event::Eof);
+        }
+        loop {
+            match self.peek() {
+                None => {
+                    self.finished = true;
+                    if !self.open.is_empty() {
+                        return Err(self.err(ErrorKind::UnclosedElements(self.open.clone())));
+                    }
+                    if !self.seen_root {
+                        return Err(self.err(ErrorKind::NoRoot));
+                    }
+                    return Ok(Event::Eof);
+                }
+                Some('<') => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            self.bump();
+                            return self.read_end_tag();
+                        }
+                        Some('?') => {
+                            self.bump();
+                            self.skip_pi()?;
+                            continue;
+                        }
+                        Some('!') => {
+                            self.bump();
+                            if self.eat_keyword("--", "comment")? {
+                                return self.read_comment();
+                            }
+                            if self.eat_keyword("[CDATA[", "CDATA section")? {
+                                let text = self.read_cdata()?;
+                                if self.open.is_empty() {
+                                    return Err(self.err(ErrorKind::ContentOutsideRoot));
+                                }
+                                return Ok(Event::Text(text));
+                            }
+                            return Err(self.err(ErrorKind::Unsupported("DOCTYPE / markup declaration")));
+                        }
+                        _ => return self.read_start_tag(),
+                    }
+                }
+                Some(_) => {
+                    let mut text = String::new();
+                    loop {
+                        match self.peek() {
+                            Some('<') | None => break,
+                            Some('&') => {
+                                self.bump();
+                                text.push(self.read_entity()?);
+                            }
+                            Some(c) => {
+                                text.push(c);
+                                self.bump();
+                            }
+                        }
+                    }
+                    if self.open.is_empty() {
+                        if text.chars().all(char::is_whitespace) {
+                            continue; // inter-element whitespace outside root
+                        }
+                        return Err(self.err(ErrorKind::ContentOutsideRoot));
+                    }
+                    return Ok(Event::Text(text));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        let mut p = Parser::new(src);
+        let mut out = Vec::new();
+        loop {
+            let e = p.next_event().unwrap();
+            let eof = e == Event::Eof;
+            out.push(e);
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    fn error_of(src: &str) -> ErrorKind {
+        let mut p = Parser::new(src);
+        loop {
+            match p.next_event() {
+                Ok(Event::Eof) => panic!("expected error for {src:?}"),
+                Ok(_) => {}
+                Err(e) => return e.kind,
+            }
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a x=\"1\"><b/>hi</a>");
+        assert_eq!(
+            evs,
+            vec![
+                Event::Start { name: "a".into(), attributes: vec![("x".into(), "1".into())] },
+                Event::Start { name: "b".into(), attributes: vec![] },
+                Event::End { name: "b".into() },
+                Event::Text("hi".into()),
+                Event::End { name: "a".into() },
+                Event::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn xml_declaration_and_comments_are_handled() {
+        let evs = events("<?xml version=\"1.0\"?><!-- top --><r><!-- in --></r>");
+        assert!(matches!(evs[0], Event::Comment(_)));
+        assert!(matches!(evs[1], Event::Start { .. }));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let evs = events("<a t=\"x &amp; y\">&lt;tag&gt; &#65;</a>");
+        match &evs[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0].1, "x & y"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(evs[1], Event::Text("<tag> A".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let evs = events("<a><![CDATA[<not> & parsed ]]]></a>");
+        assert_eq!(evs[1], Event::Text("<not> & parsed ]".into()));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(matches!(error_of("<a><b></a></b>"), ErrorKind::MismatchedTag { .. }));
+        assert!(matches!(error_of("</a>"), ErrorKind::UnmatchedClose(_)));
+        assert!(matches!(error_of("<a>"), ErrorKind::UnclosedElements(_)));
+    }
+
+    #[test]
+    fn root_constraints() {
+        assert!(matches!(error_of("<a/><b/>"), ErrorKind::MultipleRoots));
+        assert!(matches!(error_of("hello"), ErrorKind::ContentOutsideRoot));
+        assert!(matches!(error_of("  \n "), ErrorKind::NoRoot));
+        assert!(matches!(error_of(""), ErrorKind::NoRoot));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(error_of("<a x=\"1\" x=\"2\"/>"), ErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn doctype_unsupported() {
+        assert!(matches!(error_of("<!DOCTYPE html><a/>"), ErrorKind::Unsupported(_)));
+    }
+
+    #[test]
+    fn bad_entity_reported() {
+        assert!(matches!(error_of("<a>&nope;</a>"), ErrorKind::InvalidEntity(_)));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let mut p = Parser::new("<a>\n  <b></c>\n</a>");
+        loop {
+            match p.next_event() {
+                Err(e) => {
+                    assert_eq!(e.position.line, 2);
+                    break;
+                }
+                Ok(Event::Eof) => panic!("expected error"),
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let evs = events("<a x='v'/>");
+        match &evs[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0], ("x".into(), "v".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_preserved_inside_root() {
+        let evs = events("<a> \n </a>");
+        assert_eq!(evs[1], Event::Text(" \n ".into()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Serialization of a DOM back to XML text.
+
+use crate::dom::{Document, Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Formatting options for the [`Writer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Indent nested elements; text-bearing elements stay on one line.
+    pub pretty: bool,
+    /// Number of spaces per indentation level (ignored unless `pretty`).
+    pub indent: usize,
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+}
+
+impl WriteOptions {
+    /// Single line, no declaration — the canonical form used in tests.
+    pub fn compact() -> Self {
+        WriteOptions { pretty: false, indent: 0, declaration: false }
+    }
+
+    /// Two-space indentation with an XML declaration.
+    pub fn pretty() -> Self {
+        WriteOptions { pretty: true, indent: 2, declaration: true }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions::compact()
+    }
+}
+
+/// Serializes [`Document`]s / [`Element`]s according to [`WriteOptions`].
+pub struct Writer {
+    options: WriteOptions,
+}
+
+impl Writer {
+    /// Creates a writer with the given options.
+    pub fn new(options: WriteOptions) -> Self {
+        Writer { options }
+    }
+
+    /// Serializes a whole document.
+    pub fn document(&self, doc: &Document) -> String {
+        let mut out = String::new();
+        if self.options.declaration {
+            out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if self.options.pretty {
+                out.push('\n');
+            }
+        }
+        self.element_into(&doc.root, 0, &mut out);
+        if self.options.pretty {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes a single element (and subtree).
+    pub fn element(&self, element: &Element) -> String {
+        let mut out = String::new();
+        self.element_into(element, 0, &mut out);
+        out
+    }
+
+    fn element_into(&self, element: &Element, depth: usize, out: &mut String) {
+        out.push('<');
+        out.push_str(&element.name);
+        for (name, value) in &element.attributes {
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(value));
+            out.push('"');
+        }
+        if element.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+
+        // Pretty printing only between element children: if any child is a
+        // text node we must not inject whitespace, or the content changes.
+        let has_text = element.children.iter().any(|c| matches!(c, Node::Text(_)));
+        let indent_children = self.options.pretty && !has_text;
+
+        for child in &element.children {
+            if indent_children {
+                out.push('\n');
+                out.push_str(&" ".repeat(self.options.indent * (depth + 1)));
+            }
+            match child {
+                Node::Element(e) => self.element_into(e, depth + 1, out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Comment(c) => {
+                    out.push_str("<!--");
+                    out.push_str(c);
+                    out.push_str("-->");
+                }
+            }
+        }
+        if indent_children {
+            out.push('\n');
+            out.push_str(&" ".repeat(self.options.indent * depth));
+        }
+        out.push_str("</");
+        out.push_str(&element.name);
+        out.push('>');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    fn roundtrip(src: &str) -> Document {
+        let doc = Document::parse(src).unwrap();
+        let compact = doc.to_xml(WriteOptions::compact());
+        Document::parse(&compact).unwrap()
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_structure() {
+        let doc = roundtrip("<a x=\"1 &amp; 2\"><b/><c>t &lt; u</c></a>");
+        assert_eq!(doc.root.attr("x"), Some("1 & 2"));
+        assert_eq!(doc.root.child_named("c").unwrap().text(), "t < u");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = Document::parse("<a></a>").unwrap();
+        assert_eq!(doc.to_xml(WriteOptions::compact()), "<a/>");
+    }
+
+    #[test]
+    fn pretty_never_injects_whitespace_into_text_elements() {
+        let doc = Document::parse("<a><b>text</b></a>").unwrap();
+        let pretty = doc.to_xml(WriteOptions::pretty());
+        let doc2 = Document::parse(&pretty).unwrap();
+        assert_eq!(doc2.root.child_named("b").unwrap().text(), "text");
+    }
+
+    #[test]
+    fn declaration_emitted_when_requested() {
+        let doc = Document::parse("<a/>").unwrap();
+        assert!(doc.to_xml(WriteOptions::pretty()).starts_with("<?xml"));
+        assert!(!doc.to_xml(WriteOptions::compact()).starts_with("<?xml"));
+    }
+
+    #[test]
+    fn attribute_escaping_roundtrips() {
+        let mut e = crate::Element::new("a");
+        e.set_attr("v", "x\"y<z>&\n\t");
+        let doc = Document::new(e);
+        let text = doc.to_xml(WriteOptions::compact());
+        let doc2 = Document::parse(&text).unwrap();
+        assert_eq!(doc2.root.attr("v"), Some("x\"y<z>&\n\t"));
+    }
+
+    #[test]
+    fn comments_roundtrip() {
+        let doc = roundtrip("<a><!-- hello --><b/></a>");
+        assert!(matches!(doc.root.children[0], crate::Node::Comment(ref c) if c.contains("hello")));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based roundtrip tests: any generated DOM tree survives
+//! write → parse unchanged, under both compact and pretty options.
+
+use proptest::prelude::*;
+use xmlio::{Document, Element, Node, WriteOptions};
+
+/// Strategy for XML names (a conservative subset).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,8}"
+}
+
+/// Strategy for attribute/text content, including characters that must be
+/// escaped.
+fn content_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            Just('\n'),
+            Just('\t'),
+            Just('\u{00e9}'),
+            Just('\u{4e2d}'),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), content_strategy()), 0..3),
+        content_strategy(),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (n, v) in attrs {
+                e.set_attr(n, v); // dedupes names
+            }
+            if !text.is_empty() {
+                e.children.push(Node::Text(text));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), content_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (n, v) in attrs {
+                    e.set_attr(n, v);
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(root in element_strategy()) {
+        let doc = Document::new(root);
+        let text = doc.to_xml(WriteOptions::compact());
+        let parsed = Document::parse(&text).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_elements_attrs_and_text(root in element_strategy()) {
+        let doc = Document::new(root);
+        let text = doc.to_xml(WriteOptions::pretty());
+        let parsed = Document::parse(&text).unwrap();
+        // Pretty printing may add whitespace-only text nodes between element
+        // children; compare after stripping those.
+        fn strip(e: &Element) -> Element {
+            let mut out = Element::new(e.name.clone());
+            out.attributes = e.attributes.clone();
+            for c in &e.children {
+                match c {
+                    Node::Element(child) => out.children.push(Node::Element(strip(child))),
+                    Node::Text(t) if t.chars().all(char::is_whitespace) && !t.is_empty() => {}
+                    other => out.children.push(other.clone()),
+                }
+            }
+            out
+        }
+        prop_assert_eq!(strip(&parsed.root), strip(&doc.root));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,64}") {
+        let _ = Document::parse(&input);
+    }
+}

@@ -1,0 +1,57 @@
+//! Dynamicity scenario (paper Sec. V-A3): a mobile user keeps using the
+//! same printing service while moving across the campus; only the service
+//! mapping changes between positions — infrastructure and service models
+//! are reused, and the pipeline re-runs incrementally.
+//!
+//! Run with: `cargo run --example mobility`
+
+use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use netgen::usi::{printing_service, table_i_mapping, usi_infrastructure};
+use upsim_core::pipeline::UpsimPipeline;
+
+fn main() {
+    let mut pipeline =
+        UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping()).unwrap();
+    pipeline.run().unwrap();
+
+    // The user starts at t1 and walks past clients on every edge switch,
+    // always printing on p2 through printS.
+    let positions = ["t1", "t6", "t10", "t14"];
+    let mut previous = "t1".to_string();
+
+    println!("mobile user printing on p2 via printS from different clients:\n");
+    println!("{:<10} {:>8} {:>14} {:>16} {:>12}", "client", "UPSIM", "avail.", "downtime h/yr", "cached step5");
+    for position in positions {
+        if position != previous {
+            let from = previous.clone();
+            pipeline
+                .update_mapping(|m| {
+                    m.move_requester(&from, position);
+                })
+                .unwrap();
+        }
+        let run = pipeline.run().unwrap();
+        let model = ServiceAvailabilityModel::from_run(
+            pipeline.infrastructure(),
+            &run,
+            AnalysisOptions::default(),
+        );
+        let availability = model.availability_bdd();
+        let cached = run.timings.iter().any(|t| t.step.starts_with('5') && t.cached);
+        println!(
+            "{:<10} {:>8} {:>14.9} {:>16.1} {:>12}",
+            position,
+            run.upsim.instances.len(),
+            availability,
+            (1.0 - availability) * 24.0 * 365.0,
+            cached
+        );
+        previous = position.to_string();
+    }
+
+    println!(
+        "\nEvery row after the first reused the imported UML models (step 5 cached);\n\
+         only the mapping import, path discovery and UPSIM merge re-ran — the\n\
+         paper's point that user mobility touches a single model."
+    );
+}

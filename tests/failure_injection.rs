@@ -1,0 +1,140 @@
+//! Failure injection on the USI case study: physically removing a
+//! component from the topology must agree with analytically forcing that
+//! component down in the availability model — and the UPSIM tells us in
+//! advance which removals are fatal (paper Sec. VII: "a quick overview on
+//! which ICT components can be the cause").
+
+use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use netgen::usi::{printing_service, table_i_mapping, usi_infrastructure};
+use upsim_core::pipeline::UpsimPipeline;
+
+fn baseline_model() -> (UpsimPipeline, ServiceAvailabilityModel) {
+    let mut pipeline =
+        UpsimPipeline::new(usi_infrastructure(), printing_service(), table_i_mapping()).unwrap();
+    let run = pipeline.run().unwrap();
+    let model = ServiceAvailabilityModel::from_run(
+        pipeline.infrastructure(),
+        &run,
+        AnalysisOptions::default(),
+    );
+    (pipeline, model)
+}
+
+#[test]
+fn single_points_of_failure_kill_the_service() {
+    // Every singleton cut of the (t1, printS) pair, when removed from the
+    // topology, leaves no path for that pair.
+    for victim in ["e1", "d1", "d4"] {
+        let mut infra = usi_infrastructure();
+        infra.remove_device(victim).unwrap();
+        let mut pipeline =
+            UpsimPipeline::new(infra, printing_service(), table_i_mapping()).unwrap();
+        let run = pipeline.run().unwrap();
+        assert!(
+            run.paths_of("Request printing").unwrap().is_empty(),
+            "removing {victim} should disconnect t1 from printS"
+        );
+    }
+}
+
+#[test]
+fn redundant_core_tolerates_single_failures() {
+    // c1 and c2 back each other up: removing either keeps every pair alive.
+    for victim in ["c1", "c2", "d2", "e3"] {
+        let mut infra = usi_infrastructure();
+        let survives_all = victim == "c1" || victim == "c2";
+        infra.remove_device(victim).unwrap();
+        let mut pipeline =
+            UpsimPipeline::new(infra, printing_service(), table_i_mapping()).unwrap();
+        let run = pipeline.run().unwrap();
+        let t1_alive = !run.paths_of("Request printing").unwrap().is_empty();
+        let p2_alive = !run.paths_of("Login to printer").unwrap().is_empty();
+        if survives_all {
+            assert!(t1_alive && p2_alive, "core loss of {victim} must be tolerated");
+        } else {
+            // d2/e3 sit on p2's only access path.
+            assert!(t1_alive, "{victim} is not on t1's access path");
+            assert!(!p2_alive, "{victim} carries p2's access path");
+        }
+    }
+}
+
+#[test]
+fn analytic_knockout_matches_physical_removal() {
+    // Force a UPSIM-internal component to availability 0 in the model; the
+    // exact BDD result must equal the availability computed on a topology
+    // with the component physically removed. (Terminals t1/p2/printS are
+    // excluded — their removal invalidates the mapping itself.)
+    let (_, base_model) = baseline_model();
+    for victim in ["e1", "e3", "d1", "d2", "d4", "c1", "c2"] {
+        let mut knocked = base_model.clone();
+        let index = knocked
+            .component_index(victim)
+            .unwrap_or_else(|| panic!("{victim} must be a UPSIM component"));
+        knocked.components[index].availability = 0.0;
+        let analytic = knocked.availability_bdd();
+
+        let mut infra = usi_infrastructure();
+        infra.remove_device(victim).unwrap();
+        let mut pipeline =
+            UpsimPipeline::new(infra, printing_service(), table_i_mapping()).unwrap();
+        let run = pipeline.run().unwrap();
+        let physical = ServiceAvailabilityModel::from_run(
+            pipeline.infrastructure(),
+            &run,
+            AnalysisOptions::default(),
+        )
+        .availability_bdd();
+
+        assert!(
+            (analytic - physical).abs() < 1e-12,
+            "{victim}: analytic {analytic} vs physical {physical}"
+        );
+    }
+}
+
+#[test]
+fn knockouts_separate_cut_components_from_redundant_ones() {
+    // Forcing any component of a singleton cut set down takes the whole
+    // service to availability 0 (every pair shares the singleton cuts of
+    // its access trees); knocking out either core switch barely matters.
+    let (_, model) = baseline_model();
+    let base = model.availability_bdd();
+    let knocked_availability = |name: &str| {
+        let mut knocked = model.clone();
+        let index = knocked.component_index(name).expect("UPSIM component");
+        knocked.components[index].availability = 0.0;
+        knocked.availability_bdd()
+    };
+    for cut_member in ["t1", "p2", "printS", "e1", "e3", "d1", "d2", "d4"] {
+        assert_eq!(knocked_availability(cut_member), 0.0, "{cut_member} is a singleton cut");
+    }
+    for redundant in ["c1", "c2"] {
+        let a = knocked_availability(redundant);
+        assert!(a > base - 1e-4, "core {redundant} is redundant: {a} vs {base}");
+        assert!(a < base, "still strictly worse without {redundant}");
+    }
+    // The Birnbaum ranking puts the client first (it has both the worst
+    // availability *and* singleton-cut status).
+    let importance = dependability::importance::component_importance(&model);
+    assert_eq!(importance[0].name, "t1");
+}
+
+#[test]
+fn link_failure_injection_via_disconnect() {
+    // Severing the redundant core link c1—c2 must not disconnect anything,
+    // only reduce path diversity.
+    let (mut pipeline, _) = baseline_model();
+    let before = pipeline.run().unwrap();
+    let paths_before = before.paths_of("Request printing").unwrap().len();
+    pipeline
+        .update_infrastructure(|infra| {
+            assert!(infra.disconnect("c1", "c2")?);
+            Ok(())
+        })
+        .unwrap();
+    let after = pipeline.run().unwrap();
+    let paths_after = after.paths_of("Request printing").unwrap().len();
+    assert!(paths_after < paths_before);
+    assert!(paths_after >= 2, "dual-homing still provides redundancy");
+}
