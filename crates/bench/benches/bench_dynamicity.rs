@@ -20,7 +20,11 @@ fn bench_dynamicity(c: &mut Criterion) {
             flip = !flip;
             pipeline
                 .update_mapping(|m| {
-                    *m = if flip { second_perspective_mapping() } else { table_i_mapping() };
+                    *m = if flip {
+                        second_perspective_mapping()
+                    } else {
+                        table_i_mapping()
+                    };
                 })
                 .unwrap();
             black_box(pipeline.run().unwrap().upsim.instances.len())

@@ -1,0 +1,109 @@
+//! Engine throughput: the 45-perspective USI sweep (15 clients × 3
+//! printers, Sec. VI-H) through `upsim-server`.
+//!
+//! * `cold_cache` — every sample starts from an empty perspective cache:
+//!   all 45 perspectives are evaluated.
+//! * `warm_cache` — the cache is pre-filled once; every sample is 45 hits.
+//!   The warm/cold ratio is the value of keeping the engine resident.
+//! * `worker_scaling/<n>` — cold sweep at different pool sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netgen::usi::{
+    all_printing_perspectives, perspective_mapping, printing_service, usi_infrastructure,
+};
+use std::hint::black_box;
+use upsim_server::{Engine, EngineConfig, ModelSnapshot};
+
+fn usi_engine(workers: usize) -> Engine {
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    let config = EngineConfig {
+        workers,
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        ..EngineConfig::default()
+    };
+    Engine::new(snapshot, config)
+}
+
+fn sweep_pairs() -> Vec<(String, String)> {
+    all_printing_perspectives()
+        .into_iter()
+        .map(|(c, p, _)| (c, p))
+        .collect()
+}
+
+fn run_sweep(engine: &Engine, pairs: &[(String, String)]) -> usize {
+    engine
+        .batch(pairs)
+        .into_iter()
+        .filter(|r| r.is_ok())
+        .count()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let pairs = sweep_pairs();
+
+    let mut group = c.benchmark_group("engine/usi_45_perspectives");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("cold_cache", |b| {
+        // A fresh engine per iteration: every perspective is a miss.
+        b.iter_batched(
+            || usi_engine(4),
+            |engine| {
+                let served = run_sweep(&engine, &pairs);
+                engine.shutdown();
+                black_box(served)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("warm_cache", |b| {
+        let engine = usi_engine(4);
+        assert_eq!(run_sweep(&engine, &pairs), 45); // pre-fill
+        b.iter(|| black_box(run_sweep(&engine, &pairs)));
+        let stats = engine.stats();
+        assert!(
+            stats.hit_rate > 0.9,
+            "warm sweep should hit: {}",
+            stats.render()
+        );
+        engine.shutdown();
+    });
+
+    group.finish();
+
+    let mut scaling = c.benchmark_group("engine/worker_scaling_cold");
+    scaling.throughput(Throughput::Elements(pairs.len() as u64));
+    scaling.sample_size(10);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 2, 4, 8];
+    counts.retain(|&n| n <= max_workers.max(2));
+    for workers in counts {
+        scaling.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || usi_engine(workers),
+                    |engine| {
+                        let served = run_sweep(&engine, &pairs);
+                        engine.shutdown();
+                        black_box(served)
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    scaling.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -12,8 +12,9 @@ use std::hint::black_box;
 /// `routes` disjoint 3-hop chains sharing requester (var 0) and provider
 /// (var 1): path i = {0, 1, 2+2i, 3+2i}.
 fn shared_terminal_system(routes: usize) -> (Vec<Vec<usize>>, Vec<f64>) {
-    let sets: Vec<Vec<usize>> =
-        (0..routes).map(|i| vec![0, 1, 2 + 2 * i, 3 + 2 * i]).collect();
+    let sets: Vec<Vec<usize>> = (0..routes)
+        .map(|i| vec![0, 1, 2 + 2 * i, 3 + 2 * i])
+        .collect();
     let probs = vec![0.95; 2 + 2 * routes];
     (sets, probs)
 }

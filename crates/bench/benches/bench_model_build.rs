@@ -19,7 +19,14 @@ fn bench_model_build(c: &mut Criterion) {
 
     let xml = uml::xmi::object_diagram_to_xml(&infra.objects);
     c.bench_function("model/xmi_parse_object_diagram", |b| {
-        b.iter(|| black_box(uml::xmi::object_diagram_from_xml(&xml).unwrap().instances.len()))
+        b.iter(|| {
+            black_box(
+                uml::xmi::object_diagram_from_xml(&xml)
+                    .unwrap()
+                    .instances
+                    .len(),
+            )
+        })
     });
 
     c.bench_function("model/space_import_infrastructure", |b| {
@@ -45,7 +52,10 @@ fn bench_model_build(c: &mut Criterion) {
         b.iter(|| {
             let xml = mapping.to_xml();
             black_box(
-                upsim_core::mapping::ServiceMapping::from_xml(&xml).unwrap().pairs().len(),
+                upsim_core::mapping::ServiceMapping::from_xml(&xml)
+                    .unwrap()
+                    .pairs()
+                    .len(),
             )
         })
     });

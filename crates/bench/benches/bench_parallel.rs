@@ -19,13 +19,21 @@ fn bench_parallel_enumeration(c: &mut Criterion) {
         })
     });
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            let options = DiscoveryOptions { parallel: true, threads, ..Default::default() };
-            b.iter(|| {
-                let d = discover_on_graph(&graph, &index, &pair, options).unwrap();
-                black_box(d.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let options = DiscoveryOptions {
+                    parallel: true,
+                    threads,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let d = discover_on_graph(&graph, &index, &pair, options).unwrap();
+                    black_box(d.len())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -53,5 +61,9 @@ fn bench_parallel_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_enumeration, bench_parallel_monte_carlo);
+criterion_group!(
+    benches,
+    bench_parallel_enumeration,
+    bench_parallel_monte_carlo
+);
 criterion_main!(benches);

@@ -30,7 +30,11 @@ pub fn e1_table_i() -> String {
     let mapping = table_i_mapping();
     let mut t = Table::new(["AS", "RQ", "PR"]);
     for pair in mapping.pairs() {
-        t.row([pair.atomic_service.as_str(), pair.requester.as_str(), pair.provider.as_str()]);
+        t.row([
+            pair.atomic_service.as_str(),
+            pair.requester.as_str(),
+            pair.provider.as_str(),
+        ]);
     }
     format!("E1 — Table I: service mapping pairs of the printing service\n\n{t}")
 }
@@ -61,7 +65,11 @@ pub fn e2_infrastructure() -> String {
         .iter()
         .map(|&n| graph.node(n).expect("live").clone())
         .collect();
-    let _ = writeln!(out, "articulation points (single points of failure): {}", artics.join(", "));
+    let _ = writeln!(
+        out,
+        "articulation points (single points of failure): {}",
+        artics.join(", ")
+    );
     out
 }
 
@@ -84,8 +92,16 @@ pub fn e3_profiles() -> String {
         t.row([
             class.name.clone(),
             class.stereotype_names().join(";"),
-            class.value("MTBF").and_then(|v| v.as_real()).map(|v| format!("{v}")).unwrap_or_default(),
-            class.value("MTTR").and_then(|v| v.as_real()).map(|v| format!("{v}")).unwrap_or_default(),
+            class
+                .value("MTBF")
+                .and_then(|v| v.as_real())
+                .map(|v| format!("{v}"))
+                .unwrap_or_default(),
+            class
+                .value("MTTR")
+                .and_then(|v| v.as_real())
+                .map(|v| format!("{v}"))
+                .unwrap_or_default(),
             class
                 .value("redundantComponents")
                 .and_then(|v| v.as_integer())
@@ -102,7 +118,12 @@ pub fn e4_service() -> String {
     let svc = printing_service();
     let order = svc.execution_order().expect("well-formed");
     let mut out = String::from("E4 — Fig. 10: printing service description\n\n");
-    let _ = writeln!(out, "composite service '{}', {} atomic services:", svc.name(), order.len());
+    let _ = writeln!(
+        out,
+        "composite service '{}', {} atomic services:",
+        svc.name(),
+        order.len()
+    );
     for (i, a) in order.iter().enumerate() {
         let _ = writeln!(out, "  {}. {}", i + 1, a);
     }
@@ -124,24 +145,50 @@ pub fn e5_paths() -> String {
         let printed = PRINTED_PATHS_T1_PRINTS
             .iter()
             .any(|p| p.iter().map(|s| s.to_string()).collect::<Vec<_>>() == *path);
-        let marker = if printed { "  [printed in the paper]" } else { "" };
+        let marker = if printed {
+            "  [printed in the paper]"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {}{}", DiscoveredPaths::render_path(path), marker);
     }
-    let _ = writeln!(out, "\ntotal paths: {} (the paper prints the first two and elides the rest)", d.len());
+    let _ = writeln!(
+        out,
+        "\ntotal paths: {} (the paper prints the first two and elides the rest)",
+        d.len()
+    );
     out
 }
 
 fn upsim_report(title: &str, run: &upsim_core::pipeline::UpsimRun, expected: &[&str]) -> String {
     let mut out = format!("{title}\n\n");
-    let mut names: Vec<&str> = run.upsim.instances.iter().map(|i| i.name.as_str()).collect();
+    let mut names: Vec<&str> = run
+        .upsim
+        .instances
+        .iter()
+        .map(|i| i.name.as_str())
+        .collect();
     names.sort_unstable();
     let mut expect: Vec<&str> = expected.to_vec();
     expect.sort_unstable();
-    let _ = writeln!(out, "UPSIM instances ({}): {}", names.len(), names.join(", "));
+    let _ = writeln!(
+        out,
+        "UPSIM instances ({}): {}",
+        names.len(),
+        names.join(", ")
+    );
     let _ = writeln!(out, "expected (paper figure): {}", expect.join(", "));
-    let _ = writeln!(out, "match: {}", if names == expect { "EXACT" } else { "MISMATCH" });
+    let _ = writeln!(
+        out,
+        "match: {}",
+        if names == expect { "EXACT" } else { "MISMATCH" }
+    );
     let _ = writeln!(out, "UPSIM links: {}", run.upsim.links.len());
-    let _ = writeln!(out, "size reduction |UPSIM|/|N|: {:.3}", run.reduction_ratio);
+    let _ = writeln!(
+        out,
+        "size reduction |UPSIM|/|N|: {:.3}",
+        run.reduction_ratio
+    );
     out
 }
 
@@ -149,7 +196,11 @@ fn upsim_report(title: &str, run: &upsim_core::pipeline::UpsimRun, expected: &[&
 pub fn e6_fig11() -> String {
     let mut pipeline = usi_pipeline();
     let run = pipeline.run().expect("case study runs");
-    upsim_report("E6 — Fig. 11: UPSIM for printing, client T1, printer P2, server printS", &run, &EXPECTED_FIG11_NODES)
+    upsim_report(
+        "E6 — Fig. 11: UPSIM for printing, client T1, printer P2, server printS",
+        &run,
+        &EXPECTED_FIG11_NODES,
+    )
 }
 
 /// E7 — Fig. 12: UPSIM for T15 → P3, obtained by a mapping-only change.
@@ -165,17 +216,34 @@ pub fn e7_fig12() -> String {
         &run,
         &EXPECTED_FIG12_NODES,
     );
-    let cached: Vec<&str> = run.timings.iter().filter(|t| t.cached).map(|t| t.step).collect();
-    let _ = writeln!(out, "steps served from cache after the mapping-only change: {}", cached.join(", "));
+    let cached: Vec<&str> = run
+        .timings
+        .iter()
+        .filter(|t| t.cached)
+        .map(|t| t.step)
+        .collect();
+    let _ = writeln!(
+        out,
+        "steps served from cache after the mapping-only change: {}",
+        cached.join(", ")
+    );
     out
 }
 
 /// E8 — Formula 1 + Sec. VII: user-perceived steady-state availability.
 pub fn e8_availability() -> String {
-    let mut out = String::from("E8 — Formula 1 / Sec. VII: user-perceived service availability\n\n");
+    let mut out =
+        String::from("E8 — Formula 1 / Sec. VII: user-perceived service availability\n\n");
 
     // Per-class availability (exact vs the paper's printed approximation).
-    let mut t = Table::new(["class", "MTBF [h]", "MTTR [h]", "A exact", "A paper (1-MTTR/MTBF)", "delta"]);
+    let mut t = Table::new([
+        "class",
+        "MTBF [h]",
+        "MTTR [h]",
+        "A exact",
+        "A paper (1-MTTR/MTBF)",
+        "delta",
+    ]);
     for (class, mtbf, mttr) in [
         ("Server", 60_000.0, 0.1),
         ("C6500", 183_498.0, 0.5),
@@ -206,10 +274,15 @@ pub fn e8_availability() -> String {
         "A Monte-Carlo (95% CI)",
         "covers exact",
     ]);
-    for (label, second) in [("T1 -> P2 via printS", false), ("T15 -> P3 via printS", true)] {
+    for (label, second) in [
+        ("T1 -> P2 via printS", false),
+        ("T15 -> P3 via printS", true),
+    ] {
         let mut pipeline = usi_pipeline();
         if second {
-            pipeline.update_mapping(|m| *m = second_perspective_mapping()).expect("valid");
+            pipeline
+                .update_mapping(|m| *m = second_perspective_mapping())
+                .expect("valid");
         }
         let run = pipeline.run().expect("runs");
         let model = ServiceAvailabilityModel::from_run(
@@ -234,9 +307,19 @@ pub fn e8_availability() -> String {
     // SDP/BDD agreement per pair + importance ranking (perspective 1).
     let mut pipeline = usi_pipeline();
     let run = pipeline.run().expect("runs");
-    let model =
-        ServiceAvailabilityModel::from_run(pipeline.infrastructure(), &run, AnalysisOptions::default());
-    let mut t = Table::new(["atomic service", "pair", "paths", "A pair (BDD)", "A pair (SDP)", "|diff|"]);
+    let model = ServiceAvailabilityModel::from_run(
+        pipeline.infrastructure(),
+        &run,
+        AnalysisOptions::default(),
+    );
+    let mut t = Table::new([
+        "atomic service",
+        "pair",
+        "paths",
+        "A pair (BDD)",
+        "A pair (SDP)",
+        "|diff|",
+    ]);
     for (i, system) in model.systems.iter().enumerate() {
         let bdd = model.pair_availability_bdd(i);
         let sdp = model.pair_availability_sdp(i);
@@ -251,7 +334,13 @@ pub fn e8_availability() -> String {
     }
     let _ = writeln!(out, "{t}");
 
-    let mut t = Table::new(["component", "A", "Birnbaum", "criticality", "Fussell-Vesely"]);
+    let mut t = Table::new([
+        "component",
+        "A",
+        "Birnbaum",
+        "criticality",
+        "Fussell-Vesely",
+    ]);
     for imp in component_importance(&model) {
         t.row([
             imp.name,
@@ -323,7 +412,14 @@ pub fn e9_scaling() -> String {
 /// E10 — Sec. V-A3: which change re-runs which step.
 pub fn e10_dynamicity() -> String {
     let mut out = String::from("E10 — Sec. V-A3: dynamicity — cost of model changes\n\n");
-    let mut t = Table::new(["change", "step 5 (models)", "step 6 (mapping)", "step 7 [us]", "step 8 [us]", "UPSIM"]);
+    let mut t = Table::new([
+        "change",
+        "step 5 (models)",
+        "step 6 (mapping)",
+        "step 7 [us]",
+        "step 8 [us]",
+        "UPSIM",
+    ]);
 
     let mut record = |label: &str, run: &upsim_core::pipeline::UpsimRun| {
         let find = |step: &str| {
@@ -354,7 +450,9 @@ pub fn e10_dynamicity() -> String {
     record("initial run", &run);
 
     // User perspective change: mapping only.
-    pipeline.update_mapping(|m| *m = second_perspective_mapping()).expect("valid");
+    pipeline
+        .update_mapping(|m| *m = second_perspective_mapping())
+        .expect("valid");
     let run = pipeline.run().expect("runs");
     record("perspective change (mapping only)", &run);
 
@@ -399,7 +497,12 @@ pub fn e11_parallel() -> String {
     let mut out = String::from("E11 — Sec. VIII: scalability and parallel discovery\n\n");
 
     // Pipeline wall time vs campus size.
-    let mut t = Table::new(["campus devices", "full run [ms]", "UPSIM nodes", "reduction"]);
+    let mut t = Table::new([
+        "campus devices",
+        "full run [ms]",
+        "UPSIM nodes",
+        "reduction",
+    ]);
     for distributions in [2usize, 8, 32, 64] {
         let params = CampusParams {
             core: 2,
@@ -427,7 +530,9 @@ pub fn e11_parallel() -> String {
 
     // Parallel speedup on the path-explosion worst case — measured at the
     // graph level (ict-graph), where the enumeration itself dominates.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let infra = netgen::random::complete(10);
     let (graph, index) = infra.to_graph();
     let (s, t_node) = (index["n0"], index["n9"]);
@@ -447,7 +552,10 @@ pub fn e11_parallel() -> String {
             &graph,
             s,
             t_node,
-            ict_graph::parallel::ParallelOptions { threads, ..Default::default() },
+            ict_graph::parallel::ParallelOptions {
+                threads,
+                ..Default::default()
+            },
         );
         let elapsed = start.elapsed();
         assert_eq!(par.len(), seq.len(), "parallel enumeration must agree");
@@ -476,9 +584,8 @@ pub fn e11_parallel() -> String {
 /// E12 — Sec. VII outlook extensions: cut sets, fault trees, RBDs and the
 /// performance (throughput) view of the UPSIM.
 pub fn e12_outlook() -> String {
-    let mut out = String::from(
-        "E12 — Sec. VII outlook: cut sets, fault tree, RBD and performance view\n\n",
-    );
+    let mut out =
+        String::from("E12 — Sec. VII outlook: cut sets, fault tree, RBD and performance view\n\n");
     let mut pipeline = usi_pipeline();
     let run = pipeline.run().expect("runs");
     let model = ServiceAvailabilityModel::from_run(
@@ -506,7 +613,10 @@ pub fn e12_outlook() -> String {
     );
 
     // RBD notation where structurally valid (single-path sub-systems).
-    let _ = writeln!(out, "\nRBD views (parallel-of-series over minimal path sets):");
+    let _ = writeln!(
+        out,
+        "\nRBD views (parallel-of-series over minimal path sets):"
+    );
     for (i, system) in model.systems.iter().enumerate() {
         match model.pair_rbd(i) {
             Some(rbd) => {
@@ -529,7 +639,12 @@ pub fn e12_outlook() -> String {
 
     // Performance (throughput) analysis from the Communication profile.
     let report = dependability::performance::analyze(pipeline.infrastructure(), &run);
-    let mut t = Table::new(["atomic service", "widest route [Mbit/s]", "max flow [Mbit/s]", "min hops"]);
+    let mut t = Table::new([
+        "atomic service",
+        "widest route [Mbit/s]",
+        "max flow [Mbit/s]",
+        "min hops",
+    ]);
     for p in &report.pairs {
         t.row([
             p.atomic_service.clone(),
@@ -538,7 +653,10 @@ pub fn e12_outlook() -> String {
             p.min_hops.to_string(),
         ]);
     }
-    let _ = writeln!(out, "\nuser-perceived performance (Fig. 7 Communication.throughput):\n{t}");
+    let _ = writeln!(
+        out,
+        "\nuser-perceived performance (Fig. 7 Communication.throughput):\n{t}"
+    );
     let _ = writeln!(
         out,
         "session throughput (sequential service, min over pairs): {:.0} Mbit/s; total hops: {}",
@@ -573,7 +691,10 @@ pub fn e13_transient() -> String {
         ]);
     }
     let _ = writeln!(out, "{t}");
-    let _ = writeln!(out, "steady-state limit: {steady:.9} (= the exact BDD value of E8)");
+    let _ = writeln!(
+        out,
+        "steady-state limit: {steady:.9} (= the exact BDD value of E8)"
+    );
     let _ = writeln!(
         out,
         "shape check: A(0)=1, A(t) decays monotonically to the steady state within ~2 weeks \
@@ -598,15 +719,25 @@ pub fn e14_redundancy() -> String {
         AnalysisOptions::default(),
     );
 
-    let mut t = Table::new(["atomic service", "pair", "simple paths", "disjoint routes", "smallest cut"]);
+    let mut t = Table::new([
+        "atomic service",
+        "pair",
+        "simple paths",
+        "disjoint routes",
+        "smallest cut",
+    ]);
     for (i, d) in run.discovered.iter().enumerate() {
         let disjoint = ict_graph::disjoint::max_disjoint_paths(
             &graph,
             index[&d.pair.requester],
             index[&d.pair.provider],
         );
-        let smallest_cut =
-            model.pair_cut_sets(i).iter().map(Vec::len).min().unwrap_or(0);
+        let smallest_cut = model
+            .pair_cut_sets(i)
+            .iter()
+            .map(Vec::len)
+            .min()
+            .unwrap_or(0);
         t.row([
             d.pair.atomic_service.clone(),
             format!("{} -> {}", d.pair.requester, d.pair.provider),
@@ -648,18 +779,33 @@ pub fn e15_perspective_sweep() -> String {
     let mut pipeline = usi_pipeline();
     let mut results: Vec<(String, String, f64, usize)> = Vec::new();
     for (client, printer, mapping) in netgen::usi::all_printing_perspectives() {
-        pipeline.update_mapping(|m| *m = mapping.clone()).expect("valid perspective");
+        pipeline
+            .update_mapping(|m| *m = mapping.clone())
+            .expect("valid perspective");
         let run = pipeline.run().expect("runs");
         let model = ServiceAvailabilityModel::from_run(
             pipeline.infrastructure(),
             &run,
             AnalysisOptions::default(),
         );
-        results.push((client, printer, model.availability_bdd(), run.upsim.instances.len()));
+        results.push((
+            client,
+            printer,
+            model.availability_bdd(),
+            run.upsim.instances.len(),
+        ));
     }
 
-    let min = results.iter().cloned().reduce(|a, b| if b.2 < a.2 { b } else { a }).expect("45 rows");
-    let max = results.iter().cloned().reduce(|a, b| if b.2 > a.2 { b } else { a }).expect("45 rows");
+    let min = results
+        .iter()
+        .cloned()
+        .reduce(|a, b| if b.2 < a.2 { b } else { a })
+        .expect("45 rows");
+    let max = results
+        .iter()
+        .cloned()
+        .reduce(|a, b| if b.2 > a.2 { b } else { a })
+        .expect("45 rows");
     let mean = results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
 
     let mut t = Table::new(["perspective", "A", "downtime [h/yr]", "UPSIM size"]);
@@ -692,8 +838,11 @@ pub fn e15_perspective_sweep() -> String {
     out
 }
 
+/// One experiment: its table/figure id and its regenerator.
+pub type Experiment = (&'static str, fn() -> String);
+
 /// Runs every experiment in order.
-pub fn all() -> Vec<(&'static str, fn() -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         ("E1", e1_table_i),
         ("E2", e2_infrastructure),
@@ -720,7 +869,13 @@ mod tests {
     #[test]
     fn e1_contains_all_five_pairs() {
         let report = e1_table_i();
-        for pair in ["Request printing", "Login to printer", "Send document list", "Select documents", "Send documents"] {
+        for pair in [
+            "Request printing",
+            "Login to printer",
+            "Send document list",
+            "Select documents",
+            "Send documents",
+        ] {
             assert!(report.contains(pair), "{report}");
         }
     }
@@ -734,7 +889,11 @@ mod tests {
     #[test]
     fn e5_marks_the_printed_paths() {
         let report = e5_paths();
-        assert_eq!(report.matches("[printed in the paper]").count(), 2, "{report}");
+        assert_eq!(
+            report.matches("[printed in the paper]").count(),
+            2,
+            "{report}"
+        );
         assert!(report.contains("total paths: 6"));
     }
 
@@ -743,7 +902,12 @@ mod tests {
         let report = e8_availability();
         assert!(report.contains("covers exact"), "{report}");
         // BDD/SDP agreement column present for all five pairs.
-        assert!(report.matches("e-1").count() + report.matches("e+0").count() + report.matches("e-").count() > 0);
+        assert!(
+            report.matches("e-1").count()
+                + report.matches("e+0").count()
+                + report.matches("e-").count()
+                > 0
+        );
     }
 
     #[test]
@@ -755,7 +919,10 @@ mod tests {
     #[test]
     fn e12_fault_tree_agrees_with_availability() {
         let report = e12_outlook();
-        assert!(report.contains("{c1, c2}"), "redundant core pair cut: {report}");
+        assert!(
+            report.contains("{c1, c2}"),
+            "redundant core pair cut: {report}"
+        );
         assert!(report.contains("|diff| = "), "{report}");
     }
 
@@ -770,6 +937,10 @@ mod tests {
     fn e14_menger_matches_cut_sets() {
         let report = e14_redundancy();
         // Every row ends with equal disjoint/cut columns of 1.
-        assert_eq!(report.matches("| 1               | 1            |").count(), 5, "{report}");
+        assert_eq!(
+            report.matches("| 1               | 1            |").count(),
+            5,
+            "{report}"
+        );
     }
 }

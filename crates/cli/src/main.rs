@@ -11,10 +11,19 @@
 //!   two components (`--parallel <threads>` for the parallel enumerator),
 //! * `availability -i ... -s ... -m ...` — user-perceived steady-state
 //!   service availability (`--links`, `--paper-formula`, `--mc <samples>`),
-//! * `validate -i ... [-s ... -m ...]` — well-formedness checks.
+//! * `validate -i ... [-s ... -m ...]` — well-formedness checks,
+//! * `serve [--case-study] [--addr <host:port>] [--workers <n>]` — run the
+//!   resident query engine behind the line-delimited TCP protocol,
+//! * `query --addr <host:port> --from <client> --to <provider>` — one
+//!   perspective query against a running server.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error (unknown
+//! command, unknown or missing flag — usage is printed to stderr).
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dependability::importance::component_importance;
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
@@ -34,38 +43,66 @@ USAGE:
   upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
+  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>]
+  upsim query        --addr <host:port> --from <client> --to <provider>
   upsim help
 ";
+
+/// A CLI failure, split by whose fault it was: a usage error (exit 2,
+/// usage printed to stderr) or a runtime error (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// `String` errors bubbling up from command bodies are runtime failures.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
 
 /// Parses `--flag value` pairs and boolean `--flag`s into a map.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
         if !arg.starts_with('-') {
-            return Err(format!("unexpected positional argument '{arg}'"));
+            return Err(usage_err(format!("unexpected positional argument '{arg}'")));
         }
         let key = arg.trim_start_matches('-').to_string();
-        let boolean = matches!(key.as_str(), "links" | "paper-formula" | "transient" | "sensitivity");
+        let boolean = matches!(
+            key.as_str(),
+            "links" | "paper-formula" | "transient" | "sensitivity" | "case-study"
+        );
         if boolean {
             flags.insert(key, "true".into());
             i += 1;
         } else {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| format!("flag '{arg}' needs a value"))?
+                .ok_or_else(|| usage_err(format!("flag '{arg}' needs a value")))?
                 .clone();
             flags.insert(key, value);
             i += 2;
@@ -78,8 +115,8 @@ fn flag<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Option<&'a st
     names.iter().find_map(|n| flags.get(*n).map(String::as_str))
 }
 
-fn require<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Result<&'a str, String> {
-    flag(flags, names).ok_or_else(|| format!("missing required flag --{}", names[0]))
+fn require<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Result<&'a str, CliError> {
+    flag(flags, names).ok_or_else(|| usage_err(format!("missing required flag --{}", names[0])))
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -92,7 +129,7 @@ fn write(path: &str, content: &str) -> Result<(), String> {
 
 fn load_models(
     flags: &HashMap<String, String>,
-) -> Result<(Infrastructure, CompositeService, ServiceMapping), String> {
+) -> Result<(Infrastructure, CompositeService, ServiceMapping), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
     let service = CompositeService::from_xml(&read(require(flags, &["s", "service"])?)?)
@@ -102,7 +139,7 @@ fn load_models(
     Ok((infra, service, mapping))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print!("{USAGE}");
         return Ok(());
@@ -118,11 +155,90 @@ fn run(args: &[String]) -> Result<(), String> {
         "availability" => availability(&parse_flags(&args[1..])?),
         "redundancy" => redundancy(&parse_flags(&args[1..])?),
         "validate" => validate(&parse_flags(&args[1..])?),
-        other => Err(format!("unknown command '{other}'; try 'upsim help'")),
+        "serve" => serve(&parse_flags(&args[1..])?),
+        "query" => query(&parse_flags(&args[1..])?),
+        other => Err(usage_err(format!(
+            "unknown command '{other}'; try 'upsim help'"
+        ))),
     }
 }
 
-fn export_case_study(dir: &str) -> Result<(), String> {
+/// `upsim serve` — load models (USI case study by default), start the
+/// resident engine, and serve the TCP protocol until `SHUTDOWN`.
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let case_study = flag(flags, &["case-study"]).is_some() || flag(flags, &["i"]).is_none();
+    let (infra, service, mapper): (_, _, upsim_server::PerspectiveMapper) = if case_study {
+        (
+            netgen::usi::usi_infrastructure(),
+            netgen::usi::printing_service(),
+            Arc::new(|_: &CompositeService, client: &str, provider: &str| {
+                netgen::usi::perspective_mapping(client, provider)
+            }),
+        )
+    } else {
+        let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
+            .map_err(|e| e.to_string())?;
+        let service = CompositeService::from_xml(&read(require(flags, &["s", "service"])?)?)
+            .map_err(|e| e.to_string())?;
+        (infra, service, upsim_server::pingpong_mapper())
+    };
+    let workers = match flag(flags, &["workers"]) {
+        Some(n) => n
+            .parse()
+            .map_err(|_| usage_err("--workers expects a thread count"))?,
+        None => 0,
+    };
+    let addr = flag(flags, &["addr"]).unwrap_or("127.0.0.1:7413");
+
+    let snapshot = upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    let config = upsim_server::EngineConfig {
+        workers,
+        mapper,
+        ..Default::default()
+    };
+    let engine = upsim_server::Engine::new(snapshot, config);
+    let server =
+        upsim_server::serve(engine, addr).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    println!(
+        "upsim-server listening on {} ({} workers, service '{}')",
+        server.local_addr(),
+        server.engine().worker_count(),
+        server.engine().service_name()
+    );
+    println!("protocol: QUERY <client> <provider> | BATCH c:p ... | UPDATE ... | STATS | SHUTDOWN");
+    server.join();
+    println!("upsim-server stopped");
+    Ok(())
+}
+
+/// `upsim query` — one-shot TCP client for a running `upsim serve`.
+fn query(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = require(flags, &["addr"])?;
+    let from = require(flags, &["from"])?;
+    let to = require(flags, &["to"])?;
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    writer
+        .write_all(format!("QUERY {from} {to}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send query: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let response = response.trim_end();
+    println!("{response}");
+    if response.starts_with("ERR") {
+        return Err(CliError::Runtime(format!(
+            "server rejected the query: {response}"
+        )));
+    }
+    Ok(())
+}
+
+fn export_case_study(dir: &str) -> Result<(), CliError> {
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create '{dir}': {e}"))?;
     let infra = netgen::usi::usi_infrastructure();
     let service = netgen::usi::printing_service();
@@ -136,10 +252,9 @@ fn export_case_study(dir: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
-    let mut pipeline =
-        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
     let run = pipeline.run().map_err(|e| e.to_string())?;
 
     println!("UPSIM '{}'", run.upsim.name);
@@ -178,7 +293,7 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn paths(flags: &HashMap<String, String>) -> Result<(), String> {
+fn paths(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
     let from = require(flags, &["from"])?;
@@ -186,7 +301,9 @@ fn paths(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut options = DiscoveryOptions::default();
     if let Some(threads) = flag(flags, &["parallel"]) {
         options.parallel = true;
-        options.threads = threads.parse().map_err(|_| "--parallel expects a thread count")?;
+        options.threads = threads
+            .parse()
+            .map_err(|_| usage_err("--parallel expects a thread count"))?;
     }
     let pair = ServiceMappingPair::new("cli", from, to);
     let d = discover(&infra, &pair, options).map_err(|e| e.to_string())?;
@@ -197,10 +314,9 @@ fn paths(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn availability(flags: &HashMap<String, String>) -> Result<(), String> {
+fn availability(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
-    let mut pipeline =
-        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
     let run = pipeline.run().map_err(|e| e.to_string())?;
     let options = AnalysisOptions {
         include_links: flag(flags, &["links"]).is_some(),
@@ -225,10 +341,18 @@ fn availability(flags: &HashMap<String, String>) -> Result<(), String> {
             model.pair_availability_bdd(i)
         );
     }
-    println!("service availability (exact, BDD):       {:.9}", model.availability_bdd());
-    println!("service availability (pairwise product): {:.9}", model.availability_pairwise_product());
+    println!(
+        "service availability (exact, BDD):       {:.9}",
+        model.availability_bdd()
+    );
+    println!(
+        "service availability (pairwise product): {:.9}",
+        model.availability_pairwise_product()
+    );
     if let Some(samples) = flag(flags, &["mc"]) {
-        let samples: usize = samples.parse().map_err(|_| "--mc expects a sample count")?;
+        let samples: usize = samples
+            .parse()
+            .map_err(|_| usage_err("--mc expects a sample count"))?;
         let mc = model.monte_carlo(samples, 0, 2013);
         let (lo, hi) = mc.confidence_95();
         println!(
@@ -270,11 +394,10 @@ fn availability(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn redundancy(flags: &HashMap<String, String>) -> Result<(), String> {
+fn redundancy(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
     let (graph, index) = infra.to_graph();
-    let mut pipeline =
-        UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
     let run = pipeline.run().map_err(|e| e.to_string())?;
     println!("node-disjoint routes per mapping pair (Menger):");
     for d in &run.discovered {
@@ -289,13 +412,17 @@ fn redundancy(flags: &HashMap<String, String>) -> Result<(), String> {
             d.pair.requester,
             d.pair.provider,
             d.len(),
-            if disjoint == usize::MAX { "∞".to_string() } else { disjoint.to_string() }
+            if disjoint == usize::MAX {
+                "∞".to_string()
+            } else {
+                disjoint.to_string()
+            }
         );
     }
     Ok(())
 }
 
-fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn validate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
     infra.validate().map_err(|e| e.to_string())?;
@@ -315,8 +442,13 @@ fn validate(flags: &HashMap<String, String>) -> Result<(), String> {
         );
         if let Some(mpath) = flag(flags, &["m", "mapping"]) {
             let mapping = ServiceMapping::from_xml(&read(mpath)?).map_err(|e| e.to_string())?;
-            mapping.validate(&service, &infra).map_err(|e| e.to_string())?;
-            println!("mapping OK: {} pairs, all resolvable", mapping.pairs().len());
+            mapping
+                .validate(&service, &infra)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "mapping OK: {} pairs, all resolvable",
+                mapping.pairs().len()
+            );
         }
     }
     Ok(())

@@ -1,0 +1,129 @@
+//! Black-box smoke tests for the `upsim` binary: exit codes, stderr
+//! routing for usage errors, and a served query round trip.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+fn upsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_upsim"))
+}
+
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    let out = upsim().arg("help").output().expect("run upsim help");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE:"), "stdout: {stdout}");
+    assert!(out.stderr.is_empty(), "help must not write to stderr");
+}
+
+#[test]
+fn unknown_command_exits_two_with_usage_on_stderr() {
+    let out = upsim()
+        .arg("frobnicate")
+        .output()
+        .expect("run upsim frobnicate");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        out.stdout.is_empty(),
+        "usage errors must not write to stdout"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown command 'frobnicate'"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("USAGE:"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_model_flag_exits_two() {
+    let out = upsim()
+        .arg("generate")
+        .output()
+        .expect("run upsim generate");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("missing required flag --i"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn flag_without_value_exits_two() {
+    let out = upsim()
+        .args(["paths", "-i"])
+        .output()
+        .expect("run upsim paths -i");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs a value"), "stderr: {stderr}");
+}
+
+#[test]
+fn runtime_failure_exits_one() {
+    let out = upsim()
+        .args(["validate", "-i", "/nonexistent/infra.xml"])
+        .output()
+        .expect("run upsim validate");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    // Ephemeral port; the server prints the bound address on its first line.
+    let mut server = upsim()
+        .args([
+            "serve",
+            "--case-study",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn upsim serve");
+    let mut lines = BufReader::new(server.stdout.take().expect("piped stdout")).lines();
+    let banner = lines.next().expect("server banner").expect("read banner");
+    let addr = banner
+        .split_whitespace()
+        .find(|word| word.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    let query = upsim()
+        .args(["query", "--addr", &addr, "--from", "t1", "--to", "p1"])
+        .output()
+        .expect("run upsim query");
+    let stdout = String::from_utf8_lossy(&query.stdout);
+    assert_eq!(
+        query.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    assert!(
+        stdout.contains("OK query client=t1 provider=p1"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("availability=0."), "stdout: {stdout}");
+
+    // A query for a bogus device is a runtime failure (exit 1), not usage.
+    let bad = upsim()
+        .args(["query", "--addr", &addr, "--from", "ghost", "--to", "p1"])
+        .output()
+        .expect("run upsim query ghost");
+    assert_eq!(bad.status.code(), Some(1));
+
+    // Shut the server down over the wire and reap it.
+    let mut stream = TcpStream::connect(&addr).expect("connect for shutdown");
+    stream.write_all(b"SHUTDOWN\n").expect("send shutdown");
+    stream.flush().expect("flush shutdown");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+}

@@ -88,11 +88,14 @@ pub fn discover_on_graph(
     options: DiscoveryOptions,
 ) -> UpsimResult<DiscoveredPaths> {
     let resolve = |role: &'static str, name: &str| {
-        index.get(name).copied().ok_or_else(|| UpsimError::UnknownComponent {
-            atomic_service: pair.atomic_service.clone(),
-            role,
-            component: name.to_string(),
-        })
+        index
+            .get(name)
+            .copied()
+            .ok_or_else(|| UpsimError::UnknownComponent {
+                atomic_service: pair.atomic_service.clone(),
+                role,
+                component: name.to_string(),
+            })
     };
     let source = resolve("requester", &pair.requester)?;
     let target = resolve("provider", &pair.provider)?;
@@ -102,7 +105,11 @@ pub fn discover_on_graph(
             graph,
             source,
             target,
-            ParallelOptions { threads: options.threads, limits: options.limits, ..Default::default() },
+            ParallelOptions {
+                threads: options.threads,
+                limits: options.limits,
+                ..Default::default()
+            },
         )
     } else {
         simple_paths(graph, source, target, options.limits).collect()
@@ -118,10 +125,17 @@ pub fn discover_on_graph(
                 .collect::<Vec<String>>(),
         );
         link_paths.push(
-            path.edges.iter().map(|&e| *graph.edge(e).expect("live edge")).collect::<Vec<usize>>(),
+            path.edges
+                .iter()
+                .map(|&e| *graph.edge(e).expect("live edge"))
+                .collect::<Vec<usize>>(),
         );
     }
-    Ok(DiscoveredPaths { pair: pair.clone(), node_paths, link_paths })
+    Ok(DiscoveredPaths {
+        pair: pair.clone(),
+        node_paths,
+        link_paths,
+    })
 }
 
 /// Convenience: discovery straight from an infrastructure (builds the graph
@@ -140,7 +154,7 @@ pub fn discover(
 /// rendered path, with `visits` relations to the topology instance entities
 /// in traversal order.
 pub fn record_in_space(space: &mut ModelSpace, discovered: &DiscoveredPaths) -> UpsimResult<()> {
-    let sanitized = discovered.pair.atomic_service.replace('.', "_").replace(' ', "_");
+    let sanitized = discovered.pair.atomic_service.replace(['.', ' '], "_");
     let fqn = format!("{PATHS_NS}.{sanitized}");
     if let Ok(old) = space.resolve(&fqn) {
         space.delete_entity(old)?;
@@ -151,7 +165,7 @@ pub fn record_in_space(space: &mut ModelSpace, discovered: &DiscoveredPaths) -> 
         let p = space.new_entity(root, &format!("p{i}"))?;
         space.set_value(p, Some(DiscoveredPaths::render_path(path)))?;
         for node in path {
-            let sanitized_node = node.replace('.', "_").replace(' ', "_");
+            let sanitized_node = node.replace(['.', ' '], "_");
             if let Some(entity) = space.child(topology, &sanitized_node)? {
                 space.new_relation("visits", p, entity)?;
             }
@@ -168,9 +182,15 @@ mod tests {
     /// diamond: t1 - (a|b) - srv
     fn diamond() -> Infrastructure {
         let mut infra = Infrastructure::new("diamond");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
         infra.add_device("t1", "Comp").unwrap();
         infra.add_device("a", "Sw").unwrap();
         infra.add_device("b", "Sw").unwrap();
@@ -190,8 +210,11 @@ mod tests {
     fn discovers_both_redundant_paths() {
         let d = discover(&diamond(), &pair(), DiscoveryOptions::default()).unwrap();
         assert_eq!(d.len(), 2);
-        let rendered: Vec<String> =
-            d.node_paths.iter().map(|p| DiscoveredPaths::render_path(p)).collect();
+        let rendered: Vec<String> = d
+            .node_paths
+            .iter()
+            .map(|p| DiscoveredPaths::render_path(p))
+            .collect();
         assert!(rendered.contains(&"t1—a—srv".to_string()));
         assert!(rendered.contains(&"t1—b—srv".to_string()));
         assert_eq!(d.components().len(), 4);
@@ -207,7 +230,8 @@ mod tests {
                 let link = &infra.objects.links[li];
                 let (a, b) = (&nodes[i], &nodes[i + 1]);
                 assert!(
-                    (&link.end_a == a && &link.end_b == b) || (&link.end_a == b && &link.end_b == a),
+                    (&link.end_a == a && &link.end_b == b)
+                        || (&link.end_a == b && &link.end_b == a),
                     "link {li} does not connect {a}-{b}"
                 );
             }
@@ -221,7 +245,11 @@ mod tests {
         let mut par = discover(
             &infra,
             &pair(),
-            DiscoveryOptions { parallel: true, threads: 2, ..Default::default() },
+            DiscoveryOptions {
+                parallel: true,
+                threads: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         seq.node_paths.sort();
@@ -237,7 +265,13 @@ mod tests {
             DiscoveryOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, UpsimError::UnknownComponent { role: "requester", .. }));
+        assert!(matches!(
+            err,
+            UpsimError::UnknownComponent {
+                role: "requester",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -78,7 +78,12 @@ pub fn object_diagram_dot(diagram: &ObjectDiagram) -> String {
         };
         graph.add_edge(a, b, link.association.clone());
     }
-    ict_graph::dot::to_dot(&graph, &diagram.name, |_, label| label.clone(), |_, _| String::new())
+    ict_graph::dot::to_dot(
+        &graph,
+        &diagram.name,
+        |_, label| label.clone(),
+        |_, _| String::new(),
+    )
 }
 
 /// The size-reduction ratio `|UPSIM| / |N|` over instances — the paper's
@@ -100,9 +105,15 @@ mod tests {
     /// t1 - a - srv, t1 - b - srv, plus an off-path island x-y.
     fn infra() -> Infrastructure {
         let mut infra = Infrastructure::new("net");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
         for (n, c) in [
             ("t1", "Comp"),
             ("a", "Sw"),
@@ -113,7 +124,13 @@ mod tests {
         ] {
             infra.add_device(n, c).unwrap();
         }
-        for (u, v) in [("t1", "a"), ("t1", "b"), ("a", "srv"), ("b", "srv"), ("x", "y")] {
+        for (u, v) in [
+            ("t1", "a"),
+            ("t1", "b"),
+            ("a", "srv"),
+            ("b", "srv"),
+            ("x", "y"),
+        ] {
             infra.connect(u, v).unwrap();
         }
         infra
@@ -122,8 +139,12 @@ mod tests {
     #[test]
     fn upsim_filters_to_path_components() {
         let infra = infra();
-        let d = discover(&infra, &ServiceMappingPair::new("s", "t1", "srv"), DiscoveryOptions::default())
-            .unwrap();
+        let d = discover(
+            &infra,
+            &ServiceMappingPair::new("s", "t1", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         let upsim = generate_upsim(&infra, &[d], "upsim");
         let names: Vec<&str> = upsim.instances.iter().map(|i| i.name.as_str()).collect();
         assert_eq!(names, vec!["t1", "a", "b", "srv"]);
@@ -135,8 +156,12 @@ mod tests {
     #[test]
     fn signatures_preserved_for_dependability_analysis() {
         let infra = infra();
-        let d = discover(&infra, &ServiceMappingPair::new("s", "t1", "srv"), DiscoveryOptions::default())
-            .unwrap();
+        let d = discover(
+            &infra,
+            &ServiceMappingPair::new("s", "t1", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         let upsim = generate_upsim(&infra, &[d], "upsim");
         // Properties still resolvable through the class diagram.
         let v = upsim.instance_value(&infra.classes, "a", "MTBF").unwrap();
@@ -146,10 +171,18 @@ mod tests {
     #[test]
     fn multiple_pairs_merge() {
         let infra = infra();
-        let d1 = discover(&infra, &ServiceMappingPair::new("s1", "t1", "srv"), DiscoveryOptions::default())
-            .unwrap();
-        let d2 = discover(&infra, &ServiceMappingPair::new("s2", "x", "y"), DiscoveryOptions::default())
-            .unwrap();
+        let d1 = discover(
+            &infra,
+            &ServiceMappingPair::new("s1", "t1", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
+        let d2 = discover(
+            &infra,
+            &ServiceMappingPair::new("s2", "x", "y"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         let upsim = generate_upsim(&infra, &[d1, d2], "upsim");
         assert_eq!(upsim.instances.len(), 6);
         assert_eq!(upsim.links.len(), 5);
@@ -177,8 +210,12 @@ mod tests {
     #[test]
     fn reduction_ratio_reflects_filtering() {
         let infra = infra();
-        let d = discover(&infra, &ServiceMappingPair::new("s", "t1", "srv"), DiscoveryOptions::default())
-            .unwrap();
+        let d = discover(
+            &infra,
+            &ServiceMappingPair::new("s", "t1", "srv"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         let upsim = generate_upsim(&infra, &[d], "upsim");
         let ratio = reduction_ratio(&infra, &upsim);
         assert!((ratio - 4.0 / 6.0).abs() < 1e-12);

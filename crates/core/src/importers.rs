@@ -25,7 +25,7 @@ pub const MAPPING_NS: &str = "mappings";
 pub const PATHS_NS: &str = "paths";
 
 fn sanitize(name: &str) -> String {
-    name.replace('.', "_").replace(' ', "_")
+    name.replace(['.', ' '], "_")
 }
 
 /// Step 5a: imports profiles, class diagram and object diagram.
@@ -36,14 +36,22 @@ pub fn import_infrastructure(
     vpm::uml_import::import_profile(space, infrastructure.availability_profile())?;
     vpm::uml_import::import_profile(space, infrastructure.network_profile())?;
     vpm::uml_import::import_class_diagram(space, &infrastructure.classes, CLASS_NS)?;
-    let topology =
-        vpm::uml_import::import_object_diagram(space, &infrastructure.objects, TOPOLOGY_NS, CLASS_NS)?;
+    let topology = vpm::uml_import::import_object_diagram(
+        space,
+        &infrastructure.objects,
+        TOPOLOGY_NS,
+        CLASS_NS,
+    )?;
     Ok(topology)
 }
 
 /// Step 5b: imports the composite-service activity diagram.
 pub fn import_service(space: &mut ModelSpace, service: &CompositeService) -> UpsimResult<EntityId> {
-    Ok(vpm::uml_import::import_activity(space, service.activity(), SERVICE_NS)?)
+    Ok(vpm::uml_import::import_activity(
+        space,
+        service.activity(),
+        SERVICE_NS,
+    )?)
 }
 
 /// Step 6: the custom mapping importer. Creates one entity per pair under
@@ -61,16 +69,14 @@ pub fn import_mapping(space: &mut ModelSpace, mapping: &ServiceMapping) -> Upsim
     for pair in mapping.pairs() {
         let entity = space.new_entity(root, &sanitize(&pair.atomic_service))?;
         space.set_value(entity, Some(pair.atomic_service.clone()))?;
-        for (role, component) in
-            [("requester", &pair.requester), ("provider", &pair.provider)]
-        {
-            let target = space.child(topology, &sanitize(component))?.ok_or_else(|| {
-                UpsimError::UnknownComponent {
+        for (role, component) in [("requester", &pair.requester), ("provider", &pair.provider)] {
+            let target = space
+                .child(topology, &sanitize(component))?
+                .ok_or_else(|| UpsimError::UnknownComponent {
                     atomic_service: pair.atomic_service.clone(),
                     role,
                     component: component.clone(),
-                }
-            })?;
+                })?;
             space.new_relation(role, entity, target)?;
         }
     }
@@ -85,14 +91,18 @@ mod tests {
 
     fn fixture() -> (Infrastructure, CompositeService, ServiceMapping) {
         let mut infra = Infrastructure::new("mini");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
         infra.add_device("t1", "Comp").unwrap();
         infra.add_device("printS", "Server").unwrap();
         infra.connect("t1", "printS").unwrap();
         let svc = CompositeService::sequential("print", &["Request printing"]).unwrap();
-        let mapping = ServiceMapping::new()
-            .with(ServiceMappingPair::new("Request printing", "t1", "printS"));
+        let mapping =
+            ServiceMapping::new().with(ServiceMappingPair::new("Request printing", "t1", "printS"));
         (infra, svc, mapping)
     }
 
@@ -112,7 +122,10 @@ mod tests {
         assert_eq!(space.value(pair).unwrap(), Some("Request printing"));
 
         let t1 = space.resolve("models.topology.t1").unwrap();
-        let requester: Vec<_> = space.relations_from(pair, "requester").map(|(_, t)| t).collect();
+        let requester: Vec<_> = space
+            .relations_from(pair, "requester")
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(requester, vec![t1]);
     }
 
@@ -143,10 +156,19 @@ mod tests {
         import_mapping(&mut space, &moved).unwrap();
         let pair = space.resolve("mappings.Request_printing").unwrap();
         let printserver = space.resolve("models.topology.printS").unwrap();
-        let requester: Vec<_> = space.relations_from(pair, "requester").map(|(_, t)| t).collect();
+        let requester: Vec<_> = space
+            .relations_from(pair, "requester")
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(requester, vec![printserver]);
         // No stale relations from the first import.
-        assert_eq!(space.relations().filter(|(_, n, _, _)| *n == "requester").count(), 1);
+        assert_eq!(
+            space
+                .relations()
+                .filter(|(_, n, _, _)| *n == "requester")
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -157,7 +179,10 @@ mod tests {
         let bad = ServiceMapping::new().with(ServiceMappingPair::new("x", "ghost", "printS"));
         assert!(matches!(
             import_mapping(&mut space, &bad),
-            Err(UpsimError::UnknownComponent { role: "requester", .. })
+            Err(UpsimError::UnknownComponent {
+                role: "requester",
+                ..
+            })
         ));
     }
 }

@@ -231,8 +231,12 @@ impl Infrastructure {
                 net_values.push(("processor".into(), Value::from(p.clone())));
             }
         }
-        self.classes
-            .apply_to_class(&self.network, &spec.name, spec.kind.stereotype(), &net_values)?;
+        self.classes.apply_to_class(
+            &self.network,
+            &spec.name,
+            spec.kind.stereotype(),
+            &net_values,
+        )?;
         self.kinds.insert(spec.name.clone(), spec.kind);
         Ok(())
     }
@@ -241,24 +245,34 @@ impl Infrastructure {
     pub fn add_device(&mut self, instance: impl Into<String>, class: &str) -> UpsimResult<()> {
         let instance = instance.into();
         if self.classes.class(class).is_none() {
-            return Err(uml::ModelError::UnknownElement { kind: "class", name: class.to_string() }.into());
+            return Err(uml::ModelError::UnknownElement {
+                kind: "class",
+                name: class.to_string(),
+            }
+            .into());
         }
-        self.objects.add_instance(InstanceSpecification::new(instance, class))?;
+        self.objects
+            .add_instance(InstanceSpecification::new(instance, class))?;
         Ok(())
     }
 
     /// Step 2: connects two deployed instances. The association between
-    /// their classes is auto-created on first use (stereotyped `Connector`
-    /// + `Communication` with the current default link attributes); the
-    /// link instantiates it.
+    /// their classes is auto-created on first use (stereotyped
+    /// `Connector` + `Communication` with the current default link
+    /// attributes); the link instantiates it.
     pub fn connect(&mut self, a: &str, b: &str) -> UpsimResult<()> {
         let class_a = self.class_of(a)?.to_string();
         let class_b = self.class_of(b)?.to_string();
-        let assoc_name = match self.classes.associations_between(&class_a, &class_b).first() {
+        let assoc_name = match self
+            .classes
+            .associations_between(&class_a, &class_b)
+            .first()
+        {
             Some(assoc) => assoc.name.clone(),
             None => {
                 let name = format!("{class_a}--{class_b}");
-                self.classes.add_association(Association::new(&name, &class_a, &class_b))?;
+                self.classes
+                    .add_association(Association::new(&name, &class_a, &class_b))?;
                 self.classes.apply_to_association(
                     &self.availability,
                     &name,
@@ -266,7 +280,10 @@ impl Infrastructure {
                     &[
                         ("MTBF".into(), Value::Real(self.default_link.mtbf)),
                         ("MTTR".into(), Value::Real(self.default_link.mttr)),
-                        ("redundantComponents".into(), Value::Integer(self.default_link.redundant)),
+                        (
+                            "redundantComponents".into(),
+                            Value::Integer(self.default_link.redundant),
+                        ),
                     ],
                 )?;
                 self.classes.apply_to_association(
@@ -274,8 +291,14 @@ impl Infrastructure {
                     &name,
                     "Communication",
                     &[
-                        ("channel".into(), Value::from(self.default_link.channel.clone())),
-                        ("throughput".into(), Value::Real(self.default_link.throughput)),
+                        (
+                            "channel".into(),
+                            Value::from(self.default_link.channel.clone()),
+                        ),
+                        (
+                            "throughput".into(),
+                            Value::Real(self.default_link.throughput),
+                        ),
                     ],
                 )?;
                 name
@@ -295,16 +318,20 @@ impl Infrastructure {
             }
             .into());
         }
-        self.objects.links.retain(|l| l.end_a != instance && l.end_b != instance);
+        self.objects
+            .links
+            .retain(|l| l.end_a != instance && l.end_b != instance);
         self.objects.instances.retain(|i| i.name != instance);
         Ok(())
     }
 
     /// Dynamicity: removes the (first) link between two instances.
     pub fn disconnect(&mut self, a: &str, b: &str) -> UpsimResult<bool> {
-        let pos = self.objects.links.iter().position(|l| {
-            (l.end_a == a && l.end_b == b) || (l.end_a == b && l.end_b == a)
-        });
+        let pos = self
+            .objects
+            .links
+            .iter()
+            .position(|l| (l.end_a == a && l.end_b == b) || (l.end_a == b && l.end_b == a));
         match pos {
             Some(i) => {
                 self.objects.links.remove(i);
@@ -363,13 +390,19 @@ impl Infrastructure {
     /// `redundantComponents` of an instance.
     pub fn redundant_components(&self, instance: &str) -> Option<i64> {
         let inst = self.objects.instance(instance)?;
-        self.classes.class(&inst.class)?.value("redundantComponents")?.as_integer()
+        self.classes
+            .class(&inst.class)?
+            .value("redundantComponents")?
+            .as_integer()
     }
 
     /// MTBF/MTTR of the association behind a link index.
     pub fn link_attr(&self, link_index: usize, attribute: &str) -> Option<f64> {
         let link = self.objects.links.get(link_index)?;
-        self.classes.association(&link.association)?.value(attribute)?.as_real()
+        self.classes
+            .association(&link.association)?
+            .value(attribute)?
+            .as_real()
     }
 
     /// Number of deployed devices.
@@ -388,8 +421,10 @@ impl Infrastructure {
         for inst in &self.objects.instances {
             *counts.entry(inst.class.as_str()).or_default() += 1;
         }
-        let mut out: Vec<(String, usize)> =
-            counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
         out.sort();
         out
     }
@@ -428,10 +463,14 @@ impl Infrastructure {
         }
         let name = doc.root.attr("name").unwrap_or("unnamed").to_string();
         let classes_el = doc.root.child_named("classDiagram").ok_or_else(|| {
-            UpsimError::Model(uml::ModelError::Serialization("missing <classDiagram>".into()))
+            UpsimError::Model(uml::ModelError::Serialization(
+                "missing <classDiagram>".into(),
+            ))
         })?;
         let objects_el = doc.root.child_named("objectDiagram").ok_or_else(|| {
-            UpsimError::Model(uml::ModelError::Serialization("missing <objectDiagram>".into()))
+            UpsimError::Model(uml::ModelError::Serialization(
+                "missing <objectDiagram>".into(),
+            ))
         })?;
         let classes = uml::xmi::class_diagram_from_xml(
             &xmlio::Writer::new(xmlio::WriteOptions::compact()).element(classes_el),
@@ -491,13 +530,17 @@ mod tests {
 
     fn toy() -> Infrastructure {
         let mut infra = Infrastructure::new("toy");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
         infra
             .define_device_class(
                 DeviceClassSpec::switch("HP2650", 199_000.0, 0.5).with_manufacturer("HP"),
             )
             .unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60_000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60_000.0, 0.1))
+            .unwrap();
         infra.add_device("t1", "Comp").unwrap();
         infra.add_device("t2", "Comp").unwrap();
         infra.add_device("e1", "HP2650").unwrap();
@@ -540,8 +583,14 @@ mod tests {
         let assoc = &infra.classes.associations[0];
         assert!(assoc.has_stereotype("Connector"));
         assert!(assoc.has_stereotype("Communication"));
-        assert_eq!(assoc.value("MTBF").and_then(|v| v.as_real()), Some(500_000.0));
-        assert_eq!(assoc.value("throughput").and_then(|v| v.as_real()), Some(1000.0));
+        assert_eq!(
+            assoc.value("MTBF").and_then(|v| v.as_real()),
+            Some(500_000.0)
+        );
+        assert_eq!(
+            assoc.value("throughput").and_then(|v| v.as_real()),
+            Some(1000.0)
+        );
         assert_eq!(infra.link_attr(0, "MTBF"), Some(500_000.0));
     }
 
@@ -628,7 +677,9 @@ mod tests {
     #[test]
     fn custom_link_spec_applies_to_new_associations() {
         let mut infra = toy();
-        infra.define_device_class(DeviceClassSpec::printer("Printer", 2880.0, 1.0)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::printer("Printer", 2880.0, 1.0))
+            .unwrap();
         infra.set_default_link(LinkClassSpec {
             mtbf: 100.0,
             mttr: 9.0,
@@ -639,7 +690,10 @@ mod tests {
         infra.add_device("p1", "Printer").unwrap();
         infra.connect("p1", "e1").unwrap();
         let assoc = infra.classes.associations_between("Printer", "HP2650")[0];
-        assert_eq!(assoc.value("channel").and_then(|v| v.as_str()), Some("fiber"));
+        assert_eq!(
+            assoc.value("channel").and_then(|v| v.as_str()),
+            Some("fiber")
+        );
         assert_eq!(assoc.value("MTBF").and_then(|v| v.as_real()), Some(100.0));
     }
 }

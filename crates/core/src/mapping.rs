@@ -57,8 +57,10 @@ impl ServiceMapping {
     /// Adds or replaces the pair for an atomic service (the atomic service
     /// is the unique key).
     pub fn add(&mut self, pair: ServiceMappingPair) {
-        if let Some(existing) =
-            self.pairs.iter_mut().find(|p| p.atomic_service == pair.atomic_service)
+        if let Some(existing) = self
+            .pairs
+            .iter_mut()
+            .find(|p| p.atomic_service == pair.atomic_service)
         {
             *existing = pair;
         } else {
@@ -79,7 +81,9 @@ impl ServiceMapping {
 
     /// The pair for an atomic service, if present.
     pub fn pair(&self, atomic_service: &str) -> Option<&ServiceMappingPair> {
-        self.pairs.iter().find(|p| p.atomic_service == atomic_service)
+        self.pairs
+            .iter()
+            .find(|p| p.atomic_service == atomic_service)
     }
 
     /// Removes the pair of an atomic service; returns whether it existed.
@@ -138,8 +142,7 @@ impl ServiceMapping {
         infrastructure: &Infrastructure,
     ) -> UpsimResult<()> {
         for pair in self.for_service(service)? {
-            for (role, component) in
-                [("requester", &pair.requester), ("provider", &pair.provider)]
+            for (role, component) in [("requester", &pair.requester), ("provider", &pair.provider)]
             {
                 if !infrastructure.has_device(component) {
                     return Err(UpsimError::UnknownComponent {
@@ -191,7 +194,9 @@ impl ServiceMapping {
             let requester = el
                 .child_named("requester")
                 .and_then(|r| r.attr("id"))
-                .ok_or_else(|| UpsimError::Mapping(format!("'{id}': missing <requester id=...>")))?;
+                .ok_or_else(|| {
+                    UpsimError::Mapping(format!("'{id}': missing <requester id=...>"))
+                })?;
             let provider = el
                 .child_named("provider")
                 .and_then(|p| p.attr("id"))
@@ -217,7 +222,11 @@ mod tests {
         ServiceMapping::new()
             .with(ServiceMappingPair::new("Request printing", "t1", "printS"))
             .with(ServiceMappingPair::new("Login to printer", "p2", "printS"))
-            .with(ServiceMappingPair::new("Send document list", "printS", "p2"))
+            .with(ServiceMappingPair::new(
+                "Send document list",
+                "printS",
+                "p2",
+            ))
             .with(ServiceMappingPair::new("Select documents", "p2", "printS"))
             .with(ServiceMappingPair::new("Send documents", "printS", "p2"))
     }
@@ -245,7 +254,11 @@ mod tests {
         let mapping = ServiceMapping::from_xml(xml).unwrap();
         assert_eq!(
             mapping.pair("atomic_service_1"),
-            Some(&ServiceMappingPair::new("atomic_service_1", "component_a", "component_b"))
+            Some(&ServiceMappingPair::new(
+                "atomic_service_1",
+                "component_a",
+                "component_b"
+            ))
         );
     }
 
@@ -307,7 +320,10 @@ mod tests {
     fn migrate_and_move_repoint_pairs() {
         let mut mapping = table_one();
         assert_eq!(mapping.migrate_provider("printS", "printS2"), 3);
-        assert_eq!(mapping.pair("Request printing").unwrap().provider, "printS2");
+        assert_eq!(
+            mapping.pair("Request printing").unwrap().provider,
+            "printS2"
+        );
         assert_eq!(mapping.move_requester("p2", "p3"), 2);
         assert_eq!(mapping.pair("Login to printer").unwrap().requester, "p3");
     }
@@ -315,20 +331,27 @@ mod tests {
     #[test]
     fn validate_against_infrastructure() {
         let mut infra = Infrastructure::new("mini");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
         infra.add_device("t1", "Comp").unwrap();
         infra.add_device("printS", "Server").unwrap();
         let svc = CompositeService::sequential("s", &["Request printing"]).unwrap();
-        let good = ServiceMapping::new()
-            .with(ServiceMappingPair::new("Request printing", "t1", "printS"));
+        let good =
+            ServiceMapping::new().with(ServiceMappingPair::new("Request printing", "t1", "printS"));
         good.validate(&svc, &infra).unwrap();
 
-        let bad = ServiceMapping::new()
-            .with(ServiceMappingPair::new("Request printing", "t1", "ghost"));
+        let bad =
+            ServiceMapping::new().with(ServiceMappingPair::new("Request printing", "t1", "ghost"));
         assert!(matches!(
             bad.validate(&svc, &infra),
-            Err(UpsimError::UnknownComponent { role: "provider", .. })
+            Err(UpsimError::UnknownComponent {
+                role: "provider",
+                ..
+            })
         ));
     }
 }

@@ -42,6 +42,29 @@ pub struct StepTiming {
     pub cached: bool,
 }
 
+/// Which cached pipeline artifacts are currently valid.
+///
+/// This is the Sec. V-A3 bookkeeping made inspectable: resident engines
+/// (e.g. `upsim-server`) use it to key their own perspective caches and to
+/// decide how much re-computation an update actually triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheState {
+    /// Step 5 (UML model import) is cached.
+    pub models_imported: bool,
+    /// Step 6 (mapping import) is cached.
+    pub mapping_imported: bool,
+    /// The graph view used by Step 7 is cached.
+    pub graph_built: bool,
+}
+
+impl CacheState {
+    /// `true` when a subsequent [`UpsimPipeline::run`] would re-run every
+    /// step.
+    pub fn is_cold(&self) -> bool {
+        !self.models_imported && !self.mapping_imported && !self.graph_built
+    }
+}
+
 /// The result of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct UpsimRun {
@@ -63,7 +86,28 @@ impl UpsimRun {
 
     /// The discovered paths of one atomic service.
     pub fn paths_of(&self, atomic_service: &str) -> Option<&DiscoveredPaths> {
-        self.discovered.iter().find(|d| d.pair.atomic_service == atomic_service)
+        self.discovered
+            .iter()
+            .find(|d| d.pair.atomic_service == atomic_service)
+    }
+
+    /// The devices this run's UPSIM touches — the invalidation footprint of
+    /// the perspective. A topology edit that removes a link between two
+    /// devices can only change this run's result when both endpoints appear
+    /// here (every discovered path using the link visits both).
+    pub fn touched_devices(&self) -> impl Iterator<Item = &str> {
+        self.upsim.instances.iter().map(|i| i.name.as_str())
+    }
+
+    /// `true` when a removed link `(a, b)` may invalidate this run.
+    pub fn touches_link(&self, a: &str, b: &str) -> bool {
+        let mut has_a = false;
+        let mut has_b = false;
+        for device in self.touched_devices() {
+            has_a |= device == a;
+            has_b |= device == b;
+        }
+        has_a && has_b
     }
 }
 
@@ -129,6 +173,23 @@ impl UpsimPipeline {
     /// Sets the discovery options (parallelism, limits).
     pub fn set_options(&mut self, options: DiscoveryOptions) {
         self.options = options;
+    }
+
+    /// Which steps are currently cached (see [`CacheState`]).
+    pub fn cache_state(&self) -> CacheState {
+        CacheState {
+            models_imported: self.models_imported,
+            mapping_imported: self.mapping_imported,
+            graph_built: self.graph.is_some(),
+        }
+    }
+
+    /// Dynamicity: replaces the whole mapping. Equivalent to
+    /// [`UpsimPipeline::update_mapping`] with a wholesale assignment; used
+    /// by engines that evaluate many perspectives against one imported
+    /// model (Step 5 stays cached, only Step 6 re-runs).
+    pub fn set_mapping(&mut self, mapping: ServiceMapping) -> UpsimResult<()> {
+        self.update_mapping(|m| *m = mapping)
     }
 
     /// Dynamicity: edits the mapping only. Invalidates Step 6 (and the
@@ -220,7 +281,11 @@ impl UpsimPipeline {
                 record_in_space(&mut self.space, d)?;
             }
         }
-        timings.push(StepTiming { step: "7-path-discovery", duration: t.elapsed(), cached: false });
+        timings.push(StepTiming {
+            step: "7-path-discovery",
+            duration: t.elapsed(),
+            cached: false,
+        });
 
         // Step 8: merge into the UPSIM.
         let t = Instant::now();
@@ -229,10 +294,19 @@ impl UpsimPipeline {
             &discovered,
             format!("upsim-{}", self.service.name()),
         );
-        timings.push(StepTiming { step: "8-generate-upsim", duration: t.elapsed(), cached: false });
+        timings.push(StepTiming {
+            step: "8-generate-upsim",
+            duration: t.elapsed(),
+            cached: false,
+        });
 
         let ratio = reduction_ratio(&self.infrastructure, &upsim);
-        Ok(UpsimRun { upsim, discovered, timings, reduction_ratio: ratio })
+        Ok(UpsimRun {
+            upsim,
+            discovered,
+            timings,
+            reduction_ratio: ratio,
+        })
     }
 }
 
@@ -245,10 +319,22 @@ mod tests {
     /// t1, t2 - sw - srv1, srv2
     fn fixture() -> (Infrastructure, CompositeService, ServiceMapping) {
         let mut infra = Infrastructure::new("mini");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
-        for (n, c) in [("t1", "Comp"), ("t2", "Comp"), ("sw", "Sw"), ("srv1", "Server"), ("srv2", "Server")] {
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
+        for (n, c) in [
+            ("t1", "Comp"),
+            ("t2", "Comp"),
+            ("sw", "Sw"),
+            ("srv1", "Server"),
+            ("srv2", "Server"),
+        ] {
             infra.add_device(n, c).unwrap();
         }
         for (a, b) in [("t1", "sw"), ("t2", "sw"), ("sw", "srv1"), ("sw", "srv2")] {
@@ -266,7 +352,12 @@ mod tests {
         let (i, s, m) = fixture();
         let mut p = UpsimPipeline::new(i, s, m).unwrap();
         let run = p.run().unwrap();
-        let names: Vec<&str> = run.upsim.instances.iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .upsim
+            .instances
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["t1", "sw", "srv1"]);
         assert_eq!(run.discovered.len(), 2);
         assert!((run.reduction_ratio - 3.0 / 5.0).abs() < 1e-12);
@@ -281,8 +372,12 @@ mod tests {
         let mut p = UpsimPipeline::new(i, s, m).unwrap();
         p.run().unwrap();
         let run2 = p.run().unwrap();
-        let cached: Vec<&str> =
-            run2.timings.iter().filter(|t| t.cached).map(|t| t.step).collect();
+        let cached: Vec<&str> = run2
+            .timings
+            .iter()
+            .filter(|t| t.cached)
+            .map(|t| t.step)
+            .collect();
         assert_eq!(cached, vec!["5-import-models", "6-import-mapping"]);
     }
 
@@ -299,11 +394,15 @@ mod tests {
         })
         .unwrap();
         let run = p.run().unwrap();
-        let by_step: HashMap<&str, bool> =
-            run.timings.iter().map(|t| (t.step, t.cached)).collect();
+        let by_step: HashMap<&str, bool> = run.timings.iter().map(|t| (t.step, t.cached)).collect();
         assert!(by_step["5-import-models"]);
         assert!(!by_step["6-import-mapping"]);
-        let names: Vec<&str> = run.upsim.instances.iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .upsim
+            .instances
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["t2", "sw", "srv1"]);
     }
 
@@ -333,7 +432,12 @@ mod tests {
         .unwrap();
         let run = p.run().unwrap();
         assert!(run.timings.iter().all(|t| !t.cached));
-        let names: Vec<&str> = run.upsim.instances.iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .upsim
+            .instances
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["t1", "sw", "srv1", "sw2"]);
         assert_eq!(run.paths_of("request").unwrap().len(), 2);
     }
@@ -349,7 +453,12 @@ mod tests {
         })
         .unwrap();
         let run = p.run().unwrap();
-        let names: Vec<&str> = run.upsim.instances.iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .upsim
+            .instances
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["t1", "sw", "srv2"]);
     }
 
@@ -362,7 +471,12 @@ mod tests {
         let map2 = ServiceMapping::new().with(ServiceMappingPair::new("store", "t2", "srv2"));
         p.substitute_service(svc2, map2).unwrap();
         let run = p.run().unwrap();
-        let names: Vec<&str> = run.upsim.instances.iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .upsim
+            .instances
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["t2", "sw", "srv2"]);
     }
 
@@ -375,6 +489,49 @@ mod tests {
         assert!(run.paths_of("request").unwrap().is_empty());
         // Response direction equally empty; UPSIM is empty.
         assert!(run.upsim.instances.is_empty());
+    }
+
+    #[test]
+    fn cache_state_tracks_dynamicity() {
+        let (i, s, m) = fixture();
+        let mut p = UpsimPipeline::new(i, s, m.clone()).unwrap();
+        assert!(p.cache_state().is_cold());
+        p.run().unwrap();
+        assert_eq!(
+            p.cache_state(),
+            CacheState {
+                models_imported: true,
+                mapping_imported: true,
+                graph_built: true
+            }
+        );
+        // Wholesale mapping replacement invalidates Step 6 only.
+        p.set_mapping(m).unwrap();
+        let state = p.cache_state();
+        assert!(state.models_imported && !state.mapping_imported && state.graph_built);
+        // Topology change invalidates everything.
+        p.update_infrastructure(|infra| {
+            infra.add_device("sw9", "Sw")?;
+            infra.connect("sw9", "sw")?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(p.cache_state().is_cold());
+    }
+
+    #[test]
+    fn touches_link_matches_upsim_membership() {
+        let (i, s, m) = fixture();
+        let mut p = UpsimPipeline::new(i, s, m).unwrap();
+        let run = p.run().unwrap();
+        // UPSIM is {t1, sw, srv1}: the used link is touched, an unused one
+        // (sw, srv2) is not.
+        assert!(run.touches_link("t1", "sw"));
+        assert!(run.touches_link("sw", "srv1"));
+        assert!(!run.touches_link("sw", "srv2"));
+        assert!(!run.touches_link("t2", "sw"));
+        let touched: Vec<&str> = run.touched_devices().collect();
+        assert_eq!(touched, vec!["t1", "sw", "srv1"]);
     }
 
     #[test]

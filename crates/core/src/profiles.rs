@@ -53,12 +53,17 @@ pub fn network_profile() -> Profile {
         .with_stereotype(
             Stereotype::new("Network Device", Metaclass::Class)
                 .abstract_()
-                .with_attribute(Attribute::with_default("manufacturer", Value::from("unknown")))
+                .with_attribute(Attribute::with_default(
+                    "manufacturer",
+                    Value::from("unknown"),
+                ))
                 .with_attribute(Attribute::with_default("model", Value::from("unknown"))),
         )
         .with_stereotype(Stereotype::new("Router", Metaclass::Class).specializing("Network Device"))
         .with_stereotype(Stereotype::new("Switch", Metaclass::Class).specializing("Network Device"))
-        .with_stereotype(Stereotype::new("Printer", Metaclass::Class).specializing("Network Device"))
+        .with_stereotype(
+            Stereotype::new("Printer", Metaclass::Class).specializing("Network Device"),
+        )
         .with_stereotype(
             Stereotype::new("Computer", Metaclass::Class)
                 .abstract_()
@@ -87,7 +92,10 @@ mod tests {
         assert_eq!(component.extends, Metaclass::Class);
         let device_attrs = p.effective_attributes("Device").unwrap();
         assert_eq!(
-            device_attrs.iter().map(|a| a.name.as_str()).collect::<Vec<_>>(),
+            device_attrs
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["MTBF", "MTTR", "redundantComponents"]
         );
         let connector = p.stereotype("Connector").unwrap();
@@ -99,7 +107,9 @@ mod tests {
     fn network_profile_matches_fig7() {
         let p = network_profile();
         for concrete in ["Router", "Switch", "Printer", "Client", "Server"] {
-            let st = p.stereotype(concrete).unwrap_or_else(|| panic!("{concrete} missing"));
+            let st = p
+                .stereotype(concrete)
+                .unwrap_or_else(|| panic!("{concrete} missing"));
             assert!(!st.is_abstract, "{concrete}");
         }
         for abstr in ["Network Device", "Computer"] {
@@ -124,7 +134,10 @@ mod tests {
         let comm = p.stereotype("Communication").unwrap();
         assert_eq!(comm.extends, Metaclass::Association);
         assert_eq!(
-            comm.attributes.iter().map(|a| a.name.as_str()).collect::<Vec<_>>(),
+            comm.attributes
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["channel", "throughput"]
         );
     }
@@ -134,7 +147,9 @@ mod tests {
         let p = network_profile();
         // All network attributes have defaults, so an application without
         // explicit values is valid.
-        let vals = p.check_application("Switch", Metaclass::Class, &[]).unwrap();
+        let vals = p
+            .check_application("Switch", Metaclass::Class, &[])
+            .unwrap();
         assert_eq!(vals.len(), 2);
     }
 }

@@ -72,8 +72,11 @@ impl RunStatistics {
             "UPSIM: {} instances / {} links (reduction {:.3})\n",
             self.upsim_instances, self.upsim_links, self.reduction_ratio
         ));
-        let hist: Vec<String> =
-            self.class_histogram.iter().map(|(c, n)| format!("{c}×{n}")).collect();
+        let hist: Vec<String> = self
+            .class_histogram
+            .iter()
+            .map(|(c, n)| format!("{c}×{n}"))
+            .collect();
         out.push_str(&format!("classes: {}\n", hist.join(", ")));
         match self.path_length_range {
             Some((lo, hi)) => out.push_str(&format!(
@@ -83,7 +86,10 @@ impl RunStatistics {
             None => out.push_str("paths: none discovered\n"),
         }
         if !self.disconnected_pairs.is_empty() {
-            out.push_str(&format!("DISCONNECTED pairs: {}\n", self.disconnected_pairs.join(", ")));
+            out.push_str(&format!(
+                "DISCONNECTED pairs: {}\n",
+                self.disconnected_pairs.join(", ")
+            ));
         }
         out
     }
@@ -99,9 +105,15 @@ mod tests {
 
     fn run() -> (Infrastructure, UpsimRun) {
         let mut infra = Infrastructure::new("s");
-        infra.define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("S", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("S", 60000.0, 0.1))
+            .unwrap();
         for (n, c) in [("t1", "C"), ("a", "Sw"), ("b", "Sw"), ("srv", "S")] {
             infra.add_device(n, c).unwrap();
         }
@@ -126,7 +138,11 @@ mod tests {
         assert!((stats.mean_path_length - 2.0).abs() < 1e-12);
         assert_eq!(
             stats.class_histogram,
-            vec![("C".to_string(), 1), ("S".to_string(), 1), ("Sw".to_string(), 2)]
+            vec![
+                ("C".to_string(), 1),
+                ("S".to_string(), 1),
+                ("Sw".to_string(), 2)
+            ]
         );
         assert!(stats.disconnected_pairs.is_empty());
         let text = stats.render();

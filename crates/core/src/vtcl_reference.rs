@@ -26,7 +26,7 @@ use vpm::{Constraint, Machine, ModelSpace, Pattern, Rule, Var};
 pub const SCRATCH_NS: &str = "vtcl_scratch";
 
 fn sanitize(name: &str) -> String {
-    name.replace('.', "_").replace(' ', "_")
+    name.replace(['.', ' '], "_")
 }
 
 /// Discovers all simple paths between two components purely with
@@ -86,8 +86,10 @@ pub fn discover_paths_vtcl(
             .map(|(_, t)| t)
             .next()
             .expect("open paths have a head");
-        let visited: Vec<vpm::EntityId> =
-            space.relations_from(path, "visits").map(|(_, t)| t).collect();
+        let visited: Vec<vpm::EntityId> = space
+            .relations_from(path, "visits")
+            .map(|(_, t)| t)
+            .collect();
 
         // Incident topology links of the head, both orientations, any
         // association name (link relations are named by their association).
@@ -161,9 +163,15 @@ mod tests {
 
     fn diamond() -> Infrastructure {
         let mut infra = Infrastructure::new("diamond");
-        infra.define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("S", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("S", 60000.0, 0.1))
+            .unwrap();
         for (n, c) in [("t1", "C"), ("a", "Sw"), ("b", "Sw"), ("srv", "S")] {
             infra.add_device(n, c).unwrap();
         }
@@ -232,7 +240,10 @@ mod tests {
         import_infrastructure(&mut space, &infra).unwrap();
         assert!(matches!(
             discover_paths_vtcl(&mut space, "ghost", "srv"),
-            Err(UpsimError::UnknownComponent { role: "requester", .. })
+            Err(UpsimError::UnknownComponent {
+                role: "requester",
+                ..
+            })
         ));
     }
 

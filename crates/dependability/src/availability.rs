@@ -10,16 +10,28 @@
 ///
 /// Both times must be positive and finite; returns a value in `(0, 1)`.
 pub fn steady_state(mtbf: f64, mttr: f64) -> f64 {
-    assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive, got {mtbf}");
-    assert!(mttr >= 0.0 && mttr.is_finite(), "MTTR must be non-negative, got {mttr}");
+    assert!(
+        mtbf > 0.0 && mtbf.is_finite(),
+        "MTBF must be positive, got {mtbf}"
+    );
+    assert!(
+        mttr >= 0.0 && mttr.is_finite(),
+        "MTTR must be non-negative, got {mttr}"
+    );
     mtbf / (mtbf + mttr)
 }
 
 /// The paper's printed Formula 1: `1 − MTTR/MTBF`. Clamped at zero for the
 /// degenerate case `MTTR > MTBF` (where the approximation breaks down).
 pub fn paper_approximation(mtbf: f64, mttr: f64) -> f64 {
-    assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive, got {mtbf}");
-    assert!(mttr >= 0.0 && mttr.is_finite(), "MTTR must be non-negative, got {mttr}");
+    assert!(
+        mtbf > 0.0 && mtbf.is_finite(),
+        "MTBF must be positive, got {mtbf}"
+    );
+    assert!(
+        mttr >= 0.0 && mttr.is_finite(),
+        "MTTR must be non-negative, got {mttr}"
+    );
     (1.0 - mttr / mtbf).max(0.0)
 }
 
@@ -27,7 +39,10 @@ pub fn paper_approximation(mtbf: f64, mttr: f64) -> f64 {
 /// (`redundantComponents` attribute, Fig. 6): the assembly fails only when
 /// all `redundant + 1` units fail, `A' = 1 − (1 − A)^(r+1)`.
 pub fn with_redundancy(availability: f64, redundant: i64) -> f64 {
-    assert!((0.0..=1.0).contains(&availability), "availability out of range: {availability}");
+    assert!(
+        (0.0..=1.0).contains(&availability),
+        "availability out of range: {availability}"
+    );
     assert!(redundant >= 0, "redundantComponents must be non-negative");
     1.0 - (1.0 - availability).powi(redundant as i32 + 1)
 }
@@ -107,7 +122,12 @@ mod tests {
             let exact = steady_state(mtbf, mttr);
             let approx = paper_approximation(mtbf, mttr);
             assert!(approx <= exact, "approximation is a lower bound");
-            assert!(exact - approx < 1e-4, "{mtbf}/{mttr}: {} vs {}", exact, approx);
+            assert!(
+                exact - approx < 1e-4,
+                "{mtbf}/{mttr}: {} vs {}",
+                exact,
+                approx
+            );
         }
     }
 

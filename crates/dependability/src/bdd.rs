@@ -40,7 +40,11 @@ pub struct Bdd {
 impl Bdd {
     /// Creates an empty manager.
     pub fn new() -> Self {
-        let dummy = Node { var: u32::MAX, low: FALSE, high: FALSE };
+        let dummy = Node {
+            var: u32::MAX,
+            low: FALSE,
+            high: FALSE,
+        };
         Bdd {
             nodes: vec![dummy, dummy],
             unique: HashMap::new(),
@@ -238,7 +242,11 @@ impl Bdd {
         let mut cur = r;
         while !Self::is_terminal(cur) {
             let node = self.nodes[cur.0 as usize];
-            cur = if assignment[node.var as usize] { node.high } else { node.low };
+            cur = if assignment[node.var as usize] {
+                node.high
+            } else {
+                node.low
+            };
         }
         cur == TRUE
     }
@@ -300,7 +308,10 @@ mod tests {
         let exact = 0.9 * (1.0 - 0.2 * 0.3);
         assert!((bdd.probability(f, &p) - exact).abs() < 1e-12);
         let naive = 1.0 - (1.0 - 0.72) * (1.0 - 0.63);
-        assert!((bdd.probability(f, &p) - naive).abs() > 1e-3, "naive differs");
+        assert!(
+            (bdd.probability(f, &p) - naive).abs() > 1e-3,
+            "naive differs"
+        );
     }
 
     #[test]

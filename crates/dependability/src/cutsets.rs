@@ -22,7 +22,10 @@ pub struct CutLimits {
 
 impl Default for CutLimits {
     fn default() -> Self {
-        CutLimits { max_size: 16, max_cuts: 100_000 }
+        CutLimits {
+            max_size: 16,
+            max_cuts: 100_000,
+        }
     }
 }
 
@@ -199,7 +202,13 @@ mod tests {
     fn size_cap_is_respected() {
         let sets = vec![vec![0], vec![1], vec![2], vec![3]];
         // The only transversal is {0,1,2,3}; with max_size 3 it is pruned.
-        let ts = minimal_transversals(&sets, CutLimits { max_size: 3, max_cuts: 100 });
+        let ts = minimal_transversals(
+            &sets,
+            CutLimits {
+                max_size: 3,
+                max_cuts: 100,
+            },
+        );
         assert!(ts.is_empty());
     }
 }

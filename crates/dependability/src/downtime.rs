@@ -8,13 +8,19 @@ pub const HOURS_PER_YEAR: f64 = 8760.0;
 
 /// Expected downtime per year for a steady-state availability.
 pub fn downtime_per_year(availability: f64) -> Duration {
-    assert!((0.0..=1.0).contains(&availability), "availability out of range: {availability}");
+    assert!(
+        (0.0..=1.0).contains(&availability),
+        "availability out of range: {availability}"
+    );
     Duration::from_secs_f64((1.0 - availability) * HOURS_PER_YEAR * 3600.0)
 }
 
 /// Expected downtime per 30-day month.
 pub fn downtime_per_month(availability: f64) -> Duration {
-    assert!((0.0..=1.0).contains(&availability), "availability out of range: {availability}");
+    assert!(
+        (0.0..=1.0).contains(&availability),
+        "availability out of range: {availability}"
+    );
     Duration::from_secs_f64((1.0 - availability) * 30.0 * 24.0 * 3600.0)
 }
 
@@ -22,7 +28,10 @@ pub fn downtime_per_month(availability: f64) -> Duration {
 /// 0.99169… → 2, 0.9999 → 4. Zero for A < 0.9; saturates at 9 (beyond
 /// that, f64 resolution is the limit, not the service).
 pub fn nines(availability: f64) -> u32 {
-    assert!((0.0..=1.0).contains(&availability), "availability out of range: {availability}");
+    assert!(
+        (0.0..=1.0).contains(&availability),
+        "availability out of range: {availability}"
+    );
     if availability >= 1.0 {
         return 9;
     }
@@ -85,7 +94,10 @@ mod tests {
 
     #[test]
     fn rendering() {
-        assert_eq!(render_downtime(Duration::from_secs(72 * 3600 + 42 * 60)), "72 h 42 min");
+        assert_eq!(
+            render_downtime(Duration::from_secs(72 * 3600 + 42 * 60)),
+            "72 h 42 min"
+        );
         assert_eq!(render_downtime(Duration::from_secs(600)), "10 min");
     }
 

@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn at_least_matches_k_of_n_dual() {
         let comp = [0.9; 4];
-        let rbd = Block::KOfN { k: 3, blocks: (0..4).map(Block::Unit).collect() };
+        let rbd = Block::KOfN {
+            k: 3,
+            blocks: (0..4).map(Block::Unit).collect(),
+        };
         let ft = Gate::from_rbd(&rbd);
         assert!(matches!(ft, Gate::AtLeast { k: 2, .. }));
         let unavailability = 1.0 - rbd.availability(&comp);
@@ -176,7 +179,10 @@ mod tests {
 
     #[test]
     fn basic_events_enumeration() {
-        let ft = Gate::Or(vec![Gate::Basic(2), Gate::And(vec![Gate::Basic(0), Gate::Basic(2)])]);
+        let ft = Gate::Or(vec![
+            Gate::Basic(2),
+            Gate::And(vec![Gate::Basic(0), Gate::Basic(2)]),
+        ]);
         assert_eq!(ft.basic_events(), vec![2, 0, 2]);
     }
 }

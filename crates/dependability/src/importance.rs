@@ -134,7 +134,12 @@ mod tests {
             availability: a,
         };
         let model = ServiceAvailabilityModel {
-            components: vec![comp("t", 0.9), comp("a", 0.9), comp("b", 0.9), comp("s", 0.9)],
+            components: vec![
+                comp("t", 0.9),
+                comp("a", 0.9),
+                comp("b", 0.9),
+                comp("s", 0.9),
+            ],
             systems: vec![PairSystem {
                 atomic_service: "as".into(),
                 requester: "t".into(),

@@ -49,7 +49,7 @@ pub mod sensitivity;
 pub mod transform;
 pub mod transient;
 
-pub use availability::{steady_state, paper_approximation, with_redundancy, ComponentAvailability};
+pub use availability::{paper_approximation, steady_state, with_redundancy, ComponentAvailability};
 pub use bdd::{Bdd, BddRef};
 pub use rbd::Block;
 pub use transform::{AnalysisOptions, ServiceAvailabilityModel};

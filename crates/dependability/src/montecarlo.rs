@@ -27,7 +27,10 @@ impl MonteCarloResult {
     /// `[0, 1]`.
     pub fn confidence_95(&self) -> (f64, f64) {
         let delta = 1.96 * self.std_error;
-        ((self.estimate - delta).max(0.0), (self.estimate + delta).min(1.0))
+        (
+            (self.estimate - delta).max(0.0),
+            (self.estimate + delta).min(1.0),
+        )
     }
 
     /// `true` when `value` lies in the 95% confidence interval.
@@ -54,7 +57,9 @@ pub fn estimate(
 ) -> MonteCarloResult {
     assert!(samples > 0, "need at least one sample");
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         workers
     };
@@ -82,13 +87,20 @@ pub fn estimate(
                 ok
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
     .expect("crossbeam scope");
 
     let estimate = successes as f64 / total as f64;
     let std_error = (estimate * (1.0 - estimate) / total as f64).sqrt();
-    MonteCarloResult { estimate, std_error, samples: total }
+    MonteCarloResult {
+        estimate,
+        std_error,
+        samples: total,
+    }
 }
 
 /// Single-system convenience (one mapping pair).
@@ -122,7 +134,11 @@ mod tests {
         let sets = vec![vec![0, 1], vec![0, 2]];
         let exact = union_probability(&sets, &p);
         let mc = estimate_single(&p, &sets, 200_000, 4, 7);
-        assert!(mc.covers(exact), "CI {:?} misses {exact}", mc.confidence_95());
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses {exact}",
+            mc.confidence_95()
+        );
         assert!((mc.estimate - exact).abs() < 0.01);
     }
 
@@ -136,8 +152,15 @@ mod tests {
         let exact = 0.6 * 0.9 * 0.9;
         let naive = (0.6 * 0.9) * (0.6 * 0.9);
         let mc = estimate(&p, &systems, 400_000, 4, 11);
-        assert!(mc.covers(exact), "CI {:?} misses exact {exact}", mc.confidence_95());
-        assert!(!mc.covers(naive), "MC should reject the naive product {naive}");
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses exact {exact}",
+            mc.confidence_95()
+        );
+        assert!(
+            !mc.covers(naive),
+            "MC should reject the naive product {naive}"
+        );
     }
 
     #[test]

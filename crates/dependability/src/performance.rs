@@ -59,7 +59,9 @@ pub fn analyze(infrastructure: &Infrastructure, run: &UpsimRun) -> PerformanceRe
     let (graph, index) = infrastructure.to_graph();
     let throughput = |edge: ict_graph::EdgeId| -> f64 {
         let link_index = *graph.edge(edge).expect("live edge");
-        infrastructure.link_attr(link_index, "throughput").unwrap_or(0.0)
+        infrastructure
+            .link_attr(link_index, "throughput")
+            .unwrap_or(0.0)
     };
 
     let mut pairs = Vec::with_capacity(run.discovered.len());
@@ -89,8 +91,10 @@ pub fn analyze(infrastructure: &Infrastructure, run: &UpsimRun) -> PerformanceRe
             min_hops,
         });
     }
-    let session_throughput =
-        pairs.iter().map(|p| p.widest_throughput).fold(f64::INFINITY, f64::min);
+    let session_throughput = pairs
+        .iter()
+        .map(|p| p.widest_throughput)
+        .fold(f64::INFINITY, f64::min);
     let total_hops = pairs.iter().map(|p| p.min_hops).sum();
     PerformanceReport {
         pairs,
@@ -114,16 +118,32 @@ mod tests {
     /// t1 -(1000)- fastsw -(1000)- srv  and  t1 -(100)- slowsw -(100)- srv
     fn fixture() -> (Infrastructure, UpsimRun) {
         let mut infra = Infrastructure::new("perf");
-        infra.define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Fast", 100_000.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Slow", 100_000.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("S", 60_000.0, 0.1)).unwrap();
-        for (n, c) in [("t1", "C"), ("fastsw", "Fast"), ("slowsw", "Slow"), ("srv", "S")] {
+        infra
+            .define_device_class(DeviceClassSpec::client("C", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Fast", 100_000.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Slow", 100_000.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("S", 60_000.0, 0.1))
+            .unwrap();
+        for (n, c) in [
+            ("t1", "C"),
+            ("fastsw", "Fast"),
+            ("slowsw", "Slow"),
+            ("srv", "S"),
+        ] {
             infra.add_device(n, c).unwrap();
         }
         infra.connect("t1", "fastsw").unwrap();
         infra.connect("fastsw", "srv").unwrap();
-        infra.set_default_link(LinkClassSpec { throughput: 100.0, ..Default::default() });
+        infra.set_default_link(LinkClassSpec {
+            throughput: 100.0,
+            ..Default::default()
+        });
         infra.connect("t1", "slowsw").unwrap();
         infra.connect("slowsw", "srv").unwrap();
 
@@ -158,7 +178,9 @@ mod tests {
     #[test]
     fn colocated_pair_is_unbounded() {
         let mut infra = Infrastructure::new("local");
-        infra.define_device_class(DeviceClassSpec::server("S", 60_000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("S", 60_000.0, 0.1))
+            .unwrap();
         infra.add_device("srv", "S").unwrap();
         let svc = CompositeService::sequential("f", &["log"]).unwrap();
         let mapping = ServiceMapping::new().with(ServiceMappingPair::new("log", "srv", "srv"));
@@ -188,14 +210,15 @@ mod tests {
         // doubles the aggregate capacity.
         let (graph, index) = infra.to_graph();
         let throughput = |edge: ict_graph::EdgeId| {
-            infra.link_attr(*graph.edge(edge).unwrap(), "throughput").unwrap_or(0.0)
+            infra
+                .link_attr(*graph.edge(edge).unwrap(), "throughput")
+                .unwrap_or(0.0)
         };
-        let core_flow = ict_graph::capacity::max_flow_capacity(
-            &graph,
-            index["d1"],
-            index["d4"],
-            throughput,
+        let core_flow =
+            ict_graph::capacity::max_flow_capacity(&graph, index["d1"], index["d4"], throughput);
+        assert!(
+            (core_flow - 2000.0).abs() < 1e-9,
+            "core aggregate: {core_flow}"
         );
-        assert!((core_flow - 2000.0).abs() < 1e-9, "core aggregate: {core_flow}");
     }
 }

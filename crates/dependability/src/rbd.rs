@@ -37,7 +37,10 @@ impl Block {
             Block::Unit(i) => component[*i],
             Block::Series(blocks) => blocks.iter().map(|b| b.availability(component)).product(),
             Block::Parallel(blocks) => {
-                1.0 - blocks.iter().map(|b| 1.0 - b.availability(component)).product::<f64>()
+                1.0 - blocks
+                    .iter()
+                    .map(|b| 1.0 - b.availability(component))
+                    .product::<f64>()
             }
             Block::KOfN { k, blocks } => {
                 // Exact via dynamic programming over "number of working
@@ -92,12 +95,19 @@ impl Block {
                 .join("\u{2014}"),
             Block::Parallel(bs) => format!(
                 "({})",
-                bs.iter().map(|b| b.render(name)).collect::<Vec<_>>().join(" | ")
+                bs.iter()
+                    .map(|b| b.render(name))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
             ),
             Block::KOfN { k, blocks } => format!(
                 "{k}-of-{}({})",
                 blocks.len(),
-                blocks.iter().map(|b| b.render(name)).collect::<Vec<_>>().join(", ")
+                blocks
+                    .iter()
+                    .map(|b| b.render(name))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
         }
     }
@@ -105,15 +115,22 @@ impl Block {
     /// Builds an RBD from a series-parallel decomposition
     /// ([`ict_graph::seriesparallel::reduce`]), mapping each original edge
     /// through `component_of`.
-    pub fn from_sp_tree(tree: &SpTree, component_of: &impl Fn(ict_graph::EdgeId) -> usize) -> Block {
+    pub fn from_sp_tree(
+        tree: &SpTree,
+        component_of: &impl Fn(ict_graph::EdgeId) -> usize,
+    ) -> Block {
         match tree {
             SpTree::Edge(e) => Block::Unit(component_of(*e)),
-            SpTree::Series(ts) => {
-                Block::Series(ts.iter().map(|t| Block::from_sp_tree(t, component_of)).collect())
-            }
-            SpTree::Parallel(ts) => {
-                Block::Parallel(ts.iter().map(|t| Block::from_sp_tree(t, component_of)).collect())
-            }
+            SpTree::Series(ts) => Block::Series(
+                ts.iter()
+                    .map(|t| Block::from_sp_tree(t, component_of))
+                    .collect(),
+            ),
+            SpTree::Parallel(ts) => Block::Parallel(
+                ts.iter()
+                    .map(|t| Block::from_sp_tree(t, component_of))
+                    .collect(),
+            ),
         }
     }
 
@@ -201,10 +218,19 @@ mod tests {
     #[test]
     fn k_of_n_edge_cases() {
         let comp = [0.9, 0.8];
-        let zero_of_two = Block::KOfN { k: 0, blocks: vec![Block::Unit(0), Block::Unit(1)] };
+        let zero_of_two = Block::KOfN {
+            k: 0,
+            blocks: vec![Block::Unit(0), Block::Unit(1)],
+        };
         assert!((zero_of_two.availability(&comp) - 1.0).abs() < 1e-12);
-        let all = Block::KOfN { k: 2, blocks: vec![Block::Unit(0), Block::Unit(1)] };
-        assert!((all.availability(&comp) - 0.72).abs() < 1e-12, "k=n is series");
+        let all = Block::KOfN {
+            k: 2,
+            blocks: vec![Block::Unit(0), Block::Unit(1)],
+        };
+        assert!(
+            (all.availability(&comp) - 0.72).abs() < 1e-12,
+            "k=n is series"
+        );
     }
 
     #[test]
@@ -267,7 +293,10 @@ mod tests {
             Block::Unit(3),
         ]);
         assert_eq!(block.render(&name), "[t1]\u{2014}([a] | [b])\u{2014}[srv]");
-        let kofn = Block::KOfN { k: 2, blocks: vec![Block::Unit(1), Block::Unit(2), Block::Unit(3)] };
+        let kofn = Block::KOfN {
+            k: 2,
+            blocks: vec![Block::Unit(1), Block::Unit(2), Block::Unit(3)],
+        };
         assert_eq!(kofn.render(&name), "2-of-3([a], [b], [srv])");
     }
 

@@ -46,14 +46,20 @@ pub fn disjoint_products(path_sets: &[Vec<usize>]) -> Vec<Term> {
     for (i, path) in paths.iter().enumerate() {
         // Start from Pᵢ and conjoin ¬P₀ … ¬Pᵢ₋₁, splitting into disjoint
         // sub-terms as needed.
-        let mut current = vec![Term { pos: path.clone(), neg: Vec::new() }];
+        let mut current = vec![Term {
+            pos: path.clone(),
+            neg: Vec::new(),
+        }];
         for prev in &paths[..i] {
             let mut next = Vec::new();
             for term in current {
                 // D = prev \ term.pos — the variables of prev not already
                 // forced up by the term.
-                let d: Vec<usize> =
-                    prev.iter().copied().filter(|v| term.pos.binary_search(v).is_err()).collect();
+                let d: Vec<usize> = prev
+                    .iter()
+                    .copied()
+                    .filter(|v| term.pos.binary_search(v).is_err())
+                    .collect();
                 if d.is_empty() {
                     // term ⊆ prev ⇒ term ∧ ¬prev = ∅: drop.
                     continue;
@@ -86,7 +92,10 @@ pub fn disjoint_products(path_sets: &[Vec<usize>]) -> Vec<Term> {
 
 /// Exact union probability via SDP.
 pub fn union_probability(path_sets: &[Vec<usize>], p: &[f64]) -> f64 {
-    disjoint_products(path_sets).iter().map(|t| t.probability(p)).sum()
+    disjoint_products(path_sets)
+        .iter()
+        .map(|t| t.probability(p))
+        .sum()
 }
 
 #[cfg(test)]
@@ -100,7 +109,9 @@ mod tests {
         for mask in 0..(1u32 << n) {
             let assign: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
             if path_sets.iter().any(|s| s.iter().all(|&v| assign[v])) {
-                total += (0..n).map(|i| if assign[i] { p[i] } else { 1.0 - p[i] }).product::<f64>();
+                total += (0..n)
+                    .map(|i| if assign[i] { p[i] } else { 1.0 - p[i] })
+                    .product::<f64>();
             }
         }
         total
@@ -167,7 +178,10 @@ mod tests {
             let p: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..0.99)).collect();
             let exact = brute_force(&sets, &p);
             let via_sdp = union_probability(&sets, &p);
-            assert!((via_sdp - exact).abs() < 1e-10, "trial {trial}: sdp {via_sdp} vs {exact}");
+            assert!(
+                (via_sdp - exact).abs() < 1e-10,
+                "trial {trial}: sdp {via_sdp} vs {exact}"
+            );
             let mut bdd = Bdd::new();
             let f = bdd.from_path_sets(&sets);
             let via_bdd = bdd.probability(f, &p);

@@ -54,7 +54,12 @@ pub fn component_sensitivities(model: &ServiceAvailabilityModel) -> Vec<Componen
         let (mtbf, mttr) = (component.mtbf, component.mttr);
         if mtbf <= 0.0 {
             // Synthetic components (hand-built models) carry no rates.
-            out.push(ComponentSensitivity { name: component.name.clone(), birnbaum, d_mtbf: 0.0, d_mttr: 0.0 });
+            out.push(ComponentSensitivity {
+                name: component.name.clone(),
+                birnbaum,
+                d_mtbf: 0.0,
+                d_mttr: 0.0,
+            });
             continue;
         }
         let base = mtbf / (mtbf + mttr);
@@ -83,7 +88,10 @@ pub fn class_sensitivities(
 ) -> Vec<(String, f64, f64)> {
     let mut by_class: HashMap<String, (f64, f64)> = HashMap::new();
     for s in component_sensitivities(model) {
-        let class = classes.get(&s.name).cloned().unwrap_or_else(|| s.name.clone());
+        let class = classes
+            .get(&s.name)
+            .cloned()
+            .unwrap_or_else(|| s.name.clone());
         let slot = by_class.entry(class).or_insert((0.0, 0.0));
         slot.0 += s.d_mtbf;
         slot.1 += s.d_mttr;
@@ -93,7 +101,10 @@ pub fn class_sensitivities(
     // Rank by leverage: improving MTTR by one hour is usually the actionable
     // knob, so sort by |d_mttr| descending (ties by name).
     out.sort_by(|a, b| {
-        b.2.abs().partial_cmp(&a.2.abs()).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.2.abs()
+            .partial_cmp(&a.2.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     out
 }
@@ -113,8 +124,7 @@ mod tests {
         )
         .unwrap();
         let run = pipeline.run().unwrap();
-        let model =
-            ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
+        let model = ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
         let classes = model
             .components
             .iter()
@@ -164,7 +174,10 @@ mod tests {
         assert_eq!(ranked[1].0, "Comp", "{ranked:?}");
         assert!(ranked[1].2.abs() > 10.0 * ranked[2].2.abs(), "{ranked:?}");
         // Per hour of MTBF gained, the client dominates (worst MTBF).
-        let best_mtbf = ranked.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let best_mtbf = ranked
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(best_mtbf.0, "Comp", "{ranked:?}");
         // The redundant core class has negligible leverage.
         let c6500 = ranked.iter().find(|(c, _, _)| c == "C6500").unwrap();

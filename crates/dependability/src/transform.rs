@@ -34,7 +34,7 @@ use upsim_core::infrastructure::Infrastructure;
 use upsim_core::pipeline::UpsimRun;
 
 /// Options of the transformation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AnalysisOptions {
     /// Model link (connector) failures as components too. Off by default —
     /// the paper's case study analyses device availability; see DESIGN.md
@@ -43,12 +43,6 @@ pub struct AnalysisOptions {
     /// Use the paper's printed Formula 1 (`1 − MTTR/MTBF`) instead of the
     /// exact `MTBF/(MTBF+MTTR)`.
     pub paper_formula: bool,
-}
-
-impl Default for AnalysisOptions {
-    fn default() -> Self {
-        AnalysisOptions { include_links: false, paper_formula: false }
-    }
 }
 
 /// The path-set system of one mapping pair.
@@ -105,11 +99,15 @@ impl ServiceAvailabilityModel {
         let mut index: HashMap<String, usize> = HashMap::new();
 
         let device_var = |name: &str,
-                              components: &mut Vec<ComponentAvailability>,
-                              index: &mut HashMap<String, usize>| {
+                          components: &mut Vec<ComponentAvailability>,
+                          index: &mut HashMap<String, usize>| {
             *index.entry(name.to_string()).or_insert_with(|| {
-                let mtbf = infrastructure.mtbf(name).expect("device on a path has MTBF");
-                let mttr = infrastructure.mttr(name).expect("device on a path has MTTR");
+                let mtbf = infrastructure
+                    .mtbf(name)
+                    .expect("device on a path has MTBF");
+                let mttr = infrastructure
+                    .mttr(name)
+                    .expect("device on a path has MTTR");
                 let redundant = infrastructure.redundant_components(name).unwrap_or(0);
                 components.push(ComponentAvailability::from_attributes(
                     name,
@@ -165,7 +163,10 @@ impl ServiceAvailabilityModel {
                 path_sets: minimize(path_sets),
             });
         }
-        ServiceAvailabilityModel { components, systems }
+        ServiceAvailabilityModel {
+            components,
+            systems,
+        }
     }
 
     /// The availability vector, indexed by variable.
@@ -194,7 +195,10 @@ impl ServiceAvailabilityModel {
 
     /// Exact availability of a single pair via sum of disjoint products.
     pub fn pair_availability_sdp(&self, pair_index: usize) -> f64 {
-        union_probability(&self.systems[pair_index].path_sets, &self.availability_vector())
+        union_probability(
+            &self.systems[pair_index].path_sets,
+            &self.availability_vector(),
+        )
     }
 
     /// The naive pair-independence approximation: the product of exact
@@ -202,7 +206,9 @@ impl ServiceAvailabilityModel {
     /// structure; for the USI case study it *underestimates* (the same
     /// client/core components back several pairs).
     pub fn availability_pairwise_product(&self) -> f64 {
-        (0..self.systems.len()).map(|i| self.pair_availability_bdd(i)).product()
+        (0..self.systems.len())
+            .map(|i| self.pair_availability_bdd(i))
+            .product()
     }
 
     /// The companion-paper RBD for one pair: parallel-of-series over its
@@ -240,7 +246,13 @@ impl ServiceAvailabilityModel {
     pub fn monte_carlo(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
         let systems: Vec<Vec<Vec<usize>>> =
             self.systems.iter().map(|s| s.path_sets.clone()).collect();
-        estimate(&self.availability_vector(), &systems, samples, workers, seed)
+        estimate(
+            &self.availability_vector(),
+            &systems,
+            samples,
+            workers,
+            seed,
+        )
     }
 
     /// Looks up a component index by name.
@@ -260,9 +272,15 @@ mod tests {
     /// t1 - (a|b) - srv with a request/response service.
     fn run_fixture() -> (Infrastructure, UpsimRun) {
         let mut infra = Infrastructure::new("diamond");
-        infra.define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
         for (n, c) in [("t1", "Comp"), ("a", "Sw"), ("b", "Sw"), ("srv", "Server")] {
             infra.add_device(n, c).unwrap();
         }
@@ -289,11 +307,8 @@ mod tests {
     #[test]
     fn model_extracts_components_and_paths() {
         let (_, run) = run_fixture();
-        let model = ServiceAvailabilityModel::from_run(
-            &run_fixture().0,
-            &run,
-            AnalysisOptions::default(),
-        );
+        let model =
+            ServiceAvailabilityModel::from_run(&run_fixture().0, &run, AnalysisOptions::default());
         assert_eq!(model.components.len(), 4);
         assert_eq!(model.systems.len(), 2);
         assert_eq!(model.systems[0].path_sets.len(), 2);
@@ -316,7 +331,9 @@ mod tests {
         let (infra, run) = run_fixture();
         let model = ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
         for i in 0..model.systems.len() {
-            assert!((model.pair_availability_bdd(i) - model.pair_availability_sdp(i)).abs() < 1e-12);
+            assert!(
+                (model.pair_availability_bdd(i) - model.pair_availability_sdp(i)).abs() < 1e-12
+            );
         }
     }
 
@@ -326,7 +343,10 @@ mod tests {
         let model = ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
         let exact = model.availability_bdd();
         let naive = model.availability_pairwise_product();
-        assert!(naive < exact, "naive {naive} should underestimate exact {exact}");
+        assert!(
+            naive < exact,
+            "naive {naive} should underestimate exact {exact}"
+        );
     }
 
     #[test]
@@ -341,7 +361,11 @@ mod tests {
         }
         let exact = model.availability_bdd();
         let mc = model.monte_carlo(200_000, 4, 5);
-        assert!(mc.covers(exact), "CI {:?} misses {exact}", mc.confidence_95());
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses {exact}",
+            mc.confidence_95()
+        );
     }
 
     #[test]
@@ -355,8 +379,12 @@ mod tests {
     #[test]
     fn rbd_for_single_path_pair() {
         let mut infra = Infrastructure::new("chain");
-        infra.define_device_class(DeviceClassSpec::client("C", 100.0, 1.0)).unwrap();
-        infra.define_device_class(DeviceClassSpec::server("S", 100.0, 1.0)).unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::client("C", 100.0, 1.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("S", 100.0, 1.0))
+            .unwrap();
         infra.add_device("c", "C").unwrap();
         infra.add_device("s", "S").unwrap();
         infra.connect("c", "s").unwrap();
@@ -393,7 +421,10 @@ mod tests {
         let with_links = ServiceAvailabilityModel::from_run(
             &infra,
             &run,
-            AnalysisOptions { include_links: true, ..Default::default() },
+            AnalysisOptions {
+                include_links: true,
+                ..Default::default()
+            },
         );
         assert_eq!(with_links.components.len(), 8, "4 devices + 4 links");
         let without = ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
@@ -410,7 +441,10 @@ mod tests {
         let paper = ServiceAvailabilityModel::from_run(
             &infra,
             &run,
-            AnalysisOptions { paper_formula: true, ..Default::default() },
+            AnalysisOptions {
+                paper_formula: true,
+                ..Default::default()
+            },
         );
         let a_exact = exact.availability_bdd();
         let a_paper = paper.availability_bdd();

@@ -36,7 +36,11 @@ impl ComponentRates {
         assert!(mttr >= 0.0, "MTTR must be non-negative");
         ComponentRates {
             lambda: 1.0 / mtbf,
-            mu: if mttr == 0.0 { f64::INFINITY } else { 1.0 / mttr },
+            mu: if mttr == 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / mttr
+            },
         }
     }
 
@@ -94,26 +98,40 @@ impl TransientAnalysis {
 
     /// User-perceived instantaneous service availability at time `t`.
     pub fn availability_at(&self, t: f64) -> f64 {
-        let probs: Vec<f64> =
-            self.rates.iter().map(|r| r.instantaneous_availability(t)).collect();
+        let probs: Vec<f64> = self
+            .rates
+            .iter()
+            .map(|r| r.instantaneous_availability(t))
+            .collect();
         self.bdd.probability(self.root, &probs)
     }
 
     /// User-perceived mission reliability over `[0, t]`.
     pub fn reliability_at(&self, t: f64) -> f64 {
-        let probs: Vec<f64> = self.rates.iter().map(|r| r.mission_reliability(t)).collect();
+        let probs: Vec<f64> = self
+            .rates
+            .iter()
+            .map(|r| r.mission_reliability(t))
+            .collect();
         self.bdd.probability(self.root, &probs)
     }
 
     /// The steady-state limit of [`TransientAnalysis::availability_at`].
     pub fn steady_state(&self) -> f64 {
-        let probs: Vec<f64> = self.rates.iter().map(ComponentRates::steady_state).collect();
+        let probs: Vec<f64> = self
+            .rates
+            .iter()
+            .map(ComponentRates::steady_state)
+            .collect();
         self.bdd.probability(self.root, &probs)
     }
 
     /// Samples `A(t)` at the given times (convenience for curve reports).
     pub fn availability_curve(&self, times: &[f64]) -> Vec<(f64, f64)> {
-        times.iter().map(|&t| (t, self.availability_at(t))).collect()
+        times
+            .iter()
+            .map(|&t| (t, self.availability_at(t)))
+            .collect()
     }
 }
 

@@ -51,7 +51,13 @@ pub fn widest_path<N, E>(
         return None;
     }
     if source == target {
-        return Some((Path { nodes: vec![source], edges: vec![] }, f64::INFINITY));
+        return Some((
+            Path {
+                nodes: vec![source],
+                edges: vec![],
+            },
+            f64::INFINITY,
+        ));
     }
     let cap = graph.node_capacity();
     let mut best = vec![0.0f64; cap];
@@ -59,7 +65,10 @@ pub fn widest_path<N, E>(
     let mut settled = vec![false; cap];
     let mut heap = BinaryHeap::new();
     best[source.index()] = f64::INFINITY;
-    heap.push(HeapItem { width: f64::INFINITY, node: source });
+    heap.push(HeapItem {
+        width: f64::INFINITY,
+        node: source,
+    });
 
     while let Some(HeapItem { width, node }) = heap.pop() {
         if settled[node.index()] {
@@ -79,7 +88,10 @@ pub fn widest_path<N, E>(
             if through > best[adj.node.index()] {
                 best[adj.node.index()] = through;
                 prev[adj.node.index()] = Some((node, adj.edge));
-                heap.push(HeapItem { width: through, node: adj.node });
+                heap.push(HeapItem {
+                    width: through,
+                    node: adj.node,
+                });
             }
         }
     }

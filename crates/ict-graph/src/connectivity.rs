@@ -137,7 +137,10 @@ pub fn critical_elements<N, E>(graph: &Graph<N, E>) -> CriticalElements {
 
     let articulation_points = graph.node_ids().filter(|n| artics[n.index()]).collect();
     bridges.sort_unstable();
-    CriticalElements { bridges, articulation_points }
+    CriticalElements {
+        bridges,
+        articulation_points,
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@ pub struct CutLimits {
 
 impl Default for CutLimits {
     fn default() -> Self {
-        CutLimits { max_size: 8, max_cuts: 10_000 }
+        CutLimits {
+            max_size: 8,
+            max_cuts: 10_000,
+        }
     }
 }
 
@@ -40,7 +43,9 @@ pub fn minimal_node_cut_sets<N, E>(
     let path_sets: Vec<Vec<NodeId>> = minimal_path_sets(graph, source, target)
         .into_iter()
         .map(|set| {
-            set.into_iter().filter(|&n| n != source && n != target).collect::<Vec<_>>()
+            set.into_iter()
+                .filter(|&n| n != source && n != target)
+                .collect::<Vec<_>>()
         })
         .collect();
     if path_sets.is_empty() {
@@ -53,8 +58,7 @@ pub fn minimal_node_cut_sets<N, E>(
     }
 
     // Berge: transversals of the first set are its singletons.
-    let mut transversals: Vec<Vec<NodeId>> =
-        path_sets[0].iter().map(|&n| vec![n]).collect();
+    let mut transversals: Vec<Vec<NodeId>> = path_sets[0].iter().map(|&n| vec![n]).collect();
     for set in &path_sets[1..] {
         let mut next: Vec<Vec<NodeId>> = Vec::new();
         for t in &transversals {

@@ -36,10 +36,10 @@ pub fn max_disjoint_paths<N, E>(graph: &Graph<N, E>, source: NodeId, target: Nod
     let mut arcs: Vec<(usize, usize, i64)> = Vec::new(); // (from, to, cap)
     let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
     let push_arc = |arcs: &mut Vec<(usize, usize, i64)>,
-                        adjacency: &mut Vec<Vec<usize>>,
-                        from: usize,
-                        to: usize,
-                        cap: i64| {
+                    adjacency: &mut Vec<Vec<usize>>,
+                    from: usize,
+                    to: usize,
+                    cap: i64| {
         adjacency[from].push(arcs.len());
         arcs.push((from, to, cap));
         adjacency[to].push(arcs.len());
@@ -107,8 +107,10 @@ pub fn survives_any_failures<N: Clone, E: Clone>(
     target: NodeId,
     failures: usize,
 ) -> bool {
-    let internal: Vec<NodeId> =
-        graph.node_ids().filter(|&v| v != source && v != target).collect();
+    let internal: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&v| v != source && v != target)
+        .collect();
     fn combos(items: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
         if k == 0 {
             return vec![Vec::new()];

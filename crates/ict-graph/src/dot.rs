@@ -14,7 +14,11 @@ pub fn to_dot<N, E>(
     node_label: impl Fn(NodeId, &N) -> String,
     edge_label: impl Fn(EdgeId, &E) -> String,
 ) -> String {
-    let (keyword, arrow) = if graph.is_directed() { ("digraph", "->") } else { ("graph", "--") };
+    let (keyword, arrow) = if graph.is_directed() {
+        ("digraph", "->")
+    } else {
+        ("graph", "--")
+    };
     let mut out = String::new();
     out.push_str(&format!("{keyword} \"{}\" {{\n", sanitize(name)));
     out.push_str("  node [shape=box, fontsize=10];\n");
@@ -43,7 +47,9 @@ pub fn to_dot<N, E>(
 }
 
 fn sanitize(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]

@@ -171,19 +171,38 @@ impl<N, E> Graph<N, E> {
     /// # Panics
     /// Panics if either endpoint is not a live node.
     pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
-        assert!(self.contains_node(source), "source {source:?} is not a live node");
-        assert!(self.contains_node(target), "target {target:?} is not a live node");
+        assert!(
+            self.contains_node(source),
+            "source {source:?} is not a live node"
+        );
+        assert!(
+            self.contains_node(target),
+            "target {target:?} is not a live node"
+        );
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Some(EdgeRecord { source, target, weight }));
-        self.adjacency[source.index()].push(Adjacency { node: target, edge: id });
+        self.edges.push(Some(EdgeRecord {
+            source,
+            target,
+            weight,
+        }));
+        self.adjacency[source.index()].push(Adjacency {
+            node: target,
+            edge: id,
+        });
         match self.direction {
             Direction::Undirected => {
                 if source != target {
-                    self.adjacency[target.index()].push(Adjacency { node: source, edge: id });
+                    self.adjacency[target.index()].push(Adjacency {
+                        node: source,
+                        edge: id,
+                    });
                 }
             }
             Direction::Directed => {
-                self.in_adjacency[target.index()].push(Adjacency { node: source, edge: id });
+                self.in_adjacency[target.index()].push(Adjacency {
+                    node: source,
+                    edge: id,
+                });
             }
         }
         self.live_edges += 1;
@@ -212,17 +231,23 @@ impl<N, E> Graph<N, E> {
 
     /// The weight of a live edge.
     pub fn edge(&self, id: EdgeId) -> Option<&E> {
-        self.edges.get(id.index()).and_then(|e| e.as_ref().map(|r| &r.weight))
+        self.edges
+            .get(id.index())
+            .and_then(|e| e.as_ref().map(|r| &r.weight))
     }
 
     /// Mutable access to an edge weight.
     pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut E> {
-        self.edges.get_mut(id.index()).and_then(|e| e.as_mut().map(|r| &mut r.weight))
+        self.edges
+            .get_mut(id.index())
+            .and_then(|e| e.as_mut().map(|r| &mut r.weight))
     }
 
     /// The `(source, target)` endpoints of a live edge.
     pub fn endpoints(&self, id: EdgeId) -> Option<(NodeId, NodeId)> {
-        self.edges.get(id.index()).and_then(|e| e.as_ref().map(|r| (r.source, r.target)))
+        self.edges
+            .get(id.index())
+            .and_then(|e| e.as_ref().map(|r| (r.source, r.target)))
     }
 
     /// Given one endpoint of an edge, returns the other.
@@ -264,7 +289,8 @@ impl<N, E> Graph<N, E> {
     /// Iterates over `(id, source, target, weight)` for live edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> {
         self.edges.iter().enumerate().filter_map(|(i, e)| {
-            e.as_ref().map(|r| (EdgeId(i as u32), r.source, r.target, &r.weight))
+            e.as_ref()
+                .map(|r| (EdgeId(i as u32), r.source, r.target, &r.weight))
         })
     }
 
@@ -323,9 +349,8 @@ impl<N, E> Graph<N, E> {
             .iter()
             .enumerate()
             .filter_map(|(i, e)| {
-                e.as_ref().and_then(|r| {
-                    (r.source == id || r.target == id).then_some(EdgeId(i as u32))
-                })
+                e.as_ref()
+                    .and_then(|r| (r.source == id || r.target == id).then_some(EdgeId(i as u32)))
             })
             .collect();
         for e in incident {
@@ -339,12 +364,17 @@ impl<N, E> Graph<N, E> {
     /// Finds the first edge connecting `a` and `b` (in either direction for
     /// undirected graphs).
     pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        self.neighbors(a).find(|adj| adj.node == b).map(|adj| adj.edge)
+        self.neighbors(a)
+            .find(|adj| adj.node == b)
+            .map(|adj| adj.edge)
     }
 
     /// All edges connecting `a` and `b`.
     pub fn edges_between(&self, a: NodeId, b: NodeId) -> Vec<EdgeId> {
-        self.neighbors(a).filter(|adj| adj.node == b).map(|adj| adj.edge).collect()
+        self.neighbors(a)
+            .filter(|adj| adj.node == b)
+            .map(|adj| adj.edge)
+            .collect()
     }
 }
 

@@ -33,7 +33,11 @@ pub fn metrics<N, E>(graph: &Graph<N, E>) -> GraphMetrics {
     let degrees: Vec<usize> = graph.node_ids().map(|id| graph.degree(id)).collect();
     let min_degree = degrees.iter().copied().min().unwrap_or(0);
     let max_degree = degrees.iter().copied().max().unwrap_or(0);
-    let mean_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / n as f64
+    };
     let density = if n < 2 {
         0.0
     } else {
@@ -46,7 +50,16 @@ pub fn metrics<N, E>(graph: &Graph<N, E>) -> GraphMetrics {
     };
     let components = crate::connectivity::connected_components(graph).len();
     let diameter = diameter(graph);
-    GraphMetrics { nodes: n, edges: m, min_degree, max_degree, mean_degree, density, components, diameter }
+    GraphMetrics {
+        nodes: n,
+        edges: m,
+        min_degree,
+        max_degree,
+        mean_degree,
+        density,
+        components,
+        diameter,
+    }
 }
 
 /// Eccentricity of `start`: hops to the farthest reachable node.

@@ -34,7 +34,11 @@ pub struct ParallelOptions {
 
 impl Default for ParallelOptions {
     fn default() -> Self {
-        ParallelOptions { threads: 0, tasks_per_thread: 16, limits: PathLimits::unlimited() }
+        ParallelOptions {
+            threads: 0,
+            tasks_per_thread: 16,
+            limits: PathLimits::unlimited(),
+        }
     }
 }
 
@@ -42,7 +46,9 @@ fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -67,7 +73,10 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
         return Vec::new();
     }
     if source == target {
-        return vec![Path { nodes: vec![source], edges: vec![] }];
+        return vec![Path {
+            nodes: vec![source],
+            edges: vec![],
+        }];
     }
     let threads = effective_threads(options.threads);
     let want_tasks = threads.saturating_mul(options.tasks_per_thread).max(1);
@@ -75,14 +84,23 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
     // Phase 1: BFS prefix expansion.
     let mut complete: Vec<Path> = Vec::new();
     let mut open: VecDeque<Prefix> = VecDeque::new();
-    open.push_back(Prefix { nodes: vec![source], edges: vec![] });
+    open.push_back(Prefix {
+        nodes: vec![source],
+        edges: vec![],
+    });
     while open.len() < want_tasks {
-        let Some(prefix) = open.pop_front() else { break };
+        let Some(prefix) = open.pop_front() else {
+            break;
+        };
         let head = *prefix.nodes.last().expect("non-empty prefix");
         let mut extended = false;
         for adj in graph.neighbors(head) {
             if adj.node == target {
-                if options.limits.max_nodes.is_none_or(|cap| prefix.nodes.len() + 1 <= cap) {
+                if options
+                    .limits
+                    .max_nodes
+                    .is_none_or(|cap| prefix.nodes.len() < cap)
+                {
                     let mut nodes = prefix.nodes.clone();
                     nodes.push(target);
                     let mut edges = prefix.edges.clone();
@@ -94,7 +112,11 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
             if prefix.nodes.contains(&adj.node) {
                 continue;
             }
-            if options.limits.max_nodes.is_some_and(|cap| prefix.nodes.len() + 2 > cap) {
+            if options
+                .limits
+                .max_nodes
+                .is_some_and(|cap| prefix.nodes.len() + 2 > cap)
+            {
                 continue;
             }
             let mut nodes = prefix.nodes.clone();
@@ -174,7 +196,10 @@ fn merge_sorted(mut chunks: Vec<Vec<Path>>) -> Vec<Path> {
         }
         let taken = std::mem::replace(
             &mut chunks[best][cursors[best]],
-            Path { nodes: Vec::new(), edges: Vec::new() },
+            Path {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            },
         );
         out.push(taken);
         cursors[best] += 1;
@@ -202,7 +227,10 @@ fn complete_prefix<N, E>(
     let mut nodes = prefix.nodes.clone();
     let mut edges = prefix.edges.clone();
     let head = *nodes.last().expect("non-empty prefix");
-    let mut stack = vec![Frame { neighbors: graph.neighbors(head).collect(), cursor: 0 }];
+    let mut stack = vec![Frame {
+        neighbors: graph.neighbors(head).collect(),
+        cursor: 0,
+    }];
 
     while let Some(frame) = stack.last_mut() {
         if frame.cursor >= frame.neighbors.len() {
@@ -217,12 +245,15 @@ fn complete_prefix<N, E>(
         let adj = frame.neighbors[frame.cursor];
         frame.cursor += 1;
         if adj.node == target {
-            if limits.max_nodes.is_none_or(|cap| nodes.len() + 1 <= cap) {
+            if limits.max_nodes.is_none_or(|cap| nodes.len() < cap) {
                 let mut pn = nodes.clone();
                 pn.push(target);
                 let mut pe = edges.clone();
                 pe.push(adj.edge);
-                out.push(Path { nodes: pn, edges: pe });
+                out.push(Path {
+                    nodes: pn,
+                    edges: pe,
+                });
             }
             continue;
         }
@@ -235,7 +266,10 @@ fn complete_prefix<N, E>(
         on_path[adj.node.index()] = true;
         nodes.push(adj.node);
         edges.push(adj.edge);
-        stack.push(Frame { neighbors: graph.neighbors(adj.node).collect(), cursor: 0 });
+        stack.push(Frame {
+            neighbors: graph.neighbors(adj.node).collect(),
+            cursor: 0,
+        });
     }
 }
 
@@ -263,7 +297,10 @@ mod tests {
                 g,
                 s,
                 t,
-                ParallelOptions { threads, ..Default::default() },
+                ParallelOptions {
+                    threads,
+                    ..Default::default()
+                },
             );
             assert_eq!(par, seq, "threads={threads}");
         }
@@ -308,7 +345,10 @@ mod tests {
             &g,
             ids[0],
             ids[5],
-            ParallelOptions { limits, ..Default::default() },
+            ParallelOptions {
+                limits,
+                ..Default::default()
+            },
         );
         assert_eq!(par.len(), 5);
         let mut seq = all_simple_paths(&g, ids[0], ids[5]);
@@ -324,7 +364,10 @@ mod tests {
             &g,
             ids[0],
             ids[4],
-            ParallelOptions { limits, ..Default::default() },
+            ParallelOptions {
+                limits,
+                ..Default::default()
+            },
         );
         assert!(par.iter().all(|p| p.nodes.len() <= 3));
         assert_eq!(par.len(), 4); // direct + 3 one-intermediate

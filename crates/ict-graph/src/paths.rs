@@ -54,12 +54,10 @@ impl Path {
             return false;
         }
         self.edges.iter().enumerate().all(|(i, &e)| {
-            graph
-                .endpoints(e)
-                .is_some_and(|(s, t)| {
-                    (s == self.nodes[i] && t == self.nodes[i + 1])
-                        || (!graph.is_directed() && t == self.nodes[i] && s == self.nodes[i + 1])
-                })
+            graph.endpoints(e).is_some_and(|(s, t)| {
+                (s == self.nodes[i] && t == self.nodes[i + 1])
+                    || (!graph.is_directed() && t == self.nodes[i] && s == self.nodes[i + 1])
+            })
         })
     }
 }
@@ -129,7 +127,10 @@ pub fn simple_paths<'g, N, E>(
     if graph.contains_node(source) && graph.contains_node(target) && !trivial {
         on_path[source.index()] = true;
         path_nodes.push(source);
-        stack.push(Frame { neighbors: graph.neighbors(source).collect(), cursor: 0 });
+        stack.push(Frame {
+            neighbors: graph.neighbors(source).collect(),
+            cursor: 0,
+        });
     }
     SimplePaths {
         graph,
@@ -163,7 +164,10 @@ impl<N, E> Iterator for SimplePaths<'_, N, E> {
             self.done = true;
             self.emitted += 1;
             let source = self.target;
-            return Some(Path { nodes: vec![source], edges: vec![] });
+            return Some(Path {
+                nodes: vec![source],
+                edges: vec![],
+            });
         }
         loop {
             let Some(frame) = self.stack.last_mut() else {
@@ -186,7 +190,7 @@ impl<N, E> Iterator for SimplePaths<'_, N, E> {
                 let within = self
                     .limits
                     .max_nodes
-                    .is_none_or(|cap| self.path_nodes.len() + 1 <= cap);
+                    .is_none_or(|cap| self.path_nodes.len() < cap);
                 if within {
                     let mut nodes = self.path_nodes.clone();
                     nodes.push(self.target);
@@ -220,11 +224,7 @@ impl<N, E> Iterator for SimplePaths<'_, N, E> {
 }
 
 /// Collects all simple paths into a vector (convenience wrapper).
-pub fn all_simple_paths<N, E>(
-    graph: &Graph<N, E>,
-    source: NodeId,
-    target: NodeId,
-) -> Vec<Path> {
+pub fn all_simple_paths<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> Vec<Path> {
     simple_paths(graph, source, target, PathLimits::unlimited()).collect()
 }
 
@@ -304,9 +304,7 @@ mod tests {
     /// sum over k intermediates of (n-2)!/(n-2-k)!.
     fn expected_kn_paths(n: usize) -> usize {
         let m = n - 2;
-        (0..=m)
-            .map(|k| ((m - k + 1)..=m).product::<usize>())
-            .sum()
+        (0..=m).map(|k| ((m - k + 1)..=m).product::<usize>()).sum()
     }
 
     #[test]
@@ -452,7 +450,11 @@ mod tests {
     #[test]
     fn is_subset_logic() {
         let a = [NodeId::from_index(1), NodeId::from_index(3)];
-        let b = [NodeId::from_index(1), NodeId::from_index(2), NodeId::from_index(3)];
+        let b = [
+            NodeId::from_index(1),
+            NodeId::from_index(2),
+            NodeId::from_index(3),
+        ];
         assert!(is_subset(&a, &b));
         assert!(!is_subset(&b, &a));
         assert!(is_subset(&[], &a));

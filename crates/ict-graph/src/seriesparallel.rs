@@ -169,7 +169,9 @@ pub fn reduce<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> SpRe
 
         // 3. series splice: a non-terminal degree-2 node with two distinct
         //    incident edges
-        let splice = work.node_ids().find(|&n| n != s && n != t && work.degree(n) == 2);
+        let splice = work
+            .node_ids()
+            .find(|&n| n != s && n != t && work.degree(n) == 2);
         if let Some(n) = splice {
             let adjs: Vec<_> = work.neighbors(n).collect();
             debug_assert_eq!(adjs.len(), 2);
@@ -201,7 +203,10 @@ pub fn reduce<N, E>(graph: &Graph<N, E>, source: NodeId, target: NodeId) -> SpRe
     if !crate::traversal::is_reachable(&work, s, t) {
         return SpReduction::Disconnected;
     }
-    SpReduction::Irreducible { remaining_nodes: nodes, remaining_edges: edges }
+    SpReduction::Irreducible {
+        remaining_nodes: nodes,
+        remaining_edges: edges,
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +263,9 @@ mod tests {
         match reduce(&g, s, t) {
             SpReduction::SeriesParallel(SpTree::Parallel(branches)) => {
                 assert_eq!(branches.len(), 2);
-                assert!(branches.iter().all(|b| matches!(b, SpTree::Series(inner) if inner.len() == 2)));
+                assert!(branches
+                    .iter()
+                    .all(|b| matches!(b, SpTree::Series(inner) if inner.len() == 2)));
             }
             other => panic!("{other:?}"),
         }
@@ -311,7 +318,10 @@ mod tests {
         let t = g.add_node(1);
         g.add_edge(s, s, ());
         g.add_edge(s, t, ());
-        assert!(matches!(reduce(&g, s, t), SpReduction::SeriesParallel(SpTree::Edge(_))));
+        assert!(matches!(
+            reduce(&g, s, t),
+            SpReduction::SeriesParallel(SpTree::Edge(_))
+        ));
     }
 
     #[test]

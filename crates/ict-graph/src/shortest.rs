@@ -75,7 +75,10 @@ pub fn dijkstra_filtered<N, E>(
     let mut settled = vec![false; cap];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapItem { cost: 0.0, node: source });
+    heap.push(HeapItem {
+        cost: 0.0,
+        node: source,
+    });
 
     while let Some(HeapItem { cost: d, node }) = heap.pop() {
         if settled[node.index()] {
@@ -95,7 +98,10 @@ pub fn dijkstra_filtered<N, E>(
             if nd < dist[adj.node.index()] {
                 dist[adj.node.index()] = nd;
                 prev[adj.node.index()] = Some((node, adj.edge));
-                heap.push(HeapItem { cost: nd, node: adj.node });
+                heap.push(HeapItem {
+                    cost: nd,
+                    node: adj.node,
+                });
             }
         }
     }
@@ -187,7 +193,9 @@ pub fn yen_k_shortest<N, E>(
             .iter()
             .enumerate()
             .min_by(|(_, (pa, ca)), (_, (pb, cb))| {
-                ca.partial_cmp(cb).unwrap_or(Ordering::Equal).then_with(|| pa.cmp(pb))
+                ca.partial_cmp(cb)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| pa.cmp(pb))
             })
             .map(|(i, _)| i)
             .expect("candidates non-empty");

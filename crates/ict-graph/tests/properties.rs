@@ -35,7 +35,10 @@ fn brute_force_paths(g: &Graph<usize, ()>, s: NodeId, t: NodeId) -> Vec<Path> {
     ) {
         let head = *nodes.last().unwrap();
         if head == t {
-            out.push(Path { nodes: nodes.clone(), edges: edges.clone() });
+            out.push(Path {
+                nodes: nodes.clone(),
+                edges: edges.clone(),
+            });
             return;
         }
         for adj in g.neighbors(head) {
@@ -51,7 +54,10 @@ fn brute_force_paths(g: &Graph<usize, ()>, s: NodeId, t: NodeId) -> Vec<Path> {
     }
     let mut out = Vec::new();
     if s == t {
-        return vec![Path { nodes: vec![s], edges: vec![] }];
+        return vec![Path {
+            nodes: vec![s],
+            edges: vec![],
+        }];
     }
     recurse(g, t, &mut vec![s], &mut Vec::new(), &mut out);
     out

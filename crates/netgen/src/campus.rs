@@ -72,11 +72,15 @@ pub fn campus_infrastructure(params: CampusParams) -> Infrastructure {
 
     // Core mesh.
     for i in 0..params.core {
-        infra.add_device(format!("core{i}"), "CoreSwitch").expect("unique");
+        infra
+            .add_device(format!("core{i}"), "CoreSwitch")
+            .expect("unique");
     }
     for i in 0..params.core {
         for j in (i + 1)..params.core {
-            infra.connect(&format!("core{i}"), &format!("core{j}")).expect("live");
+            infra
+                .connect(&format!("core{i}"), &format!("core{j}"))
+                .expect("live");
         }
     }
 
@@ -106,7 +110,9 @@ pub fn campus_infrastructure(params: CampusParams) -> Infrastructure {
             infra.connect(&edge, &format!("dist{d}")).expect("live");
             if params.dual_homed_edges && params.distributions >= 2 {
                 let backup = (d + 1) % params.distributions;
-                infra.connect(&edge, &format!("dist{backup}")).expect("live");
+                infra
+                    .connect(&edge, &format!("dist{backup}"))
+                    .expect("live");
             }
             for c in 0..params.clients_per_edge {
                 let client = format!("t{d}_{e}_{c}");
@@ -135,9 +141,7 @@ pub fn campus_infrastructure(params: CampusParams) -> Infrastructure {
 /// A full scenario: the campus network plus a printing-shaped five-step
 /// service between the first client (`t0_0_0`) and the first server
 /// (`srv0`), alternating request/response directions like Table I.
-pub fn campus_scenario(
-    params: CampusParams,
-) -> (Infrastructure, CompositeService, ServiceMapping) {
+pub fn campus_scenario(params: CampusParams) -> (Infrastructure, CompositeService, ServiceMapping) {
     assert!(params.servers >= 1 && params.clients_per_edge >= 1 && params.distributions >= 1);
     let infra = campus_infrastructure(params);
     let service = CompositeService::sequential(
@@ -172,18 +176,45 @@ mod tests {
     #[test]
     fn device_count_formula_matches_generator() {
         for params in [
-            CampusParams { core: 1, distributions: 1, edges_per_distribution: 1, clients_per_edge: 1, servers: 1, dual_homed_edges: false },
-            CampusParams { core: 3, distributions: 4, edges_per_distribution: 2, clients_per_edge: 5, servers: 2, dual_homed_edges: false },
-            CampusParams { core: 2, distributions: 6, edges_per_distribution: 3, clients_per_edge: 8, servers: 4, dual_homed_edges: true },
+            CampusParams {
+                core: 1,
+                distributions: 1,
+                edges_per_distribution: 1,
+                clients_per_edge: 1,
+                servers: 1,
+                dual_homed_edges: false,
+            },
+            CampusParams {
+                core: 3,
+                distributions: 4,
+                edges_per_distribution: 2,
+                clients_per_edge: 5,
+                servers: 2,
+                dual_homed_edges: false,
+            },
+            CampusParams {
+                core: 2,
+                distributions: 6,
+                edges_per_distribution: 3,
+                clients_per_edge: 8,
+                servers: 4,
+                dual_homed_edges: true,
+            },
         ] {
-            assert_eq!(campus_infrastructure(params).device_count(), params.device_count());
+            assert_eq!(
+                campus_infrastructure(params).device_count(),
+                params.device_count()
+            );
         }
     }
 
     #[test]
     fn dual_homed_edges_double_the_disjoint_routes() {
         let single = CampusParams::default();
-        let dual = CampusParams { dual_homed_edges: true, ..Default::default() };
+        let dual = CampusParams {
+            dual_homed_edges: true,
+            ..Default::default()
+        };
         let disjoint = |params: CampusParams| {
             let infra = campus_infrastructure(params);
             let (g, index) = infra.to_graph();
@@ -209,7 +240,10 @@ mod tests {
 
     #[test]
     fn single_core_degenerates_gracefully() {
-        let params = CampusParams { core: 1, ..Default::default() };
+        let params = CampusParams {
+            core: 1,
+            ..Default::default()
+        };
         let infra = campus_infrastructure(params);
         infra.validate().unwrap();
         // Tree-like: exactly one path client → server.

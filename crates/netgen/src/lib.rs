@@ -21,6 +21,6 @@ pub mod usi;
 
 pub use campus::{campus_infrastructure, campus_scenario, CampusParams};
 pub use usi::{
-    backup_mapping, backup_service, printing_service, second_perspective_mapping,
-    table_i_mapping, usi_infrastructure,
+    backup_mapping, backup_service, printing_service, second_perspective_mapping, table_i_mapping,
+    usi_infrastructure,
 };

@@ -65,10 +65,14 @@ pub fn grid(w: usize, h: usize) -> Infrastructure {
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
-                infra.connect(&names[y * w + x], &names[y * w + x + 1]).expect("live");
+                infra
+                    .connect(&names[y * w + x], &names[y * w + x + 1])
+                    .expect("live");
             }
             if y + 1 < h {
-                infra.connect(&names[y * w + x], &names[(y + 1) * w + x]).expect("live");
+                infra
+                    .connect(&names[y * w + x], &names[(y + 1) * w + x])
+                    .expect("live");
             }
         }
     }
@@ -82,7 +86,10 @@ pub fn grid(w: usize, h: usize) -> Infrastructure {
 /// aggregation switch of its pod — the classic data-center topology and
 /// the densest "realistic" shape in the scaling experiments.
 pub fn fat_tree(k: usize) -> Infrastructure {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree parameter must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree parameter must be even and >= 2"
+    );
     let half = k / 2;
     let mut infra = base("fat-tree");
     infra
@@ -91,7 +98,9 @@ pub fn fat_tree(k: usize) -> Infrastructure {
 
     // Core grid: half × half.
     for i in 0..half * half {
-        infra.add_device(format!("core{i}"), "Node").expect("unique");
+        infra
+            .add_device(format!("core{i}"), "Node")
+            .expect("unique");
     }
     for pod in 0..k {
         for a in 0..half {
@@ -99,14 +108,18 @@ pub fn fat_tree(k: usize) -> Infrastructure {
             infra.add_device(&agg, "Node").expect("unique");
             // Column a of the core grid.
             for c in 0..half {
-                infra.connect(&agg, &format!("core{}", a * half + c)).expect("live");
+                infra
+                    .connect(&agg, &format!("core{}", a * half + c))
+                    .expect("live");
             }
         }
         for e in 0..half {
             let edge = format!("edge{pod}_{e}");
             infra.add_device(&edge, "Node").expect("unique");
             for a in 0..half {
-                infra.connect(&edge, &format!("agg{pod}_{a}")).expect("live");
+                infra
+                    .connect(&edge, &format!("agg{pod}_{a}"))
+                    .expect("live");
             }
             for h in 0..half {
                 let host = format!("host{pod}_{e}_{h}");
@@ -157,8 +170,12 @@ mod tests {
     fn complete_graph_path_explosion_matches_formula() {
         // #paths in K_n between fixed endpoints: sum_k (n-2)!/(n-2-k)!
         let infra = complete(6);
-        let d = discover(&infra, &ServiceMappingPair::new("s", "n0", "n5"), DiscoveryOptions::default())
-            .unwrap();
+        let d = discover(
+            &infra,
+            &ServiceMappingPair::new("s", "n0", "n5"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         assert_eq!(d.len(), 65); // 1 + 4 + 12 + 24 + 24
     }
 
@@ -166,8 +183,12 @@ mod tests {
     fn ring_has_two_paths_between_any_pair() {
         let infra = ring(8);
         assert_eq!(infra.link_count(), 8);
-        let d = discover(&infra, &ServiceMappingPair::new("s", "n0", "n4"), DiscoveryOptions::default())
-            .unwrap();
+        let d = discover(
+            &infra,
+            &ServiceMappingPair::new("s", "n0", "n4"),
+            DiscoveryOptions::default(),
+        )
+        .unwrap();
         assert_eq!(d.len(), 2);
     }
 

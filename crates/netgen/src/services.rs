@@ -55,7 +55,11 @@ pub fn random_mapping(
 
     let mut mapping = ServiceMapping::new();
     for (i, atomic) in service.atomic_services().into_iter().enumerate() {
-        let (rq, pr) = if i % 2 == 0 { (&requester, &provider) } else { (&provider, &requester) };
+        let (rq, pr) = if i % 2 == 0 {
+            (&requester, &provider)
+        } else {
+            (&provider, &requester)
+        };
         mapping.add(ServiceMappingPair::new(atomic, rq.clone(), pr.clone()));
     }
     mapping
@@ -99,7 +103,13 @@ mod tests {
         });
         let svc = sequential_service("mail", 2);
         let picks: std::collections::HashSet<String> = (0..20)
-            .map(|seed| random_mapping(&svc, &infra, seed).pair("mail-as0").unwrap().requester.clone())
+            .map(|seed| {
+                random_mapping(&svc, &infra, seed)
+                    .pair("mail-as0")
+                    .unwrap()
+                    .requester
+                    .clone()
+            })
             .collect();
         assert!(picks.len() > 1, "20 seeds all picked the same client");
     }

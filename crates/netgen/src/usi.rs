@@ -32,8 +32,9 @@ pub const PRINTING_ATOMIC_SERVICES: [&str; 5] = [
 ];
 
 /// Expected UPSIM node set of Fig. 11 (perspective T1 → P2 via printS).
-pub const EXPECTED_FIG11_NODES: [&str; 10] =
-    ["t1", "e1", "d1", "d2", "c1", "c2", "d4", "e3", "p2", "printS"];
+pub const EXPECTED_FIG11_NODES: [&str; 10] = [
+    "t1", "e1", "d1", "d2", "c1", "c2", "d4", "e3", "p2", "printS",
+];
 
 /// Expected UPSIM node set of Fig. 12 (perspective T15 → P3 via printS).
 pub const EXPECTED_FIG12_NODES: [&str; 9] =
@@ -52,14 +53,24 @@ pub fn usi_infrastructure() -> Infrastructure {
     // Fig. 8 classes — MTBF/MTTR in hours, redundantComponents = 0.
     for spec in [
         DeviceClassSpec::server("Server", 60_000.0, 0.1),
-        DeviceClassSpec::switch("C6500", 183_498.0, 0.5).with_manufacturer("Cisco").with_model("Catalyst 6500"),
-        DeviceClassSpec::switch("C2960", 61_320.0, 0.5).with_manufacturer("Cisco").with_model("Catalyst 2960"),
-        DeviceClassSpec::switch("HP2650", 199_000.0, 0.5).with_manufacturer("HP").with_model("ProCurve 2650"),
-        DeviceClassSpec::switch("C3750", 188_575.0, 0.5).with_manufacturer("Cisco").with_model("Catalyst 3750"),
+        DeviceClassSpec::switch("C6500", 183_498.0, 0.5)
+            .with_manufacturer("Cisco")
+            .with_model("Catalyst 6500"),
+        DeviceClassSpec::switch("C2960", 61_320.0, 0.5)
+            .with_manufacturer("Cisco")
+            .with_model("Catalyst 2960"),
+        DeviceClassSpec::switch("HP2650", 199_000.0, 0.5)
+            .with_manufacturer("HP")
+            .with_model("ProCurve 2650"),
+        DeviceClassSpec::switch("C3750", 188_575.0, 0.5)
+            .with_manufacturer("Cisco")
+            .with_model("Catalyst 3750"),
         DeviceClassSpec::client("Comp", 3_000.0, 24.0),
         DeviceClassSpec::printer("Printer", 2_880.0, 1.0),
     ] {
-        infra.define_device_class(spec).expect("static class table is consistent");
+        infra
+            .define_device_class(spec)
+            .expect("static class table is consistent");
     }
 
     // Devices (Fig. 5): core, distribution, edge, clients, printers, servers.
@@ -100,7 +111,9 @@ pub fn usi_infrastructure() -> Infrastructure {
         ("printS", "Server"),
     ];
     for (name, class) in devices {
-        infra.add_device(name, class).expect("device table is consistent");
+        infra
+            .add_device(name, class)
+            .expect("device table is consistent");
     }
 
     // Links (36). Core mesh with redundant connections; d1/d2/d4 dual-homed,
@@ -167,7 +180,11 @@ pub fn table_i_mapping() -> ServiceMapping {
     ServiceMapping::new()
         .with(ServiceMappingPair::new("Request printing", "t1", "printS"))
         .with(ServiceMappingPair::new("Login to printer", "p2", "printS"))
-        .with(ServiceMappingPair::new("Send document list", "printS", "p2"))
+        .with(ServiceMappingPair::new(
+            "Send document list",
+            "printS",
+            "p2",
+        ))
         .with(ServiceMappingPair::new("Select documents", "p2", "printS"))
         .with(ServiceMappingPair::new("Send documents", "printS", "p2"))
 }
@@ -203,16 +220,43 @@ pub fn all_printing_perspectives() -> Vec<(String, String, ServiceMapping)> {
     let mut out = Vec::with_capacity(clients.len() * printers.len());
     for client in &clients {
         for printer in printers {
-            let mapping = ServiceMapping::new()
-                .with(ServiceMappingPair::new("Request printing", client.clone(), "printS"))
-                .with(ServiceMappingPair::new("Login to printer", printer, "printS"))
-                .with(ServiceMappingPair::new("Send document list", "printS", printer))
-                .with(ServiceMappingPair::new("Select documents", printer, "printS"))
-                .with(ServiceMappingPair::new("Send documents", "printS", printer));
-            out.push((client.clone(), printer.to_string(), mapping));
+            out.push((
+                client.clone(),
+                printer.to_string(),
+                perspective_mapping(client, printer),
+            ));
         }
     }
     out
+}
+
+/// The Table-I-shaped mapping of one printing perspective: requester
+/// `client`, printer `printer`, always through `printS`. This is the
+/// per-pair form of [`all_printing_perspectives`], used by resident query
+/// engines that materialize perspectives on demand.
+pub fn perspective_mapping(client: &str, printer: &str) -> ServiceMapping {
+    ServiceMapping::new()
+        .with(ServiceMappingPair::new(
+            "Request printing",
+            client,
+            "printS",
+        ))
+        .with(ServiceMappingPair::new(
+            "Login to printer",
+            printer,
+            "printS",
+        ))
+        .with(ServiceMappingPair::new(
+            "Send document list",
+            "printS",
+            printer,
+        ))
+        .with(ServiceMappingPair::new(
+            "Select documents",
+            printer,
+            "printS",
+        ))
+        .with(ServiceMappingPair::new("Send documents", "printS", printer))
 }
 
 /// The second perspective of Sec. VI-H: *requester T15, printer P3, same
@@ -261,7 +305,11 @@ mod tests {
         ] {
             assert_eq!(infra.mtbf(inst), Some(mtbf), "{inst} MTBF");
             assert_eq!(infra.mttr(inst), Some(mttr), "{inst} MTTR");
-            assert_eq!(infra.redundant_components(inst), Some(0), "{inst} redundancy");
+            assert_eq!(
+                infra.redundant_components(inst),
+                Some(0),
+                "{inst} redundancy"
+            );
         }
     }
 
@@ -307,14 +355,16 @@ mod tests {
         let svc = backup_service();
         let mapping = backup_mapping();
         mapping.validate(&svc, &infra).unwrap();
-        let mut pipeline =
-            upsim_core::pipeline::UpsimPipeline::new(infra, svc, mapping).unwrap();
+        let mut pipeline = upsim_core::pipeline::UpsimPipeline::new(infra, svc, mapping).unwrap();
         let run = pipeline.run().unwrap();
         // Backup traffic stays on the e1/d1/d3 side plus the core.
         assert!(run.upsim.instance("t3").is_some());
         assert!(run.upsim.instance("db").is_some());
         assert!(run.upsim.instance("backup").is_some());
-        assert!(run.upsim.instance("d3").is_some(), "server switch on the path");
+        assert!(
+            run.upsim.instance("d3").is_some(),
+            "server switch on the path"
+        );
         // Edge switches of other subtrees are never transits (leaf side)...
         assert!(run.upsim.instance("e3").is_none());
         assert!(run.upsim.instance("e4").is_none());

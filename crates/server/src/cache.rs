@@ -1,0 +1,213 @@
+//! The perspective cache: one entry per evaluated `(client, provider,
+//! service)` key, invalidated along the pipeline's Sec. V-A3 dynamicity
+//! semantics (each kind of change touches only the keys it can affect).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cache key of one user perspective.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PerspectiveKey {
+    pub client: String,
+    pub provider: String,
+    /// Name of the composite service the perspective was evaluated for.
+    pub service: String,
+}
+
+impl PerspectiveKey {
+    pub fn new(
+        client: impl Into<String>,
+        provider: impl Into<String>,
+        service: impl Into<String>,
+    ) -> Self {
+        PerspectiveKey {
+            client: client.into(),
+            provider: provider.into(),
+            service: service.into(),
+        }
+    }
+}
+
+/// The materialized result of one perspective evaluation.
+#[derive(Debug, Clone)]
+pub struct CachedPerspective {
+    pub key: PerspectiveKey,
+    /// Snapshot epoch the result was computed against.
+    pub epoch: u64,
+    /// User-perceived steady-state service availability (exact, BDD).
+    pub availability: f64,
+    /// UPSIM node set, in generation order.
+    pub upsim_nodes: Vec<String>,
+    /// Discovered path count per atomic service, in execution order.
+    pub path_counts: Vec<(String, usize)>,
+    /// `|UPSIM| / |N|` over instances.
+    pub reduction_ratio: f64,
+    /// Wall time of the (uncached) evaluation in microseconds.
+    pub eval_micros: u64,
+}
+
+impl CachedPerspective {
+    /// `true` when removing the link `(a, b)` may change this result: every
+    /// discovered path crossing the link visits both endpoints, so a
+    /// perspective whose UPSIM misses either endpoint cannot be affected.
+    pub fn touches_link(&self, a: &str, b: &str) -> bool {
+        let mut has_a = false;
+        let mut has_b = false;
+        for node in &self.upsim_nodes {
+            has_a |= node == a;
+            has_b |= node == b;
+        }
+        has_a && has_b
+    }
+}
+
+/// Concurrent map of perspective results.
+///
+/// Invalidation is eager (entries are removed when an update is
+/// published); the epoch check on [`PerspectiveCache::insert`] closes the
+/// race where an evaluation straddles an update — its result would
+/// otherwise be inserted *after* the update's sweep and be served stale
+/// forever.
+#[derive(Default)]
+pub struct PerspectiveCache {
+    map: RwLock<HashMap<PerspectiveKey, Arc<CachedPerspective>>>,
+}
+
+impl PerspectiveCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a perspective.
+    pub fn get(&self, key: &PerspectiveKey) -> Option<Arc<CachedPerspective>> {
+        self.map.read().expect("cache poisoned").get(key).cloned()
+    }
+
+    /// Inserts an entry, unless it was computed against an epoch other
+    /// than the current one (a concurrent update already swept the cache;
+    /// the stale result must not outlive it). Returns whether it was kept.
+    ///
+    /// The epoch is loaded *inside* the map lock. An update stores the new
+    /// epoch before it takes this lock to sweep, so either this insert's
+    /// critical section runs first (and the sweep removes the entry) or it
+    /// runs after (and sees the bumped epoch, rejecting the entry) — the
+    /// stale result cannot survive in either interleaving.
+    pub fn insert(&self, entry: Arc<CachedPerspective>, current_epoch: &AtomicU64) -> bool {
+        let mut map = self.map.write().expect("cache poisoned");
+        if entry.epoch != current_epoch.load(Ordering::SeqCst) {
+            return false;
+        }
+        map.insert(entry.key.clone(), entry);
+        true
+    }
+
+    /// Removes the perspectives a removed link `(a, b)` can affect; returns
+    /// how many entries were dropped.
+    pub fn invalidate_link(&self, a: &str, b: &str) -> usize {
+        let mut map = self.map.write().expect("cache poisoned");
+        let before = map.len();
+        map.retain(|_, entry| !entry.touches_link(a, b));
+        before - map.len()
+    }
+
+    /// Removes every perspective of the named service (service
+    /// substitution, Sec. V-A3); returns how many entries were dropped.
+    pub fn invalidate_service(&self, service: &str) -> usize {
+        let mut map = self.map.write().expect("cache poisoned");
+        let before = map.len();
+        map.retain(|key, _| key.service != service);
+        before - map.len()
+    }
+
+    /// Removes everything (topology additions can create new paths for any
+    /// pair); returns how many entries were dropped.
+    pub fn invalidate_all(&self) -> usize {
+        let mut map = self.map.write().expect("cache poisoned");
+        let before = map.len();
+        map.clear();
+        before
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        client: &str,
+        provider: &str,
+        service: &str,
+        nodes: &[&str],
+    ) -> Arc<CachedPerspective> {
+        Arc::new(CachedPerspective {
+            key: PerspectiveKey::new(client, provider, service),
+            epoch: 0,
+            availability: 0.99,
+            upsim_nodes: nodes.iter().map(|s| s.to_string()).collect(),
+            path_counts: vec![],
+            reduction_ratio: 0.5,
+            eval_micros: 1,
+        })
+    }
+
+    #[test]
+    fn link_invalidation_requires_both_endpoints() {
+        let cache = PerspectiveCache::new();
+        cache.insert(
+            entry("t1", "p1", "printS", &["t1", "sw", "p1"]),
+            &AtomicU64::new(0),
+        );
+        cache.insert(
+            entry("t2", "p2", "printS", &["t2", "sw", "p2"]),
+            &AtomicU64::new(0),
+        );
+        // Only the first perspective has both `t1` and `sw` on a path.
+        assert_eq!(cache.invalidate_link("t1", "sw"), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache
+            .get(&PerspectiveKey::new("t2", "p2", "printS"))
+            .is_some());
+        // A link that appears in no cached UPSIM invalidates nothing.
+        assert_eq!(cache.invalidate_link("x", "y"), 0);
+    }
+
+    #[test]
+    fn service_invalidation_is_keyed_by_name() {
+        let cache = PerspectiveCache::new();
+        cache.insert(entry("t1", "p1", "printS", &["t1"]), &AtomicU64::new(0));
+        cache.insert(entry("t1", "srv", "backup", &["t1"]), &AtomicU64::new(0));
+        assert_eq!(cache.invalidate_service("printS"), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache
+            .get(&PerspectiveKey::new("t1", "srv", "backup"))
+            .is_some());
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_rejected() {
+        let cache = PerspectiveCache::new();
+        assert!(!cache.insert(entry("t1", "p1", "printS", &["t1"]), &AtomicU64::new(3)));
+        assert!(cache.is_empty());
+        assert!(cache.insert(entry("t1", "p1", "printS", &["t1"]), &AtomicU64::new(0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_flushes() {
+        let cache = PerspectiveCache::new();
+        cache.insert(entry("t1", "p1", "printS", &["t1"]), &AtomicU64::new(0));
+        cache.insert(entry("t2", "p1", "printS", &["t2"]), &AtomicU64::new(0));
+        assert_eq!(cache.invalidate_all(), 2);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,446 @@
+//! The resident query engine: snapshot + cache + worker pool.
+//!
+//! Concurrency design, in one paragraph: the model lives in an
+//! `RwLock<Arc<ModelSnapshot>>`; workers clone the `Arc` (briefly holding
+//! the read lock) and evaluate against that immutable generation, so an
+//! update never tears an in-flight evaluation. An update clones the
+//! snapshot, applies the change, bumps the epoch atomic, sweeps the
+//! affected cache keys, and publishes the new `Arc` — in that order, which
+//! together with the epoch re-check inside [`PerspectiveCache::insert`]
+//! guarantees a result computed against a superseded generation is never
+//! served afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use upsim_core::discovery::DiscoveryOptions;
+use upsim_core::error::UpsimError;
+use upsim_core::pipeline::UpsimPipeline;
+use upsim_core::service::CompositeService;
+
+use crate::cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
+
+/// Errors surfaced to engine callers (and over the wire as `ERR` lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A queried client or provider is not an infrastructure device.
+    UnknownDevice(String),
+    /// A model-layer failure (validation, pipeline, update).
+    Model(String),
+    /// The engine is shut down (or a worker disappeared mid-request).
+    Shutdown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            EngineError::Model(msg) => write!(f, "model error: {msg}"),
+            EngineError::Shutdown => write!(f, "engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UpsimError> for EngineError {
+    fn from(err: UpsimError) -> Self {
+        EngineError::Model(err.to_string())
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bound of the job queue — backpressure for `BATCH` floods.
+    pub queue_capacity: usize,
+    /// Step 7 options used by every worker pipeline.
+    pub discovery: DiscoveryOptions,
+    /// Derives the per-perspective mapping (defaults to
+    /// [`pingpong_mapper`]).
+    pub mapper: PerspectiveMapper,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // Workers are already parallel across perspectives; keep Step 7's
+        // intra-query parallelism modest.
+        let discovery = DiscoveryOptions {
+            parallel: true,
+            threads: 2,
+            ..Default::default()
+        };
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 256,
+            discovery,
+            mapper: pingpong_mapper(),
+        }
+    }
+}
+
+/// A dynamicity command (paper Sec. V-A3), applied atomically to the
+/// resident model.
+#[derive(Debug, Clone)]
+pub enum UpdateCommand {
+    /// Add a link between two existing devices. New links can create new
+    /// paths for *any* perspective, so this flushes the whole cache.
+    Connect { a: String, b: String },
+    /// Remove a link. Invalidates only perspectives whose UPSIM contains
+    /// both endpoints (minimal recomputation).
+    Disconnect { a: String, b: String },
+    /// Replace the composite service, keeping the network model.
+    SubstituteService { service: CompositeService },
+}
+
+impl UpdateCommand {
+    fn kind(&self) -> &'static str {
+        match self {
+            UpdateCommand::Connect { .. } => "connect",
+            UpdateCommand::Disconnect { .. } => "disconnect",
+            UpdateCommand::SubstituteService { .. } => "substitute-service",
+        }
+    }
+}
+
+/// What an applied update did.
+#[derive(Debug, Clone)]
+pub struct UpdateSummary {
+    /// Epoch of the newly published snapshot.
+    pub epoch: u64,
+    /// Cache entries dropped by the targeted invalidation.
+    pub invalidated: usize,
+    /// `"connect"`, `"disconnect"`, or `"substitute-service"`.
+    pub kind: &'static str,
+}
+
+enum Job {
+    Eval {
+        client: String,
+        provider: String,
+        reply: Sender<Result<Arc<CachedPerspective>, EngineError>>,
+    },
+    Stop,
+}
+
+struct Shared {
+    snapshot: RwLock<Arc<ModelSnapshot>>,
+    epoch: AtomicU64,
+    cache: PerspectiveCache,
+    metrics: EngineMetrics,
+    mapper: PerspectiveMapper,
+    discovery: DiscoveryOptions,
+    shutdown: AtomicBool,
+}
+
+/// Handle to the resident engine. Cheap to clone; all clones share the
+/// snapshot, cache, metrics, and worker pool.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    workers: usize,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Engine {
+    /// Spawns the worker pool around an initial model.
+    pub fn new(snapshot: ModelSnapshot, config: EngineConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(snapshot.epoch),
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            cache: PerspectiveCache::new(),
+            metrics: EngineMetrics::new(),
+            mapper: config.mapper,
+            discovery: config.discovery,
+            shutdown: AtomicBool::new(false),
+        });
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = job_rx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(shared, rx)));
+        }
+        Engine {
+            shared,
+            job_tx,
+            workers,
+            handles: Arc::new(Mutex::new(handles)),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The loaded composite service's name.
+    pub fn service_name(&self) -> String {
+        self.shared
+            .snapshot
+            .read()
+            .expect("snapshot poisoned")
+            .service_name()
+            .to_string()
+    }
+
+    /// Evaluates one perspective, serving from the cache when possible.
+    pub fn query(
+        &self,
+        client: &str,
+        provider: &str,
+    ) -> Result<Arc<CachedPerspective>, EngineError> {
+        self.query_traced(client, provider).map(|(entry, _)| entry)
+    }
+
+    /// Like [`Engine::query`], also reporting whether the result came from
+    /// the cache (`true`) or was evaluated for this call (`false`).
+    pub fn query_traced(
+        &self,
+        client: &str,
+        provider: &str,
+    ) -> Result<(Arc<CachedPerspective>, bool), EngineError> {
+        EngineMetrics::bump(&self.shared.metrics.queries);
+        match self.lookup_or_enqueue(client, provider)? {
+            Ok(hit) => Ok((hit, true)),
+            Err(reply_rx) => {
+                let entry = reply_rx.recv().map_err(|_| EngineError::Shutdown)??;
+                Ok((entry, false))
+            }
+        }
+    }
+
+    /// Evaluates a batch of perspectives concurrently across the pool,
+    /// returning results in input order.
+    pub fn batch(
+        &self,
+        pairs: &[(String, String)],
+    ) -> Vec<Result<Arc<CachedPerspective>, EngineError>> {
+        EngineMetrics::bump(&self.shared.metrics.batches);
+        EngineMetrics::add(&self.shared.metrics.queries, pairs.len() as u64);
+        // First pass: resolve cache hits and enqueue the misses, so the
+        // whole batch is in flight before we wait on anything.
+        let pending: Vec<_> = pairs
+            .iter()
+            .map(|(client, provider)| self.lookup_or_enqueue(client, provider))
+            .collect();
+        pending
+            .into_iter()
+            .map(|slot| match slot {
+                Err(err) => Err(err),
+                Ok(Ok(hit)) => Ok(hit),
+                Ok(Err(reply_rx)) => reply_rx.recv().map_err(|_| EngineError::Shutdown)?,
+            })
+            .collect()
+    }
+
+    /// Cache fast-path; on miss hands the evaluation to the pool and
+    /// returns the reply channel.
+    #[allow(clippy::type_complexity)]
+    fn lookup_or_enqueue(
+        &self,
+        client: &str,
+        provider: &str,
+    ) -> Result<
+        Result<Arc<CachedPerspective>, Receiver<Result<Arc<CachedPerspective>, EngineError>>>,
+        EngineError,
+    > {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::Shutdown);
+        }
+        let snapshot = self
+            .shared
+            .snapshot
+            .read()
+            .expect("snapshot poisoned")
+            .clone();
+        for device in [client, provider] {
+            if !snapshot.infrastructure.has_device(device) {
+                EngineMetrics::bump(&self.shared.metrics.errors);
+                return Err(EngineError::UnknownDevice(device.to_string()));
+            }
+        }
+        let key = PerspectiveKey::new(client, provider, snapshot.service_name());
+        if let Some(hit) = self.shared.cache.get(&key) {
+            EngineMetrics::bump(&self.shared.metrics.cache_hits);
+            return Ok(Ok(hit));
+        }
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.job_tx
+            .send(Job::Eval {
+                client: client.to_string(),
+                provider: provider.to_string(),
+                reply: reply_tx,
+            })
+            .map_err(|_| EngineError::Shutdown)?;
+        Ok(Err(reply_rx))
+    }
+
+    /// Applies a dynamicity command: publishes a new snapshot generation
+    /// and sweeps exactly the cache keys the change can affect.
+    pub fn update(&self, command: UpdateCommand) -> Result<UpdateSummary, EngineError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::Shutdown);
+        }
+        let mut guard = self.shared.snapshot.write().expect("snapshot poisoned");
+        let mut next = (**guard).clone();
+        let old_service = next.service_name().to_string();
+        match &command {
+            UpdateCommand::Connect { a, b } => {
+                next.infrastructure.connect(a, b)?;
+            }
+            UpdateCommand::Disconnect { a, b } => {
+                next.infrastructure.disconnect(a, b)?;
+            }
+            UpdateCommand::SubstituteService { service } => {
+                next.service = service.clone();
+            }
+        }
+        next.infrastructure.validate()?;
+        next.epoch = guard.epoch + 1;
+        // Epoch first, sweep second — see the ordering note on
+        // `PerspectiveCache::insert`.
+        self.shared.epoch.store(next.epoch, Ordering::SeqCst);
+        let invalidated = match &command {
+            UpdateCommand::Connect { .. } => self.shared.cache.invalidate_all(),
+            UpdateCommand::Disconnect { a, b } => self.shared.cache.invalidate_link(a, b),
+            UpdateCommand::SubstituteService { .. } => {
+                self.shared.cache.invalidate_service(&old_service)
+            }
+        };
+        let epoch = next.epoch;
+        *guard = Arc::new(next);
+        drop(guard);
+        EngineMetrics::bump(&self.shared.metrics.updates);
+        EngineMetrics::add(&self.shared.metrics.invalidations, invalidated as u64);
+        Ok(UpdateSummary {
+            epoch,
+            invalidated,
+            kind: command.kind(),
+        })
+    }
+
+    /// A point-in-time metrics snapshot (the `STATS` response).
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.len(), self.epoch(), self.workers)
+    }
+
+    /// Stops the pool and joins every worker. Idempotent; pending jobs
+    /// submitted before the stop are still drained.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for _ in 0..self.workers {
+            // Ignore send failures: all workers already gone is fine.
+            let _ = self.job_tx.send(Job::Stop);
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
+    // The warm pipeline: Step 5 (UML import + graph) stays cached across
+    // queries of the same epoch; only the mapping (Step 6) is swapped.
+    let mut warm: Option<(u64, UpsimPipeline)> = None;
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Eval {
+                client,
+                provider,
+                reply,
+            } => {
+                let result = evaluate(&shared, &mut warm, &client, &provider);
+                if result.is_err() {
+                    EngineMetrics::bump(&shared.metrics.errors);
+                }
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+fn evaluate(
+    shared: &Shared,
+    warm: &mut Option<(u64, UpsimPipeline)>,
+    client: &str,
+    provider: &str,
+) -> Result<Arc<CachedPerspective>, EngineError> {
+    let snapshot = shared.snapshot.read().expect("snapshot poisoned").clone();
+    let key = PerspectiveKey::new(client, provider, snapshot.service_name());
+    // Re-check the cache: another worker may have finished the same key
+    // while this job sat in the queue. Not counted as a caller-visible hit.
+    if let Some(hit) = shared.cache.get(&key) {
+        return Ok(hit);
+    }
+    let start = Instant::now();
+    let mapping = (shared.mapper)(&snapshot.service, client, provider);
+    let reusable = matches!(warm, Some((epoch, _)) if *epoch == snapshot.epoch);
+    if reusable {
+        let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
+        pipeline.set_mapping(mapping)?;
+    } else {
+        let mut pipeline = UpsimPipeline::new(
+            snapshot.infrastructure.clone(),
+            snapshot.service.clone(),
+            mapping,
+        )?;
+        pipeline.record_paths = false;
+        pipeline.set_options(shared.discovery);
+        *warm = Some((snapshot.epoch, pipeline));
+    }
+    let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
+    let run = pipeline.run()?;
+    let availability = ServiceAvailabilityModel::from_run(
+        pipeline.infrastructure(),
+        &run,
+        AnalysisOptions::default(),
+    )
+    .availability_bdd();
+    let eval_micros = start.elapsed().as_micros() as u64;
+    shared.metrics.record_timings(&run.timings);
+    shared.metrics.eval_latency.record(eval_micros);
+    EngineMetrics::bump(&shared.metrics.cache_misses);
+    let entry = Arc::new(CachedPerspective {
+        key,
+        epoch: snapshot.epoch,
+        availability,
+        upsim_nodes: run.touched_devices().map(str::to_string).collect(),
+        path_counts: run
+            .discovered
+            .iter()
+            .map(|d| (d.pair.atomic_service.clone(), d.len()))
+            .collect(),
+        reduction_ratio: run.reduction_ratio,
+        eval_micros,
+    });
+    shared.cache.insert(entry.clone(), &shared.epoch);
+    Ok(entry)
+}

@@ -1,0 +1,39 @@
+//! `upsim-server` — a resident, concurrent UPSIM query engine.
+//!
+//! The paper's founding premise (Sec. I/VIII, experiment E15) is that
+//! *every* (client, provider) pair perceives a different service
+//! infrastructure. A deployment therefore answers many *perspective
+//! queries* against one shared model — a workload the per-invocation
+//! pipeline in `upsim-cli` rebuilds from scratch every time. This crate
+//! keeps the model resident and serves perspectives concurrently:
+//!
+//! * [`engine::Engine`] — owns an immutable [`snapshot::ModelSnapshot`]
+//!   plus a [`cache::PerspectiveCache`] keyed by
+//!   `(client, provider, service)`. Updates go through the pipeline's
+//!   dynamicity semantics (Sec. V-A3): a removed link invalidates only the
+//!   perspectives whose UPSIM contains both endpoints, a service
+//!   substitution only that service's keys, while a new link (which can
+//!   create paths anywhere) flushes everything.
+//! * a crossbeam worker pool — each worker holds its own warm
+//!   [`upsim_core::pipeline::UpsimPipeline`] (Step 5 imports cached,
+//!   mapping swapped per query) and pulls jobs from a bounded queue;
+//!   Step 7 inside a worker can use `ict_graph::parallel`.
+//! * [`protocol`] — a line-delimited request protocol (`QUERY`, `BATCH`,
+//!   `UPDATE`, `STATS`, `SHUTDOWN`) with single-line responses.
+//! * [`server`] — a `std::net` TCP front-end, one thread per connection.
+//! * [`metrics::EngineMetrics`] — atomic counters, a log₂ latency
+//!   histogram, and per-stage timing aggregation over
+//!   [`upsim_core::pipeline::StepTiming`].
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
+pub use engine::{Engine, EngineConfig, EngineError, UpdateCommand, UpdateSummary};
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use server::{serve, UpsimServer};
+pub use snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};

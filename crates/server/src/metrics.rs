@@ -1,0 +1,247 @@
+//! Engine metrics: lock-free counters, a log₂ latency histogram, and
+//! per-pipeline-stage timing aggregation over
+//! [`upsim_core::pipeline::StepTiming`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use upsim_core::pipeline::StepTiming;
+
+/// The four automated pipeline stages (Steps 5–8), in execution order.
+/// Indexes into [`EngineMetrics::stage_nanos`].
+pub const STAGES: [&str; 4] = [
+    "5-import-models",
+    "6-import-mapping",
+    "7-path-discovery",
+    "8-generate-upsim",
+];
+
+const BUCKETS: usize = 24;
+
+/// Power-of-two microsecond latency histogram: bucket `i` counts
+/// evaluations with `latency_us in [2^(i-1), 2^i)` (bucket 0 is `< 1 µs`).
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Upper bound (µs) of the first bucket at which the cumulative count
+    /// reaches quantile `q` (0.0..=1.0). Zero when nothing was recorded.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return if idx == 0 { 1 } else { 1u64 << idx };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64
+    }
+}
+
+/// Shared engine counters. All loads/stores are `Relaxed`: the numbers are
+/// for observability, never for synchronization.
+#[derive(Default)]
+pub struct EngineMetrics {
+    pub queries: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub batches: AtomicU64,
+    pub updates: AtomicU64,
+    pub invalidations: AtomicU64,
+    pub errors: AtomicU64,
+    pub eval_latency: LatencyHistogram,
+    /// Cumulative nanoseconds per stage, indexed like [`STAGES`].
+    stage_nanos: [AtomicU64; 4],
+}
+
+impl EngineMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds one evaluation's step timings into the per-stage totals.
+    pub fn record_timings(&self, timings: &[StepTiming]) {
+        for timing in timings {
+            if let Some(idx) = STAGES.iter().position(|stage| *stage == timing.step) {
+                self.stage_nanos[idx]
+                    .fetch_add(timing.duration.as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn snapshot(&self, cache_len: usize, epoch: u64, workers: usize) -> MetricsSnapshot {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let lookups = hits + self.cache_misses.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            queries,
+            cache_hits: hits,
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            batches: self.batches.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            evals: self.eval_latency.count(),
+            eval_mean_micros: self.eval_latency.mean_micros(),
+            eval_p50_micros: self.eval_latency.quantile_upper_bound(0.50),
+            eval_p99_micros: self.eval_latency.quantile_upper_bound(0.99),
+            stage_millis: std::array::from_fn(|i| {
+                self.stage_nanos[i].load(Ordering::Relaxed) as f64 / 1.0e6
+            }),
+            cache_len,
+            epoch,
+            workers,
+        }
+    }
+}
+
+/// A point-in-time copy of the counters, renderable as one `STATS` line.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub queries: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub hit_rate: f64,
+    pub batches: u64,
+    pub updates: u64,
+    pub invalidations: u64,
+    pub errors: u64,
+    pub evals: u64,
+    pub eval_mean_micros: f64,
+    pub eval_p50_micros: u64,
+    pub eval_p99_micros: u64,
+    /// Cumulative milliseconds per stage, indexed like [`STAGES`].
+    pub stage_millis: [f64; 4],
+    pub cache_len: usize,
+    pub epoch: u64,
+    pub workers: usize,
+}
+
+impl MetricsSnapshot {
+    /// Single-line `key=value` rendering used by the `STATS` response.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "queries={} cache_hits={} cache_misses={} hit_rate={:.3} batches={} updates={} \
+             invalidations={} errors={} evals={} eval_mean_us={:.1} eval_p50_us<={} \
+             eval_p99_us<={} cache_len={} epoch={} workers={}",
+            self.queries,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate,
+            self.batches,
+            self.updates,
+            self.invalidations,
+            self.errors,
+            self.evals,
+            self.eval_mean_micros,
+            self.eval_p50_micros,
+            self.eval_p99_micros,
+            self.cache_len,
+            self.epoch,
+            self.workers,
+        );
+        for (stage, millis) in STAGES.iter().zip(self.stage_millis.iter()) {
+            line.push_str(&format!(" stage[{stage}]_ms={millis:.2}"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let hist = LatencyHistogram::default();
+        for micros in [1, 2, 3, 100, 1000] {
+            hist.record(micros);
+        }
+        assert_eq!(hist.count(), 5);
+        assert!(hist.mean_micros() > 0.0);
+        // The median of {1,2,3,100,1000} falls in the bucket covering 3 µs.
+        assert!(hist.quantile_upper_bound(0.5) <= 4);
+        assert!(hist.quantile_upper_bound(1.0) >= 1000 / 2);
+    }
+
+    #[test]
+    fn stage_timings_fold_by_label() {
+        let metrics = EngineMetrics::new();
+        metrics.record_timings(&[
+            StepTiming {
+                step: "5-import-models",
+                duration: Duration::from_millis(2),
+                cached: false,
+            },
+            StepTiming {
+                step: "7-path-discovery",
+                duration: Duration::from_millis(5),
+                cached: false,
+            },
+            StepTiming {
+                step: "5-import-models",
+                duration: Duration::from_millis(1),
+                cached: true,
+            },
+        ]);
+        let snap = metrics.snapshot(0, 0, 1);
+        assert!((snap.stage_millis[0] - 3.0).abs() < 1e-6);
+        assert!((snap.stage_millis[2] - 5.0).abs() < 1e-6);
+        assert_eq!(snap.stage_millis[1], 0.0);
+    }
+
+    #[test]
+    fn snapshot_hit_rate_and_render() {
+        let metrics = EngineMetrics::new();
+        EngineMetrics::add(&metrics.queries, 4);
+        EngineMetrics::add(&metrics.cache_hits, 3);
+        EngineMetrics::bump(&metrics.cache_misses);
+        let snap = metrics.snapshot(3, 7, 2);
+        assert!((snap.hit_rate - 0.75).abs() < 1e-9);
+        let line = snap.render();
+        assert!(line.contains("hit_rate=0.750"));
+        assert!(line.contains("epoch=7"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,276 @@
+//! The line-delimited wire protocol.
+//!
+//! Every request is one line, every response is one line — trivially
+//! scriptable with `nc`:
+//!
+//! ```text
+//! QUERY <client> <provider>
+//! BATCH <client>:<provider> [<client>:<provider> ...]
+//! UPDATE CONNECT <a> <b>
+//! UPDATE DISCONNECT <a> <b>
+//! UPDATE SERVICE <name> <atomic> [<atomic> ...]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Responses start with `OK ` or `ERR `. Command words are matched
+//! case-insensitively; device and service names are case-sensitive.
+
+use std::sync::Arc;
+
+use upsim_core::service::CompositeService;
+
+use crate::cache::CachedPerspective;
+use crate::engine::{EngineError, UpdateCommand, UpdateSummary};
+use crate::metrics::MetricsSnapshot;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Query { client: String, provider: String },
+    Batch { pairs: Vec<(String, String)> },
+    Update(UpdateCommand),
+    Stats,
+    Shutdown,
+}
+
+/// Parses one request line. Returns a human-readable error for malformed
+/// input (rendered as an `ERR` line; the connection stays open).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let command = words.next().ok_or("empty request")?;
+    match command.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            let client = words.next().ok_or("usage: QUERY <client> <provider>")?;
+            let provider = words.next().ok_or("usage: QUERY <client> <provider>")?;
+            expect_end(words, "QUERY")?;
+            Ok(Request::Query {
+                client: client.to_string(),
+                provider: provider.to_string(),
+            })
+        }
+        "BATCH" => {
+            let mut pairs = Vec::new();
+            for word in words {
+                let (client, provider) = word
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed pair `{word}` (want client:provider)"))?;
+                if client.is_empty() || provider.is_empty() {
+                    return Err(format!("malformed pair `{word}` (want client:provider)"));
+                }
+                pairs.push((client.to_string(), provider.to_string()));
+            }
+            if pairs.is_empty() {
+                return Err("usage: BATCH <client>:<provider> [...]".to_string());
+            }
+            Ok(Request::Batch { pairs })
+        }
+        "UPDATE" => parse_update(words).map(Request::Update),
+        "STATS" => {
+            expect_end(words, "STATS")?;
+            Ok(Request::Stats)
+        }
+        "SHUTDOWN" => {
+            expect_end(words, "SHUTDOWN")?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(format!(
+            "unknown command `{other}` (try QUERY, BATCH, UPDATE, STATS, SHUTDOWN)"
+        )),
+    }
+}
+
+fn parse_update<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<UpdateCommand, String> {
+    let kind = words
+        .next()
+        .ok_or("usage: UPDATE CONNECT|DISCONNECT|SERVICE ...")?;
+    match kind.to_ascii_uppercase().as_str() {
+        "CONNECT" => {
+            let a = words.next().ok_or("usage: UPDATE CONNECT <a> <b>")?;
+            let b = words.next().ok_or("usage: UPDATE CONNECT <a> <b>")?;
+            expect_end(words, "UPDATE CONNECT")?;
+            Ok(UpdateCommand::Connect {
+                a: a.to_string(),
+                b: b.to_string(),
+            })
+        }
+        "DISCONNECT" => {
+            let a = words.next().ok_or("usage: UPDATE DISCONNECT <a> <b>")?;
+            let b = words.next().ok_or("usage: UPDATE DISCONNECT <a> <b>")?;
+            expect_end(words, "UPDATE DISCONNECT")?;
+            Ok(UpdateCommand::Disconnect {
+                a: a.to_string(),
+                b: b.to_string(),
+            })
+        }
+        "SERVICE" => {
+            let name = words
+                .next()
+                .ok_or("usage: UPDATE SERVICE <name> <atomic> [...]")?;
+            let atomics: Vec<&str> = words.collect();
+            if atomics.is_empty() {
+                return Err("usage: UPDATE SERVICE <name> <atomic> [...]".to_string());
+            }
+            let service = CompositeService::sequential(name, &atomics)
+                .map_err(|e| format!("invalid service: {e}"))?;
+            Ok(UpdateCommand::SubstituteService { service })
+        }
+        other => Err(format!(
+            "unknown update `{other}` (try CONNECT, DISCONNECT, SERVICE)"
+        )),
+    }
+}
+
+fn expect_end<'a>(mut words: impl Iterator<Item = &'a str>, command: &str) -> Result<(), String> {
+    match words.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!(
+            "unexpected trailing argument `{extra}` after {command}"
+        )),
+    }
+}
+
+/// `OK query ...` — one perspective result.
+pub fn render_perspective(entry: &CachedPerspective, source: &str) -> String {
+    let paths: usize = entry.path_counts.iter().map(|(_, n)| n).sum();
+    format!(
+        "OK query client={} provider={} service={} availability={:.9} upsim={} paths={} \
+         pairs={} ratio={:.4} source={} epoch={} micros={}",
+        entry.key.client,
+        entry.key.provider,
+        entry.key.service,
+        entry.availability,
+        entry.upsim_nodes.len(),
+        paths,
+        entry.path_counts.len(),
+        entry.reduction_ratio,
+        source,
+        entry.epoch,
+        entry.eval_micros,
+    )
+}
+
+/// `OK batch ...` — aggregate line for a batch (first error wins).
+pub fn render_batch(results: &[Result<Arc<CachedPerspective>, EngineError>]) -> String {
+    if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+        return render_error(err);
+    }
+    let mut line = format!("OK batch n={}", results.len());
+    for result in results {
+        let entry = result.as_ref().expect("errors handled above");
+        line.push_str(&format!(
+            " {}:{}={:.9}",
+            entry.key.client, entry.key.provider, entry.availability
+        ));
+    }
+    line
+}
+
+/// `OK update ...`
+pub fn render_update(summary: &UpdateSummary) -> String {
+    format!(
+        "OK update kind={} epoch={} invalidated={}",
+        summary.kind, summary.epoch, summary.invalidated
+    )
+}
+
+/// `OK stats ...`
+pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
+    format!("OK stats {}", snapshot.render())
+}
+
+/// `ERR ...`
+pub fn render_error(err: &EngineError) -> String {
+    format!("ERR {err}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PerspectiveKey;
+
+    #[test]
+    fn parses_query_case_insensitively() {
+        let req = parse_request("query t1 p1").expect("parses");
+        match req {
+            Request::Query { client, provider } => {
+                assert_eq!(client, "t1");
+                assert_eq!(provider, "p1");
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_batch_pairs() {
+        let req = parse_request("BATCH t1:p1 t2:p3").expect("parses");
+        match req {
+            Request::Batch { pairs } => {
+                assert_eq!(
+                    pairs,
+                    vec![
+                        ("t1".to_string(), "p1".to_string()),
+                        ("t2".to_string(), "p3".to_string())
+                    ]
+                );
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_variants() {
+        assert!(matches!(
+            parse_request("UPDATE CONNECT a b"),
+            Ok(Request::Update(UpdateCommand::Connect { .. }))
+        ));
+        assert!(matches!(
+            parse_request("update disconnect a b"),
+            Ok(Request::Update(UpdateCommand::Disconnect { .. }))
+        ));
+        match parse_request("UPDATE SERVICE scanS a1 a2") {
+            Ok(Request::Update(UpdateCommand::SubstituteService { service })) => {
+                assert_eq!(service.name(), "scanS");
+                assert_eq!(service.atomic_services().len(), 2);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("QUERY t1").is_err());
+        assert!(parse_request("QUERY t1 p1 extra").is_err());
+        assert!(parse_request("BATCH").is_err());
+        assert!(parse_request("BATCH t1p1").is_err());
+        assert!(parse_request("BATCH :p1").is_err());
+        assert!(parse_request("UPDATE TELEPORT a b").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn renders_single_line_responses() {
+        let entry = CachedPerspective {
+            key: PerspectiveKey::new("t1", "p1", "printS"),
+            epoch: 2,
+            availability: 0.987654321,
+            upsim_nodes: vec!["t1".into(), "sw".into(), "p1".into()],
+            path_counts: vec![("print".into(), 4)],
+            reduction_ratio: 0.25,
+            eval_micros: 1234,
+        };
+        let line = render_perspective(&entry, "miss");
+        assert!(line.starts_with("OK query "));
+        assert!(line.contains("availability=0.987654321"));
+        assert!(line.contains("source=miss"));
+        assert!(!line.contains('\n'));
+
+        let batch = render_batch(&[Ok(Arc::new(entry))]);
+        assert!(batch.starts_with("OK batch n=1 "));
+        assert!(batch.contains("t1:p1=0.987654321"));
+
+        let err = render_batch(&[Err(EngineError::UnknownDevice("ghost".into()))]);
+        assert!(err.starts_with("ERR "));
+    }
+}

@@ -1,0 +1,139 @@
+//! The `std::net` TCP front-end: an accept loop plus one thread per
+//! connection, each speaking the line protocol from [`crate::protocol`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::protocol::{
+    parse_request, render_batch, render_error, render_perspective, render_stats, render_update,
+    Request,
+};
+
+/// A running TCP server wrapped around an [`Engine`].
+pub struct UpsimServer {
+    engine: Engine,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Binds `addr` and starts serving `engine` in background threads.
+///
+/// Bind to port `0` for an ephemeral port (tests); read the actual address
+/// back with [`UpsimServer::local_addr`].
+pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> std::io::Result<UpsimServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_engine = engine.clone();
+    let accept_stop = Arc::clone(&stop);
+    let accept_handle = std::thread::spawn(move || {
+        accept_loop(listener, accept_engine, accept_stop);
+    });
+    Ok(UpsimServer {
+        engine,
+        local_addr,
+        accept_handle: Some(accept_handle),
+        stop,
+    })
+}
+
+impl UpsimServer {
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served engine (shares cache/metrics with remote clients).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// `true` once a `SHUTDOWN` request has been accepted.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the accept loop exits (after a `SHUTDOWN` request).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the accept loop and the engine from the host process (the
+    /// local counterpart of a remote `SHUTDOWN`).
+    pub fn stop(&self) {
+        request_stop(&self.stop, self.local_addr);
+        self.engine.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Engine, stop: Arc<AtomicBool>) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let engine = engine.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, engine, stop);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: Engine,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let peer_local = stream.local_addr()?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(msg) => format!("ERR {msg}"),
+            Ok(Request::Query { client, provider }) => {
+                match engine.query_traced(&client, &provider) {
+                    Ok((entry, hit)) => {
+                        render_perspective(&entry, if hit { "hit" } else { "miss" })
+                    }
+                    Err(err) => render_error(&err),
+                }
+            }
+            Ok(Request::Batch { pairs }) => render_batch(&engine.batch(&pairs)),
+            Ok(Request::Update(command)) => match engine.update(command) {
+                Ok(summary) => render_update(&summary),
+                Err(err) => render_error(&err),
+            },
+            Ok(Request::Stats) => render_stats(&engine.stats()),
+            Ok(Request::Shutdown) => {
+                writer.write_all(b"OK shutdown\n")?;
+                writer.flush()?;
+                engine.shutdown();
+                request_stop(&stop, peer_local);
+                return Ok(());
+            }
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Sets the stop flag and pokes the accept loop with a dummy connection so
+/// `listener.incoming()` returns and observes the flag.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+}

@@ -1,0 +1,93 @@
+//! Immutable model snapshots and perspective mappers.
+//!
+//! The engine never mutates a published snapshot: an `UPDATE` builds a new
+//! [`ModelSnapshot`] with a bumped epoch and atomically swaps it in, so
+//! in-flight evaluations keep a consistent view of infrastructure +
+//! service and the epoch tells every worker when its warm pipeline is
+//! stale.
+
+use std::sync::Arc;
+use upsim_core::error::UpsimResult;
+use upsim_core::infrastructure::Infrastructure;
+use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
+use upsim_core::service::CompositeService;
+
+/// Derives the service mapping of one perspective from the loaded service
+/// and a `(client, provider)` pair.
+///
+/// The paper keeps one network model and one service model fixed and
+/// varies only the mapping per user perspective (Sec. VI-H, E15); the
+/// mapper is that variation as a function. `upsim-cli serve` installs a
+/// USI printing mapper; [`pingpong_mapper`] is the generic default.
+pub type PerspectiveMapper =
+    Arc<dyn Fn(&CompositeService, &str, &str) -> ServiceMapping + Send + Sync>;
+
+/// The generic Table-I-shaped mapper: consecutive atomic services
+/// ping-pong between the client and the provider (request/response
+/// alternation).
+pub fn pingpong_mapper() -> PerspectiveMapper {
+    Arc::new(|service, client, provider| {
+        let mut mapping = ServiceMapping::new();
+        for (i, atomic) in service.atomic_services().into_iter().enumerate() {
+            let (rq, pr) = if i % 2 == 0 {
+                (client, provider)
+            } else {
+                (provider, client)
+            };
+            mapping.add(ServiceMappingPair::new(atomic, rq, pr));
+        }
+        mapping
+    })
+}
+
+/// One immutable generation of the engine's model state.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    pub infrastructure: Infrastructure,
+    pub service: CompositeService,
+    /// Generation counter; bumped by every published update.
+    pub epoch: u64,
+}
+
+impl ModelSnapshot {
+    /// Validates and wraps the initial (epoch 0) model state.
+    pub fn new(infrastructure: Infrastructure, service: CompositeService) -> UpsimResult<Self> {
+        infrastructure.validate()?;
+        Ok(ModelSnapshot {
+            infrastructure,
+            service,
+            epoch: 0,
+        })
+    }
+
+    /// The loaded composite service's name (part of every cache key).
+    pub fn service_name(&self) -> &str {
+        self.service.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pingpong_alternates_directions() {
+        let service =
+            CompositeService::sequential("svc", &["a0", "a1", "a2"]).expect("well-formed");
+        let mapping = (pingpong_mapper())(&service, "c", "s");
+        let pairs = mapping.pairs();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(
+            (pairs[0].requester.as_str(), pairs[0].provider.as_str()),
+            ("c", "s")
+        );
+        assert_eq!(
+            (pairs[1].requester.as_str(), pairs[1].provider.as_str()),
+            ("s", "c")
+        );
+        assert_eq!(
+            (pairs[2].requester.as_str(), pairs[2].provider.as_str()),
+            ("c", "s")
+        );
+    }
+}

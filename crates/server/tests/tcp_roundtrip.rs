@@ -1,0 +1,120 @@
+//! End-to-end protocol test: a real TCP client against a served engine on
+//! an ephemeral port.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+use upsim_server::{serve, Engine, EngineConfig, ModelSnapshot};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim_end().to_string()
+    }
+}
+
+#[test]
+fn tcp_protocol_round_trip() {
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    let config = EngineConfig {
+        workers: 2,
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(snapshot, config);
+    let server = serve(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr);
+
+    // Cold query: computed.
+    let first = client.request("QUERY t1 p1");
+    assert!(
+        first.starts_with("OK query "),
+        "unexpected response: {first}"
+    );
+    assert!(first.contains("source=miss"));
+    assert!(first.contains("client=t1"));
+
+    // Same query again: served from the perspective cache.
+    let second = client.request("QUERY t1 p1");
+    assert!(
+        second.contains("source=hit"),
+        "unexpected response: {second}"
+    );
+
+    // Batch across printers, single-line aggregate.
+    let batch = client.request("BATCH t1:p1 t2:p2 t3:p3");
+    assert!(
+        batch.starts_with("OK batch n=3 "),
+        "unexpected response: {batch}"
+    );
+
+    // STATS reflects the hits above.
+    let stats = client.request("STATS");
+    assert!(
+        stats.starts_with("OK stats "),
+        "unexpected response: {stats}"
+    );
+    assert!(
+        !stats.contains("cache_hits=0 "),
+        "expected hits in: {stats}"
+    );
+
+    // An update bumps the epoch; the previously cached perspective that
+    // used the link is recomputed.
+    let update = client.request("UPDATE DISCONNECT d1 c2");
+    assert!(
+        update.starts_with("OK update kind=disconnect epoch=1"),
+        "unexpected: {update}"
+    );
+    let after = client.request("QUERY t1 p1");
+    assert!(
+        after.contains("source=miss"),
+        "expected recomputation: {after}"
+    );
+    assert!(after.contains("epoch=1"));
+
+    // Malformed input keeps the connection alive.
+    let err = client.request("FROBNICATE");
+    assert!(err.starts_with("ERR "), "unexpected response: {err}");
+    let still_alive = client.request("QUERY t1 p1");
+    assert!(
+        still_alive.starts_with("OK query "),
+        "unexpected response: {still_alive}"
+    );
+
+    // A second concurrent connection sees the same engine.
+    let mut other = Client::connect(addr);
+    let shared_view = other.request("QUERY t1 p1");
+    assert!(
+        shared_view.contains("source=hit"),
+        "unexpected response: {shared_view}"
+    );
+
+    // SHUTDOWN stops the engine and the accept loop.
+    let bye = client.request("SHUTDOWN");
+    assert_eq!(bye, "OK shutdown");
+    server.join();
+}

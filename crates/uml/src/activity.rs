@@ -51,7 +51,11 @@ pub struct Activity {
 impl Activity {
     /// Creates an empty activity.
     pub fn new(name: impl Into<String>) -> Self {
-        Activity { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+        Activity {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Convenience: builds the common purely sequential composite service
@@ -115,7 +119,10 @@ impl Activity {
     }
 
     fn out_edges(&self, id: ActivityNodeId) -> impl Iterator<Item = ActivityNodeId> + '_ {
-        self.edges.iter().filter(move |(f, _)| *f == id).map(|(_, t)| *t)
+        self.edges
+            .iter()
+            .filter(move |(f, _)| *f == id)
+            .map(|(_, t)| *t)
     }
 
     fn in_degree(&self, id: ActivityNodeId) -> usize {
@@ -130,8 +137,10 @@ impl Activity {
     pub fn topological_order(&self) -> ModelResult<Vec<ActivityNodeId>> {
         let n = self.nodes.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(ActivityNodeId(i))).collect();
-        let mut queue: Vec<ActivityNodeId> =
-            (0..n).map(ActivityNodeId).filter(|&i| indeg[i.0] == 0).collect();
+        let mut queue: Vec<ActivityNodeId> = (0..n)
+            .map(ActivityNodeId)
+            .filter(|&i| indeg[i.0] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(node) = queue.pop() {
             order.push(node);
@@ -197,10 +206,9 @@ impl Activity {
         for &node in order.iter().rev() {
             for next in self.out_edges(node) {
                 reach[node.0][next.0] = true;
-                for k in 0..n {
-                    if reach[next.0][k] {
-                        reach[node.0][k] = true;
-                    }
+                let next_row = reach[next.0].clone();
+                for (dst, via_next) in reach[node.0].iter_mut().zip(next_row) {
+                    *dst |= via_next;
                 }
             }
         }
@@ -238,7 +246,10 @@ impl Activity {
             .filter(|&i| matches!(self.nodes[i.0], NodeKind::Initial))
             .collect();
         if initials.len() != 1 {
-            return Err(wf("single-initial", format!("found {} initial nodes", initials.len())));
+            return Err(wf(
+                "single-initial",
+                format!("found {} initial nodes", initials.len()),
+            ));
         }
         let finals: Vec<_> = self
             .node_ids()
@@ -257,7 +268,10 @@ impl Activity {
                         return Err(wf("initial-no-incoming", format!("{ind} incoming edges")));
                     }
                     if outd != 1 {
-                        return Err(wf("initial-single-outgoing", format!("{outd} outgoing edges")));
+                        return Err(wf(
+                            "initial-single-outgoing",
+                            format!("{outd} outgoing edges"),
+                        ));
                     }
                 }
                 NodeKind::Final => {
@@ -287,7 +301,9 @@ impl Activity {
                     if ind != 1 || outd < 2 {
                         return Err(wf(
                             "fork-shape",
-                            format!("fork must have in-degree 1 and out-degree ≥ 2 (got {ind}/{outd})"),
+                            format!(
+                                "fork must have in-degree 1 and out-degree ≥ 2 (got {ind}/{outd})"
+                            ),
                         ));
                     }
                 }
@@ -295,7 +311,9 @@ impl Activity {
                     if ind < 2 || outd != 1 {
                         return Err(wf(
                             "join-shape",
-                            format!("join must have in-degree ≥ 2 and out-degree 1 (got {ind}/{outd})"),
+                            format!(
+                                "join must have in-degree ≥ 2 and out-degree 1 (got {ind}/{outd})"
+                            ),
                         ));
                     }
                 }
@@ -319,7 +337,10 @@ impl Activity {
         if let Some(i) = reached.iter().position(|r| !r) {
             return Err(wf(
                 "all-reachable",
-                format!("node {:?} ({:?}) unreachable from initial", i, self.nodes[i]),
+                format!(
+                    "node {:?} ({:?}) unreachable from initial",
+                    i, self.nodes[i]
+                ),
             ));
         }
         Ok(())
@@ -335,7 +356,13 @@ mod tests {
     fn printing_service() -> Activity {
         Activity::sequence(
             "printing",
-            &["Request printing", "Login to printer", "Send document list", "Select documents", "Send documents"],
+            &[
+                "Request printing",
+                "Login to printer",
+                "Send document list",
+                "Select documents",
+                "Send documents",
+            ],
         )
     }
 
@@ -392,7 +419,10 @@ mod tests {
         let pairs = a.concurrent_action_pairs().unwrap();
         assert_eq!(
             pairs,
-            vec![("Atomic Service 2".to_string(), "Atomic Service 3".to_string())]
+            vec![(
+                "Atomic Service 2".to_string(),
+                "Atomic Service 3".to_string()
+            )]
         );
         assert!(!a.is_sequential().unwrap());
     }
@@ -437,7 +467,10 @@ mod tests {
         a.add_node(NodeKind::Initial);
         assert!(matches!(
             a.validate(),
-            Err(ModelError::WellFormedness { rule: "single-initial", .. })
+            Err(ModelError::WellFormedness {
+                rule: "single-initial",
+                ..
+            })
         ));
     }
 
@@ -447,7 +480,13 @@ mod tests {
         let i = a.add_node(NodeKind::Initial);
         let act = a.add_node(NodeKind::Action("a".into()));
         a.connect(i, act);
-        assert!(matches!(a.validate(), Err(ModelError::WellFormedness { rule: "has-final", .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(ModelError::WellFormedness {
+                rule: "has-final",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -463,7 +502,10 @@ mod tests {
         a.connect(act, f2);
         assert!(matches!(
             a.validate(),
-            Err(ModelError::WellFormedness { rule: "no-decision-nodes", .. })
+            Err(ModelError::WellFormedness {
+                rule: "no-decision-nodes",
+                ..
+            })
         ));
     }
 
@@ -498,7 +540,13 @@ mod tests {
         let fin = a.add_node(NodeKind::Final);
         a.connect(i, fork);
         a.connect(fork, fin); // out-degree 1: not a real fork
-        assert!(matches!(a.validate(), Err(ModelError::WellFormedness { rule: "fork-shape", .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(ModelError::WellFormedness {
+                rule: "fork-shape",
+                ..
+            })
+        ));
     }
 
     #[test]

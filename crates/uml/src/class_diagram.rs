@@ -28,7 +28,12 @@ pub struct Class {
 impl Class {
     /// Creates a concrete class with no attributes.
     pub fn new(name: impl Into<String>) -> Self {
-        Class { name: name.into(), is_abstract: false, attributes: Vec::new(), applied: Vec::new() }
+        Class {
+            name: name.into(),
+            is_abstract: false,
+            attributes: Vec::new(),
+            applied: Vec::new(),
+        }
     }
 
     /// Looks up an attribute value: own attributes first, then applied
@@ -74,7 +79,11 @@ pub struct Association {
 
 impl Association {
     /// Creates an association with `*`/`*` multiplicities.
-    pub fn new(name: impl Into<String>, end_a: impl Into<String>, end_b: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        end_a: impl Into<String>,
+        end_b: impl Into<String>,
+    ) -> Self {
         Association {
             name: name.into(),
             end_a: end_a.into(),
@@ -118,13 +127,20 @@ pub struct ClassDiagram {
 impl ClassDiagram {
     /// Creates an empty diagram.
     pub fn new(name: impl Into<String>) -> Self {
-        ClassDiagram { name: name.into(), classes: Vec::new(), associations: Vec::new() }
+        ClassDiagram {
+            name: name.into(),
+            classes: Vec::new(),
+            associations: Vec::new(),
+        }
     }
 
     /// Adds a class, enforcing unique names.
     pub fn add_class(&mut self, class: Class) -> ModelResult<()> {
         if self.class(&class.name).is_some() {
-            return Err(ModelError::DuplicateName { kind: "class", name: class.name });
+            return Err(ModelError::DuplicateName {
+                kind: "class",
+                name: class.name,
+            });
         }
         self.classes.push(class);
         Ok(())
@@ -133,11 +149,17 @@ impl ClassDiagram {
     /// Adds an association, enforcing unique names and resolvable ends.
     pub fn add_association(&mut self, assoc: Association) -> ModelResult<()> {
         if self.association(&assoc.name).is_some() {
-            return Err(ModelError::DuplicateName { kind: "association", name: assoc.name });
+            return Err(ModelError::DuplicateName {
+                kind: "association",
+                name: assoc.name,
+            });
         }
         for end in [&assoc.end_a, &assoc.end_b] {
             if self.class(end).is_none() {
-                return Err(ModelError::UnknownElement { kind: "class", name: end.clone() });
+                return Err(ModelError::UnknownElement {
+                    kind: "class",
+                    name: end.clone(),
+                });
             }
         }
         self.associations.push(assoc);
@@ -166,7 +188,10 @@ impl ClassDiagram {
 
     /// All associations that can connect the two classes.
     pub fn associations_between(&self, class_a: &str, class_b: &str) -> Vec<&Association> {
-        self.associations.iter().filter(|a| a.connects(class_a, class_b)).collect()
+        self.associations
+            .iter()
+            .filter(|a| a.connects(class_a, class_b))
+            .collect()
     }
 
     /// Applies a stereotype from `profile` to the class `class_name`,
@@ -181,10 +206,12 @@ impl ClassDiagram {
         values: &[(String, Value)],
     ) -> ModelResult<()> {
         let resolved = profile.check_application(stereotype, Metaclass::Class, values)?;
-        let class = self.class_mut(class_name).ok_or_else(|| ModelError::UnknownElement {
-            kind: "class",
-            name: class_name.to_string(),
-        })?;
+        let class = self
+            .class_mut(class_name)
+            .ok_or_else(|| ModelError::UnknownElement {
+                kind: "class",
+                name: class_name.to_string(),
+            })?;
         class.applied.push(StereotypeApplication {
             profile: profile.name.clone(),
             stereotype: stereotype.to_string(),
@@ -202,10 +229,12 @@ impl ClassDiagram {
         values: &[(String, Value)],
     ) -> ModelResult<()> {
         let resolved = profile.check_application(stereotype, Metaclass::Association, values)?;
-        let assoc = self.association_mut(assoc_name).ok_or_else(|| ModelError::UnknownElement {
-            kind: "association",
-            name: assoc_name.to_string(),
-        })?;
+        let assoc = self
+            .association_mut(assoc_name)
+            .ok_or_else(|| ModelError::UnknownElement {
+                kind: "association",
+                name: assoc_name.to_string(),
+            })?;
         assoc.applied.push(StereotypeApplication {
             profile: profile.name.clone(),
             stereotype: stereotype.to_string(),
@@ -232,7 +261,8 @@ mod tests {
         let mut d = ClassDiagram::new("usi-classes");
         d.add_class(Class::new("C6500")).unwrap();
         d.add_class(Class::new("Comp")).unwrap();
-        d.add_association(Association::new("comp-c6500", "Comp", "C6500")).unwrap();
+        d.add_association(Association::new("comp-c6500", "Comp", "C6500"))
+            .unwrap();
         d
     }
 
@@ -268,8 +298,13 @@ mod tests {
     fn stereotype_application_stores_resolved_values() {
         let p = sample_profile();
         let mut d = sample_diagram();
-        d.apply_to_class(&p, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
-            .unwrap();
+        d.apply_to_class(
+            &p,
+            "C6500",
+            "Device",
+            &[("MTBF".into(), Value::Real(183498.0))],
+        )
+        .unwrap();
         let c = d.class("C6500").unwrap();
         assert!(c.has_stereotype("Device"));
         assert_eq!(c.value("MTBF"), Some(&Value::Real(183498.0)));
@@ -291,7 +326,12 @@ mod tests {
         let p = sample_profile();
         let mut d = sample_diagram();
         let err = d
-            .apply_to_association(&p, "comp-c6500", "Device", &[("MTBF".into(), Value::Real(1.0))])
+            .apply_to_association(
+                &p,
+                "comp-c6500",
+                "Device",
+                &[("MTBF".into(), Value::Real(1.0))],
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::MetaclassMismatch { .. }));
     }
@@ -300,8 +340,20 @@ mod tests {
     fn own_attributes_shadow_stereotype_values() {
         let p = sample_profile();
         let mut d = sample_diagram();
-        d.apply_to_class(&p, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))]).unwrap();
-        d.class_mut("Comp").unwrap().attributes.push(("MTBF".into(), Value::Real(99.0)));
-        assert_eq!(d.class("Comp").unwrap().value("MTBF"), Some(&Value::Real(99.0)));
+        d.apply_to_class(
+            &p,
+            "Comp",
+            "Device",
+            &[("MTBF".into(), Value::Real(3000.0))],
+        )
+        .unwrap();
+        d.class_mut("Comp")
+            .unwrap()
+            .attributes
+            .push(("MTBF".into(), Value::Real(99.0)));
+        assert_eq!(
+            d.class("Comp").unwrap().value("MTBF"),
+            Some(&Value::Real(99.0))
+        );
     }
 }

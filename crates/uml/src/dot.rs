@@ -6,7 +6,9 @@ use crate::class_diagram::ClassDiagram;
 use crate::object_diagram::ObjectDiagram;
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Renders a class diagram (Fig. 8-style): one record node per class with
@@ -37,14 +39,17 @@ pub fn class_diagram_dot(diagram: &ClassDiagram) -> String {
         };
         out.push_str(&format!(
             "  c{i} [label=\"{{{}|{}}}\"];\n",
-            escape(&header).replace('<', "").replace('>', ""),
+            escape(&header).replace(['<', '>'], ""),
             escape(&attrs.join("\\n"))
         ));
     }
     let index_of = |name: &str| diagram.classes.iter().position(|c| c.name == name);
     for assoc in &diagram.associations {
         if let (Some(a), Some(b)) = (index_of(&assoc.end_a), index_of(&assoc.end_b)) {
-            out.push_str(&format!("  c{a} -- c{b} [label=\"{}\"];\n", escape(&assoc.name)));
+            out.push_str(&format!(
+                "  c{a} -- c{b} [label=\"{}\"];\n",
+                escape(&assoc.name)
+            ));
         }
     }
     out.push_str("}\n");
@@ -57,7 +62,10 @@ pub fn object_diagram_dot(diagram: &ObjectDiagram) -> String {
     let mut out = format!("graph \"{}\" {{\n", escape(&diagram.name));
     out.push_str("  node [shape=box, fontsize=10];\n");
     for (i, inst) in diagram.instances.iter().enumerate() {
-        out.push_str(&format!("  i{i} [label=\"{}\"];\n", escape(&inst.signature())));
+        out.push_str(&format!(
+            "  i{i} [label=\"{}\"];\n",
+            escape(&inst.signature())
+        ));
     }
     let index_of = |name: &str| diagram.instances.iter().position(|x| x.name == name);
     for link in &diagram.links {
@@ -84,7 +92,10 @@ pub fn activity_dot(activity: &Activity) -> String {
                 out.push_str(&format!("  n{i} [shape=doublecircle, style=filled, fillcolor=black, label=\"\", width=0.12];\n"));
             }
             NodeKind::Action(name) => {
-                out.push_str(&format!("  n{i} [shape=box, style=rounded, label=\"{}\"];\n", escape(name)));
+                out.push_str(&format!(
+                    "  n{i} [shape=box, style=rounded, label=\"{}\"];\n",
+                    escape(name)
+                ));
             }
             NodeKind::Fork | NodeKind::Join => {
                 out.push_str(&format!("  n{i} [shape=box, style=filled, fillcolor=black, label=\"\", height=0.08, width=0.6];\n"));
@@ -115,20 +126,31 @@ mod tests {
         let mut d = ClassDiagram::new("fig8");
         d.add_class(Class::new("C6500")).unwrap();
         d.add_class(Class::new("Comp")).unwrap();
-        d.apply_to_class(&profile, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
+        d.apply_to_class(
+            &profile,
+            "C6500",
+            "Device",
+            &[("MTBF".into(), Value::Real(183498.0))],
+        )
+        .unwrap();
+        d.add_association(Association::new("l", "Comp", "C6500"))
             .unwrap();
-        d.add_association(Association::new("l", "Comp", "C6500")).unwrap();
         let dot = class_diagram_dot(&d);
         assert!(dot.contains("Device"));
         assert!(dot.contains("MTBF=183498"));
-        assert!(dot.contains("c1 -- c0") || dot.contains("c0 -- c1"), "{dot}");
+        assert!(
+            dot.contains("c1 -- c0") || dot.contains("c0 -- c1"),
+            "{dot}"
+        );
     }
 
     #[test]
     fn object_diagram_dot_uses_signatures() {
         let mut o = ObjectDiagram::new("fig9");
-        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        o.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        o.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        o.add_instance(InstanceSpecification::new("e1", "HP2650"))
+            .unwrap();
         o.add_link(Link::new("l", "t1", "e1")).unwrap();
         let dot = object_diagram_dot(&o);
         assert!(dot.contains("t1:Comp"));

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_descriptive() {
-        let err = ModelError::UnknownElement { kind: "class", name: "C6500".into() };
+        let err = ModelError::UnknownElement {
+            kind: "class",
+            name: "C6500".into(),
+        };
         assert_eq!(err.to_string(), "unknown class 'C6500'");
         let err = ModelError::MetaclassMismatch {
             stereotype: "Device".into(),

@@ -20,7 +20,10 @@ pub struct Multiplicity {
 
 impl Multiplicity {
     /// The `*` multiplicity (0..unbounded).
-    pub const ANY: Multiplicity = Multiplicity { lower: 0, upper: None };
+    pub const ANY: Multiplicity = Multiplicity {
+        lower: 0,
+        upper: None,
+    };
 
     /// Parses UML notation: `"*"`, `"3"`, `"0..1"`, `"1..*"`, `"2..5"`.
     pub fn parse(text: &str) -> ModelResult<Multiplicity> {
@@ -49,7 +52,10 @@ impl Multiplicity {
             return Ok(Multiplicity { lower, upper });
         }
         let exact: u32 = text.parse().map_err(|_| invalid())?;
-        Ok(Multiplicity { lower: exact, upper: Some(exact) })
+        Ok(Multiplicity {
+            lower: exact,
+            upper: Some(exact),
+        })
     }
 
     /// `true` if a link count satisfies this multiplicity.
@@ -126,7 +132,13 @@ mod tests {
             let m = Multiplicity::parse(text).unwrap();
             assert_eq!(m.to_string(), text);
         }
-        assert_eq!(Multiplicity::parse(" 0 .. 1 ").unwrap(), Multiplicity { lower: 0, upper: Some(1) });
+        assert_eq!(
+            Multiplicity::parse(" 0 .. 1 ").unwrap(),
+            Multiplicity {
+                lower: 0,
+                upper: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -157,9 +169,15 @@ mod tests {
         classes.add_association(assoc).unwrap();
 
         let mut objects = ObjectDiagram::new("o");
-        objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        objects.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
-        objects.add_instance(InstanceSpecification::new("sw", "Switch")).unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("t2", "Comp"))
+            .unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("sw", "Switch"))
+            .unwrap();
         objects.add_link(Link::new("uplink", "t1", "sw")).unwrap();
         (classes, objects)
     }
@@ -182,7 +200,9 @@ mod tests {
     #[test]
     fn excess_links_reported() {
         let (classes, mut objects) = model("0..1");
-        objects.add_instance(InstanceSpecification::new("sw2", "Switch")).unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("sw2", "Switch"))
+            .unwrap();
         objects.add_link(Link::new("uplink", "t1", "sw2")).unwrap();
         let violations = check_multiplicities(&classes, &objects).unwrap();
         assert_eq!(violations.len(), 1);
@@ -193,8 +213,12 @@ mod tests {
     fn star_ends_never_violate() {
         let (classes, mut objects) = model("*");
         for i in 0..5 {
-            objects.add_instance(InstanceSpecification::new(format!("x{i}"), "Switch")).unwrap();
-            objects.add_link(Link::new("uplink", "t1", format!("x{i}"))).unwrap();
+            objects
+                .add_instance(InstanceSpecification::new(format!("x{i}"), "Switch"))
+                .unwrap();
+            objects
+                .add_link(Link::new("uplink", "t1", format!("x{i}")))
+                .unwrap();
         }
         assert!(check_multiplicities(&classes, &objects).unwrap().is_empty());
     }

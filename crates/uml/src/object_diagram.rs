@@ -28,7 +28,10 @@ pub struct InstanceSpecification {
 impl InstanceSpecification {
     /// Creates an instance of `class` named `name`.
     pub fn new(name: impl Into<String>, class: impl Into<String>) -> Self {
-        InstanceSpecification { name: name.into(), class: class.into() }
+        InstanceSpecification {
+            name: name.into(),
+            class: class.into(),
+        }
     }
 
     /// The UML rendering `name:Class` used in the paper's figures.
@@ -55,7 +58,11 @@ impl Link {
         end_a: impl Into<String>,
         end_b: impl Into<String>,
     ) -> Self {
-        Link { association: association.into(), end_a: end_a.into(), end_b: end_b.into() }
+        Link {
+            association: association.into(),
+            end_a: end_a.into(),
+            end_b: end_b.into(),
+        }
     }
 }
 
@@ -74,13 +81,20 @@ pub struct ObjectDiagram {
 impl ObjectDiagram {
     /// Creates an empty diagram.
     pub fn new(name: impl Into<String>) -> Self {
-        ObjectDiagram { name: name.into(), instances: Vec::new(), links: Vec::new() }
+        ObjectDiagram {
+            name: name.into(),
+            instances: Vec::new(),
+            links: Vec::new(),
+        }
     }
 
     /// Adds an instance, enforcing unique names.
     pub fn add_instance(&mut self, instance: InstanceSpecification) -> ModelResult<()> {
         if self.instance(&instance.name).is_some() {
-            return Err(ModelError::DuplicateName { kind: "instance", name: instance.name });
+            return Err(ModelError::DuplicateName {
+                kind: "instance",
+                name: instance.name,
+            });
         }
         self.instances.push(instance);
         Ok(())
@@ -90,7 +104,10 @@ impl ObjectDiagram {
     pub fn add_link(&mut self, link: Link) -> ModelResult<()> {
         for end in [&link.end_a, &link.end_b] {
             if self.instance(end).is_none() {
-                return Err(ModelError::UnknownElement { kind: "instance", name: end.clone() });
+                return Err(ModelError::UnknownElement {
+                    kind: "instance",
+                    name: end.clone(),
+                });
             }
         }
         self.links.push(link);
@@ -116,7 +133,10 @@ impl ObjectDiagram {
 
     /// All links incident to an instance.
     pub fn links_of(&self, instance: &str) -> Vec<&Link> {
-        self.links.iter().filter(|l| l.end_a == instance || l.end_b == instance).collect()
+        self.links
+            .iter()
+            .filter(|l| l.end_a == instance || l.end_b == instance)
+            .collect()
     }
 
     /// Validates this diagram against its class diagram:
@@ -129,35 +149,53 @@ impl ObjectDiagram {
     ///    re-checked for diagrams built by deserialization.
     pub fn validate(&self, classes: &ClassDiagram) -> ModelResult<()> {
         for inst in &self.instances {
-            let class = classes.class(&inst.class).ok_or_else(|| ModelError::UnknownElement {
-                kind: "class",
-                name: inst.class.clone(),
-            })?;
+            let class = classes
+                .class(&inst.class)
+                .ok_or_else(|| ModelError::UnknownElement {
+                    kind: "class",
+                    name: inst.class.clone(),
+                })?;
             if class.is_abstract {
                 return Err(ModelError::WellFormedness {
                     rule: "no-abstract-instances",
-                    details: format!("instance '{}' instantiates abstract class '{}'", inst.name, class.name),
+                    details: format!(
+                        "instance '{}' instantiates abstract class '{}'",
+                        inst.name, class.name
+                    ),
                 });
             }
         }
         for link in &self.links {
             let assoc = classes.association(&link.association).ok_or_else(|| {
-                ModelError::UnknownElement { kind: "association", name: link.association.clone() }
+                ModelError::UnknownElement {
+                    kind: "association",
+                    name: link.association.clone(),
+                }
             })?;
-            let a = self.instance(&link.end_a).ok_or_else(|| ModelError::UnknownElement {
-                kind: "instance",
-                name: link.end_a.clone(),
-            })?;
-            let b = self.instance(&link.end_b).ok_or_else(|| ModelError::UnknownElement {
-                kind: "instance",
-                name: link.end_b.clone(),
-            })?;
+            let a = self
+                .instance(&link.end_a)
+                .ok_or_else(|| ModelError::UnknownElement {
+                    kind: "instance",
+                    name: link.end_a.clone(),
+                })?;
+            let b = self
+                .instance(&link.end_b)
+                .ok_or_else(|| ModelError::UnknownElement {
+                    kind: "instance",
+                    name: link.end_b.clone(),
+                })?;
             if !assoc.connects(&a.class, &b.class) {
                 return Err(ModelError::WellFormedness {
                     rule: "link-conforms-to-association",
                     details: format!(
                         "link {}--{} instantiates '{}' which connects {}--{}, not {}--{}",
-                        link.end_a, link.end_b, assoc.name, assoc.end_a, assoc.end_b, a.class, b.class
+                        link.end_a,
+                        link.end_b,
+                        assoc.name,
+                        assoc.end_a,
+                        assoc.end_b,
+                        a.class,
+                        b.class
                     ),
                 });
             }
@@ -169,9 +207,10 @@ impl ObjectDiagram {
     /// (by signature) and every link also occurs there. This is the UPSIM ⊆
     /// infrastructure property of Definition 2.
     pub fn is_subdiagram_of(&self, other: &ObjectDiagram) -> bool {
-        let inst_ok = self.instances.iter().all(|i| {
-            other.instance(&i.name).is_some_and(|o| o.class == i.class)
-        });
+        let inst_ok = self
+            .instances
+            .iter()
+            .all(|i| other.instance(&i.name).is_some_and(|o| o.class == i.class));
         let link_ok = self.links.iter().all(|l| {
             other.links.iter().any(|o| {
                 o.association == l.association
@@ -195,14 +234,17 @@ mod tests {
         let mut abstract_class = Class::new("Computer");
         abstract_class.is_abstract = true;
         d.add_class(abstract_class).unwrap();
-        d.add_association(Association::new("comp-hp", "Comp", "HP2650")).unwrap();
+        d.add_association(Association::new("comp-hp", "Comp", "HP2650"))
+            .unwrap();
         d
     }
 
     fn objects() -> ObjectDiagram {
         let mut o = ObjectDiagram::new("topology");
-        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        o.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        o.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        o.add_instance(InstanceSpecification::new("e1", "HP2650"))
+            .unwrap();
         o.add_link(Link::new("comp-hp", "t1", "e1")).unwrap();
         o
     }
@@ -214,7 +256,10 @@ mod tests {
 
     #[test]
     fn signature_matches_paper_notation() {
-        assert_eq!(InstanceSpecification::new("t1", "Comp").signature(), "t1:Comp");
+        assert_eq!(
+            InstanceSpecification::new("t1", "Comp").signature(),
+            "t1:Comp"
+        );
     }
 
     #[test]
@@ -239,27 +284,38 @@ mod tests {
     fn unknown_class_fails_validation() {
         let mut o = objects();
         o.instances.push(InstanceSpecification::new("x", "Ghost"));
-        assert!(matches!(o.validate(&classes()), Err(ModelError::UnknownElement { .. })));
+        assert!(matches!(
+            o.validate(&classes()),
+            Err(ModelError::UnknownElement { .. })
+        ));
     }
 
     #[test]
     fn abstract_class_cannot_be_instantiated() {
         let mut o = objects();
-        o.instances.push(InstanceSpecification::new("x", "Computer"));
+        o.instances
+            .push(InstanceSpecification::new("x", "Computer"));
         assert!(matches!(
             o.validate(&classes()),
-            Err(ModelError::WellFormedness { rule: "no-abstract-instances", .. })
+            Err(ModelError::WellFormedness {
+                rule: "no-abstract-instances",
+                ..
+            })
         ));
     }
 
     #[test]
     fn link_must_conform_to_association_ends() {
         let mut o = objects();
-        o.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
+        o.add_instance(InstanceSpecification::new("t2", "Comp"))
+            .unwrap();
         o.links.push(Link::new("comp-hp", "t1", "t2")); // Comp--Comp not allowed
         assert!(matches!(
             o.validate(&classes()),
-            Err(ModelError::WellFormedness { rule: "link-conforms-to-association", .. })
+            Err(ModelError::WellFormedness {
+                rule: "link-conforms-to-association",
+                ..
+            })
         ));
     }
 
@@ -273,9 +329,15 @@ mod tests {
     #[test]
     fn instance_values_resolve_through_class() {
         let mut c = classes();
-        c.class_mut("Comp").unwrap().attributes.push(("MTBF".into(), Value::Real(3000.0)));
+        c.class_mut("Comp")
+            .unwrap()
+            .attributes
+            .push(("MTBF".into(), Value::Real(3000.0)));
         let o = objects();
-        assert_eq!(o.instance_value(&c, "t1", "MTBF"), Some(&Value::Real(3000.0)));
+        assert_eq!(
+            o.instance_value(&c, "t1", "MTBF"),
+            Some(&Value::Real(3000.0))
+        );
         assert_eq!(o.instance_value(&c, "t1", "nope"), None);
         assert_eq!(o.instance_value(&c, "ghost", "MTBF"), None);
     }
@@ -284,9 +346,11 @@ mod tests {
     fn subdiagram_check() {
         let full = objects();
         let mut sub = ObjectDiagram::new("upsim");
-        sub.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
+        sub.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
         assert!(sub.is_subdiagram_of(&full));
-        sub.add_instance(InstanceSpecification::new("zz", "Comp")).unwrap();
+        sub.add_instance(InstanceSpecification::new("zz", "Comp"))
+            .unwrap();
         assert!(!sub.is_subdiagram_of(&full));
     }
 
@@ -294,8 +358,10 @@ mod tests {
     fn subdiagram_links_match_either_orientation() {
         let full = objects();
         let mut sub = ObjectDiagram::new("upsim");
-        sub.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        sub.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
+        sub.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        sub.add_instance(InstanceSpecification::new("e1", "HP2650"))
+            .unwrap();
         sub.add_link(Link::new("comp-hp", "e1", "t1")).unwrap();
         assert!(sub.is_subdiagram_of(&full));
     }

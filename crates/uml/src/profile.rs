@@ -93,19 +93,27 @@ pub struct Profile {
 impl Profile {
     /// Creates an empty profile.
     pub fn new(name: impl Into<String>) -> Self {
-        Profile { name: name.into(), stereotypes: Vec::new() }
+        Profile {
+            name: name.into(),
+            stereotypes: Vec::new(),
+        }
     }
 
     /// Adds a stereotype, enforcing name uniqueness and parent resolution.
     pub fn add_stereotype(&mut self, stereotype: Stereotype) -> ModelResult<()> {
         if self.stereotype(&stereotype.name).is_some() {
-            return Err(ModelError::DuplicateName { kind: "stereotype", name: stereotype.name });
+            return Err(ModelError::DuplicateName {
+                kind: "stereotype",
+                name: stereotype.name,
+            });
         }
         if let Some(parent) = &stereotype.specializes {
-            let parent_st = self.stereotype(parent).ok_or_else(|| ModelError::UnknownElement {
-                kind: "stereotype (specialization parent)",
-                name: parent.clone(),
-            })?;
+            let parent_st = self
+                .stereotype(parent)
+                .ok_or_else(|| ModelError::UnknownElement {
+                    kind: "stereotype (specialization parent)",
+                    name: parent.clone(),
+                })?;
             if parent_st.extends != stereotype.extends {
                 return Err(ModelError::WellFormedness {
                     rule: "specialization-same-metaclass",
@@ -141,10 +149,12 @@ impl Profile {
         let mut chain: Vec<&Stereotype> = Vec::new();
         let mut cursor = Some(name.to_string());
         while let Some(n) = cursor {
-            let st = self.stereotype(&n).ok_or_else(|| ModelError::UnknownElement {
-                kind: "stereotype",
-                name: n.clone(),
-            })?;
+            let st = self
+                .stereotype(&n)
+                .ok_or_else(|| ModelError::UnknownElement {
+                    kind: "stereotype",
+                    name: n.clone(),
+                })?;
             if chain.iter().any(|s| s.name == st.name) {
                 return Err(ModelError::WellFormedness {
                     rule: "acyclic-specialization",
@@ -167,10 +177,12 @@ impl Profile {
         target: Metaclass,
         values: &[(String, Value)],
     ) -> ModelResult<Vec<(String, Value)>> {
-        let st = self.stereotype(name).ok_or_else(|| ModelError::UnknownElement {
-            kind: "stereotype",
-            name: name.to_string(),
-        })?;
+        let st = self
+            .stereotype(name)
+            .ok_or_else(|| ModelError::UnknownElement {
+                kind: "stereotype",
+                name: name.to_string(),
+            })?;
         if st.is_abstract {
             return Err(ModelError::AbstractStereotype(st.name.clone()));
         }
@@ -193,7 +205,10 @@ impl Profile {
         }
         let mut out = Vec::with_capacity(declared.len());
         for attr in declared {
-            let supplied = values.iter().find(|(n, _)| n == &attr.name).map(|(_, v)| v.clone());
+            let supplied = values
+                .iter()
+                .find(|(n, _)| n == &attr.name)
+                .map(|(_, v)| v.clone());
             let value = match supplied.or_else(|| attr.default.clone()) {
                 Some(v) => {
                     if !v.conforms_to(attr.value_type) {
@@ -249,7 +264,10 @@ mod tests {
                     .abstract_()
                     .with_attribute(Attribute::new("MTBF", ValueType::Real))
                     .with_attribute(Attribute::new("MTTR", ValueType::Real))
-                    .with_attribute(Attribute::with_default("redundantComponents", Value::Integer(0))),
+                    .with_attribute(Attribute::with_default(
+                        "redundantComponents",
+                        Value::Integer(0),
+                    )),
             )
             .with_stereotype(Stereotype::new("Device", Metaclass::Class).specializing("Component"))
             .with_stereotype({
@@ -261,7 +279,10 @@ mod tests {
                 Stereotype::new("Connector", Metaclass::Association)
                     .with_attribute(Attribute::new("MTBF", ValueType::Real))
                     .with_attribute(Attribute::new("MTTR", ValueType::Real))
-                    .with_attribute(Attribute::with_default("redundantComponents", Value::Integer(0)))
+                    .with_attribute(Attribute::with_default(
+                        "redundantComponents",
+                        Value::Integer(0),
+                    ))
             })
     }
 
@@ -280,17 +301,25 @@ mod tests {
             .check_application(
                 "Device",
                 Metaclass::Class,
-                &[("MTBF".into(), Value::Real(60000.0)), ("MTTR".into(), Value::Real(0.1))],
+                &[
+                    ("MTBF".into(), Value::Real(60000.0)),
+                    ("MTTR".into(), Value::Real(0.1)),
+                ],
             )
             .unwrap();
         assert_eq!(vals.len(), 3);
-        assert_eq!(vals[2], ("redundantComponents".to_string(), Value::Integer(0)));
+        assert_eq!(
+            vals[2],
+            ("redundantComponents".to_string(), Value::Integer(0))
+        );
     }
 
     #[test]
     fn abstract_stereotype_rejected() {
         let p = availability_profile();
-        let err = p.check_application("Component", Metaclass::Class, &[]).unwrap_err();
+        let err = p
+            .check_application("Component", Metaclass::Class, &[])
+            .unwrap_err();
         assert!(matches!(err, ModelError::AbstractStereotype(_)));
     }
 
@@ -301,7 +330,10 @@ mod tests {
             .check_application(
                 "Device",
                 Metaclass::Association,
-                &[("MTBF".into(), Value::Real(1.0)), ("MTTR".into(), Value::Real(1.0))],
+                &[
+                    ("MTBF".into(), Value::Real(1.0)),
+                    ("MTTR".into(), Value::Real(1.0)),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, ModelError::MetaclassMismatch { .. }));
@@ -311,9 +343,19 @@ mod tests {
     fn missing_required_attribute_rejected() {
         let p = availability_profile();
         let err = p
-            .check_application("Device", Metaclass::Class, &[("MTBF".into(), Value::Real(1.0))])
+            .check_application(
+                "Device",
+                Metaclass::Class,
+                &[("MTBF".into(), Value::Real(1.0))],
+            )
             .unwrap_err();
-        assert!(matches!(err, ModelError::WellFormedness { rule: "required-attribute", .. }));
+        assert!(matches!(
+            err,
+            ModelError::WellFormedness {
+                rule: "required-attribute",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -323,7 +365,10 @@ mod tests {
             .check_application(
                 "Device",
                 Metaclass::Class,
-                &[("MTBF".into(), Value::from("high")), ("MTTR".into(), Value::Real(1.0))],
+                &[
+                    ("MTBF".into(), Value::from("high")),
+                    ("MTTR".into(), Value::Real(1.0)),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, ModelError::TypeMismatch { .. }));
@@ -353,7 +398,10 @@ mod tests {
             .check_application(
                 "Device",
                 Metaclass::Class,
-                &[("MTBF".into(), Value::Integer(60000)), ("MTTR".into(), Value::Real(0.1))],
+                &[
+                    ("MTBF".into(), Value::Integer(60000)),
+                    ("MTTR".into(), Value::Real(0.1)),
+                ],
             )
             .unwrap();
         assert_eq!(vals[0].1.as_real(), Some(60000.0));
@@ -362,7 +410,9 @@ mod tests {
     #[test]
     fn duplicate_stereotype_name_rejected() {
         let mut p = availability_profile();
-        let err = p.add_stereotype(Stereotype::new("Device", Metaclass::Class)).unwrap_err();
+        let err = p
+            .add_stereotype(Stereotype::new("Device", Metaclass::Class))
+            .unwrap_err();
         assert!(matches!(err, ModelError::DuplicateName { .. }));
     }
 
@@ -378,7 +428,8 @@ mod tests {
     #[test]
     fn cross_metaclass_specialization_rejected() {
         let mut p = Profile::new("x");
-        p.add_stereotype(Stereotype::new("A", Metaclass::Class)).unwrap();
+        p.add_stereotype(Stereotype::new("A", Metaclass::Class))
+            .unwrap();
         let err = p
             .add_stereotype(Stereotype::new("B", Metaclass::Association).specializing("A"))
             .unwrap_err();

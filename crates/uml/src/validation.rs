@@ -41,7 +41,10 @@ pub fn validate_model(
 ) -> Vec<Issue> {
     let mut issues = Vec::new();
     let push = |issues: &mut Vec<Issue>, location: &str, error: ModelError| {
-        issues.push(Issue { location: location.to_string(), error });
+        issues.push(Issue {
+            location: location.to_string(),
+            error,
+        });
     };
 
     if let Err(e) = objects.validate(classes) {
@@ -62,7 +65,10 @@ pub fn validate_model(
                 None => push(
                     &mut issues,
                     &classes.name,
-                    ModelError::UnknownElement { kind: "profile", name: app.profile.clone() },
+                    ModelError::UnknownElement {
+                        kind: "profile",
+                        name: app.profile.clone(),
+                    },
                 ),
                 Some(profile) => {
                     if let Err(e) = profile.check_application(
@@ -82,7 +88,10 @@ pub fn validate_model(
                 None => push(
                     &mut issues,
                     &classes.name,
-                    ModelError::UnknownElement { kind: "profile", name: app.profile.clone() },
+                    ModelError::UnknownElement {
+                        kind: "profile",
+                        name: app.profile.clone(),
+                    },
                 ),
                 Some(profile) => {
                     if let Err(e) = profile.check_application(
@@ -104,7 +113,10 @@ pub fn validate_model(
                 push(
                     &mut issues,
                     &objects.name,
-                    ModelError::WellFormedness { rule: "multiplicity", details: v },
+                    ModelError::WellFormedness {
+                        rule: "multiplicity",
+                        details: v,
+                    },
                 );
             }
         }
@@ -119,7 +131,10 @@ pub fn validate_model(
                 push(
                     &mut issues,
                     &activity.name,
-                    ModelError::DuplicateName { kind: "atomic service", name: action.to_string() },
+                    ModelError::DuplicateName {
+                        kind: "atomic service",
+                        name: action.to_string(),
+                    },
                 );
             }
         }
@@ -144,13 +159,24 @@ mod tests {
         let mut classes = ClassDiagram::new("classes");
         classes.add_class(Class::new("Comp")).unwrap();
         classes.add_class(Class::new("Server")).unwrap();
-        classes.add_association(Association::new("c-s", "Comp", "Server")).unwrap();
         classes
-            .apply_to_class(&profile, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))])
+            .add_association(Association::new("c-s", "Comp", "Server"))
+            .unwrap();
+        classes
+            .apply_to_class(
+                &profile,
+                "Comp",
+                "Device",
+                &[("MTBF".into(), Value::Real(3000.0))],
+            )
             .unwrap();
         let mut objects = ObjectDiagram::new("topology");
-        objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        objects.add_instance(InstanceSpecification::new("s1", "Server")).unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        objects
+            .add_instance(InstanceSpecification::new("s1", "Server"))
+            .unwrap();
         objects.add_link(Link::new("c-s", "t1", "s1")).unwrap();
         let activity = Activity::sequence("svc", &["authenticate", "send mail"]);
         (profile, classes, objects, activity)
@@ -167,7 +193,13 @@ mod tests {
         let (_, c, o, a) = fixture();
         let issues = validate_model(&[], &c, &o, &[&a]);
         assert_eq!(issues.len(), 1);
-        assert!(matches!(issues[0].error, ModelError::UnknownElement { kind: "profile", .. }));
+        assert!(matches!(
+            issues[0].error,
+            ModelError::UnknownElement {
+                kind: "profile",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -177,7 +209,13 @@ mod tests {
         let a2 = Activity::sequence("svc2", &["authenticate"]);
         let issues = validate_model(&[&p], &c, &o, &[&a1, &a2]);
         assert_eq!(issues.len(), 1);
-        assert!(matches!(issues[0].error, ModelError::DuplicateName { kind: "atomic service", .. }));
+        assert!(matches!(
+            issues[0].error,
+            ModelError::DuplicateName {
+                kind: "atomic service",
+                ..
+            }
+        ));
         assert!(issues[0].to_string().contains("svc2"));
     }
 
@@ -190,7 +228,10 @@ mod tests {
         assert_eq!(issues.len(), 1, "{issues:?}");
         assert!(matches!(
             issues[0].error,
-            ModelError::WellFormedness { rule: "multiplicity", .. }
+            ModelError::WellFormedness {
+                rule: "multiplicity",
+                ..
+            }
         ));
     }
 

@@ -180,7 +180,11 @@ pub struct Attribute {
 impl Attribute {
     /// Declares an attribute without a default.
     pub fn new(name: impl Into<String>, value_type: ValueType) -> Self {
-        Attribute { name: name.into(), value_type, default: None }
+        Attribute {
+            name: name.into(),
+            value_type,
+            default: None,
+        }
     }
 
     /// Declares an attribute with a default value.
@@ -190,7 +194,11 @@ impl Attribute {
     /// programming error in model construction code.
     pub fn with_default(name: impl Into<String>, value: Value) -> Self {
         let value_type = value.value_type();
-        Attribute { name: name.into(), value_type, default: Some(value) }
+        Attribute {
+            name: name.into(),
+            value_type,
+            default: Some(value),
+        }
     }
 }
 
@@ -239,7 +247,12 @@ mod tests {
 
     #[test]
     fn value_type_display_parse_roundtrip() {
-        for ty in [ValueType::String, ValueType::Real, ValueType::Integer, ValueType::Boolean] {
+        for ty in [
+            ValueType::String,
+            ValueType::Real,
+            ValueType::Integer,
+            ValueType::Boolean,
+        ] {
             assert_eq!(ValueType::parse(&ty.to_string()), Some(ty));
         }
         assert_eq!(ValueType::parse("Complex"), None);

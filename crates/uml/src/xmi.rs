@@ -92,7 +92,10 @@ pub fn profile_to_xml(profile: &Profile) -> String {
 pub fn profile_from_xml(xml: &str) -> ModelResult<Profile> {
     let doc = Document::parse(xml)?;
     if doc.root.name != "profile" {
-        return Err(ser_err(format!("expected <profile>, found <{}>", doc.root.name)));
+        return Err(ser_err(format!(
+            "expected <profile>, found <{}>",
+            doc.root.name
+        )));
     }
     let mut profile = Profile::new(doc.root.require_attr("name")?);
     for st_el in doc.root.children_named("stereotype") {
@@ -156,7 +159,10 @@ pub fn class_diagram_to_xml(diagram: &ClassDiagram) -> String {
 pub fn class_diagram_from_xml(xml: &str) -> ModelResult<ClassDiagram> {
     let doc = Document::parse(xml)?;
     if doc.root.name != "classDiagram" {
-        return Err(ser_err(format!("expected <classDiagram>, found <{}>", doc.root.name)));
+        return Err(ser_err(format!(
+            "expected <classDiagram>, found <{}>",
+            doc.root.name
+        )));
     }
     let mut diagram = ClassDiagram::new(doc.root.require_attr("name")?);
     for el in doc.root.children_named("class") {
@@ -219,7 +225,10 @@ pub fn object_diagram_to_xml(diagram: &ObjectDiagram) -> String {
 pub fn object_diagram_from_xml(xml: &str) -> ModelResult<ObjectDiagram> {
     let doc = Document::parse(xml)?;
     if doc.root.name != "objectDiagram" {
-        return Err(ser_err(format!("expected <objectDiagram>, found <{}>", doc.root.name)));
+        return Err(ser_err(format!(
+            "expected <objectDiagram>, found <{}>",
+            doc.root.name
+        )));
     }
     let mut diagram = ObjectDiagram::new(doc.root.require_attr("name")?);
     for el in doc.root.children_named("instance") {
@@ -275,7 +284,10 @@ pub fn activity_to_xml(activity: &Activity) -> String {
 pub fn activity_from_xml(xml: &str) -> ModelResult<Activity> {
     let doc = Document::parse(xml)?;
     if doc.root.name != "activity" {
-        return Err(ser_err(format!("expected <activity>, found <{}>", doc.root.name)));
+        return Err(ser_err(format!(
+            "expected <activity>, found <{}>",
+            doc.root.name
+        )));
     }
     let mut activity = Activity::new(doc.root.require_attr("name")?);
     for (expected, el) in doc.root.children_named("node").enumerate() {
@@ -284,7 +296,9 @@ pub fn activity_from_xml(xml: &str) -> ModelResult<Activity> {
             .parse()
             .map_err(|_| ser_err("non-numeric node id"))?;
         if id != expected {
-            return Err(ser_err(format!("node ids must be dense, got {id} expected {expected}")));
+            return Err(ser_err(format!(
+                "node ids must be dense, got {id} expected {expected}"
+            )));
         }
         let kind = match el.require_attr("kind")? {
             "initial" => NodeKind::Initial,
@@ -298,10 +312,14 @@ pub fn activity_from_xml(xml: &str) -> ModelResult<Activity> {
     }
     let n = activity.node_count();
     for el in doc.root.children_named("edge") {
-        let from: usize =
-            el.require_attr("from")?.parse().map_err(|_| ser_err("non-numeric edge endpoint"))?;
-        let to: usize =
-            el.require_attr("to")?.parse().map_err(|_| ser_err("non-numeric edge endpoint"))?;
+        let from: usize = el
+            .require_attr("from")?
+            .parse()
+            .map_err(|_| ser_err("non-numeric edge endpoint"))?;
+        let to: usize = el
+            .require_attr("to")?
+            .parse()
+            .map_err(|_| ser_err("non-numeric edge endpoint"))?;
         if from >= n || to >= n {
             return Err(ser_err(format!("edge endpoint out of range: {from}->{to}")));
         }
@@ -344,24 +362,35 @@ mod tests {
         let mut d = ClassDiagram::new("classes");
         d.add_class(Class::new("C6500")).unwrap();
         d.add_class(Class::new("Comp")).unwrap();
-        d.apply_to_class(&p, "C6500", "Device", &[("MTBF".into(), Value::Real(183498.0))])
-            .unwrap();
+        d.apply_to_class(
+            &p,
+            "C6500",
+            "Device",
+            &[("MTBF".into(), Value::Real(183498.0))],
+        )
+        .unwrap();
         let mut assoc = Association::new("link", "Comp", "C6500");
         assoc.multiplicity_a = "1".into();
         d.add_association(assoc).unwrap();
-        d.apply_to_association(&p, "link", "Connector", &[]).unwrap();
+        d.apply_to_association(&p, "link", "Connector", &[])
+            .unwrap();
 
         let xml = class_diagram_to_xml(&d);
         let back = class_diagram_from_xml(&xml).unwrap();
         assert_eq!(d, back);
-        assert_eq!(back.class("C6500").unwrap().value("MTBF"), Some(&Value::Real(183498.0)));
+        assert_eq!(
+            back.class("C6500").unwrap().value("MTBF"),
+            Some(&Value::Real(183498.0))
+        );
     }
 
     #[test]
     fn object_diagram_roundtrip() {
         let mut o = ObjectDiagram::new("topology");
-        o.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        o.add_instance(InstanceSpecification::new("c1", "C6500")).unwrap();
+        o.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        o.add_instance(InstanceSpecification::new("c1", "C6500"))
+            .unwrap();
         o.add_link(Link::new("link", "t1", "c1")).unwrap();
         let xml = object_diagram_to_xml(&o);
         let back = object_diagram_from_xml(&xml).unwrap();
@@ -420,9 +449,13 @@ mod tests {
     fn values_with_special_characters_roundtrip() {
         let mut d = ClassDiagram::new("q");
         let mut c = Class::new("A");
-        c.attributes.push(("note".into(), Value::from("a<b & \"c\"")));
+        c.attributes
+            .push(("note".into(), Value::from("a<b & \"c\"")));
         d.add_class(c).unwrap();
         let back = class_diagram_from_xml(&class_diagram_to_xml(&d)).unwrap();
-        assert_eq!(back.class("A").unwrap().value("note"), Some(&Value::from("a<b & \"c\"")));
+        assert_eq!(
+            back.class("A").unwrap().value("note"),
+            Some(&Value::from("a<b & \"c\""))
+        );
     }
 }

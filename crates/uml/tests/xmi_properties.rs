@@ -26,7 +26,11 @@ fn class_diagram_strategy() -> impl Strategy<Value = ClassDiagram> {
     (
         name_strategy(),
         proptest::collection::vec(
-            (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..3), any::<bool>()),
+            (
+                name_strategy(),
+                proptest::collection::vec((name_strategy(), value_strategy()), 0..3),
+                any::<bool>(),
+            ),
             1..5,
         ),
     )

@@ -43,11 +43,20 @@ impl fmt::Display for VpmError {
                 write!(f, "'{parent}' already has a child named '{name}'")
             }
             VpmError::InvalidName(name) => {
-                write!(f, "invalid entity name '{name}' (must be non-empty, no '.')")
+                write!(
+                    f,
+                    "invalid entity name '{name}' (must be non-empty, no '.')"
+                )
             }
             VpmError::UnboundVariable(v) => write!(f, "pattern uses undeclared variable #{v}"),
-            VpmError::FixpointDiverged { rule, max_iterations } => {
-                write!(f, "rule '{rule}' did not reach a fixpoint within {max_iterations} iterations")
+            VpmError::FixpointDiverged {
+                rule,
+                max_iterations,
+            } => {
+                write!(
+                    f,
+                    "rule '{rule}' did not reach a fixpoint within {max_iterations} iterations"
+                )
             }
             VpmError::Action(msg) => write!(f, "transformation action failed: {msg}"),
         }
@@ -62,9 +71,14 @@ mod tests {
 
     #[test]
     fn messages_mention_the_subject() {
-        assert!(VpmError::UnknownFqn("a.b".into()).to_string().contains("a.b"));
-        assert!(VpmError::FixpointDiverged { rule: "r1".into(), max_iterations: 7 }
+        assert!(VpmError::UnknownFqn("a.b".into())
             .to_string()
-            .contains("r1"));
+            .contains("a.b"));
+        assert!(VpmError::FixpointDiverged {
+            rule: "r1".into(),
+            max_iterations: 7
+        }
+        .to_string()
+        .contains("r1"));
     }
 }

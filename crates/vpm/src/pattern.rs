@@ -73,7 +73,10 @@ impl Match {
 impl Pattern {
     /// Creates a pattern with `variables` variables.
     pub fn new(variables: usize) -> Self {
-        Pattern { variables, constraints: Vec::new() }
+        Pattern {
+            variables,
+            constraints: Vec::new(),
+        }
     }
 
     /// Builder: adds a constraint.
@@ -198,7 +201,9 @@ impl Pattern {
         out: &mut Vec<Match>,
     ) -> VpmResult<()> {
         if var == self.variables {
-            out.push(Match { row: binding.iter().map(|b| b.expect("complete")).collect() });
+            out.push(Match {
+                row: binding.iter().map(|b| b.expect("complete")).collect(),
+            });
             return Ok(());
         }
         'candidates: for &candidate in universe {
@@ -279,8 +284,7 @@ mod tests {
     #[test]
     fn under_scopes_to_subtree() {
         let ms = space();
-        let p = Pattern::new(1)
-            .with(Constraint::Under(Var(0), "net".into()));
+        let p = Pattern::new(1).with(Constraint::Under(Var(0), "net".into()));
         assert_eq!(p.matches(&ms).unwrap().len(), 3);
         let p = Pattern::new(1).with(Constraint::Under(Var(0), "types".into()));
         assert_eq!(p.matches(&ms).unwrap().len(), 2);

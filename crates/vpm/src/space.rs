@@ -107,7 +107,10 @@ impl ModelSpace {
             return Err(VpmError::InvalidName(name.to_string()));
         }
         if self.child(parent, name)?.is_some() {
-            return Err(VpmError::DuplicateChild { parent: self.fqn(parent)?, name: name.to_string() });
+            return Err(VpmError::DuplicateChild {
+                parent: self.fqn(parent)?,
+                name: name.to_string(),
+            });
         }
         let id = EntityId(self.entities.len() as u32);
         self.entities.push(Entity {
@@ -338,7 +341,8 @@ impl ModelSpace {
     /// Iterates over live relations as `(id, name, source, target)`.
     pub fn relations(&self) -> impl Iterator<Item = (RelationId, &str, EntityId, EntityId)> {
         self.relations.iter().enumerate().filter_map(|(i, r)| {
-            r.alive.then(|| (RelationId(i as u32), r.name.as_str(), r.source, r.target))
+            r.alive
+                .then_some((RelationId(i as u32), r.name.as_str(), r.source, r.target))
         })
     }
 
@@ -348,9 +352,8 @@ impl ModelSpace {
         source: EntityId,
         name: &'a str,
     ) -> impl Iterator<Item = (RelationId, EntityId)> + 'a {
-        self.relations().filter_map(move |(id, n, s, t)| {
-            (s == source && n == name).then_some((id, t))
-        })
+        self.relations()
+            .filter_map(move |(id, n, s, t)| (s == source && n == name).then_some((id, t)))
     }
 
     /// Live entity ids (including the root).
@@ -387,8 +390,7 @@ impl ModelSpace {
         if let Some(v) = &e.value {
             out.push_str(&format!(" = {v:?}"));
         }
-        let types: Vec<String> =
-            e.types.iter().filter_map(|&t| self.fqn(t).ok()).collect();
+        let types: Vec<String> = e.types.iter().filter_map(|&t| self.fqn(t).ok()).collect();
         if !types.is_empty() {
             out.push_str(&format!(" : {}", types.join(", ")));
         }
@@ -461,15 +463,24 @@ mod tests {
         let mut ms = ModelSpace::new();
         let p = ms.ensure_path("ns").unwrap();
         ms.new_entity(p, "x").unwrap();
-        assert!(matches!(ms.new_entity(p, "x"), Err(VpmError::DuplicateChild { .. })));
+        assert!(matches!(
+            ms.new_entity(p, "x"),
+            Err(VpmError::DuplicateChild { .. })
+        ));
     }
 
     #[test]
     fn invalid_names_rejected() {
         let mut ms = ModelSpace::new();
         let root = ms.root();
-        assert!(matches!(ms.new_entity(root, ""), Err(VpmError::InvalidName(_))));
-        assert!(matches!(ms.new_entity(root, "a.b"), Err(VpmError::InvalidName(_))));
+        assert!(matches!(
+            ms.new_entity(root, ""),
+            Err(VpmError::InvalidName(_))
+        ));
+        assert!(matches!(
+            ms.new_entity(root, "a.b"),
+            Err(VpmError::InvalidName(_))
+        ));
     }
 
     #[test]
@@ -553,7 +564,10 @@ mod tests {
         ms.new_relation("link", a, b).unwrap();
         let dump = ms.dump(ms.root()).unwrap();
         assert!(dump.contains("(root)"), "{dump}");
-        assert!(dump.contains("a = \"x\" : uml.Class  [-link-> m.b]"), "{dump}");
+        assert!(
+            dump.contains("a = \"x\" : uml.Class  [-link-> m.b]"),
+            "{dump}"
+        );
         // Indentation reflects containment depth.
         assert!(dump.lines().any(|l| l.starts_with("    a")), "{dump}");
     }

@@ -32,7 +32,11 @@ impl<'a> Rule<'a> {
         pattern: Pattern,
         action: impl Fn(&mut ModelSpace, &Match) -> VpmResult<()> + 'a,
     ) -> Self {
-        Rule { name: name.into(), pattern, action: Box::new(action) }
+        Rule {
+            name: name.into(),
+            pattern,
+            action: Box::new(action),
+        }
     }
 }
 
@@ -131,7 +135,10 @@ impl Machine {
         if rule.pattern.matches(space)?.is_empty() {
             Ok(max_iterations)
         } else {
-            Err(VpmError::FixpointDiverged { rule: rule.name.clone(), max_iterations })
+            Err(VpmError::FixpointDiverged {
+                rule: rule.name.clone(),
+                max_iterations,
+            })
         }
     }
 }
@@ -254,6 +261,9 @@ mod tests {
             Err(VpmError::Action("boom".into()))
         });
         let mut machine = Machine::new();
-        assert!(matches!(machine.choose(&mut ms, &rule), Err(VpmError::Action(_))));
+        assert!(matches!(
+            machine.choose(&mut ms, &rule),
+            Err(VpmError::Action(_))
+        ));
     }
 }

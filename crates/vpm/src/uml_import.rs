@@ -96,8 +96,12 @@ pub fn import_profile(space: &mut ModelSpace, profile: &Profile) -> VpmResult<En
     // Second pass: specialization → supertypeOf.
     for st in &profile.stereotypes {
         if let Some(parent) = &st.specializes {
-            let sub = space.child(root, &sanitize(&st.name))?.expect("created above");
-            let sup = space.child(root, &sanitize(parent))?.expect("declared in profile");
+            let sub = space
+                .child(root, &sanitize(&st.name))?
+                .expect("created above");
+            let sup = space
+                .child(root, &sanitize(parent))?
+                .expect("declared in profile");
             space.set_supertype(sub, sup)?;
         }
     }
@@ -124,7 +128,11 @@ pub fn import_class_diagram(
         space.set_instance_of(e, ty_class)?;
         // Stereotype typing: instanceOf the stereotype entity.
         for app in &class.applied {
-            let fqn = format!("profiles.{}.{}", sanitize(&app.profile), sanitize(&app.stereotype));
+            let fqn = format!(
+                "profiles.{}.{}",
+                sanitize(&app.profile),
+                sanitize(&app.stereotype)
+            );
             if let Ok(st) = space.resolve(&fqn) {
                 space.set_instance_of(e, st)?;
             }
@@ -184,8 +192,12 @@ pub fn import_object_diagram(
         }
     }
     for link in &diagram.links {
-        let a = space.child(root, &sanitize(&link.end_a))?.expect("instance imported");
-        let b = space.child(root, &sanitize(&link.end_b))?.expect("instance imported");
+        let a = space
+            .child(root, &sanitize(&link.end_a))?
+            .expect("instance imported");
+        let b = space
+            .child(root, &sanitize(&link.end_b))?
+            .expect("instance imported");
         space.new_relation(&sanitize(&link.association), a, b)?;
     }
     Ok(root)
@@ -195,7 +207,11 @@ pub fn import_object_diagram(
 /// entity. Node children are named `n0..n{k}`; actions carry the atomic
 /// service name as value (the paper's "atomic services are transformed into
 /// entities").
-pub fn import_activity(space: &mut ModelSpace, activity: &Activity, ns: &str) -> VpmResult<EntityId> {
+pub fn import_activity(
+    space: &mut ModelSpace,
+    activity: &Activity,
+    ns: &str,
+) -> VpmResult<EntityId> {
     let ty_activity = metatype(space, "Activity")?;
     let ty_action = metatype(space, "Action")?;
     let ty_initial = metatype(space, "InitialNode")?;
@@ -223,7 +239,11 @@ pub fn import_activity(space: &mut ModelSpace, activity: &Activity, ns: &str) ->
         node_entities.push(e);
     }
     for (from, to) in activity.edges() {
-        space.new_relation(FLOW_RELATION, node_entities[from.index()], node_entities[to.index()])?;
+        space.new_relation(
+            FLOW_RELATION,
+            node_entities[from.index()],
+            node_entities[to.index()],
+        )?;
     }
     Ok(root)
 }
@@ -251,8 +271,15 @@ mod tests {
         let mut d = ClassDiagram::new("classes");
         d.add_class(Class::new("Comp")).unwrap();
         d.add_class(Class::new("Server")).unwrap();
-        d.apply_to_class(&p, "Comp", "Device", &[("MTBF".into(), Value::Real(3000.0))]).unwrap();
-        d.add_association(Association::new("c-s", "Comp", "Server")).unwrap();
+        d.apply_to_class(
+            &p,
+            "Comp",
+            "Device",
+            &[("MTBF".into(), Value::Real(3000.0))],
+        )
+        .unwrap();
+        d.add_association(Association::new("c-s", "Comp", "Server"))
+            .unwrap();
         d
     }
 
@@ -309,8 +336,10 @@ mod tests {
         let mut ms = ModelSpace::new();
         import_class_diagram(&mut ms, &sample_classes(), "models.classes").unwrap();
         let mut od = ObjectDiagram::new("topology");
-        od.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-        od.add_instance(InstanceSpecification::new("s1", "Server")).unwrap();
+        od.add_instance(InstanceSpecification::new("t1", "Comp"))
+            .unwrap();
+        od.add_instance(InstanceSpecification::new("s1", "Server"))
+            .unwrap();
         od.add_link(Link::new("c-s", "t1", "s1")).unwrap();
         import_object_diagram(&mut ms, &od, "models.topology", "models.classes").unwrap();
 
@@ -318,7 +347,12 @@ mod tests {
         let comp_class = ms.resolve("models.classes.Comp").unwrap();
         assert!(ms.is_instance_of(t1, comp_class).unwrap());
         let s1 = ms.resolve("models.topology.s1").unwrap();
-        assert_eq!(ms.relations_from(t1, "c-s").map(|(_, t)| t).collect::<Vec<_>>(), vec![s1]);
+        assert_eq!(
+            ms.relations_from(t1, "c-s")
+                .map(|(_, t)| t)
+                .collect::<Vec<_>>(),
+            vec![s1]
+        );
     }
 
     #[test]
@@ -338,7 +372,10 @@ mod tests {
             .collect();
         assert_eq!(actions, vec!["Request printing", "Login to printer"]);
         // Flow relations: initial->a1->a2->final = 3 edges.
-        let flows = ms.relations().filter(|(_, n, _, _)| *n == FLOW_RELATION).count();
+        let flows = ms
+            .relations()
+            .filter(|(_, n, _, _)| *n == FLOW_RELATION)
+            .count();
         assert_eq!(flows, 3);
     }
 

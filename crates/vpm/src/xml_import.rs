@@ -36,7 +36,7 @@ fn metamodel(space: &mut ModelSpace) -> VpmResult<(EntityId, EntityId)> {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned = name.replace('.', "_").replace(' ', "_");
+    let cleaned = name.replace(['.', ' '], "_");
     if cleaned.is_empty() {
         "_".to_string()
     } else {
@@ -79,8 +79,7 @@ fn import_element(
     for child in &element.children {
         match child {
             Node::Element(e) => {
-                let child_entity =
-                    import_element(space, entity, e, ty_element, ty_attribute)?;
+                let child_entity = import_element(space, entity, e, ty_element, ty_attribute)?;
                 if let Some(prev) = previous {
                     space.new_relation(NEXT_RELATION, prev, child_entity)?;
                 }
@@ -126,7 +125,13 @@ mod tests {
         let ty = space.resolve("xml.metamodel.Element").unwrap();
         assert!(space.is_instance_of(rq, ty).unwrap());
         assert_eq!(
-            space.value(space.resolve("imported.atomicservice.requester.id").unwrap()).unwrap(),
+            space
+                .value(
+                    space
+                        .resolve("imported.atomicservice.requester.id")
+                        .unwrap()
+                )
+                .unwrap(),
             Some("t1")
         );
     }
@@ -141,7 +146,10 @@ mod tests {
         let third = space.resolve("doc.m.p_3").unwrap();
         // Document order chained via `next`.
         let next_of = |space: &ModelSpace, e| {
-            space.relations_from(e, NEXT_RELATION).map(|(_, t)| t).next()
+            space
+                .relations_from(e, NEXT_RELATION)
+                .map(|(_, t)| t)
+                .next()
         };
         assert_eq!(next_of(&space, first), Some(second));
         assert_eq!(next_of(&space, second), Some(third));

@@ -14,11 +14,16 @@ fn build_space() -> ModelSpace {
         .with_stereotype(
             Stereotype::new("Network Device", Metaclass::Class)
                 .abstract_()
-                .with_attribute(Attribute::with_default("manufacturer", Value::from("unknown"))),
+                .with_attribute(Attribute::with_default(
+                    "manufacturer",
+                    Value::from("unknown"),
+                )),
         )
         .with_stereotype(Stereotype::new("Switch", Metaclass::Class).specializing("Network Device"))
         .with_stereotype(
-            Stereotype::new("Computer", Metaclass::Class).abstract_().specializing("Network Device"),
+            Stereotype::new("Computer", Metaclass::Class)
+                .abstract_()
+                .specializing("Network Device"),
         )
         .with_stereotype(Stereotype::new("Client", Metaclass::Class).specializing("Computer"));
     let availability = Profile::new("availability").with_stereotype(
@@ -29,16 +34,47 @@ fn build_space() -> ModelSpace {
     let mut classes = ClassDiagram::new("classes");
     classes.add_class(Class::new("HP2650")).unwrap();
     classes.add_class(Class::new("Comp")).unwrap();
-    classes.apply_to_class(&network, "HP2650", "Switch", &[("manufacturer".into(), Value::from("HP"))]).unwrap();
-    classes.apply_to_class(&availability, "HP2650", "Device", &[("MTBF".into(), Value::Real(199_000.0))]).unwrap();
-    classes.apply_to_class(&network, "Comp", "Client", &[]).unwrap();
-    classes.apply_to_class(&availability, "Comp", "Device", &[("MTBF".into(), Value::Real(3_000.0))]).unwrap();
-    classes.add_association(Association::new("uplink", "Comp", "HP2650")).unwrap();
+    classes
+        .apply_to_class(
+            &network,
+            "HP2650",
+            "Switch",
+            &[("manufacturer".into(), Value::from("HP"))],
+        )
+        .unwrap();
+    classes
+        .apply_to_class(
+            &availability,
+            "HP2650",
+            "Device",
+            &[("MTBF".into(), Value::Real(199_000.0))],
+        )
+        .unwrap();
+    classes
+        .apply_to_class(&network, "Comp", "Client", &[])
+        .unwrap();
+    classes
+        .apply_to_class(
+            &availability,
+            "Comp",
+            "Device",
+            &[("MTBF".into(), Value::Real(3_000.0))],
+        )
+        .unwrap();
+    classes
+        .add_association(Association::new("uplink", "Comp", "HP2650"))
+        .unwrap();
 
     let mut objects = ObjectDiagram::new("topology");
-    objects.add_instance(InstanceSpecification::new("e1", "HP2650")).unwrap();
-    objects.add_instance(InstanceSpecification::new("t1", "Comp")).unwrap();
-    objects.add_instance(InstanceSpecification::new("t2", "Comp")).unwrap();
+    objects
+        .add_instance(InstanceSpecification::new("e1", "HP2650"))
+        .unwrap();
+    objects
+        .add_instance(InstanceSpecification::new("t1", "Comp"))
+        .unwrap();
+    objects
+        .add_instance(InstanceSpecification::new("t2", "Comp"))
+        .unwrap();
     objects.add_link(Link::new("uplink", "t1", "e1")).unwrap();
     objects.add_link(Link::new("uplink", "t2", "e1")).unwrap();
 
@@ -46,8 +82,13 @@ fn build_space() -> ModelSpace {
     vpm::uml_import::import_profile(&mut space, &network).unwrap();
     vpm::uml_import::import_profile(&mut space, &availability).unwrap();
     vpm::uml_import::import_class_diagram(&mut space, &classes, "models.classes").unwrap();
-    vpm::uml_import::import_object_diagram(&mut space, &objects, "models.topology", "models.classes")
-        .unwrap();
+    vpm::uml_import::import_object_diagram(
+        &mut space,
+        &objects,
+        "models.topology",
+        "models.classes",
+    )
+    .unwrap();
     space
 }
 
@@ -57,11 +98,16 @@ fn query_classes_by_abstract_stereotype() {
     // Both classes are Network Devices through stereotype specialization.
     let p = Pattern::new(1)
         .with(Constraint::Under(Var(0), "models.classes".into()))
-        .with(Constraint::InstanceOf(Var(0), "profiles.network.Network Device".into()));
+        .with(Constraint::InstanceOf(
+            Var(0),
+            "profiles.network.Network Device".into(),
+        ));
     assert_eq!(p.matches(&space).unwrap().len(), 2);
     // Only one is a Switch.
-    let p = Pattern::new(1)
-        .with(Constraint::InstanceOf(Var(0), "profiles.network.Switch".into()));
+    let p = Pattern::new(1).with(Constraint::InstanceOf(
+        Var(0),
+        "profiles.network.Switch".into(),
+    ));
     let m = p.matches(&space).unwrap();
     assert_eq!(m.len(), 1);
     assert_eq!(space.name(m[0].get(Var(0))).unwrap(), "HP2650");

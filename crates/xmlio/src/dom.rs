@@ -39,7 +39,11 @@ pub struct Element {
 impl Element {
     /// Creates an empty element named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style: adds an attribute and returns `self`.
@@ -73,7 +77,10 @@ impl Element {
 
     /// Looks up an attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Looks up a mandatory attribute, with a descriptive error.
@@ -81,7 +88,10 @@ impl Element {
         self.attr(name).ok_or_else(|| {
             Error::new(
                 Position::START,
-                ErrorKind::InvalidName(format!("<{}> is missing required attribute '{}'", self.name, name)),
+                ErrorKind::InvalidName(format!(
+                    "<{}> is missing required attribute '{}'",
+                    self.name, name
+                )),
             )
         })
     }
@@ -119,7 +129,10 @@ impl Element {
 
     /// Recursively counts elements in this subtree, including `self`.
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 }
 
@@ -149,7 +162,11 @@ impl Document {
         loop {
             match parser.next_event()? {
                 Event::Start { name, attributes } => {
-                    stack.push(Element { name, attributes, children: Vec::new() });
+                    stack.push(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
                 }
                 Event::End { .. } => {
                     let done = stack.pop().expect("parser guarantees balance");
@@ -200,7 +217,10 @@ mod tests {
             .with_child(Element::new("provider").with_attr("id", "printS"));
         assert_eq!(e.attr("id"), Some("as1"));
         assert_eq!(e.child_elements().count(), 2);
-        assert_eq!(e.child_named("provider").unwrap().attr("id"), Some("printS"));
+        assert_eq!(
+            e.child_named("provider").unwrap().attr("id"),
+            Some("printS")
+        );
         assert_eq!(e.subtree_size(), 3);
     }
 

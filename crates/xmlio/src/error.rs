@@ -83,21 +83,34 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "XML error at {}: ", self.position)?;
         match &self.kind {
-            ErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input while parsing {ctx}"),
+            ErrorKind::UnexpectedEof(ctx) => {
+                write!(f, "unexpected end of input while parsing {ctx}")
+            }
             ErrorKind::UnexpectedChar { found, expected } => {
                 write!(f, "unexpected character {found:?}, expected {expected}")
             }
             ErrorKind::MismatchedTag { open, close } => {
-                write!(f, "closing tag </{close}> does not match open element <{open}>")
+                write!(
+                    f,
+                    "closing tag </{close}> does not match open element <{open}>"
+                )
             }
-            ErrorKind::UnmatchedClose(name) => write!(f, "closing tag </{name}> has no open element"),
+            ErrorKind::UnmatchedClose(name) => {
+                write!(f, "closing tag </{name}> has no open element")
+            }
             ErrorKind::UnclosedElements(names) => {
-                write!(f, "document ended with unclosed elements: {}", names.join(", "))
+                write!(
+                    f,
+                    "document ended with unclosed elements: {}",
+                    names.join(", ")
+                )
             }
             ErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
             ErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}"),
             ErrorKind::InvalidEntity(ent) => write!(f, "invalid entity reference &{ent};"),
-            ErrorKind::ContentOutsideRoot => write!(f, "non-whitespace content outside the root element"),
+            ErrorKind::ContentOutsideRoot => {
+                write!(f, "non-whitespace content outside the root element")
+            }
             ErrorKind::MultipleRoots => write!(f, "more than one root element"),
             ErrorKind::NoRoot => write!(f, "document contains no root element"),
             ErrorKind::Unsupported(what) => write!(f, "unsupported XML construct: {what}"),

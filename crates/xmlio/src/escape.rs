@@ -20,9 +20,8 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
 }
 
 fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs_escape = |c: char| {
-        matches!(c, '<' | '>' | '&') || (attr && matches!(c, '"' | '\n' | '\r' | '\t'))
-    };
+    let needs_escape =
+        |c: char| matches!(c, '<' | '>' | '&') || (attr && matches!(c, '"' | '\n' | '\r' | '\t'));
     if !s.chars().any(needs_escape) {
         return Cow::Borrowed(s);
     }
@@ -57,7 +56,8 @@ pub fn resolve_entity(name: &str) -> Option<char> {
         "apos" => Some('\''),
         _ => {
             let rest = name.strip_prefix('#')?;
-            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X')) {
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
                 u32::from_str_radix(hex, 16).ok()?
             } else {
                 rest.parse::<u32>().ok()?

@@ -97,7 +97,10 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, want: char, ctx: &'static str) -> Result<()> {
         match self.bump() {
             Some(c) if c == want => Ok(()),
-            Some(c) => Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar {
+                found: c,
+                expected: ctx,
+            })),
             None => Err(self.err(ErrorKind::UnexpectedEof(ctx))),
         }
     }
@@ -123,7 +126,12 @@ impl<'a> Parser<'a> {
                 name.push(c);
                 self.bump();
             }
-            Some(c) => return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+            Some(c) => {
+                return Err(self.err(ErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: ctx,
+                }))
+            }
             None => return Err(self.err(ErrorKind::UnexpectedEof(ctx))),
         }
         while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
@@ -150,7 +158,10 @@ impl<'a> Parser<'a> {
         let quote = match self.bump() {
             Some(c @ ('"' | '\'')) => c,
             Some(c) => {
-                return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: "attribute value quote" }))
+                return Err(self.err(ErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "attribute value quote",
+                }))
             }
             None => return Err(self.err(ErrorKind::UnexpectedEof("attribute value"))),
         };
@@ -160,7 +171,10 @@ impl<'a> Parser<'a> {
                 Some(c) if c == quote => break,
                 Some('&') => value.push(self.read_entity()?),
                 Some('<') => {
-                    return Err(self.err(ErrorKind::UnexpectedChar { found: '<', expected: "attribute value content" }))
+                    return Err(self.err(ErrorKind::UnexpectedChar {
+                        found: '<',
+                        expected: "attribute value content",
+                    }))
                 }
                 Some(c) => value.push(c),
                 None => return Err(self.err(ErrorKind::UnexpectedEof("attribute value"))),
@@ -198,7 +212,10 @@ impl<'a> Parser<'a> {
                     attributes.push((attr_name, value));
                 }
                 Some(c) => {
-                    return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: "attribute, '/>' or '>'" }))
+                    return Err(self.err(ErrorKind::UnexpectedChar {
+                        found: c,
+                        expected: "attribute, '/>' or '>'",
+                    }))
                 }
                 None => return Err(self.err(ErrorKind::UnexpectedEof("start tag"))),
             }
@@ -262,10 +279,10 @@ impl<'a> Parser<'a> {
                     }
                     if run >= 2 && self.peek() == Some('>') {
                         self.bump();
-                        text.extend(std::iter::repeat(']').take(run - 2));
+                        text.extend(std::iter::repeat_n(']', run - 2));
                         return Ok(text);
                     }
-                    text.extend(std::iter::repeat(']').take(run));
+                    text.extend(std::iter::repeat_n(']', run));
                 }
                 Some(c) => text.push(c),
                 None => return Err(self.err(ErrorKind::UnexpectedEof("CDATA section"))),
@@ -295,7 +312,12 @@ impl<'a> Parser<'a> {
                     self.bump();
                 }
                 Some(_) if i == 0 => return Ok(false),
-                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar { found: c, expected: ctx })),
+                Some(c) => {
+                    return Err(self.err(ErrorKind::UnexpectedChar {
+                        found: c,
+                        expected: ctx,
+                    }))
+                }
                 None => return Err(self.err(ErrorKind::UnexpectedEof(ctx))),
             }
         }
@@ -350,7 +372,9 @@ impl<'a> Parser<'a> {
                                 }
                                 return Ok(Event::Text(text));
                             }
-                            return Err(self.err(ErrorKind::Unsupported("DOCTYPE / markup declaration")));
+                            return Err(
+                                self.err(ErrorKind::Unsupported("DOCTYPE / markup declaration"))
+                            );
                         }
                         _ => return self.read_start_tag(),
                     }
@@ -418,8 +442,14 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Start { name: "a".into(), attributes: vec![("x".into(), "1".into())] },
-                Event::Start { name: "b".into(), attributes: vec![] },
+                Event::Start {
+                    name: "a".into(),
+                    attributes: vec![("x".into(), "1".into())]
+                },
+                Event::Start {
+                    name: "b".into(),
+                    attributes: vec![]
+                },
                 Event::End { name: "b".into() },
                 Event::Text("hi".into()),
                 Event::End { name: "a".into() },
@@ -453,7 +483,10 @@ mod tests {
 
     #[test]
     fn mismatched_tags_error() {
-        assert!(matches!(error_of("<a><b></a></b>"), ErrorKind::MismatchedTag { .. }));
+        assert!(matches!(
+            error_of("<a><b></a></b>"),
+            ErrorKind::MismatchedTag { .. }
+        ));
         assert!(matches!(error_of("</a>"), ErrorKind::UnmatchedClose(_)));
         assert!(matches!(error_of("<a>"), ErrorKind::UnclosedElements(_)));
     }
@@ -468,17 +501,26 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        assert!(matches!(error_of("<a x=\"1\" x=\"2\"/>"), ErrorKind::DuplicateAttribute(_)));
+        assert!(matches!(
+            error_of("<a x=\"1\" x=\"2\"/>"),
+            ErrorKind::DuplicateAttribute(_)
+        ));
     }
 
     #[test]
     fn doctype_unsupported() {
-        assert!(matches!(error_of("<!DOCTYPE html><a/>"), ErrorKind::Unsupported(_)));
+        assert!(matches!(
+            error_of("<!DOCTYPE html><a/>"),
+            ErrorKind::Unsupported(_)
+        ));
     }
 
     #[test]
     fn bad_entity_reported() {
-        assert!(matches!(error_of("<a>&nope;</a>"), ErrorKind::InvalidEntity(_)));
+        assert!(matches!(
+            error_of("<a>&nope;</a>"),
+            ErrorKind::InvalidEntity(_)
+        ));
     }
 
     #[test]

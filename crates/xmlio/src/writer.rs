@@ -17,12 +17,20 @@ pub struct WriteOptions {
 impl WriteOptions {
     /// Single line, no declaration — the canonical form used in tests.
     pub fn compact() -> Self {
-        WriteOptions { pretty: false, indent: 0, declaration: false }
+        WriteOptions {
+            pretty: false,
+            indent: 0,
+            declaration: false,
+        }
     }
 
     /// Two-space indentation with an XML declaration.
     pub fn pretty() -> Self {
-        WriteOptions { pretty: true, indent: 2, declaration: true }
+        WriteOptions {
+            pretty: true,
+            indent: 2,
+            declaration: true,
+        }
     }
 }
 

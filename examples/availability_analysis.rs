@@ -28,18 +28,38 @@ fn main() {
         let _ = system;
     }
     println!("  SDP per pair:                     agrees with BDD to 1e-12");
-    println!("  pairwise product (naive):         {:.9}", m.availability_pairwise_product());
+    println!(
+        "  pairwise product (naive):         {:.9}",
+        m.availability_pairwise_product()
+    );
     let mc = m.monte_carlo(300_000, 0, 42);
     let (lo, hi) = mc.confidence_95();
-    println!("  Monte-Carlo (300k samples):       {:.6} [{lo:.6}, {hi:.6}] covers exact: {}", mc.estimate, mc.covers(exact));
+    println!(
+        "  Monte-Carlo (300k samples):       {:.6} [{lo:.6}, {hi:.6}] covers exact: {}",
+        mc.estimate,
+        mc.covers(exact)
+    );
 
     // 2. Formula variants and link failures.
-    let paper = model(AnalysisOptions { paper_formula: true, ..Default::default() });
+    let paper = model(AnalysisOptions {
+        paper_formula: true,
+        ..Default::default()
+    });
     println!("\nFormula 1 variants:");
     println!("  A with exact MTBF/(MTBF+MTTR):    {exact:.9}");
-    println!("  A with printed 1 - MTTR/MTBF:     {:.9}", paper.availability_bdd());
-    let with_links = model(AnalysisOptions { include_links: true, ..Default::default() });
-    println!("  A with link (connector) failures: {:.9}  ({} components)", with_links.availability_bdd(), with_links.components.len());
+    println!(
+        "  A with printed 1 - MTTR/MTBF:     {:.9}",
+        paper.availability_bdd()
+    );
+    let with_links = model(AnalysisOptions {
+        include_links: true,
+        ..Default::default()
+    });
+    println!(
+        "  A with link (connector) failures: {:.9}  ({} components)",
+        with_links.availability_bdd(),
+        with_links.components.len()
+    );
 
     // 3. Who limits the service? (Sec. VII: "which ICT components can be
     //    the cause")
@@ -56,7 +76,11 @@ fn main() {
     let mut infra = usi_infrastructure();
     let comp = infra.classes.class_mut("Comp").unwrap();
     for app in &mut comp.applied {
-        if let Some(slot) = app.values.iter_mut().find(|(n, _)| n == "redundantComponents") {
+        if let Some(slot) = app
+            .values
+            .iter_mut()
+            .find(|(n, _)| n == "redundantComponents")
+        {
             slot.1 = uml::Value::Integer(1);
         }
     }

@@ -12,7 +12,10 @@ use upsim_core::pipeline::UpsimPipeline;
 
 fn main() {
     println!("campus sweep: devices vs pipeline wall time\n");
-    println!("{:>10} {:>8} {:>12} {:>8} {:>10}", "devices", "links", "run [ms]", "UPSIM", "reduction");
+    println!(
+        "{:>10} {:>8} {:>12} {:>8} {:>10}",
+        "devices", "links", "run [ms]", "UPSIM", "reduction"
+    );
     for distributions in [2usize, 4, 8, 16, 32, 64] {
         let params = CampusParams {
             core: 2,
@@ -46,7 +49,12 @@ fn main() {
         let pair = ServiceMappingPair::new("s", "n0", format!("n{}", n - 1));
         let start = Instant::now();
         let d = discover(&infra, &pair, DiscoveryOptions::default()).unwrap();
-        println!("{:>6} {:>10} {:>12.2}", n, d.len(), start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "{:>6} {:>10} {:>12.2}",
+            n,
+            d.len(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
     }
     println!(
         "\nReal campus networks keep few loops (tree-like periphery + redundant core),\n\

@@ -33,7 +33,10 @@ fn main() {
         render_downtime(downtime_per_year(baseline))
     );
 
-    println!("{:<10} {:>14} {:>8} {:>24}", "failed", "A", "nines", "verdict");
+    println!(
+        "{:<10} {:>14} {:>8} {:>24}",
+        "failed", "A", "nines", "verdict"
+    );
     for victim in ["c1", "c2", "d2", "e3", "d1", "e1", "d4", "d3"] {
         let mut infra = usi_infrastructure();
         infra.remove_device(victim).unwrap();

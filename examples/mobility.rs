@@ -20,7 +20,10 @@ fn main() {
     let mut previous = "t1".to_string();
 
     println!("mobile user printing on p2 via printS from different clients:\n");
-    println!("{:<10} {:>8} {:>14} {:>16} {:>12}", "client", "UPSIM", "avail.", "downtime h/yr", "cached step5");
+    println!(
+        "{:<10} {:>8} {:>14} {:>16} {:>12}",
+        "client", "UPSIM", "avail.", "downtime h/yr", "cached step5"
+    );
     for position in positions {
         if position != previous {
             let from = previous.clone();
@@ -37,7 +40,10 @@ fn main() {
             AnalysisOptions::default(),
         );
         let availability = model.availability_bdd();
-        let cached = run.timings.iter().any(|t| t.step.starts_with('5') && t.cached);
+        let cached = run
+            .timings
+            .iter()
+            .any(|t| t.step.starts_with('5') && t.cached);
         println!(
             "{:<10} {:>8} {:>14.9} {:>16.1} {:>12}",
             position,

@@ -12,13 +12,31 @@ use vpm::{Constraint, Machine, ModelSpace, Pattern, Rule, Var};
 fn main() {
     // A small infrastructure, imported into a fresh model space (Step 5).
     let mut infra = Infrastructure::new("tour");
-    infra.define_device_class(DeviceClassSpec::client("Comp", 3_000.0, 24.0)).unwrap();
-    infra.define_device_class(DeviceClassSpec::switch("Sw", 61_320.0, 0.5)).unwrap();
-    infra.define_device_class(DeviceClassSpec::server("Server", 60_000.0, 0.1)).unwrap();
-    for (n, c) in [("t1", "Comp"), ("t2", "Comp"), ("sw1", "Sw"), ("sw2", "Sw"), ("srv", "Server")] {
+    infra
+        .define_device_class(DeviceClassSpec::client("Comp", 3_000.0, 24.0))
+        .unwrap();
+    infra
+        .define_device_class(DeviceClassSpec::switch("Sw", 61_320.0, 0.5))
+        .unwrap();
+    infra
+        .define_device_class(DeviceClassSpec::server("Server", 60_000.0, 0.1))
+        .unwrap();
+    for (n, c) in [
+        ("t1", "Comp"),
+        ("t2", "Comp"),
+        ("sw1", "Sw"),
+        ("sw2", "Sw"),
+        ("srv", "Server"),
+    ] {
         infra.add_device(n, c).unwrap();
     }
-    for (a, b) in [("t1", "sw1"), ("t1", "sw2"), ("t2", "sw1"), ("sw1", "srv"), ("sw2", "srv")] {
+    for (a, b) in [
+        ("t1", "sw1"),
+        ("t1", "sw2"),
+        ("t2", "sw1"),
+        ("sw1", "srv"),
+        ("sw2", "srv"),
+    ] {
         infra.connect(a, b).unwrap();
     }
 
@@ -34,8 +52,14 @@ fn main() {
     // classes. `instanceOf` spans the metalevels: instance -> class ->
     // stereotype, with stereotype specialization as supertypes.
     let client_class = Pattern::new(2)
-        .with(Constraint::InstanceOf(Var(0), "profiles.network.Client".into()))
-        .with(Constraint::InstanceOf(Var(1), "uml.metamodel.InstanceSpecification".into()))
+        .with(Constraint::InstanceOf(
+            Var(0),
+            "profiles.network.Client".into(),
+        ))
+        .with(Constraint::InstanceOf(
+            Var(1),
+            "uml.metamodel.InstanceSpecification".into(),
+        ))
         .with(Constraint::Under(Var(1), importers::TOPOLOGY_NS.into()));
     // Join: Var(1) is an instance of the class bound to Var(0) — expressed
     // by checking the typing in a post-filter over the match rows.
@@ -61,7 +85,10 @@ fn main() {
     );
     let mut machine = Machine::new();
     let fired = machine.forall(&mut space, &tag_rule).unwrap();
-    println!("forall rule fired {fired} times; trace has {} entries", machine.trace().len());
+    println!(
+        "forall rule fired {fired} times; trace has {} entries",
+        machine.trace().len()
+    );
 
     // The rule-driven path discovery (the paper's VTCL program, Step 7).
     let paths = upsim_core::vtcl_reference::discover_paths_vtcl(&mut space, "t1", "srv").unwrap();
@@ -72,12 +99,19 @@ fn main() {
 
     // The generic XML importer lifts arbitrary documents (Fig. 3 mappings
     // included) into the same space.
-    let xml = "<atomicservice id=\"as1\"><requester id=\"t1\"/><provider id=\"srv\"/></atomicservice>";
+    let xml =
+        "<atomicservice id=\"as1\"><requester id=\"t1\"/><provider id=\"srv\"/></atomicservice>";
     vpm::xml_import::import_xml(&mut space, xml, "imported").unwrap();
     let as1 = space.resolve("imported.atomicservice.id").unwrap();
-    println!("generic XML import: atomicservice id = {:?}", space.value(as1).unwrap());
+    println!(
+        "generic XML import: atomicservice id = {:?}",
+        space.value(as1).unwrap()
+    );
 
     // Finally, the model-space browser view of the mapping subtree.
     let imported = space.resolve("imported").unwrap();
-    println!("\nmodel-space dump of the imported subtree:\n{}", space.dump(imported).unwrap());
+    println!(
+        "\nmodel-space dump of the imported subtree:\n{}",
+        space.dump(imported).unwrap()
+    );
 }

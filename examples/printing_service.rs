@@ -13,7 +13,12 @@ use upsim_core::pipeline::UpsimPipeline;
 fn report(label: &str, pipeline: &mut UpsimPipeline) {
     let run = pipeline.run().unwrap();
     println!("=== {label} ===");
-    let mut names: Vec<&str> = run.upsim.instances.iter().map(|i| i.name.as_str()).collect();
+    let mut names: Vec<&str> = run
+        .upsim
+        .instances
+        .iter()
+        .map(|i| i.name.as_str())
+        .collect();
     names.sort_unstable();
     println!("UPSIM ({} instances): {}", names.len(), names.join(", "));
     println!("size reduction |UPSIM|/|N| = {:.3}", run.reduction_ratio);
@@ -22,7 +27,10 @@ fn report(label: &str, pipeline: &mut UpsimPipeline) {
         &run,
         AnalysisOptions::default(),
     );
-    println!("user-perceived availability = {:.9}", model.availability_bdd());
+    println!(
+        "user-perceived availability = {:.9}",
+        model.availability_bdd()
+    );
     let downtime_hours = (1.0 - model.availability_bdd()) * 24.0 * 365.0;
     println!("≈ {downtime_hours:.1} hours of service downtime per year, as perceived by this user");
     println!();
@@ -45,10 +53,18 @@ fn main() {
 
     // Second perspective (Fig. 12): "only minor adjustments to the service
     // mapping" — the infrastructure and service models stay untouched.
-    pipeline.update_mapping(|m| *m = second_perspective_mapping()).unwrap();
-    report("Fig. 12 — printing from T15 to P3 via printS", &mut pipeline);
+    pipeline
+        .update_mapping(|m| *m = second_perspective_mapping())
+        .unwrap();
+    report(
+        "Fig. 12 — printing from T15 to P3 via printS",
+        &mut pipeline,
+    );
 
     // The UPSIM visualizes which components can cause service problems.
     let run = pipeline.run().unwrap();
-    println!("Graphviz DOT of the Fig. 12 UPSIM:\n{}", object_diagram_dot(&run.upsim));
+    println!(
+        "Graphviz DOT of the Fig. 12 UPSIM:\n{}",
+        object_diagram_dot(&run.upsim)
+    );
 }

@@ -10,22 +10,39 @@ fn main() {
     // Step 1: identify ICT component classes (with the availability and
     // network profiles applied — MTBF/MTTR in hours).
     let mut infra = Infrastructure::new("quickstart");
-    infra.define_device_class(DeviceClassSpec::client("Laptop", 3_000.0, 24.0)).unwrap();
-    infra.define_device_class(DeviceClassSpec::switch("Switch", 61_320.0, 0.5)).unwrap();
-    infra.define_device_class(DeviceClassSpec::server("WebServer", 60_000.0, 0.1)).unwrap();
+    infra
+        .define_device_class(DeviceClassSpec::client("Laptop", 3_000.0, 24.0))
+        .unwrap();
+    infra
+        .define_device_class(DeviceClassSpec::switch("Switch", 61_320.0, 0.5))
+        .unwrap();
+    infra
+        .define_device_class(DeviceClassSpec::server("WebServer", 60_000.0, 0.1))
+        .unwrap();
 
     // Step 2: deploy the topology — a client reaching a server through two
     // redundant switches.
-    for (name, class) in [("alice", "Laptop"), ("sw1", "Switch"), ("sw2", "Switch"), ("web", "WebServer")] {
+    for (name, class) in [
+        ("alice", "Laptop"),
+        ("sw1", "Switch"),
+        ("sw2", "Switch"),
+        ("web", "WebServer"),
+    ] {
         infra.add_device(name, class).unwrap();
     }
-    for (a, b) in [("alice", "sw1"), ("alice", "sw2"), ("sw1", "web"), ("sw2", "web")] {
+    for (a, b) in [
+        ("alice", "sw1"),
+        ("alice", "sw2"),
+        ("sw1", "web"),
+        ("sw2", "web"),
+    ] {
         infra.connect(a, b).unwrap();
     }
 
     // Step 3: describe the composite service (atomic services only —
     // no relation to the infrastructure yet).
-    let service = CompositeService::sequential("browse", &["request page", "deliver page"]).unwrap();
+    let service =
+        CompositeService::sequential("browse", &["request page", "deliver page"]).unwrap();
 
     // Step 4: the service mapping pairs bind atomic services to components.
     let mapping = ServiceMapping::new()
@@ -51,5 +68,8 @@ fn main() {
         &run,
         AnalysisOptions::default(),
     );
-    println!("user-perceived service availability = {:.9}", model.availability_bdd());
+    println!(
+        "user-perceived service availability = {:.9}",
+        model.availability_bdd()
+    );
 }

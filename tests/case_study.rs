@@ -28,8 +28,12 @@ fn fig11_upsim_for_t1_p2_prints() {
     assert_eq!(upsim_nodes(&run), sorted(&EXPECTED_FIG11_NODES));
     // The UPSIM is a sub-diagram of the infrastructure (Definition 2) and
     // well-formed against the class diagram.
-    assert!(run.upsim.is_subdiagram_of(&pipeline.infrastructure().objects));
-    run.upsim.validate(&pipeline.infrastructure().classes).unwrap();
+    assert!(run
+        .upsim
+        .is_subdiagram_of(&pipeline.infrastructure().objects));
+    run.upsim
+        .validate(&pipeline.infrastructure().classes)
+        .unwrap();
 }
 
 #[test]
@@ -47,7 +51,12 @@ fn fig12_upsim_for_t15_p3_prints_via_mapping_change_only() {
     let run = pipeline.run().unwrap();
     assert_eq!(upsim_nodes(&run), sorted(&EXPECTED_FIG12_NODES));
     // Step 5 (model import) stayed cached — only the mapping was re-imported.
-    let cached: Vec<&str> = run.timings.iter().filter(|t| t.cached).map(|t| t.step).collect();
+    let cached: Vec<&str> = run
+        .timings
+        .iter()
+        .filter(|t| t.cached)
+        .map(|t| t.step)
+        .collect();
     assert_eq!(cached, vec!["5-import-models"]);
 }
 
@@ -59,7 +68,10 @@ fn sec_vi_g_printed_paths_appear_in_the_run() {
     let request = run.paths_of("Request printing").unwrap();
     for expected in PRINTED_PATHS_T1_PRINTS {
         let expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
-        assert!(request.node_paths.contains(&expected), "missing {expected:?}");
+        assert!(
+            request.node_paths.contains(&expected),
+            "missing {expected:?}"
+        );
     }
 }
 
@@ -75,7 +87,9 @@ fn properties_remain_resolvable_on_the_upsim() {
         let classes = &pipeline.infrastructure().classes;
         for attr in ["MTBF", "MTTR", "redundantComponents"] {
             assert!(
-                run.upsim.instance_value(classes, &inst.name, attr).is_some(),
+                run.upsim
+                    .instance_value(classes, &inst.name, attr)
+                    .is_some(),
                 "{}.{attr} unresolvable",
                 inst.name
             );
@@ -92,9 +106,12 @@ fn vtcl_reference_matches_graph_engine_on_usi() {
     let mut space = vpm::ModelSpace::new();
     upsim_core::importers::import_infrastructure(&mut space, &infra).unwrap();
     for pair in table_i_mapping().pairs() {
-        let mut vtcl =
-            upsim_core::vtcl_reference::discover_paths_vtcl(&mut space, &pair.requester, &pair.provider)
-                .unwrap();
+        let mut vtcl = upsim_core::vtcl_reference::discover_paths_vtcl(
+            &mut space,
+            &pair.requester,
+            &pair.provider,
+        )
+        .unwrap();
         let mut graph = upsim_core::discovery::discover(
             &infra,
             pair,

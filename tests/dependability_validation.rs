@@ -25,7 +25,11 @@ fn usi_engines_agree() {
     }
     let exact = model.availability_bdd();
     let mc = model.monte_carlo(300_000, 2, 99);
-    assert!(mc.covers(exact), "MC CI {:?} misses exact {exact}", mc.confidence_95());
+    assert!(
+        mc.covers(exact),
+        "MC CI {:?} misses exact {exact}",
+        mc.confidence_95()
+    );
 }
 
 #[test]
@@ -47,7 +51,11 @@ fn redundancy_monotonicity_on_usi() {
     let mut infra = usi_infrastructure();
     let comp = infra.classes.class_mut("Comp").unwrap();
     for app in &mut comp.applied {
-        if let Some(slot) = app.values.iter_mut().find(|(n, _)| n == "redundantComponents") {
+        if let Some(slot) = app
+            .values
+            .iter_mut()
+            .find(|(n, _)| n == "redundantComponents")
+        {
             slot.1 = uml::Value::Integer(1);
         }
     }
@@ -59,7 +67,10 @@ fn redundancy_monotonicity_on_usi() {
         AnalysisOptions::default(),
     )
     .availability_bdd();
-    assert!(improved > base, "redundancy did not improve: {base} -> {improved}");
+    assert!(
+        improved > base,
+        "redundancy did not improve: {base} -> {improved}"
+    );
 }
 
 #[test]
@@ -76,7 +87,10 @@ fn link_damage_monotonicity_on_usi() {
         AnalysisOptions::default(),
     )
     .availability_bdd();
-    assert!(damaged <= base + 1e-15, "damage increased availability: {base} -> {damaged}");
+    assert!(
+        damaged <= base + 1e-15,
+        "damage increased availability: {base} -> {damaged}"
+    );
 }
 
 proptest! {

@@ -50,7 +50,10 @@ fn redundant_core_tolerates_single_failures() {
         let t1_alive = !run.paths_of("Request printing").unwrap().is_empty();
         let p2_alive = !run.paths_of("Login to printer").unwrap().is_empty();
         if survives_all {
-            assert!(t1_alive && p2_alive, "core loss of {victim} must be tolerated");
+            assert!(
+                t1_alive && p2_alive,
+                "core loss of {victim} must be tolerated"
+            );
         } else {
             // d2/e3 sit on p2's only access path.
             assert!(t1_alive, "{victim} is not on t1's access path");
@@ -107,11 +110,18 @@ fn knockouts_separate_cut_components_from_redundant_ones() {
         knocked.availability_bdd()
     };
     for cut_member in ["t1", "p2", "printS", "e1", "e3", "d1", "d2", "d4"] {
-        assert_eq!(knocked_availability(cut_member), 0.0, "{cut_member} is a singleton cut");
+        assert_eq!(
+            knocked_availability(cut_member),
+            0.0,
+            "{cut_member} is a singleton cut"
+        );
     }
     for redundant in ["c1", "c2"] {
         let a = knocked_availability(redundant);
-        assert!(a > base - 1e-4, "core {redundant} is redundant: {a} vs {base}");
+        assert!(
+            a > base - 1e-4,
+            "core {redundant} is redundant: {a} vs {base}"
+        );
         assert!(a < base, "still strictly worse without {redundant}");
     }
     // The Birnbaum ranking puts the client first (it has both the worst

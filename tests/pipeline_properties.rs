@@ -2,9 +2,9 @@
 //! campus networks: the UPSIM invariants of Definition 2 must hold for
 //! every topology shape and every mapping.
 
-use proptest::prelude::*;
 use netgen::campus::{campus_infrastructure, CampusParams};
 use netgen::services::{random_mapping, sequential_service};
+use proptest::prelude::*;
 use upsim_core::discovery::DiscoveryOptions;
 use upsim_core::pipeline::UpsimPipeline;
 

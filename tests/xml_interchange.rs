@@ -32,8 +32,14 @@ fn reloaded_models_produce_identical_upsim() {
     let service2 = CompositeService::from_xml(&service.to_xml()).unwrap();
     let mapping2 = ServiceMapping::from_xml(&mapping.to_xml()).unwrap();
 
-    let run1 = UpsimPipeline::new(infra, service, mapping).unwrap().run().unwrap();
-    let run2 = UpsimPipeline::new(infra2, service2, mapping2).unwrap().run().unwrap();
+    let run1 = UpsimPipeline::new(infra, service, mapping)
+        .unwrap()
+        .run()
+        .unwrap();
+    let run2 = UpsimPipeline::new(infra2, service2, mapping2)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(run1.upsim, run2.upsim);
 }
 

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` crate, exposing the API surface the
+//! workspace's benches use: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, measurement_time, throughput,
+//! bench_function, bench_with_input, finish}`, `Bencher::{iter,
+//! iter_batched}`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the behaviours it needs. Measurement is deliberately simple —
+//! a short warm-up, then `sample_size` timed samples of an adaptively
+//! chosen iteration count — and the report is median / min / max per
+//! benchmark on stdout. No statistical outlier analysis, no HTML reports,
+//! no saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `BenchmarkGroup::throughput`; recorded but not reported.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-target measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        // Small by default: these benches run in CI alongside tests.
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.settings.clone(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.settings.clone(), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.settings.clone(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark name inside a group.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Batch-size hint for `iter_batched`; ignored by this stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of an adaptively
+    /// chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iterations fit in one slice of
+        // the measurement budget?
+        let calibration = Instant::now();
+        black_box(routine());
+        let one = calibration.elapsed().max(Duration::from_nanos(1));
+        let budget = self
+            .settings
+            .measurement_time
+            .max(Duration::from_millis(10));
+        let per_sample = budget / self.settings.sample_size as u32;
+        let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// `iter` with a per-iteration setup stage whose time is not counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<60} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_support_ids_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        group.bench_with_input(BenchmarkId::new("n", 4), &4u64, |b, &n| {
+            b.iter(|| black_box((0..n).sum::<u64>()))
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        group.bench_function("named", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

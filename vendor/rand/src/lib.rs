@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate, exposing exactly the API surface
+//! this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{random, random_bool, random_range}` and `seq::IndexedRandom::choose`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of behaviours it needs. The generator is
+//! xoshiro256++ seeded via splitmix64 — deterministic for a given seed,
+//! which is all the callers (seeded Monte-Carlo, seeded topology
+//! generators, seeded test fixtures) rely on. It is NOT the same stream
+//! as the real `StdRng` and is not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding entry point (`StdRng::seed_from_u64(s)`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The random-value methods used by the workspace.
+pub trait Rng {
+    /// The raw 64-bit output stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value from the "standard" distribution (`f64` in `[0, 1)`,
+    /// uniform integers, fair `bool`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = self.random();
+        u < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform value from an (inclusive or half-open) range.
+    fn random_range<T: SampleUniform, R: Into<UniformRange<T>>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let r: UniformRange<T> = range.into();
+        T::sample_uniform(r, &mut || self.next_u64())
+    }
+}
+
+/// Types producible from the standard distribution.
+pub trait StandardSample {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        // 53 mantissa bits -> [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+/// A resolved range request: `[lo, hi]` when `inclusive`, `[lo, hi)` otherwise.
+pub struct UniformRange<T> {
+    pub lo: T,
+    pub hi: T,
+    pub inclusive: bool,
+}
+
+impl<T> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized {
+    fn sample_uniform(range: UniformRange<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(range: UniformRange<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                let lo = range.lo as i128;
+                let hi = range.hi as i128;
+                let span = if range.inclusive { hi - lo + 1 } else { hi - lo };
+                assert!(span > 0, "cannot sample from an empty range");
+                // Modulo bias is negligible for the spans used here.
+                lo.wrapping_add((next() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_uniform(range: UniformRange<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+        let u = f64::standard_sample(next);
+        range.lo + u * (range.hi - range.lo)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from a slice (`[T]::choose`).
+    pub trait IndexedRandom {
+        type Output;
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = rng.random_range(0..self.len());
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(2..6usize);
+            assert!((2..6).contains(&v));
+            let w = rng.random_range(0..=3usize);
+            assert!((0..=3).contains(&w));
+            let f = rng.random_range(0.1..0.95);
+            assert!((0.1..0.95).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*items.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: Vec<u8> = vec![];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}
