@@ -665,7 +665,7 @@ pub fn e12_outlook() -> String {
     out
 }
 
-/// E13 — beyond steady state (related-work critique of [2]/[8]: "the
+/// E13 — beyond steady state (related-work critique of \[2\]/\[8\]: "the
 /// methodology can only be used to assess steady-state availability"):
 /// transient service availability and mission reliability curves.
 pub fn e13_transient() -> String {

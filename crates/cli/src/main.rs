@@ -12,10 +12,15 @@
 //! * `availability -i ... -s ... -m ...` — user-perceived steady-state
 //!   service availability (`--links`, `--paper-formula`, `--mc <samples>`),
 //! * `validate -i ... [-s ... -m ...]` — well-formedness checks,
-//! * `serve [--case-study] [--addr <host:port>] [--workers <n>]` — run the
-//!   resident query engine behind the line-delimited TCP protocol,
+//! * `serve [--case-study] [--addr <host:port>] [--workers <n>]
+//!   [--state-dir <dir>] [--save-every <n>]` — run the resident query
+//!   engine behind the line-delimited TCP protocol; with `--state-dir`
+//!   the engine restores the last XML snapshot + journal suffix on start
+//!   and journals every update durably,
 //! * `query --addr <host:port> --from <client> --to <provider>` — one
-//!   perspective query against a running server.
+//!   perspective query against a running server,
+//! * `restore --state-dir <dir>` — smoke-check a state directory: load
+//!   the snapshot, replay the journal, report the resulting epoch.
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error (unknown
 //! command, unknown or missing flag — usage is printed to stderr).
@@ -43,8 +48,9 @@ USAGE:
   upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
-  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>]
+  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>] [--state-dir <dir>] [--save-every <n>]
   upsim query        --addr <host:port> --from <client> --to <provider>
+  upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>]
   upsim help
 ";
 
@@ -157,31 +163,48 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "validate" => validate(&parse_flags(&args[1..])?),
         "serve" => serve(&parse_flags(&args[1..])?),
         "query" => query(&parse_flags(&args[1..])?),
+        "restore" => restore(&parse_flags(&args[1..])?),
         other => Err(usage_err(format!(
             "unknown command '{other}'; try 'upsim help'"
         ))),
     }
 }
 
-/// `upsim serve` — load models (USI case study by default), start the
-/// resident engine, and serve the TCP protocol until `SHUTDOWN`.
-fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+/// Initial models for `serve`/`restore`: the USI case study by default,
+/// or `-i`/`-s` XML files with the generic ping-pong mapper.
+fn initial_models(
+    flags: &HashMap<String, String>,
+) -> Result<
+    (
+        Infrastructure,
+        CompositeService,
+        upsim_server::PerspectiveMapper,
+    ),
+    CliError,
+> {
     let case_study = flag(flags, &["case-study"]).is_some() || flag(flags, &["i"]).is_none();
-    let (infra, service, mapper): (_, _, upsim_server::PerspectiveMapper) = if case_study {
-        (
+    if case_study {
+        Ok((
             netgen::usi::usi_infrastructure(),
             netgen::usi::printing_service(),
             Arc::new(|_: &CompositeService, client: &str, provider: &str| {
                 netgen::usi::perspective_mapping(client, provider)
             }),
-        )
+        ))
     } else {
         let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
             .map_err(|e| e.to_string())?;
         let service = CompositeService::from_xml(&read(require(flags, &["s", "service"])?)?)
             .map_err(|e| e.to_string())?;
-        (infra, service, upsim_server::pingpong_mapper())
-    };
+        Ok((infra, service, upsim_server::pingpong_mapper()))
+    }
+}
+
+/// `upsim serve` — load models (USI case study by default), restore any
+/// durable state, start the resident engine, and serve the TCP protocol
+/// until `SHUTDOWN`.
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (infra, service, mapper) = initial_models(flags)?;
     let workers = match flag(flags, &["workers"]) {
         Some(n) => n
             .parse()
@@ -189,14 +212,47 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => 0,
     };
     let addr = flag(flags, &["addr"]).unwrap_or("127.0.0.1:7413");
+    let state_dir = flag(flags, &["state-dir"]);
+    let save_every: usize = match flag(flags, &["save-every"]) {
+        Some(n) => {
+            if state_dir.is_none() {
+                return Err(usage_err("--save-every requires --state-dir"));
+            }
+            n.parse()
+                .map_err(|_| usage_err("--save-every expects an update count"))?
+        }
+        None => 0,
+    };
 
-    let snapshot = upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    let mut snapshot =
+        upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    if let Some(dir) = state_dir {
+        let report = upsim_server::persist::restore(std::path::Path::new(dir), snapshot)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "restored state from {dir}: epoch {} ({} of {} journal entries replayed, snapshot {})",
+            report.snapshot.epoch,
+            report.replayed,
+            report.journal_entries,
+            if report.from_snapshot {
+                "loaded"
+            } else {
+                "absent"
+            },
+        );
+        snapshot = report.snapshot;
+    }
     let config = upsim_server::EngineConfig {
         workers,
         mapper,
         ..Default::default()
     };
     let engine = upsim_server::Engine::new(snapshot, config);
+    if let Some(dir) = state_dir {
+        engine
+            .enable_persistence(dir, save_every)
+            .map_err(|e| e.to_string())?;
+    }
     let server =
         upsim_server::serve(engine, addr).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
     println!(
@@ -205,9 +261,41 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         server.engine().worker_count(),
         server.engine().service_name()
     );
-    println!("protocol: QUERY <client> <provider> | BATCH c:p ... | UPDATE ... | STATS | SHUTDOWN");
+    println!(
+        "protocol: QUERY <client> <provider> | BATCH c:p ... | UPDATE ... | STATS | SAVE | SHUTDOWN"
+    );
     server.join();
     println!("upsim-server stopped");
+    Ok(())
+}
+
+/// `upsim restore` — smoke-check a state directory without serving: load
+/// the snapshot, replay the journal, print what came back. Exit 1 on a
+/// corrupt journal or snapshot.
+fn restore(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let dir = require(flags, &["state-dir"])?;
+    let (infra, service, _mapper) = initial_models(flags)?;
+    let snapshot = upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    let report = upsim_server::persist::restore(std::path::Path::new(dir), snapshot)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "state '{}' OK: epoch {} service '{}' devices {} links {}",
+        dir,
+        report.snapshot.epoch,
+        report.snapshot.service_name(),
+        report.snapshot.infrastructure.device_count(),
+        report.snapshot.infrastructure.link_count(),
+    );
+    println!(
+        "journal: {} entries, {} replayed on top of the {}",
+        report.journal_entries,
+        report.replayed,
+        if report.from_snapshot {
+            "saved snapshot"
+        } else {
+            "initial models (no snapshot on disk)"
+        },
+    );
     Ok(())
 }
 

@@ -74,6 +74,127 @@ fn runtime_failure_exits_one() {
 }
 
 #[test]
+fn restore_smoke_tolerates_torn_journal_tail() {
+    let dir = std::env::temp_dir().join(format!("upsim-cli-restore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    // Two committed records plus a torn (unterminated) tail from a crash.
+    std::fs::write(
+        dir.join("journal.log"),
+        "1 DISCONNECT c1 c2\n2 CONNECT c1 c2\n3 DISCO",
+    )
+    .expect("write journal");
+
+    let out = upsim()
+        .args(["restore", "--state-dir", dir.to_str().expect("utf8 dir")])
+        .output()
+        .expect("run upsim restore");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("epoch 2"), "stdout: {stdout}");
+    assert!(stdout.contains("2 replayed"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_smoke_rejects_corrupt_journal() {
+    let dir = std::env::temp_dir().join(format!("upsim-cli-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    std::fs::write(
+        dir.join("journal.log"),
+        "1 DISCONNECT c1 c2\nnot a journal line\n2 CONNECT c1 c2\n",
+    )
+    .expect("write journal");
+
+    let out = upsim()
+        .args(["restore", "--state-dir", dir.to_str().expect("utf8 dir")])
+        .output()
+        .expect("run upsim restore");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("journal") && stderr.contains("line 2"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_resumes_saved_state_across_restart() {
+    fn request(addr: &str, line: &str) -> String {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send newline");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("read response");
+        response.trim_end().to_string()
+    }
+    type ServerLines = std::io::Lines<BufReader<std::process::ChildStdout>>;
+    // The lines iterator is returned so the pipe's read end stays open
+    // until the server has printed its final banner and exited.
+    fn spawn_serve(dir: &std::path::Path) -> (std::process::Child, String, ServerLines) {
+        let mut server = upsim()
+            .args([
+                "serve",
+                "--case-study",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--state-dir",
+                dir.to_str().expect("utf8 dir"),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn upsim serve");
+        let mut lines = BufReader::new(server.stdout.take().expect("piped stdout")).lines();
+        let addr = loop {
+            let line = lines.next().expect("server banner").expect("read banner");
+            if let Some(word) = line
+                .split_whitespace()
+                .find(|word| word.starts_with("127.0.0.1:"))
+            {
+                break word.to_string();
+            }
+        };
+        (server, addr, lines)
+    }
+
+    let dir = std::env::temp_dir().join(format!("upsim-cli-serve-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: mutate, SAVE, journal one more update, shut down.
+    let (mut server, addr, _lines) = spawn_serve(&dir);
+    assert!(request(&addr, "UPDATE DISCONNECT d1 c2").starts_with("OK update"));
+    assert!(request(&addr, "SAVE").starts_with("OK save epoch=1"));
+    assert!(request(&addr, "UPDATE CONNECT d1 c2").starts_with("OK update"));
+    assert_eq!(request(&addr, "SHUTDOWN"), "OK shutdown");
+    assert!(server.wait().expect("server exits").success());
+
+    // Second life: must resume at epoch 2 (snapshot + replayed suffix).
+    let (mut server, addr, _lines) = spawn_serve(&dir);
+    let stats = request(&addr, "STATS");
+    assert!(stats.contains("epoch=2"), "stats: {stats}");
+    assert!(stats.contains("journal_len=2"), "stats: {stats}");
+    assert!(stats.contains("last_save_epoch=1"), "stats: {stats}");
+    let query = request(&addr, "QUERY t1 p1");
+    assert!(query.contains("epoch=2"), "query: {query}");
+    assert_eq!(request(&addr, "SHUTDOWN"), "OK shutdown");
+    assert!(server.wait().expect("server exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_and_query_round_trip() {
     // Ephemeral port; the server prints the bound address on its first line.
     let mut server = upsim()

@@ -6,7 +6,7 @@
 //! fault-tree (FT), in which entities correspond to components of the
 //! UPSIM. The availability for individual components can be calculated
 //! using the component attributes MTBF and MTTR (Formula 1)."* The
-//! companion paper [20] ("Model-driven evaluation of user-perceived service
+//! companion paper \[20\] ("Model-driven evaluation of user-perceived service
 //! availability") carries out that transformation; this crate implements
 //! both, plus the exact engines an RBD cannot cover:
 //!

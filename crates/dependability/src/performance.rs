@@ -1,6 +1,6 @@
 //! User-perceived performance properties (paper Sec. VII outlook:
 //! *"other service dependability properties, not exclusively steady-state
-//! availability, can be evaluated"* — performability [6] is cited
+//! availability, can be evaluated"* — performability \[6\] is cited
 //! explicitly).
 //!
 //! The network profile's `Communication.throughput` attribute (Fig. 7)

@@ -1,5 +1,5 @@
 //! The UPSIM → availability-model transformation (paper Sec. VII and the
-//! companion paper [20]).
+//! companion paper \[20\]).
 //!
 //! From a pipeline run ([`upsim_core::pipeline::UpsimRun`]) this module
 //! builds a [`ServiceAvailabilityModel`]: per-component availabilities from

@@ -1,6 +1,6 @@
 //! Two-terminal series-parallel recognition and reduction.
 //!
-//! The companion transformation of the paper ([20], "Model-driven evaluation
+//! The companion transformation of the paper (\[20\], "Model-driven evaluation
 //! of user-perceived service availability") turns a UPSIM into a reliability
 //! block diagram. A two-terminal graph maps to a *pure* RBD exactly when it
 //! is series-parallel reducible; this module performs the reduction and

@@ -10,6 +10,7 @@
 //! guarantees a result computed against a superseded generation is never
 //! served afterwards.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -24,6 +25,7 @@ use upsim_core::service::CompositeService;
 
 use crate::cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::persist::{self, Journal, SaveSummary};
 use crate::snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
 
 /// Errors surfaced to engine callers (and over the wire as `ERR` lines).
@@ -33,6 +35,8 @@ pub enum EngineError {
     UnknownDevice(String),
     /// A model-layer failure (validation, pipeline, update).
     Model(String),
+    /// A persistence failure (journal append, snapshot save, state dir).
+    Persist(String),
     /// The engine is shut down (or a worker disappeared mid-request).
     Shutdown,
 }
@@ -42,6 +46,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
             EngineError::Model(msg) => write!(f, "model error: {msg}"),
+            EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
             EngineError::Shutdown => write!(f, "engine is shut down"),
         }
     }
@@ -131,6 +136,16 @@ enum Job {
     Stop,
 }
 
+/// Journal + autosave state, present once persistence is enabled.
+struct PersistHandle {
+    dir: PathBuf,
+    journal: Journal,
+    /// Autosave the snapshot after this many journaled updates (0 = only
+    /// on explicit `SAVE`).
+    save_every: usize,
+    updates_since_save: usize,
+}
+
 struct Shared {
     snapshot: RwLock<Arc<ModelSnapshot>>,
     epoch: AtomicU64,
@@ -139,6 +154,9 @@ struct Shared {
     mapper: PerspectiveMapper,
     discovery: DiscoveryOptions,
     shutdown: AtomicBool,
+    persist: Mutex<Option<PersistHandle>>,
+    journal_len: AtomicU64,
+    last_save_epoch: AtomicU64,
 }
 
 /// Handle to the resident engine. Cheap to clone; all clones share the
@@ -147,6 +165,8 @@ struct Shared {
 pub struct Engine {
     shared: Arc<Shared>,
     job_tx: Sender<Job>,
+    /// Kept so `shutdown` can drain jobs the workers never consumed.
+    job_rx: Receiver<Job>,
     workers: usize,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -169,6 +189,9 @@ impl Engine {
             mapper: config.mapper,
             discovery: config.discovery,
             shutdown: AtomicBool::new(false),
+            persist: Mutex::new(None),
+            journal_len: AtomicU64::new(0),
+            last_save_epoch: AtomicU64::new(0),
         });
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
         let mut handles = Vec::with_capacity(workers);
@@ -180,6 +203,7 @@ impl Engine {
         Engine {
             shared,
             job_tx,
+            job_rx,
             workers,
             handles: Arc::new(Mutex::new(handles)),
         }
@@ -203,6 +227,71 @@ impl Engine {
             .expect("snapshot poisoned")
             .service_name()
             .to_string()
+    }
+
+    /// The currently published model generation.
+    pub fn model(&self) -> Arc<ModelSnapshot> {
+        self.shared
+            .snapshot
+            .read()
+            .expect("snapshot poisoned")
+            .clone()
+    }
+
+    /// Turns on durable state under `dir`: every subsequent update is
+    /// appended (fsynced) to the journal, and when `save_every > 0` the
+    /// snapshot is additionally re-exported after that many updates.
+    ///
+    /// Call this right after constructing the engine from
+    /// [`persist::restore`]'s snapshot — the journal is opened in append
+    /// mode, so already-replayed entries stay in place and the epoch
+    /// sequence continues where the restored state left off.
+    pub fn enable_persistence(
+        &self,
+        dir: impl Into<PathBuf>,
+        save_every: usize,
+    ) -> Result<(), EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            EngineError::Persist(format!("cannot create state dir '{}': {e}", dir.display()))
+        })?;
+        let journal = Journal::open(&dir).map_err(|e| EngineError::Persist(e.to_string()))?;
+        self.shared
+            .journal_len
+            .store(journal.len(), Ordering::Relaxed);
+        self.shared
+            .last_save_epoch
+            .store(persist::saved_epoch(&dir).unwrap_or(0), Ordering::Relaxed);
+        *self.shared.persist.lock().expect("persist poisoned") = Some(PersistHandle {
+            dir,
+            journal,
+            save_every,
+            updates_since_save: 0,
+        });
+        Ok(())
+    }
+
+    /// Exports the current snapshot to the state directory (the `SAVE`
+    /// protocol verb). Errors when persistence is not enabled.
+    pub fn save_state(&self) -> Result<SaveSummary, EngineError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::Shutdown);
+        }
+        let snapshot = self.model();
+        let mut persist = self.shared.persist.lock().expect("persist poisoned");
+        let handle = persist.as_mut().ok_or_else(|| {
+            EngineError::Persist("no state directory configured (serve with --state-dir)".into())
+        })?;
+        let path = persist::save_snapshot(&handle.dir, &snapshot)
+            .map_err(|e| EngineError::Persist(e.to_string()))?;
+        handle.updates_since_save = 0;
+        self.shared
+            .last_save_epoch
+            .store(snapshot.epoch, Ordering::Relaxed);
+        Ok(SaveSummary {
+            epoch: snapshot.epoch,
+            path,
+        })
     }
 
     /// Evaluates one perspective, serving from the cache when possible.
@@ -294,11 +383,20 @@ impl Engine {
                 reply: reply_tx,
             })
             .map_err(|_| EngineError::Shutdown)?;
+        // Close the race with `shutdown`: if the flag flipped between the
+        // check above and the send, our job may sit behind the Stop jobs
+        // with every worker already gone — drain it (and any neighbours)
+        // ourselves so no caller blocks forever on `reply_rx`.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.drain_pending();
+        }
         Ok(Err(reply_rx))
     }
 
     /// Applies a dynamicity command: publishes a new snapshot generation
-    /// and sweeps exactly the cache keys the change can affect.
+    /// and sweeps exactly the cache keys the change can affect. With
+    /// persistence enabled the update is journaled (fsynced) before this
+    /// returns — a crash after an acknowledged `UPDATE` replays it.
     pub fn update(&self, command: UpdateCommand) -> Result<UpdateSummary, EngineError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
@@ -306,18 +404,7 @@ impl Engine {
         let mut guard = self.shared.snapshot.write().expect("snapshot poisoned");
         let mut next = (**guard).clone();
         let old_service = next.service_name().to_string();
-        match &command {
-            UpdateCommand::Connect { a, b } => {
-                next.infrastructure.connect(a, b)?;
-            }
-            UpdateCommand::Disconnect { a, b } => {
-                next.infrastructure.disconnect(a, b)?;
-            }
-            UpdateCommand::SubstituteService { service } => {
-                next.service = service.clone();
-            }
-        }
-        next.infrastructure.validate()?;
+        next.apply(&command)?;
         next.epoch = guard.epoch + 1;
         // Epoch first, sweep second — see the ordering note on
         // `PerspectiveCache::insert`.
@@ -330,10 +417,16 @@ impl Engine {
             }
         };
         let epoch = next.epoch;
-        *guard = Arc::new(next);
+        let published = Arc::new(next);
+        *guard = Arc::clone(&published);
+        // Journal while still holding the model write lock so lines land
+        // in strict epoch order (two updates racing after `drop(guard)`
+        // could otherwise journal out of order).
+        let journaled = self.journal_update(&published, &command);
         drop(guard);
         EngineMetrics::bump(&self.shared.metrics.updates);
         EngineMetrics::add(&self.shared.metrics.invalidations, invalidated as u64);
+        journaled?;
         Ok(UpdateSummary {
             epoch,
             invalidated,
@@ -341,19 +434,69 @@ impl Engine {
         })
     }
 
+    /// Appends the published update to the journal (fsynced) and runs the
+    /// `--save-every` autosave. No-op without persistence.
+    fn journal_update(
+        &self,
+        published: &Arc<ModelSnapshot>,
+        command: &UpdateCommand,
+    ) -> Result<(), EngineError> {
+        let mut persist = self.shared.persist.lock().expect("persist poisoned");
+        let Some(handle) = persist.as_mut() else {
+            return Ok(());
+        };
+        handle
+            .journal
+            .append(published.epoch, command)
+            .map_err(|e| EngineError::Persist(format!("journal append: {e}")))?;
+        self.shared
+            .journal_len
+            .store(handle.journal.len(), Ordering::Relaxed);
+        handle.updates_since_save += 1;
+        if handle.save_every > 0 && handle.updates_since_save >= handle.save_every {
+            persist::save_snapshot(&handle.dir, published)
+                .map_err(|e| EngineError::Persist(e.to_string()))?;
+            handle.updates_since_save = 0;
+            self.shared
+                .last_save_epoch
+                .store(published.epoch, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// A point-in-time metrics snapshot (the `STATS` response).
     pub fn stats(&self) -> MetricsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.shared.cache.len(), self.epoch(), self.workers)
+        let mut snapshot =
+            self.shared
+                .metrics
+                .snapshot(self.shared.cache.len(), self.epoch(), self.workers);
+        snapshot.journal_len = self.shared.journal_len.load(Ordering::Relaxed);
+        snapshot.last_save_epoch = self.shared.last_save_epoch.load(Ordering::Relaxed);
+        snapshot.state_dir = self
+            .shared
+            .persist
+            .lock()
+            .expect("persist poisoned")
+            .as_ref()
+            .map(|handle| handle.dir.display().to_string());
+        snapshot
     }
 
     /// Stops the pool and joins every worker. Idempotent; pending jobs
-    /// submitted before the stop are still drained.
+    /// submitted before the stop are drained by the workers (FIFO puts
+    /// them ahead of the Stop jobs), and jobs that raced past the
+    /// shutdown flag are answered `EngineError::Shutdown` by the final
+    /// queue drain — no caller is left blocking forever.
     pub fn shutdown(&self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.stop_workers();
+        self.drain_pending();
+    }
+
+    /// Sends one Stop per worker and joins the pool.
+    fn stop_workers(&self) {
         for _ in 0..self.workers {
             // Ignore send failures: all workers already gone is fine.
             let _ = self.job_tx.send(Job::Stop);
@@ -361,6 +504,17 @@ impl Engine {
         let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
         for handle in handles {
             let _ = handle.join();
+        }
+    }
+
+    /// Answers every job still sitting in the queue with
+    /// `EngineError::Shutdown`. Safe to call from multiple threads — each
+    /// queued job is received (and thus answered) exactly once.
+    fn drain_pending(&self) {
+        while let Ok(job) = self.job_rx.try_recv() {
+            if let Job::Eval { reply, .. } = job {
+                let _ = reply.send(Err(EngineError::Shutdown));
+            }
         }
     }
 }
@@ -427,7 +581,6 @@ fn evaluate(
     let eval_micros = start.elapsed().as_micros() as u64;
     shared.metrics.record_timings(&run.timings);
     shared.metrics.eval_latency.record(eval_micros);
-    EngineMetrics::bump(&shared.metrics.cache_misses);
     let entry = Arc::new(CachedPerspective {
         key,
         epoch: snapshot.epoch,
@@ -441,6 +594,83 @@ fn evaluate(
         reduction_ratio: run.reduction_ratio,
         eval_micros,
     });
-    shared.cache.insert(entry.clone(), &shared.epoch);
+    // A miss only counts once the cache admitted the entry; a result the
+    // insert rejected for a stale epoch (an update raced the evaluation)
+    // is tracked separately so `hits + misses` matches admitted lookups.
+    if shared.cache.insert(entry.clone(), &shared.epoch) {
+        EngineMetrics::bump(&shared.metrics.cache_misses);
+    } else {
+        EngineMetrics::bump(&shared.metrics.stale_results);
+    }
     Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+    use std::time::Duration;
+
+    fn usi_engine(workers: usize) -> Engine {
+        let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+            .expect("USI models are consistent");
+        let config = EngineConfig {
+            workers,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+            ..EngineConfig::default()
+        };
+        Engine::new(snapshot, config)
+    }
+
+    /// Regression for the shutdown hang: a job that passed the shutdown
+    /// flag check concurrently with `shutdown()` lands in the queue behind
+    /// the Stop jobs, after every worker is gone. Pre-fix its reply channel
+    /// lived in the queue forever and the caller blocked indefinitely on
+    /// `recv`; the drain must answer it with `EngineError::Shutdown`.
+    #[test]
+    fn shutdown_drains_jobs_that_raced_the_flag() {
+        let engine = usi_engine(1);
+        // Replay the race deterministically with internal access: the flag
+        // flips and the workers stop (the first half of `shutdown`)...
+        engine.shared.shutdown.store(true, Ordering::SeqCst);
+        engine.stop_workers();
+        // ...while a racer that already passed the flag check enqueues its
+        // Eval job, exactly as `lookup_or_enqueue`'s tail does.
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let sent = engine.job_tx.send(Job::Eval {
+            client: "t1".into(),
+            provider: "p1".into(),
+            reply: reply_tx,
+        });
+        assert!(sent.is_ok(), "engine keeps a receiver alive");
+        // The second half of `shutdown`: without this drain (the pre-fix
+        // engine) the recv below times out.
+        engine.drain_pending();
+        // Bound the wait (the vendored channel has no recv_timeout).
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = done_tx.send(reply_rx.recv());
+        });
+        let answer = done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("raced job must be answered, not leaked")
+            .expect("reply channel stays connected");
+        assert!(
+            matches!(answer, Err(EngineError::Shutdown)),
+            "raced job must be answered with Shutdown, got {answer:?}"
+        );
+    }
+
+    /// The sender-side half of the fix: a query that observes the flag
+    /// after its send self-drains, so even a job enqueued after
+    /// `shutdown()` fully completed is answered.
+    #[test]
+    fn queries_after_shutdown_fail_fast() {
+        let engine = usi_engine(1);
+        engine.shutdown();
+        let start = Instant::now();
+        let err = engine.query("t1", "p1").expect_err("engine is down");
+        assert_eq!(err, EngineError::Shutdown);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
 }

@@ -24,10 +24,16 @@
 //! * [`metrics::EngineMetrics`] — atomic counters, a log₂ latency
 //!   histogram, and per-stage timing aggregation over
 //!   [`upsim_core::pipeline::StepTiming`].
+//! * [`persist`] — durable engine state: an XML `<engine-state>` snapshot
+//!   (export/import through the `crates/xmlio` interchange formats) plus
+//!   an append-only, fsynced update journal in the `UPDATE` wire syntax;
+//!   a restarted `serve --state-dir` loads the snapshot, replays the
+//!   journal suffix, and resumes at the exact pre-restart epoch.
 
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -35,5 +41,6 @@ pub mod snapshot;
 pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateCommand, UpdateSummary};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use persist::{Journal, JournalEntry, PersistError, RestoreReport, SaveSummary};
 pub use server::{serve, UpsimServer};
 pub use snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use upsim_core::pipeline::StepTiming;
 
 /// The four automated pipeline stages (Steps 5–8), in execution order.
-/// Indexes into [`EngineMetrics::stage_nanos`].
+/// Indexes the per-stage timing accumulators in [`EngineMetrics`].
 pub const STAGES: [&str; 4] = [
     "5-import-models",
     "6-import-mapping",
@@ -71,6 +71,11 @@ pub struct EngineMetrics {
     pub queries: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Evaluations whose result was rejected by the cache for a stale
+    /// epoch (a concurrent update superseded them mid-flight). Counted
+    /// separately from `cache_misses` so `hits + misses` tracks entries
+    /// the cache actually admitted.
+    pub stale_results: AtomicU64,
     pub batches: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
@@ -112,6 +117,7 @@ impl EngineMetrics {
             queries,
             cache_hits: hits,
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            stale_results: self.stale_results.load(Ordering::Relaxed),
             hit_rate: if lookups == 0 {
                 0.0
             } else {
@@ -131,6 +137,9 @@ impl EngineMetrics {
             cache_len,
             epoch,
             workers,
+            state_dir: None,
+            journal_len: 0,
+            last_save_epoch: 0,
         }
     }
 }
@@ -141,6 +150,8 @@ pub struct MetricsSnapshot {
     pub queries: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Results computed against an epoch an update superseded mid-flight.
+    pub stale_results: u64,
     pub hit_rate: f64,
     pub batches: u64,
     pub updates: u64,
@@ -155,18 +166,26 @@ pub struct MetricsSnapshot {
     pub cache_len: usize,
     pub epoch: u64,
     pub workers: usize,
+    /// Persistence directory, when the engine journals to disk.
+    pub state_dir: Option<String>,
+    /// Committed journal entries (`-`-free rendering: `0` when disabled).
+    pub journal_len: u64,
+    /// Epoch of the last published `snapshot.xml` (`0` before any save).
+    pub last_save_epoch: u64,
 }
 
 impl MetricsSnapshot {
     /// Single-line `key=value` rendering used by the `STATS` response.
     pub fn render(&self) -> String {
         let mut line = format!(
-            "queries={} cache_hits={} cache_misses={} hit_rate={:.3} batches={} updates={} \
-             invalidations={} errors={} evals={} eval_mean_us={:.1} eval_p50_us<={} \
-             eval_p99_us<={} cache_len={} epoch={} workers={}",
+            "queries={} cache_hits={} cache_misses={} stale_results={} hit_rate={:.3} \
+             batches={} updates={} invalidations={} errors={} evals={} eval_mean_us={:.1} \
+             eval_p50_us<={} eval_p99_us<={} cache_len={} epoch={} workers={} state_dir={} \
+             journal_len={} last_save_epoch={}",
             self.queries,
             self.cache_hits,
             self.cache_misses,
+            self.stale_results,
             self.hit_rate,
             self.batches,
             self.updates,
@@ -179,6 +198,9 @@ impl MetricsSnapshot {
             self.cache_len,
             self.epoch,
             self.workers,
+            self.state_dir.as_deref().unwrap_or("-"),
+            self.journal_len,
+            self.last_save_epoch,
         );
         for (stage, millis) in STAGES.iter().zip(self.stage_millis.iter()) {
             line.push_str(&format!(" stage[{stage}]_ms={millis:.2}"));
@@ -242,6 +264,19 @@ mod tests {
         let line = snap.render();
         assert!(line.contains("hit_rate=0.750"));
         assert!(line.contains("epoch=7"));
+        assert!(line.contains("stale_results=0"));
+        assert!(line.contains("state_dir=- journal_len=0 last_save_epoch=0"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn persistence_fields_render_when_set() {
+        let metrics = EngineMetrics::new();
+        let mut snap = metrics.snapshot(0, 3, 1);
+        snap.state_dir = Some("/var/lib/upsim".into());
+        snap.journal_len = 12;
+        snap.last_save_epoch = 2;
+        let line = snap.render();
+        assert!(line.contains("state_dir=/var/lib/upsim journal_len=12 last_save_epoch=2"));
     }
 }

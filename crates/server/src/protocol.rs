@@ -10,6 +10,7 @@
 //! UPDATE DISCONNECT <a> <b>
 //! UPDATE SERVICE <name> <atomic> [<atomic> ...]
 //! STATS
+//! SAVE
 //! SHUTDOWN
 //! ```
 //!
@@ -23,6 +24,7 @@ use upsim_core::service::CompositeService;
 use crate::cache::CachedPerspective;
 use crate::engine::{EngineError, UpdateCommand, UpdateSummary};
 use crate::metrics::MetricsSnapshot;
+use crate::persist::SaveSummary;
 
 /// A parsed client request.
 #[derive(Debug, Clone)]
@@ -31,6 +33,7 @@ pub enum Request {
     Batch { pairs: Vec<(String, String)> },
     Update(UpdateCommand),
     Stats,
+    Save,
     Shutdown,
 }
 
@@ -70,12 +73,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             expect_end(words, "STATS")?;
             Ok(Request::Stats)
         }
+        "SAVE" => {
+            expect_end(words, "SAVE")?;
+            Ok(Request::Save)
+        }
         "SHUTDOWN" => {
             expect_end(words, "SHUTDOWN")?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown command `{other}` (try QUERY, BATCH, UPDATE, STATS, SHUTDOWN)"
+            "unknown command `{other}` (try QUERY, BATCH, UPDATE, STATS, SAVE, SHUTDOWN)"
         )),
     }
 }
@@ -118,6 +125,30 @@ fn parse_update<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<UpdateCo
         other => Err(format!(
             "unknown update `{other}` (try CONNECT, DISCONNECT, SERVICE)"
         )),
+    }
+}
+
+/// Parses a bare update command (no `UPDATE` prefix) — the journal's
+/// on-disk line syntax, shared with the wire verb.
+pub fn parse_update_wire(line: &str) -> Result<UpdateCommand, String> {
+    parse_update(line.split_whitespace())
+}
+
+/// Renders an update command back into the bare wire syntax
+/// [`parse_update_wire`] accepts. A substituted service is flattened to
+/// its atomic sequence (see the caveat in [`crate::persist`]).
+pub fn render_update_wire(command: &UpdateCommand) -> String {
+    match command {
+        UpdateCommand::Connect { a, b } => format!("CONNECT {a} {b}"),
+        UpdateCommand::Disconnect { a, b } => format!("DISCONNECT {a} {b}"),
+        UpdateCommand::SubstituteService { service } => {
+            let mut line = format!("SERVICE {}", service.name());
+            for atomic in service.atomic_services() {
+                line.push(' ');
+                line.push_str(atomic);
+            }
+            line
+        }
     }
 }
 
@@ -179,6 +210,15 @@ pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
     format!("OK stats {}", snapshot.render())
 }
 
+/// `OK save ...`
+pub fn render_save(summary: &SaveSummary) -> String {
+    format!(
+        "OK save epoch={} path={}",
+        summary.epoch,
+        summary.path.display()
+    )
+}
+
 /// `ERR ...`
 pub fn render_error(err: &EngineError) -> String {
     format!("ERR {err}")
@@ -235,6 +275,19 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_save_and_wire_updates() {
+        assert!(matches!(parse_request("SAVE"), Ok(Request::Save)));
+        assert!(matches!(parse_request("save"), Ok(Request::Save)));
+        assert!(parse_request("SAVE now").is_err());
+
+        let command = parse_update_wire("CONNECT a b").expect("parses");
+        assert_eq!(render_update_wire(&command), "CONNECT a b");
+        let command = parse_update_wire("SERVICE scanS s1 s2").expect("parses");
+        assert_eq!(render_update_wire(&command), "SERVICE scanS s1 s2");
+        assert!(parse_update_wire("TELEPORT a b").is_err());
     }
 
     #[test]

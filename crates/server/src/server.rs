@@ -2,15 +2,16 @@
 //! connection, each speaking the line protocol from [`crate::protocol`].
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::protocol::{
-    parse_request, render_batch, render_error, render_perspective, render_stats, render_update,
-    Request,
+    parse_request, render_batch, render_error, render_perspective, render_save, render_stats,
+    render_update, Request,
 };
 
 /// A running TCP server wrapped around an [`Engine`].
@@ -97,6 +98,14 @@ fn handle_connection(
     let mut writer = stream;
     for line in reader.lines() {
         let line = line?;
+        // A connection opened before a SHUTDOWN must not keep serving (it
+        // would loop on `ERR engine is shut down` forever): answer one
+        // final line and close.
+        if stop.load(Ordering::SeqCst) {
+            writer.write_all(b"ERR shutting down\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -116,6 +125,10 @@ fn handle_connection(
                 Err(err) => render_error(&err),
             },
             Ok(Request::Stats) => render_stats(&engine.stats()),
+            Ok(Request::Save) => match engine.save_state() {
+                Ok(summary) => render_save(&summary),
+                Err(err) => render_error(&err),
+            },
             Ok(Request::Shutdown) => {
                 writer.write_all(b"OK shutdown\n")?;
                 writer.flush()?;
@@ -133,7 +146,41 @@ fn handle_connection(
 
 /// Sets the stop flag and pokes the accept loop with a dummy connection so
 /// `listener.incoming()` returns and observes the flag.
+///
+/// `addr` may be the *bind* address: for an unspecified bind
+/// (`0.0.0.0:<port>` / `[::]:<port>`) connecting to the wildcard address
+/// is not portably possible, so the poke goes to the matching loopback
+/// address with the bound port instead.
 fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
     stop.store(true, Ordering::SeqCst);
-    let _ = TcpStream::connect(addr);
+    let poke = connectable(addr);
+    let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+}
+
+/// Rewrites an unspecified (wildcard) address to the same-family loopback.
+fn connectable(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        let loopback = match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        };
+        SocketAddr::new(loopback, addr.port())
+    } else {
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_binds_poke_loopback() {
+        let v4: SocketAddr = "0.0.0.0:7413".parse().unwrap();
+        assert_eq!(connectable(v4), "127.0.0.1:7413".parse().unwrap());
+        let v6: SocketAddr = "[::]:7413".parse().unwrap();
+        assert_eq!(connectable(v6), "[::1]:7413".parse().unwrap());
+        let concrete: SocketAddr = "192.0.2.1:7413".parse().unwrap();
+        assert_eq!(connectable(concrete), concrete);
+    }
 }

@@ -12,6 +12,8 @@ use upsim_core::infrastructure::Infrastructure;
 use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
 use upsim_core::service::CompositeService;
 
+use crate::engine::UpdateCommand;
+
 /// Derives the service mapping of one perspective from the loaded service
 /// and a `(client, provider)` pair.
 ///
@@ -63,6 +65,28 @@ impl ModelSnapshot {
     /// The loaded composite service's name (part of every cache key).
     pub fn service_name(&self) -> &str {
         self.service.name()
+    }
+
+    /// Applies one dynamicity command to this (unpublished) snapshot and
+    /// re-validates the model. Does **not** touch the epoch — the caller
+    /// decides what generation the mutated state becomes ([`Engine::update`]
+    /// bumps by one, journal replay restores the recorded epoch).
+    ///
+    /// [`Engine::update`]: crate::engine::Engine::update
+    pub fn apply(&mut self, command: &UpdateCommand) -> UpsimResult<()> {
+        match command {
+            UpdateCommand::Connect { a, b } => {
+                self.infrastructure.connect(a, b)?;
+            }
+            UpdateCommand::Disconnect { a, b } => {
+                self.infrastructure.disconnect(a, b)?;
+            }
+            UpdateCommand::SubstituteService { service } => {
+                self.service = service.clone();
+            }
+        }
+        self.infrastructure.validate()?;
+        Ok(())
     }
 }
 

@@ -71,7 +71,7 @@ fn tcp_protocol_round_trip() {
         "unexpected response: {batch}"
     );
 
-    // STATS reflects the hits above.
+    // STATS reflects the hits above, and reports persistence as disabled.
     let stats = client.request("STATS");
     assert!(
         stats.starts_with("OK stats "),
@@ -80,6 +80,21 @@ fn tcp_protocol_round_trip() {
     assert!(
         !stats.contains("cache_hits=0 "),
         "expected hits in: {stats}"
+    );
+    assert!(
+        stats.contains("state_dir=- journal_len=0 last_save_epoch=0"),
+        "persistence disabled in: {stats}"
+    );
+    assert!(
+        stats.contains("stale_results="),
+        "missing field in: {stats}"
+    );
+
+    // SAVE without a state directory is a persistence error, not a crash.
+    let save = client.request("SAVE");
+    assert!(
+        save.starts_with("ERR persistence error"),
+        "unexpected response: {save}"
     );
 
     // An update bumps the epoch; the previously cached perspective that
@@ -116,5 +131,53 @@ fn tcp_protocol_round_trip() {
     // SHUTDOWN stops the engine and the accept loop.
     let bye = client.request("SHUTDOWN");
     assert_eq!(bye, "OK shutdown");
+
+    // A connection opened before the shutdown must not linger: its next
+    // request gets one final ERR line and the server closes the socket
+    // (pre-fix it kept answering `ERR engine is shut down` forever).
+    let farewell = other.request("QUERY t1 p1");
+    assert_eq!(farewell, "ERR shutting down");
+    let mut rest = String::new();
+    let eof = other.reader.read_line(&mut rest).expect("read after close");
+    assert_eq!(eof, 0, "connection must be closed, got: {rest}");
+
     server.join();
+}
+
+#[test]
+fn save_and_stats_report_persistence_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("upsim-tcp-save-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    let config = EngineConfig {
+        workers: 1,
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(snapshot, config);
+    engine
+        .enable_persistence(&dir, 0)
+        .expect("enable persistence");
+    let server = serve(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr());
+
+    let update = client.request("UPDATE DISCONNECT d1 c2");
+    assert!(update.starts_with("OK update"), "unexpected: {update}");
+    let save = client.request("SAVE");
+    assert!(
+        save.starts_with("OK save epoch=1 path="),
+        "unexpected: {save}"
+    );
+    let stats = client.request("STATS");
+    assert!(
+        stats.contains("journal_len=1 last_save_epoch=1"),
+        "persistence fields missing in: {stats}"
+    );
+    assert!(stats.contains("state_dir="), "state_dir missing: {stats}");
+
+    let bye = client.request("SHUTDOWN");
+    assert_eq!(bye, "OK shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,7 +1,7 @@
 //! Declarative graph patterns over the model space.
 //!
 //! VIATRA2's VTCL offers *"declarative model queries and manipulation
-//! based on mathematical formalisms"* (paper Sec. V-C, [18]). A
+//! based on mathematical formalisms"* (paper Sec. V-C, \[18\]). A
 //! [`Pattern`] here is the same thing in Rust form: a set of entity
 //! variables plus constraints; [`Pattern::matches`] enumerates every
 //! assignment of live entities to variables satisfying all constraints

@@ -1,7 +1,7 @@
 //! Transformation rules and execution machine.
 //!
 //! VIATRA2 transformations combine graph patterns with abstract-state-
-//! machine control structures (paper Sec. V-C, [18]). The [`Machine`] here
+//! machine control structures (paper Sec. V-C, \[18\]). The [`Machine`] here
 //! provides the strategies the methodology needs: `choose` (apply to the
 //! first match), `forall` (apply to every match of a frozen snapshot) and
 //! `iterate` (re-match and apply until fixpoint, with a divergence budget).
