@@ -287,7 +287,7 @@ impl Engine {
         handle.updates_since_save = 0;
         self.shared
             .last_save_epoch
-            .store(snapshot.epoch, Ordering::Relaxed);
+            .fetch_max(snapshot.epoch, Ordering::Relaxed);
         Ok(SaveSummary {
             epoch: snapshot.epoch,
             path,
@@ -406,9 +406,17 @@ impl Engine {
         let old_service = next.service_name().to_string();
         next.apply(&command)?;
         next.epoch = guard.epoch + 1;
+        let published = Arc::new(next);
+        // Journal before any in-memory effect, while still holding the
+        // model write lock so lines land in strict epoch order. An update
+        // that cannot be made durable is not applied: on append failure
+        // the guard unwinds with the old snapshot, epoch, and cache all
+        // intact, so an ERR'd UPDATE never diverges served state from the
+        // journal.
+        self.journal_append(&published, &command)?;
         // Epoch first, sweep second — see the ordering note on
         // `PerspectiveCache::insert`.
-        self.shared.epoch.store(next.epoch, Ordering::SeqCst);
+        self.shared.epoch.store(published.epoch, Ordering::SeqCst);
         let invalidated = match &command {
             UpdateCommand::Connect { .. } => self.shared.cache.invalidate_all(),
             UpdateCommand::Disconnect { a, b } => self.shared.cache.invalidate_link(a, b),
@@ -416,17 +424,15 @@ impl Engine {
                 self.shared.cache.invalidate_service(&old_service)
             }
         };
-        let epoch = next.epoch;
-        let published = Arc::new(next);
+        let epoch = published.epoch;
         *guard = Arc::clone(&published);
-        // Journal while still holding the model write lock so lines land
-        // in strict epoch order (two updates racing after `drop(guard)`
-        // could otherwise journal out of order).
-        let journaled = self.journal_update(&published, &command);
         drop(guard);
+        // Autosave outside the write lock: the full XML export (plus two
+        // fsyncs) must not stall queries; the persist mutex alone already
+        // serializes savers.
+        self.maybe_autosave(&published);
         EngineMetrics::bump(&self.shared.metrics.updates);
         EngineMetrics::add(&self.shared.metrics.invalidations, invalidated as u64);
-        journaled?;
         Ok(UpdateSummary {
             epoch,
             invalidated,
@@ -434,9 +440,10 @@ impl Engine {
         })
     }
 
-    /// Appends the published update to the journal (fsynced) and runs the
-    /// `--save-every` autosave. No-op without persistence.
-    fn journal_update(
+    /// Appends the update to the journal (fsynced). No-op without
+    /// persistence. Called under the snapshot write lock, before the
+    /// update takes effect in memory.
+    fn journal_append(
         &self,
         published: &Arc<ModelSnapshot>,
         command: &UpdateCommand,
@@ -452,16 +459,40 @@ impl Engine {
         self.shared
             .journal_len
             .store(handle.journal.len(), Ordering::Relaxed);
-        handle.updates_since_save += 1;
-        if handle.save_every > 0 && handle.updates_since_save >= handle.save_every {
-            persist::save_snapshot(&handle.dir, published)
-                .map_err(|e| EngineError::Persist(e.to_string()))?;
-            handle.updates_since_save = 0;
-            self.shared
-                .last_save_epoch
-                .store(published.epoch, Ordering::Relaxed);
-        }
         Ok(())
+    }
+
+    /// Runs the `--save-every` autosave for a just-published update,
+    /// outside the snapshot lock. A failed save is non-fatal — the update
+    /// is already durable in the journal — so it is reported on stderr and
+    /// retried after the next update. Must not touch the snapshot lock
+    /// (lock order is snapshot → persist, never the reverse).
+    fn maybe_autosave(&self, published: &Arc<ModelSnapshot>) {
+        let mut persist = self.shared.persist.lock().expect("persist poisoned");
+        let Some(handle) = persist.as_mut() else {
+            return;
+        };
+        handle.updates_since_save += 1;
+        if handle.save_every == 0 || handle.updates_since_save < handle.save_every {
+            return;
+        }
+        // A concurrent saver may already have exported a newer epoch;
+        // overwriting it with this older snapshot would be a step back.
+        if self.shared.last_save_epoch.load(Ordering::Relaxed) >= published.epoch {
+            handle.updates_since_save = 0;
+            return;
+        }
+        match persist::save_snapshot(&handle.dir, published) {
+            Ok(_) => {
+                handle.updates_since_save = 0;
+                self.shared
+                    .last_save_epoch
+                    .fetch_max(published.epoch, Ordering::Relaxed);
+            }
+            Err(err) => {
+                eprintln!("upsim-server: autosave failed (will retry after next update): {err}");
+            }
+        }
     }
 
     /// A point-in-time metrics snapshot (the `STATS` response).
@@ -507,14 +538,32 @@ impl Engine {
         }
     }
 
-    /// Answers every job still sitting in the queue with
+    /// Answers every `Eval` job still sitting in the queue with
     /// `EngineError::Shutdown`. Safe to call from multiple threads — each
     /// queued job is received (and thus answered) exactly once.
+    ///
+    /// A racing drain (from `lookup_or_enqueue`'s tail) can also pull out
+    /// a `Job::Stop` that `stop_workers` addressed to a worker still
+    /// blocked in `recv`; stealing it would leave that worker (and the
+    /// `shutdown` join) hanging forever, so every drained Stop is re-sent
+    /// after the drain loop.
     fn drain_pending(&self) {
+        let mut replies = Vec::new();
+        let mut stolen_stops = 0usize;
         while let Ok(job) = self.job_rx.try_recv() {
-            if let Job::Eval { reply, .. } = job {
-                let _ = reply.send(Err(EngineError::Shutdown));
+            match job {
+                Job::Eval { reply, .. } => replies.push(reply),
+                Job::Stop => stolen_stops += 1,
             }
+        }
+        // Put stolen Stops back first so blocked workers can exit while we
+        // answer the evals. A blocking send is safe: a Stop can only be in
+        // the queue while its worker is still alive to receive it.
+        for _ in 0..stolen_stops {
+            let _ = self.job_tx.send(Job::Stop);
+        }
+        for reply in replies {
+            let _ = reply.send(Err(EngineError::Shutdown));
         }
     }
 }
@@ -659,6 +708,43 @@ mod tests {
             matches!(answer, Err(EngineError::Shutdown)),
             "raced job must be answered with Shutdown, got {answer:?}"
         );
+    }
+
+    /// Regression for the drain/stop race: a racing sender's drain that
+    /// pulls a `Job::Stop` addressed to a still-blocked worker must put it
+    /// back, or that worker never exits and `shutdown`'s join hangs.
+    #[test]
+    fn drain_does_not_steal_stop_jobs_from_workers() {
+        let engine = usi_engine(1);
+        // Occupy the single worker with a real evaluation so the Stop sent
+        // below sits in the queue where the racing drain can see it.
+        let (busy_tx, busy_rx) = channel::bounded(1);
+        let sent = engine.job_tx.send(Job::Eval {
+            client: "t1".into(),
+            provider: "p1".into(),
+            reply: busy_tx,
+        });
+        assert!(sent.is_ok(), "queue accepts the busy eval");
+        engine.shared.shutdown.store(true, Ordering::SeqCst);
+        // As `stop_workers` does: one Stop addressed to the single worker —
+        // but a racing sender (the `lookup_or_enqueue` tail) drains the
+        // queue before the worker picks it up.
+        assert!(engine.job_tx.send(Job::Stop).is_ok(), "queue accepts");
+        engine.drain_pending();
+        // Whichever side answered it (worker or drain), the eval resolves.
+        let _ = busy_rx.recv();
+        // The worker must still receive its Stop and exit in bounded time.
+        let handles = std::mem::take(&mut *engine.handles.lock().expect("handles poisoned"));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for handle in handles {
+                let _ = handle.join();
+            }
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker must exit after a drained Stop is re-sent");
     }
 
     /// The sender-side half of the fix: a query that observes the flag

@@ -184,33 +184,48 @@ pub struct JournalEntry {
 }
 
 /// Parses the journal bytes, returning the entries and the byte length of
-/// the valid prefix. A final line that fails to parse (torn write) is
-/// dropped and excluded from the valid prefix; anything malformed earlier
-/// is corruption. Epochs must be strictly increasing.
+/// the valid prefix. Only newline-terminated (committed) lines count:
+/// they must decode as UTF-8, parse, and carry strictly increasing
+/// epochs, else the journal is corrupt. An unterminated final line —
+/// whatever its content, since a torn write can leave any prefix of a
+/// record, including one that happens to parse — is dropped and excluded
+/// from the valid prefix. Offsets are raw file bytes (lines are split on
+/// `b'\n'` before any UTF-8 decoding), so `Journal::open`'s trim always
+/// lands on a real record boundary.
 fn scan_journal(bytes: &[u8]) -> Result<(Vec<JournalEntry>, usize), PersistError> {
-    let text = String::from_utf8_lossy(bytes);
     let mut entries = Vec::new();
     let mut valid_len = 0usize;
     let mut offset = 0usize;
-    let lines: Vec<&str> = text.split('\n').collect();
-    let last_index = lines.len().saturating_sub(1);
-    for (index, line) in lines.iter().enumerate() {
-        let line_start = offset;
-        offset += line.len() + 1; // account for the consumed '\n'
-        if line.trim().is_empty() {
-            if index < last_index {
-                valid_len = line_start + line.len() + 1;
-            }
-            continue;
+    let mut line_no = 0usize;
+    while offset < bytes.len() {
+        line_no += 1;
+        let rest = &bytes[offset..];
+        let (line_bytes, terminated) = match rest.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&rest[..pos], true),
+            None => (rest, false),
+        };
+        let line_end = offset + line_bytes.len() + usize::from(terminated);
+        if !terminated {
+            // Torn final line: tolerated, trimmed by `Journal::open`.
+            break;
         }
-        let parsed = parse_journal_line(line);
+        let parsed = std::str::from_utf8(line_bytes)
+            .map_err(|_| "line is not valid UTF-8".to_string())
+            .and_then(|line| {
+                if line.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    parse_journal_line(line).map(Some)
+                }
+            });
         match parsed {
-            Ok(entry) => {
+            Ok(None) => {}
+            Ok(Some(entry)) => {
                 if let Some(previous) = entries.last() {
                     let prev: &JournalEntry = previous;
                     if entry.epoch <= prev.epoch {
                         return Err(PersistError::Corrupt {
-                            line: index + 1,
+                            line: line_no,
                             reason: format!(
                                 "epoch {} does not advance past {}",
                                 entry.epoch, prev.epoch
@@ -218,24 +233,17 @@ fn scan_journal(bytes: &[u8]) -> Result<(Vec<JournalEntry>, usize), PersistError
                         });
                     }
                 }
-                // A valid entry on an unterminated final line may itself be
-                // the prefix of a longer torn record; only count it once the
-                // newline made it to disk.
-                if index < last_index {
-                    entries.push(entry);
-                    valid_len = line_start + line.len() + 1;
-                }
+                entries.push(entry);
             }
             Err(reason) => {
-                if index < last_index {
-                    return Err(PersistError::Corrupt {
-                        line: index + 1,
-                        reason,
-                    });
-                }
-                // Torn final line: tolerated, trimmed by `Journal::open`.
+                return Err(PersistError::Corrupt {
+                    line: line_no,
+                    reason,
+                });
             }
         }
+        valid_len = line_end;
+        offset = line_end;
     }
     Ok((entries, valid_len))
 }
@@ -423,6 +431,41 @@ mod tests {
             PersistError::Corrupt { line, .. } => assert_eq!(line, 2),
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn unterminated_non_advancing_epoch_is_a_torn_tail_not_corruption() {
+        // The same torn-write scenario as a half-verb tail: the missing
+        // newline means the record never committed, even though what made
+        // it to disk happens to parse (with a stale epoch).
+        let mut bytes = Vec::new();
+        bytes.extend(entry_line(2, "CONNECT a b").as_bytes());
+        bytes.extend(b"2 DISCONNECT a b"); // parses, epoch stalls, no newline
+        let (entries, valid_len) = scan_journal(&bytes).expect("torn tail tolerated");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(valid_len, entry_line(2, "CONNECT a b").len());
+    }
+
+    #[test]
+    fn non_utf8_committed_line_is_corruption() {
+        let mut bytes = Vec::new();
+        bytes.extend(entry_line(1, "CONNECT a b").as_bytes());
+        bytes.extend(b"2 CONNECT \xFF\xFE b\n"); // committed, not UTF-8
+        let err = scan_journal(&bytes).expect_err("non-UTF-8 rejected");
+        assert!(matches!(err, PersistError::Corrupt { line: 2, .. }));
+    }
+
+    #[test]
+    fn non_utf8_torn_tail_keeps_byte_accurate_offsets() {
+        // The invalid bytes must not perturb valid_len: a lossy decode
+        // would widen each bad byte to a 3-byte replacement char and make
+        // `Journal::open` truncate at the wrong file offset.
+        let mut bytes = Vec::new();
+        bytes.extend(entry_line(1, "CONNECT a b").as_bytes());
+        bytes.extend(b"2 CONN\xFF\xFE"); // torn write straddling a page of garbage
+        let (entries, valid_len) = scan_journal(&bytes).expect("torn tail tolerated");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(valid_len, entry_line(1, "CONNECT a b").len());
     }
 
     #[test]
