@@ -7,14 +7,14 @@ use upsim_core::mapping::ServiceMappingPair;
 
 fn bench_parallel_enumeration(c: &mut Criterion) {
     let infra = netgen::random::complete(9);
-    let (graph, index) = infra.to_graph();
+    let view = infra.to_interned_graph();
     let pair = ServiceMappingPair::new("s", "n0", "n8");
 
     let mut group = c.benchmark_group("parallel/k9_all_paths");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+            let d = discover_on_graph(&view, &pair, DiscoveryOptions::default()).unwrap();
             black_box(d.len())
         })
     });
@@ -29,7 +29,7 @@ fn bench_parallel_enumeration(c: &mut Criterion) {
                     ..Default::default()
                 };
                 b.iter(|| {
-                    let d = discover_on_graph(&graph, &index, &pair, options).unwrap();
+                    let d = discover_on_graph(&view, &pair, options).unwrap();
                     black_box(d.len())
                 })
             },

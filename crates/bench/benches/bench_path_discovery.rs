@@ -8,12 +8,12 @@ use upsim_core::mapping::ServiceMappingPair;
 
 fn bench_discovery(c: &mut Criterion) {
     let infra = usi_infrastructure();
-    let (graph, index) = infra.to_graph();
+    let view = infra.to_interned_graph();
 
     c.bench_function("usi/discover_t1_printS", |b| {
         let pair = ServiceMappingPair::new("Request printing", "t1", "printS");
         b.iter(|| {
-            let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+            let d = discover_on_graph(&view, &pair, DiscoveryOptions::default()).unwrap();
             black_box(d.len())
         })
     });
@@ -23,7 +23,7 @@ fn bench_discovery(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0;
             for pair in mapping.pairs() {
-                total += discover_on_graph(&graph, &index, pair, DiscoveryOptions::default())
+                total += discover_on_graph(&view, pair, DiscoveryOptions::default())
                     .unwrap()
                     .len();
             }

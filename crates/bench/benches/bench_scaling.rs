@@ -12,12 +12,11 @@ fn bench_complete_graphs(c: &mut Criterion) {
     group.sample_size(10);
     for n in [5usize, 6, 7, 8] {
         let infra = netgen::random::complete(n);
-        let (graph, index) = infra.to_graph();
+        let view = infra.to_interned_graph();
         let pair = ServiceMappingPair::new("s", "n0", format!("n{}", n - 1));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let d =
-                    discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default()).unwrap();
+                let d = discover_on_graph(&view, &pair, DiscoveryOptions::default()).unwrap();
                 black_box(d.len())
             })
         });
@@ -37,15 +36,14 @@ fn bench_campus_sizes(c: &mut Criterion) {
             dual_homed_edges: false,
         };
         let (infra, _, _) = campus_scenario(params);
-        let (graph, index) = infra.to_graph();
+        let view = infra.to_interned_graph();
         let pair = ServiceMappingPair::new("s", "t0_0_0", "srv0");
         group.bench_with_input(
             BenchmarkId::from_parameter(infra.device_count()),
             &distributions,
             |b, _| {
                 b.iter(|| {
-                    let d = discover_on_graph(&graph, &index, &pair, DiscoveryOptions::default())
-                        .unwrap();
+                    let d = discover_on_graph(&view, &pair, DiscoveryOptions::default()).unwrap();
                     black_box(d.len())
                 })
             },

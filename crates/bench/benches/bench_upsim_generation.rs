@@ -32,13 +32,12 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("usi/generate_only", |b| {
         let infra = usi_infrastructure();
         let mapping = table_i_mapping();
-        let (graph, index) = infra.to_graph();
+        let view = infra.to_interned_graph();
         let discovered: Vec<_> = mapping
             .pairs()
             .iter()
             .map(|p| {
-                upsim_core::discovery::discover_on_graph(&graph, &index, p, Default::default())
-                    .unwrap()
+                upsim_core::discovery::discover_on_graph(&view, p, Default::default()).unwrap()
             })
             .collect();
         b.iter(|| {

@@ -12,7 +12,7 @@ use netgen::usi::{
 };
 use std::fmt::Write as _;
 use std::time::Instant;
-use upsim_core::discovery::{discover, DiscoveredPaths, DiscoveryOptions};
+use upsim_core::discovery::{discover, DiscoveryOptions};
 use upsim_core::mapping::ServiceMappingPair;
 use upsim_core::pipeline::UpsimPipeline;
 
@@ -141,16 +141,16 @@ pub fn e5_paths() -> String {
     )
     .expect("pair resolves");
     let mut out = String::from("E5 — Sec. VI-G: paths for service mapping pair (t1, printS)\n\n");
-    for path in &d.node_paths {
+    for i in 0..d.len() {
         let printed = PRINTED_PATHS_T1_PRINTS
             .iter()
-            .any(|p| p.iter().map(|s| s.to_string()).collect::<Vec<_>>() == *path);
+            .any(|p| p.iter().copied().eq(d.path_names(i)));
         let marker = if printed {
             "  [printed in the paper]"
         } else {
             ""
         };
-        let _ = writeln!(out, "  {}{}", DiscoveredPaths::render_path(path), marker);
+        let _ = writeln!(out, "  {}{}", d.render_path_at(i), marker);
     }
     let _ = writeln!(
         out,

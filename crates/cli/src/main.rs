@@ -13,10 +13,11 @@
 //!   service availability (`--links`, `--paper-formula`, `--mc <samples>`),
 //! * `validate -i ... [-s ... -m ...]` — well-formedness checks,
 //! * `serve [--case-study] [--addr <host:port>] [--workers <n>]
-//!   [--state-dir <dir>] [--save-every <n>]` — run the resident query
-//!   engine behind the line-delimited TCP protocol; with `--state-dir`
-//!   the engine restores the last XML snapshot + journal suffix on start
-//!   and journals every update durably,
+//!   [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]` — run
+//!   the resident query engine behind the line-delimited TCP protocol;
+//!   `--cache-cap` bounds the perspective cache (LRU eviction beyond it),
+//!   and with `--state-dir` the engine restores the last XML snapshot +
+//!   journal suffix on start and journals every update durably,
 //! * `query --addr <host:port> --from <client> --to <provider>` — one
 //!   perspective query against a running server,
 //! * `restore --state-dir <dir>` — smoke-check a state directory: load
@@ -32,7 +33,7 @@ use std::sync::Arc;
 
 use dependability::importance::component_importance;
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
-use upsim_core::discovery::{discover, DiscoveredPaths, DiscoveryOptions};
+use upsim_core::discovery::{discover, DiscoveryOptions};
 use upsim_core::generate::object_diagram_dot;
 use upsim_core::infrastructure::Infrastructure;
 use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
@@ -48,7 +49,7 @@ USAGE:
   upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
-  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>] [--state-dir <dir>] [--save-every <n>]
+  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>] [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]
   upsim query        --addr <host:port> --from <client> --to <provider>
   upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>]
   upsim help
@@ -212,6 +213,14 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => 0,
     };
     let addr = flag(flags, &["addr"]).unwrap_or("127.0.0.1:7413");
+    let cache_capacity = match flag(flags, &["cache-cap"]) {
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|cap| *cap > 0)
+            .ok_or_else(|| usage_err("--cache-cap expects a positive entry count"))?,
+        None => upsim_server::DEFAULT_CACHE_CAPACITY,
+    };
     let state_dir = flag(flags, &["state-dir"]);
     let save_every: usize = match flag(flags, &["save-every"]) {
         Some(n) => {
@@ -244,6 +253,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     let config = upsim_server::EngineConfig {
         workers,
+        cache_capacity,
         mapper,
         ..Default::default()
     };
@@ -395,8 +405,8 @@ fn paths(flags: &HashMap<String, String>) -> Result<(), CliError> {
     }
     let pair = ServiceMappingPair::new("cli", from, to);
     let d = discover(&infra, &pair, options).map_err(|e| e.to_string())?;
-    for path in &d.node_paths {
-        println!("{}", DiscoveredPaths::render_path(path));
+    for i in 0..d.len() {
+        println!("{}", d.render_path_at(i));
     }
     println!("{} path(s) between {} and {}", d.len(), from, to);
     Ok(())

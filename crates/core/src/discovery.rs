@@ -17,15 +17,15 @@
 use crate::error::{UpsimError, UpsimResult};
 use crate::importers::PATHS_NS;
 use crate::infrastructure::Infrastructure;
+use crate::interned::{InternedGraph, NameTable};
 use crate::mapping::ServiceMappingPair;
-use ict_graph::parallel::{parallel_simple_paths, ParallelOptions};
-use ict_graph::paths::{simple_paths, PathLimits};
-use ict_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use ict_graph::parallel::{parallel_simple_paths_pruned, ParallelOptions};
+use ict_graph::paths::{for_each_simple_path, DiscoveryScratch, PathLimits};
+use std::sync::Arc;
 use vpm::ModelSpace;
 
 /// Options for Step 7.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct DiscoveryOptions {
     /// Use the parallel enumerator (crossbeam prefix fan-out).
     pub parallel: bool,
@@ -33,17 +33,48 @@ pub struct DiscoveryOptions {
     pub threads: usize,
     /// Path limits (both enumerators).
     pub limits: PathLimits,
+    /// Block-cut-tree pruning: restrict the DFS to the blocks between
+    /// requester and provider (on by default — provably multiset-preserving,
+    /// see `ict_graph::prune`). Benchmarks switch it off for baselines.
+    pub prune: bool,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        DiscoveryOptions {
+            parallel: false,
+            threads: 0,
+            limits: PathLimits::unlimited(),
+            prune: true,
+        }
+    }
+}
+
+/// Reusable per-worker buffers for repeated discovery calls: the DFS
+/// scratch (on-path bitset, stack, path buffers) and the pruning mask.
+/// A warm sweep over many pairs allocates nothing once these reach their
+/// high-water mark.
+#[derive(Debug, Default)]
+pub struct DiscoveryWorkspace {
+    scratch: DiscoveryScratch,
+    mask: Vec<bool>,
 }
 
 /// The Step 7 output for one mapping pair.
+///
+/// Paths are stored interned — `u32` device ids into a shared
+/// [`NameTable`] — so producing them clones no strings; accessors resolve
+/// names on demand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiscoveredPaths {
     /// The mapping pair the paths belong to.
     pub pair: ServiceMappingPair,
-    /// Node-name sequences, requester first, provider last.
-    pub node_paths: Vec<Vec<String>>,
+    /// The name table the interned paths point into.
+    names: Arc<NameTable>,
+    /// Interned node-id sequences, requester first, provider last.
+    node_paths: Vec<Vec<u32>>,
     /// Link-index sequences (indices into the infrastructure's
-    /// `objects.links`), aligned with `node_paths`.
+    /// `objects.links`), aligned with the node paths.
     pub link_paths: Vec<Vec<usize>>,
 }
 
@@ -58,39 +89,100 @@ impl DiscoveredPaths {
         self.node_paths.is_empty()
     }
 
+    /// The interned node paths (ids into [`DiscoveredPaths::name_table`]).
+    pub fn interned(&self) -> &[Vec<u32>] {
+        &self.node_paths
+    }
+
+    /// The shared name table behind the interned ids.
+    pub fn name_table(&self) -> &Arc<NameTable> {
+        &self.names
+    }
+
+    /// Resolves one interned id to its device name.
+    pub fn name(&self, id: u32) -> &str {
+        self.names.name(id)
+    }
+
+    /// The device names of path `i`, requester first.
+    pub fn path_names(&self, i: usize) -> impl Iterator<Item = &str> + '_ {
+        self.node_paths[i].iter().map(|&id| self.names.name(id))
+    }
+
+    /// Materializes all paths as owned name sequences (compatibility /
+    /// test convenience — the hot paths stay interned).
+    pub fn named_paths(&self) -> Vec<Vec<String>> {
+        self.node_paths
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|&id| self.names.name(id).to_string())
+                    .collect()
+            })
+            .collect()
+    }
+
     /// All distinct component names on any path (insertion order of first
     /// occurrence — "multiple occurrences are ignored", Sec. VI-H).
     pub fn components(&self) -> Vec<&str> {
+        // Order-preserving dedup on the interned ids: a hash-set membership
+        // test per node instead of the former `Vec::contains` linear scan
+        // (quadratic over large UPSIMs).
+        let mut seen = std::collections::HashSet::new();
         let mut out: Vec<&str> = Vec::new();
         for path in &self.node_paths {
-            for node in path {
-                if !out.contains(&node.as_str()) {
-                    out.push(node);
+            for &id in path {
+                if seen.insert(id) {
+                    out.push(self.names.name(id));
                 }
             }
         }
         out
     }
 
-    /// Renders a path the way the paper prints them:
+    /// Renders path `i` the way the paper prints them:
+    /// `t1—e1—d1—c1—d4—printS`.
+    pub fn render_path_at(&self, i: usize) -> String {
+        let mut out = String::new();
+        for (k, name) in self.path_names(i).enumerate() {
+            if k > 0 {
+                out.push('\u{2014}');
+            }
+            out.push_str(name);
+        }
+        out
+    }
+
+    /// Renders a materialized path the way the paper prints them:
     /// `t1—e1—d1—c1—d4—printS`.
     pub fn render_path(path: &[String]) -> String {
         path.join("\u{2014}")
     }
 }
 
-/// Discovers all simple paths for one mapping pair on a pre-built graph
-/// view (see [`Infrastructure::to_graph`]).
+/// Discovers all simple paths for one mapping pair on a pre-built interned
+/// graph view (see [`Infrastructure::to_interned_graph`]), allocating a
+/// fresh workspace. Warm sweeps should hold a [`DiscoveryWorkspace`] and
+/// call [`discover_with_workspace`] instead.
 pub fn discover_on_graph(
-    graph: &Graph<String, usize>,
-    index: &HashMap<String, NodeId>,
+    view: &InternedGraph,
     pair: &ServiceMappingPair,
     options: DiscoveryOptions,
 ) -> UpsimResult<DiscoveredPaths> {
+    let mut workspace = DiscoveryWorkspace::default();
+    discover_with_workspace(view, pair, options, &mut workspace)
+}
+
+/// [`discover_on_graph`] with caller-owned scratch buffers: repeated calls
+/// reuse the DFS stack, on-path bitset and pruning mask across pairs.
+pub fn discover_with_workspace(
+    view: &InternedGraph,
+    pair: &ServiceMappingPair,
+    options: DiscoveryOptions,
+    workspace: &mut DiscoveryWorkspace,
+) -> UpsimResult<DiscoveredPaths> {
     let resolve = |role: &'static str, name: &str| {
-        index
-            .get(name)
-            .copied()
+        view.node_of(name)
             .ok_or_else(|| UpsimError::UnknownComponent {
                 atomic_service: pair.atomic_service.clone(),
                 role,
@@ -99,9 +191,34 @@ pub fn discover_on_graph(
     };
     let source = resolve("requester", &pair.requester)?;
     let target = resolve("provider", &pair.provider)?;
+    let graph = view.graph();
 
-    let raw = if options.parallel {
-        parallel_simple_paths(
+    let mut node_paths: Vec<Vec<u32>> = Vec::new();
+    let mut link_paths: Vec<Vec<usize>> = Vec::new();
+
+    // Pruning: mask the DFS to the union of blocks on the block-cut-tree
+    // path between source and target — exactly the nodes that can lie on
+    // some simple path (so the enumeration is unchanged, just cheaper).
+    let mask: Option<&[bool]> = if options.prune {
+        let relevant = view
+            .tree()
+            .relevant_nodes(source, target, &mut workspace.mask);
+        if relevant == 0 {
+            // Different connected components: provably no path.
+            return Ok(DiscoveredPaths {
+                pair: pair.clone(),
+                names: Arc::clone(view.names()),
+                node_paths,
+                link_paths,
+            });
+        }
+        Some(&workspace.mask)
+    } else {
+        None
+    };
+
+    if options.parallel {
+        let (raw, _) = parallel_simple_paths_pruned(
             graph,
             source,
             target,
@@ -110,43 +227,55 @@ pub fn discover_on_graph(
                 limits: options.limits,
                 ..Default::default()
             },
-        )
-    } else {
-        simple_paths(graph, source, target, options.limits).collect()
-    };
-
-    let mut node_paths = Vec::with_capacity(raw.len());
-    let mut link_paths = Vec::with_capacity(raw.len());
-    for path in raw {
-        node_paths.push(
-            path.nodes
-                .iter()
-                .map(|&n| graph.node(n).expect("live node").clone())
-                .collect::<Vec<String>>(),
+            mask,
         );
-        link_paths.push(
-            path.edges
-                .iter()
-                .map(|&e| *graph.edge(e).expect("live edge"))
-                .collect::<Vec<usize>>(),
+        node_paths.reserve(raw.len());
+        link_paths.reserve(raw.len());
+        for path in raw {
+            node_paths.push(path.nodes.iter().map(|n| n.index() as u32).collect());
+            link_paths.push(
+                path.edges
+                    .iter()
+                    .map(|&e| *graph.edge(e).expect("live edge"))
+                    .collect(),
+            );
+        }
+    } else {
+        for_each_simple_path(
+            graph,
+            source,
+            target,
+            options.limits,
+            mask,
+            &mut workspace.scratch,
+            |nodes, edges| {
+                node_paths.push(nodes.iter().map(|n| n.index() as u32).collect());
+                link_paths.push(
+                    edges
+                        .iter()
+                        .map(|&e| *graph.edge(e).expect("live edge"))
+                        .collect(),
+                );
+            },
         );
     }
     Ok(DiscoveredPaths {
         pair: pair.clone(),
+        names: Arc::clone(view.names()),
         node_paths,
         link_paths,
     })
 }
 
-/// Convenience: discovery straight from an infrastructure (builds the graph
-/// view internally; the pipeline caches it instead).
+/// Convenience: discovery straight from an infrastructure (builds the
+/// interned graph view internally; the pipeline caches it instead).
 pub fn discover(
     infrastructure: &Infrastructure,
     pair: &ServiceMappingPair,
     options: DiscoveryOptions,
 ) -> UpsimResult<DiscoveredPaths> {
-    let (graph, index) = infrastructure.to_graph();
-    discover_on_graph(&graph, &index, pair, options)
+    let view = infrastructure.to_interned_graph();
+    discover_on_graph(&view, pair, options)
 }
 
 /// Records discovered paths in the model space — the paper's "reserved tree
@@ -161,10 +290,10 @@ pub fn record_in_space(space: &mut ModelSpace, discovered: &DiscoveredPaths) -> 
     }
     let root = space.ensure_path(&fqn)?;
     let topology = space.resolve(crate::importers::TOPOLOGY_NS)?;
-    for (i, path) in discovered.node_paths.iter().enumerate() {
+    for i in 0..discovered.len() {
         let p = space.new_entity(root, &format!("p{i}"))?;
-        space.set_value(p, Some(DiscoveredPaths::render_path(path)))?;
-        for node in path {
+        space.set_value(p, Some(discovered.render_path_at(i)))?;
+        for node in discovered.path_names(i) {
             let sanitized_node = node.replace(['.', ' '], "_");
             if let Some(entity) = space.child(topology, &sanitized_node)? {
                 space.new_relation("visits", p, entity)?;
@@ -210,11 +339,7 @@ mod tests {
     fn discovers_both_redundant_paths() {
         let d = discover(&diamond(), &pair(), DiscoveryOptions::default()).unwrap();
         assert_eq!(d.len(), 2);
-        let rendered: Vec<String> = d
-            .node_paths
-            .iter()
-            .map(|p| DiscoveredPaths::render_path(p))
-            .collect();
+        let rendered: Vec<String> = (0..d.len()).map(|i| d.render_path_at(i)).collect();
         assert!(rendered.contains(&"t1—a—srv".to_string()));
         assert!(rendered.contains(&"t1—b—srv".to_string()));
         assert_eq!(d.components().len(), 4);
@@ -224,7 +349,7 @@ mod tests {
     fn link_paths_align_with_infrastructure_links() {
         let infra = diamond();
         let d = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
-        for (nodes, links) in d.node_paths.iter().zip(&d.link_paths) {
+        for (nodes, links) in d.named_paths().iter().zip(&d.link_paths) {
             assert_eq!(nodes.len(), links.len() + 1);
             for (i, &li) in links.iter().enumerate() {
                 let link = &infra.objects.links[li];
@@ -239,10 +364,87 @@ mod tests {
     }
 
     #[test]
+    fn pruning_on_and_off_agree() {
+        let infra = diamond();
+        let pruned = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        let unpruned = discover(
+            &infra,
+            &pair(),
+            DiscoveryOptions {
+                prune: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned.interned(), unpruned.interned());
+        assert_eq!(pruned.link_paths, unpruned.link_paths);
+    }
+
+    #[test]
+    fn workspace_reuse_across_pairs_is_clean() {
+        let infra = diamond();
+        let view = infra.to_interned_graph();
+        let mut ws = DiscoveryWorkspace::default();
+        let first =
+            discover_with_workspace(&view, &pair(), DiscoveryOptions::default(), &mut ws).unwrap();
+        let second = discover_with_workspace(
+            &view,
+            &ServiceMappingPair::new("rev", "srv", "t1"),
+            DiscoveryOptions::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2);
+        // Same pair again through the warm workspace: identical result.
+        let again =
+            discover_with_workspace(&view, &pair(), DiscoveryOptions::default(), &mut ws).unwrap();
+        assert_eq!(again.interned(), first.interned());
+    }
+
+    #[test]
+    fn components_dedup_preserves_first_occurrence_order_on_many_paths() {
+        // A fat layered graph: t1 - {m0..m5} - srv plus a chain hanging off
+        // each middle node, so many paths revisit the same components.
+        let mut infra = Infrastructure::new("fat");
+        infra
+            .define_device_class(DeviceClassSpec::client("Comp", 3000.0, 24.0))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::switch("Sw", 61320.0, 0.5))
+            .unwrap();
+        infra
+            .define_device_class(DeviceClassSpec::server("Server", 60000.0, 0.1))
+            .unwrap();
+        infra.add_device("t1", "Comp").unwrap();
+        infra.add_device("srv", "Server").unwrap();
+        for i in 0..6 {
+            let m = format!("m{i}");
+            infra.add_device(&m, "Sw").unwrap();
+            infra.connect("t1", &m).unwrap();
+            infra.connect(&m, "srv").unwrap();
+        }
+        let d = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        assert_eq!(d.len(), 6);
+        let components = d.components();
+        assert_eq!(components.len(), 8);
+        // First occurrences in enumeration order: requester first, provider
+        // from the first emitted path before later middles.
+        assert_eq!(components[0], "t1");
+        assert!(components.contains(&"srv"));
+        let unique: std::collections::HashSet<&&str> = components.iter().collect();
+        assert_eq!(
+            unique.len(),
+            components.len(),
+            "components must be distinct"
+        );
+    }
+
+    #[test]
     fn parallel_discovery_matches_sequential() {
         let infra = diamond();
-        let mut seq = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
-        let mut par = discover(
+        let seq = discover(&infra, &pair(), DiscoveryOptions::default()).unwrap();
+        let par = discover(
             &infra,
             &pair(),
             DiscoveryOptions {
@@ -252,9 +454,11 @@ mod tests {
             },
         )
         .unwrap();
-        seq.node_paths.sort();
-        par.node_paths.sort();
-        assert_eq!(seq.node_paths, par.node_paths);
+        let mut seq_paths = seq.interned().to_vec();
+        let mut par_paths = par.interned().to_vec();
+        seq_paths.sort();
+        par_paths.sort();
+        assert_eq!(seq_paths, par_paths);
     }
 
     #[test]
@@ -283,7 +487,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.len(), 1);
-        assert_eq!(d.node_paths[0], vec!["srv".to_string()]);
+        assert_eq!(d.path_names(0).collect::<Vec<_>>(), vec!["srv"]);
         assert!(d.link_paths[0].is_empty());
     }
 

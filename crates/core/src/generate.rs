@@ -33,9 +33,9 @@ pub fn generate_upsim(
     let mut kept_nodes: HashSet<&str> = HashSet::new();
     let mut kept_links: HashSet<usize> = HashSet::new();
     for d in discovered {
-        for path in &d.node_paths {
-            for node in path {
-                kept_nodes.insert(node.as_str());
+        for path in d.interned() {
+            for &id in path {
+                kept_nodes.insert(d.name(id));
             }
         }
         for links in &d.link_paths {

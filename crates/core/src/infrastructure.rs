@@ -522,6 +522,14 @@ impl Infrastructure {
         }
         (g, index)
     }
+
+    /// The interned graph view used by Step 7: node names resolved to dense
+    /// `u32` ids backed by a shared name table, plus a pre-computed
+    /// block-cut tree for pruned path discovery. Prefer this over
+    /// [`Infrastructure::to_graph`] for anything that enumerates paths.
+    pub fn to_interned_graph(&self) -> crate::interned::InternedGraph {
+        crate::interned::InternedGraph::from_infrastructure(self)
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub mod error;
 pub mod generate;
 pub mod importers;
 pub mod infrastructure;
+pub mod interned;
 pub mod mapping;
 pub mod pipeline;
 pub mod profiles;
@@ -66,9 +67,10 @@ pub mod service;
 pub mod statistics;
 pub mod vtcl_reference;
 
-pub use discovery::{DiscoveredPaths, DiscoveryOptions};
+pub use discovery::{DiscoveredPaths, DiscoveryOptions, DiscoveryWorkspace};
 pub use error::{UpsimError, UpsimResult};
 pub use infrastructure::{DeviceClassSpec, DeviceKind, Infrastructure, LinkClassSpec};
+pub use interned::{InternedGraph, NameTable};
 pub use mapping::{ServiceMapping, ServiceMappingPair};
 pub use pipeline::{StepTiming, UpsimPipeline, UpsimRun};
 pub use service::CompositeService;

@@ -18,15 +18,17 @@
 //! (cached) steps marked, which experiment E10 uses to reproduce the
 //! dynamicity claims.
 
-use crate::discovery::{discover_on_graph, record_in_space, DiscoveredPaths, DiscoveryOptions};
+use crate::discovery::{
+    discover_with_workspace, record_in_space, DiscoveredPaths, DiscoveryOptions, DiscoveryWorkspace,
+};
 use crate::error::UpsimResult;
 use crate::generate::{generate_upsim, reduction_ratio};
 use crate::importers;
 use crate::infrastructure::Infrastructure;
+use crate::interned::InternedGraph;
 use crate::mapping::ServiceMapping;
 use crate::service::CompositeService;
-use ict_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uml::object_diagram::ObjectDiagram;
 use vpm::ModelSpace;
@@ -122,7 +124,8 @@ pub struct UpsimPipeline {
     /// On by default; benchmarks switch it off to time the discovery alone.
     pub record_paths: bool,
     space: ModelSpace,
-    graph: Option<(Graph<String, usize>, HashMap<String, NodeId>)>,
+    graph: Option<Arc<InternedGraph>>,
+    workspace: DiscoveryWorkspace,
     models_imported: bool,
     mapping_imported: bool,
 }
@@ -145,6 +148,7 @@ impl UpsimPipeline {
             record_paths: true,
             space: ModelSpace::new(),
             graph: None,
+            workspace: DiscoveryWorkspace::default(),
             models_imported: false,
             mapping_imported: false,
         })
@@ -170,9 +174,26 @@ impl UpsimPipeline {
         &self.space
     }
 
-    /// Sets the discovery options (parallelism, limits).
+    /// Sets the discovery options (parallelism, limits, pruning).
     pub fn set_options(&mut self, options: DiscoveryOptions) {
         self.options = options;
+    }
+
+    /// Injects a pre-built interned graph view shared with other pipelines
+    /// over the same infrastructure epoch (resident engines build the view
+    /// once per epoch and hand the same `Arc` to every perspective's
+    /// pipeline, so a 45-perspective batch interns and prunes once).
+    ///
+    /// The caller must ensure the view matches [`Self::infrastructure`];
+    /// any later [`Self::update_infrastructure`] drops it again.
+    pub fn set_shared_graph(&mut self, graph: Arc<InternedGraph>) {
+        self.graph = Some(graph);
+    }
+
+    /// The cached interned graph view, if Step 7 has built (or been handed)
+    /// one since the last topology change.
+    pub fn shared_graph(&self) -> Option<&Arc<InternedGraph>> {
+        self.graph.as_ref()
     }
 
     /// Which steps are currently cached (see [`CacheState`]).
@@ -266,15 +287,21 @@ impl UpsimPipeline {
             cached: cached6,
         });
 
-        // Step 7: path discovery per pair (graph view cached with Step 5).
+        // Step 7: path discovery per pair (interned graph view cached with
+        // Step 5 — or injected by a resident engine via `set_shared_graph`).
         let t = Instant::now();
         if self.graph.is_none() {
-            self.graph = Some(self.infrastructure.to_graph());
+            self.graph = Some(Arc::new(self.infrastructure.to_interned_graph()));
         }
-        let (graph, index) = self.graph.as_ref().expect("just built");
+        let graph = Arc::clone(self.graph.as_ref().expect("just built"));
         let mut discovered = Vec::new();
         for pair in self.mapping.for_service(&self.service)? {
-            discovered.push(discover_on_graph(graph, index, pair, self.options)?);
+            discovered.push(discover_with_workspace(
+                &graph,
+                pair,
+                self.options,
+                &mut self.workspace,
+            )?);
         }
         if self.record_paths {
             for d in &discovered {
@@ -315,6 +342,7 @@ mod tests {
     use super::*;
     use crate::infrastructure::DeviceClassSpec;
     use crate::mapping::ServiceMappingPair;
+    use std::collections::HashMap;
 
     /// t1, t2 - sw - srv1, srv2
     fn fixture() -> (Infrastructure, CompositeService, ServiceMapping) {

@@ -38,7 +38,7 @@ pub fn run_statistics(infrastructure: &Infrastructure, run: &UpsimRun) -> RunSta
         if d.is_empty() {
             disconnected.push(d.pair.atomic_service.clone());
         }
-        lengths.extend(d.node_paths.iter().map(|p| p.len().saturating_sub(1)));
+        lengths.extend(d.interned().iter().map(|p| p.len().saturating_sub(1)));
     }
     let total_paths = lengths.len();
     let path_length_range = lengths

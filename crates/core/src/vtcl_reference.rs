@@ -191,7 +191,7 @@ mod tests {
             DiscoveryOptions::default(),
         )
         .unwrap()
-        .node_paths;
+        .named_paths();
         vtcl.sort();
         graph.sort();
         assert_eq!(vtcl, graph, "{from}->{to}");

@@ -77,7 +77,7 @@ pub fn analyze(infrastructure: &Infrastructure, run: &UpsimRun) -> PerformanceRe
             max_flow_capacity(&graph, source, target, throughput)
         };
         let min_hops = discovered
-            .node_paths
+            .interned()
             .iter()
             .map(|p| p.len().saturating_sub(1))
             .min()

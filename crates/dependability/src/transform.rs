@@ -122,11 +122,11 @@ impl ServiceAvailabilityModel {
 
         let mut systems = Vec::with_capacity(run.discovered.len());
         for discovered in &run.discovered {
-            let mut path_sets = Vec::with_capacity(discovered.node_paths.len());
-            for (nodes, links) in discovered.node_paths.iter().zip(&discovered.link_paths) {
+            let mut path_sets = Vec::with_capacity(discovered.len());
+            for (nodes, links) in discovered.interned().iter().zip(&discovered.link_paths) {
                 let mut set: Vec<usize> = nodes
                     .iter()
-                    .map(|n| device_var(n, &mut components, &mut index))
+                    .map(|&id| device_var(discovered.name(id), &mut components, &mut index))
                     .collect();
                 if options.include_links {
                     for &li in links {

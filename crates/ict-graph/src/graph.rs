@@ -306,6 +306,20 @@ impl<N, E> Graph<N, E> {
             .filter(|a| self.contains_edge(a.edge))
     }
 
+    /// Raw out-adjacency slice of a node (all incident edges for undirected
+    /// graphs). Unlike [`Graph::neighbors`] this performs no per-entry
+    /// liveness filtering — the removal APIs ([`Graph::remove_edge`],
+    /// [`Graph::remove_node`]) compact adjacency lists eagerly, so every
+    /// entry refers to a live edge and therefore a live neighbour. Hot
+    /// enumeration loops use this to walk neighbours by cursor without
+    /// collecting an iterator into a fresh `Vec` per visited node.
+    pub fn adjacency_slice(&self, id: NodeId) -> &[Adjacency] {
+        self.adjacency
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// In-adjacency of a node. Empty iterator for undirected graphs (use
     /// [`Graph::neighbors`] there).
     pub fn in_neighbors(&self, id: NodeId) -> impl Iterator<Item = Adjacency> + '_ {
@@ -540,6 +554,20 @@ mod tests {
         let (sub, _) = g.induced_subgraph(|_, _| true);
         assert_eq!(sub.node_count(), g.node_count());
         assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_slice_holds_only_live_edges() {
+        let (mut g, [a, b, c]) = triangle();
+        let ab = g.find_edge(a, b).unwrap();
+        g.remove_edge(ab);
+        assert!(g.adjacency_slice(a).iter().all(|adj| adj.edge != ab));
+        assert_eq!(g.adjacency_slice(a).len(), 1);
+        g.remove_node(c);
+        assert!(g.adjacency_slice(a).is_empty());
+        assert!(g.adjacency_slice(NodeId::from_index(99)).is_empty());
+        let entries: Vec<_> = g.adjacency_slice(b).to_vec();
+        assert!(entries.iter().all(|adj| g.contains_edge(adj.edge)));
     }
 
     #[test]

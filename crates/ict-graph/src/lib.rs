@@ -14,6 +14,9 @@
 //! * [`parallel`] — a crossbeam-based parallel enumeration of the same path
 //!   set (prefix splitting + per-worker sequential DFS), identical in
 //!   content to the sequential result,
+//! * [`prune`] — biconnected components and the block-cut tree, used to
+//!   restrict path discovery to the blocks between a source and target
+//!   (exactly the nodes that can lie on some simple path),
 //! * [`shortest`] — BFS/Dijkstra shortest paths and Yen's k-shortest,
 //! * [`connectivity`] — components, bridges, articulation points,
 //! * [`cutsets`] — minimal cut sets (via path-set hitting sets) and
@@ -48,6 +51,7 @@ pub mod graph;
 pub mod metrics;
 pub mod parallel;
 pub mod paths;
+pub mod prune;
 pub mod seriesparallel;
 pub mod shortest;
 pub mod traversal;

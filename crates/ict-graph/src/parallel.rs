@@ -15,10 +15,19 @@
 //!
 //! The result is the *same multiset of paths* as the sequential enumeration
 //! (ordering differs; both sides sort in the equivalence tests).
+//!
+//! `limits.max_paths` bounds **work**, not just output: all workers share an
+//! atomic emitted-path counter and stop searching once it reaches the cap,
+//! so a capped run on a dense graph visits a small fraction of the frames an
+//! uncapped run would (see [`parallel_simple_paths_counted`], which reports
+//! the frame count). *Which* `min(cap, total)` paths survive is
+//! scheduling-dependent — the output is still sorted, but it is not
+//! necessarily a prefix of the full sorted enumeration.
 
 use crate::graph::{EdgeId, Graph, NodeId};
-use crate::paths::{Path, PathLimits};
+use crate::paths::{EnumerationStats, Path, PathLimits};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tuning options for [`parallel_simple_paths`].
 #[derive(Debug, Clone, Copy)]
@@ -27,8 +36,8 @@ pub struct ParallelOptions {
     pub threads: usize,
     /// Desired open prefixes per worker before fanning out.
     pub tasks_per_thread: usize,
-    /// Per-path limits (`max_paths` is applied globally *after* the merge,
-    /// so results are a prefix of the sorted enumeration).
+    /// Per-path limits. `max_paths` is enforced *during* the search via a
+    /// shared atomic counter (early stop), not by post-merge truncation.
     pub limits: PathLimits,
 }
 
@@ -62,33 +71,80 @@ struct Prefix {
 /// Enumerates all simple paths from `source` to `target` in parallel.
 ///
 /// Returns the paths sorted lexicographically (by node sequence, then edge
-/// sequence) so the output is deterministic regardless of scheduling.
+/// sequence). Without `max_paths` the output is deterministic regardless of
+/// scheduling; with a cap, the *count* (`min(cap, total)`) is deterministic
+/// but which paths survive depends on worker scheduling.
 pub fn parallel_simple_paths<N: Sync, E: Sync>(
     graph: &Graph<N, E>,
     source: NodeId,
     target: NodeId,
     options: ParallelOptions,
 ) -> Vec<Path> {
-    if !graph.contains_node(source) || !graph.contains_node(target) {
-        return Vec::new();
+    parallel_simple_paths_counted(graph, source, target, options).0
+}
+
+/// [`parallel_simple_paths`] plus [`EnumerationStats`]: total DFS frames
+/// pushed across phase 1 and all workers (the work bounded by `max_paths`)
+/// and the number of returned paths.
+pub fn parallel_simple_paths_counted<N: Sync, E: Sync>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    options: ParallelOptions,
+) -> (Vec<Path>, EnumerationStats) {
+    parallel_simple_paths_pruned(graph, source, target, options, None)
+}
+
+/// The full-featured parallel enumerator: like
+/// [`parallel_simple_paths_counted`] but with an optional node `mask`
+/// restricting the search (same semantics as
+/// [`crate::paths::for_each_simple_path`]: a `false` entry behaves like a
+/// removed node). [`crate::prune::BlockCutTree::relevant_nodes`] masks are
+/// path-multiset-preserving, so a pruned parallel run returns the same
+/// sorted output as an unpruned one.
+pub fn parallel_simple_paths_pruned<N: Sync, E: Sync>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    options: ParallelOptions,
+    mask: Option<&[bool]>,
+) -> (Vec<Path>, EnumerationStats) {
+    let mut stats = EnumerationStats::default();
+    let allowed = |n: NodeId| mask.is_none_or(|m| m.get(n.index()).copied().unwrap_or(false));
+    if !graph.contains_node(source)
+        || !graph.contains_node(target)
+        || !allowed(source)
+        || !allowed(target)
+    {
+        return (Vec::new(), stats);
+    }
+    let cap = options.limits.max_paths.unwrap_or(usize::MAX);
+    if cap == 0 {
+        return (Vec::new(), stats);
     }
     if source == target {
-        return vec![Path {
-            nodes: vec![source],
-            edges: vec![],
-        }];
+        stats.emitted = 1;
+        return (
+            vec![Path {
+                nodes: vec![source],
+                edges: vec![],
+            }],
+            stats,
+        );
     }
     let threads = effective_threads(options.threads);
     let want_tasks = threads.saturating_mul(options.tasks_per_thread).max(1);
 
-    // Phase 1: BFS prefix expansion.
+    // Phase 1: BFS prefix expansion, stopping as soon as the cap is
+    // already satisfied by directly-collected complete paths.
     let mut complete: Vec<Path> = Vec::new();
     let mut open: VecDeque<Prefix> = VecDeque::new();
     open.push_back(Prefix {
         nodes: vec![source],
         edges: vec![],
     });
-    while open.len() < want_tasks {
+    stats.frames += 1;
+    while open.len() < want_tasks && complete.len() < cap {
         let Some(prefix) = open.pop_front() else {
             break;
         };
@@ -109,7 +165,7 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
                 }
                 continue;
             }
-            if prefix.nodes.contains(&adj.node) {
+            if prefix.nodes.contains(&adj.node) || !allowed(adj.node) {
                 continue;
             }
             if options
@@ -124,6 +180,7 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
             let mut edges = prefix.edges.clone();
             edges.push(adj.edge);
             open.push_back(Prefix { nodes, edges });
+            stats.frames += 1;
             extended = true;
         }
         let _ = extended;
@@ -134,40 +191,66 @@ pub fn parallel_simple_paths<N: Sync, E: Sync>(
 
     // Phase 2: parallel completion of the open prefixes. Each worker sorts
     // its own output so the (serial) final step is only a k-way merge —
-    // a global sort would otherwise dominate and erase the speedup.
+    // a global sort would otherwise dominate and erase the speedup. The
+    // shared `emitted` counter is seeded with the phase-1 completions;
+    // workers stop searching once it reaches the cap, so the cap bounds
+    // work, not just output size.
     complete.sort();
-    let prefixes: Vec<Prefix> = open.into();
+    let emitted = AtomicUsize::new(complete.len());
+    let prefixes: Vec<Prefix> = if complete.len() >= cap {
+        Vec::new() // the cap is already met; skip the fan-out entirely
+    } else {
+        open.into()
+    };
     let mut sorted_chunks: Vec<Vec<Path>> = vec![complete];
     if !prefixes.is_empty() {
         let chunk = prefixes.len().div_ceil(threads);
+        let emitted = &emitted;
         let results = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for batch in prefixes.chunks(chunk) {
                 handles.push(scope.spawn(move |_| {
                     let mut local = Vec::new();
+                    let mut frames = 0usize;
                     for p in batch {
-                        complete_prefix(graph, p, target, options.limits, &mut local);
+                        if emitted.load(Ordering::Relaxed) >= cap {
+                            break;
+                        }
+                        complete_prefix(
+                            graph,
+                            p,
+                            target,
+                            options.limits,
+                            mask,
+                            cap,
+                            emitted,
+                            &mut frames,
+                            &mut local,
+                        );
                     }
                     local.sort();
-                    local
+                    (local, frames)
                 }));
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<Vec<Path>>>()
+                .collect::<Vec<(Vec<Path>, usize)>>()
         })
         .expect("crossbeam scope");
-        sorted_chunks.extend(results);
+        for (local, frames) in results {
+            stats.frames += frames;
+            sorted_chunks.push(local);
+        }
     }
 
     let mut merged = merge_sorted(sorted_chunks);
     // Prefixes are pairwise distinct, so paths from different chunks can
-    // never coincide — no dedup needed.
-    if let Some(cap) = options.limits.max_paths {
-        merged.truncate(cap);
-    }
-    merged
+    // never coincide — no dedup needed. Workers may overshoot the cap by
+    // the paths they emitted before observing the counter; trim the excess.
+    merged.truncate(cap.min(merged.len()));
+    stats.emitted = merged.len();
+    (merged, stats)
 }
 
 /// K-way merge of individually sorted path lists.
@@ -208,12 +291,19 @@ fn merge_sorted(mut chunks: Vec<Vec<Path>>) -> Vec<Path> {
 }
 
 /// Sequential DFS completing a single prefix (the paper's algorithm with the
-/// path-tracking set seeded from the prefix).
+/// path-tracking set seeded from the prefix). Aborts as soon as the shared
+/// `emitted` counter reaches `cap`; `frames` accumulates stack pushes so
+/// callers can assert how much work the cap actually saved.
+#[allow(clippy::too_many_arguments)]
 fn complete_prefix<N, E>(
     graph: &Graph<N, E>,
     prefix: &Prefix,
     target: NodeId,
     limits: PathLimits,
+    mask: Option<&[bool]>,
+    cap: usize,
+    emitted: &AtomicUsize,
+    frames: &mut usize,
     out: &mut Vec<Path>,
 ) {
     struct Frame {
@@ -231,8 +321,12 @@ fn complete_prefix<N, E>(
         neighbors: graph.neighbors(head).collect(),
         cursor: 0,
     }];
+    *frames += 1;
 
     while let Some(frame) = stack.last_mut() {
+        if emitted.load(Ordering::Relaxed) >= cap {
+            return; // another worker (or this one) satisfied the cap
+        }
         if frame.cursor >= frame.neighbors.len() {
             stack.pop();
             if !stack.is_empty() {
@@ -254,10 +348,13 @@ fn complete_prefix<N, E>(
                     nodes: pn,
                     edges: pe,
                 });
+                emitted.fetch_add(1, Ordering::Relaxed);
             }
             continue;
         }
-        if on_path[adj.node.index()] {
+        if on_path[adj.node.index()]
+            || mask.is_some_and(|m| !m.get(adj.node.index()).copied().unwrap_or(false))
+        {
             continue;
         }
         if limits.max_nodes.is_some_and(|cap| nodes.len() + 2 > cap) {
@@ -270,6 +367,7 @@ fn complete_prefix<N, E>(
             neighbors: graph.neighbors(adj.node).collect(),
             cursor: 0,
         });
+        *frames += 1;
     }
 }
 
@@ -338,7 +436,7 @@ mod tests {
     }
 
     #[test]
-    fn max_paths_truncates_sorted_output() {
+    fn max_paths_caps_count_with_valid_member_paths() {
         let (g, ids) = complete_graph(6);
         let limits = PathLimits::unlimited().with_max_paths(5);
         let par = parallel_simple_paths(
@@ -350,10 +448,107 @@ mod tests {
                 ..Default::default()
             },
         );
+        // Early stopping makes *which* 5 paths survive scheduling-dependent,
+        // so assert cap semantics: exactly 5 sorted, distinct, genuine paths.
         assert_eq!(par.len(), 5);
-        let mut seq = all_simple_paths(&g, ids[0], ids[5]);
-        seq.sort();
-        assert_eq!(par[..], seq[..5]);
+        assert!(par.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        let full: std::collections::HashSet<_> =
+            all_simple_paths(&g, ids[0], ids[5]).into_iter().collect();
+        for p in &par {
+            assert!(p.validate(&g));
+            assert!(full.contains(p), "capped output invented a path: {p:?}");
+        }
+        // A cap at/above the total must not lose anything.
+        let loose = parallel_simple_paths(
+            &g,
+            ids[0],
+            ids[5],
+            ParallelOptions {
+                limits: PathLimits::unlimited().with_max_paths(full.len() + 10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(loose.len(), full.len());
+    }
+
+    #[test]
+    fn max_paths_zero_short_circuits() {
+        let (g, ids) = complete_graph(4);
+        let (paths, stats) = parallel_simple_paths_counted(
+            &g,
+            ids[0],
+            ids[3],
+            ParallelOptions {
+                limits: PathLimits::unlimited().with_max_paths(0),
+                ..Default::default()
+            },
+        );
+        assert!(paths.is_empty());
+        assert_eq!(stats.frames, 0);
+    }
+
+    #[test]
+    fn capped_run_visits_far_fewer_frames_than_uncapped() {
+        // Dense graph: K9 has tens of thousands of simple paths between two
+        // vertices; a cap of 5 must stop the workers almost immediately.
+        let (g, ids) = complete_graph(9);
+        let base = ParallelOptions {
+            threads: 2,
+            ..Default::default()
+        };
+        let (all, uncapped) = parallel_simple_paths_counted(&g, ids[0], ids[8], base);
+        // Cap large enough that phase 1 cannot satisfy it alone — the early
+        // stop must happen inside the fanned-out workers.
+        let (some, capped) = parallel_simple_paths_counted(
+            &g,
+            ids[0],
+            ids[8],
+            ParallelOptions {
+                limits: PathLimits::unlimited().with_max_paths(200),
+                ..base
+            },
+        );
+        assert_eq!(some.len(), 200);
+        assert_eq!(uncapped.emitted, all.len());
+        assert!(
+            capped.frames * 10 < uncapped.frames,
+            "cap must bound work: {} capped vs {} uncapped frames",
+            capped.frames,
+            uncapped.frames
+        );
+    }
+
+    #[test]
+    fn mask_restricts_parallel_search() {
+        // Square 0-1-3 / 0-2-3: masking out node 2 leaves only the 0-1-3 route.
+        let mut g: Graph<usize, ()> = Graph::new_undirected();
+        let ids: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[3], ());
+        g.add_edge(ids[0], ids[2], ());
+        g.add_edge(ids[2], ids[3], ());
+        let mut mask = vec![true; g.node_capacity()];
+        mask[ids[2].index()] = false;
+        let (paths, _) = parallel_simple_paths_pruned(
+            &g,
+            ids[0],
+            ids[3],
+            ParallelOptions::default(),
+            Some(&mask),
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![ids[0], ids[1], ids[3]]);
+        // Masking an endpoint yields nothing.
+        mask[ids[3].index()] = false;
+        let (paths, stats) = parallel_simple_paths_pruned(
+            &g,
+            ids[0],
+            ids[3],
+            ParallelOptions::default(),
+            Some(&mask),
+        );
+        assert!(paths.is_empty());
+        assert_eq!(stats.frames, 0);
     }
 
     #[test]

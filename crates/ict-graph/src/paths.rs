@@ -95,6 +95,142 @@ struct Frame {
     cursor: usize,
 }
 
+/// Reusable DFS state for [`for_each_simple_path`]: the on-path bitset, the
+/// per-depth cursor stack, and the current path buffers.
+///
+/// One instance serves any number of enumerations over any number of graphs
+/// (buffers are re-sized per call), so a warm sweep over many
+/// `(source, target)` pairs performs **zero** heap allocations once the
+/// buffers have reached their high-water mark.
+#[derive(Debug, Default)]
+pub struct DiscoveryScratch {
+    on_path: Vec<bool>,
+    cursors: Vec<usize>,
+    path_nodes: Vec<NodeId>,
+    path_edges: Vec<EdgeId>,
+}
+
+impl DiscoveryScratch {
+    /// A fresh, empty scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Work/output counters returned by [`for_each_simple_path`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// DFS descents pushed onto the stack — a proxy for search work that is
+    /// independent of how long each visit takes.
+    pub frames: usize,
+    /// Paths handed to the visitor.
+    pub emitted: usize,
+}
+
+/// Visits every simple path from `source` to `target` without materializing
+/// it: the visitor receives borrowed node/edge slices valid only for the
+/// duration of the call. Enumeration order and limit semantics are identical
+/// to [`simple_paths`].
+///
+/// `mask`, when present, restricts the search to nodes whose index maps to
+/// `true` — exactly as if every other node had been removed from the graph.
+/// [`crate::prune::BlockCutTree::relevant_nodes`] produces a mask that
+/// provably preserves the full path multiset while collapsing the DFS
+/// frontier to the source/target's block-cut-tree path.
+///
+/// Unlike the iterator, this walks adjacency by cursor into
+/// [`Graph::adjacency_slice`] (no per-visited-node `Vec` collection) and
+/// reuses all bookkeeping buffers from `scratch`.
+pub fn for_each_simple_path<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    limits: PathLimits,
+    mask: Option<&[bool]>,
+    scratch: &mut DiscoveryScratch,
+    mut emit: impl FnMut(&[NodeId], &[EdgeId]),
+) -> EnumerationStats {
+    let mut stats = EnumerationStats::default();
+    let allowed = |n: NodeId| mask.is_none_or(|m| m.get(n.index()).copied().unwrap_or(false));
+    if !graph.contains_node(source)
+        || !graph.contains_node(target)
+        || !allowed(source)
+        || !allowed(target)
+    {
+        return stats;
+    }
+    let cap = limits.max_paths.unwrap_or(usize::MAX);
+    if cap == 0 {
+        return stats;
+    }
+    if source == target {
+        emit(&[source], &[]);
+        stats.emitted = 1;
+        return stats;
+    }
+    scratch.on_path.clear();
+    scratch.on_path.resize(graph.node_capacity(), false);
+    scratch.cursors.clear();
+    scratch.path_nodes.clear();
+    scratch.path_edges.clear();
+    scratch.on_path[source.index()] = true;
+    scratch.path_nodes.push(source);
+    scratch.cursors.push(0);
+    stats.frames += 1;
+    while let Some(depth) = scratch.cursors.len().checked_sub(1) {
+        let node = scratch.path_nodes[depth];
+        let neighbors = graph.adjacency_slice(node);
+        let cursor = scratch.cursors[depth];
+        if cursor >= neighbors.len() {
+            scratch.cursors.pop();
+            if let Some(n) = scratch.path_nodes.pop() {
+                scratch.on_path[n.index()] = false;
+            }
+            scratch.path_edges.pop();
+            continue;
+        }
+        scratch.cursors[depth] = cursor + 1;
+        let adj = neighbors[cursor];
+
+        if adj.node == target {
+            let within = limits
+                .max_nodes
+                .is_none_or(|max| scratch.path_nodes.len() < max);
+            if within {
+                scratch.path_nodes.push(target);
+                scratch.path_edges.push(adj.edge);
+                emit(&scratch.path_nodes, &scratch.path_edges);
+                scratch.path_nodes.pop();
+                scratch.path_edges.pop();
+                stats.emitted += 1;
+                if stats.emitted >= cap {
+                    break;
+                }
+            }
+            continue;
+        }
+        if scratch.on_path[adj.node.index()] || !allowed(adj.node) {
+            continue; // path tracking: never re-enter the current path
+        }
+        // Only descend if a target hop could still fit under the cap.
+        let room = limits
+            .max_nodes
+            .is_none_or(|max| scratch.path_nodes.len() + 2 <= max);
+        if !room {
+            continue;
+        }
+        scratch.on_path[adj.node.index()] = true;
+        scratch.path_nodes.push(adj.node);
+        scratch.path_edges.push(adj.edge);
+        scratch.cursors.push(0);
+        stats.frames += 1;
+    }
+    scratch.path_nodes.clear();
+    scratch.path_edges.clear();
+    scratch.cursors.clear();
+    stats
+}
+
 /// Lazy iterator over all simple paths from `source` to `target`.
 pub struct SimplePaths<'g, N, E> {
     graph: &'g Graph<N, E>,
@@ -445,6 +581,136 @@ mod tests {
         g.add_edge(s, y, ());
         g.add_edge(y, t, ());
         assert_eq!(minimal_path_sets(&g, s, t).len(), 2);
+    }
+
+    fn collect_visited(
+        g: &Graph<usize, ()>,
+        s: NodeId,
+        t: NodeId,
+        limits: PathLimits,
+        mask: Option<&[bool]>,
+        scratch: &mut DiscoveryScratch,
+    ) -> (Vec<Path>, EnumerationStats) {
+        let mut out = Vec::new();
+        let stats = for_each_simple_path(g, s, t, limits, mask, scratch, |nodes, edges| {
+            out.push(Path {
+                nodes: nodes.to_vec(),
+                edges: edges.to_vec(),
+            })
+        });
+        (out, stats)
+    }
+
+    #[test]
+    fn visitor_enumeration_matches_iterator_order_and_limits() {
+        let (g, ids) = complete(6);
+        let mut scratch = DiscoveryScratch::new();
+        for limits in [
+            PathLimits::unlimited(),
+            PathLimits::default().with_max_paths(7),
+            PathLimits::default().with_max_nodes(3),
+            PathLimits::default().with_max_nodes(4).with_max_paths(5),
+        ] {
+            let expected: Vec<_> = simple_paths(&g, ids[0], ids[5], limits).collect();
+            let (got, stats) = collect_visited(&g, ids[0], ids[5], limits, None, &mut scratch);
+            assert_eq!(got, expected, "limits {limits:?}");
+            assert_eq!(stats.emitted, expected.len());
+            assert!(stats.frames >= 1);
+        }
+    }
+
+    #[test]
+    fn visitor_enumeration_trivial_and_missing_endpoints() {
+        let (g, ids) = complete(3);
+        let mut scratch = DiscoveryScratch::new();
+        let (paths, stats) = collect_visited(
+            &g,
+            ids[0],
+            ids[0],
+            PathLimits::unlimited(),
+            None,
+            &mut scratch,
+        );
+        assert_eq!(stats.emitted, 1);
+        assert!(paths[0].is_empty());
+        let dead = NodeId::from_index(77);
+        let (paths, stats) = collect_visited(
+            &g,
+            ids[0],
+            dead,
+            PathLimits::unlimited(),
+            None,
+            &mut scratch,
+        );
+        assert!(paths.is_empty());
+        assert_eq!(stats, EnumerationStats::default());
+    }
+
+    #[test]
+    fn mask_restricts_search_like_node_removal() {
+        // Square a-b-t, a-c-t: masking out c leaves exactly the path via b.
+        let mut g: Graph<usize, ()> = Graph::new_undirected();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        let t = g.add_node(3);
+        g.add_edge(a, b, ());
+        g.add_edge(b, t, ());
+        g.add_edge(a, c, ());
+        g.add_edge(c, t, ());
+        let mut mask = vec![true; g.node_capacity()];
+        mask[c.index()] = false;
+        let mut scratch = DiscoveryScratch::new();
+        let (paths, _) =
+            collect_visited(&g, a, t, PathLimits::unlimited(), Some(&mask), &mut scratch);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![a, b, t]);
+        // A mask excluding an endpoint yields nothing.
+        mask[t.index()] = false;
+        let (paths, stats) =
+            collect_visited(&g, a, t, PathLimits::unlimited(), Some(&mask), &mut scratch);
+        assert!(paths.is_empty());
+        assert_eq!(stats.frames, 0);
+    }
+
+    #[test]
+    fn max_paths_zero_emits_nothing() {
+        let (g, ids) = complete(4);
+        let mut scratch = DiscoveryScratch::new();
+        let (paths, stats) = collect_visited(
+            &g,
+            ids[0],
+            ids[1],
+            PathLimits::default().with_max_paths(0),
+            None,
+            &mut scratch,
+        );
+        assert!(paths.is_empty());
+        assert_eq!(stats.frames, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs_is_clean() {
+        let (big, big_ids) = complete(6);
+        let (small, small_ids) = complete(3);
+        let mut scratch = DiscoveryScratch::new();
+        let (_, _) = collect_visited(
+            &big,
+            big_ids[0],
+            big_ids[5],
+            PathLimits::unlimited(),
+            None,
+            &mut scratch,
+        );
+        let (paths, _) = collect_visited(
+            &small,
+            small_ids[0],
+            small_ids[2],
+            PathLimits::unlimited(),
+            None,
+            &mut scratch,
+        );
+        assert_eq!(paths.len(), 2, "stale scratch state must not leak");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! against the parallel implementation on random graphs.
 
 use ict_graph::parallel::{parallel_simple_paths, ParallelOptions};
-use ict_graph::paths::{all_simple_paths, minimal_path_sets, Path};
+use ict_graph::paths::{all_simple_paths, minimal_path_sets, Path, PathLimits};
+use ict_graph::prune::pruned_simple_paths;
 use ict_graph::{Graph, NodeId};
 use proptest::prelude::*;
 
@@ -63,6 +64,29 @@ fn brute_force_paths(g: &Graph<usize, ()>, s: NodeId, t: NodeId) -> Vec<Path> {
     out
 }
 
+/// A dense random multigraph: every vertex pair carries 0..=2 parallel
+/// edges, so most of the graph is one big biconnected component — the
+/// worst case for pruning (it must degrade to a no-op, not lose paths).
+fn dense_graph_strategy() -> impl Strategy<Value = (Graph<usize, ()>, Vec<NodeId>)> {
+    (3usize..7).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(0usize..=2, pairs..=pairs).prop_map(move |multiplicity| {
+            let mut g = Graph::new_undirected();
+            let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    for _ in 0..multiplicity[k] {
+                        g.add_edge(ids[i], ids[j], ());
+                    }
+                    k += 1;
+                }
+            }
+            (g, ids)
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -116,6 +140,62 @@ proptest! {
         // Cover: there is a path iff there is a minimal path set.
         let has_path = !all_simple_paths(&g, s, t).is_empty();
         prop_assert_eq!(!sets.is_empty(), has_path);
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_on_random_graphs((g, ids) in graph_strategy(), si in 0usize..8, ti in 0usize..8) {
+        let s = ids[si % ids.len()];
+        let t = ids[ti % ids.len()];
+        let mut unpruned = all_simple_paths(&g, s, t);
+        let mut pruned = pruned_simple_paths(&g, s, t, PathLimits::unlimited());
+        prop_assert_eq!(&pruned, &unpruned, "DFS emission order must be preserved");
+        pruned.sort();
+        unpruned.sort();
+        prop_assert_eq!(pruned, unpruned);
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_on_dense_multigraphs((g, ids) in dense_graph_strategy()) {
+        let s = ids[0];
+        let t = ids[ids.len() - 1];
+        let unpruned = all_simple_paths(&g, s, t);
+        let pruned = pruned_simple_paths(&g, s, t, PathLimits::unlimited());
+        prop_assert_eq!(pruned, unpruned);
+    }
+
+    #[test]
+    fn pruned_capped_is_a_dfs_prefix((g, ids) in graph_strategy(), cap in 0usize..6) {
+        // Pruning never reorders the DFS, so a capped pruned run returns
+        // exactly the first `cap` paths of the unpruned enumeration.
+        let s = ids[0];
+        let t = ids[ids.len() - 1];
+        let all = all_simple_paths(&g, s, t);
+        let capped = pruned_simple_paths(&g, s, t, PathLimits::unlimited().with_max_paths(cap));
+        let want = &all[..cap.min(all.len())];
+        prop_assert_eq!(capped.as_slice(), want);
+    }
+
+    #[test]
+    fn parallel_capped_preserves_cap_semantics((g, ids) in dense_graph_strategy(), cap in 1usize..9, threads in 1usize..4) {
+        let s = ids[0];
+        let t = ids[ids.len() - 1];
+        let full = all_simple_paths(&g, s, t);
+        let capped = parallel_simple_paths(&g, s, t, ParallelOptions {
+            threads,
+            limits: PathLimits::unlimited().with_max_paths(cap),
+            ..Default::default()
+        });
+        // Deterministic count, sorted distinct output, and every returned
+        // path is a genuine member of the full enumeration.
+        prop_assert_eq!(capped.len(), cap.min(full.len()));
+        for w in capped.windows(2) {
+            prop_assert!(w[0] < w[1], "output must be sorted and duplicate-free");
+        }
+        let universe: std::collections::HashSet<_> = full.into_iter().collect();
+        for p in &capped {
+            prop_assert!(p.validate(&g));
+            prop_assert!(universe.contains(p));
+        }
     }
 
     #[test]

@@ -327,12 +327,12 @@ mod tests {
             DiscoveryOptions::default(),
         )
         .unwrap();
+        let found = d.named_paths();
         for expected in PRINTED_PATHS_T1_PRINTS {
             let expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
             assert!(
-                d.node_paths.contains(&expected),
-                "missing printed path {expected:?}; found {:?}",
-                d.node_paths
+                found.contains(&expected),
+                "missing printed path {expected:?}; found {found:?}"
             );
         }
         // The reconstruction yields exactly 6 paths through the redundant

@@ -1,10 +1,17 @@
 //! The perspective cache: one entry per evaluated `(client, provider,
 //! service)` key, invalidated along the pipeline's Sec. V-A3 dynamicity
-//! semantics (each kind of change touches only the keys it can affect).
+//! semantics (each kind of change touches only the keys it can affect),
+//! and bounded by a least-recently-used capacity so a long-lived engine
+//! facing an unbounded perspective population cannot grow without limit.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Default [`PerspectiveCache`] capacity: generous — the USI case study
+/// has 45 perspectives, a large campus a few thousand — while still
+/// bounding a long-lived engine's memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Cache key of one user perspective.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -62,16 +69,39 @@ impl CachedPerspective {
     }
 }
 
-/// Concurrent map of perspective results.
+/// One resident cache slot: the shared result plus its last-used stamp.
+///
+/// The stamp is a logical clock tick, not wall time — bumped from a shared
+/// counter on every hit, so eviction can find the least-recently-used
+/// entry without taking the write lock on reads.
+struct Slot {
+    entry: Arc<CachedPerspective>,
+    last_used: AtomicU64,
+}
+
+/// Concurrent map of perspective results with LRU capacity bounding.
 ///
 /// Invalidation is eager (entries are removed when an update is
 /// published); the epoch check on [`PerspectiveCache::insert`] closes the
 /// race where an evaluation straddles an update — its result would
 /// otherwise be inserted *after* the update's sweep and be served stale
 /// forever.
-#[derive(Default)]
+///
+/// When an insert would exceed the capacity, the entry with the smallest
+/// last-used stamp is evicted (a linear scan under the write lock —
+/// eviction is rare and capacities are modest, so an O(n) scan beats the
+/// bookkeeping of an intrusive LRU list on every read).
 pub struct PerspectiveCache {
-    map: RwLock<HashMap<PerspectiveKey, Arc<CachedPerspective>>>,
+    map: RwLock<HashMap<PerspectiveKey, Slot>>,
+    capacity: usize,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PerspectiveCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl PerspectiveCache {
@@ -79,14 +109,43 @@ impl PerspectiveCache {
         Self::default()
     }
 
-    /// Looks up a perspective.
+    /// A cache bounded to `capacity` resident perspectives (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PerspectiveCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted by the capacity bound so far (invalidation sweeps
+    /// are not counted — those are correctness removals, not pressure).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Looks up a perspective, refreshing its recency on a hit.
     pub fn get(&self, key: &PerspectiveKey) -> Option<Arc<CachedPerspective>> {
-        self.map.read().expect("cache poisoned").get(key).cloned()
+        let map = self.map.read().expect("cache poisoned");
+        let slot = map.get(key)?;
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        Some(Arc::clone(&slot.entry))
     }
 
     /// Inserts an entry, unless it was computed against an epoch other
     /// than the current one (a concurrent update already swept the cache;
     /// the stale result must not outlive it). Returns whether it was kept.
+    /// At capacity, the least-recently-used resident entry is evicted
+    /// first.
     ///
     /// The epoch is loaded *inside* the map lock. An update stores the new
     /// epoch before it takes this lock to sweep, so either this insert's
@@ -98,7 +157,24 @@ impl PerspectiveCache {
         if entry.epoch != current_epoch.load(Ordering::SeqCst) {
             return false;
         }
-        map.insert(entry.key.clone(), entry);
+        if !map.contains_key(&entry.key) && map.len() >= self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        map.insert(
+            entry.key.clone(),
+            Slot {
+                entry,
+                last_used: AtomicU64::new(stamp),
+            },
+        );
         true
     }
 
@@ -107,7 +183,7 @@ impl PerspectiveCache {
     pub fn invalidate_link(&self, a: &str, b: &str) -> usize {
         let mut map = self.map.write().expect("cache poisoned");
         let before = map.len();
-        map.retain(|_, entry| !entry.touches_link(a, b));
+        map.retain(|_, slot| !slot.entry.touches_link(a, b));
         before - map.len()
     }
 
@@ -136,6 +212,55 @@ impl PerspectiveCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Per-epoch negative cache: perspectives whose evaluation *failed*
+/// (unknown device, model error) keep failing identically until the model
+/// changes, so the error string is cached and replayed without touching
+/// the pipeline. The epoch tag makes invalidation free: entries recorded
+/// against a superseded epoch are ignored and lazily cleared on the next
+/// write, so an `UPDATE` (which may well fix the error, e.g. by wiring in
+/// the missing device) implicitly flushes the whole negative set.
+#[derive(Default)]
+pub struct NegativeCache {
+    inner: RwLock<(u64, HashMap<PerspectiveKey, crate::engine::EngineError>)>,
+}
+
+impl NegativeCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached failure for `key`, if recorded against `epoch`.
+    pub fn get(&self, key: &PerspectiveKey, epoch: u64) -> Option<crate::engine::EngineError> {
+        let inner = self.inner.read().expect("negative cache poisoned");
+        if inner.0 != epoch {
+            return None;
+        }
+        inner.1.get(key).cloned()
+    }
+
+    /// Records a failure observed at `epoch`, dropping entries of any
+    /// older epoch first.
+    pub fn insert(&self, key: PerspectiveKey, error: crate::engine::EngineError, epoch: u64) {
+        let mut inner = self.inner.write().expect("negative cache poisoned");
+        if inner.0 != epoch {
+            inner.0 = epoch;
+            inner.1.clear();
+        }
+        inner.1.insert(key, error);
+    }
+
+    /// Resident negative entries for `epoch` (0 when the cache belongs to
+    /// another epoch).
+    pub fn len(&self, epoch: u64) -> usize {
+        let inner = self.inner.read().expect("negative cache poisoned");
+        if inner.0 == epoch {
+            inner.1.len()
+        } else {
+            0
+        }
     }
 }
 
@@ -209,5 +334,67 @@ mod tests {
         cache.insert(entry("t2", "p1", "printS", &["t2"]), &AtomicU64::new(0));
         assert_eq!(cache.invalidate_all(), 2);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_at_capacity() {
+        let cache = PerspectiveCache::with_capacity(2);
+        let epoch = AtomicU64::new(0);
+        assert!(cache.insert(entry("a", "p", "s", &["a"]), &epoch));
+        assert!(cache.insert(entry("b", "p", "s", &["b"]), &epoch));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // Touch `a`, making `b` the LRU victim.
+        assert!(cache.get(&PerspectiveKey::new("a", "p", "s")).is_some());
+        assert!(cache.insert(entry("c", "p", "s", &["c"]), &epoch));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&PerspectiveKey::new("a", "p", "s")).is_some());
+        assert!(cache.get(&PerspectiveKey::new("b", "p", "s")).is_none());
+        assert!(cache.get(&PerspectiveKey::new("c", "p", "s")).is_some());
+        // Now `a` was re-touched and `c` inserted after; next insert evicts
+        // whichever is stalest — touch `c`, so `a` goes.
+        assert!(cache.get(&PerspectiveKey::new("a", "p", "s")).is_some());
+        assert!(cache.get(&PerspectiveKey::new("c", "p", "s")).is_some());
+        assert!(cache.insert(entry("d", "p", "s", &["d"]), &epoch));
+        assert!(cache.get(&PerspectiveKey::new("a", "p", "s")).is_none());
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_evict() {
+        let cache = PerspectiveCache::with_capacity(2);
+        let epoch = AtomicU64::new(0);
+        cache.insert(entry("a", "p", "s", &["a"]), &epoch);
+        cache.insert(entry("b", "p", "s", &["b"]), &epoch);
+        // Overwriting `a` at capacity must not push `b` out.
+        cache.insert(entry("a", "p", "s", &["a", "x"]), &epoch);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(&PerspectiveKey::new("b", "p", "s")).is_some());
+    }
+
+    #[test]
+    fn negative_cache_is_per_epoch() {
+        use crate::engine::EngineError;
+        let negative = NegativeCache::new();
+        let key = PerspectiveKey::new("ghost", "p1", "printS");
+        negative.insert(key.clone(), EngineError::UnknownDevice("ghost".into()), 3);
+        assert_eq!(
+            negative.get(&key, 3),
+            Some(EngineError::UnknownDevice("ghost".into()))
+        );
+        assert_eq!(negative.len(3), 1);
+        // A bumped epoch makes the entry invisible...
+        assert_eq!(negative.get(&key, 4), None);
+        assert_eq!(negative.len(4), 0);
+        // ...and the next write against the new epoch clears the old set.
+        negative.insert(
+            PerspectiveKey::new("other", "p1", "printS"),
+            EngineError::Model("no path".into()),
+            4,
+        );
+        assert_eq!(negative.len(4), 1);
+        assert_eq!(negative.get(&key, 4), None);
     }
 }

@@ -23,7 +23,9 @@ use upsim_core::error::UpsimError;
 use upsim_core::pipeline::UpsimPipeline;
 use upsim_core::service::CompositeService;
 
-use crate::cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
+use crate::cache::{
+    CachedPerspective, NegativeCache, PerspectiveCache, PerspectiveKey, DEFAULT_CACHE_CAPACITY,
+};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::persist::{self, Journal, SaveSummary};
 use crate::snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
@@ -67,6 +69,10 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Bound of the job queue — backpressure for `BATCH` floods.
     pub queue_capacity: usize,
+    /// LRU capacity of the perspective cache (`--cache-cap`); the
+    /// least-recently-used entry is evicted when a new result would exceed
+    /// it.
+    pub cache_capacity: usize,
     /// Step 7 options used by every worker pipeline.
     pub discovery: DiscoveryOptions,
     /// Derives the per-perspective mapping (defaults to
@@ -86,6 +92,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 0,
             queue_capacity: 256,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             discovery,
             mapper: pingpong_mapper(),
         }
@@ -150,6 +157,7 @@ struct Shared {
     snapshot: RwLock<Arc<ModelSnapshot>>,
     epoch: AtomicU64,
     cache: PerspectiveCache,
+    negative: NegativeCache,
     metrics: EngineMetrics,
     mapper: PerspectiveMapper,
     discovery: DiscoveryOptions,
@@ -184,7 +192,8 @@ impl Engine {
         let shared = Arc::new(Shared {
             epoch: AtomicU64::new(snapshot.epoch),
             snapshot: RwLock::new(Arc::new(snapshot)),
-            cache: PerspectiveCache::new(),
+            cache: PerspectiveCache::with_capacity(config.cache_capacity),
+            negative: NegativeCache::new(),
             metrics: EngineMetrics::new(),
             mapper: config.mapper,
             discovery: config.discovery,
@@ -364,13 +373,24 @@ impl Engine {
             .read()
             .expect("snapshot poisoned")
             .clone();
+        let key = PerspectiveKey::new(client, provider, snapshot.service_name());
+        // Known-bad perspectives of this epoch fail fast from the negative
+        // cache — the model has not changed, so the error has not either.
+        if let Some(err) = self.shared.negative.get(&key, snapshot.epoch) {
+            EngineMetrics::bump(&self.shared.metrics.negative_hits);
+            EngineMetrics::bump(&self.shared.metrics.errors);
+            return Err(err);
+        }
         for device in [client, provider] {
             if !snapshot.infrastructure.has_device(device) {
                 EngineMetrics::bump(&self.shared.metrics.errors);
-                return Err(EngineError::UnknownDevice(device.to_string()));
+                let err = EngineError::UnknownDevice(device.to_string());
+                self.shared
+                    .negative
+                    .insert(key, err.clone(), snapshot.epoch);
+                return Err(err);
             }
         }
-        let key = PerspectiveKey::new(client, provider, snapshot.service_name());
         if let Some(hit) = self.shared.cache.get(&key) {
             EngineMetrics::bump(&self.shared.metrics.cache_hits);
             return Ok(Ok(hit));
@@ -501,6 +521,8 @@ impl Engine {
             self.shared
                 .metrics
                 .snapshot(self.shared.cache.len(), self.epoch(), self.workers);
+        snapshot.cache_capacity = self.shared.cache.capacity();
+        snapshot.cache_evictions = self.shared.cache.evictions();
         snapshot.journal_len = self.shared.journal_len.load(Ordering::Relaxed);
         snapshot.last_save_epoch = self.shared.last_save_epoch.load(Ordering::Relaxed);
         snapshot.state_dir = self
@@ -603,6 +625,25 @@ fn evaluate(
     if let Some(hit) = shared.cache.get(&key) {
         return Ok(hit);
     }
+    let result = evaluate_uncached(shared, warm, &snapshot, key.clone(), client, provider);
+    if let Err(err) = &result {
+        // Unknown devices and model errors are deterministic for this
+        // epoch — remember them so repeats skip the pipeline entirely.
+        if matches!(err, EngineError::UnknownDevice(_) | EngineError::Model(_)) {
+            shared.negative.insert(key, err.clone(), snapshot.epoch);
+        }
+    }
+    result
+}
+
+fn evaluate_uncached(
+    shared: &Shared,
+    warm: &mut Option<(u64, UpsimPipeline)>,
+    snapshot: &Arc<ModelSnapshot>,
+    key: PerspectiveKey,
+    client: &str,
+    provider: &str,
+) -> Result<Arc<CachedPerspective>, EngineError> {
     let start = Instant::now();
     let mapping = (shared.mapper)(&snapshot.service, client, provider);
     let reusable = matches!(warm, Some((epoch, _)) if *epoch == snapshot.epoch);
@@ -617,6 +658,11 @@ fn evaluate(
         )?;
         pipeline.record_paths = false;
         pipeline.set_options(shared.discovery);
+        // All workers evaluating this epoch share one interned graph view
+        // (name table + block-cut tree): the snapshot builds it once and
+        // every warm pipeline borrows the same `Arc` instead of re-running
+        // Step 7's graph extraction per perspective.
+        pipeline.set_shared_graph(snapshot.interned_graph());
         *warm = Some((snapshot.epoch, pipeline));
     }
     let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
@@ -758,5 +804,113 @@ mod tests {
         let err = engine.query("t1", "p1").expect_err("engine is down");
         assert_eq!(err, EngineError::Shutdown);
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    /// Repeated failures replay from the per-epoch negative cache, and an
+    /// update makes them invisible (the error is re-derived against the
+    /// new generation, not served stale).
+    #[test]
+    fn negative_cache_replays_failures_within_an_epoch() {
+        let engine = usi_engine(1);
+        let err = engine.query("ghost", "p1").expect_err("unknown device");
+        assert_eq!(err, EngineError::UnknownDevice("ghost".into()));
+        assert_eq!(engine.stats().negative_hits, 0, "first failure is derived");
+
+        let err = engine.query("ghost", "p1").expect_err("still unknown");
+        assert_eq!(err, EngineError::UnknownDevice("ghost".into()));
+        assert_eq!(engine.stats().negative_hits, 1, "repeat served negatively");
+
+        // An update bumps the epoch: the cached negative is for a dead
+        // generation, so the next failure is derived afresh.
+        engine
+            .update(UpdateCommand::Connect {
+                a: "t1".into(),
+                b: "t2".into(),
+            })
+            .expect("both devices exist");
+        let err = engine.query("ghost", "p1").expect_err("still unknown");
+        assert_eq!(err, EngineError::UnknownDevice("ghost".into()));
+        assert_eq!(
+            engine.stats().negative_hits,
+            1,
+            "post-update failure must be re-derived, not replayed"
+        );
+        engine.shutdown();
+    }
+
+    /// The configured capacity bounds cache residency; overflow evicts
+    /// (LRU) and the eviction is visible in STATS.
+    #[test]
+    fn cache_capacity_bounds_residency_and_counts_evictions() {
+        let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+            .expect("USI models are consistent");
+        let config = EngineConfig {
+            workers: 1,
+            cache_capacity: 2,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(snapshot, config);
+        for client in ["t1", "t2", "t3"] {
+            engine.query(client, "p1").expect("valid perspective");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.cache_capacity, 2);
+        assert!(
+            stats.cache_len <= 2,
+            "residency bounded: {}",
+            stats.cache_len
+        );
+        assert!(stats.cache_evictions >= 1, "overflow must evict");
+        // The survivor set still serves hits.
+        let (_, hit) = engine.query_traced("t3", "p1").expect("cached");
+        assert!(hit, "most recent entry must still be resident");
+        engine.shutdown();
+    }
+
+    /// E15 golden batch: all 45 (client, printer) perspectives through the
+    /// engine — shared interned graph, pruned discovery, warm pipelines —
+    /// must reproduce the experiment's availabilities bit-for-bit at the
+    /// reported precision (worst t1→p2, best t6→p1, mean over all 45).
+    #[test]
+    fn batch_of_45_perspectives_matches_e15_golden_availabilities() {
+        let engine = usi_engine(4);
+        let pairs: Vec<(String, String)> = netgen::usi::all_printing_perspectives()
+            .into_iter()
+            .map(|(client, printer, _)| (client, printer))
+            .collect();
+        assert_eq!(pairs.len(), 45);
+        let results = engine.batch(&pairs);
+        let mut sum = 0.0;
+        let mut worst = f64::INFINITY;
+        let mut best = f64::NEG_INFINITY;
+        for (pair, result) in pairs.iter().zip(&results) {
+            let entry = result.as_ref().expect("every perspective evaluates");
+            sum += entry.availability;
+            worst = worst.min(entry.availability);
+            best = best.max(entry.availability);
+            if (pair.0.as_str(), pair.1.as_str()) == ("t1", "p2") {
+                assert!(
+                    (entry.availability - 0.991699164).abs() < 1e-9,
+                    "t1->p2 golden: {}",
+                    entry.availability
+                );
+            }
+            if (pair.0.as_str(), pair.1.as_str()) == ("t6", "p1") {
+                assert!(
+                    (entry.availability - 0.991704285).abs() < 1e-9,
+                    "t6->p1 golden: {}",
+                    entry.availability
+                );
+            }
+        }
+        assert!((worst - 0.991699164).abs() < 1e-9, "worst: {worst}");
+        assert!((best - 0.991704285).abs() < 1e-9, "best: {best}");
+        assert!(
+            (sum / 45.0 - 0.991700944).abs() < 1e-9,
+            "mean: {}",
+            sum / 45.0
+        );
+        engine.shutdown();
     }
 }

@@ -38,7 +38,7 @@ pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
-pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey};
+pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateCommand, UpdateSummary};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use persist::{Journal, JournalEntry, PersistError, RestoreReport, SaveSummary};

@@ -76,6 +76,9 @@ pub struct EngineMetrics {
     /// separately from `cache_misses` so `hits + misses` tracks entries
     /// the cache actually admitted.
     pub stale_results: AtomicU64,
+    /// Failed queries answered from the per-epoch negative cache without
+    /// touching the pipeline (unknown device, deterministic model error).
+    pub negative_hits: AtomicU64,
     pub batches: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
@@ -118,6 +121,7 @@ impl EngineMetrics {
             cache_hits: hits,
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             stale_results: self.stale_results.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
             hit_rate: if lookups == 0 {
                 0.0
             } else {
@@ -135,6 +139,8 @@ impl EngineMetrics {
                 self.stage_nanos[i].load(Ordering::Relaxed) as f64 / 1.0e6
             }),
             cache_len,
+            cache_capacity: 0,
+            cache_evictions: 0,
             epoch,
             workers,
             state_dir: None,
@@ -152,6 +158,8 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Results computed against an epoch an update superseded mid-flight.
     pub stale_results: u64,
+    /// Failed queries replayed from the per-epoch negative cache.
+    pub negative_hits: u64,
     pub hit_rate: f64,
     pub batches: u64,
     pub updates: u64,
@@ -164,6 +172,10 @@ pub struct MetricsSnapshot {
     /// Cumulative milliseconds per stage, indexed like [`STAGES`].
     pub stage_millis: [f64; 4],
     pub cache_len: usize,
+    /// LRU capacity bound of the perspective cache.
+    pub cache_capacity: usize,
+    /// Entries evicted by the capacity bound (not invalidation sweeps).
+    pub cache_evictions: u64,
     pub epoch: u64,
     pub workers: usize,
     /// Persistence directory, when the engine journals to disk.
@@ -178,14 +190,16 @@ impl MetricsSnapshot {
     /// Single-line `key=value` rendering used by the `STATS` response.
     pub fn render(&self) -> String {
         let mut line = format!(
-            "queries={} cache_hits={} cache_misses={} stale_results={} hit_rate={:.3} \
-             batches={} updates={} invalidations={} errors={} evals={} eval_mean_us={:.1} \
-             eval_p50_us<={} eval_p99_us<={} cache_len={} epoch={} workers={} state_dir={} \
+            "queries={} cache_hits={} cache_misses={} stale_results={} negative_hits={} \
+             hit_rate={:.3} batches={} updates={} invalidations={} errors={} evals={} \
+             eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
+             cache_residency={}/{} cache_evictions={} epoch={} workers={} state_dir={} \
              journal_len={} last_save_epoch={}",
             self.queries,
             self.cache_hits,
             self.cache_misses,
             self.stale_results,
+            self.negative_hits,
             self.hit_rate,
             self.batches,
             self.updates,
@@ -196,6 +210,9 @@ impl MetricsSnapshot {
             self.eval_p50_micros,
             self.eval_p99_micros,
             self.cache_len,
+            self.cache_len,
+            self.cache_capacity,
+            self.cache_evictions,
             self.epoch,
             self.workers,
             self.state_dir.as_deref().unwrap_or("-"),
@@ -265,8 +282,22 @@ mod tests {
         assert!(line.contains("hit_rate=0.750"));
         assert!(line.contains("epoch=7"));
         assert!(line.contains("stale_results=0"));
+        assert!(line.contains("negative_hits=0"));
         assert!(line.contains("state_dir=- journal_len=0 last_save_epoch=0"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn cache_residency_and_evictions_render() {
+        let metrics = EngineMetrics::new();
+        EngineMetrics::add(&metrics.negative_hits, 2);
+        let mut snap = metrics.snapshot(3, 1, 1);
+        snap.cache_capacity = 8;
+        snap.cache_evictions = 5;
+        let line = snap.render();
+        assert!(line.contains("cache_residency=3/8"));
+        assert!(line.contains("cache_evictions=5"));
+        assert!(line.contains("negative_hits=2"));
     }
 
     #[test]

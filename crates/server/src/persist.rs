@@ -142,11 +142,7 @@ pub fn snapshot_from_xml(xml: &str) -> Result<ModelSnapshot, PersistError> {
         .map_err(|e| PersistError::Model(format!("snapshot infrastructure: {e}")))?;
     let service = CompositeService::from_xml(&compact.element(service_el))
         .map_err(|e| PersistError::Model(format!("snapshot service: {e}")))?;
-    Ok(ModelSnapshot {
-        infrastructure,
-        service,
-        epoch,
-    })
+    Ok(ModelSnapshot::restored(infrastructure, service, epoch))
 }
 
 /// Atomically writes `snapshot.xml` into `dir`; returns the final path.

@@ -6,9 +6,10 @@
 //! service and the epoch tells every worker when its warm pipeline is
 //! stale.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use upsim_core::error::UpsimResult;
 use upsim_core::infrastructure::Infrastructure;
+use upsim_core::interned::InternedGraph;
 use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
 use upsim_core::service::CompositeService;
 
@@ -43,12 +44,34 @@ pub fn pingpong_mapper() -> PerspectiveMapper {
 }
 
 /// One immutable generation of the engine's model state.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ModelSnapshot {
     pub infrastructure: Infrastructure,
     pub service: CompositeService,
     /// Generation counter; bumped by every published update.
     pub epoch: u64,
+    /// The interned graph view (name table + block-cut tree) of this
+    /// generation, built once on first use and shared by every worker
+    /// evaluating against it — a 45-perspective batch interns and prunes
+    /// exactly once per epoch.
+    interned: OnceLock<Arc<InternedGraph>>,
+}
+
+/// Cloning a snapshot is how [`Engine::update`] derives the next
+/// generation, which then mutates the infrastructure — so the clone must
+/// NOT inherit the built graph view; it starts with an empty cell and
+/// re-interns lazily against its own (post-update) topology.
+///
+/// [`Engine::update`]: crate::engine::Engine::update
+impl Clone for ModelSnapshot {
+    fn clone(&self) -> Self {
+        ModelSnapshot {
+            infrastructure: self.infrastructure.clone(),
+            service: self.service.clone(),
+            epoch: self.epoch,
+            interned: OnceLock::new(),
+        }
+    }
 }
 
 impl ModelSnapshot {
@@ -59,7 +82,34 @@ impl ModelSnapshot {
             infrastructure,
             service,
             epoch: 0,
+            interned: OnceLock::new(),
         })
+    }
+
+    /// Wraps model state restored from disk at a recorded epoch, without
+    /// re-validating (the state was validated before it was saved, and
+    /// journal replay re-validates after every applied command).
+    pub(crate) fn restored(
+        infrastructure: Infrastructure,
+        service: CompositeService,
+        epoch: u64,
+    ) -> Self {
+        ModelSnapshot {
+            infrastructure,
+            service,
+            epoch,
+            interned: OnceLock::new(),
+        }
+    }
+
+    /// The shared interned graph view of this generation (built on first
+    /// call; subsequent callers — other workers, other perspectives — get
+    /// the same `Arc`).
+    pub fn interned_graph(&self) -> Arc<InternedGraph> {
+        Arc::clone(
+            self.interned
+                .get_or_init(|| Arc::new(self.infrastructure.to_interned_graph())),
+        )
     }
 
     /// The loaded composite service's name (part of every cache key).
@@ -85,6 +135,10 @@ impl ModelSnapshot {
                 self.service = service.clone();
             }
         }
+        // Any applied command may have changed the topology (and journal
+        // replay applies many in sequence): drop a graph view built before
+        // the edit so the next `interned_graph` re-interns.
+        self.interned = OnceLock::new();
         self.infrastructure.validate()?;
         Ok(())
     }

@@ -44,8 +44,9 @@ fn main() {
     // Show the discovery output the paper prints in Sec. VI-G.
     let run = pipeline.run().unwrap();
     println!("paths for the first mapping pair (t1, printS):");
-    for path in &run.paths_of("Request printing").unwrap().node_paths {
-        println!("  {}", path.join("\u{2014}"));
+    let discovered = run.paths_of("Request printing").unwrap();
+    for i in 0..discovered.len() {
+        println!("  {}", discovered.render_path_at(i));
     }
     println!();
 

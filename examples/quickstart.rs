@@ -58,7 +58,8 @@ fn main() {
         println!("  {}", inst.signature());
     }
     println!("paths for 'request page':");
-    for path in &run.paths_of("request page").unwrap().node_paths {
+    let discovered = run.paths_of("request page").unwrap();
+    for path in discovered.named_paths() {
         println!("  {}", path.join(" — "));
     }
 

@@ -69,7 +69,7 @@ fn sec_vi_g_printed_paths_appear_in_the_run() {
     for expected in PRINTED_PATHS_T1_PRINTS {
         let expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
         assert!(
-            request.node_paths.contains(&expected),
+            request.named_paths().contains(&expected),
             "missing {expected:?}"
         );
     }
@@ -118,7 +118,7 @@ fn vtcl_reference_matches_graph_engine_on_usi() {
             upsim_core::discovery::DiscoveryOptions::default(),
         )
         .unwrap()
-        .node_paths;
+        .named_paths();
         vtcl.sort();
         graph.sort();
         assert_eq!(vtcl, graph, "pair {}", pair.atomic_service);

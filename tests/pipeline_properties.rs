@@ -48,7 +48,7 @@ proptest! {
             prop_assert!(run.upsim.instance(&d.pair.requester).is_some());
             prop_assert!(run.upsim.instance(&d.pair.provider).is_some());
             // Every path starts at the requester and ends at the provider.
-            for path in &d.node_paths {
+            for path in d.named_paths() {
                 prop_assert_eq!(path.first().unwrap(), &d.pair.requester);
                 prop_assert_eq!(path.last().unwrap(), &d.pair.provider);
             }
@@ -57,7 +57,8 @@ proptest! {
         // Every UPSIM instance lies on some discovered path.
         for inst in &run.upsim.instances {
             let on_some_path = run.discovered.iter().any(|d| {
-                d.node_paths.iter().any(|p| p.contains(&inst.name))
+                let id = d.name_table().id(&inst.name);
+                id.is_some_and(|id| d.interned().iter().any(|p| p.contains(&id)))
             });
             prop_assert!(on_some_path, "{} not on any path", inst.name);
         }
@@ -93,11 +94,33 @@ proptest! {
         let rp = par.run().unwrap();
         prop_assert_eq!(&rs.upsim, &rp.upsim);
         for (a, b) in rs.discovered.iter().zip(&rp.discovered) {
-            let mut pa = a.node_paths.clone();
-            let mut pb = b.node_paths.clone();
+            let mut pa = a.interned().to_vec();
+            let mut pb = b.interned().to_vec();
             pa.sort();
             pb.sort();
             prop_assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn pruned_discovery_equals_unpruned_on_random_campuses(
+        params in params_strategy(),
+        seed in 0u64..100,
+    ) {
+        let infra = campus_infrastructure(params);
+        let service = sequential_service("svc", 2);
+        let mapping = random_mapping(&service, &infra, seed);
+        let mut pruned = UpsimPipeline::new(infra.clone(), service.clone(), mapping.clone()).unwrap();
+        let mut unpruned = UpsimPipeline::new(infra, service, mapping).unwrap();
+        unpruned.set_options(DiscoveryOptions { prune: false, ..Default::default() });
+        let rp = pruned.run().unwrap();
+        let ru = unpruned.run().unwrap();
+        prop_assert_eq!(&rp.upsim, &ru.upsim);
+        // Block-cut-tree masking must be invisible: identical paths in the
+        // identical DFS emission order, per atomic service.
+        for (a, b) in rp.discovered.iter().zip(&ru.discovered) {
+            prop_assert_eq!(a.interned(), b.interned());
+            prop_assert_eq!(&a.link_paths, &b.link_paths);
         }
     }
 
