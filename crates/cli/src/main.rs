@@ -8,7 +8,9 @@
 //!   pipeline and print the UPSIM (optionally `--dot <file>`,
 //!   `--xmi <file>`),
 //! * `paths -i <infra.xml> --from <a> --to <b>` — all simple paths between
-//!   two components (`--parallel <threads>` for the parallel enumerator),
+//!   components (`--from`/`--to` accept comma-separated lists — every
+//!   pair is enumerated over one shared interned graph view;
+//!   `--parallel <threads>` for the parallel enumerator),
 //! * `availability -i ... -s ... -m ...` — user-perceived steady-state
 //!   service availability (`--links`, `--paper-formula`, `--mc <samples>`),
 //! * `validate -i ... [-s ... -m ...]` — well-formedness checks,
@@ -33,7 +35,7 @@ use std::sync::Arc;
 
 use dependability::importance::component_importance;
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
-use upsim_core::discovery::{discover, DiscoveryOptions};
+use upsim_core::discovery::{discover_with_workspace, DiscoveryOptions, DiscoveryWorkspace};
 use upsim_core::generate::object_diagram_dot;
 use upsim_core::infrastructure::Infrastructure;
 use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
@@ -45,7 +47,7 @@ const USAGE: &str = "upsim — user-perceived service infrastructure models (IPP
 USAGE:
   upsim export-case-study <dir>
   upsim generate     -i <infra.xml> -s <service.xml> -m <mapping.xml> [--dot <file>] [--xmi <file>]
-  upsim paths        -i <infra.xml> --from <component> --to <component> [--parallel <threads>]
+  upsim paths        -i <infra.xml> --from <comp[,comp...]> --to <comp[,comp...]> [--parallel <threads>]
   upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
@@ -403,12 +405,34 @@ fn paths(flags: &HashMap<String, String>) -> Result<(), CliError> {
             .parse()
             .map_err(|_| usage_err("--parallel expects a thread count"))?;
     }
-    let pair = ServiceMappingPair::new("cli", from, to);
-    let d = discover(&infra, &pair, options).map_err(|e| e.to_string())?;
-    for i in 0..d.len() {
-        println!("{}", d.render_path_at(i));
+    // One interned view (name table + block-cut tree) and one reusable
+    // workspace serve every requested endpoint pair: `--from`/`--to`
+    // accept comma-separated lists, and the graph extraction is no longer
+    // repeated per pair (previously `discover` rebuilt it each call).
+    let view = infra.to_interned_graph();
+    let mut workspace = DiscoveryWorkspace::default();
+    let mut pairs = Vec::new();
+    for from in from.split(',').filter(|s| !s.is_empty()) {
+        for to in to.split(',').filter(|s| !s.is_empty()) {
+            pairs.push(ServiceMappingPair::new("cli", from, to));
+        }
     }
-    println!("{} path(s) between {} and {}", d.len(), from, to);
+    if pairs.is_empty() {
+        return Err(usage_err("--from/--to need at least one component each"));
+    }
+    for pair in &pairs {
+        let d = discover_with_workspace(&view, pair, options, &mut workspace)
+            .map_err(|e| e.to_string())?;
+        for i in 0..d.len() {
+            println!("{}", d.render_path_at(i));
+        }
+        println!(
+            "{} path(s) between {} and {}",
+            d.len(),
+            pair.requester,
+            pair.provider
+        );
+    }
     Ok(())
 }
 
@@ -451,7 +475,10 @@ fn availability(flags: &HashMap<String, String>) -> Result<(), CliError> {
         let samples: usize = samples
             .parse()
             .map_err(|_| usage_err("--mc expects a sample count"))?;
-        let mc = model.monte_carlo(samples, 0, 2013);
+        // The compiled bit-sliced kernel: 64 trials per word, and the
+        // counter-based draws make the estimate independent of how many
+        // workers the host offers.
+        let mc = model.compile_mc().run(samples, 0, 2013);
         let (lo, hi) = mc.confidence_95();
         println!(
             "service availability (Monte-Carlo, {} samples): {:.6} [{:.6}, {:.6}]",

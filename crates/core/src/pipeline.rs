@@ -101,6 +101,15 @@ impl UpsimRun {
         self.upsim.instances.iter().map(|i| i.name.as_str())
     }
 
+    /// The interned name table shared by this run's discovered paths
+    /// (`None` when the mapping had no pairs). All pairs of one run are
+    /// discovered over the same graph view, so consumers that translate
+    /// node ids — e.g. the availability-model transformation — can key a
+    /// single dense cache on this table instead of hashing names.
+    pub fn name_table(&self) -> Option<&Arc<crate::interned::NameTable>> {
+        self.discovered.first().map(|d| d.name_table())
+    }
+
     /// `true` when a removed link `(a, b)` may invalidate this run.
     pub fn touches_link(&self, a: &str, b: &str) -> bool {
         let mut has_a = false;

@@ -23,6 +23,9 @@
 //! * [`montecarlo`] — parallel Monte-Carlo estimation with confidence
 //!   intervals (crossbeam worker fan-out), used to cross-validate the
 //!   analytic engines,
+//! * [`mcprog`] — compiled bit-sliced Monte-Carlo programs: path sets
+//!   flattened into a word program evaluating 64 trials per `u64` with
+//!   counter-based draws (worker-count-invariant estimates),
 //! * [`transform`] — the UPSIM → availability-model transformation: builds
 //!   a [`transform::ServiceAvailabilityModel`] from an object diagram, the
 //!   class diagram it instantiates and the service mapping pairs, and
@@ -41,6 +44,7 @@ pub mod cutsets;
 pub mod downtime;
 pub mod faulttree;
 pub mod importance;
+pub mod mcprog;
 pub mod montecarlo;
 pub mod performance;
 pub mod rbd;
@@ -51,5 +55,6 @@ pub mod transient;
 
 pub use availability::{paper_approximation, steady_state, with_redundancy, ComponentAvailability};
 pub use bdd::{Bdd, BddRef};
+pub use mcprog::{McProgram, McScratch};
 pub use rbd::Block;
 pub use transform::{AnalysisOptions, ServiceAvailabilityModel};

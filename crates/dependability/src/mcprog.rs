@@ -1,0 +1,487 @@
+//! Compiled bit-sliced Monte-Carlo structure-function programs.
+//!
+//! [`montecarlo::estimate`](crate::montecarlo::estimate) walks the path
+//! sets once per trial, drawing one `f64` per component into a
+//! `Vec<bool>`. This module compiles the same structure function — a
+//! word-AND over each path's components, a word-OR over each mapping
+//! pair's paths, a word-AND over the pairs — into a flat [`McProgram`]
+//! that evaluates **64 independent trials per `u64` word**: per-component
+//! Bernoulli draws are packed one trial per bit lane and a popcount of
+//! the final service word accumulates successes.
+//!
+//! The per-lane RNG is counter-based: the draw for `(trial, component)`
+//! is the SplitMix64 finalizer applied to
+//! `seed + trial·γ + (component_index + 1)·γ'` (γ is the SplitMix64
+//! increment, γ' a second odd constant), i.e. lane `trial` reads the
+//! SplitMix64 stream at a Weyl position keyed by both coordinates. The
+//! trial index enters with the full golden-gamma stride — not `+1` — so
+//! nearby seeds produce decorrelated sample sets instead of shifted
+//! copies of each other. A draw is a pure function of its coordinates —
+//! no state is consumed — so the estimate is **bit-identical for a fixed
+//! `(seed, samples)` regardless of worker count** (an improvement over
+//! the per-worker streams of the scalar sampler, which change results
+//! when `workers` changes), and the trial-at-a-time twin
+//! [`McProgram::run_scalar`] reproduces [`McProgram::run`] exactly.
+//!
+//! Compilation constant-folds degenerate availabilities: a component with
+//! `p ≥ 1` is dropped from its paths (AND identity), a path containing a
+//! component with `p ≤ 0` is dropped from its pair, a pair left with an
+//! empty path is certainly up and dropped from the service, and a pair
+//! left with *no* path pins the whole estimate to 0. Only genuinely
+//! stochastic components are drawn.
+
+use crate::montecarlo::MonteCarloResult;
+
+/// The SplitMix64 state increment (odd; "golden gamma") — the per-trial
+/// Weyl stride.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A second odd constant (the first SplitMix64 mix multiplier) — the
+/// per-component stream stride. Distinct from [`GAMMA`] so that
+/// `(trial, component)` coordinates cannot alias each other within any
+/// realistic trial range.
+const STREAM: u64 = 0xBF58_476D_1CE4_E5B9;
+
+/// `2^64` as an `f64` — the Bernoulli threshold scale.
+const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
+
+/// The SplitMix64 output finalizer (Steele et al., "Fast splittable
+/// pseudorandom number generators").
+#[inline(always)]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One stochastic component of a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompDraw {
+    /// RNG stream offset: `(model_component_index + 1)·γ'`. Keyed by the
+    /// *model* index, not the slot, so the draw for a component does not
+    /// depend on which other components survived constant folding.
+    stream: u64,
+    /// The component is up in a lane iff its draw is `< threshold`
+    /// (`threshold ≈ p·2⁶⁴`; relative quantization error ≤ 2⁻⁵³).
+    threshold: u64,
+}
+
+impl CompDraw {
+    /// The up/down draw for one global trial index.
+    #[inline(always)]
+    fn up(&self, seed: u64, trial: u64) -> bool {
+        let key = seed
+            .wrapping_add(trial.wrapping_mul(GAMMA))
+            .wrapping_add(self.stream);
+        mix(key) < self.threshold
+    }
+
+    /// 64 consecutive trials packed one per bit lane (lane `l` holds
+    /// trial `base_trial + l`).
+    #[inline(always)]
+    fn pack(&self, seed: u64, base_trial: u64) -> u64 {
+        let mut key = seed
+            .wrapping_add(base_trial.wrapping_mul(GAMMA))
+            .wrapping_add(self.stream);
+        let mut word = 0u64;
+        for lane in 0..64u64 {
+            word |= u64::from(mix(key) < self.threshold) << lane;
+            key = key.wrapping_add(GAMMA);
+        }
+        word
+    }
+}
+
+/// A compiled bit-sliced Monte-Carlo program: the flat word encoding of
+/// one perspective's structure function over its stochastic components.
+///
+/// Compile once per `(epoch, perspective)` (the server embeds the program
+/// in its cache entry), then [`run`](McProgram::run) as often as needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McProgram {
+    /// One entry per drawn component slot.
+    draws: Vec<CompDraw>,
+    /// Flat slot ids; each path is a span of this.
+    path_slots: Vec<u32>,
+    /// `[start, end)` spans into `path_slots`, one per surviving path.
+    paths: Vec<(u32, u32)>,
+    /// `[start, end)` spans into `paths`, one per surviving mapping pair.
+    pairs: Vec<(u32, u32)>,
+    /// Some pair lost every path to constant folding: the service is
+    /// certainly down and the estimate is exactly 0.
+    dead: bool,
+}
+
+/// Reusable per-worker scratch: one packed draw word per program slot.
+#[derive(Debug, Default, Clone)]
+pub struct McScratch {
+    words: Vec<u64>,
+}
+
+impl McProgram {
+    /// Compiles path-set systems (one entry per mapping pair, each a list
+    /// of component-index path sets) against an availability vector.
+    pub fn compile<'a>(
+        availability: &[f64],
+        systems: impl IntoIterator<Item = &'a [Vec<usize>]>,
+    ) -> Self {
+        let mut slot_of: Vec<u32> = vec![u32::MAX; availability.len()];
+        let mut program = McProgram {
+            draws: Vec::new(),
+            path_slots: Vec::new(),
+            paths: Vec::new(),
+            pairs: Vec::new(),
+            dead: false,
+        };
+        let mut path_comps: Vec<usize> = Vec::new();
+        for sets in systems {
+            let pair_lo = program.paths.len();
+            let mut certainly_up = false;
+            for set in sets {
+                // Constant-fold the path: drop perfect components, drop
+                // the path if any component can never be up.
+                path_comps.clear();
+                let mut viable = true;
+                for &comp in set {
+                    let p = availability[comp];
+                    if p <= 0.0 {
+                        viable = false;
+                        break;
+                    }
+                    if p < 1.0 && !path_comps.contains(&comp) {
+                        path_comps.push(comp);
+                    }
+                }
+                if !viable {
+                    continue;
+                }
+                if path_comps.is_empty() {
+                    // A path with no stochastic component always works, so
+                    // the whole pair does.
+                    certainly_up = true;
+                    break;
+                }
+                let lo = program.path_slots.len() as u32;
+                for &comp in &path_comps {
+                    let slot = if slot_of[comp] == u32::MAX {
+                        let slot = program.draws.len() as u32;
+                        slot_of[comp] = slot;
+                        program.draws.push(CompDraw {
+                            stream: (comp as u64 + 1).wrapping_mul(STREAM),
+                            threshold: (availability[comp] * TWO_POW_64) as u64,
+                        });
+                        slot
+                    } else {
+                        slot_of[comp]
+                    };
+                    program.path_slots.push(slot);
+                }
+                program.paths.push((lo, program.path_slots.len() as u32));
+            }
+            if certainly_up {
+                program.paths.truncate(pair_lo);
+                continue;
+            }
+            if program.paths.len() == pair_lo {
+                program.dead = true;
+            }
+            program
+                .pairs
+                .push((pair_lo as u32, program.paths.len() as u32));
+        }
+        program
+    }
+
+    /// Number of stochastic components the program draws per trial block.
+    pub fn component_count(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// A constant estimate, when the structure function folded to one:
+    /// `Some(0.0)` when some pair has no working path, `Some(1.0)` when
+    /// every pair is certainly up.
+    pub fn constant_estimate(&self) -> Option<f64> {
+        if self.dead {
+            Some(0.0)
+        } else if self.pairs.is_empty() {
+            Some(1.0)
+        } else {
+            None
+        }
+    }
+
+    /// A scratch buffer sized for this program (reused across blocks; the
+    /// parallel runner keeps one per worker).
+    pub fn scratch(&self) -> McScratch {
+        McScratch {
+            words: vec![0; self.draws.len()],
+        }
+    }
+
+    /// Evaluates one 64-trial block (trials `block·64 .. block·64 + 64`),
+    /// returning the service word (bit lane = trial up). Early exits are
+    /// exact: draws are pure functions of their coordinates, so skipping
+    /// them cannot skew later blocks.
+    fn block_word(&self, seed: u64, block: u64, scratch: &mut McScratch) -> u64 {
+        let base_trial = block.wrapping_mul(64);
+        for (slot, draw) in self.draws.iter().enumerate() {
+            scratch.words[slot] = draw.pack(seed, base_trial);
+        }
+        let mut service = !0u64;
+        for &(pair_lo, pair_hi) in &self.pairs {
+            let mut pair_up = 0u64;
+            for &(lo, hi) in &self.paths[pair_lo as usize..pair_hi as usize] {
+                let mut path_up = !0u64;
+                for &slot in &self.path_slots[lo as usize..hi as usize] {
+                    path_up &= scratch.words[slot as usize];
+                    if path_up == 0 {
+                        break;
+                    }
+                }
+                pair_up |= path_up;
+                if pair_up == !0u64 {
+                    break;
+                }
+            }
+            service &= pair_up;
+            if service == 0 {
+                break;
+            }
+        }
+        service
+    }
+
+    /// Successes among trials `[block·64, block·64 + 64) ∩ [0, samples)`.
+    fn block_successes(
+        &self,
+        seed: u64,
+        block: u64,
+        samples: usize,
+        scratch: &mut McScratch,
+    ) -> u64 {
+        let lanes = samples - (block as usize) * 64;
+        let mask = if lanes >= 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        u64::from((self.block_word(seed, block, scratch) & mask).count_ones())
+    }
+
+    /// Bit-sliced parallel Monte-Carlo run: exactly `samples` trials,
+    /// fanned out over `workers` crossbeam threads (0 = available
+    /// parallelism) in contiguous 64-trial block ranges with one reusable
+    /// scratch buffer per worker. Deterministic: the successes of a block
+    /// depend only on `(seed, block)`, and summation over blocks is
+    /// partition-invariant, so the estimate is bit-identical for any
+    /// `workers` value.
+    pub fn run(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            return MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+        }
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let blocks = samples.div_ceil(64) as u64;
+        let per_worker = blocks.div_ceil(workers as u64).max(1);
+        let successes: u64 = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers as u64 {
+                let lo = (w * per_worker).min(blocks);
+                let hi = (lo + per_worker).min(blocks);
+                if lo == hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = self.scratch();
+                    let mut ok = 0u64;
+                    for block in lo..hi {
+                        ok += self.block_successes(seed, block, samples, &mut scratch);
+                    }
+                    ok
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("crossbeam scope");
+        result_from(successes, samples)
+    }
+
+    /// The trial-at-a-time twin of [`run`](McProgram::run): identical
+    /// draws (same counter-based coordinates), identical structure
+    /// function, one trial per iteration. Exists to differential-test the
+    /// bit-sliced executor — the two must agree bit-for-bit.
+    pub fn run_scalar(&self, samples: usize, seed: u64) -> MonteCarloResult {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            return MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+        }
+        let mut successes = 0u64;
+        for trial in 0..samples as u64 {
+            let service_up = self.pairs.iter().all(|&(pair_lo, pair_hi)| {
+                self.paths[pair_lo as usize..pair_hi as usize]
+                    .iter()
+                    .any(|&(lo, hi)| {
+                        self.path_slots[lo as usize..hi as usize]
+                            .iter()
+                            .all(|&slot| self.draws[slot as usize].up(seed, trial))
+                    })
+            });
+            successes += u64::from(service_up);
+        }
+        result_from(successes, samples)
+    }
+}
+
+fn result_from(successes: u64, samples: usize) -> MonteCarloResult {
+    let estimate = successes as f64 / samples as f64;
+    MonteCarloResult {
+        estimate,
+        std_error: (estimate * (1.0 - estimate) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdp::union_probability;
+
+    fn compile(p: &[f64], systems: &[Vec<Vec<usize>>]) -> McProgram {
+        McProgram::compile(p, systems.iter().map(Vec::as_slice))
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_for_any_worker_count() {
+        let p = [0.9, 0.8, 0.7, 0.95];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let program = compile(&p, &systems);
+        // 10_001 is deliberately not a multiple of 64 (tail block).
+        let reference = program.run(10_001, 1, 42);
+        for workers in [2, 3, 5, 8, 64] {
+            assert_eq!(program.run(10_001, workers, 42), reference);
+        }
+    }
+
+    #[test]
+    fn bitsliced_equals_scalar_twin_exactly() {
+        let p = [0.9, 0.8, 0.7];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]]];
+        let program = compile(&p, &systems);
+        for samples in [1, 63, 64, 65, 1000] {
+            for seed in [0, 7, 2013] {
+                assert_eq!(
+                    program.run(samples, 3, seed),
+                    program.run_scalar(samples, seed),
+                    "samples={samples} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_exact_union_probability() {
+        let p = [0.9, 0.8, 0.7];
+        let sets = vec![vec![0, 1], vec![0, 2]];
+        let exact = union_probability(&sets, &p);
+        let mc = compile(&p, &[sets]).run(200_000, 4, 7);
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses {exact}",
+            mc.confidence_95()
+        );
+        assert!((mc.estimate - exact).abs() < 0.01);
+    }
+
+    #[test]
+    fn shared_components_across_pairs_are_not_independent() {
+        // Same cross-check as the scalar sampler: two pairs sharing
+        // component 0 conjunct to p0·p1·p2, not (p0·p1)(p0·p2).
+        let p = [0.6, 0.9, 0.9];
+        let systems = vec![vec![vec![0, 1]], vec![vec![0, 2]]];
+        let exact = 0.6 * 0.9 * 0.9;
+        let naive = (0.6 * 0.9) * (0.6 * 0.9);
+        let mc = compile(&p, &systems).run(400_000, 4, 13);
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses {exact}",
+            mc.confidence_95()
+        );
+        assert!(!mc.covers(naive), "must reject the naive product {naive}");
+    }
+
+    #[test]
+    fn degenerate_structures_fold_to_constants() {
+        let p = [0.5, 1.0, 0.0];
+        // No pairs at all: certainly up.
+        assert_eq!(compile(&p, &[]).constant_estimate(), Some(1.0));
+        // One pair with no paths: certainly down.
+        assert_eq!(compile(&p, &[vec![]]).constant_estimate(), Some(0.0));
+        // A trivial (empty) path: the pair is certainly up.
+        assert_eq!(compile(&p, &[vec![vec![]]]).constant_estimate(), Some(1.0));
+        // A path of only perfect components folds to a trivial path.
+        assert_eq!(
+            compile(&p, &[vec![vec![1, 1]]]).constant_estimate(),
+            Some(1.0)
+        );
+        // Every path blocked by a never-up component: certainly down.
+        assert_eq!(
+            compile(&p, &[vec![vec![0, 2], vec![2]]]).constant_estimate(),
+            Some(0.0)
+        );
+        // The constants run without sampling and with zero error.
+        let dead = compile(&p, &[vec![]]).run(1000, 2, 1);
+        assert_eq!(
+            (dead.estimate, dead.std_error, dead.samples),
+            (0.0, 0.0, 1000)
+        );
+        let up = compile(&p, &[]).run_scalar(1000, 1);
+        assert_eq!(up.estimate, 1.0);
+    }
+
+    #[test]
+    fn perfect_components_give_certainty() {
+        let p = [1.0, 1.0];
+        let mc = compile(&p, &[vec![vec![0, 1]]]).run(5_000, 2, 9);
+        assert_eq!(mc.estimate, 1.0);
+        assert_eq!(mc.std_error, 0.0);
+    }
+
+    #[test]
+    fn exact_sample_count_is_preserved() {
+        let p = [0.9];
+        let mc = compile(&p, &[vec![vec![0]]]).run(1001, 4, 3);
+        assert_eq!(mc.samples, 1001);
+        // The tail mask must hide lanes ≥ samples: a fully-up component
+        // must hit exactly `samples` successes, not a padded multiple.
+        let all = compile(&[1.0 - 1e-18], &[vec![vec![0]]]).run(77, 3, 5);
+        assert_eq!(all.samples, 77);
+    }
+
+    #[test]
+    fn mixing_constants_into_stochastic_paths_matches_exact() {
+        // p1 = 1 drops out of the path, p3 = 0 kills the second path.
+        let p = [0.7, 1.0, 0.9, 0.0];
+        let systems = vec![vec![vec![0, 1], vec![2, 3]]];
+        let program = compile(&p, &systems);
+        assert_eq!(program.component_count(), 1, "only component 0 is drawn");
+        let mc = program.run(200_000, 2, 13);
+        assert!(mc.covers(0.7), "CI {:?} misses 0.7", mc.confidence_95());
+    }
+}

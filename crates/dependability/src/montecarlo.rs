@@ -7,6 +7,11 @@
 //! services of a composite service execute — paper Sec. V-E). Workers fan
 //! out over a crossbeam scope with deterministic per-worker RNG streams, so
 //! results are reproducible for a fixed `(seed, workers)` pair.
+//!
+//! This is the reference trial-at-a-time sampler. The production path is
+//! the compiled bit-sliced kernel in [`crate::mcprog`]: 64 trials per
+//! `u64` word and counter-based draws that make the estimate independent
+//! of the worker count.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,14 +28,27 @@ pub struct MonteCarloResult {
 }
 
 impl MonteCarloResult {
-    /// Two-sided 95% confidence interval (normal approximation), clamped to
+    /// Two-sided 95% confidence interval (Wilson score), clamped to
     /// `[0, 1]`.
+    ///
+    /// Unlike the Wald interval (`estimate ± 1.96·std_error`), the Wilson
+    /// interval stays honest at the boundary: an estimate of exactly 0 or
+    /// 1 (where the binomial `std_error` degenerates to 0) still yields a
+    /// non-degenerate interval — e.g. `[1/(1 + z²/n), 1]` at `p̂ = 1` —
+    /// instead of collapsing to a point. For interior estimates at the
+    /// sample counts used here the two agree to within a fraction of the
+    /// interval width.
     pub fn confidence_95(&self) -> (f64, f64) {
-        let delta = 1.96 * self.std_error;
-        (
-            (self.estimate - delta).max(0.0),
-            (self.estimate + delta).min(1.0),
-        )
+        if self.samples == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.96f64;
+        let n = self.samples as f64;
+        let p = self.estimate;
+        let denom = 1.0 + z * z / n;
+        let center = (p + z * z / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
     }
 
     /// `true` when `value` lies in the 95% confidence interval.
@@ -190,6 +208,41 @@ mod tests {
         let p = [1.0, 1.0];
         let mc = estimate_single(&p, &[vec![0, 1]], 5_000, 2, 9);
         assert_eq!(mc.estimate, 1.0);
-        assert_eq!(mc.confidence_95(), (1.0, 1.0));
+        // Wilson at p̂ = 1: the upper bound is exactly 1, the lower bound
+        // 1/(1 + z²/n) — close to 1 but not a degenerate point interval.
+        let (lo, hi) = mc.confidence_95();
+        assert_eq!(hi, 1.0);
+        assert!(lo < 1.0, "boundary CI must not collapse to a point");
+        assert!(lo > 0.999, "lower bound stays tight at n = 5000: {lo}");
+        assert!(mc.covers(0.9995));
+        assert!(!mc.covers(0.99));
+    }
+
+    #[test]
+    fn degenerate_zero_estimate_has_open_interval() {
+        let p = [0.0];
+        let mc = estimate_single(&p, &[vec![0]], 5_000, 1, 4);
+        assert_eq!(mc.estimate, 0.0);
+        assert_eq!(mc.std_error, 0.0);
+        let (lo, hi) = mc.confidence_95();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.001, "Wilson upper at p̂ = 0: {hi}");
+        assert!(mc.covers(0.0005));
+    }
+
+    #[test]
+    fn wilson_matches_wald_for_interior_estimates() {
+        let mc = MonteCarloResult {
+            estimate: 0.95,
+            std_error: (0.95f64 * 0.05 / 200_000.0).sqrt(),
+            samples: 200_000,
+        };
+        let (lo, hi) = mc.confidence_95();
+        let (wald_lo, wald_hi) = (
+            mc.estimate - 1.96 * mc.std_error,
+            mc.estimate + 1.96 * mc.std_error,
+        );
+        assert!((lo - wald_lo).abs() < 1e-5, "wilson {lo} vs wald {wald_lo}");
+        assert!((hi - wald_hi).abs() < 1e-5, "wilson {hi} vs wald {wald_hi}");
     }
 }

@@ -17,9 +17,14 @@ pub struct Term {
 }
 
 impl Term {
-    fn probability(&self, p: &[f64]) -> f64 {
+    /// Term probability over pre-gathered up/down probabilities (`q[i]`
+    /// must be `1 − p[i]`). The complements are hoisted out by the caller:
+    /// every term revisits the same variables, so the hot evaluation loop
+    /// is two iterator products over gathered values instead of
+    /// re-deriving the complement per literal.
+    fn probability(&self, p: &[f64], q: &[f64]) -> f64 {
         let up: f64 = self.pos.iter().map(|&i| p[i]).product();
-        let down: f64 = self.neg.iter().map(|&i| 1.0 - p[i]).product();
+        let down: f64 = self.neg.iter().map(|&i| q[i]).product();
         up * down
     }
 }
@@ -30,16 +35,28 @@ impl Term {
 /// term count down). The returned terms are pairwise disjoint and their
 /// probability sum equals the union probability.
 pub fn disjoint_products(path_sets: &[Vec<usize>]) -> Vec<Term> {
-    let mut paths: Vec<Vec<usize>> = path_sets
+    // Normalize without cloning every set: already strictly-sorted sets
+    // (the common case — `minimize` emits them) are borrowed, only the
+    // rest are copied and sorted. The cardinality sort compares in place
+    // instead of materializing `(len, clone)` keys.
+    let mut paths: Vec<std::borrow::Cow<[usize]>> = path_sets
         .iter()
         .map(|s| {
-            let mut v = s.clone();
-            v.sort_unstable();
-            v.dedup();
-            v
+            if s.windows(2).all(|w| w[0] < w[1]) {
+                std::borrow::Cow::Borrowed(s.as_slice())
+            } else {
+                let mut v = s.clone();
+                v.sort_unstable();
+                v.dedup();
+                std::borrow::Cow::Owned(v)
+            }
         })
         .collect();
-    paths.sort_by_key(|p| (p.len(), p.clone()));
+    paths.sort_unstable_by(|a, b| {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.as_ref().cmp(b.as_ref()))
+    });
     paths.dedup();
 
     let mut terms: Vec<Term> = Vec::new();
@@ -47,7 +64,7 @@ pub fn disjoint_products(path_sets: &[Vec<usize>]) -> Vec<Term> {
         // Start from Pᵢ and conjoin ¬P₀ … ¬Pᵢ₋₁, splitting into disjoint
         // sub-terms as needed.
         let mut current = vec![Term {
-            pos: path.clone(),
+            pos: path.to_vec(),
             neg: Vec::new(),
         }];
         for prev in &paths[..i] {
@@ -92,10 +109,9 @@ pub fn disjoint_products(path_sets: &[Vec<usize>]) -> Vec<Term> {
 
 /// Exact union probability via SDP.
 pub fn union_probability(path_sets: &[Vec<usize>], p: &[f64]) -> f64 {
-    disjoint_products(path_sets)
-        .iter()
-        .map(|t| t.probability(p))
-        .sum()
+    let terms = disjoint_products(path_sets);
+    let q: Vec<f64> = p.iter().map(|&pi| 1.0 - pi).collect();
+    terms.iter().map(|t| t.probability(p, &q)).sum()
 }
 
 #[cfg(test)]

@@ -26,11 +26,14 @@
 
 use crate::availability::ComponentAvailability;
 use crate::bdd::Bdd;
+use crate::mcprog::McProgram;
 use crate::montecarlo::{estimate, MonteCarloResult};
 use crate::rbd::Block;
 use crate::sdp::union_probability;
 use std::collections::HashMap;
+use std::sync::Arc;
 use upsim_core::infrastructure::Infrastructure;
+use upsim_core::interned::NameTable;
 use upsim_core::pipeline::UpsimRun;
 
 /// Options of the transformation.
@@ -121,12 +124,31 @@ impl ServiceAvailabilityModel {
         };
 
         let mut systems = Vec::with_capacity(run.discovered.len());
+        // Interned fast path: within one run every pair shares the graph's
+        // name table, so a dense id → variable memo resolves repeated
+        // components without re-hashing their names; each distinct device
+        // touches the name index exactly once. The memo is rebuilt if a
+        // hand-assembled run ever mixes name tables.
+        let mut id_cache: Vec<usize> = Vec::new();
+        let mut cache_table: Option<&Arc<NameTable>> = None;
         for discovered in &run.discovered {
+            let table = discovered.name_table();
+            if !cache_table.is_some_and(|t| Arc::ptr_eq(t, table)) {
+                id_cache.clear();
+                id_cache.resize(table.len(), usize::MAX);
+                cache_table = Some(table);
+            }
             let mut path_sets = Vec::with_capacity(discovered.len());
             for (nodes, links) in discovered.interned().iter().zip(&discovered.link_paths) {
                 let mut set: Vec<usize> = nodes
                     .iter()
-                    .map(|&id| device_var(discovered.name(id), &mut components, &mut index))
+                    .map(|&id| {
+                        let memo = &mut id_cache[id as usize];
+                        if *memo == usize::MAX {
+                            *memo = device_var(discovered.name(id), &mut components, &mut index);
+                        }
+                        *memo
+                    })
                     .collect();
                 if options.include_links {
                     for &li in links {
@@ -242,7 +264,8 @@ impl ServiceAvailabilityModel {
         crate::cutsets::fault_tree_from_cut_sets(&self.pair_cut_sets(pair_index))
     }
 
-    /// Parallel Monte-Carlo estimate of the service availability.
+    /// Parallel Monte-Carlo estimate of the service availability
+    /// (trial-at-a-time reference sampler; results depend on `workers`).
     pub fn monte_carlo(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
         let systems: Vec<Vec<Vec<usize>>> =
             self.systems.iter().map(|s| s.path_sets.clone()).collect();
@@ -253,6 +276,28 @@ impl ServiceAvailabilityModel {
             workers,
             seed,
         )
+    }
+
+    /// Compiles the model's structure function into a bit-sliced word
+    /// program ([`McProgram`]): compile once per model, sample many times.
+    pub fn compile_mc(&self) -> McProgram {
+        McProgram::compile(
+            &self.availability_vector(),
+            self.systems.iter().map(|s| s.path_sets.as_slice()),
+        )
+    }
+
+    /// Bit-sliced parallel Monte-Carlo estimate: 64 trials per word,
+    /// counter-based draws — bit-identical for a fixed `(seed, samples)`
+    /// regardless of `workers`. Callers sampling the same model repeatedly
+    /// should hold on to [`ServiceAvailabilityModel::compile_mc`] instead.
+    pub fn monte_carlo_bitsliced(
+        &self,
+        samples: usize,
+        workers: usize,
+        seed: u64,
+    ) -> MonteCarloResult {
+        self.compile_mc().run(samples, workers, seed)
     }
 
     /// Looks up a component index by name.
@@ -366,6 +411,28 @@ mod tests {
             "CI {:?} misses {exact}",
             mc.confidence_95()
         );
+    }
+
+    #[test]
+    fn bitsliced_monte_carlo_confirms_bdd_and_ignores_workers() {
+        let (infra, run) = run_fixture();
+        let mut model =
+            ServiceAvailabilityModel::from_run(&infra, &run, AnalysisOptions::default());
+        for c in &mut model.components {
+            c.availability = 0.8;
+        }
+        let exact = model.availability_bdd();
+        let program = model.compile_mc();
+        let mc = program.run(200_000, 4, 5);
+        assert!(
+            mc.covers(exact),
+            "CI {:?} misses {exact}",
+            mc.confidence_95()
+        );
+        // The compiled program and the convenience wrapper agree, and the
+        // estimate does not depend on the worker count.
+        assert_eq!(mc, model.monte_carlo_bitsliced(200_000, 1, 5));
+        assert_eq!(mc, program.run_scalar(200_000, 5));
     }
 
     #[test]

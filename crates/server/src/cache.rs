@@ -52,6 +52,11 @@ pub struct CachedPerspective {
     pub reduction_ratio: f64,
     /// Wall time of the (uncached) evaluation in microseconds.
     pub eval_micros: u64,
+    /// The compiled bit-sliced Monte-Carlo program of this perspective's
+    /// structure function. Compiled once per `(epoch, perspective)` as
+    /// part of the evaluation; `MC` requests run it without touching the
+    /// pipeline.
+    pub mc_program: Arc<dependability::McProgram>,
 }
 
 impl CachedPerspective {
@@ -282,6 +287,7 @@ mod tests {
             path_counts: vec![],
             reduction_ratio: 0.5,
             eval_micros: 1,
+            mc_program: Arc::new(dependability::McProgram::compile(&[], std::iter::empty())),
         })
     }
 

@@ -353,6 +353,37 @@ impl Engine {
             .collect()
     }
 
+    /// Runs the perspective's compiled bit-sliced Monte-Carlo program for
+    /// `samples` trials, evaluating (and caching) the perspective first if
+    /// needed. Returns the estimate alongside the cache entry it ran
+    /// against and whether that entry was served from the cache.
+    ///
+    /// The program is compiled once per `(epoch, perspective)` inside the
+    /// evaluation; repeated `MC` requests — e.g. with growing sample
+    /// counts or different seeds — replay it without touching the
+    /// pipeline. The counter-based kernel makes the estimate a pure
+    /// function of `(samples, seed)`, so the reply does not depend on the
+    /// pool size.
+    pub fn monte_carlo(
+        &self,
+        client: &str,
+        provider: &str,
+        samples: usize,
+        seed: u64,
+    ) -> Result<
+        (
+            dependability::montecarlo::MonteCarloResult,
+            Arc<CachedPerspective>,
+            bool,
+        ),
+        EngineError,
+    > {
+        let (entry, cached) = self.query_traced(client, provider)?;
+        EngineMetrics::bump(&self.shared.metrics.mc_queries);
+        let result = entry.mc_program.run(samples, self.workers.max(1), seed);
+        Ok((result, entry, cached))
+    }
+
     /// Cache fast-path; on miss hands the evaluation to the pool and
     /// returns the reply channel.
     #[allow(clippy::type_complexity)]
@@ -667,12 +698,16 @@ fn evaluate_uncached(
     }
     let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
     let run = pipeline.run()?;
-    let availability = ServiceAvailabilityModel::from_run(
+    let model = ServiceAvailabilityModel::from_run(
         pipeline.infrastructure(),
         &run,
         AnalysisOptions::default(),
-    )
-    .availability_bdd();
+    );
+    let availability = model.availability_bdd();
+    // Compile the bit-sliced Monte-Carlo program while the model is in
+    // hand: `MC` requests against this perspective replay the cached
+    // program instead of re-deriving the structure function.
+    let mc_program = Arc::new(model.compile_mc());
     let eval_micros = start.elapsed().as_micros() as u64;
     shared.metrics.record_timings(&run.timings);
     shared.metrics.eval_latency.record(eval_micros);
@@ -688,6 +723,7 @@ fn evaluate_uncached(
             .collect(),
         reduction_ratio: run.reduction_ratio,
         eval_micros,
+        mc_program,
     });
     // A miss only counts once the cache admitted the entry; a result the
     // insert rejected for a stale epoch (an update raced the evaluation)
@@ -796,6 +832,41 @@ mod tests {
     /// The sender-side half of the fix: a query that observes the flag
     /// after its send self-drains, so even a job enqueued after
     /// `shutdown()` fully completed is answered.
+    /// `MC` runs the perspective's compiled program: the estimate's CI
+    /// covers the exact BDD availability, the second request hits the
+    /// cached program (one evaluation total), and the reply is a pure
+    /// function of `(samples, seed)` — identical across engines with
+    /// different pool sizes.
+    #[test]
+    fn monte_carlo_replays_cached_program_and_covers_exact() {
+        let engine = usi_engine(2);
+        let (result, entry, cached) = engine
+            .monte_carlo("t1", "p2", 200_000, 7)
+            .expect("valid perspective");
+        assert!(!cached, "first request evaluates");
+        assert!(
+            result.covers(entry.availability),
+            "CI {:?} misses exact {}",
+            result.confidence_95(),
+            entry.availability
+        );
+        let (again, _, cached) = engine
+            .monte_carlo("t1", "p2", 200_000, 7)
+            .expect("valid perspective");
+        assert!(cached, "second request replays the cached program");
+        assert_eq!(again, result, "same (samples, seed) → same estimate");
+        assert_eq!(engine.stats().mc_queries, 2);
+        assert_eq!(engine.stats().evals, 1, "the program compiled once");
+
+        let wider = usi_engine(1);
+        let (single, _, _) = wider
+            .monte_carlo("t1", "p2", 200_000, 7)
+            .expect("valid perspective");
+        assert_eq!(single, result, "estimate is worker-count-invariant");
+        wider.shutdown();
+        engine.shutdown();
+    }
+
     #[test]
     fn queries_after_shutdown_fail_fast() {
         let engine = usi_engine(1);

@@ -19,7 +19,11 @@
 //!   mapping swapped per query) and pulls jobs from a bounded queue;
 //!   Step 7 inside a worker can use `ict_graph::parallel`.
 //! * [`protocol`] — a line-delimited request protocol (`QUERY`, `BATCH`,
-//!   `UPDATE`, `STATS`, `SHUTDOWN`) with single-line responses.
+//!   `MC`, `UPDATE`, `STATS`, `SHUTDOWN`) with single-line responses.
+//!   `MC` replays the perspective's compiled bit-sliced Monte-Carlo
+//!   program ([`dependability::McProgram`], cached per epoch alongside
+//!   the exact availability) for confidence-interval estimates at
+//!   arbitrary sample counts without touching the pipeline.
 //! * [`server`] — a `std::net` TCP front-end, one thread per connection.
 //! * [`metrics::EngineMetrics`] — atomic counters, a log₂ latency
 //!   histogram, and per-stage timing aggregation over

@@ -80,6 +80,9 @@ pub struct EngineMetrics {
     /// touching the pipeline (unknown device, deterministic model error).
     pub negative_hits: AtomicU64,
     pub batches: AtomicU64,
+    /// `MC` requests served (the sampled estimate itself; the underlying
+    /// perspective lookup is also counted under `queries`).
+    pub mc_queries: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
     pub errors: AtomicU64,
@@ -128,6 +131,7 @@ impl EngineMetrics {
                 hits as f64 / lookups as f64
             },
             batches: self.batches.load(Ordering::Relaxed),
+            mc_queries: self.mc_queries.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -162,6 +166,8 @@ pub struct MetricsSnapshot {
     pub negative_hits: u64,
     pub hit_rate: f64,
     pub batches: u64,
+    /// Monte-Carlo (`MC`) requests served from compiled programs.
+    pub mc_queries: u64,
     pub updates: u64,
     pub invalidations: u64,
     pub errors: u64,
@@ -191,7 +197,7 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         let mut line = format!(
             "queries={} cache_hits={} cache_misses={} stale_results={} negative_hits={} \
-             hit_rate={:.3} batches={} updates={} invalidations={} errors={} evals={} \
+             hit_rate={:.3} batches={} mc_queries={} updates={} invalidations={} errors={} evals={} \
              eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
              cache_residency={}/{} cache_evictions={} epoch={} workers={} state_dir={} \
              journal_len={} last_save_epoch={}",
@@ -202,6 +208,7 @@ impl MetricsSnapshot {
             self.negative_hits,
             self.hit_rate,
             self.batches,
+            self.mc_queries,
             self.updates,
             self.invalidations,
             self.errors,

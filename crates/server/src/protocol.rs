@@ -6,6 +6,7 @@
 //! ```text
 //! QUERY <client> <provider>
 //! BATCH <client>:<provider> [<client>:<provider> ...]
+//! MC <client> <provider> <samples> [<seed>]
 //! UPDATE CONNECT <a> <b>
 //! UPDATE DISCONNECT <a> <b>
 //! UPDATE SERVICE <name> <atomic> [<atomic> ...]
@@ -29,13 +30,29 @@ use crate::persist::SaveSummary;
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
-    Query { client: String, provider: String },
-    Batch { pairs: Vec<(String, String)> },
+    Query {
+        client: String,
+        provider: String,
+    },
+    Batch {
+        pairs: Vec<(String, String)>,
+    },
+    /// Monte-Carlo estimate from the perspective's compiled bit-sliced
+    /// program (`seed` defaults to 2013 when omitted).
+    MonteCarlo {
+        client: String,
+        provider: String,
+        samples: usize,
+        seed: u64,
+    },
     Update(UpdateCommand),
     Stats,
     Save,
     Shutdown,
 }
+
+/// Default `MC` seed when the request omits one.
+pub const DEFAULT_MC_SEED: u64 = 2013;
 
 /// Parses one request line. Returns a human-readable error for malformed
 /// input (rendered as an `ERR` line; the connection stays open).
@@ -68,6 +85,32 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Batch { pairs })
         }
+        "MC" => {
+            const USAGE: &str = "usage: MC <client> <provider> <samples> [<seed>]";
+            let client = words.next().ok_or(USAGE)?;
+            let provider = words.next().ok_or(USAGE)?;
+            let samples: usize = words
+                .next()
+                .ok_or(USAGE)?
+                .parse()
+                .map_err(|_| "samples must be a positive integer".to_string())?;
+            if samples == 0 {
+                return Err("samples must be a positive integer".to_string());
+            }
+            let seed = match words.next() {
+                Some(word) => word
+                    .parse()
+                    .map_err(|_| "seed must be a non-negative integer".to_string())?,
+                None => DEFAULT_MC_SEED,
+            };
+            expect_end(words, "MC")?;
+            Ok(Request::MonteCarlo {
+                client: client.to_string(),
+                provider: provider.to_string(),
+                samples,
+                seed,
+            })
+        }
         "UPDATE" => parse_update(words).map(Request::Update),
         "STATS" => {
             expect_end(words, "STATS")?;
@@ -82,7 +125,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown command `{other}` (try QUERY, BATCH, UPDATE, STATS, SAVE, SHUTDOWN)"
+            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, STATS, SAVE, SHUTDOWN)"
         )),
     }
 }
@@ -195,6 +238,30 @@ pub fn render_batch(results: &[Result<Arc<CachedPerspective>, EngineError>]) -> 
         ));
     }
     line
+}
+
+/// `OK mc ...` — a Monte-Carlo estimate next to the exact availability of
+/// the entry it ran against.
+pub fn render_mc(
+    entry: &CachedPerspective,
+    result: &dependability::montecarlo::MonteCarloResult,
+    source: &str,
+) -> String {
+    let (lo, hi) = result.confidence_95();
+    format!(
+        "OK mc client={} provider={} service={} estimate={:.9} ci95={:.9}..{:.9} samples={} \
+         exact={:.9} source={} epoch={}",
+        entry.key.client,
+        entry.key.provider,
+        entry.key.service,
+        result.estimate,
+        lo,
+        hi,
+        result.samples,
+        entry.availability,
+        source,
+        entry.epoch,
+    )
 }
 
 /// `OK update ...`
@@ -312,6 +379,10 @@ mod tests {
             path_counts: vec![("print".into(), 4)],
             reduction_ratio: 0.25,
             eval_micros: 1234,
+            mc_program: Arc::new(dependability::McProgram::compile(
+                &[0.9],
+                [vec![vec![0usize]]].iter().map(|s| s.as_slice()),
+            )),
         };
         let line = render_perspective(&entry, "miss");
         assert!(line.starts_with("OK query "));
@@ -319,11 +390,47 @@ mod tests {
         assert!(line.contains("source=miss"));
         assert!(!line.contains('\n'));
 
+        let mc = entry.mc_program.run(10_000, 1, 7);
+        let mc_line = render_mc(&entry, &mc, "hit");
+        assert!(mc_line.starts_with("OK mc "));
+        assert!(mc_line.contains("samples=10000"));
+        assert!(mc_line.contains("exact=0.987654321"));
+        assert!(mc_line.contains("source=hit"));
+        assert!(mc_line.contains("ci95="));
+        assert!(!mc_line.contains('\n'));
+
         let batch = render_batch(&[Ok(Arc::new(entry))]);
         assert!(batch.starts_with("OK batch n=1 "));
         assert!(batch.contains("t1:p1=0.987654321"));
 
         let err = render_batch(&[Err(EngineError::UnknownDevice("ghost".into()))]);
         assert!(err.starts_with("ERR "));
+    }
+
+    #[test]
+    fn parses_mc_requests() {
+        match parse_request("MC t1 p1 200000 42").expect("parses") {
+            Request::MonteCarlo {
+                client,
+                provider,
+                samples,
+                seed,
+            } => {
+                assert_eq!(client, "t1");
+                assert_eq!(provider, "p1");
+                assert_eq!(samples, 200_000);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // The seed is optional and defaults to the documented constant.
+        match parse_request("mc t1 p1 1000").expect("parses") {
+            Request::MonteCarlo { seed, .. } => assert_eq!(seed, DEFAULT_MC_SEED),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(parse_request("MC t1 p1").is_err());
+        assert!(parse_request("MC t1 p1 0").is_err());
+        assert!(parse_request("MC t1 p1 many").is_err());
+        assert!(parse_request("MC t1 p1 100 7 extra").is_err());
     }
 }

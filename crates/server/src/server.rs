@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::protocol::{
-    parse_request, render_batch, render_error, render_perspective, render_save, render_stats,
-    render_update, Request,
+    parse_request, render_batch, render_error, render_mc, render_perspective, render_save,
+    render_stats, render_update, Request,
 };
 
 /// A running TCP server wrapped around an [`Engine`].
@@ -120,6 +120,17 @@ fn handle_connection(
                 }
             }
             Ok(Request::Batch { pairs }) => render_batch(&engine.batch(&pairs)),
+            Ok(Request::MonteCarlo {
+                client,
+                provider,
+                samples,
+                seed,
+            }) => match engine.monte_carlo(&client, &provider, samples, seed) {
+                Ok((result, entry, hit)) => {
+                    render_mc(&entry, &result, if hit { "hit" } else { "miss" })
+                }
+                Err(err) => render_error(&err),
+            },
             Ok(Request::Update(command)) => match engine.update(command) {
                 Ok(summary) => render_update(&summary),
                 Err(err) => render_error(&err),
