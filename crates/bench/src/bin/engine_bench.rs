@@ -1,0 +1,316 @@
+//! Engine throughput benchmark: queries/sec through the resident engine
+//! on the USI case study — cold (every perspective evaluated), warm
+//! (served from the perspective cache), and a two-model contention cell
+//! where one shard answers warm queries while a neighbour shard absorbs
+//! a continuous UPDATE storm. Emitted as `BENCH_engine.json` for CI
+//! tracking.
+//!
+//! Usage:
+//!   `engine_bench [--smoke] [--out <path>]`
+//!
+//! The contention cell doubles as an isolation check: the queried
+//! shard's epoch must stay 0 and its availabilities bit-identical to
+//! the uncontended baseline — a neighbour's update storm may cost some
+//! throughput (lock and allocator pressure) but never correctness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use netgen::usi::{
+    all_printing_perspectives, perspective_mapping, printing_service, usi_infrastructure,
+};
+use upsim_server::{Engine, EngineConfig, ModelSnapshot, ModelSpec, UpdateCommand};
+
+/// One timed cell of the scenario × workers matrix.
+struct Cell {
+    scenario: &'static str,
+    workers: usize,
+    queries: u64,
+    cache_hits: u64,
+    total_ns: u128,
+}
+
+impl Cell {
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / (self.total_ns as f64 / 1e9)
+    }
+}
+
+fn usi_spec(name: &str) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        snapshot: ModelSnapshot::new(usi_infrastructure(), printing_service())
+            .expect("USI models are consistent"),
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+    }
+}
+
+fn two_model_engine(workers: usize) -> Engine {
+    Engine::with_models(
+        vec![usi_spec("served"), usi_spec("churned")],
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("two distinct names register")
+}
+
+fn pairs() -> Vec<(String, String)> {
+    all_printing_perspectives()
+        .iter()
+        .map(|(c, p, _)| (c.clone(), p.clone()))
+        .collect()
+}
+
+/// Drives `rounds` full sweeps of every USI perspective through one
+/// shard, returning (queries, cache hits, availabilities of the last
+/// sweep in pair order).
+fn sweep(
+    engine: &Engine,
+    model: Option<&str>,
+    pairs: &[(String, String)],
+    rounds: u32,
+) -> (u64, u64, Vec<u64>) {
+    let mut queries = 0u64;
+    let mut hits = 0u64;
+    let mut last = Vec::new();
+    for round in 0..rounds {
+        if round + 1 == rounds {
+            last = Vec::with_capacity(pairs.len());
+        }
+        for (client, provider) in pairs {
+            let (entry, hit) = engine
+                .query_traced_on(model, client, provider)
+                .expect("USI perspective evaluates");
+            queries += 1;
+            hits += u64::from(hit);
+            if round + 1 == rounds {
+                last.push(entry.availability.to_bits());
+            }
+        }
+    }
+    (queries, hits, last)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+
+    let all_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cold_iters: u32 = if smoke { 1 } else { 3 };
+    let warm_rounds: u32 = if smoke { 20 } else { 400 };
+    let the_pairs = pairs();
+    assert_eq!(the_pairs.len(), 45);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for workers in worker_counts(all_cores) {
+        // Cold: every perspective evaluated through the pipeline (a
+        // fresh engine per iteration so nothing is resident).
+        let mut queries = 0u64;
+        let mut hits = 0u64;
+        let start = Instant::now();
+        for _ in 0..cold_iters {
+            let engine = Engine::new(
+                ModelSnapshot::new(usi_infrastructure(), printing_service())
+                    .expect("USI models are consistent"),
+                EngineConfig {
+                    workers,
+                    mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+                    ..EngineConfig::default()
+                },
+            );
+            let (q, h, _) = sweep(&engine, None, &the_pairs, 1);
+            queries += q;
+            hits += h;
+            engine.shutdown();
+        }
+        cells.push(Cell {
+            scenario: "cold",
+            workers,
+            queries,
+            cache_hits: hits,
+            total_ns: start.elapsed().as_nanos(),
+        });
+
+        // Warm: the same sweep against a resident, fully cached engine.
+        let engine = two_model_engine(workers);
+        sweep(&engine, Some("served"), &the_pairs, 1); // prime the cache
+        let start = Instant::now();
+        let (queries, hits, _) = sweep(&engine, Some("served"), &the_pairs, warm_rounds);
+        cells.push(Cell {
+            scenario: "warm",
+            workers,
+            queries,
+            cache_hits: hits,
+            total_ns: start.elapsed().as_nanos(),
+        });
+        engine.shutdown();
+    }
+
+    // Two-model contention: the served shard answers the same warm sweep
+    // while the churned shard absorbs a disconnect/connect storm from a
+    // second thread. Baseline first (same engine shape, no storm) so the
+    // ratio isolates the storm's cost.
+    let engine = two_model_engine(all_cores);
+    sweep(&engine, Some("served"), &the_pairs, 1);
+    let start = Instant::now();
+    let (queries, hits, baseline_bits) = sweep(&engine, Some("served"), &the_pairs, warm_rounds);
+    cells.push(Cell {
+        scenario: "two-model-baseline",
+        workers: all_cores,
+        queries,
+        cache_hits: hits,
+        total_ns: start.elapsed().as_nanos(),
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let storm_engine = engine.clone();
+    let storm_stop = Arc::clone(&stop);
+    let storm = std::thread::spawn(move || {
+        let mut updates = 0u64;
+        while !storm_stop.load(Ordering::Relaxed) {
+            storm_engine
+                .update_on(
+                    Some("churned"),
+                    UpdateCommand::Disconnect {
+                        a: "d1".into(),
+                        b: "c2".into(),
+                    },
+                )
+                .expect("storm disconnect");
+            storm_engine
+                .update_on(
+                    Some("churned"),
+                    UpdateCommand::Connect {
+                        a: "d1".into(),
+                        b: "c2".into(),
+                    },
+                )
+                .expect("storm reconnect");
+            updates += 2;
+        }
+        updates
+    });
+    let start = Instant::now();
+    let (queries, hits, contended_bits) = sweep(&engine, Some("served"), &the_pairs, warm_rounds);
+    let contended_ns = start.elapsed().as_nanos();
+    stop.store(true, Ordering::Relaxed);
+    let storm_updates = storm.join().expect("storm thread");
+    cells.push(Cell {
+        scenario: "two-model-contended",
+        workers: all_cores,
+        queries,
+        cache_hits: hits,
+        total_ns: contended_ns,
+    });
+
+    // Isolation is a hard invariant, whatever the throughput: the storm
+    // never touched the served shard.
+    assert_eq!(
+        engine.epoch_of("served"),
+        Ok(0),
+        "update storm leaked into the served shard's epoch"
+    );
+    assert!(
+        engine.epoch_of("churned").expect("churned resolves") >= storm_updates,
+        "storm updates went missing"
+    );
+    assert_eq!(
+        baseline_bits, contended_bits,
+        "served availabilities drifted under a neighbour's update storm"
+    );
+    engine.shutdown();
+
+    // Warm sweeps are all cache hits after priming.
+    for cell in &cells {
+        if cell.scenario != "cold" {
+            assert_eq!(
+                cell.cache_hits, cell.queries,
+                "{}: warm sweep missed the cache",
+                cell.scenario
+            );
+        }
+    }
+
+    let contention_ratio = {
+        let find = |scenario: &str| {
+            cells
+                .iter()
+                .find(|c| c.scenario == scenario)
+                .expect("cell present")
+                .queries_per_sec()
+        };
+        find("two-model-contended") / find("two-model-baseline")
+    };
+
+    let json = render_json(smoke, &cells, storm_updates, contention_ratio);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("engine bench → {out}");
+    println!(
+        "{:>20} {:>8} {:>9} {:>10} {:>15}",
+        "scenario", "workers", "queries", "hits", "queries/sec"
+    );
+    for cell in &cells {
+        println!(
+            "{:>20} {:>8} {:>9} {:>10} {:>15.0}",
+            cell.scenario,
+            cell.workers,
+            cell.queries,
+            cell.cache_hits,
+            cell.queries_per_sec()
+        );
+    }
+    println!(
+        "contended/baseline throughput ratio: {contention_ratio:.3} ({storm_updates} storm updates absorbed)"
+    );
+}
+
+/// `{1, all cores}`, deduplicated on a single-core host.
+fn worker_counts(all_cores: usize) -> Vec<usize> {
+    if all_cores > 1 {
+        vec![1, all_cores]
+    } else {
+        vec![1]
+    }
+}
+
+/// Hand-rolled JSON (numbers + fixed keys only; nothing needs escaping).
+fn render_json(smoke: bool, cells: &[Cell], storm_updates: u64, contention_ratio: f64) -> String {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"engine\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workload\": \"45 USI perspectives per sweep (printS)\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"queries\": {}, \"cache_hits\": {}, \
+             \"total_ns\": {}, \"queries_per_sec\": {:.0}}}{}\n",
+            cell.scenario,
+            cell.workers,
+            cell.queries,
+            cell.cache_hits,
+            cell.total_ns,
+            cell.queries_per_sec(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"storm_updates\": {storm_updates},\n"));
+    json.push_str(&format!(
+        "  \"contended_vs_baseline\": {contention_ratio:.3}\n"
+    ));
+    json.push_str("}\n");
+    json
+}

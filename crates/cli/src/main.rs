@@ -51,10 +51,17 @@ USAGE:
   upsim availability -i <infra.xml> -s <service.xml> -m <mapping.xml> [--links] [--paper-formula] [--mc <samples>] [--transient] [--sensitivity]
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
-  upsim serve        [--case-study | -i <infra.xml> -s <service.xml>] [--addr <host:port>] [--workers <n>] [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]
-  upsim query        --addr <host:port> --from <client> --to <provider>
-  upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>]
+  upsim serve        [--case-study | -i <infra.xml> -s <service.xml> | --model <name>=<spec> ...] [--addr <host:port>] [--workers <n>] [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]
+  upsim query        --addr <host:port> --from <client> --to <provider> [--model <name>]
+  upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>] [--model <name>]
   upsim help
+
+Multi-model serving: repeat --model to register several named models behind
+one server; <spec> is either `case-study` or
+`<infra.xml>:<service.xml>[:<mapping.xml>]` (without a mapping file the
+generic ping-pong mapper is used). Connections pick a model with the USE
+protocol verb and list them with MODELS; without USE they talk to the first
+registered model.
 ";
 
 /// A CLI failure, split by whose fault it was: a usage error (exit 2,
@@ -91,9 +98,14 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parsed command-line flags. Every occurrence of a flag is kept in order,
+/// so repeatable flags (`--model`) see all their values while single-value
+/// flags read the last one.
+type Flags = HashMap<String, Vec<String>>;
+
 /// Parses `--flag value` pairs and boolean `--flag`s into a map.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags: Flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -106,25 +118,33 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
             "links" | "paper-formula" | "transient" | "sensitivity" | "case-study"
         );
         if boolean {
-            flags.insert(key, "true".into());
+            flags.entry(key).or_default().push("true".into());
             i += 1;
         } else {
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| usage_err(format!("flag '{arg}' needs a value")))?
                 .clone();
-            flags.insert(key, value);
+            flags.entry(key).or_default().push(value);
             i += 2;
         }
     }
     Ok(flags)
 }
 
-fn flag<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Option<&'a str> {
-    names.iter().find_map(|n| flags.get(*n).map(String::as_str))
+fn flag<'a>(flags: &'a Flags, names: &[&str]) -> Option<&'a str> {
+    names
+        .iter()
+        .find_map(|n| flags.get(*n).and_then(|values| values.last()))
+        .map(String::as_str)
 }
 
-fn require<'a>(flags: &'a HashMap<String, String>, names: &[&str]) -> Result<&'a str, CliError> {
+/// All values of a repeatable flag, in command-line order.
+fn flag_values<'a>(flags: &'a Flags, name: &str) -> &'a [String] {
+    flags.get(name).map(Vec::as_slice).unwrap_or(&[])
+}
+
+fn require<'a>(flags: &'a Flags, names: &[&str]) -> Result<&'a str, CliError> {
     flag(flags, names).ok_or_else(|| usage_err(format!("missing required flag --{}", names[0])))
 }
 
@@ -137,7 +157,7 @@ fn write(path: &str, content: &str) -> Result<(), String> {
 }
 
 fn load_models(
-    flags: &HashMap<String, String>,
+    flags: &Flags,
 ) -> Result<(Infrastructure, CompositeService, ServiceMapping), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
@@ -176,7 +196,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
 /// Initial models for `serve`/`restore`: the USI case study by default,
 /// or `-i`/`-s` XML files with the generic ping-pong mapper.
 fn initial_models(
-    flags: &HashMap<String, String>,
+    flags: &Flags,
 ) -> Result<
     (
         Infrastructure,
@@ -203,11 +223,68 @@ fn initial_models(
     }
 }
 
-/// `upsim serve` — load models (USI case study by default), restore any
-/// durable state, start the resident engine, and serve the TCP protocol
-/// until `SHUTDOWN`.
-fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let (infra, service, mapper) = initial_models(flags)?;
+/// One `--model <name>=<spec>` occurrence, decoded. `<spec>` is
+/// `case-study` (USI models + Table-I-shaped mapper) or
+/// `<infra.xml>:<service.xml>[:<mapping.xml>]`; without a mapping file the
+/// generic ping-pong mapper derives one per perspective, with one the
+/// mapping is fixed for every perspective of that model.
+fn parse_model_spec(arg: &str) -> Result<upsim_server::ModelSpec, CliError> {
+    let (name, spec) = arg.split_once('=').ok_or_else(|| {
+        usage_err(format!(
+            "--model expects <name>=<spec>, got '{arg}' (spec: case-study or infra.xml:service.xml[:mapping.xml])"
+        ))
+    })?;
+    if !upsim_server::valid_model_name(name) {
+        return Err(usage_err(format!(
+            "invalid model name '{name}' (use 1-64 ASCII alphanumerics, '-', '_', '.')"
+        )));
+    }
+    let (infra, service, mapper): (_, _, upsim_server::PerspectiveMapper) = if spec == "case-study"
+    {
+        (
+            netgen::usi::usi_infrastructure(),
+            netgen::usi::printing_service(),
+            Arc::new(|_: &CompositeService, client: &str, provider: &str| {
+                netgen::usi::perspective_mapping(client, provider)
+            }),
+        )
+    } else {
+        let mut parts = spec.split(':');
+        let (Some(infra_path), Some(service_path)) = (parts.next(), parts.next()) else {
+            return Err(usage_err(format!(
+                "--model spec '{spec}' needs at least <infra.xml>:<service.xml>"
+            )));
+        };
+        let mapping_path = parts.next();
+        if parts.next().is_some() {
+            return Err(usage_err(format!(
+                "--model spec '{spec}' has too many ':'-separated parts"
+            )));
+        }
+        let infra = Infrastructure::from_xml(&read(infra_path)?).map_err(|e| e.to_string())?;
+        let service =
+            CompositeService::from_xml(&read(service_path)?).map_err(|e| e.to_string())?;
+        let mapper: upsim_server::PerspectiveMapper = match mapping_path {
+            Some(path) => {
+                let mapping = ServiceMapping::from_xml(&read(path)?).map_err(|e| e.to_string())?;
+                Arc::new(move |_: &CompositeService, _: &str, _: &str| mapping.clone())
+            }
+            None => upsim_server::pingpong_mapper(),
+        };
+        (infra, service, mapper)
+    };
+    let snapshot = upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    Ok(upsim_server::ModelSpec {
+        name: name.to_string(),
+        snapshot,
+        mapper,
+    })
+}
+
+/// `upsim serve` — load models (USI case study by default, or several
+/// named `--model`s), restore any durable state, start the resident
+/// engine, and serve the TCP protocol until `SHUTDOWN`.
+fn serve(flags: &Flags) -> Result<(), CliError> {
     let workers = match flag(flags, &["workers"]) {
         Some(n) => n
             .parse()
@@ -235,14 +312,177 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => 0,
     };
 
-    let mut snapshot =
-        upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+    let model_args = flag_values(flags, "model");
+    let engine = if model_args.is_empty() {
+        // Single unnamed model: the pre-registry behavior, byte-identical
+        // wire responses, legacy state-dir layout.
+        let (infra, service, mapper) = initial_models(flags)?;
+        let mut snapshot =
+            upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+        if let Some(dir) = state_dir {
+            let report = upsim_server::persist::restore(std::path::Path::new(dir), snapshot)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "restored state from {dir}: epoch {} ({} of {} journal entries replayed, snapshot {})",
+                report.snapshot.epoch,
+                report.replayed,
+                report.journal_entries,
+                if report.from_snapshot {
+                    "loaded"
+                } else {
+                    "absent"
+                },
+            );
+            snapshot = report.snapshot;
+        }
+        let config = upsim_server::EngineConfig {
+            workers,
+            cache_capacity,
+            mapper,
+            ..Default::default()
+        };
+        upsim_server::Engine::new(snapshot, config)
+    } else {
+        if flag(flags, &["case-study", "i", "s"]).is_some() {
+            return Err(usage_err(
+                "--model cannot be combined with --case-study or -i/-s (name every model instead)",
+            ));
+        }
+        let mut models = Vec::with_capacity(model_args.len());
+        for arg in model_args {
+            let mut spec = parse_model_spec(arg)?;
+            if let Some(dir) = state_dir {
+                let subtree =
+                    upsim_server::persist::model_dir(std::path::Path::new(dir), &spec.name);
+                let report = upsim_server::persist::restore(&subtree, spec.snapshot)
+                    .map_err(|e| format!("model '{}': {e}", spec.name))?;
+                println!(
+                    "restored model '{}' from {dir}: epoch {} ({} of {} journal entries replayed, snapshot {})",
+                    spec.name,
+                    report.snapshot.epoch,
+                    report.replayed,
+                    report.journal_entries,
+                    if report.from_snapshot {
+                        "loaded"
+                    } else {
+                        "absent"
+                    },
+                );
+                spec.snapshot = report.snapshot;
+            }
+            models.push(spec);
+        }
+        let config = upsim_server::EngineConfig {
+            workers,
+            cache_capacity,
+            ..Default::default()
+        };
+        upsim_server::Engine::with_models(models, config).map_err(|e| usage_err(e.to_string()))?
+    };
     if let Some(dir) = state_dir {
-        let report = upsim_server::persist::restore(std::path::Path::new(dir), snapshot)
+        engine
+            .enable_persistence(dir, save_every)
             .map_err(|e| e.to_string())?;
+    }
+    let server =
+        upsim_server::serve(engine, addr).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    let models = server.engine().models();
+    if models.len() == 1 {
         println!(
-            "restored state from {dir}: epoch {} ({} of {} journal entries replayed, snapshot {})",
+            "upsim-server listening on {} ({} workers, service '{}')",
+            server.local_addr(),
+            server.engine().worker_count(),
+            server.engine().service_name()
+        );
+    } else {
+        let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        println!(
+            "upsim-server listening on {} ({} workers, {} models: {})",
+            server.local_addr(),
+            server.engine().worker_count(),
+            models.len(),
+            names.join(", ")
+        );
+    }
+    println!(
+        "protocol: QUERY <client> <provider> | BATCH c:p ... | MC c p n [seed] | UPDATE ... | \
+         STATS | SAVE | USE <model> | MODELS | SHUTDOWN"
+    );
+    server.join();
+    println!("upsim-server stopped");
+    Ok(())
+}
+
+/// `upsim restore` — smoke-check a state directory without serving. A
+/// directory with a `models.txt` manifest is walked model by model
+/// (optionally narrowed with `--model`), reporting each shard's restored
+/// epoch; a manifest-less directory is the legacy single-model layout and
+/// restores as before. Exit 1 on a corrupt manifest, journal, or snapshot.
+fn restore(flags: &Flags) -> Result<(), CliError> {
+    let dir = require(flags, &["state-dir"])?;
+    let root = std::path::Path::new(dir);
+    let manifest = upsim_server::persist::read_manifest(root).map_err(|e| e.to_string())?;
+    let Some(names) = manifest else {
+        if flag(flags, &["model"]).is_some() {
+            return Err(usage_err(
+                "--model needs a multi-model state directory (this one has no models.txt manifest)",
+            ));
+        }
+        let (infra, service, _mapper) = initial_models(flags)?;
+        let snapshot =
+            upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+        let report = upsim_server::persist::restore(root, snapshot).map_err(|e| e.to_string())?;
+        println!(
+            "state '{}' OK: epoch {} service '{}' devices {} links {}",
+            dir,
             report.snapshot.epoch,
+            report.snapshot.service_name(),
+            report.snapshot.infrastructure.device_count(),
+            report.snapshot.infrastructure.link_count(),
+        );
+        println!(
+            "journal: {} entries, {} replayed on top of the {}",
+            report.journal_entries,
+            report.replayed,
+            if report.from_snapshot {
+                "saved snapshot"
+            } else {
+                "initial models (no snapshot on disk)"
+            },
+        );
+        return Ok(());
+    };
+    if let Some(wanted) = flag(flags, &["model"]) {
+        if !names.iter().any(|name| name == wanted) {
+            return Err(CliError::Runtime(format!(
+                "model '{wanted}' is not in the manifest (registered: {})",
+                names.join(", ")
+            )));
+        }
+    }
+    println!("manifest: {} model(s): {}", names.len(), names.join(", "));
+    let mut checked = 0usize;
+    for name in &names {
+        if let Some(wanted) = flag(flags, &["model"]) {
+            if name != wanted {
+                continue;
+            }
+        }
+        // Journal-only subtrees replay onto the `--case-study`/`-i`/`-s`
+        // fallback models; a subtree with its own snapshot ignores them.
+        let (infra, service, _mapper) = initial_models(flags)?;
+        let fallback =
+            upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
+        let subtree = upsim_server::persist::model_dir(root, name);
+        let report = upsim_server::persist::restore(&subtree, fallback)
+            .map_err(|e| format!("model '{name}': {e}"))?;
+        println!(
+            "model '{}' OK: epoch {} service '{}' devices {} links {} ({} of {} journal entries replayed, snapshot {})",
+            name,
+            report.snapshot.epoch,
+            report.snapshot.service_name(),
+            report.snapshot.infrastructure.device_count(),
+            report.snapshot.infrastructure.link_count(),
             report.replayed,
             report.journal_entries,
             if report.from_snapshot {
@@ -251,68 +491,14 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 "absent"
             },
         );
-        snapshot = report.snapshot;
+        checked += 1;
     }
-    let config = upsim_server::EngineConfig {
-        workers,
-        cache_capacity,
-        mapper,
-        ..Default::default()
-    };
-    let engine = upsim_server::Engine::new(snapshot, config);
-    if let Some(dir) = state_dir {
-        engine
-            .enable_persistence(dir, save_every)
-            .map_err(|e| e.to_string())?;
-    }
-    let server =
-        upsim_server::serve(engine, addr).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
-    println!(
-        "upsim-server listening on {} ({} workers, service '{}')",
-        server.local_addr(),
-        server.engine().worker_count(),
-        server.engine().service_name()
-    );
-    println!(
-        "protocol: QUERY <client> <provider> | BATCH c:p ... | UPDATE ... | STATS | SAVE | SHUTDOWN"
-    );
-    server.join();
-    println!("upsim-server stopped");
-    Ok(())
-}
-
-/// `upsim restore` — smoke-check a state directory without serving: load
-/// the snapshot, replay the journal, print what came back. Exit 1 on a
-/// corrupt journal or snapshot.
-fn restore(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let dir = require(flags, &["state-dir"])?;
-    let (infra, service, _mapper) = initial_models(flags)?;
-    let snapshot = upsim_server::ModelSnapshot::new(infra, service).map_err(|e| e.to_string())?;
-    let report = upsim_server::persist::restore(std::path::Path::new(dir), snapshot)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "state '{}' OK: epoch {} service '{}' devices {} links {}",
-        dir,
-        report.snapshot.epoch,
-        report.snapshot.service_name(),
-        report.snapshot.infrastructure.device_count(),
-        report.snapshot.infrastructure.link_count(),
-    );
-    println!(
-        "journal: {} entries, {} replayed on top of the {}",
-        report.journal_entries,
-        report.replayed,
-        if report.from_snapshot {
-            "saved snapshot"
-        } else {
-            "initial models (no snapshot on disk)"
-        },
-    );
+    println!("state '{}' OK: {} model(s) checked", dir, checked);
     Ok(())
 }
 
 /// `upsim query` — one-shot TCP client for a running `upsim serve`.
-fn query(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn query(flags: &Flags) -> Result<(), CliError> {
     let addr = require(flags, &["addr"])?;
     let from = require(flags, &["from"])?;
     let to = require(flags, &["to"])?;
@@ -320,6 +506,23 @@ fn query(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
+    if let Some(model) = flag(flags, &["model"]) {
+        writer
+            .write_all(format!("USE {model}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot select model: {e}"))?;
+        let mut ack = String::new();
+        reader
+            .read_line(&mut ack)
+            .map_err(|e| format!("cannot read USE response: {e}"))?;
+        let ack = ack.trim_end();
+        println!("{ack}");
+        if ack.starts_with("ERR") {
+            return Err(CliError::Runtime(format!(
+                "server rejected the model selection: {ack}"
+            )));
+        }
+    }
     writer
         .write_all(format!("QUERY {from} {to}\n").as_bytes())
         .and_then(|()| writer.flush())
@@ -352,7 +555,7 @@ fn export_case_study(dir: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn generate(flags: &Flags) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
     let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
     let run = pipeline.run().map_err(|e| e.to_string())?;
@@ -393,7 +596,7 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn paths(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn paths(flags: &Flags) -> Result<(), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
     let from = require(flags, &["from"])?;
@@ -436,7 +639,7 @@ fn paths(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn availability(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn availability(flags: &Flags) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
     let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
     let run = pipeline.run().map_err(|e| e.to_string())?;
@@ -519,7 +722,7 @@ fn availability(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn redundancy(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn redundancy(flags: &Flags) -> Result<(), CliError> {
     let (infra, service, mapping) = load_models(flags)?;
     let (graph, index) = infra.to_graph();
     let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
@@ -547,7 +750,7 @@ fn redundancy(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn validate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn validate(flags: &Flags) -> Result<(), CliError> {
     let infra = Infrastructure::from_xml(&read(require(flags, &["i", "infrastructure"])?)?)
         .map_err(|e| e.to_string())?;
     infra.validate().map_err(|e| e.to_string())?;

@@ -194,6 +194,214 @@ fn serve_resumes_saved_state_across_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Multi-model lifecycle over the CLI: serve two named models, drive
+/// them through per-connection USE sessions, SAVE one, restart, and
+/// check `upsim restore` walks the manifest with per-model epochs.
+#[test]
+fn serve_multi_model_save_restart_restore() {
+    // USE is per-connection state, so the wire helper must hold one
+    // connection open across requests (unlike the one-shot `request`).
+    struct Session {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+    impl Session {
+        fn connect(addr: &str) -> Self {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            Session {
+                reader,
+                writer: stream,
+            }
+        }
+        fn request(&mut self, line: &str) -> String {
+            self.writer.write_all(line.as_bytes()).expect("send");
+            self.writer.write_all(b"\n").expect("send newline");
+            self.writer.flush().expect("flush");
+            let mut response = String::new();
+            self.reader.read_line(&mut response).expect("read response");
+            response.trim_end().to_string()
+        }
+    }
+    fn spawn_multi(
+        dir: &std::path::Path,
+    ) -> (
+        std::process::Child,
+        String,
+        std::io::Lines<BufReader<std::process::ChildStdout>>,
+    ) {
+        let mut server = upsim()
+            .args([
+                "serve",
+                "--model",
+                "usi=case-study",
+                "--model",
+                "spare=case-study",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--state-dir",
+                dir.to_str().expect("utf8 dir"),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn upsim serve");
+        let mut lines = BufReader::new(server.stdout.take().expect("piped stdout")).lines();
+        let addr = loop {
+            let line = lines.next().expect("server banner").expect("read banner");
+            if let Some(word) = line
+                .split_whitespace()
+                .find(|word| word.starts_with("127.0.0.1:"))
+            {
+                break word.to_string();
+            }
+        };
+        (server, addr, lines)
+    }
+
+    let dir = std::env::temp_dir().join(format!("upsim-cli-multi-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: two sessions on different models. usi reaches epoch 2
+    // with a snapshot at epoch 1; spare reaches epoch 1, journal only.
+    let (mut server, addr, _lines) = spawn_multi(&dir);
+    let mut on_usi = Session::connect(&addr);
+    let mut on_spare = Session::connect(&addr);
+    assert_eq!(on_usi.request("USE usi"), "OK use model=usi epoch=0");
+    assert_eq!(on_spare.request("USE spare"), "OK use model=spare epoch=0");
+    assert!(on_usi
+        .request("UPDATE DISCONNECT d1 c2")
+        .starts_with("OK update kind=disconnect epoch=1"));
+    assert!(on_usi.request("SAVE").starts_with("OK save epoch=1"));
+    assert!(on_usi
+        .request("UPDATE CONNECT d1 c2")
+        .starts_with("OK update kind=connect epoch=2"));
+    assert!(on_spare
+        .request("UPDATE DISCONNECT c1 c2")
+        .starts_with("OK update kind=disconnect epoch=1"));
+    let query = on_spare.request("QUERY t1 p1");
+    assert!(
+        query.starts_with("OK query") && query.contains("epoch=1"),
+        "spare query: {query}"
+    );
+    let models = on_usi.request("MODELS");
+    assert!(
+        models.starts_with("OK models n=2 usi:epoch=2:cache=")
+            && models.contains(" spare:epoch=1:cache="),
+        "models: {models}"
+    );
+    assert_eq!(on_usi.request("SHUTDOWN"), "OK shutdown");
+    assert!(server.wait().expect("server exits").success());
+
+    // Second life: every shard resumes at its pre-shutdown epoch.
+    let (mut server, addr, _lines) = spawn_multi(&dir);
+    let mut session = Session::connect(&addr);
+    let models = session.request("MODELS");
+    assert!(
+        models.starts_with("OK models n=2 usi:epoch=2:cache=")
+            && models.contains(" spare:epoch=1:cache="),
+        "restored models: {models}"
+    );
+    drop(session);
+    // `query --model` selects the shard before asking.
+    let remote = upsim()
+        .args([
+            "query", "--addr", &addr, "--model", "spare", "--from", "t1", "--to", "p1",
+        ])
+        .output()
+        .expect("run upsim query --model");
+    let stdout = String::from_utf8_lossy(&remote.stdout);
+    assert_eq!(
+        remote.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    assert!(
+        stdout.contains("OK use model=spare epoch=1"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("epoch=1"), "stdout: {stdout}");
+    let unknown = upsim()
+        .args([
+            "query", "--addr", &addr, "--model", "ghost", "--from", "t1", "--to", "p1",
+        ])
+        .output()
+        .expect("run upsim query --model ghost");
+    assert_eq!(unknown.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&unknown.stderr).contains("unknown model"),
+        "stderr: {}",
+        String::from_utf8_lossy(&unknown.stderr)
+    );
+    let mut closer = Session::connect(&addr);
+    assert_eq!(closer.request("SHUTDOWN"), "OK shutdown");
+    assert!(server.wait().expect("server exits").success());
+
+    // Offline restore walks the manifest and reports per-model epochs.
+    let out = upsim()
+        .args(["restore", "--state-dir", dir.to_str().expect("utf8 dir")])
+        .output()
+        .expect("run upsim restore");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("manifest: 2 model(s): usi, spare"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("model 'usi' OK: epoch 2"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("model 'spare' OK: epoch 1"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("2 model(s) checked"), "stdout: {stdout}");
+
+    // Narrowed to one model; an unregistered narrow is a runtime error.
+    let one = upsim()
+        .args([
+            "restore",
+            "--state-dir",
+            dir.to_str().expect("utf8 dir"),
+            "--model",
+            "spare",
+        ])
+        .output()
+        .expect("run upsim restore --model");
+    let stdout = String::from_utf8_lossy(&one.stdout);
+    assert_eq!(one.status.code(), Some(0));
+    assert!(
+        stdout.contains("model 'spare' OK: epoch 1") && stdout.contains("1 model(s) checked"),
+        "stdout: {stdout}"
+    );
+    assert!(!stdout.contains("model 'usi'"), "stdout: {stdout}");
+    let missing = upsim()
+        .args([
+            "restore",
+            "--state-dir",
+            dir.to_str().expect("utf8 dir"),
+            "--model",
+            "ghost",
+        ])
+        .output()
+        .expect("run upsim restore --model ghost");
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&missing.stderr).contains("not in the manifest"),
+        "stderr: {}",
+        String::from_utf8_lossy(&missing.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_and_query_round_trip() {
     // Ephemeral port; the server prints the bound address on its first line.

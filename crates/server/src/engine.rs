@@ -1,15 +1,26 @@
-//! The resident query engine: snapshot + cache + worker pool.
+//! The resident query engine: a registry of model shards + worker pool.
 //!
-//! Concurrency design, in one paragraph: the model lives in an
-//! `RwLock<Arc<ModelSnapshot>>`; workers clone the `Arc` (briefly holding
-//! the read lock) and evaluate against that immutable generation, so an
-//! update never tears an in-flight evaluation. An update clones the
-//! snapshot, applies the change, bumps the epoch atomic, sweeps the
-//! affected cache keys, and publishes the new `Arc` — in that order, which
-//! together with the epoch re-check inside [`PerspectiveCache::insert`]
-//! guarantees a result computed against a superseded generation is never
-//! served afterwards.
+//! Concurrency design, in one paragraph: each registered model lives in
+//! its own shard — an `RwLock<Arc<ModelSnapshot>>`; workers clone the
+//! `Arc` (briefly holding the read lock) and evaluate against that
+//! immutable generation, so an update never tears an in-flight
+//! evaluation. An update clones the shard's snapshot, applies the change,
+//! bumps the shard's epoch atomic, sweeps the affected cache keys, and
+//! publishes the new `Arc` — in that order, which together with the epoch
+//! re-check inside [`PerspectiveCache::insert`] guarantees a result
+//! computed against a superseded generation is never served afterwards.
+//!
+//! Sharding design: the worker pool and job queue stay global (jobs carry
+//! an `Arc<Shard>` tag), while everything model-scoped — snapshot, epoch,
+//! perspective + negative caches, metrics, journal — is per shard. A
+//! worker keeps one warm pipeline *per model* it has touched, so a cold
+//! sweep on one model cannot evict another model's warm state from the
+//! pool. An engine built with [`Engine::new`] has exactly one unnamed
+//! default shard and behaves byte-identically to the pre-registry engine;
+//! [`Engine::with_models`] registers several named shards behind the same
+//! pool, addressed by the `USE <model>` protocol verb.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -26,15 +37,34 @@ use upsim_core::service::CompositeService;
 use crate::cache::{
     CachedPerspective, NegativeCache, PerspectiveCache, PerspectiveKey, DEFAULT_CACHE_CAPACITY,
 };
-use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::metrics::{EngineMetrics, MetricsSnapshot, ShardRollup};
 use crate::persist::{self, Journal, SaveSummary};
 use crate::snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
+
+/// Name of the implicit shard an [`Engine::new`] engine registers — the
+/// back-compat single-model mode (`USE default` also resolves to it).
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Whether `name` is usable as a model name: nonempty, at most 64 bytes,
+/// only ASCII alphanumerics plus `-`, `_`, `.`, and not a path alias
+/// (`.` / `..`) — model names double as state-directory components.
+pub fn valid_model_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name != "."
+        && name != ".."
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
 
 /// Errors surfaced to engine callers (and over the wire as `ERR` lines).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A queried client or provider is not an infrastructure device.
     UnknownDevice(String),
+    /// `USE` (or a routed request) named a model that is not registered.
+    UnknownModel(String),
     /// A model-layer failure (validation, pipeline, update).
     Model(String),
     /// A persistence failure (journal append, snapshot save, state dir).
@@ -47,6 +77,7 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            EngineError::UnknownModel(name) => write!(f, "unknown model `{name}` (try MODELS)"),
             EngineError::Model(msg) => write!(f, "model error: {msg}"),
             EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
             EngineError::Shutdown => write!(f, "engine is shut down"),
@@ -69,14 +100,16 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Bound of the job queue — backpressure for `BATCH` floods.
     pub queue_capacity: usize,
-    /// LRU capacity of the perspective cache (`--cache-cap`); the
+    /// LRU capacity of each shard's perspective cache (`--cache-cap`); the
     /// least-recently-used entry is evicted when a new result would exceed
     /// it.
     pub cache_capacity: usize,
     /// Step 7 options used by every worker pipeline.
     pub discovery: DiscoveryOptions,
-    /// Derives the per-perspective mapping (defaults to
-    /// [`pingpong_mapper`]).
+    /// Derives the per-perspective mapping for the default shard of
+    /// [`Engine::new`] (defaults to [`pingpong_mapper`]). Engines built
+    /// with [`Engine::with_models`] carry a mapper per [`ModelSpec`]
+    /// instead.
     pub mapper: PerspectiveMapper,
 }
 
@@ -97,6 +130,26 @@ impl Default for EngineConfig {
             mapper: pingpong_mapper(),
         }
     }
+}
+
+/// One named model to register in a multi-model engine.
+pub struct ModelSpec {
+    /// Registry name (must satisfy [`valid_model_name`], unique).
+    pub name: String,
+    /// Initial (or restored) model state.
+    pub snapshot: ModelSnapshot,
+    /// Per-perspective mapping derivation for this model.
+    pub mapper: PerspectiveMapper,
+}
+
+/// One row of the `MODELS` response: a registered model with its epoch and
+/// cache residency.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    pub name: String,
+    pub epoch: u64,
+    pub cache_len: usize,
+    pub cache_capacity: usize,
 }
 
 /// A dynamicity command (paper Sec. V-A3), applied atomically to the
@@ -136,6 +189,7 @@ pub struct UpdateSummary {
 
 enum Job {
     Eval {
+        shard: Arc<Shard>,
         client: String,
         provider: String,
         reply: Sender<Result<Arc<CachedPerspective>, EngineError>>,
@@ -153,7 +207,10 @@ struct PersistHandle {
     updates_since_save: usize,
 }
 
-struct Shared {
+/// Everything one registered model owns: snapshot + epoch, perspective and
+/// negative caches, metrics, mapper, and its persistence subtree.
+struct Shard {
+    name: String,
     snapshot: RwLock<Arc<ModelSnapshot>>,
     epoch: AtomicU64,
     cache: PerspectiveCache,
@@ -161,14 +218,109 @@ struct Shared {
     metrics: EngineMetrics,
     mapper: PerspectiveMapper,
     discovery: DiscoveryOptions,
-    shutdown: AtomicBool,
     persist: Mutex<Option<PersistHandle>>,
     journal_len: AtomicU64,
     last_save_epoch: AtomicU64,
 }
 
+impl Shard {
+    fn new(spec: ModelSpec, cache_capacity: usize, discovery: DiscoveryOptions) -> Shard {
+        Shard {
+            name: spec.name,
+            epoch: AtomicU64::new(spec.snapshot.epoch),
+            snapshot: RwLock::new(Arc::new(spec.snapshot)),
+            cache: PerspectiveCache::with_capacity(cache_capacity),
+            negative: NegativeCache::new(),
+            metrics: EngineMetrics::new(),
+            mapper: spec.mapper,
+            discovery,
+            persist: Mutex::new(None),
+            journal_len: AtomicU64::new(0),
+            last_save_epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn model(&self) -> Arc<ModelSnapshot> {
+        self.snapshot.read().expect("snapshot poisoned").clone()
+    }
+
+    /// Appends the update to this shard's journal (fsynced). No-op without
+    /// persistence. Called under the snapshot write lock, before the
+    /// update takes effect in memory.
+    fn journal_append(
+        &self,
+        published: &Arc<ModelSnapshot>,
+        command: &UpdateCommand,
+    ) -> Result<(), EngineError> {
+        let mut persist = self.persist.lock().expect("persist poisoned");
+        let Some(handle) = persist.as_mut() else {
+            return Ok(());
+        };
+        handle
+            .journal
+            .append(published.epoch, command)
+            .map_err(|e| EngineError::Persist(format!("journal append: {e}")))?;
+        self.journal_len
+            .store(handle.journal.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runs the `--save-every` autosave for a just-published update,
+    /// outside the snapshot lock. A failed save is non-fatal — the update
+    /// is already durable in the journal — so it is reported on stderr and
+    /// retried after the next update. Must not touch the snapshot lock
+    /// (lock order is snapshot → persist, never the reverse).
+    fn maybe_autosave(&self, published: &Arc<ModelSnapshot>) {
+        let mut persist = self.persist.lock().expect("persist poisoned");
+        let Some(handle) = persist.as_mut() else {
+            return;
+        };
+        handle.updates_since_save += 1;
+        if handle.save_every == 0 || handle.updates_since_save < handle.save_every {
+            return;
+        }
+        // A concurrent saver may already have exported a newer epoch;
+        // overwriting it with this older snapshot would be a step back.
+        if self.last_save_epoch.load(Ordering::Relaxed) >= published.epoch {
+            handle.updates_since_save = 0;
+            return;
+        }
+        match persist::save_snapshot(&handle.dir, published) {
+            Ok(_) => {
+                handle.updates_since_save = 0;
+                self.last_save_epoch
+                    .fetch_max(published.epoch, Ordering::Relaxed);
+            }
+            Err(err) => {
+                eprintln!(
+                    "upsim-server: autosave of model '{}' failed (will retry after next update): {err}",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+struct Shared {
+    /// Registered shards in registration order; index 0 is the default
+    /// shard a session without `USE` is routed to.
+    shards: Vec<Arc<Shard>>,
+    by_name: HashMap<String, usize>,
+    /// `true` for [`Engine::new`] engines: one implicit shard, legacy
+    /// single-model persistence layout, no per-model `STATS` fields.
+    unnamed_default: bool,
+    shutdown: AtomicBool,
+    /// Root state directory once persistence is enabled (the manifest and
+    /// per-model subtrees live under it; the legacy layout *is* it).
+    state_root: Mutex<Option<PathBuf>>,
+}
+
 /// Handle to the resident engine. Cheap to clone; all clones share the
-/// snapshot, cache, metrics, and worker pool.
+/// shard registry, caches, metrics, and worker pool.
 #[derive(Clone)]
 pub struct Engine {
     shared: Arc<Shared>,
@@ -180,8 +332,54 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Spawns the worker pool around an initial model.
+    /// Spawns the worker pool around a single unnamed model — the
+    /// back-compat construction: every verb behaves exactly as before the
+    /// registry existed, no `USE` required.
     pub fn new(snapshot: ModelSnapshot, config: EngineConfig) -> Self {
+        let mapper = Arc::clone(&config.mapper);
+        let spec = ModelSpec {
+            name: DEFAULT_MODEL.to_string(),
+            snapshot,
+            mapper,
+        };
+        Engine::build(vec![spec], config, true).expect("a single default model is always valid")
+    }
+
+    /// Spawns the worker pool around several named models sharing one job
+    /// queue. Fails on an empty registry, an invalid name, or a duplicate.
+    pub fn with_models(models: Vec<ModelSpec>, config: EngineConfig) -> Result<Self, EngineError> {
+        Engine::build(models, config, false)
+    }
+
+    fn build(
+        models: Vec<ModelSpec>,
+        config: EngineConfig,
+        unnamed_default: bool,
+    ) -> Result<Self, EngineError> {
+        if models.is_empty() {
+            return Err(EngineError::Model("at least one model is required".into()));
+        }
+        let mut shards = Vec::with_capacity(models.len());
+        let mut by_name = HashMap::with_capacity(models.len());
+        for spec in models {
+            if !valid_model_name(&spec.name) {
+                return Err(EngineError::Model(format!(
+                    "invalid model name `{}` (use 1-64 ASCII alphanumerics, `-`, `_`, `.`)",
+                    spec.name
+                )));
+            }
+            if by_name.insert(spec.name.clone(), shards.len()).is_some() {
+                return Err(EngineError::Model(format!(
+                    "duplicate model name `{}`",
+                    spec.name
+                )));
+            }
+            shards.push(Arc::new(Shard::new(
+                spec,
+                config.cache_capacity,
+                config.discovery,
+            )));
+        }
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -190,32 +388,25 @@ impl Engine {
             config.workers
         };
         let shared = Arc::new(Shared {
-            epoch: AtomicU64::new(snapshot.epoch),
-            snapshot: RwLock::new(Arc::new(snapshot)),
-            cache: PerspectiveCache::with_capacity(config.cache_capacity),
-            negative: NegativeCache::new(),
-            metrics: EngineMetrics::new(),
-            mapper: config.mapper,
-            discovery: config.discovery,
+            shards,
+            by_name,
+            unnamed_default,
             shutdown: AtomicBool::new(false),
-            persist: Mutex::new(None),
-            journal_len: AtomicU64::new(0),
-            last_save_epoch: AtomicU64::new(0),
+            state_root: Mutex::new(None),
         });
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let shared = Arc::clone(&shared);
             let rx = job_rx.clone();
-            handles.push(std::thread::spawn(move || worker_loop(shared, rx)));
+            handles.push(std::thread::spawn(move || worker_loop(rx)));
         }
-        Engine {
+        Ok(Engine {
             shared,
             job_tx,
             job_rx,
             workers,
             handles: Arc::new(Mutex::new(handles)),
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -223,36 +414,77 @@ impl Engine {
         self.workers
     }
 
-    /// Current snapshot epoch.
+    /// Resolves a model name (`None` = the default shard).
+    fn shard(&self, model: Option<&str>) -> Result<&Arc<Shard>, EngineError> {
+        match model {
+            None => Ok(&self.shared.shards[0]),
+            Some(name) => self
+                .shared
+                .by_name
+                .get(name)
+                .map(|&ix| &self.shared.shards[ix])
+                .ok_or_else(|| EngineError::UnknownModel(name.to_string())),
+        }
+    }
+
+    /// Validates a `USE <model>` selection, returning the shard's current
+    /// epoch on success.
+    pub fn resolve_model(&self, name: &str) -> Result<u64, EngineError> {
+        self.shard(Some(name)).map(|shard| shard.epoch())
+    }
+
+    /// The registered models in registration order, with epoch and cache
+    /// residency (the `MODELS` response).
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| ModelInfo {
+                name: shard.name.clone(),
+                epoch: shard.epoch(),
+                cache_len: shard.cache.len(),
+                cache_capacity: shard.cache.capacity(),
+            })
+            .collect()
+    }
+
+    /// Current snapshot epoch of the default shard.
     pub fn epoch(&self) -> u64 {
-        self.shared.epoch.load(Ordering::SeqCst)
+        self.shared.shards[0].epoch()
     }
 
-    /// The loaded composite service's name.
+    /// Current snapshot epoch of a named model.
+    pub fn epoch_of(&self, model: &str) -> Result<u64, EngineError> {
+        self.resolve_model(model)
+    }
+
+    /// The default shard's composite service name.
     pub fn service_name(&self) -> String {
-        self.shared
-            .snapshot
-            .read()
-            .expect("snapshot poisoned")
-            .service_name()
-            .to_string()
+        self.shared.shards[0].model().service_name().to_string()
     }
 
-    /// The currently published model generation.
+    /// The default shard's currently published model generation.
     pub fn model(&self) -> Arc<ModelSnapshot> {
-        self.shared
-            .snapshot
-            .read()
-            .expect("snapshot poisoned")
-            .clone()
+        self.shared.shards[0].model()
+    }
+
+    /// A named shard's currently published model generation.
+    pub fn model_of(&self, model: &str) -> Result<Arc<ModelSnapshot>, EngineError> {
+        self.shard(Some(model)).map(|shard| shard.model())
     }
 
     /// Turns on durable state under `dir`: every subsequent update is
-    /// appended (fsynced) to the journal, and when `save_every > 0` the
-    /// snapshot is additionally re-exported after that many updates.
+    /// appended (fsynced) to its model's journal, and when `save_every > 0`
+    /// the snapshot is additionally re-exported after that many updates.
+    ///
+    /// A single-unnamed-model engine keeps the legacy layout —
+    /// `snapshot.xml` + `journal.log` directly under `dir`, byte-identical
+    /// to the pre-registry engine. A multi-model engine writes a manifest
+    /// listing the registered models and gives each shard its own
+    /// `dir/<model>/` subtree.
     ///
     /// Call this right after constructing the engine from
-    /// [`persist::restore`]'s snapshot — the journal is opened in append
+    /// [`persist::restore`]'s snapshots — each journal is opened in append
     /// mode, so already-replayed entries stay in place and the epoch
     /// sequence continues where the restored state left off.
     pub fn enable_persistence(
@@ -260,18 +492,48 @@ impl Engine {
         dir: impl Into<PathBuf>,
         save_every: usize,
     ) -> Result<(), EngineError> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| {
-            EngineError::Persist(format!("cannot create state dir '{}': {e}", dir.display()))
+        let root = dir.into();
+        std::fs::create_dir_all(&root).map_err(|e| {
+            EngineError::Persist(format!("cannot create state dir '{}': {e}", root.display()))
         })?;
+        if self.shared.unnamed_default {
+            self.enable_shard_persistence(&self.shared.shards[0], root.clone(), save_every)?;
+        } else {
+            let names: Vec<String> = self
+                .shared
+                .shards
+                .iter()
+                .map(|shard| shard.name.clone())
+                .collect();
+            persist::write_manifest(&root, &names)
+                .map_err(|e| EngineError::Persist(e.to_string()))?;
+            for shard in &self.shared.shards {
+                let shard_dir = persist::model_dir(&root, &shard.name);
+                std::fs::create_dir_all(&shard_dir).map_err(|e| {
+                    EngineError::Persist(format!(
+                        "cannot create state dir '{}': {e}",
+                        shard_dir.display()
+                    ))
+                })?;
+                self.enable_shard_persistence(shard, shard_dir, save_every)?;
+            }
+        }
+        *self.shared.state_root.lock().expect("state root poisoned") = Some(root);
+        Ok(())
+    }
+
+    fn enable_shard_persistence(
+        &self,
+        shard: &Shard,
+        dir: PathBuf,
+        save_every: usize,
+    ) -> Result<(), EngineError> {
         let journal = Journal::open(&dir).map_err(|e| EngineError::Persist(e.to_string()))?;
-        self.shared
-            .journal_len
-            .store(journal.len(), Ordering::Relaxed);
-        self.shared
+        shard.journal_len.store(journal.len(), Ordering::Relaxed);
+        shard
             .last_save_epoch
             .store(persist::saved_epoch(&dir).unwrap_or(0), Ordering::Relaxed);
-        *self.shared.persist.lock().expect("persist poisoned") = Some(PersistHandle {
+        *shard.persist.lock().expect("persist poisoned") = Some(PersistHandle {
             dir,
             journal,
             save_every,
@@ -280,21 +542,27 @@ impl Engine {
         Ok(())
     }
 
-    /// Exports the current snapshot to the state directory (the `SAVE`
-    /// protocol verb). Errors when persistence is not enabled.
+    /// Exports the default shard's snapshot to the state directory (the
+    /// `SAVE` protocol verb). Errors when persistence is not enabled.
     pub fn save_state(&self) -> Result<SaveSummary, EngineError> {
+        self.save_state_on(None)
+    }
+
+    /// Exports one model's snapshot to its persistence subtree.
+    pub fn save_state_on(&self, model: Option<&str>) -> Result<SaveSummary, EngineError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
         }
-        let snapshot = self.model();
-        let mut persist = self.shared.persist.lock().expect("persist poisoned");
+        let shard = self.shard(model)?;
+        let snapshot = shard.model();
+        let mut persist = shard.persist.lock().expect("persist poisoned");
         let handle = persist.as_mut().ok_or_else(|| {
             EngineError::Persist("no state directory configured (serve with --state-dir)".into())
         })?;
         let path = persist::save_snapshot(&handle.dir, &snapshot)
             .map_err(|e| EngineError::Persist(e.to_string()))?;
         handle.updates_since_save = 0;
-        self.shared
+        shard
             .last_save_epoch
             .fetch_max(snapshot.epoch, Ordering::Relaxed);
         Ok(SaveSummary {
@@ -303,7 +571,8 @@ impl Engine {
         })
     }
 
-    /// Evaluates one perspective, serving from the cache when possible.
+    /// Evaluates one perspective against the default shard, serving from
+    /// the cache when possible.
     pub fn query(
         &self,
         client: &str,
@@ -319,8 +588,19 @@ impl Engine {
         client: &str,
         provider: &str,
     ) -> Result<(Arc<CachedPerspective>, bool), EngineError> {
-        EngineMetrics::bump(&self.shared.metrics.queries);
-        match self.lookup_or_enqueue(client, provider)? {
+        self.query_traced_on(None, client, provider)
+    }
+
+    /// [`Engine::query_traced`] against a named model (`None` = default).
+    pub fn query_traced_on(
+        &self,
+        model: Option<&str>,
+        client: &str,
+        provider: &str,
+    ) -> Result<(Arc<CachedPerspective>, bool), EngineError> {
+        let shard = Arc::clone(self.shard(model)?);
+        EngineMetrics::bump(&shard.metrics.queries);
+        match self.lookup_or_enqueue(&shard, client, provider)? {
             Ok(hit) => Ok((hit, true)),
             Err(reply_rx) => {
                 let entry = reply_rx.recv().map_err(|_| EngineError::Shutdown)??;
@@ -330,33 +610,45 @@ impl Engine {
     }
 
     /// Evaluates a batch of perspectives concurrently across the pool,
-    /// returning results in input order.
+    /// returning results in input order (default shard).
     pub fn batch(
         &self,
         pairs: &[(String, String)],
     ) -> Vec<Result<Arc<CachedPerspective>, EngineError>> {
-        EngineMetrics::bump(&self.shared.metrics.batches);
-        EngineMetrics::add(&self.shared.metrics.queries, pairs.len() as u64);
+        self.batch_on(None, pairs)
+            .expect("default shard always resolves")
+    }
+
+    /// [`Engine::batch`] against a named model (`None` = default).
+    pub fn batch_on(
+        &self,
+        model: Option<&str>,
+        pairs: &[(String, String)],
+    ) -> Result<Vec<Result<Arc<CachedPerspective>, EngineError>>, EngineError> {
+        let shard = Arc::clone(self.shard(model)?);
+        EngineMetrics::bump(&shard.metrics.batches);
+        EngineMetrics::add(&shard.metrics.queries, pairs.len() as u64);
         // First pass: resolve cache hits and enqueue the misses, so the
         // whole batch is in flight before we wait on anything.
         let pending: Vec<_> = pairs
             .iter()
-            .map(|(client, provider)| self.lookup_or_enqueue(client, provider))
+            .map(|(client, provider)| self.lookup_or_enqueue(&shard, client, provider))
             .collect();
-        pending
+        Ok(pending
             .into_iter()
             .map(|slot| match slot {
                 Err(err) => Err(err),
                 Ok(Ok(hit)) => Ok(hit),
                 Ok(Err(reply_rx)) => reply_rx.recv().map_err(|_| EngineError::Shutdown)?,
             })
-            .collect()
+            .collect())
     }
 
     /// Runs the perspective's compiled bit-sliced Monte-Carlo program for
-    /// `samples` trials, evaluating (and caching) the perspective first if
-    /// needed. Returns the estimate alongside the cache entry it ran
-    /// against and whether that entry was served from the cache.
+    /// `samples` trials against the default shard, evaluating (and
+    /// caching) the perspective first if needed. Returns the estimate
+    /// alongside the cache entry it ran against and whether that entry was
+    /// served from the cache.
     ///
     /// The program is compiled once per `(epoch, perspective)` inside the
     /// evaluation; repeated `MC` requests — e.g. with growing sample
@@ -378,8 +670,28 @@ impl Engine {
         ),
         EngineError,
     > {
-        let (entry, cached) = self.query_traced(client, provider)?;
-        EngineMetrics::bump(&self.shared.metrics.mc_queries);
+        self.monte_carlo_on(None, client, provider, samples, seed)
+    }
+
+    /// [`Engine::monte_carlo`] against a named model (`None` = default).
+    pub fn monte_carlo_on(
+        &self,
+        model: Option<&str>,
+        client: &str,
+        provider: &str,
+        samples: usize,
+        seed: u64,
+    ) -> Result<
+        (
+            dependability::montecarlo::MonteCarloResult,
+            Arc<CachedPerspective>,
+            bool,
+        ),
+        EngineError,
+    > {
+        let shard = Arc::clone(self.shard(model)?);
+        let (entry, cached) = self.query_traced_on(model, client, provider)?;
+        EngineMetrics::bump(&shard.metrics.mc_queries);
         let result = entry.mc_program.run(samples, self.workers.max(1), seed);
         Ok((result, entry, cached))
     }
@@ -389,6 +701,7 @@ impl Engine {
     #[allow(clippy::type_complexity)]
     fn lookup_or_enqueue(
         &self,
+        shard: &Arc<Shard>,
         client: &str,
         provider: &str,
     ) -> Result<
@@ -398,37 +711,31 @@ impl Engine {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
         }
-        let snapshot = self
-            .shared
-            .snapshot
-            .read()
-            .expect("snapshot poisoned")
-            .clone();
+        let snapshot = shard.model();
         let key = PerspectiveKey::new(client, provider, snapshot.service_name());
         // Known-bad perspectives of this epoch fail fast from the negative
         // cache — the model has not changed, so the error has not either.
-        if let Some(err) = self.shared.negative.get(&key, snapshot.epoch) {
-            EngineMetrics::bump(&self.shared.metrics.negative_hits);
-            EngineMetrics::bump(&self.shared.metrics.errors);
+        if let Some(err) = shard.negative.get(&key, snapshot.epoch) {
+            EngineMetrics::bump(&shard.metrics.negative_hits);
+            EngineMetrics::bump(&shard.metrics.errors);
             return Err(err);
         }
         for device in [client, provider] {
             if !snapshot.infrastructure.has_device(device) {
-                EngineMetrics::bump(&self.shared.metrics.errors);
+                EngineMetrics::bump(&shard.metrics.errors);
                 let err = EngineError::UnknownDevice(device.to_string());
-                self.shared
-                    .negative
-                    .insert(key, err.clone(), snapshot.epoch);
+                shard.negative.insert(key, err.clone(), snapshot.epoch);
                 return Err(err);
             }
         }
-        if let Some(hit) = self.shared.cache.get(&key) {
-            EngineMetrics::bump(&self.shared.metrics.cache_hits);
+        if let Some(hit) = shard.cache.get(&key) {
+            EngineMetrics::bump(&shard.metrics.cache_hits);
             return Ok(Ok(hit));
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.job_tx
             .send(Job::Eval {
+                shard: Arc::clone(shard),
                 client: client.to_string(),
                 provider: provider.to_string(),
                 reply: reply_tx,
@@ -444,15 +751,27 @@ impl Engine {
         Ok(Err(reply_rx))
     }
 
-    /// Applies a dynamicity command: publishes a new snapshot generation
-    /// and sweeps exactly the cache keys the change can affect. With
-    /// persistence enabled the update is journaled (fsynced) before this
-    /// returns — a crash after an acknowledged `UPDATE` replays it.
+    /// Applies a dynamicity command to the default shard.
     pub fn update(&self, command: UpdateCommand) -> Result<UpdateSummary, EngineError> {
+        self.update_on(None, command)
+    }
+
+    /// Applies a dynamicity command to one model: publishes a new snapshot
+    /// generation and sweeps exactly the cache keys the change can affect
+    /// — on that shard alone; every other model's epoch, caches, and warm
+    /// pipelines are untouched. With persistence enabled the update is
+    /// journaled (fsynced) to the shard's journal before this returns — a
+    /// crash after an acknowledged `UPDATE` replays it.
+    pub fn update_on(
+        &self,
+        model: Option<&str>,
+        command: UpdateCommand,
+    ) -> Result<UpdateSummary, EngineError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
         }
-        let mut guard = self.shared.snapshot.write().expect("snapshot poisoned");
+        let shard = self.shard(model)?;
+        let mut guard = shard.snapshot.write().expect("snapshot poisoned");
         let mut next = (**guard).clone();
         let old_service = next.service_name().to_string();
         next.apply(&command)?;
@@ -464,16 +783,14 @@ impl Engine {
         // the guard unwinds with the old snapshot, epoch, and cache all
         // intact, so an ERR'd UPDATE never diverges served state from the
         // journal.
-        self.journal_append(&published, &command)?;
+        shard.journal_append(&published, &command)?;
         // Epoch first, sweep second — see the ordering note on
         // `PerspectiveCache::insert`.
-        self.shared.epoch.store(published.epoch, Ordering::SeqCst);
+        shard.epoch.store(published.epoch, Ordering::SeqCst);
         let invalidated = match &command {
-            UpdateCommand::Connect { .. } => self.shared.cache.invalidate_all(),
-            UpdateCommand::Disconnect { a, b } => self.shared.cache.invalidate_link(a, b),
-            UpdateCommand::SubstituteService { .. } => {
-                self.shared.cache.invalidate_service(&old_service)
-            }
+            UpdateCommand::Connect { .. } => shard.cache.invalidate_all(),
+            UpdateCommand::Disconnect { a, b } => shard.cache.invalidate_link(a, b),
+            UpdateCommand::SubstituteService { .. } => shard.cache.invalidate_service(&old_service),
         };
         let epoch = published.epoch;
         *guard = Arc::clone(&published);
@@ -481,9 +798,9 @@ impl Engine {
         // Autosave outside the write lock: the full XML export (plus two
         // fsyncs) must not stall queries; the persist mutex alone already
         // serializes savers.
-        self.maybe_autosave(&published);
-        EngineMetrics::bump(&self.shared.metrics.updates);
-        EngineMetrics::add(&self.shared.metrics.invalidations, invalidated as u64);
+        shard.maybe_autosave(&published);
+        EngineMetrics::bump(&shard.metrics.updates);
+        EngineMetrics::add(&shard.metrics.invalidations, invalidated as u64);
         Ok(UpdateSummary {
             epoch,
             invalidated,
@@ -491,78 +808,51 @@ impl Engine {
         })
     }
 
-    /// Appends the update to the journal (fsynced). No-op without
-    /// persistence. Called under the snapshot write lock, before the
-    /// update takes effect in memory.
-    fn journal_append(
-        &self,
-        published: &Arc<ModelSnapshot>,
-        command: &UpdateCommand,
-    ) -> Result<(), EngineError> {
-        let mut persist = self.shared.persist.lock().expect("persist poisoned");
-        let Some(handle) = persist.as_mut() else {
-            return Ok(());
-        };
-        handle
-            .journal
-            .append(published.epoch, command)
-            .map_err(|e| EngineError::Persist(format!("journal append: {e}")))?;
-        self.shared
-            .journal_len
-            .store(handle.journal.len(), Ordering::Relaxed);
-        Ok(())
-    }
-
-    /// Runs the `--save-every` autosave for a just-published update,
-    /// outside the snapshot lock. A failed save is non-fatal — the update
-    /// is already durable in the journal — so it is reported on stderr and
-    /// retried after the next update. Must not touch the snapshot lock
-    /// (lock order is snapshot → persist, never the reverse).
-    fn maybe_autosave(&self, published: &Arc<ModelSnapshot>) {
-        let mut persist = self.shared.persist.lock().expect("persist poisoned");
-        let Some(handle) = persist.as_mut() else {
-            return;
-        };
-        handle.updates_since_save += 1;
-        if handle.save_every == 0 || handle.updates_since_save < handle.save_every {
-            return;
-        }
-        // A concurrent saver may already have exported a newer epoch;
-        // overwriting it with this older snapshot would be a step back.
-        if self.shared.last_save_epoch.load(Ordering::Relaxed) >= published.epoch {
-            handle.updates_since_save = 0;
-            return;
-        }
-        match persist::save_snapshot(&handle.dir, published) {
-            Ok(_) => {
-                handle.updates_since_save = 0;
-                self.shared
-                    .last_save_epoch
-                    .fetch_max(published.epoch, Ordering::Relaxed);
-            }
-            Err(err) => {
-                eprintln!("upsim-server: autosave failed (will retry after next update): {err}");
-            }
-        }
-    }
-
-    /// A point-in-time metrics snapshot (the `STATS` response).
+    /// A point-in-time metrics snapshot (the `STATS` response): the rollup
+    /// across every shard, with per-model rows attached when the engine
+    /// serves named models. On a single-unnamed-model engine the rollup
+    /// *is* the shard and the line renders byte-identically to the
+    /// pre-registry engine.
     pub fn stats(&self) -> MetricsSnapshot {
+        let shards = &self.shared.shards;
         let mut snapshot =
-            self.shared
-                .metrics
-                .snapshot(self.shared.cache.len(), self.epoch(), self.workers);
-        snapshot.cache_capacity = self.shared.cache.capacity();
-        snapshot.cache_evictions = self.shared.cache.evictions();
-        snapshot.journal_len = self.shared.journal_len.load(Ordering::Relaxed);
-        snapshot.last_save_epoch = self.shared.last_save_epoch.load(Ordering::Relaxed);
+            EngineMetrics::rollup(shards.iter().map(|shard| &shard.metrics), self.workers);
+        snapshot.epoch = shards.iter().map(|shard| shard.epoch()).max().unwrap_or(0);
+        snapshot.cache_len = shards.iter().map(|shard| shard.cache.len()).sum();
+        snapshot.cache_capacity = shards.iter().map(|shard| shard.cache.capacity()).sum();
+        snapshot.cache_evictions = shards.iter().map(|shard| shard.cache.evictions()).sum();
+        snapshot.journal_len = shards
+            .iter()
+            .map(|shard| shard.journal_len.load(Ordering::Relaxed))
+            .sum();
+        snapshot.last_save_epoch = shards
+            .iter()
+            .map(|shard| shard.last_save_epoch.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
         snapshot.state_dir = self
             .shared
-            .persist
+            .state_root
             .lock()
-            .expect("persist poisoned")
+            .expect("state root poisoned")
             .as_ref()
-            .map(|handle| handle.dir.display().to_string());
+            .map(|root| root.display().to_string());
+        if !self.shared.unnamed_default {
+            snapshot.per_model = shards
+                .iter()
+                .map(|shard| ShardRollup {
+                    model: shard.name.clone(),
+                    epoch: shard.epoch(),
+                    queries: shard.metrics.queries.load(Ordering::Relaxed),
+                    cache_len: shard.cache.len(),
+                    cache_capacity: shard.cache.capacity(),
+                    cache_evictions: shard.cache.evictions(),
+                    negative_hits: shard.metrics.negative_hits.load(Ordering::Relaxed),
+                    journal_len: shard.journal_len.load(Ordering::Relaxed),
+                    last_save_epoch: shard.last_save_epoch.load(Ordering::Relaxed),
+                })
+                .collect();
+        }
         snapshot
     }
 
@@ -621,21 +911,25 @@ impl Engine {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
-    // The warm pipeline: Step 5 (UML import + graph) stays cached across
-    // queries of the same epoch; only the mapping (Step 6) is swapped.
-    let mut warm: Option<(u64, UpsimPipeline)> = None;
+fn worker_loop(rx: Receiver<Job>) {
+    // Warm pipelines, one per model this worker has evaluated: Step 5
+    // (UML import + graph) stays cached across queries of the same
+    // (model, epoch); only the mapping (Step 6) is swapped. Keying by
+    // model name means a cold sweep on one model (its epoch bumped) never
+    // evicts another model's warm state from this worker.
+    let mut warm: HashMap<String, (u64, UpsimPipeline)> = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Stop => break,
             Job::Eval {
+                shard,
                 client,
                 provider,
                 reply,
             } => {
-                let result = evaluate(&shared, &mut warm, &client, &provider);
+                let result = evaluate(&shard, &mut warm, &client, &provider);
                 if result.is_err() {
-                    EngineMetrics::bump(&shared.metrics.errors);
+                    EngineMetrics::bump(&shard.metrics.errors);
                 }
                 let _ = reply.send(result);
             }
@@ -644,42 +938,42 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
 }
 
 fn evaluate(
-    shared: &Shared,
-    warm: &mut Option<(u64, UpsimPipeline)>,
+    shard: &Shard,
+    warm: &mut HashMap<String, (u64, UpsimPipeline)>,
     client: &str,
     provider: &str,
 ) -> Result<Arc<CachedPerspective>, EngineError> {
-    let snapshot = shared.snapshot.read().expect("snapshot poisoned").clone();
+    let snapshot = shard.model();
     let key = PerspectiveKey::new(client, provider, snapshot.service_name());
     // Re-check the cache: another worker may have finished the same key
     // while this job sat in the queue. Not counted as a caller-visible hit.
-    if let Some(hit) = shared.cache.get(&key) {
+    if let Some(hit) = shard.cache.get(&key) {
         return Ok(hit);
     }
-    let result = evaluate_uncached(shared, warm, &snapshot, key.clone(), client, provider);
+    let result = evaluate_uncached(shard, warm, &snapshot, key.clone(), client, provider);
     if let Err(err) = &result {
         // Unknown devices and model errors are deterministic for this
         // epoch — remember them so repeats skip the pipeline entirely.
         if matches!(err, EngineError::UnknownDevice(_) | EngineError::Model(_)) {
-            shared.negative.insert(key, err.clone(), snapshot.epoch);
+            shard.negative.insert(key, err.clone(), snapshot.epoch);
         }
     }
     result
 }
 
 fn evaluate_uncached(
-    shared: &Shared,
-    warm: &mut Option<(u64, UpsimPipeline)>,
+    shard: &Shard,
+    warm: &mut HashMap<String, (u64, UpsimPipeline)>,
     snapshot: &Arc<ModelSnapshot>,
     key: PerspectiveKey,
     client: &str,
     provider: &str,
 ) -> Result<Arc<CachedPerspective>, EngineError> {
     let start = Instant::now();
-    let mapping = (shared.mapper)(&snapshot.service, client, provider);
-    let reusable = matches!(warm, Some((epoch, _)) if *epoch == snapshot.epoch);
+    let mapping = (shard.mapper)(&snapshot.service, client, provider);
+    let reusable = matches!(warm.get(&shard.name), Some((epoch, _)) if *epoch == snapshot.epoch);
     if reusable {
-        let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
+        let (_, pipeline) = warm.get_mut(&shard.name).expect("warm pipeline present");
         pipeline.set_mapping(mapping)?;
     } else {
         let mut pipeline = UpsimPipeline::new(
@@ -688,15 +982,15 @@ fn evaluate_uncached(
             mapping,
         )?;
         pipeline.record_paths = false;
-        pipeline.set_options(shared.discovery);
+        pipeline.set_options(shard.discovery);
         // All workers evaluating this epoch share one interned graph view
         // (name table + block-cut tree): the snapshot builds it once and
         // every warm pipeline borrows the same `Arc` instead of re-running
         // Step 7's graph extraction per perspective.
         pipeline.set_shared_graph(snapshot.interned_graph());
-        *warm = Some((snapshot.epoch, pipeline));
+        warm.insert(shard.name.clone(), (snapshot.epoch, pipeline));
     }
-    let (_, pipeline) = warm.as_mut().expect("warm pipeline present");
+    let (_, pipeline) = warm.get_mut(&shard.name).expect("warm pipeline present");
     let run = pipeline.run()?;
     let model = ServiceAvailabilityModel::from_run(
         pipeline.infrastructure(),
@@ -709,8 +1003,8 @@ fn evaluate_uncached(
     // program instead of re-deriving the structure function.
     let mc_program = Arc::new(model.compile_mc());
     let eval_micros = start.elapsed().as_micros() as u64;
-    shared.metrics.record_timings(&run.timings);
-    shared.metrics.eval_latency.record(eval_micros);
+    shard.metrics.record_timings(&run.timings);
+    shard.metrics.eval_latency.record(eval_micros);
     let entry = Arc::new(CachedPerspective {
         key,
         epoch: snapshot.epoch,
@@ -728,10 +1022,10 @@ fn evaluate_uncached(
     // A miss only counts once the cache admitted the entry; a result the
     // insert rejected for a stale epoch (an update raced the evaluation)
     // is tracked separately so `hits + misses` matches admitted lookups.
-    if shared.cache.insert(entry.clone(), &shared.epoch) {
-        EngineMetrics::bump(&shared.metrics.cache_misses);
+    if shard.cache.insert(entry.clone(), &shard.epoch) {
+        EngineMetrics::bump(&shard.metrics.cache_misses);
     } else {
-        EngineMetrics::bump(&shared.metrics.stale_results);
+        EngineMetrics::bump(&shard.metrics.stale_results);
     }
     Ok(entry)
 }
@@ -753,6 +1047,26 @@ mod tests {
         Engine::new(snapshot, config)
     }
 
+    fn usi_spec(name: &str) -> ModelSpec {
+        ModelSpec {
+            name: name.to_string(),
+            snapshot: ModelSnapshot::new(usi_infrastructure(), printing_service())
+                .expect("USI models are consistent"),
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        }
+    }
+
+    fn campus_spec(name: &str) -> ModelSpec {
+        let (infrastructure, service, _) =
+            netgen::campus::campus_scenario(netgen::campus::CampusParams::default());
+        ModelSpec {
+            name: name.to_string(),
+            snapshot: ModelSnapshot::new(infrastructure, service)
+                .expect("campus models are consistent"),
+            mapper: pingpong_mapper(),
+        }
+    }
+
     /// Regression for the shutdown hang: a job that passed the shutdown
     /// flag check concurrently with `shutdown()` lands in the queue behind
     /// the Stop jobs, after every worker is gone. Pre-fix its reply channel
@@ -769,6 +1083,7 @@ mod tests {
         // Eval job, exactly as `lookup_or_enqueue`'s tail does.
         let (reply_tx, reply_rx) = channel::bounded(1);
         let sent = engine.job_tx.send(Job::Eval {
+            shard: Arc::clone(&engine.shared.shards[0]),
             client: "t1".into(),
             provider: "p1".into(),
             reply: reply_tx,
@@ -802,6 +1117,7 @@ mod tests {
         // below sits in the queue where the racing drain can see it.
         let (busy_tx, busy_rx) = channel::bounded(1);
         let sent = engine.job_tx.send(Job::Eval {
+            shard: Arc::clone(&engine.shared.shards[0]),
             client: "t1".into(),
             provider: "p1".into(),
             reply: busy_tx,
@@ -982,6 +1298,176 @@ mod tests {
             "mean: {}",
             sum / 45.0
         );
+        engine.shutdown();
+    }
+
+    /// Registry construction rejects empty registries, bad names, and
+    /// duplicates, and routes `USE` misses to the distinct error.
+    #[test]
+    fn registry_validates_names_and_routes_unknown_models() {
+        let err = Engine::with_models(Vec::new(), EngineConfig::default())
+            .err()
+            .expect("empty registry rejected");
+        assert!(matches!(err, EngineError::Model(_)));
+
+        let err = Engine::with_models(vec![usi_spec("../escape")], EngineConfig::default())
+            .err()
+            .expect("path-escaping name rejected");
+        assert!(matches!(err, EngineError::Model(_)));
+
+        let err = Engine::with_models(
+            vec![usi_spec("usi"), usi_spec("usi")],
+            EngineConfig::default(),
+        )
+        .err()
+        .expect("duplicate rejected");
+        assert!(matches!(err, EngineError::Model(_)));
+
+        let config = EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_models(vec![usi_spec("usi"), campus_spec("campus")], config)
+            .expect("two distinct models register");
+        assert_eq!(engine.resolve_model("usi"), Ok(0));
+        assert_eq!(
+            engine.resolve_model("ghost"),
+            Err(EngineError::UnknownModel("ghost".into()))
+        );
+        assert_eq!(
+            engine
+                .query_traced_on(Some("ghost"), "t1", "p1")
+                .expect_err("routed to unknown model"),
+            EngineError::UnknownModel("ghost".into())
+        );
+        let names: Vec<String> = engine.models().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["usi".to_string(), "campus".to_string()]);
+        engine.shutdown();
+    }
+
+    /// An `UPDATE` on one model must not bump another model's epoch or
+    /// flush its caches (the core isolation invariant).
+    #[test]
+    fn update_on_one_model_leaves_the_other_untouched() {
+        let config = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_models(vec![usi_spec("usi"), campus_spec("campus")], config)
+            .expect("two models register");
+        engine
+            .query_traced_on(Some("campus"), "t0_0_0", "srv0")
+            .expect("campus perspective evaluates");
+        let campus_before = engine
+            .models()
+            .into_iter()
+            .find(|m| m.name == "campus")
+            .expect("campus registered");
+        assert_eq!(campus_before.cache_len, 1);
+
+        for _ in 0..3 {
+            engine
+                .update_on(
+                    Some("usi"),
+                    UpdateCommand::Disconnect {
+                        a: "t1".into(),
+                        b: "e1".into(),
+                    },
+                )
+                .expect("usi update applies");
+            engine
+                .update_on(
+                    Some("usi"),
+                    UpdateCommand::Connect {
+                        a: "t1".into(),
+                        b: "e1".into(),
+                    },
+                )
+                .expect("usi update applies");
+        }
+        let campus_after = engine
+            .models()
+            .into_iter()
+            .find(|m| m.name == "campus")
+            .expect("campus registered");
+        assert_eq!(campus_after.epoch, 0, "campus epoch must not move");
+        assert_eq!(campus_after.cache_len, 1, "campus cache must survive");
+        let (_, hit) = engine
+            .query_traced_on(Some("campus"), "t0_0_0", "srv0")
+            .expect("campus perspective still resolves");
+        assert!(hit, "campus entry must still be served from cache");
+        assert_eq!(engine.epoch_of("usi"), Ok(6));
+        engine.shutdown();
+    }
+
+    /// Satellite fix coverage: evictions and negative hits are per-shard,
+    /// and the `STATS` rollup equals the sum across shards.
+    #[test]
+    fn stats_rollup_equals_sum_across_shards() {
+        let config = EngineConfig {
+            workers: 1,
+            cache_capacity: 2,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_models(vec![usi_spec("usi"), campus_spec("campus")], config)
+            .expect("two models register");
+        // Overflow the usi cache (capacity 2) to force evictions there.
+        for client in ["t1", "t2", "t3", "t4"] {
+            engine
+                .query_traced_on(Some("usi"), client, "p1")
+                .expect("valid perspective");
+        }
+        // Two identical failures per shard: the second is a negative hit.
+        for model in ["usi", "campus"] {
+            for _ in 0..2 {
+                engine
+                    .query_traced_on(Some(model), "ghost", "alsoghost")
+                    .expect_err("unknown device");
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.per_model.len(), 2, "one rollup row per shard");
+        let usi = &stats.per_model[0];
+        let campus = &stats.per_model[1];
+        assert_eq!(usi.model, "usi");
+        assert_eq!(campus.model, "campus");
+        assert!(usi.cache_evictions >= 1, "usi overflow must evict");
+        assert_eq!(
+            campus.cache_evictions, 0,
+            "campus never overflowed — evictions must be per-shard"
+        );
+        assert_eq!(usi.negative_hits, 1);
+        assert_eq!(campus.negative_hits, 1);
+        // The rollup line is the sum of the per-shard rows.
+        assert_eq!(
+            stats.cache_evictions,
+            usi.cache_evictions + campus.cache_evictions
+        );
+        assert_eq!(
+            stats.negative_hits,
+            usi.negative_hits + campus.negative_hits
+        );
+        assert_eq!(stats.cache_len, usi.cache_len + campus.cache_len);
+        assert_eq!(
+            stats.queries,
+            usi.queries + campus.queries,
+            "query counts sum across shards"
+        );
+        let rendered = stats.render();
+        assert!(rendered.contains("model[usi]="));
+        assert!(rendered.contains("model[campus]="));
+        engine.shutdown();
+    }
+
+    /// A single-unnamed-model engine renders `STATS` without per-model
+    /// fields — byte-compatible with the pre-registry wire format.
+    #[test]
+    fn single_unnamed_model_stats_have_no_per_model_fields() {
+        let engine = usi_engine(1);
+        engine.query("t1", "p1").expect("valid perspective");
+        let stats = engine.stats();
+        assert!(stats.per_model.is_empty());
+        assert!(!stats.render().contains("model["));
         engine.shutdown();
     }
 }

@@ -7,19 +7,25 @@
 //! pipeline in `upsim-cli` rebuilds from scratch every time. This crate
 //! keeps the model resident and serves perspectives concurrently:
 //!
-//! * [`engine::Engine`] — owns an immutable [`snapshot::ModelSnapshot`]
-//!   plus a [`cache::PerspectiveCache`] keyed by
-//!   `(client, provider, service)`. Updates go through the pipeline's
-//!   dynamicity semantics (Sec. V-A3): a removed link invalidates only the
-//!   perspectives whose UPSIM contains both endpoints, a service
-//!   substitution only that service's keys, while a new link (which can
-//!   create paths anywhere) flushes everything.
+//! * [`engine::Engine`] — a registry of named model *shards*. Each shard
+//!   owns an immutable [`snapshot::ModelSnapshot`] + epoch counter plus a
+//!   [`cache::PerspectiveCache`] keyed by `(client, provider, service)`;
+//!   updates go through the pipeline's dynamicity semantics (Sec. V-A3):
+//!   a removed link invalidates only the perspectives whose UPSIM contains
+//!   both endpoints, a service substitution only that service's keys,
+//!   while a new link (which can create paths anywhere) flushes everything
+//!   — on that shard alone, never on its neighbours. [`engine::Engine::new`]
+//!   registers one unnamed default shard (byte-identical single-model
+//!   behavior); [`engine::Engine::with_models`] serves several named
+//!   models behind the same worker pool and TCP front-end, selected per
+//!   connection with the `USE <model>` verb.
 //! * a crossbeam worker pool — each worker holds its own warm
 //!   [`upsim_core::pipeline::UpsimPipeline`] (Step 5 imports cached,
 //!   mapping swapped per query) and pulls jobs from a bounded queue;
 //!   Step 7 inside a worker can use `ict_graph::parallel`.
 //! * [`protocol`] — a line-delimited request protocol (`QUERY`, `BATCH`,
-//!   `MC`, `UPDATE`, `STATS`, `SHUTDOWN`) with single-line responses.
+//!   `MC`, `UPDATE`, `STATS`, `USE`, `MODELS`, `SHUTDOWN`) with
+//!   single-line responses.
 //!   `MC` replays the perspective's compiled bit-sliced Monte-Carlo
 //!   program ([`dependability::McProgram`], cached per epoch alongside
 //!   the exact availability) for confidence-interval estimates at
@@ -32,7 +38,10 @@
 //!   (export/import through the `crates/xmlio` interchange formats) plus
 //!   an append-only, fsynced update journal in the `UPDATE` wire syntax;
 //!   a restarted `serve --state-dir` loads the snapshot, replays the
-//!   journal suffix, and resumes at the exact pre-restart epoch.
+//!   journal suffix, and resumes at the exact pre-restart epoch. A
+//!   multi-model server writes a manifest plus one subtree per model
+//!   (`<state-dir>/<model>/…`); a manifest-less directory is the legacy
+//!   single-model layout and restores into the default shard.
 
 pub mod cache;
 pub mod engine;
@@ -43,8 +52,11 @@ pub mod server;
 pub mod snapshot;
 
 pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey, DEFAULT_CACHE_CAPACITY};
-pub use engine::{Engine, EngineConfig, EngineError, UpdateCommand, UpdateSummary};
-pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use engine::{
+    valid_model_name, Engine, EngineConfig, EngineError, ModelInfo, ModelSpec, UpdateCommand,
+    UpdateSummary, DEFAULT_MODEL,
+};
+pub use metrics::{EngineMetrics, MetricsSnapshot, ShardRollup};
 pub use persist::{Journal, JournalEntry, PersistError, RestoreReport, SaveSummary};
 pub use server::{serve, UpsimServer};
 pub use snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};

@@ -64,6 +64,55 @@ impl LatencyHistogram {
     }
 }
 
+/// A plain (non-atomic) accumulator over one or more [`LatencyHistogram`]s,
+/// used to fold per-shard histograms into the global `STATS` rollup. The
+/// quantile and mean algorithms mirror the histogram's exactly, so a
+/// rollup over a single histogram reproduces its numbers bit-for-bit.
+#[derive(Default)]
+pub struct LatencyCounts {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_micros: u64,
+}
+
+impl LatencyCounts {
+    /// Adds one histogram's current contents into the accumulator.
+    pub fn absorb(&mut self, hist: &LatencyHistogram) {
+        for (acc, bucket) in self.buckets.iter_mut().zip(hist.buckets.iter()) {
+            *acc += bucket.load(Ordering::Relaxed);
+        }
+        self.count += hist.count.load(Ordering::Relaxed);
+        self.sum_micros += hist.sum_micros.load(Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_micros as f64 / self.count as f64
+    }
+
+    /// Same contract as [`LatencyHistogram::quantile_upper_bound`].
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target.max(1) {
+                return if idx == 0 { 1 } else { 1u64 << idx };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
 /// Shared engine counters. All loads/stores are `Relaxed`: the numbers are
 /// for observability, never for synchronization.
 #[derive(Default)]
@@ -116,40 +165,80 @@ impl EngineMetrics {
     }
 
     pub fn snapshot(&self, cache_len: usize, epoch: u64, workers: usize) -> MetricsSnapshot {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let lookups = hits + self.cache_misses.load(Ordering::Relaxed);
+        let mut snapshot = EngineMetrics::rollup(std::iter::once(self), workers);
+        snapshot.cache_len = cache_len;
+        snapshot.epoch = epoch;
+        snapshot
+    }
+
+    /// Sums counters, stage timings, and latency histograms across shards
+    /// into one [`MetricsSnapshot`] — the global line of a multi-model
+    /// `STATS`. Cache/epoch/persistence fields are left at their defaults
+    /// for the caller to fill (they live on the shards, not here). Over a
+    /// single `EngineMetrics` this is exactly [`EngineMetrics::snapshot`].
+    pub fn rollup<'a>(
+        parts: impl IntoIterator<Item = &'a EngineMetrics>,
+        workers: usize,
+    ) -> MetricsSnapshot {
+        let mut queries = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut stale_results = 0u64;
+        let mut negative_hits = 0u64;
+        let mut batches = 0u64;
+        let mut mc_queries = 0u64;
+        let mut updates = 0u64;
+        let mut invalidations = 0u64;
+        let mut errors = 0u64;
+        let mut latency = LatencyCounts::default();
+        let mut stage_nanos = [0u64; 4];
+        for metrics in parts {
+            queries += metrics.queries.load(Ordering::Relaxed);
+            hits += metrics.cache_hits.load(Ordering::Relaxed);
+            misses += metrics.cache_misses.load(Ordering::Relaxed);
+            stale_results += metrics.stale_results.load(Ordering::Relaxed);
+            negative_hits += metrics.negative_hits.load(Ordering::Relaxed);
+            batches += metrics.batches.load(Ordering::Relaxed);
+            mc_queries += metrics.mc_queries.load(Ordering::Relaxed);
+            updates += metrics.updates.load(Ordering::Relaxed);
+            invalidations += metrics.invalidations.load(Ordering::Relaxed);
+            errors += metrics.errors.load(Ordering::Relaxed);
+            latency.absorb(&metrics.eval_latency);
+            for (acc, nanos) in stage_nanos.iter_mut().zip(metrics.stage_nanos.iter()) {
+                *acc += nanos.load(Ordering::Relaxed);
+            }
+        }
+        let lookups = hits + misses;
         MetricsSnapshot {
             queries,
             cache_hits: hits,
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            stale_results: self.stale_results.load(Ordering::Relaxed),
-            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            cache_misses: misses,
+            stale_results,
+            negative_hits,
             hit_rate: if lookups == 0 {
                 0.0
             } else {
                 hits as f64 / lookups as f64
             },
-            batches: self.batches.load(Ordering::Relaxed),
-            mc_queries: self.mc_queries.load(Ordering::Relaxed),
-            updates: self.updates.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            evals: self.eval_latency.count(),
-            eval_mean_micros: self.eval_latency.mean_micros(),
-            eval_p50_micros: self.eval_latency.quantile_upper_bound(0.50),
-            eval_p99_micros: self.eval_latency.quantile_upper_bound(0.99),
-            stage_millis: std::array::from_fn(|i| {
-                self.stage_nanos[i].load(Ordering::Relaxed) as f64 / 1.0e6
-            }),
-            cache_len,
+            batches,
+            mc_queries,
+            updates,
+            invalidations,
+            errors,
+            evals: latency.count(),
+            eval_mean_micros: latency.mean_micros(),
+            eval_p50_micros: latency.quantile_upper_bound(0.50),
+            eval_p99_micros: latency.quantile_upper_bound(0.99),
+            stage_millis: std::array::from_fn(|i| stage_nanos[i] as f64 / 1.0e6),
+            cache_len: 0,
             cache_capacity: 0,
             cache_evictions: 0,
-            epoch,
+            epoch: 0,
             workers,
             state_dir: None,
             journal_len: 0,
             last_save_epoch: 0,
+            per_model: Vec::new(),
         }
     }
 }
@@ -190,6 +279,27 @@ pub struct MetricsSnapshot {
     pub journal_len: u64,
     /// Epoch of the last published `snapshot.xml` (`0` before any save).
     pub last_save_epoch: u64,
+    /// Per-model rollup rows, in registration order. Empty on a
+    /// single-unnamed-model engine, where the global line already *is*
+    /// the one shard and the wire format must stay byte-identical to the
+    /// pre-registry `STATS`.
+    pub per_model: Vec<ShardRollup>,
+}
+
+/// One model's slice of a multi-model `STATS` line.
+#[derive(Debug, Clone)]
+pub struct ShardRollup {
+    pub model: String,
+    pub epoch: u64,
+    pub queries: u64,
+    pub cache_len: usize,
+    pub cache_capacity: usize,
+    /// Entries this shard's LRU bound evicted (per-shard, not global).
+    pub cache_evictions: u64,
+    /// Failures this shard replayed from its negative cache.
+    pub negative_hits: u64,
+    pub journal_len: u64,
+    pub last_save_epoch: u64,
 }
 
 impl MetricsSnapshot {
@@ -228,6 +338,20 @@ impl MetricsSnapshot {
         );
         for (stage, millis) in STAGES.iter().zip(self.stage_millis.iter()) {
             line.push_str(&format!(" stage[{stage}]_ms={millis:.2}"));
+        }
+        for shard in &self.per_model {
+            line.push_str(&format!(
+                " model[{}]=epoch:{},queries:{},cache:{}/{},evictions:{},negative_hits:{},journal:{},saved:{}",
+                shard.model,
+                shard.epoch,
+                shard.queries,
+                shard.cache_len,
+                shard.cache_capacity,
+                shard.cache_evictions,
+                shard.negative_hits,
+                shard.journal_len,
+                shard.last_save_epoch,
+            ));
         }
         line
     }
@@ -305,6 +429,60 @@ mod tests {
         assert!(line.contains("cache_residency=3/8"));
         assert!(line.contains("cache_evictions=5"));
         assert!(line.contains("negative_hits=2"));
+    }
+
+    #[test]
+    fn rollup_sums_counters_and_histograms_across_shards() {
+        let a = EngineMetrics::new();
+        let b = EngineMetrics::new();
+        EngineMetrics::add(&a.queries, 4);
+        EngineMetrics::add(&b.queries, 6);
+        EngineMetrics::add(&a.cache_hits, 2);
+        EngineMetrics::bump(&a.cache_misses);
+        EngineMetrics::bump(&b.cache_misses);
+        EngineMetrics::add(&a.negative_hits, 3);
+        EngineMetrics::add(&b.negative_hits, 5);
+        a.eval_latency.record(10);
+        b.eval_latency.record(30);
+        let rolled = EngineMetrics::rollup([&a, &b], 2);
+        assert_eq!(rolled.queries, 10);
+        assert_eq!(rolled.negative_hits, 8);
+        assert_eq!(rolled.evals, 2);
+        assert!((rolled.eval_mean_micros - 20.0).abs() < 1e-9);
+        // hit_rate over the summed lookups: 2 hits / 4 lookups.
+        assert!((rolled.hit_rate - 0.5).abs() < 1e-9);
+        // Over a single shard the rollup is exactly that shard's snapshot.
+        let solo = a.snapshot(0, 0, 2);
+        let via_rollup = EngineMetrics::rollup([&a], 2);
+        assert_eq!(solo.render(), {
+            let mut s = via_rollup;
+            s.cache_len = 0;
+            s.epoch = 0;
+            s.render()
+        });
+    }
+
+    #[test]
+    fn per_model_rows_render_after_the_global_line() {
+        let metrics = EngineMetrics::new();
+        let mut snap = metrics.snapshot(0, 0, 1);
+        assert!(!snap.render().contains("model["), "empty rows add nothing");
+        snap.per_model.push(ShardRollup {
+            model: "campus".into(),
+            epoch: 3,
+            queries: 7,
+            cache_len: 2,
+            cache_capacity: 8,
+            cache_evictions: 1,
+            negative_hits: 4,
+            journal_len: 3,
+            last_save_epoch: 2,
+        });
+        let line = snap.render();
+        assert!(line.contains(
+            "model[campus]=epoch:3,queries:7,cache:2/8,evictions:1,negative_hits:4,journal:3,saved:2"
+        ));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -44,6 +44,13 @@ use crate::snapshot::ModelSnapshot;
 pub const SNAPSHOT_FILE: &str = "snapshot.xml";
 /// File name of the append-only update journal inside a state directory.
 pub const JOURNAL_FILE: &str = "journal.log";
+/// File name of the model manifest at the root of a multi-model state
+/// directory. Absent on a legacy (PR 2) single-model layout, where
+/// `snapshot.xml` + `journal.log` live directly under the root.
+pub const MANIFEST_FILE: &str = "models.txt";
+
+/// First line of a well-formed manifest.
+const MANIFEST_HEADER: &str = "upsim-models v1";
 
 /// A persistence failure, split by what went wrong.
 #[derive(Debug)]
@@ -82,6 +89,86 @@ pub fn snapshot_path(dir: &Path) -> PathBuf {
 /// `<dir>/journal.log`.
 pub fn journal_path(dir: &Path) -> PathBuf {
     dir.join(JOURNAL_FILE)
+}
+
+/// `<root>/models.txt`.
+pub fn manifest_path(root: &Path) -> PathBuf {
+    root.join(MANIFEST_FILE)
+}
+
+/// `<root>/<model>/` — one registered model's persistence subtree.
+pub fn model_dir(root: &Path, model: &str) -> PathBuf {
+    root.join(model)
+}
+
+/// Atomically writes the manifest of registered model names at the root of
+/// a multi-model state directory (one name per line under a version
+/// header). Same temp-fsync-rename discipline as [`save_snapshot`].
+pub fn write_manifest(root: &Path, models: &[String]) -> Result<PathBuf, PersistError> {
+    let final_path = manifest_path(root);
+    let tmp_path = root.join(format!("{MANIFEST_FILE}.tmp"));
+    let mut body = String::from(MANIFEST_HEADER);
+    body.push('\n');
+    for model in models {
+        body.push_str(model);
+        body.push('\n');
+    }
+    let mut tmp = File::create(&tmp_path).map_err(|e| io_err("cannot create", &tmp_path, e))?;
+    tmp.write_all(body.as_bytes())
+        .and_then(|()| tmp.sync_all())
+        .map_err(|e| io_err("cannot write", &tmp_path, e))?;
+    drop(tmp);
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| io_err("cannot publish", &final_path, e))?;
+    if let Ok(dir_handle) = File::open(root) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Reads the manifest at `root`. `Ok(None)` means no manifest — a legacy
+/// single-model state directory. A present-but-malformed manifest is
+/// [`PersistError::Corrupt`].
+pub fn read_manifest(root: &Path) -> Result<Option<Vec<String>>, PersistError> {
+    let path = manifest_path(root);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| io_err("cannot read", &path, e))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        other => {
+            return Err(PersistError::Corrupt {
+                line: 1,
+                reason: format!(
+                    "manifest header must be `{MANIFEST_HEADER}`, found `{}`",
+                    other.unwrap_or("")
+                ),
+            });
+        }
+    }
+    let mut models = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let name = line.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if !crate::engine::valid_model_name(name) {
+            return Err(PersistError::Corrupt {
+                line: idx + 2,
+                reason: format!("invalid model name `{name}` in manifest"),
+            });
+        }
+        models.push(name.to_string());
+    }
+    if models.is_empty() {
+        return Err(PersistError::Corrupt {
+            line: 1,
+            reason: "manifest lists no models".into(),
+        });
+    }
+    Ok(Some(models))
 }
 
 /// Serializes a snapshot as the `<engine-state>` envelope around the
@@ -462,6 +549,31 @@ mod tests {
         let (entries, valid_len) = scan_journal(&bytes).expect("torn tail tolerated");
         assert_eq!(entries.len(), 1);
         assert_eq!(valid_len, entry_line(1, "CONNECT a b").len());
+    }
+
+    #[test]
+    fn manifest_round_trips_and_distinguishes_legacy_dirs() {
+        let dir = std::env::temp_dir().join(format!("upsim-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        // No manifest: a legacy single-model layout.
+        assert!(read_manifest(&dir).expect("absent is fine").is_none());
+        let names = vec!["usi".to_string(), "campus".to_string()];
+        write_manifest(&dir, &names).expect("writes");
+        assert_eq!(read_manifest(&dir).expect("reads"), Some(names));
+        // A malformed header is corruption, not a silent legacy fallback.
+        std::fs::write(manifest_path(&dir), "who knows\nusi\n").expect("writes");
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(PersistError::Corrupt { line: 1, .. })
+        ));
+        // A manifest entry that could escape the root is corruption too.
+        std::fs::write(manifest_path(&dir), "upsim-models v1\n../escape\n").expect("writes");
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(PersistError::Corrupt { line: 2, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,18 +12,27 @@
 //! UPDATE SERVICE <name> <atomic> [<atomic> ...]
 //! STATS
 //! SAVE
+//! USE <model>
+//! MODELS
 //! SHUTDOWN
 //! ```
 //!
 //! Responses start with `OK ` or `ERR `. Command words are matched
-//! case-insensitively; device and service names are case-sensitive.
+//! case-insensitively; device, service, and model names are
+//! case-sensitive.
+//!
+//! `USE` is the only stateful verb: it selects which registered model the
+//! connection's subsequent `QUERY`/`BATCH`/`MC`/`UPDATE`/`SAVE` requests
+//! address. A connection that never sends `USE` talks to the default
+//! model, which on a single-model server makes every response
+//! byte-identical to the pre-registry protocol.
 
 use std::sync::Arc;
 
 use upsim_core::service::CompositeService;
 
 use crate::cache::CachedPerspective;
-use crate::engine::{EngineError, UpdateCommand, UpdateSummary};
+use crate::engine::{EngineError, ModelInfo, UpdateCommand, UpdateSummary};
 use crate::metrics::MetricsSnapshot;
 use crate::persist::SaveSummary;
 
@@ -48,6 +57,12 @@ pub enum Request {
     Update(UpdateCommand),
     Stats,
     Save,
+    /// Select the registered model this connection addresses from now on.
+    Use {
+        model: String,
+    },
+    /// List registered models with epoch and cache residency.
+    Models,
     Shutdown,
 }
 
@@ -120,12 +135,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             expect_end(words, "SAVE")?;
             Ok(Request::Save)
         }
+        "USE" => {
+            let model = words.next().ok_or("usage: USE <model>")?;
+            expect_end(words, "USE")?;
+            Ok(Request::Use {
+                model: model.to_string(),
+            })
+        }
+        "MODELS" => {
+            expect_end(words, "MODELS")?;
+            Ok(Request::Models)
+        }
         "SHUTDOWN" => {
             expect_end(words, "SHUTDOWN")?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, STATS, SAVE, SHUTDOWN)"
+            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, STATS, SAVE, USE, MODELS, \
+             SHUTDOWN)"
         )),
     }
 }
@@ -286,6 +313,23 @@ pub fn render_save(summary: &SaveSummary) -> String {
     )
 }
 
+/// `OK use ...` — acknowledges a model selection with its current epoch.
+pub fn render_use(model: &str, epoch: u64) -> String {
+    format!("OK use model={model} epoch={epoch}")
+}
+
+/// `OK models ...` — registered models with epoch and cache residency.
+pub fn render_models(models: &[ModelInfo]) -> String {
+    let mut line = format!("OK models n={}", models.len());
+    for info in models {
+        line.push_str(&format!(
+            " {}:epoch={}:cache={}/{}",
+            info.name, info.epoch, info.cache_len, info.cache_capacity
+        ));
+    }
+    line
+}
+
 /// `ERR ...`
 pub fn render_error(err: &EngineError) -> String {
     format!("ERR {err}")
@@ -405,6 +449,49 @@ mod tests {
 
         let err = render_batch(&[Err(EngineError::UnknownDevice("ghost".into()))]);
         assert!(err.starts_with("ERR "));
+    }
+
+    #[test]
+    fn parses_use_and_models() {
+        match parse_request("use campus").expect("parses") {
+            Request::Use { model } => assert_eq!(model, "campus"),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(parse_request("MODELS"), Ok(Request::Models)));
+        assert!(matches!(parse_request("models"), Ok(Request::Models)));
+        assert!(parse_request("USE").is_err());
+        assert!(parse_request("USE a b").is_err());
+        assert!(parse_request("MODELS please").is_err());
+        // The unknown-command hint advertises the registry verbs.
+        let hint = parse_request("FROBNICATE").expect_err("unknown command");
+        assert!(hint.contains("USE"), "hint must mention USE: {hint}");
+        assert!(hint.contains("MODELS"), "hint must mention MODELS: {hint}");
+    }
+
+    #[test]
+    fn renders_use_models_and_the_distinct_unknown_model_error() {
+        assert_eq!(render_use("campus", 4), "OK use model=campus epoch=4");
+        let line = render_models(&[
+            ModelInfo {
+                name: "default".into(),
+                epoch: 2,
+                cache_len: 3,
+                cache_capacity: 4096,
+            },
+            ModelInfo {
+                name: "campus".into(),
+                epoch: 0,
+                cache_len: 0,
+                cache_capacity: 4096,
+            },
+        ]);
+        assert_eq!(
+            line,
+            "OK models n=2 default:epoch=2:cache=3/4096 campus:epoch=0:cache=0/4096"
+        );
+        // `USE ghost` surfaces as its own error shape, not a parse error.
+        let err = render_error(&EngineError::UnknownModel("ghost".into()));
+        assert_eq!(err, "ERR unknown model `ghost` (try MODELS)");
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::protocol::{
-    parse_request, render_batch, render_error, render_mc, render_perspective, render_save,
-    render_stats, render_update, Request,
+    parse_request, render_batch, render_error, render_mc, render_models, render_perspective,
+    render_save, render_stats, render_update, render_use, Request,
 };
 
 /// A running TCP server wrapped around an [`Engine`].
@@ -96,6 +96,10 @@ fn handle_connection(
     let peer_local = stream.local_addr()?;
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    // The connection's model selection (`USE <model>`); `None` routes to
+    // the default shard, which keeps a single-model server's responses
+    // byte-identical to the pre-registry protocol.
+    let mut session_model: Option<String> = None;
     for line in reader.lines() {
         let line = line?;
         // A connection opened before a SHUTDOWN must not keep serving (it
@@ -109,37 +113,52 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let model = session_model.clone();
         let response = match parse_request(&line) {
             Err(msg) => format!("ERR {msg}"),
             Ok(Request::Query { client, provider }) => {
-                match engine.query_traced(&client, &provider) {
+                match engine.query_traced_on(model.as_deref(), &client, &provider) {
                     Ok((entry, hit)) => {
                         render_perspective(&entry, if hit { "hit" } else { "miss" })
                     }
                     Err(err) => render_error(&err),
                 }
             }
-            Ok(Request::Batch { pairs }) => render_batch(&engine.batch(&pairs)),
+            Ok(Request::Batch { pairs }) => match engine.batch_on(model.as_deref(), &pairs) {
+                Ok(results) => render_batch(&results),
+                Err(err) => render_error(&err),
+            },
             Ok(Request::MonteCarlo {
                 client,
                 provider,
                 samples,
                 seed,
-            }) => match engine.monte_carlo(&client, &provider, samples, seed) {
-                Ok((result, entry, hit)) => {
-                    render_mc(&entry, &result, if hit { "hit" } else { "miss" })
+            }) => {
+                match engine.monte_carlo_on(model.as_deref(), &client, &provider, samples, seed) {
+                    Ok((result, entry, hit)) => {
+                        render_mc(&entry, &result, if hit { "hit" } else { "miss" })
+                    }
+                    Err(err) => render_error(&err),
                 }
-                Err(err) => render_error(&err),
-            },
-            Ok(Request::Update(command)) => match engine.update(command) {
+            }
+            Ok(Request::Update(command)) => match engine.update_on(model.as_deref(), command) {
                 Ok(summary) => render_update(&summary),
                 Err(err) => render_error(&err),
             },
             Ok(Request::Stats) => render_stats(&engine.stats()),
-            Ok(Request::Save) => match engine.save_state() {
+            Ok(Request::Save) => match engine.save_state_on(model.as_deref()) {
                 Ok(summary) => render_save(&summary),
                 Err(err) => render_error(&err),
             },
+            Ok(Request::Use { model }) => match engine.resolve_model(&model) {
+                Ok(epoch) => {
+                    let ack = render_use(&model, epoch);
+                    session_model = Some(model);
+                    ack
+                }
+                Err(err) => render_error(&err),
+            },
+            Ok(Request::Models) => render_models(&engine.models()),
             Ok(Request::Shutdown) => {
                 writer.write_all(b"OK shutdown\n")?;
                 writer.flush()?;

@@ -1,0 +1,303 @@
+//! Multi-model end-to-end: two TCP connections USE-ing different models
+//! concurrently see independent epochs and caches, and a kill -9 during
+//! mixed-model traffic restores every model to its exact pre-kill epoch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+use upsim_server::{persist, serve, Engine, EngineConfig, ModelSnapshot, ModelSpec, UpdateCommand};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim_end().to_string()
+    }
+}
+
+fn usi_spec(name: &str) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        snapshot: ModelSnapshot::new(usi_infrastructure(), printing_service())
+            .expect("USI models are consistent"),
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+    }
+}
+
+fn campus_spec(name: &str) -> ModelSpec {
+    let (infrastructure, service, _) =
+        netgen::campus::campus_scenario(netgen::campus::CampusParams::default());
+    ModelSpec {
+        name: name.to_string(),
+        snapshot: ModelSnapshot::new(infrastructure, service)
+            .expect("campus models are consistent"),
+        mapper: upsim_server::pingpong_mapper(),
+    }
+}
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("upsim-multi-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    dir
+}
+
+/// Two connections, two models, one server: each connection's USE
+/// selection is its own, updates on one model are invisible on the
+/// other, and MODELS reports both shards' true epochs.
+#[test]
+fn concurrent_connections_use_different_models() {
+    let engine = Engine::with_models(
+        vec![usi_spec("usi"), campus_spec("campus")],
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("registry builds");
+    let server = serve(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut on_usi = Client::connect(addr);
+    let mut on_campus = Client::connect(addr);
+    assert_eq!(on_usi.request("USE usi"), "OK use model=usi epoch=0");
+    assert_eq!(
+        on_campus.request("USE campus"),
+        "OK use model=campus epoch=0"
+    );
+
+    // An unregistered model gets the distinct unknown-model error and
+    // leaves the connection's previous selection intact.
+    let unknown = on_usi.request("USE atlantis");
+    assert_eq!(unknown, "ERR unknown model `atlantis` (try MODELS)");
+
+    // Drive both connections in lockstep from two threads so the USE
+    // selections genuinely coexist rather than run one after the other.
+    let usi_thread = std::thread::spawn(move || {
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            responses.push(on_usi.request("QUERY t1 p1"));
+            responses.push(on_usi.request("UPDATE DISCONNECT d1 c2"));
+            responses.push(on_usi.request("UPDATE CONNECT d1 c2"));
+        }
+        (on_usi, responses)
+    });
+    let campus_thread = std::thread::spawn(move || {
+        let mut responses = Vec::new();
+        for _ in 0..5 {
+            responses.push(on_campus.request("QUERY t0_0_0 srv0"));
+        }
+        (on_campus, responses)
+    });
+    let (mut on_usi, usi_responses) = usi_thread.join().expect("usi thread");
+    let (mut on_campus, campus_responses) = campus_thread.join().expect("campus thread");
+    for response in usi_responses.iter().chain(&campus_responses) {
+        assert!(response.starts_with("OK "), "unexpected: {response}");
+    }
+    // Campus queries after the first are cache hits at epoch 0: the six
+    // USI updates never flushed the campus cache or bumped its epoch.
+    assert!(campus_responses[0].contains("source=miss"));
+    for response in &campus_responses[1..] {
+        assert!(
+            response.contains("source=hit") && response.contains("epoch=0"),
+            "campus shard was disturbed: {response}"
+        );
+    }
+
+    let models = on_campus.request("MODELS");
+    assert!(
+        models.starts_with("OK models n=2 usi:epoch=6:cache=")
+            && models.contains(" campus:epoch=0:cache="),
+        "unexpected: {models}"
+    );
+
+    // A third connection that never sends USE lands on the first
+    // registered model.
+    let mut implicit = Client::connect(addr);
+    let first = implicit.request("QUERY t1 p1");
+    assert!(
+        first.starts_with("OK query ") && first.contains("epoch=6"),
+        "default routing broke: {first}"
+    );
+
+    assert_eq!(on_usi.request("SHUTDOWN"), "OK shutdown");
+    server.join();
+}
+
+/// Kill -9 fidelity across the registry: mixed journaled updates on two
+/// models, one of them snapshot-saved midway, then the process "dies"
+/// (`std::mem::forget` — no shutdown hooks run). A fresh engine restored
+/// from the manifest must resume every model at its exact pre-kill epoch
+/// and serve bit-identical availabilities.
+#[test]
+fn kill_during_mixed_traffic_restores_every_model() {
+    let dir = state_dir("kill");
+    let engine = Engine::with_models(
+        vec![usi_spec("usi"), usi_spec("mirror")],
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("registry builds");
+    engine
+        .enable_persistence(&dir, 0)
+        .expect("enable persistence");
+
+    // Interleaved updates: usi → epoch 3, mirror → epoch 2.
+    engine
+        .update_on(
+            Some("usi"),
+            UpdateCommand::Disconnect {
+                a: "c1".into(),
+                b: "c2".into(),
+            },
+        )
+        .expect("usi update 1");
+    engine
+        .update_on(
+            Some("mirror"),
+            UpdateCommand::Disconnect {
+                a: "d1".into(),
+                b: "c2".into(),
+            },
+        )
+        .expect("mirror update 1");
+    engine
+        .update_on(
+            Some("usi"),
+            UpdateCommand::Connect {
+                a: "c1".into(),
+                b: "c2".into(),
+            },
+        )
+        .expect("usi update 2");
+    // Snapshot usi midway: its restore must replay only the suffix.
+    let save = engine.save_state_on(Some("usi")).expect("save usi");
+    assert_eq!(save.epoch, 2);
+    engine
+        .update_on(
+            Some("usi"),
+            UpdateCommand::Disconnect {
+                a: "d2".into(),
+                b: "c1".into(),
+            },
+        )
+        .expect("usi update 3");
+    engine
+        .update_on(
+            Some("mirror"),
+            UpdateCommand::Disconnect {
+                a: "e1".into(),
+                b: "d1".into(),
+            },
+        )
+        .expect("mirror update 2");
+
+    let before_usi = engine
+        .query_traced_on(Some("usi"), "t1", "p1")
+        .expect("pre-kill usi query")
+        .0;
+    let before_mirror = engine
+        .query_traced_on(Some("mirror"), "t1", "p1")
+        .expect("pre-kill mirror query")
+        .0;
+    assert_eq!(engine.epoch_of("usi"), Ok(3));
+    assert_eq!(engine.epoch_of("mirror"), Ok(2));
+
+    // kill -9: journal appends are already fsynced; nothing else runs.
+    std::mem::forget(engine);
+
+    // Restart: walk the manifest, restore each model's subtree.
+    let names = persist::read_manifest(&dir)
+        .expect("manifest reads")
+        .expect("manifest exists");
+    assert_eq!(names, vec!["usi".to_string(), "mirror".to_string()]);
+    let mut restored_specs = Vec::new();
+    for name in &names {
+        let report = persist::restore(
+            &persist::model_dir(&dir, name),
+            ModelSnapshot::new(usi_infrastructure(), printing_service())
+                .expect("USI models are consistent"),
+        )
+        .unwrap_or_else(|e| panic!("restore '{name}': {e}"));
+        match name.as_str() {
+            "usi" => {
+                assert!(report.from_snapshot, "usi restores from its snapshot");
+                assert_eq!(report.journal_entries, 3);
+                assert_eq!(report.replayed, 1, "only the post-save suffix replays");
+                assert_eq!(report.snapshot.epoch, 3);
+            }
+            _ => {
+                assert!(!report.from_snapshot, "mirror was never saved");
+                assert_eq!(report.replayed, 2);
+                assert_eq!(report.snapshot.epoch, 2);
+            }
+        }
+        restored_specs.push(ModelSpec {
+            name: name.clone(),
+            snapshot: report.snapshot,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        });
+    }
+    let restored = Engine::with_models(
+        restored_specs,
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("restored registry builds");
+    restored
+        .enable_persistence(&dir, 0)
+        .expect("re-enable persistence");
+    assert_eq!(restored.epoch_of("usi"), Ok(3));
+    assert_eq!(restored.epoch_of("mirror"), Ok(2));
+
+    let after_usi = restored
+        .query_traced_on(Some("usi"), "t1", "p1")
+        .expect("post-restart usi query")
+        .0;
+    let after_mirror = restored
+        .query_traced_on(Some("mirror"), "t1", "p1")
+        .expect("post-restart mirror query")
+        .0;
+    assert_eq!(
+        before_usi.availability.to_bits(),
+        after_usi.availability.to_bits(),
+        "usi availability drifted across the kill"
+    );
+    assert_eq!(
+        before_mirror.availability.to_bits(),
+        after_mirror.availability.to_bits(),
+        "mirror availability drifted across the kill"
+    );
+    // The two models diverged in-memory and must stay diverged on disk.
+    assert_ne!(
+        after_usi.availability.to_bits(),
+        after_mirror.availability.to_bits(),
+        "shards collapsed to one state"
+    );
+    restored.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
