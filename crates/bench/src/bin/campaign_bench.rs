@@ -1,0 +1,184 @@
+//! Campaign fan-out benchmark: scenarios/sec for a `kill-each-component`
+//! campaign over generated campus networks of 44, 358, and 1222 devices,
+//! at 1 worker and all cores. Emitted as `BENCH_campaign.json` for CI
+//! tracking.
+//!
+//! Usage:
+//!   `campaign_bench [--smoke] [--out <path>]`
+//!
+//! `--smoke` drops the 1222-device size so CI stays fast.
+//!
+//! Two hard invariants ride along, whatever the throughput:
+//!
+//! * isolation — after every campaign the live shard's epoch is still 0
+//!   and its perspective cache still empty (a campaign works on pinned
+//!   copies, never the shard),
+//! * determinism — the JSON report of the 1-worker run is byte-identical
+//!   to the all-cores run for the same size and spec.
+
+use std::time::Instant;
+
+use netgen::campus::{campus_scenario, CampusParams};
+use upsim_server::{CampaignSpec, Engine, EngineConfig, ModelSnapshot};
+
+/// One timed cell of the devices × workers matrix.
+struct Cell {
+    devices: usize,
+    workers: usize,
+    scenarios: usize,
+    perspectives: usize,
+    total_ns: u128,
+}
+
+impl Cell {
+    fn scenarios_per_sec(&self) -> f64 {
+        self.scenarios as f64 / (self.total_ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark sizes: distribution switches × edges per distribution ×
+/// clients per edge, with 2 cores, 3 servers, and a server switch.
+fn sizes(smoke: bool) -> Vec<CampusParams> {
+    let shape = |distributions, edges_per_distribution, clients_per_edge| CampusParams {
+        core: 2,
+        distributions,
+        edges_per_distribution,
+        clients_per_edge,
+        servers: 3,
+        dual_homed_edges: false,
+    };
+    let mut sizes = vec![shape(2, 2, 8), shape(32, 2, 4)]; // 44, 358 devices
+    if !smoke {
+        sizes.push(shape(64, 2, 8)); // 1222 devices
+    }
+    sizes
+}
+
+/// Four perspectives spread over distinct edge trees — valid for every
+/// benchmark shape, and small enough that the baseline phase does not
+/// dominate the fan-out being measured.
+const SPEC: &str =
+    "kill-each-component pairs:t0_0_0:srv0,t0_1_0:srv1,t1_0_0:srv2,t1_1_0:srv0 top:5";
+
+fn campus_engine(params: CampusParams, workers: usize) -> Engine {
+    let (infrastructure, service, _) = campus_scenario(params);
+    let snapshot =
+        ModelSnapshot::new(infrastructure, service).expect("campus models are consistent");
+    Engine::new(
+        snapshot,
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// `{1, all cores}`, deduplicated on a single-core host.
+fn worker_counts(all_cores: usize) -> Vec<usize> {
+    if all_cores > 1 {
+        vec![1, all_cores]
+    } else {
+        vec![1]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_campaign.json")
+        .to_string();
+
+    let all_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for params in sizes(smoke) {
+        let devices = params.device_count();
+        // One report per worker count; all must be byte-identical.
+        let mut reports: Vec<String> = Vec::new();
+        for workers in worker_counts(all_cores) {
+            let engine = campus_engine(params, workers);
+            let spec = CampaignSpec::parse(SPEC).expect("benchmark spec parses");
+            let start = Instant::now();
+            let report = engine
+                .campaign(spec, |_, _| {})
+                .expect("campus campaign runs");
+            let total_ns = start.elapsed().as_nanos();
+            assert_eq!(report.scenarios, devices, "one kill per device");
+
+            // Isolation: the campaign pinned a snapshot and worked on
+            // copies — the live shard never noticed.
+            let stats = engine.stats();
+            assert_eq!(stats.epoch, 0, "campaign must not bump the epoch");
+            assert_eq!(stats.cache_len, 0, "campaign must not touch the cache");
+            assert_eq!(stats.campaigns_run, 1);
+            assert_eq!(stats.scenarios_evaluated, report.scenarios as u64);
+
+            cells.push(Cell {
+                devices,
+                workers,
+                scenarios: report.scenarios,
+                perspectives: report.perspectives,
+                total_ns,
+            });
+            reports.push(report.render_json());
+            engine.shutdown();
+        }
+        for other in &reports[1..] {
+            assert_eq!(
+                &reports[0], other,
+                "{devices}-device report drifted across worker counts"
+            );
+        }
+    }
+
+    let json = render_json(smoke, &cells);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("campaign bench → {out}");
+    println!(
+        "{:>8} {:>8} {:>10} {:>13} {:>15}",
+        "devices", "workers", "scenarios", "perspectives", "scenarios/sec"
+    );
+    for cell in &cells {
+        println!(
+            "{:>8} {:>8} {:>10} {:>13} {:>15.1}",
+            cell.devices,
+            cell.workers,
+            cell.scenarios,
+            cell.perspectives,
+            cell.scenarios_per_sec()
+        );
+    }
+}
+
+/// Hand-rolled JSON (numbers + fixed keys only; nothing needs escaping).
+fn render_json(smoke: bool, cells: &[Cell]) -> String {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"campaign\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"spec\": \"{SPEC}\",\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"devices\": {}, \"workers\": {}, \"scenarios\": {}, \"perspectives\": {}, \
+             \"total_ns\": {}, \"scenarios_per_sec\": {:.1}}}{}\n",
+            cell.devices,
+            cell.workers,
+            cell.scenarios,
+            cell.perspectives,
+            cell.total_ns,
+            cell.scenarios_per_sec(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    json
+}

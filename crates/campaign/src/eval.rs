@@ -1,0 +1,437 @@
+//! Scenario evaluation against an immutable base model.
+//!
+//! A campaign never mutates the live model: it works on a
+//! [`CampaignInput`] — cloned infrastructure + service, the shard's
+//! shared interned graph, and a perspective scope — and prices every
+//! scenario against per-perspective *baselines* it evaluates itself.
+//!
+//! Two cost tiers, chosen per (scenario, perspective):
+//!
+//! * **parametric** (`kill`, `scale-mtbf`): the baseline path-set
+//!   structure is reused and only the probability vector moves — one BDD
+//!   re-pricing (or one bit-sliced MC run) per affected perspective,
+//! * **structural** (`cut`, `drop`): the pipeline re-runs Steps 5–7 on a
+//!   perturbed copy, exactly like a Sec. V-A3 dynamicity update — but
+//!   only for perspectives whose baseline UPSIM the perturbation touches
+//!   (the engine's targeted-invalidation predicate).
+//!
+//! Perspectives untouched by a scenario keep their baseline availability
+//! bit-for-bit, which is what makes `kill-each-component` over hundreds
+//! of devices cheap: each kill re-prices only the handful of perspectives
+//! whose UPSIM contains the victim.
+
+use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+use dependability::perturb::{availability_with, scaled_availability};
+use dependability::{AnalysisOptions, McProgram, ServiceAvailabilityModel};
+use upsim_core::discovery::DiscoveryOptions;
+use upsim_core::infrastructure::{DeviceKind, Infrastructure};
+use upsim_core::interned::InternedGraph;
+use upsim_core::pipeline::UpsimPipeline;
+use upsim_core::service::CompositeService;
+
+use crate::scenario::{generate, Perturbation, Scenario};
+use crate::spec::CampaignSpec;
+
+/// Derives one perspective's service mapping from the composite service
+/// and a `(client, provider)` pair — structurally identical to the
+/// server's `PerspectiveMapper`, re-declared here so the campaign crate
+/// stays below the server in the dependency order.
+pub type Mapper =
+    Arc<dyn Fn(&CompositeService, &str, &str) -> upsim_core::mapping::ServiceMapping + Send + Sync>;
+
+/// Everything a worker needs to evaluate campaign tasks: immutable once
+/// built, shared by `Arc` across the pool.
+pub struct CampaignInput {
+    /// Private copy of the base infrastructure (epoch-pinned).
+    pub infrastructure: Infrastructure,
+    /// Private copy of the base composite service.
+    pub service: CompositeService,
+    /// Perspective mapper (shared with the owning shard).
+    pub mapper: Mapper,
+    /// Discovery options (shared with the owning shard).
+    pub discovery: DiscoveryOptions,
+    /// The base topology's interned graph view — shared with the shard,
+    /// so baseline evaluation interns nothing.
+    pub graph: Arc<InternedGraph>,
+    /// Availability-model options (the engine evaluates with defaults).
+    pub analysis: AnalysisOptions,
+    /// Perspective scope, in deterministic model order.
+    pub pairs: Vec<(String, String)>,
+    /// Generated scenarios, index == position.
+    pub scenarios: Vec<Scenario>,
+    /// The parsed spec (MC settings, report shape).
+    pub spec: CampaignSpec,
+}
+
+impl CampaignInput {
+    /// Resolves the perspective scope, generates the scenario set and
+    /// bundles the immutable inputs. `graph` should be the shard's shared
+    /// interned view when available; `None` interns a fresh one.
+    pub fn prepare(
+        infrastructure: Infrastructure,
+        service: CompositeService,
+        mapper: Mapper,
+        discovery: DiscoveryOptions,
+        graph: Option<Arc<InternedGraph>>,
+        spec: CampaignSpec,
+    ) -> Result<Self, String> {
+        let pairs = resolve_pairs(&infrastructure, &spec)?;
+        let scenarios = generate(&infrastructure, &service, &spec)?;
+        let graph = graph.unwrap_or_else(|| Arc::new(infrastructure.to_interned_graph()));
+        Ok(CampaignInput {
+            infrastructure,
+            service,
+            mapper,
+            discovery,
+            graph,
+            analysis: AnalysisOptions::default(),
+            pairs,
+            scenarios,
+            spec,
+        })
+    }
+}
+
+/// Explicit `pairs:` entries validated against the model, or the default
+/// scope: every client × every server/printer, in deployment order.
+fn resolve_pairs(
+    infrastructure: &Infrastructure,
+    spec: &CampaignSpec,
+) -> Result<Vec<(String, String)>, String> {
+    if !spec.pairs.is_empty() {
+        for (client, provider) in &spec.pairs {
+            for device in [client, provider] {
+                if !infrastructure.has_device(device) {
+                    return Err(format!("pairs: unknown device `{device}`"));
+                }
+            }
+        }
+        return Ok(spec.pairs.clone());
+    }
+    let mut clients = Vec::new();
+    let mut providers = Vec::new();
+    for instance in &infrastructure.objects.instances {
+        match infrastructure.kind_of(&instance.name) {
+            Ok(DeviceKind::Client) => clients.push(instance.name.clone()),
+            Ok(DeviceKind::Server) | Ok(DeviceKind::Printer) => {
+                providers.push(instance.name.clone());
+            }
+            _ => {}
+        }
+    }
+    let pairs: Vec<(String, String)> = clients
+        .iter()
+        .flat_map(|c| providers.iter().map(move |p| (c.clone(), p.clone())))
+        .collect();
+    if pairs.is_empty() {
+        return Err(
+            "no client/provider perspectives in the model (give an explicit pairs: clause)"
+                .to_string(),
+        );
+    }
+    Ok(pairs)
+}
+
+/// One perspective's baseline: exact availability plus everything needed
+/// to decide whether a perturbation touches it and to re-price it.
+pub struct BaselinePerspective {
+    /// Requesting client device.
+    pub client: String,
+    /// Providing device.
+    pub provider: String,
+    /// Exact baseline availability (BDD).
+    pub availability: f64,
+    /// Devices in the baseline UPSIM (the targeted-invalidation set).
+    pub upsim: HashSet<String>,
+    /// The baseline availability model (path sets + component pricing).
+    pub model: ServiceAvailabilityModel,
+    /// Device class per model component (parallel to `model.components`).
+    pub classes: Vec<String>,
+}
+
+/// All baselines of a campaign, in `pairs` order.
+pub struct Baseline {
+    /// One entry per perspective, aligned with `CampaignInput::pairs`.
+    pub perspectives: Vec<BaselinePerspective>,
+}
+
+impl Baseline {
+    /// Mean baseline availability over the perspective scope.
+    pub fn mean(&self) -> f64 {
+        if self.perspectives.is_empty() {
+            return 0.0;
+        }
+        self.perspectives
+            .iter()
+            .map(|p| p.availability)
+            .sum::<f64>()
+            / self.perspectives.len() as f64
+    }
+}
+
+/// Evaluates a contiguous chunk of the perspective scope with one warm
+/// pipeline (Step 5 imports once, `set_mapping` between pairs).
+pub fn evaluate_baseline_chunk(
+    input: &CampaignInput,
+    range: Range<usize>,
+) -> Result<Vec<BaselinePerspective>, String> {
+    let mut out = Vec::with_capacity(range.len());
+    let mut pipeline: Option<UpsimPipeline> = None;
+    for ix in range {
+        let (client, provider) = &input.pairs[ix];
+        let mapping = (input.mapper)(&input.service, client, provider);
+        let p = match pipeline.as_mut() {
+            Some(p) => {
+                p.set_mapping(mapping).map_err(|e| e.to_string())?;
+                p
+            }
+            None => {
+                let mut fresh = UpsimPipeline::new(
+                    input.infrastructure.clone(),
+                    input.service.clone(),
+                    mapping,
+                )
+                .map_err(|e| e.to_string())?;
+                fresh.record_paths = false;
+                fresh.set_options(input.discovery);
+                fresh.set_shared_graph(Arc::clone(&input.graph));
+                pipeline.insert(fresh)
+            }
+        };
+        let run = p.run().map_err(|e| e.to_string())?;
+        let model = ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
+        let availability = model.availability_bdd();
+        let upsim = run.touched_devices().map(str::to_string).collect();
+        let classes = component_classes(&input.infrastructure, &model);
+        out.push(BaselinePerspective {
+            client: client.clone(),
+            provider: provider.clone(),
+            availability,
+            upsim,
+            model,
+            classes,
+        });
+    }
+    Ok(out)
+}
+
+/// One evaluated scenario: per-perspective availabilities aligned with
+/// the baseline, plus how many perspectives actually had to be re-priced.
+pub struct ScenarioOutcome {
+    /// The scenario's generation index (deterministic aggregation key).
+    pub index: usize,
+    /// Perspectives the perturbations touched (re-evaluated).
+    pub affected: usize,
+    /// Availability per perspective, aligned with `Baseline::perspectives`.
+    pub availabilities: Vec<f64>,
+}
+
+/// Evaluates scenario `index` against the shared baselines.
+pub fn evaluate_scenario(
+    input: &CampaignInput,
+    baseline: &Baseline,
+    index: usize,
+) -> Result<ScenarioOutcome, String> {
+    let scenario = &input.scenarios[index];
+    let mut kills: Vec<&str> = Vec::new();
+    let mut cuts: Vec<(&str, &str)> = Vec::new();
+    let mut drops: Vec<&str> = Vec::new();
+    let mut scales: Vec<(&str, f64)> = Vec::new();
+    for pert in &scenario.perturbations {
+        match pert {
+            Perturbation::KillComponent(name) => kills.push(name),
+            Perturbation::CutLink(a, b) => cuts.push((a, b)),
+            Perturbation::DropService(atomic) => drops.push(atomic),
+            Perturbation::ScaleMtbf { class, factor } => scales.push((class, *factor)),
+        }
+    }
+
+    // Perturbed copies and the warm pipeline over them, built lazily on
+    // the first perspective that needs a structural re-run.
+    let mut rebuilt: Option<(Infrastructure, CompositeService)> = None;
+    let mut pipeline: Option<UpsimPipeline> = None;
+
+    let mut availabilities = Vec::with_capacity(baseline.perspectives.len());
+    let mut affected_count = 0usize;
+    for (p_ix, persp) in baseline.perspectives.iter().enumerate() {
+        if !touches(persp, &scenario.perturbations) {
+            availabilities.push(persp.availability);
+            continue;
+        }
+        affected_count += 1;
+        let needs_rerun = !drops.is_empty()
+            || cuts
+                .iter()
+                .any(|(a, b)| persp.upsim.contains(*a) && persp.upsim.contains(*b));
+        let availability = if needs_rerun {
+            if rebuilt.is_none() {
+                rebuilt = Some(build_perturbed(input, &cuts, &drops)?);
+            }
+            let (infra2, service2) = rebuilt.as_ref().expect("just built");
+            let mut mapping = (input.mapper)(&input.service, &persp.client, &persp.provider);
+            for atomic in &drops {
+                mapping.remove(atomic);
+            }
+            let p = match pipeline.as_mut() {
+                Some(p) => {
+                    p.set_mapping(mapping).map_err(|e| e.to_string())?;
+                    p
+                }
+                None => {
+                    let mut fresh = UpsimPipeline::new(infra2.clone(), service2.clone(), mapping)
+                        .map_err(|e| e.to_string())?;
+                    fresh.record_paths = false;
+                    fresh.set_options(input.discovery);
+                    pipeline.insert(fresh)
+                }
+            };
+            let run = p.run().map_err(|e| e.to_string())?;
+            let model =
+                ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
+            let classes = component_classes(&input.infrastructure, &model);
+            price(input, index, p_ix, &model, &classes, &kills, &scales)
+        } else {
+            price(
+                input,
+                index,
+                p_ix,
+                &persp.model,
+                &persp.classes,
+                &kills,
+                &scales,
+            )
+        };
+        availabilities.push(availability);
+    }
+    Ok(ScenarioOutcome {
+        index,
+        affected: affected_count,
+        availabilities,
+    })
+}
+
+/// Does any perturbation of the scenario touch this perspective?
+fn touches(persp: &BaselinePerspective, perturbations: &[Perturbation]) -> bool {
+    perturbations.iter().any(|pert| match pert {
+        Perturbation::KillComponent(name) => persp.upsim.contains(name),
+        Perturbation::CutLink(a, b) => persp.upsim.contains(a) && persp.upsim.contains(b),
+        Perturbation::DropService(_) => true,
+        Perturbation::ScaleMtbf { class, .. } => persp.classes.iter().any(|c| c == class),
+    })
+}
+
+/// Applies the structural perturbations to private copies of the base
+/// models.
+fn build_perturbed(
+    input: &CampaignInput,
+    cuts: &[(&str, &str)],
+    drops: &[&str],
+) -> Result<(Infrastructure, CompositeService), String> {
+    let mut infra = input.infrastructure.clone();
+    for (a, b) in cuts {
+        infra.disconnect(a, b).map_err(|e| e.to_string())?;
+    }
+    let service = if drops.is_empty() {
+        input.service.clone()
+    } else {
+        let remaining: Vec<&str> = input
+            .service
+            .atomic_services()
+            .into_iter()
+            .filter(|atomic| !drops.contains(atomic))
+            .collect();
+        CompositeService::sequential(input.service.name(), &remaining).map_err(|e| e.to_string())?
+    };
+    Ok((infra, service))
+}
+
+/// Prices one (scenario, perspective) pair: perturb the probability
+/// vector, then either re-price the exact BDD or run the bit-sliced MC
+/// kernel with a seed derived deterministically from (base seed,
+/// scenario, perspective) — worker-count invariant either way.
+fn price(
+    input: &CampaignInput,
+    scenario_ix: usize,
+    perspective_ix: usize,
+    model: &ServiceAvailabilityModel,
+    classes: &[String],
+    kills: &[&str],
+    scales: &[(&str, f64)],
+) -> f64 {
+    let probs = perturbed_probs(model, classes, kills, scales, input.analysis.paper_formula);
+    match input.spec.mc {
+        Some(mc) => {
+            let program =
+                McProgram::compile(&probs, model.systems.iter().map(|s| s.path_sets.as_slice()));
+            let seed = mc
+                .seed
+                .wrapping_add((scenario_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(perspective_ix as u64);
+            program.run(mc.samples, 1, seed).estimate
+        }
+        None => availability_with(model, &probs),
+    }
+}
+
+/// The component probability vector under kills and MTBF scales.
+fn perturbed_probs(
+    model: &ServiceAvailabilityModel,
+    classes: &[String],
+    kills: &[&str],
+    scales: &[(&str, f64)],
+    paper_formula: bool,
+) -> Vec<f64> {
+    model
+        .components
+        .iter()
+        .enumerate()
+        .map(|(i, component)| {
+            if kills.iter().any(|k| *k == component.name) {
+                return 0.0;
+            }
+            let mut factor = 1.0;
+            for (class, f) in scales {
+                if classes[i] == *class {
+                    factor *= f;
+                }
+            }
+            if factor != 1.0 {
+                scaled_availability(component, factor, paper_formula)
+            } else {
+                component.availability
+            }
+        })
+        .collect()
+}
+
+/// Device class per model component (link pseudo-components, present
+/// only under `include_links`, get an empty class).
+fn component_classes(
+    infrastructure: &Infrastructure,
+    model: &ServiceAvailabilityModel,
+) -> Vec<String> {
+    model
+        .components
+        .iter()
+        .map(|component| {
+            infrastructure
+                .class_of(&component.name)
+                .map(str::to_string)
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+/// Runs a whole campaign on the calling thread (tests, CLI local mode
+/// without a pool); the engine fans the same two functions out instead.
+pub fn run_serial(input: &CampaignInput) -> Result<(Baseline, Vec<ScenarioOutcome>), String> {
+    let perspectives = evaluate_baseline_chunk(input, 0..input.pairs.len())?;
+    let baseline = Baseline { perspectives };
+    let outcomes = (0..input.scenarios.len())
+        .map(|i| evaluate_scenario(input, &baseline, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((baseline, outcomes))
+}

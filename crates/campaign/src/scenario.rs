@@ -1,0 +1,249 @@
+//! Scenario generation: expand each axis against the base model, then
+//! take the cross-product across axes.
+//!
+//! Expansion is purely positional — instances, links, atomic services and
+//! device classes are walked in model order — so the scenario list (and
+//! therefore every index-keyed result downstream) is deterministic for a
+//! given (model, spec) pair.
+
+use upsim_core::infrastructure::Infrastructure;
+use upsim_core::service::CompositeService;
+
+use crate::spec::{Axis, CampaignSpec};
+
+/// One atomic model perturbation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Perturbation {
+    /// Force component `p = 0` (the component exists but never works).
+    KillComponent(String),
+    /// Remove the link between the two named instances.
+    CutLink(String, String),
+    /// Drop the named atomic step from the composite service.
+    DropService(String),
+    /// Scale the MTBF of every member of `class` by `factor`.
+    ScaleMtbf {
+        /// Device class name (never `*` after expansion).
+        class: String,
+        /// Multiplicative MTBF factor.
+        factor: f64,
+    },
+}
+
+impl Perturbation {
+    /// Compact single-token label (`kill:e1`, `cut:t1-e1`, `drop:log`,
+    /// `mtbf:Switch:0.5`).
+    pub fn label(&self) -> String {
+        match self {
+            Perturbation::KillComponent(name) => format!("kill:{name}"),
+            Perturbation::CutLink(a, b) => format!("cut:{a}-{b}"),
+            Perturbation::DropService(atomic) => format!("drop:{atomic}"),
+            Perturbation::ScaleMtbf { class, factor } => format!("mtbf:{class}:{factor}"),
+        }
+    }
+}
+
+/// One generated scenario: a set of simultaneous perturbations (one per
+/// axis) applied to the base model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Position in generation order (the deterministic sort key).
+    pub index: usize,
+    /// `+`-joined perturbation labels.
+    pub label: String,
+    /// The perturbations, in axis order.
+    pub perturbations: Vec<Perturbation>,
+}
+
+/// Expands every axis and takes the cross-product, refusing empty axes
+/// and scenario counts beyond `spec.limit`.
+pub fn generate(
+    infrastructure: &Infrastructure,
+    service: &CompositeService,
+    spec: &CampaignSpec,
+) -> Result<Vec<Scenario>, String> {
+    let mut per_axis: Vec<Vec<Perturbation>> = Vec::with_capacity(spec.axes.len());
+    for axis in &spec.axes {
+        let expanded = expand_axis(infrastructure, service, axis)?;
+        if expanded.is_empty() {
+            return Err(format!("axis `{axis:?}` expands to no scenarios"));
+        }
+        per_axis.push(expanded);
+    }
+
+    let mut total: usize = 1;
+    for axis in &per_axis {
+        total = total.saturating_mul(axis.len());
+    }
+    if total > spec.limit {
+        return Err(format!(
+            "campaign would generate {total} scenarios (limit {}; raise with limit:<n>)",
+            spec.limit
+        ));
+    }
+
+    let mut scenarios = Vec::with_capacity(total);
+    let mut cursor = vec![0usize; per_axis.len()];
+    for index in 0..total {
+        let perturbations: Vec<Perturbation> = cursor
+            .iter()
+            .zip(&per_axis)
+            .map(|(&i, axis)| axis[i].clone())
+            .collect();
+        let label = perturbations
+            .iter()
+            .map(Perturbation::label)
+            .collect::<Vec<_>>()
+            .join("+");
+        scenarios.push(Scenario {
+            index,
+            label,
+            perturbations,
+        });
+        // Odometer increment, last axis fastest.
+        for pos in (0..cursor.len()).rev() {
+            cursor[pos] += 1;
+            if cursor[pos] < per_axis[pos].len() {
+                break;
+            }
+            cursor[pos] = 0;
+        }
+    }
+    Ok(scenarios)
+}
+
+fn expand_axis(
+    infrastructure: &Infrastructure,
+    service: &CompositeService,
+    axis: &Axis,
+) -> Result<Vec<Perturbation>, String> {
+    match axis {
+        Axis::KillEachComponent => Ok(infrastructure
+            .objects
+            .instances
+            .iter()
+            .map(|instance| Perturbation::KillComponent(instance.name.clone()))
+            .collect()),
+        Axis::CutEachLink => Ok(infrastructure
+            .objects
+            .links
+            .iter()
+            .map(|link| Perturbation::CutLink(link.end_a.clone(), link.end_b.clone()))
+            .collect()),
+        Axis::SubstituteEachService => {
+            let atomics = service.atomic_services();
+            if atomics.len() < 2 {
+                return Err(format!(
+                    "substitute-each-service needs a composite of at least 2 steps, \
+                     `{}` has {}",
+                    service.name(),
+                    atomics.len()
+                ));
+            }
+            Ok(atomics
+                .into_iter()
+                .map(|atomic| Perturbation::DropService(atomic.to_string()))
+                .collect())
+        }
+        Axis::ScaleMtbf { class, factors } => {
+            let classes: Vec<String> = if class == "*" {
+                let mut seen = Vec::new();
+                for instance in &infrastructure.objects.instances {
+                    if !seen.contains(&instance.class) {
+                        seen.push(instance.class.clone());
+                    }
+                }
+                seen
+            } else {
+                let known = infrastructure
+                    .objects
+                    .instances
+                    .iter()
+                    .any(|instance| &instance.class == class);
+                if !known {
+                    return Err(format!(
+                        "scale-mtbf: no deployed instance of class `{class}`"
+                    ));
+                }
+                vec![class.clone()]
+            };
+            let mut out = Vec::with_capacity(classes.len() * factors.len());
+            for class in classes {
+                for &factor in factors {
+                    out.push(Perturbation::ScaleMtbf {
+                        class: class.clone(),
+                        factor,
+                    });
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+    use netgen::usi::{printing_service, usi_infrastructure};
+
+    #[test]
+    fn kill_axis_enumerates_every_instance() {
+        let infra = usi_infrastructure();
+        let spec = CampaignSpec::parse("kill-each-component").expect("parses");
+        let scenarios = generate(&infra, &printing_service(), &spec).expect("expands");
+        assert_eq!(scenarios.len(), infra.objects.instances.len());
+        assert!(scenarios.iter().all(|s| s.perturbations.len() == 1));
+        assert_eq!(scenarios[0].index, 0);
+        assert!(scenarios[0].label.starts_with("kill:"));
+    }
+
+    #[test]
+    fn cross_product_multiplies_axis_sizes() {
+        let infra = usi_infrastructure();
+        let service = printing_service();
+        let spec =
+            CampaignSpec::parse("substitute-each-service scale-mtbf:HP2650:0.5,2").expect("parses");
+        let scenarios = generate(&infra, &service, &spec).expect("expands");
+        assert_eq!(scenarios.len(), service.atomic_services().len() * 2);
+        // Every scenario carries one perturbation per axis, labels joined.
+        assert!(scenarios.iter().all(|s| s.perturbations.len() == 2));
+        assert!(scenarios[0].label.contains('+'));
+        // Last axis varies fastest.
+        assert_eq!(scenarios[0].perturbations[0], scenarios[1].perturbations[0]);
+        assert_ne!(scenarios[0].perturbations[1], scenarios[1].perturbations[1]);
+    }
+
+    #[test]
+    fn scale_star_expands_each_deployed_class() {
+        let infra = usi_infrastructure();
+        let spec = CampaignSpec::parse("scale-mtbf:*:0.5").expect("parses");
+        let scenarios = generate(&infra, &printing_service(), &spec).expect("expands");
+        let mut classes: Vec<String> = infra
+            .objects
+            .instances
+            .iter()
+            .map(|i| i.class.clone())
+            .collect();
+        classes.dedup();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(scenarios.len(), classes.len());
+    }
+
+    #[test]
+    fn limit_refuses_explosive_cross_products() {
+        let infra = usi_infrastructure();
+        let spec =
+            CampaignSpec::parse("kill-each-component cut-each-link limit:10").expect("parses");
+        let err = generate(&infra, &printing_service(), &spec).unwrap_err();
+        assert!(err.contains("limit 10"), "{err}");
+    }
+
+    #[test]
+    fn unknown_class_is_refused() {
+        let infra = usi_infrastructure();
+        let spec = CampaignSpec::parse("scale-mtbf:Mainframe:2").expect("parses");
+        let err = generate(&infra, &printing_service(), &spec).unwrap_err();
+        assert!(err.contains("Mainframe"), "{err}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Campaign specification: a tiny whitespace-separated clause grammar
+//! shared by the `CAMPAIGN` wire verb and `upsim campaign`.
+//!
+//! Axes (at least one required; multiple axes cross-product):
+//!
+//! * `kill-each-component` — one scenario per deployed instance,
+//! * `cut-each-link` — one scenario per object-diagram link,
+//! * `substitute-each-service` — one scenario per dropped atomic step,
+//! * `scale-mtbf:<class>:<f>[,<f>...]` — parametric MTBF sweep over one
+//!   device class (`*` = each class in turn).
+//!
+//! Modifiers:
+//!
+//! * `pairs:<client>:<provider>[,...]` — restrict the perspective scope
+//!   (default: every client × every server/printer),
+//! * `mc:<samples>[:<seed>]` — estimate perturbed perspectives with the
+//!   bit-sliced Monte-Carlo kernel instead of the exact BDD,
+//! * `top:<n>` — rows shown in the text report (default 10),
+//! * `limit:<n>` — refuse campaigns above this many scenarios
+//!   (default 10000),
+//! * `json` — render the report as JSON.
+
+/// Seed used when an `mc:` clause gives none (the protocol's default).
+pub const DEFAULT_CAMPAIGN_SEED: u64 = 2013;
+
+/// Default scenario-count guard: cross-products explode quickly, and a
+/// campaign is a synchronous request — force the caller to raise the
+/// limit explicitly past this.
+pub const DEFAULT_SCENARIO_LIMIT: usize = 10_000;
+
+/// One perturbation generator axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Kill each deployed instance in turn (`p = 0`).
+    KillEachComponent,
+    /// Cut each object-diagram link in turn (Sec. V-A3 disconnect).
+    CutEachLink,
+    /// Drop each atomic step of the composite service in turn
+    /// (Sec. V-A3 service substitution).
+    SubstituteEachService,
+    /// Scale the MTBF of every member of `class` by each factor.
+    ScaleMtbf {
+        /// Device class name, or `*` for each class in turn.
+        class: String,
+        /// Multiplicative MTBF factors (`0.5` = twice as failure-prone).
+        factors: Vec<f64>,
+    },
+}
+
+/// Monte-Carlo settings from an `mc:` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSettings {
+    /// Samples per perturbed perspective.
+    pub samples: usize,
+    /// Base seed; per-evaluation seeds derive deterministically from it.
+    pub seed: u64,
+}
+
+/// A parsed campaign specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Perturbation axes, in clause order; scenarios are their
+    /// cross-product.
+    pub axes: Vec<Axis>,
+    /// Explicit perspective scope (empty = default client × provider).
+    pub pairs: Vec<(String, String)>,
+    /// Monte-Carlo estimation instead of the exact BDD, when set.
+    pub mc: Option<McSettings>,
+    /// Rows shown in the text report.
+    pub top: usize,
+    /// Maximum scenario count before the campaign is refused.
+    pub limit: usize,
+    /// Render the report as JSON.
+    pub json: bool,
+}
+
+impl CampaignSpec {
+    /// Parses a whitespace-separated clause list.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let words: Vec<&str> = input.split_whitespace().collect();
+        Self::parse_words(&words)
+    }
+
+    /// Parses pre-split clauses (the protocol hands words straight from
+    /// the request line).
+    pub fn parse_words(words: &[&str]) -> Result<Self, String> {
+        let mut spec = CampaignSpec {
+            axes: Vec::new(),
+            pairs: Vec::new(),
+            mc: None,
+            top: 10,
+            limit: DEFAULT_SCENARIO_LIMIT,
+            json: false,
+        };
+        for word in words {
+            let (head, rest) = match word.split_once(':') {
+                Some((head, rest)) => (head, Some(rest)),
+                None => (*word, None),
+            };
+            match (head, rest) {
+                ("kill-each-component", None) => {
+                    spec.push_enumerated(Axis::KillEachComponent)?;
+                }
+                ("cut-each-link", None) => {
+                    spec.push_enumerated(Axis::CutEachLink)?;
+                }
+                ("substitute-each-service", None) => {
+                    spec.push_enumerated(Axis::SubstituteEachService)?;
+                }
+                ("scale-mtbf", Some(rest)) => {
+                    let (class, factor_list) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{word}`: expected scale-mtbf:<class>:<f>[,..]"))?;
+                    if class.is_empty() {
+                        return Err(format!("`{word}`: empty class name"));
+                    }
+                    let mut factors = Vec::new();
+                    for raw in factor_list.split(',') {
+                        let factor: f64 = raw
+                            .parse()
+                            .map_err(|_| format!("`{word}`: bad factor `{raw}`"))?;
+                        if !factor.is_finite() || factor <= 0.0 {
+                            return Err(format!("`{word}`: factor must be finite and > 0"));
+                        }
+                        factors.push(factor);
+                    }
+                    spec.axes.push(Axis::ScaleMtbf {
+                        class: class.to_string(),
+                        factors,
+                    });
+                }
+                ("pairs", Some(rest)) => {
+                    for entry in rest.split(',') {
+                        let (client, provider) = entry
+                            .split_once(':')
+                            .ok_or_else(|| format!("`{word}`: expected <client>:<provider>"))?;
+                        if client.is_empty() || provider.is_empty() {
+                            return Err(format!("`{word}`: empty endpoint in `{entry}`"));
+                        }
+                        spec.pairs.push((client.to_string(), provider.to_string()));
+                    }
+                }
+                ("mc", Some(rest)) => {
+                    let (samples_raw, seed_raw) = match rest.split_once(':') {
+                        Some((samples, seed)) => (samples, Some(seed)),
+                        None => (rest, None),
+                    };
+                    let samples: usize = samples_raw
+                        .parse()
+                        .map_err(|_| format!("`{word}`: bad sample count `{samples_raw}`"))?;
+                    if samples == 0 {
+                        return Err(format!("`{word}`: sample count must be positive"));
+                    }
+                    let seed = match seed_raw {
+                        Some(raw) => raw
+                            .parse()
+                            .map_err(|_| format!("`{word}`: bad seed `{raw}`"))?,
+                        None => DEFAULT_CAMPAIGN_SEED,
+                    };
+                    spec.mc = Some(McSettings { samples, seed });
+                }
+                ("top", Some(rest)) => {
+                    spec.top = rest
+                        .parse()
+                        .map_err(|_| format!("`{word}`: bad row count `{rest}`"))?;
+                    if spec.top == 0 {
+                        return Err(format!("`{word}`: row count must be positive"));
+                    }
+                }
+                ("limit", Some(rest)) => {
+                    spec.limit = rest
+                        .parse()
+                        .map_err(|_| format!("`{word}`: bad scenario limit `{rest}`"))?;
+                    if spec.limit == 0 {
+                        return Err(format!("`{word}`: scenario limit must be positive"));
+                    }
+                }
+                ("json", None) => spec.json = true,
+                _ => {
+                    return Err(format!(
+                        "unknown clause `{word}` (try kill-each-component, cut-each-link, \
+                         substitute-each-service, scale-mtbf:<class>:<f>, pairs:<c>:<p>, \
+                         mc:<samples>[:<seed>], top:<n>, limit:<n>, json)"
+                    ));
+                }
+            }
+        }
+        if spec.axes.is_empty() {
+            return Err(
+                "campaign needs at least one axis (kill-each-component, cut-each-link, \
+                 substitute-each-service, scale-mtbf:<class>:<f>)"
+                    .to_string(),
+            );
+        }
+        Ok(spec)
+    }
+
+    fn push_enumerated(&mut self, axis: Axis) -> Result<(), String> {
+        if self.axes.contains(&axis) {
+            return Err(format!("duplicate axis `{}`", axis_name(&axis)));
+        }
+        self.axes.push(axis);
+        Ok(())
+    }
+
+    /// Deterministic re-rendering of the spec (echoed in reports; stable
+    /// across parse → render round trips).
+    pub fn canonical(&self) -> String {
+        let mut clauses: Vec<String> = Vec::new();
+        for axis in &self.axes {
+            clauses.push(match axis {
+                Axis::KillEachComponent => "kill-each-component".to_string(),
+                Axis::CutEachLink => "cut-each-link".to_string(),
+                Axis::SubstituteEachService => "substitute-each-service".to_string(),
+                Axis::ScaleMtbf { class, factors } => {
+                    let list: Vec<String> = factors.iter().map(|f| format!("{f}")).collect();
+                    format!("scale-mtbf:{class}:{}", list.join(","))
+                }
+            });
+        }
+        if !self.pairs.is_empty() {
+            let list: Vec<String> = self.pairs.iter().map(|(c, p)| format!("{c}:{p}")).collect();
+            clauses.push(format!("pairs:{}", list.join(",")));
+        }
+        if let Some(mc) = self.mc {
+            clauses.push(format!("mc:{}:{}", mc.samples, mc.seed));
+        }
+        if self.top != 10 {
+            clauses.push(format!("top:{}", self.top));
+        }
+        if self.limit != DEFAULT_SCENARIO_LIMIT {
+            clauses.push(format!("limit:{}", self.limit));
+        }
+        if self.json {
+            clauses.push("json".to_string());
+        }
+        clauses.join(" ")
+    }
+}
+
+fn axis_name(axis: &Axis) -> &'static str {
+    match axis {
+        Axis::KillEachComponent => "kill-each-component",
+        Axis::CutEachLink => "cut-each-link",
+        Axis::SubstituteEachService => "substitute-each-service",
+        Axis::ScaleMtbf { .. } => "scale-mtbf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let spec = CampaignSpec::parse(
+            "kill-each-component cut-each-link substitute-each-service \
+             scale-mtbf:Switch:0.5,2 pairs:t1:p2,t6:p1 mc:4096:7 top:5 limit:500 json",
+        )
+        .expect("well-formed spec");
+        assert_eq!(spec.axes.len(), 4);
+        assert_eq!(
+            spec.axes[3],
+            Axis::ScaleMtbf {
+                class: "Switch".into(),
+                factors: vec![0.5, 2.0],
+            }
+        );
+        assert_eq!(
+            spec.pairs,
+            vec![("t1".into(), "p2".into()), ("t6".into(), "p1".into())]
+        );
+        assert_eq!(
+            spec.mc,
+            Some(McSettings {
+                samples: 4096,
+                seed: 7
+            })
+        );
+        assert_eq!(spec.top, 5);
+        assert_eq!(spec.limit, 500);
+        assert!(spec.json);
+    }
+
+    #[test]
+    fn mc_clause_defaults_its_seed() {
+        let spec = CampaignSpec::parse("kill-each-component mc:1024").expect("parses");
+        assert_eq!(
+            spec.mc,
+            Some(McSettings {
+                samples: 1024,
+                seed: DEFAULT_CAMPAIGN_SEED
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_duplicate_and_malformed_specs() {
+        assert!(CampaignSpec::parse("")
+            .unwrap_err()
+            .contains("at least one axis"));
+        assert!(CampaignSpec::parse("json top:3")
+            .unwrap_err()
+            .contains("at least one axis"));
+        assert!(
+            CampaignSpec::parse("kill-each-component kill-each-component")
+                .unwrap_err()
+                .contains("duplicate axis")
+        );
+        assert!(CampaignSpec::parse("frobnicate")
+            .unwrap_err()
+            .contains("unknown clause"));
+        assert!(CampaignSpec::parse("scale-mtbf:Switch")
+            .unwrap_err()
+            .contains("expected scale-mtbf"));
+        assert!(CampaignSpec::parse("scale-mtbf:Switch:-1")
+            .unwrap_err()
+            .contains("finite and > 0"));
+        assert!(CampaignSpec::parse("kill-each-component mc:0")
+            .unwrap_err()
+            .contains("must be positive"));
+        assert!(CampaignSpec::parse("kill-each-component pairs:t1")
+            .unwrap_err()
+            .contains("expected <client>:<provider>"));
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let raw = "kill-each-component scale-mtbf:*:0.5 pairs:t1:p2 mc:2048:9 top:3 limit:99 json";
+        let spec = CampaignSpec::parse(raw).expect("parses");
+        assert_eq!(spec.canonical(), raw);
+        let again = CampaignSpec::parse(&spec.canonical()).expect("canonical re-parses");
+        assert_eq!(again, spec);
+    }
+}

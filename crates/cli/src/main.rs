@@ -22,6 +22,14 @@
 //!   journal suffix on start and journals every update durably,
 //! * `query --addr <host:port> --from <client> --to <provider>` — one
 //!   perspective query against a running server,
+//! * `campaign --spec "<clauses>"` — a mass what-if campaign: against a
+//!   running server (`--addr`, streaming its `PROGRESS` lines) or locally
+//!   from `--case-study`/`-i`/`-s` models (printing the full ranked
+//!   report),
+//! * `importance` — the Sec. VII component ranking for one perspective:
+//!   Birnbaum/criticality/Fussell-Vesely importance, the exact
+//!   availability drop if each component dies, and optionally
+//!   (`--sensitivity`) dA/dMTBF / dA/dMTTR,
 //! * `restore --state-dir <dir>` — smoke-check a state directory: load
 //!   the snapshot, replay the journal, report the resulting epoch.
 //!
@@ -53,8 +61,16 @@ USAGE:
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
   upsim serve        [--case-study | -i <infra.xml> -s <service.xml> | --model <name>=<spec> ...] [--addr <host:port>] [--workers <n>] [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]
   upsim query        --addr <host:port> --from <client> --to <provider> [--model <name>]
+  upsim campaign     --spec \"<clauses>\" [--addr <host:port> [--model <name>] | --case-study | -i <infra.xml> -s <service.xml>]
+  upsim importance   [--case-study --from <client> --to <provider> | -i <infra.xml> -s <service.xml> -m <mapping.xml>] [--links] [--paper-formula] [--sensitivity]
   upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>] [--model <name>]
   upsim help
+
+Campaign spec clauses (space-separated inside --spec): kill-each-component,
+cut-each-link, substitute-each-service, scale-mtbf:<class>:<f>[,f..] (class
+`*` sweeps every deployed class; several clauses cross-product),
+pairs:<client>:<provider>[,..] (default: every client x every provider),
+mc:<samples>[:<seed>], top:<n>, limit:<n>, json.
 
 Multi-model serving: repeat --model to register several named models behind
 one server; <spec> is either `case-study` or
@@ -186,6 +202,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "validate" => validate(&parse_flags(&args[1..])?),
         "serve" => serve(&parse_flags(&args[1..])?),
         "query" => query(&parse_flags(&args[1..])?),
+        "campaign" => campaign(&parse_flags(&args[1..])?),
+        "importance" => importance(&parse_flags(&args[1..])?),
         "restore" => restore(&parse_flags(&args[1..])?),
         other => Err(usage_err(format!(
             "unknown command '{other}'; try 'upsim help'"
@@ -537,6 +555,143 @@ fn query(flags: &Flags) -> Result<(), CliError> {
         return Err(CliError::Runtime(format!(
             "server rejected the query: {response}"
         )));
+    }
+    Ok(())
+}
+
+/// `upsim campaign` — a mass what-if campaign, remote or local.
+///
+/// With `--addr` the spec is shipped to a running server as one
+/// `CAMPAIGN` line and every response line (streamed `PROGRESS`
+/// milestones, then the final `OK campaign[-json]`) is echoed. Without
+/// `--addr` the campaign runs in-process against the `--case-study` (or
+/// `-i`/`-s`) models on one thread and prints the full ranked report.
+fn campaign(flags: &Flags) -> Result<(), CliError> {
+    let spec_text = require(flags, &["spec"])?;
+    if let Some(addr) = flag(flags, &["addr"]) {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        if let Some(model) = flag(flags, &["model"]) {
+            writer
+                .write_all(format!("USE {model}\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("cannot select model: {e}"))?;
+            let mut ack = String::new();
+            reader
+                .read_line(&mut ack)
+                .map_err(|e| format!("cannot read USE response: {e}"))?;
+            let ack = ack.trim_end();
+            println!("{ack}");
+            if ack.starts_with("ERR") {
+                return Err(CliError::Runtime(format!(
+                    "server rejected the model selection: {ack}"
+                )));
+            }
+        }
+        writer
+            .write_all(format!("CAMPAIGN {spec_text}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot send campaign: {e}"))?;
+        loop {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read response: {e}"))?;
+            if n == 0 {
+                return Err(CliError::Runtime(
+                    "server closed the connection mid-campaign".to_string(),
+                ));
+            }
+            let line = line.trim_end();
+            println!("{line}");
+            if line.starts_with("OK ") {
+                return Ok(());
+            }
+            if line.starts_with("ERR") {
+                return Err(CliError::Runtime(format!(
+                    "server rejected the campaign: {line}"
+                )));
+            }
+        }
+    }
+    // Local mode: same spec grammar, same evaluation code, one thread.
+    let spec = upsim_campaign::CampaignSpec::parse(spec_text).map_err(CliError::Runtime)?;
+    let json = spec.json;
+    let (infra, service, mapper) = initial_models(flags)?;
+    let input = upsim_campaign::CampaignInput::prepare(
+        infra,
+        service,
+        mapper,
+        DiscoveryOptions::default(),
+        None,
+        spec,
+    )
+    .map_err(CliError::Runtime)?;
+    let (baseline, outcomes) = upsim_campaign::run_serial(&input).map_err(CliError::Runtime)?;
+    let report = upsim_campaign::aggregate(&input, &baseline, &outcomes);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// `upsim importance` — the Sec. VII "which ICT components can be the
+/// cause" ranking for one perspective: Birnbaum / criticality /
+/// Fussell-Vesely importance plus the exact availability drop were each
+/// component to die (`ΔA = p·B`), optionally with parameter
+/// sensitivities.
+fn importance(flags: &Flags) -> Result<(), CliError> {
+    let case_study = flag(flags, &["case-study"]).is_some() || flag(flags, &["i"]).is_none();
+    let (infra, service, mapping) = if case_study {
+        let from = require(flags, &["from"])?;
+        let to = require(flags, &["to"])?;
+        (
+            netgen::usi::usi_infrastructure(),
+            netgen::usi::printing_service(),
+            netgen::usi::perspective_mapping(from, to),
+        )
+    } else {
+        load_models(flags)?
+    };
+    let mut pipeline = UpsimPipeline::new(infra, service, mapping).map_err(|e| e.to_string())?;
+    let run = pipeline.run().map_err(|e| e.to_string())?;
+    let options = AnalysisOptions {
+        include_links: flag(flags, &["links"]).is_some(),
+        paper_formula: flag(flags, &["paper-formula"]).is_some(),
+    };
+    let model = ServiceAvailabilityModel::from_run(pipeline.infrastructure(), &run, options);
+    println!(
+        "perspective availability (exact, BDD): {:.9}",
+        model.availability_bdd()
+    );
+    let drops: HashMap<String, f64> = dependability::perturb::kill_deltas(&model)
+        .into_iter()
+        .collect();
+    println!("component importance (Birnbaum-ranked):");
+    for imp in component_importance(&model) {
+        println!(
+            "  {:<12} B = {:.3e}  criticality = {:.4}  FV = {:.4}  ΔA(kill) = {:.3e}",
+            imp.name,
+            imp.birnbaum,
+            imp.criticality,
+            imp.fussell_vesely,
+            drops.get(&imp.name).copied().unwrap_or(0.0)
+        );
+    }
+    if flag(flags, &["sensitivity"]).is_some() {
+        println!("parameter sensitivity (per hour, most MTTR-sensitive first):");
+        let mut sens = dependability::sensitivity::component_sensitivities(&model);
+        sens.sort_by(|a, b| b.d_mttr.abs().partial_cmp(&a.d_mttr.abs()).unwrap());
+        for s in sens {
+            println!(
+                "  {:<12} dA/dMTBF = {:+.3e}  dA/dMTTR = {:+.3e}",
+                s.name, s.d_mtbf, s.d_mttr
+            );
+        }
     }
     Ok(())
 }

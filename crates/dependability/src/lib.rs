@@ -47,6 +47,7 @@ pub mod importance;
 pub mod mcprog;
 pub mod montecarlo;
 pub mod performance;
+pub mod perturb;
 pub mod rbd;
 pub mod sdp;
 pub mod sensitivity;

@@ -27,8 +27,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, SendTimeoutError, Sender};
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use upsim_campaign::{
+    aggregate, evaluate_baseline_chunk, evaluate_scenario, Baseline, CampaignInput, CampaignReport,
+    CampaignSpec,
+};
 use upsim_core::discovery::DiscoveryOptions;
 use upsim_core::error::UpsimError;
 use upsim_core::pipeline::UpsimPipeline;
@@ -67,6 +71,8 @@ pub enum EngineError {
     UnknownModel(String),
     /// A model-layer failure (validation, pipeline, update).
     Model(String),
+    /// A what-if campaign failed (bad spec, scope, or evaluation).
+    Campaign(String),
     /// A persistence failure (journal append, snapshot save, state dir).
     Persist(String),
     /// The engine is shut down (or a worker disappeared mid-request).
@@ -79,6 +85,7 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
             EngineError::UnknownModel(name) => write!(f, "unknown model `{name}` (try MODELS)"),
             EngineError::Model(msg) => write!(f, "model error: {msg}"),
+            EngineError::Campaign(msg) => write!(f, "campaign error: {msg}"),
             EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
             EngineError::Shutdown => write!(f, "engine is shut down"),
         }
@@ -187,6 +194,9 @@ pub struct UpdateSummary {
     pub kind: &'static str,
 }
 
+/// A boxed fallible unit of campaign work, fanned out via `scatter`.
+type CampaignTask<T> = Box<dyn FnOnce() -> Result<T, String> + Send>;
+
 enum Job {
     Eval {
         shard: Arc<Shard>,
@@ -194,6 +204,10 @@ enum Job {
         provider: String,
         reply: Sender<Result<Arc<CachedPerspective>, EngineError>>,
     },
+    /// An opaque unit of campaign work. The closure owns its result
+    /// sender; dropping an unexecuted Task (shutdown drain) drops the
+    /// sender, which the submitting thread observes as a closed channel.
+    Task(Box<dyn FnOnce() + Send>),
     Stop,
 }
 
@@ -808,6 +822,151 @@ impl Engine {
         })
     }
 
+    /// Runs a what-if campaign against the default shard.
+    pub fn campaign(
+        &self,
+        spec: CampaignSpec,
+        progress: impl FnMut(usize, usize),
+    ) -> Result<CampaignReport, EngineError> {
+        self.campaign_on(None, spec, progress)
+    }
+
+    /// Runs a mass what-if campaign against one model: pins the shard's
+    /// current snapshot, fans per-perspective baselines and per-scenario
+    /// evaluations across the worker pool, and aggregates the ranked
+    /// report. The live shard is never mutated — no epoch bump, no cache
+    /// traffic, no journal line; only the `campaigns_run` /
+    /// `scenarios_evaluated` counters move. `progress` is called after
+    /// each completed scenario with `(done, total)`.
+    pub fn campaign_on(
+        &self,
+        model: Option<&str>,
+        spec: CampaignSpec,
+        mut progress: impl FnMut(usize, usize),
+    ) -> Result<CampaignReport, EngineError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::Shutdown);
+        }
+        let shard = Arc::clone(self.shard(model)?);
+        let snapshot = shard.model();
+        let input = Arc::new(
+            CampaignInput::prepare(
+                snapshot.infrastructure.clone(),
+                snapshot.service.clone(),
+                Arc::clone(&shard.mapper),
+                shard.discovery,
+                Some(snapshot.interned_graph()),
+                spec,
+            )
+            .map_err(EngineError::Campaign)?,
+        );
+
+        // Phase 1: baselines, chunked so each task amortises one warm
+        // pipeline over a contiguous run of perspectives.
+        let pairs = input.pairs.len();
+        let chunk = pairs.div_ceil((self.workers.max(1)) * 2).max(1);
+        let mut baseline_tasks: Vec<CampaignTask<Vec<upsim_campaign::BaselinePerspective>>> =
+            Vec::new();
+        let mut start = 0;
+        while start < pairs {
+            let end = (start + chunk).min(pairs);
+            let task_input = Arc::clone(&input);
+            baseline_tasks.push(Box::new(move || {
+                evaluate_baseline_chunk(&task_input, start..end)
+            }));
+            start = end;
+        }
+        let chunks = self.scatter(baseline_tasks, |_| {})?;
+        let mut perspectives = Vec::with_capacity(pairs);
+        for chunk in chunks {
+            perspectives.extend(chunk.map_err(EngineError::Campaign)?);
+        }
+        let baseline = Arc::new(Baseline { perspectives });
+
+        // Phase 2: one task per scenario; results come back keyed by
+        // generation index, so aggregation order (and therefore the
+        // report) is worker-count invariant.
+        let total = input.scenarios.len();
+        let scenario_tasks: Vec<CampaignTask<upsim_campaign::ScenarioOutcome>> = (0..total)
+            .map(|index| {
+                let task_input = Arc::clone(&input);
+                let task_baseline = Arc::clone(&baseline);
+                Box::new(move || evaluate_scenario(&task_input, &task_baseline, index))
+                    as CampaignTask<upsim_campaign::ScenarioOutcome>
+            })
+            .collect();
+        let outcomes = self
+            .scatter(scenario_tasks, |done| progress(done, total))?
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EngineError::Campaign)?;
+
+        let report = aggregate(&input, &baseline, &outcomes);
+        EngineMetrics::bump(&shard.metrics.campaigns_run);
+        EngineMetrics::add(&shard.metrics.scenarios_evaluated, total as u64);
+        Ok(report)
+    }
+
+    /// Fans a batch of independent closures across the worker pool and
+    /// blocks until every result is back, returned in submission order.
+    /// If the engine shuts down mid-batch, drained tasks drop their
+    /// result senders and the collection loop observes the closed channel
+    /// — the caller gets `EngineError::Shutdown`, never a hang.
+    fn scatter<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
+        mut on_result: impl FnMut(usize),
+    ) -> Result<Vec<T>, EngineError> {
+        let total = tasks.len();
+        let (result_tx, result_rx) = channel::bounded::<(usize, T)>(total.max(1));
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let mut job = Job::Task(Box::new(move || {
+                let _ = tx.send((index, task()));
+            }));
+            // The result channel has room for every result, so workers
+            // never block sending — the job queue always drains while
+            // workers live. A bounded-timeout send keeps us from parking
+            // forever on a full queue if shutdown wins the race.
+            loop {
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(EngineError::Shutdown);
+                }
+                match self
+                    .job_tx
+                    .send_timeout(job, std::time::Duration::from_millis(25))
+                {
+                    Ok(()) => break,
+                    Err(SendTimeoutError::Timeout(returned)) => job = returned,
+                    Err(SendTimeoutError::Disconnected(_)) => return Err(EngineError::Shutdown),
+                }
+            }
+        }
+        drop(result_tx);
+        // Close the race with `shutdown` exactly like `lookup_or_enqueue`:
+        // if the flag flipped after our last send, drain the queue so no
+        // submitted task keeps its result sender alive forever.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.drain_pending();
+        }
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        let mut done = 0usize;
+        while done < total {
+            match result_rx.recv() {
+                Ok((index, value)) => {
+                    slots[index] = Some(value);
+                    done += 1;
+                    on_result(done);
+                }
+                Err(_) => return Err(EngineError::Shutdown),
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled once done == total"))
+            .collect())
+    }
+
     /// A point-in-time metrics snapshot (the `STATS` response): the rollup
     /// across every shard, with per-model rows attached when the engine
     /// serves named models. On a single-unnamed-model engine the rollup
@@ -848,6 +1007,8 @@ impl Engine {
                     cache_capacity: shard.cache.capacity(),
                     cache_evictions: shard.cache.evictions(),
                     negative_hits: shard.metrics.negative_hits.load(Ordering::Relaxed),
+                    campaigns_run: shard.metrics.campaigns_run.load(Ordering::Relaxed),
+                    scenarios_evaluated: shard.metrics.scenarios_evaluated.load(Ordering::Relaxed),
                     journal_len: shard.journal_len.load(Ordering::Relaxed),
                     last_save_epoch: shard.last_save_epoch.load(Ordering::Relaxed),
                 })
@@ -896,6 +1057,10 @@ impl Engine {
         while let Ok(job) = self.job_rx.try_recv() {
             match job {
                 Job::Eval { reply, .. } => replies.push(reply),
+                // Dropping the closure drops its embedded result sender;
+                // the campaign's aggregation loop sees the channel close
+                // and reports `EngineError::Shutdown` itself.
+                Job::Task(task) => drop(task),
                 Job::Stop => stolen_stops += 1,
             }
         }
@@ -933,6 +1098,7 @@ fn worker_loop(rx: Receiver<Job>) {
                 }
                 let _ = reply.send(result);
             }
+            Job::Task(task) => task(),
         }
     }
 }
@@ -1469,5 +1635,138 @@ mod tests {
         assert!(stats.per_model.is_empty());
         assert!(!stats.render().contains("model["));
         engine.shutdown();
+    }
+
+    /// The fanned-out kill campaign ranks the same component on top as
+    /// the analytic Birnbaum importance (`ΔA = p·B`) over the scoped
+    /// baselines — the paper's Sec. VII "which ICT components can be the
+    /// cause" overview.
+    #[test]
+    fn campaign_kill_ranking_matches_analytic_importance() {
+        let engine = usi_engine(4);
+        let spec = CampaignSpec::parse("kill-each-component pairs:t1:p2,t6:p1,t11:p3")
+            .expect("spec parses");
+        let report = engine.campaign(spec, |_, _| {}).expect("campaign runs");
+        assert_eq!(report.perspectives, 3);
+        assert_eq!(
+            report.scenarios,
+            usi_infrastructure().objects.instances.len()
+        );
+
+        // Re-derive the analytic winner from fresh per-pair baselines.
+        let mut deltas: HashMap<String, f64> = HashMap::new();
+        for (client, provider) in [("t1", "p2"), ("t6", "p1"), ("t11", "p3")] {
+            let mut pipeline = UpsimPipeline::new(
+                usi_infrastructure(),
+                printing_service(),
+                perspective_mapping(client, provider),
+            )
+            .expect("models consistent");
+            pipeline.record_paths = false;
+            let run = pipeline.run().expect("pipeline runs");
+            let model = ServiceAvailabilityModel::from_run(
+                pipeline.infrastructure(),
+                &run,
+                AnalysisOptions::default(),
+            );
+            for (name, delta) in dependability::perturb::kill_deltas(&model) {
+                *deltas.entry(name).or_insert(0.0) += delta / 3.0;
+            }
+        }
+        let (winner, _) = deltas
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+            .expect("non-empty");
+        assert_eq!(report.rows[0].label, format!("kill:{winner}"));
+        engine.shutdown();
+    }
+
+    /// A campaign pins the snapshot and works on copies: the live shard's
+    /// epoch and cache are bit-identical afterwards, and only the two
+    /// campaign counters move.
+    #[test]
+    fn campaign_leaves_live_shard_untouched_and_bumps_counters() {
+        let engine = usi_engine(2);
+        engine.query("t1", "p1").expect("warm the cache");
+        let before = engine.stats();
+        let spec = CampaignSpec::parse("cut-each-link pairs:t1:p2,t6:p1").expect("spec parses");
+        let report = engine.campaign(spec, |_, _| {}).expect("campaign runs");
+        assert!(report.scenarios > 0);
+        let after = engine.stats();
+        assert_eq!(after.epoch, before.epoch, "no epoch bump");
+        assert_eq!(after.cache_len, before.cache_len, "no cache traffic");
+        assert_eq!(after.campaigns_run, before.campaigns_run + 1);
+        assert_eq!(
+            after.scenarios_evaluated,
+            before.scenarios_evaluated + report.scenarios as u64
+        );
+        engine.shutdown();
+    }
+
+    /// Same spec + seed ⇒ byte-identical JSON report across worker
+    /// counts: scenario generation is positional, aggregation is keyed by
+    /// generation index, and the MC seed is a pure function of
+    /// (base seed, scenario, perspective).
+    #[test]
+    fn campaign_report_is_worker_count_invariant() {
+        let spec_text = "kill-each-component scale-mtbf:*:0.5 pairs:t1:p2,t6:p1 mc:2048:7 json";
+        let run = |workers: usize| {
+            let engine = usi_engine(workers);
+            let spec = CampaignSpec::parse(spec_text).expect("spec parses");
+            let mut ticks = 0usize;
+            let report = engine
+                .campaign(spec, |done, total| {
+                    ticks = done;
+                    assert!(done <= total);
+                })
+                .expect("campaign runs");
+            let json = report.render_json();
+            assert_eq!(ticks, report.scenarios, "progress reaches total");
+            engine.shutdown();
+            json
+        };
+        assert_eq!(run(1), run(4), "report must not depend on worker count");
+    }
+
+    /// Campaign routing honours the model registry, and a bad spec comes
+    /// back as a campaign error instead of poisoning the pool.
+    #[test]
+    fn campaign_routes_models_and_rejects_bad_scope() {
+        let engine = Engine::with_models(
+            vec![usi_spec("usi"), campus_spec("campus")],
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("registry builds");
+        let spec = CampaignSpec::parse("kill-each-component pairs:t1:p1").expect("parses");
+        engine
+            .campaign_on(Some("usi"), spec, |_, _| {})
+            .expect("USI campaign runs");
+        let bad = CampaignSpec::parse("kill-each-component pairs:t1:nowhere").expect("parses");
+        match engine.campaign_on(Some("usi"), bad, |_, _| {}) {
+            Err(EngineError::Campaign(msg)) => assert!(msg.contains("nowhere"), "{msg}"),
+            other => panic!("expected campaign error, got {other:?}"),
+        }
+        let unknown = CampaignSpec::parse("kill-each-component").expect("parses");
+        assert!(matches!(
+            engine.campaign_on(Some("ghost"), unknown, |_, _| {}),
+            Err(EngineError::UnknownModel(_))
+        ));
+        engine.shutdown();
+    }
+
+    /// Campaigns after shutdown fail fast instead of hanging on a pool
+    /// that no longer exists.
+    #[test]
+    fn campaign_after_shutdown_fails_fast() {
+        let engine = usi_engine(1);
+        engine.shutdown();
+        let spec = CampaignSpec::parse("kill-each-component pairs:t1:p1").expect("parses");
+        assert!(matches!(
+            engine.campaign(spec, |_, _| {}),
+            Err(EngineError::Shutdown)
+        ));
     }
 }

@@ -30,6 +30,14 @@
 //!   program ([`dependability::McProgram`], cached per epoch alongside
 //!   the exact availability) for confidence-interval estimates at
 //!   arbitrary sample counts without touching the pipeline.
+//! * the `CAMPAIGN` verb — mass what-if campaigns ([`upsim_campaign`]):
+//!   the engine pins a shard's snapshot, fans generated perturbation
+//!   scenarios (kill each component, cut each link, substitute each
+//!   service step, MTBF sweeps, cross-products) across the same worker
+//!   pool via opaque task jobs, and streams `PROGRESS` milestones before
+//!   the ranked SPOF/worst-user report. The live shard is never touched —
+//!   no epoch bump, no cache traffic — and the report is byte-identical
+//!   across worker counts.
 //! * [`server`] — a `std::net` TCP front-end, one thread per connection.
 //! * [`metrics::EngineMetrics`] — atomic counters, a log₂ latency
 //!   histogram, and per-stage timing aggregation over
@@ -60,3 +68,4 @@ pub use metrics::{EngineMetrics, MetricsSnapshot, ShardRollup};
 pub use persist::{Journal, JournalEntry, PersistError, RestoreReport, SaveSummary};
 pub use server::{serve, UpsimServer};
 pub use snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
+pub use upsim_campaign::{CampaignReport, CampaignSpec};

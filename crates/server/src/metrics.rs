@@ -132,6 +132,10 @@ pub struct EngineMetrics {
     /// `MC` requests served (the sampled estimate itself; the underlying
     /// perspective lookup is also counted under `queries`).
     pub mc_queries: AtomicU64,
+    /// `CAMPAIGN` requests completed against this shard.
+    pub campaigns_run: AtomicU64,
+    /// Scenarios evaluated across all campaigns on this shard.
+    pub scenarios_evaluated: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
     pub errors: AtomicU64,
@@ -187,6 +191,8 @@ impl EngineMetrics {
         let mut negative_hits = 0u64;
         let mut batches = 0u64;
         let mut mc_queries = 0u64;
+        let mut campaigns_run = 0u64;
+        let mut scenarios_evaluated = 0u64;
         let mut updates = 0u64;
         let mut invalidations = 0u64;
         let mut errors = 0u64;
@@ -200,6 +206,8 @@ impl EngineMetrics {
             negative_hits += metrics.negative_hits.load(Ordering::Relaxed);
             batches += metrics.batches.load(Ordering::Relaxed);
             mc_queries += metrics.mc_queries.load(Ordering::Relaxed);
+            campaigns_run += metrics.campaigns_run.load(Ordering::Relaxed);
+            scenarios_evaluated += metrics.scenarios_evaluated.load(Ordering::Relaxed);
             updates += metrics.updates.load(Ordering::Relaxed);
             invalidations += metrics.invalidations.load(Ordering::Relaxed);
             errors += metrics.errors.load(Ordering::Relaxed);
@@ -222,6 +230,8 @@ impl EngineMetrics {
             },
             batches,
             mc_queries,
+            campaigns_run,
+            scenarios_evaluated,
             updates,
             invalidations,
             errors,
@@ -257,6 +267,10 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Monte-Carlo (`MC`) requests served from compiled programs.
     pub mc_queries: u64,
+    /// `CAMPAIGN` requests completed.
+    pub campaigns_run: u64,
+    /// Scenarios evaluated across all campaigns.
+    pub scenarios_evaluated: u64,
     pub updates: u64,
     pub invalidations: u64,
     pub errors: u64,
@@ -298,6 +312,10 @@ pub struct ShardRollup {
     pub cache_evictions: u64,
     /// Failures this shard replayed from its negative cache.
     pub negative_hits: u64,
+    /// `CAMPAIGN` requests completed against this shard.
+    pub campaigns_run: u64,
+    /// Scenarios evaluated across this shard's campaigns.
+    pub scenarios_evaluated: u64,
     pub journal_len: u64,
     pub last_save_epoch: u64,
 }
@@ -307,7 +325,8 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         let mut line = format!(
             "queries={} cache_hits={} cache_misses={} stale_results={} negative_hits={} \
-             hit_rate={:.3} batches={} mc_queries={} updates={} invalidations={} errors={} evals={} \
+             hit_rate={:.3} batches={} mc_queries={} campaigns={} scenarios={} updates={} \
+             invalidations={} errors={} evals={} \
              eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
              cache_residency={}/{} cache_evictions={} epoch={} workers={} state_dir={} \
              journal_len={} last_save_epoch={}",
@@ -319,6 +338,8 @@ impl MetricsSnapshot {
             self.hit_rate,
             self.batches,
             self.mc_queries,
+            self.campaigns_run,
+            self.scenarios_evaluated,
             self.updates,
             self.invalidations,
             self.errors,
@@ -341,7 +362,7 @@ impl MetricsSnapshot {
         }
         for shard in &self.per_model {
             line.push_str(&format!(
-                " model[{}]=epoch:{},queries:{},cache:{}/{},evictions:{},negative_hits:{},journal:{},saved:{}",
+                " model[{}]=epoch:{},queries:{},cache:{}/{},evictions:{},negative_hits:{},campaigns:{},scenarios:{},journal:{},saved:{}",
                 shard.model,
                 shard.epoch,
                 shard.queries,
@@ -349,6 +370,8 @@ impl MetricsSnapshot {
                 shard.cache_capacity,
                 shard.cache_evictions,
                 shard.negative_hits,
+                shard.campaigns_run,
+                shard.scenarios_evaluated,
                 shard.journal_len,
                 shard.last_save_epoch,
             ));
@@ -463,6 +486,21 @@ mod tests {
     }
 
     #[test]
+    fn campaign_counters_roll_up_and_render() {
+        let a = EngineMetrics::new();
+        let b = EngineMetrics::new();
+        EngineMetrics::bump(&a.campaigns_run);
+        EngineMetrics::add(&a.scenarios_evaluated, 358);
+        EngineMetrics::add(&b.campaigns_run, 2);
+        EngineMetrics::add(&b.scenarios_evaluated, 90);
+        let rolled = EngineMetrics::rollup([&a, &b], 2);
+        assert_eq!(rolled.campaigns_run, 3);
+        assert_eq!(rolled.scenarios_evaluated, 448);
+        let line = rolled.render();
+        assert!(line.contains("campaigns=3 scenarios=448"), "line: {line}");
+    }
+
+    #[test]
     fn per_model_rows_render_after_the_global_line() {
         let metrics = EngineMetrics::new();
         let mut snap = metrics.snapshot(0, 0, 1);
@@ -475,12 +513,14 @@ mod tests {
             cache_capacity: 8,
             cache_evictions: 1,
             negative_hits: 4,
+            campaigns_run: 2,
+            scenarios_evaluated: 450,
             journal_len: 3,
             last_save_epoch: 2,
         });
         let line = snap.render();
         assert!(line.contains(
-            "model[campus]=epoch:3,queries:7,cache:2/8,evictions:1,negative_hits:4,journal:3,saved:2"
+            "model[campus]=epoch:3,queries:7,cache:2/8,evictions:1,negative_hits:4,campaigns:2,scenarios:450,journal:3,saved:2"
         ));
         assert!(!line.contains('\n'));
     }

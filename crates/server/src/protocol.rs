@@ -10,6 +10,7 @@
 //! UPDATE CONNECT <a> <b>
 //! UPDATE DISCONNECT <a> <b>
 //! UPDATE SERVICE <name> <atomic> [<atomic> ...]
+//! CAMPAIGN <axis|clause> [...]
 //! STATS
 //! SAVE
 //! USE <model>
@@ -21,6 +22,12 @@
 //! case-insensitively; device, service, and model names are
 //! case-sensitive.
 //!
+//! `CAMPAIGN` is the one deliberate exception to one-line responses: a
+//! long fan-out streams `PROGRESS campaign <done>/<total>` lines before
+//! the final `OK campaign ...` (or `OK campaign-json {...}` when the spec
+//! carries the `json` clause), so a caller watching the socket sees the
+//! run advance instead of a silent stall.
+//!
 //! `USE` is the only stateful verb: it selects which registered model the
 //! connection's subsequent `QUERY`/`BATCH`/`MC`/`UPDATE`/`SAVE` requests
 //! address. A connection that never sends `USE` talks to the default
@@ -30,6 +37,8 @@
 use std::sync::Arc;
 
 use upsim_core::service::CompositeService;
+
+use upsim_campaign::{CampaignReport, CampaignSpec};
 
 use crate::cache::CachedPerspective;
 use crate::engine::{EngineError, ModelInfo, UpdateCommand, UpdateSummary};
@@ -55,6 +64,8 @@ pub enum Request {
         seed: u64,
     },
     Update(UpdateCommand),
+    /// Run a mass what-if campaign (spec grammar: `upsim_campaign::spec`).
+    Campaign(CampaignSpec),
     Stats,
     Save,
     /// Select the registered model this connection addresses from now on.
@@ -127,6 +138,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "UPDATE" => parse_update(words).map(Request::Update),
+        "CAMPAIGN" => {
+            let clauses: Vec<&str> = words.collect();
+            if clauses.is_empty() {
+                return Err(
+                    "usage: CAMPAIGN <kill-each-component|cut-each-link|substitute-each-service\
+                     |scale-mtbf:<class>:<f,..>> [pairs:c:p,..] [mc:<samples>[:<seed>]] \
+                     [top:<n>] [limit:<n>] [json]"
+                        .to_string(),
+                );
+            }
+            CampaignSpec::parse_words(&clauses).map(Request::Campaign)
+        }
         "STATS" => {
             expect_end(words, "STATS")?;
             Ok(Request::Stats)
@@ -151,8 +174,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, STATS, SAVE, USE, MODELS, \
-             SHUTDOWN)"
+            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, CAMPAIGN, STATS, SAVE, \
+             USE, MODELS, SHUTDOWN)"
         )),
     }
 }
@@ -297,6 +320,22 @@ pub fn render_update(summary: &UpdateSummary) -> String {
         "OK update kind={} epoch={} invalidated={}",
         summary.kind, summary.epoch, summary.invalidated
     )
+}
+
+/// `PROGRESS campaign <done>/<total>` — streamed while a campaign runs.
+pub fn render_campaign_progress(done: usize, total: usize) -> String {
+    format!("PROGRESS campaign {done}/{total}")
+}
+
+/// The final campaign line: `OK campaign <summary>` normally, or
+/// `OK campaign-json {...}` when the spec asked for `json`. Both are one
+/// line; the JSON form is the full deterministic report.
+pub fn render_campaign(report: &CampaignReport, json: bool) -> String {
+    if json {
+        format!("OK campaign-json {}", report.render_json())
+    } else {
+        format!("OK campaign {}", report.summary_line())
+    }
 }
 
 /// `OK stats ...`
@@ -492,6 +531,60 @@ mod tests {
         // `USE ghost` surfaces as its own error shape, not a parse error.
         let err = render_error(&EngineError::UnknownModel("ghost".into()));
         assert_eq!(err, "ERR unknown model `ghost` (try MODELS)");
+    }
+
+    #[test]
+    fn parses_campaign_requests_and_advertises_the_verb() {
+        match parse_request("CAMPAIGN kill-each-component pairs:t1:p2 mc:4096:7 json")
+            .expect("parses")
+        {
+            Request::Campaign(spec) => {
+                assert_eq!(spec.axes.len(), 1);
+                assert_eq!(spec.pairs, vec![("t1".to_string(), "p2".to_string())]);
+                assert!(spec.json);
+                assert_eq!(spec.mc.expect("mc clause").seed, 7);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Lower-case verb, same grammar.
+        assert!(matches!(
+            parse_request("campaign cut-each-link"),
+            Ok(Request::Campaign(_))
+        ));
+        // Empty and malformed specs are parse errors, not panics.
+        assert!(parse_request("CAMPAIGN").is_err());
+        assert!(parse_request("CAMPAIGN frobnicate-everything").is_err());
+        // The unknown-command hint advertises CAMPAIGN.
+        let hint = parse_request("FROBNICATE").expect_err("unknown command");
+        assert!(
+            hint.contains("CAMPAIGN"),
+            "hint must mention CAMPAIGN: {hint}"
+        );
+    }
+
+    #[test]
+    fn renders_campaign_progress_and_final_lines() {
+        assert_eq!(render_campaign_progress(3, 34), "PROGRESS campaign 3/34");
+        let report = CampaignReport {
+            spec: "kill-each-component".to_string(),
+            scenarios: 2,
+            perspectives: 1,
+            affected_evaluations: 2,
+            baseline_mean: 0.99,
+            baseline_worst_client: "t1".to_string(),
+            baseline_worst_provider: "p1".to_string(),
+            baseline_worst: 0.99,
+            rows: Vec::new(),
+            spofs: Vec::new(),
+            worst_users: Vec::new(),
+            top: 10,
+        };
+        let line = render_campaign(&report, false);
+        assert!(line.starts_with("OK campaign scenarios=2 "), "{line}");
+        assert!(!line.contains('\n'));
+        let json = render_campaign(&report, true);
+        assert!(json.starts_with("OK campaign-json {"), "{json}");
+        assert!(!json.contains('\n'));
     }
 
     #[test]

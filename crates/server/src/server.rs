@@ -10,8 +10,9 @@ use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::protocol::{
-    parse_request, render_batch, render_error, render_mc, render_models, render_perspective,
-    render_save, render_stats, render_update, render_use, Request,
+    parse_request, render_batch, render_campaign, render_campaign_progress, render_error,
+    render_mc, render_models, render_perspective, render_save, render_stats, render_update,
+    render_use, Request,
 };
 
 /// A running TCP server wrapped around an [`Engine`].
@@ -145,6 +146,34 @@ fn handle_connection(
                 Ok(summary) => render_update(&summary),
                 Err(err) => render_error(&err),
             },
+            Ok(Request::Campaign(spec)) => {
+                // The one multi-line exchange in the protocol: stream
+                // `PROGRESS campaign <done>/<total>` at ~eighth-of-the-run
+                // milestones so a long fan-out is visibly alive, then the
+                // final OK/ERR line.
+                let json = spec.json;
+                let mut io_err: Option<std::io::Error> = None;
+                let result = engine.campaign_on(model.as_deref(), spec, |done, total| {
+                    let step = (total / 8).max(1);
+                    if (done % step == 0 || done == total) && io_err.is_none() {
+                        let line = render_campaign_progress(done, total);
+                        let wrote = writer
+                            .write_all(line.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .and_then(|()| writer.flush());
+                        if let Err(e) = wrote {
+                            io_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
+                match result {
+                    Ok(report) => render_campaign(&report, json),
+                    Err(err) => render_error(&err),
+                }
+            }
             Ok(Request::Stats) => render_stats(&engine.stats()),
             Ok(Request::Save) => match engine.save_state_on(model.as_deref()) {
                 Ok(summary) => render_save(&summary),

@@ -73,6 +73,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error of [`Sender::send_timeout`]: the message comes back either
+    /// because the queue stayed full past the deadline or because every
+    /// receiver is gone (mirrors `crossbeam-channel`).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -144,6 +153,41 @@ pub mod channel {
                 match self.shared.capacity {
                     Some(cap) if state.queue.len() >= cap => {
                         state = self.shared.not_full.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Like [`send`](Self::send), but gives up (returning the value)
+        /// once `timeout` has elapsed with the queue still full.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        let (next, _) = self
+                            .shared
+                            .not_full
+                            .wait_timeout(state, deadline - now)
+                            .expect("channel poisoned");
+                        state = next;
                     }
                     _ => break,
                 }
