@@ -1,9 +1,11 @@
 //! Engine throughput benchmark: queries/sec through the resident engine
 //! on the USI case study — cold (every perspective evaluated), warm
-//! (served from the perspective cache), and a two-model contention cell
+//! (served from the perspective cache), a two-model contention cell
 //! where one shard answers warm queries while a neighbour shard absorbs
-//! a continuous UPDATE storm. Emitted as `BENCH_engine.json` for CI
-//! tracking.
+//! a continuous UPDATE storm, and a connections × pipelining matrix
+//! against the real TCP front-end (idle fleets parked on the reactor
+//! while one client drives pipelined queries). Emitted as
+//! `BENCH_engine.json` for CI tracking.
 //!
 //! Usage:
 //!   `engine_bench [--smoke] [--out <path>]`
@@ -12,10 +14,17 @@
 //! shard's epoch must stay 0 and its availabilities bit-identical to
 //! the uncontended baseline — a neighbour's update storm may cost some
 //! throughput (lock and allocator pressure) but never correctness.
+//! The pipelining matrix doubles as the capacity check: the process
+//! thread count is recorded at peak connections (a thread-per-connection
+//! server could not hold thousands of sockets on a handful of threads),
+//! and the full run asserts depth-64 pipelining beats sequential
+//! round-trips by ≥ 3×.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use netgen::usi::{
     all_printing_perspectives, perspective_mapping, printing_service, usi_infrastructure,
@@ -32,6 +41,22 @@ struct Cell {
 }
 
 impl Cell {
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / (self.total_ns as f64 / 1e9)
+    }
+}
+
+/// One timed cell of the connections × pipelining matrix: `queries` warm
+/// queries driven at window `depth` over one connection while `idle`
+/// other connections sit parked on the reactor.
+struct PipeCell {
+    idle: usize,
+    depth: usize,
+    queries: u64,
+    total_ns: u128,
+}
+
+impl PipeCell {
     fn queries_per_sec(&self) -> f64 {
         self.queries as f64 / (self.total_ns as f64 / 1e9)
     }
@@ -254,7 +279,45 @@ fn main() {
         find("two-model-contended") / find("two-model-baseline")
     };
 
-    let json = render_json(smoke, &cells, storm_updates, contention_ratio);
+    // Connections × pipelining against the real TCP front-end. Smoke
+    // keeps the fleet small enough for CI's default fd limit; the full
+    // run parks 8192 sockets on the reactor.
+    let idle_counts: &[usize] = if smoke {
+        &[1, 64, 256]
+    } else {
+        &[1, 64, 1024, 8192]
+    };
+    let depths = [1usize, 8, 64];
+    let pipe_queries: u64 = if smoke { 2_000 } else { 20_000 };
+    let (pipe_cells, threads_at_peak) = pipeline_matrix(idle_counts, &depths, pipe_queries);
+
+    let pipelined_speedup = {
+        let max_idle = *idle_counts.last().expect("at least one idle count");
+        let find = |depth: usize| {
+            pipe_cells
+                .iter()
+                .find(|c| c.idle == max_idle && c.depth == depth)
+                .expect("matrix cell present")
+                .queries_per_sec()
+        };
+        find(64) / find(1)
+    };
+    if !smoke {
+        assert!(
+            pipelined_speedup >= 3.0,
+            "depth-64 pipelining only {pipelined_speedup:.2}x over sequential round-trips"
+        );
+    }
+
+    let json = render_json(
+        smoke,
+        &cells,
+        storm_updates,
+        contention_ratio,
+        &pipe_cells,
+        threads_at_peak,
+        pipelined_speedup,
+    );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
 
     println!("engine bench → {out}");
@@ -275,6 +338,152 @@ fn main() {
     println!(
         "contended/baseline throughput ratio: {contention_ratio:.3} ({storm_updates} storm updates absorbed)"
     );
+    println!(
+        "{:>20} {:>8} {:>9} {:>15}",
+        "idle conns", "depth", "queries", "queries/sec"
+    );
+    for cell in &pipe_cells {
+        println!(
+            "{:>20} {:>8} {:>9} {:>15.0}",
+            cell.idle,
+            cell.depth,
+            cell.queries,
+            cell.queries_per_sec()
+        );
+    }
+    println!(
+        "depth-64 pipelining speedup at peak fleet: {pipelined_speedup:.2}x \
+         ({threads_at_peak} process threads at peak connections)"
+    );
+}
+
+/// Runs the connections × pipelining matrix: one server on an ephemeral
+/// port, an idle fleet grown to each target size, and one active client
+/// driving `queries` warm `QUERY` lines per depth with a sliding window.
+/// Returns the timed cells plus the process thread count observed at
+/// peak fleet size — the "no thread per connection" evidence.
+fn pipeline_matrix(idle_counts: &[usize], depths: &[usize], queries: u64) -> (Vec<PipeCell>, u64) {
+    let engine = Engine::new(
+        ModelSnapshot::new(usi_infrastructure(), printing_service())
+            .expect("USI models are consistent"),
+        EngineConfig {
+            workers: 2,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+            ..EngineConfig::default()
+        },
+    );
+    // The fleet plus the active client must fit under the connection cap,
+    // or the last socket is shed with `ERR server busy`.
+    let max_idle = idle_counts.iter().copied().max().unwrap_or(0);
+    let server = upsim_server::serve_with(
+        engine,
+        "127.0.0.1:0",
+        upsim_server::ServerConfig {
+            max_connections: max_idle + 16,
+            ..upsim_server::ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect active client");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Prime the cache so every timed query is a warm hit.
+    writer.write_all(b"QUERY t1 p1\n").expect("prime query");
+    writer.flush().expect("prime flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("prime response");
+    assert!(line.starts_with("OK query "), "priming failed: {line}");
+
+    let mut idle: Vec<TcpStream> = Vec::new();
+    let mut cells = Vec::new();
+    let mut threads_at_peak = 0u64;
+    for &target in idle_counts {
+        while idle.len() < target {
+            idle.push(TcpStream::connect(addr).expect("open idle connection"));
+        }
+        // Wait until the reactor has registered the whole fleet (+1 for
+        // the active client) before timing anything.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while (server.metrics().open_connections.load(Ordering::Relaxed) as usize) < target + 1 {
+            assert!(
+                Instant::now() < deadline,
+                "reactor absorbed only {} of {} connections",
+                server.metrics().open_connections.load(Ordering::Relaxed),
+                target + 1
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        threads_at_peak = process_thread_count();
+        for &depth in depths {
+            let total_ns = pipelined_sweep(&mut reader, &mut writer, depth, queries);
+            cells.push(PipeCell {
+                idle: target,
+                depth,
+                queries,
+                total_ns,
+            });
+        }
+    }
+
+    drop(idle);
+    drop(reader);
+    drop(writer);
+    server.stop();
+    server.join();
+    (cells, threads_at_peak)
+}
+
+/// Drives `count` warm `QUERY t1 p1` lines in bursts of `depth` — the
+/// protocol's pipelining shape (N commands written before N replies are
+/// read, one write per burst); returns the elapsed nanoseconds.
+fn pipelined_sweep(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    depth: usize,
+    count: u64,
+) -> u128 {
+    const REQUEST: &[u8] = b"QUERY t1 p1\n";
+    let burst_buf: Vec<u8> = REQUEST.repeat(depth);
+    let start = Instant::now();
+    let mut done = 0u64;
+    let mut line = String::new();
+    while done < count {
+        let burst = depth.min((count - done) as usize);
+        writer
+            .write_all(&burst_buf[..burst * REQUEST.len()])
+            .expect("send burst");
+        writer.flush().expect("flush burst");
+        for _ in 0..burst {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read response");
+            assert!(n > 0, "server closed mid-pipeline");
+            assert!(line.starts_with("OK query "), "unexpected reply: {line}");
+        }
+        done += burst as u64;
+    }
+    start.elapsed().as_nanos()
+}
+
+/// The process's live thread count from `/proc/self/status` (0 where the
+/// file is unavailable) — with thousands of connections open this stays
+/// at main + reactor + workers.
+fn process_thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
 }
 
 /// `{1, all cores}`, deduplicated on a single-core host.
@@ -287,7 +496,16 @@ fn worker_counts(all_cores: usize) -> Vec<usize> {
 }
 
 /// Hand-rolled JSON (numbers + fixed keys only; nothing needs escaping).
-fn render_json(smoke: bool, cells: &[Cell], storm_updates: u64, contention_ratio: f64) -> String {
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    cells: &[Cell],
+    storm_updates: u64,
+    contention_ratio: f64,
+    pipe_cells: &[PipeCell],
+    threads_at_peak: u64,
+    pipelined_speedup: f64,
+) -> String {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"engine\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -309,7 +527,27 @@ fn render_json(smoke: bool, cells: &[Cell], storm_updates: u64, contention_ratio
     json.push_str("  ],\n");
     json.push_str(&format!("  \"storm_updates\": {storm_updates},\n"));
     json.push_str(&format!(
-        "  \"contended_vs_baseline\": {contention_ratio:.3}\n"
+        "  \"contended_vs_baseline\": {contention_ratio:.3},\n"
+    ));
+    json.push_str("  \"pipelining\": [\n");
+    for (i, cell) in pipe_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"idle_connections\": {}, \"depth\": {}, \"queries\": {}, \"total_ns\": {}, \
+             \"queries_per_sec\": {:.0}}}{}\n",
+            cell.idle,
+            cell.depth,
+            cell.queries,
+            cell.total_ns,
+            cell.queries_per_sec(),
+            if i + 1 == pipe_cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"threads_at_peak_connections\": {threads_at_peak},\n"
+    ));
+    json.push_str(&format!(
+        "  \"pipelined_speedup_depth64\": {pipelined_speedup:.2}\n"
     ));
     json.push_str("}\n");
     json

@@ -60,7 +60,7 @@ USAGE:
   upsim redundancy   -i <infra.xml> -s <service.xml> -m <mapping.xml>
   upsim validate     -i <infra.xml> [-s <service.xml>] [-m <mapping.xml>]
   upsim serve        [--case-study | -i <infra.xml> -s <service.xml> | --model <name>=<spec> ...] [--addr <host:port>] [--workers <n>] [--cache-cap <entries>] [--state-dir <dir>] [--save-every <n>]
-  upsim query        --addr <host:port> --from <client> --to <provider> [--model <name>]
+  upsim query        --addr <host:port> --from <client> --to <provider> [--model <name>] [--pipeline <depth> [--count <n>]]
   upsim campaign     --spec \"<clauses>\" [--addr <host:port> [--model <name>] | --case-study | -i <infra.xml> -s <service.xml>]
   upsim importance   [--case-study --from <client> --to <provider> | -i <infra.xml> -s <service.xml> -m <mapping.xml>] [--links] [--paper-formula] [--sensitivity]
   upsim restore      --state-dir <dir> [--case-study | -i <infra.xml> -s <service.xml>] [--model <name>]
@@ -71,6 +71,11 @@ cut-each-link, substitute-each-service, scale-mtbf:<class>:<f>[,f..] (class
 `*` sweeps every deployed class; several clauses cross-product),
 pairs:<client>:<provider>[,..] (default: every client x every provider),
 mc:<samples>[:<seed>], top:<n>, limit:<n>, json.
+
+Pipelined queries: `query --pipeline <depth>` keeps <depth> requests in
+flight on one connection (the server answers in receive order) and repeats
+the query --count times (default 1000), reporting throughput — the wire
+protocol's pipelining mode exercised from the command line.
 
 Multi-model serving: repeat --model to register several named models behind
 one server; <spec> is either `case-study` or
@@ -541,6 +546,22 @@ fn query(flags: &Flags) -> Result<(), CliError> {
             )));
         }
     }
+    if let Some(depth) = flag(flags, &["pipeline"]) {
+        let depth: usize = depth
+            .parse()
+            .ok()
+            .filter(|d| *d > 0)
+            .ok_or_else(|| usage_err("--pipeline expects a positive depth"))?;
+        let count: usize = match flag(flags, &["count"]) {
+            Some(n) => n
+                .parse()
+                .ok()
+                .filter(|c| *c > 0)
+                .ok_or_else(|| usage_err("--count expects a positive request count"))?,
+            None => 1000,
+        };
+        return pipelined_queries(reader, writer, from, to, depth, count);
+    }
     writer
         .write_all(format!("QUERY {from} {to}\n").as_bytes())
         .and_then(|()| writer.flush())
@@ -556,6 +577,61 @@ fn query(flags: &Flags) -> Result<(), CliError> {
             "server rejected the query: {response}"
         )));
     }
+    Ok(())
+}
+
+/// `query --pipeline <depth>`: repeats the same `QUERY` keeping up to
+/// `depth` requests in flight on the connection. The server's pipelining
+/// contract (replies in receive order) lets one thread run a sliding
+/// window: fill the window, then read one / write one until `count`
+/// requests have been answered.
+fn pipelined_queries(
+    mut reader: BufReader<std::net::TcpStream>,
+    mut writer: std::net::TcpStream,
+    from: &str,
+    to: &str,
+    depth: usize,
+    count: usize,
+) -> Result<(), CliError> {
+    let request = format!("QUERY {from} {to}\n");
+    let started = std::time::Instant::now();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut last = String::new();
+    while received < count {
+        while sent < count && sent - received < depth {
+            writer
+                .write_all(request.as_bytes())
+                .map_err(|e| format!("cannot send query: {e}"))?;
+            sent += 1;
+        }
+        writer
+            .flush()
+            .map_err(|e| format!("cannot flush queries: {e}"))?;
+        last.clear();
+        let n = reader
+            .read_line(&mut last)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err(CliError::Runtime(
+                "server closed the connection mid-pipeline".to_string(),
+            ));
+        }
+        received += 1;
+        if last.starts_with("ERR") {
+            return Err(CliError::Runtime(format!(
+                "server rejected query {received}: {}",
+                last.trim_end()
+            )));
+        }
+    }
+    let elapsed = started.elapsed();
+    println!("{}", last.trim_end());
+    println!(
+        "pipelined {count} queries at depth {depth} in {:.1} ms ({:.0} queries/s)",
+        elapsed.as_secs_f64() * 1e3,
+        count as f64 / elapsed.as_secs_f64()
+    );
     Ok(())
 }
 

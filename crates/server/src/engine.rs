@@ -197,6 +197,10 @@ pub struct UpdateSummary {
 /// A boxed fallible unit of campaign work, fanned out via `scatter`.
 type CampaignTask<T> = Box<dyn FnOnce() -> Result<T, String> + Send>;
 
+/// A worker's warm-pipeline map: one `(epoch, pipeline)` per model name it
+/// has evaluated (see the note on [`worker_loop`]).
+type WarmPipelines = HashMap<String, (u64, UpsimPipeline)>;
+
 enum Job {
     Eval {
         shard: Arc<Shard>,
@@ -208,7 +212,88 @@ enum Job {
     /// sender; dropping an unexecuted Task (shutdown drain) drops the
     /// sender, which the submitting thread observes as a closed channel.
     Task(Box<dyn FnOnce() + Send>),
+    /// One wire request's pool half ([`Engine::execute_wire`]): runs on a
+    /// worker with access to its warm pipelines and reports through the
+    /// completion callback captured in the closure. Dropping an unexecuted
+    /// Wire (shutdown drain) drops that callback, which the front-end's
+    /// ticket guard turns into a shutdown reply.
+    Wire(Box<dyn FnOnce(&mut WarmPipelines) + Send>),
     Stop,
+}
+
+/// A wire-shaped request the TCP front-end hands to the engine without
+/// blocking: the engine answers cache hits synchronously and routes
+/// everything that computes, mutates, or samples to the worker pool.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    Query {
+        client: String,
+        provider: String,
+    },
+    Batch {
+        pairs: Vec<(String, String)>,
+    },
+    MonteCarlo {
+        client: String,
+        provider: String,
+        samples: usize,
+        seed: u64,
+    },
+    Update(UpdateCommand),
+    Save,
+}
+
+/// The typed result of a [`WireRequest`], delivered to the completion
+/// callback. `cached` mirrors the `source=hit|miss` wire field.
+pub enum WireResponse {
+    Query {
+        entry: Arc<CachedPerspective>,
+        cached: bool,
+    },
+    Batch(Vec<Result<Arc<CachedPerspective>, EngineError>>),
+    MonteCarlo {
+        result: dependability::montecarlo::MonteCarloResult,
+        entry: Arc<CachedPerspective>,
+        cached: bool,
+    },
+    Update(UpdateSummary),
+    Save(SaveSummary),
+}
+
+/// Completion callback of [`Engine::execute_wire`]. May run on the calling
+/// thread (cache hit, immediate error) or on a worker. If the engine shuts
+/// down with the job still queued the callback is *dropped* without being
+/// invoked — callers that must always answer should put a drop guard
+/// around the state it captures (the TCP front-end does exactly that).
+pub type WireCallback = Box<dyn FnOnce(Result<WireResponse, EngineError>) + Send>;
+
+/// One pending slot of a wire `BATCH`: empty until its pair resolves.
+type BatchSlot = Option<Result<Arc<CachedPerspective>, EngineError>>;
+
+/// Accumulates a wire `BATCH`'s per-pair results across the pool and fires
+/// the completion callback when the last slot fills — the callback-world
+/// equivalent of `batch_on`'s enqueue-all-then-collect, with no thread
+/// parked anywhere.
+struct BatchCollector {
+    slots: Mutex<Vec<BatchSlot>>,
+    remaining: std::sync::atomic::AtomicUsize,
+    done: Mutex<Option<WireCallback>>,
+}
+
+impl BatchCollector {
+    fn fill(&self, index: usize, result: Result<Arc<CachedPerspective>, EngineError>) {
+        self.slots.lock().expect("batch slots poisoned")[index] = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let results: Vec<_> =
+                std::mem::take(&mut *self.slots.lock().expect("batch slots poisoned"))
+                    .into_iter()
+                    .map(|slot| slot.expect("every slot filled before the counter hit zero"))
+                    .collect();
+            if let Some(done) = self.done.lock().expect("batch callback poisoned").take() {
+                done(Ok(WireResponse::Batch(results)));
+            }
+        }
+    }
 }
 
 /// Journal + autosave state, present once persistence is enabled.
@@ -568,21 +653,7 @@ impl Engine {
             return Err(EngineError::Shutdown);
         }
         let shard = self.shard(model)?;
-        let snapshot = shard.model();
-        let mut persist = shard.persist.lock().expect("persist poisoned");
-        let handle = persist.as_mut().ok_or_else(|| {
-            EngineError::Persist("no state directory configured (serve with --state-dir)".into())
-        })?;
-        let path = persist::save_snapshot(&handle.dir, &snapshot)
-            .map_err(|e| EngineError::Persist(e.to_string()))?;
-        handle.updates_since_save = 0;
-        shard
-            .last_save_epoch
-            .fetch_max(snapshot.epoch, Ordering::Relaxed);
-        Ok(SaveSummary {
-            epoch: snapshot.epoch,
-            path,
-        })
+        save_shard(shard)
     }
 
     /// Evaluates one perspective against the default shard, serving from
@@ -725,25 +796,7 @@ impl Engine {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
         }
-        let snapshot = shard.model();
-        let key = PerspectiveKey::new(client, provider, snapshot.service_name());
-        // Known-bad perspectives of this epoch fail fast from the negative
-        // cache — the model has not changed, so the error has not either.
-        if let Some(err) = shard.negative.get(&key, snapshot.epoch) {
-            EngineMetrics::bump(&shard.metrics.negative_hits);
-            EngineMetrics::bump(&shard.metrics.errors);
-            return Err(err);
-        }
-        for device in [client, provider] {
-            if !snapshot.infrastructure.has_device(device) {
-                EngineMetrics::bump(&shard.metrics.errors);
-                let err = EngineError::UnknownDevice(device.to_string());
-                shard.negative.insert(key, err.clone(), snapshot.epoch);
-                return Err(err);
-            }
-        }
-        if let Some(hit) = shard.cache.get(&key) {
-            EngineMetrics::bump(&shard.metrics.cache_hits);
+        if let Some(hit) = probe(shard, client, provider)? {
             return Ok(Ok(hit));
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
@@ -763,6 +816,134 @@ impl Engine {
             self.drain_pending();
         }
         Ok(Err(reply_rx))
+    }
+
+    /// Non-blocking request execution for the TCP front-end: the reactor
+    /// thread calls this and returns to its event loop immediately. Cache
+    /// hits and immediate errors invoke `done` synchronously on the
+    /// calling thread; everything else runs on a worker (with its warm
+    /// pipelines) and invokes `done` there. Metric accounting matches the
+    /// blocking `*_on` APIs bump for bump.
+    pub fn execute_wire(&self, model: Option<&str>, request: WireRequest, done: WireCallback) {
+        let shard = match self.shard(model) {
+            Ok(shard) => Arc::clone(shard),
+            Err(err) => return done(Err(err)),
+        };
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return done(Err(EngineError::Shutdown));
+        }
+        match request {
+            WireRequest::Query { client, provider } => {
+                EngineMetrics::bump(&shard.metrics.queries);
+                match probe(&shard, &client, &provider) {
+                    Err(err) => done(Err(err)),
+                    Ok(Some(entry)) => done(Ok(WireResponse::Query {
+                        entry,
+                        cached: true,
+                    })),
+                    Ok(None) => self.spawn_wire(Box::new(move |warm| {
+                        let result = evaluate(&shard, warm, &client, &provider);
+                        if result.is_err() {
+                            EngineMetrics::bump(&shard.metrics.errors);
+                        }
+                        done(result.map(|entry| WireResponse::Query {
+                            entry,
+                            cached: false,
+                        }));
+                    })),
+                }
+            }
+            WireRequest::Batch { pairs } => {
+                EngineMetrics::bump(&shard.metrics.batches);
+                EngineMetrics::add(&shard.metrics.queries, pairs.len() as u64);
+                if pairs.is_empty() {
+                    return done(Ok(WireResponse::Batch(Vec::new())));
+                }
+                // Mirror `batch_on`: probe every pair up front so the whole
+                // batch is in flight before any result lands; the collector
+                // fires `done` when the last slot fills, wherever that is.
+                let collector = Arc::new(BatchCollector {
+                    slots: Mutex::new(vec![None; pairs.len()]),
+                    remaining: std::sync::atomic::AtomicUsize::new(pairs.len()),
+                    done: Mutex::new(Some(done)),
+                });
+                for (index, (client, provider)) in pairs.into_iter().enumerate() {
+                    match probe(&shard, &client, &provider) {
+                        Err(err) => collector.fill(index, Err(err)),
+                        Ok(Some(entry)) => collector.fill(index, Ok(entry)),
+                        Ok(None) => {
+                            let task_shard = Arc::clone(&shard);
+                            let task_collector = Arc::clone(&collector);
+                            self.spawn_wire(Box::new(move |warm| {
+                                let result = evaluate(&task_shard, warm, &client, &provider);
+                                if result.is_err() {
+                                    EngineMetrics::bump(&task_shard.metrics.errors);
+                                }
+                                task_collector.fill(index, result);
+                            }));
+                        }
+                    }
+                }
+            }
+            WireRequest::MonteCarlo {
+                client,
+                provider,
+                samples,
+                seed,
+            } => {
+                // The whole request runs on one worker: probe + (maybe)
+                // evaluation + the sampling loop. The counter-based kernel
+                // is bit-identical for any thread split, so running the
+                // trials single-threaded on that worker reproduces
+                // `monte_carlo_on`'s estimate exactly.
+                self.spawn_wire(Box::new(move |warm| {
+                    EngineMetrics::bump(&shard.metrics.queries);
+                    let looked_up = match probe(&shard, &client, &provider) {
+                        Err(err) => Err(err),
+                        Ok(Some(entry)) => Ok((entry, true)),
+                        Ok(None) => match evaluate(&shard, warm, &client, &provider) {
+                            Ok(entry) => Ok((entry, false)),
+                            Err(err) => {
+                                EngineMetrics::bump(&shard.metrics.errors);
+                                Err(err)
+                            }
+                        },
+                    };
+                    done(looked_up.map(|(entry, cached)| {
+                        EngineMetrics::bump(&shard.metrics.mc_queries);
+                        let result = entry.mc_program.run(samples, 1, seed);
+                        WireResponse::MonteCarlo {
+                            result,
+                            entry,
+                            cached,
+                        }
+                    }));
+                }));
+            }
+            WireRequest::Update(command) => {
+                self.spawn_wire(Box::new(move |_warm| {
+                    done(apply_update(&shard, command).map(WireResponse::Update));
+                }));
+            }
+            WireRequest::Save => {
+                self.spawn_wire(Box::new(move |_warm| {
+                    done(save_shard(&shard).map(WireResponse::Save));
+                }));
+            }
+        }
+    }
+
+    /// Enqueues a wire task, closing the same shutdown race as
+    /// `lookup_or_enqueue`: if the flag flipped after the send, the final
+    /// drain drops the job (and its callback — the front-end's ticket
+    /// guard answers the wire).
+    fn spawn_wire(&self, task: Box<dyn FnOnce(&mut WarmPipelines) + Send>) {
+        if self.job_tx.send(Job::Wire(task)).is_err() {
+            return;
+        }
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.drain_pending();
+        }
     }
 
     /// Applies a dynamicity command to the default shard.
@@ -785,41 +966,7 @@ impl Engine {
             return Err(EngineError::Shutdown);
         }
         let shard = self.shard(model)?;
-        let mut guard = shard.snapshot.write().expect("snapshot poisoned");
-        let mut next = (**guard).clone();
-        let old_service = next.service_name().to_string();
-        next.apply(&command)?;
-        next.epoch = guard.epoch + 1;
-        let published = Arc::new(next);
-        // Journal before any in-memory effect, while still holding the
-        // model write lock so lines land in strict epoch order. An update
-        // that cannot be made durable is not applied: on append failure
-        // the guard unwinds with the old snapshot, epoch, and cache all
-        // intact, so an ERR'd UPDATE never diverges served state from the
-        // journal.
-        shard.journal_append(&published, &command)?;
-        // Epoch first, sweep second — see the ordering note on
-        // `PerspectiveCache::insert`.
-        shard.epoch.store(published.epoch, Ordering::SeqCst);
-        let invalidated = match &command {
-            UpdateCommand::Connect { .. } => shard.cache.invalidate_all(),
-            UpdateCommand::Disconnect { a, b } => shard.cache.invalidate_link(a, b),
-            UpdateCommand::SubstituteService { .. } => shard.cache.invalidate_service(&old_service),
-        };
-        let epoch = published.epoch;
-        *guard = Arc::clone(&published);
-        drop(guard);
-        // Autosave outside the write lock: the full XML export (plus two
-        // fsyncs) must not stall queries; the persist mutex alone already
-        // serializes savers.
-        shard.maybe_autosave(&published);
-        EngineMetrics::bump(&shard.metrics.updates);
-        EngineMetrics::add(&shard.metrics.invalidations, invalidated as u64);
-        Ok(UpdateSummary {
-            epoch,
-            invalidated,
-            kind: command.kind(),
-        })
+        apply_update(shard, command)
     }
 
     /// Runs a what-if campaign against the default shard.
@@ -842,7 +989,24 @@ impl Engine {
         &self,
         model: Option<&str>,
         spec: CampaignSpec,
+        progress: impl FnMut(usize, usize),
+    ) -> Result<CampaignReport, EngineError> {
+        let never = Arc::new(AtomicBool::new(false));
+        self.campaign_on_cancellable(model, spec, progress, &never)
+    }
+
+    /// [`Engine::campaign_on`] with a cooperative cancellation flag: when
+    /// `cancel` flips to `true` (e.g. the requesting client disconnected),
+    /// submission stops, queued scenario tasks return early instead of
+    /// evaluating, and the call errors with `campaign cancelled` — the
+    /// worker pool goes back to serving live traffic within one scenario's
+    /// latency instead of grinding through the whole list.
+    pub fn campaign_on_cancellable(
+        &self,
+        model: Option<&str>,
+        spec: CampaignSpec,
         mut progress: impl FnMut(usize, usize),
+        cancel: &Arc<AtomicBool>,
     ) -> Result<CampaignReport, EngineError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::Shutdown);
@@ -876,7 +1040,7 @@ impl Engine {
             }));
             start = end;
         }
-        let chunks = self.scatter(baseline_tasks, |_| {})?;
+        let chunks = self.scatter(baseline_tasks, |_| {}, Some(cancel))?;
         let mut perspectives = Vec::with_capacity(pairs);
         for chunk in chunks {
             perspectives.extend(chunk.map_err(EngineError::Campaign)?);
@@ -885,25 +1049,37 @@ impl Engine {
 
         // Phase 2: one task per scenario; results come back keyed by
         // generation index, so aggregation order (and therefore the
-        // report) is worker-count invariant.
+        // report) is worker-count invariant. Each task re-checks the
+        // cancellation flag on the worker and bumps `scenarios_evaluated`
+        // itself, so the counter reflects work actually done — a cancelled
+        // campaign's count stops short of the scenario total.
         let total = input.scenarios.len();
         let scenario_tasks: Vec<CampaignTask<upsim_campaign::ScenarioOutcome>> = (0..total)
             .map(|index| {
                 let task_input = Arc::clone(&input);
                 let task_baseline = Arc::clone(&baseline);
-                Box::new(move || evaluate_scenario(&task_input, &task_baseline, index))
-                    as CampaignTask<upsim_campaign::ScenarioOutcome>
+                let task_cancel = Arc::clone(cancel);
+                let task_shard = Arc::clone(&shard);
+                Box::new(move || {
+                    if task_cancel.load(Ordering::Relaxed) {
+                        return Err("campaign cancelled".to_string());
+                    }
+                    let outcome = evaluate_scenario(&task_input, &task_baseline, index);
+                    if outcome.is_ok() {
+                        EngineMetrics::bump(&task_shard.metrics.scenarios_evaluated);
+                    }
+                    outcome
+                }) as CampaignTask<upsim_campaign::ScenarioOutcome>
             })
             .collect();
         let outcomes = self
-            .scatter(scenario_tasks, |done| progress(done, total))?
+            .scatter(scenario_tasks, |done| progress(done, total), Some(cancel))?
             .into_iter()
             .collect::<Result<Vec<_>, _>>()
             .map_err(EngineError::Campaign)?;
 
         let report = aggregate(&input, &baseline, &outcomes);
         EngineMetrics::bump(&shard.metrics.campaigns_run);
-        EngineMetrics::add(&shard.metrics.scenarios_evaluated, total as u64);
         Ok(report)
     }
 
@@ -916,7 +1092,9 @@ impl Engine {
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
         mut on_result: impl FnMut(usize),
+        cancel: Option<&Arc<AtomicBool>>,
     ) -> Result<Vec<T>, EngineError> {
+        let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
         let total = tasks.len();
         let (result_tx, result_rx) = channel::bounded::<(usize, T)>(total.max(1));
         for (index, task) in tasks.into_iter().enumerate() {
@@ -931,6 +1109,9 @@ impl Engine {
             loop {
                 if self.shared.shutdown.load(Ordering::SeqCst) {
                     return Err(EngineError::Shutdown);
+                }
+                if cancelled() {
+                    return Err(EngineError::Campaign("campaign cancelled".into()));
                 }
                 match self
                     .job_tx
@@ -952,6 +1133,12 @@ impl Engine {
         let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
         let mut done = 0usize;
         while done < total {
+            // A cancelled batch still drains quickly: every queued task
+            // observes the flag on its worker and returns early, so the
+            // in-flight scenario (at most one per worker) bounds the wait.
+            if cancelled() {
+                return Err(EngineError::Campaign("campaign cancelled".into()));
+            }
             match result_rx.recv() {
                 Ok((index, value)) => {
                     slots[index] = Some(value);
@@ -1061,6 +1248,10 @@ impl Engine {
                 // the campaign's aggregation loop sees the channel close
                 // and reports `EngineError::Shutdown` itself.
                 Job::Task(task) => drop(task),
+                // Likewise: the wire completion callback inside is dropped
+                // unfired, which the front-end's ticket guard converts to a
+                // shutdown reply on the wire.
+                Job::Wire(task) => drop(task),
                 Job::Stop => stolen_stops += 1,
             }
         }
@@ -1082,7 +1273,7 @@ fn worker_loop(rx: Receiver<Job>) {
     // (model, epoch); only the mapping (Step 6) is swapped. Keying by
     // model name means a cold sweep on one model (its epoch bumped) never
     // evicts another model's warm state from this worker.
-    let mut warm: HashMap<String, (u64, UpsimPipeline)> = HashMap::new();
+    let mut warm: WarmPipelines = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Stop => break,
@@ -1099,8 +1290,106 @@ fn worker_loop(rx: Receiver<Job>) {
                 let _ = reply.send(result);
             }
             Job::Task(task) => task(),
+            Job::Wire(task) => task(&mut warm),
         }
     }
+}
+
+/// The synchronous half of a query: negative cache, device existence,
+/// perspective cache — exactly the checks `lookup_or_enqueue` runs before
+/// deciding whether the pool is needed. `Ok(None)` means "miss: evaluate".
+/// Metric accounting (negative_hits / errors / cache_hits) matches the
+/// pre-wire engine bump for bump.
+fn probe(
+    shard: &Shard,
+    client: &str,
+    provider: &str,
+) -> Result<Option<Arc<CachedPerspective>>, EngineError> {
+    let snapshot = shard.model();
+    let key = PerspectiveKey::new(client, provider, snapshot.service_name());
+    // Known-bad perspectives of this epoch fail fast from the negative
+    // cache — the model has not changed, so the error has not either.
+    if let Some(err) = shard.negative.get(&key, snapshot.epoch) {
+        EngineMetrics::bump(&shard.metrics.negative_hits);
+        EngineMetrics::bump(&shard.metrics.errors);
+        return Err(err);
+    }
+    for device in [client, provider] {
+        if !snapshot.infrastructure.has_device(device) {
+            EngineMetrics::bump(&shard.metrics.errors);
+            let err = EngineError::UnknownDevice(device.to_string());
+            shard.negative.insert(key, err.clone(), snapshot.epoch);
+            return Err(err);
+        }
+    }
+    if let Some(hit) = shard.cache.get(&key) {
+        EngineMetrics::bump(&shard.metrics.cache_hits);
+        return Ok(Some(hit));
+    }
+    Ok(None)
+}
+
+/// The shard half of `update_on`: journal (fsynced, under the write lock),
+/// publish the next snapshot generation, sweep exactly the affected cache
+/// keys. Runs identically from the blocking API and from a worker
+/// executing a wire `UPDATE` — the snapshot write lock is the serializer
+/// either way.
+fn apply_update(shard: &Shard, command: UpdateCommand) -> Result<UpdateSummary, EngineError> {
+    let mut guard = shard.snapshot.write().expect("snapshot poisoned");
+    let mut next = (**guard).clone();
+    let old_service = next.service_name().to_string();
+    next.apply(&command)?;
+    next.epoch = guard.epoch + 1;
+    let published = Arc::new(next);
+    // Journal before any in-memory effect, while still holding the
+    // model write lock so lines land in strict epoch order. An update
+    // that cannot be made durable is not applied: on append failure
+    // the guard unwinds with the old snapshot, epoch, and cache all
+    // intact, so an ERR'd UPDATE never diverges served state from the
+    // journal.
+    shard.journal_append(&published, &command)?;
+    // Epoch first, sweep second — see the ordering note on
+    // `PerspectiveCache::insert`.
+    shard.epoch.store(published.epoch, Ordering::SeqCst);
+    let invalidated = match &command {
+        UpdateCommand::Connect { .. } => shard.cache.invalidate_all(),
+        UpdateCommand::Disconnect { a, b } => shard.cache.invalidate_link(a, b),
+        UpdateCommand::SubstituteService { .. } => shard.cache.invalidate_service(&old_service),
+    };
+    let epoch = published.epoch;
+    *guard = Arc::clone(&published);
+    drop(guard);
+    // Autosave outside the write lock: the full XML export (plus two
+    // fsyncs) must not stall queries; the persist mutex alone already
+    // serializes savers.
+    shard.maybe_autosave(&published);
+    EngineMetrics::bump(&shard.metrics.updates);
+    EngineMetrics::add(&shard.metrics.invalidations, invalidated as u64);
+    Ok(UpdateSummary {
+        epoch,
+        invalidated,
+        kind: command.kind(),
+    })
+}
+
+/// The shard half of `save_state_on`: exports the current snapshot to the
+/// shard's persistence subtree.
+fn save_shard(shard: &Shard) -> Result<SaveSummary, EngineError> {
+    let snapshot = shard.model();
+    let mut persist = shard.persist.lock().expect("persist poisoned");
+    let handle = persist.as_mut().ok_or_else(|| {
+        EngineError::Persist("no state directory configured (serve with --state-dir)".into())
+    })?;
+    let path = persist::save_snapshot(&handle.dir, &snapshot)
+        .map_err(|e| EngineError::Persist(e.to_string()))?;
+    handle.updates_since_save = 0;
+    shard
+        .last_save_epoch
+        .fetch_max(snapshot.epoch, Ordering::Relaxed);
+    Ok(SaveSummary {
+        epoch: snapshot.epoch,
+        path,
+    })
 }
 
 fn evaluate(

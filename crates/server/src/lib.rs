@@ -38,7 +38,13 @@
 //!   the ranked SPOF/worst-user report. The live shard is never touched —
 //!   no epoch bump, no cache traffic — and the report is byte-identical
 //!   across worker counts.
-//! * [`server`] — a `std::net` TCP front-end, one thread per connection.
+//! * [`server`] — the TCP front-end: a readiness-based event loop
+//!   ([`reactor`] — an in-tree epoll/poll wrapper) owns every
+//!   connection's I/O on one thread, parses pipelined requests (a client
+//!   may send N commands before reading N replies; responses come back
+//!   in receive order per connection), and routes completions from the
+//!   worker pool into per-connection write buffers. Idle connections
+//!   cost a few kilobytes, not an OS thread.
 //! * [`metrics::EngineMetrics`] — atomic counters, a log₂ latency
 //!   histogram, and per-stage timing aggregation over
 //!   [`upsim_core::pipeline::StepTiming`].
@@ -56,16 +62,17 @@ pub mod engine;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod snapshot;
 
 pub use cache::{CachedPerspective, PerspectiveCache, PerspectiveKey, DEFAULT_CACHE_CAPACITY};
 pub use engine::{
     valid_model_name, Engine, EngineConfig, EngineError, ModelInfo, ModelSpec, UpdateCommand,
-    UpdateSummary, DEFAULT_MODEL,
+    UpdateSummary, WireCallback, WireRequest, WireResponse, DEFAULT_MODEL,
 };
-pub use metrics::{EngineMetrics, MetricsSnapshot, ShardRollup};
+pub use metrics::{EngineMetrics, MetricsSnapshot, ServerMetrics, ShardRollup};
 pub use persist::{Journal, JournalEntry, PersistError, RestoreReport, SaveSummary};
-pub use server::{serve, UpsimServer};
+pub use server::{serve, serve_with, ServerConfig, UpsimServer};
 pub use snapshot::{pingpong_mapper, ModelSnapshot, PerspectiveMapper};
 pub use upsim_campaign::{CampaignReport, CampaignSpec};

@@ -113,6 +113,49 @@ impl LatencyCounts {
     }
 }
 
+/// Connection-layer counters owned by the TCP front-end (the reactor),
+/// kept separate from [`EngineMetrics`] because they describe the wire,
+/// not the engine. Rendered as a suffix on the `STATS` line — appended
+/// after the engine snapshot so single-connection responses stay
+/// prefix-compatible with the pre-reactor server.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Currently open client connections (a gauge, not a counter).
+    pub open_connections: AtomicU64,
+    /// `accept(2)` failures (e.g. fd exhaustion) — each one also triggers
+    /// a bounded accept backoff instead of a hot retry loop.
+    pub accept_errors: AtomicU64,
+    /// Connections shed with a one-line `ERR server busy` close because
+    /// the server was at its connection cap.
+    pub busy_rejections: AtomicU64,
+    /// Distribution of per-connection pipeline depth, sampled as each
+    /// request is parsed: how many requests that connection had
+    /// outstanding at that moment (the new one included). A strictly
+    /// request-reply client records a flat `1`.
+    pub pipelined_depth: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `STATS` suffix (leading space included):
+    /// `open_connections= accept_errors= busy_rejections= pipelined_*`.
+    pub fn render_suffix(&self) -> String {
+        format!(
+            " open_connections={} accept_errors={} busy_rejections={} \
+             pipelined_requests={} pipelined_depth_p50<={} pipelined_depth_p99<={}",
+            self.open_connections.load(Ordering::Relaxed),
+            self.accept_errors.load(Ordering::Relaxed),
+            self.busy_rejections.load(Ordering::Relaxed),
+            self.pipelined_depth.count(),
+            self.pipelined_depth.quantile_upper_bound(0.50),
+            self.pipelined_depth.quantile_upper_bound(0.99),
+        )
+    }
+}
+
 /// Shared engine counters. All loads/stores are `Relaxed`: the numbers are
 /// for observability, never for synchronization.
 #[derive(Default)]

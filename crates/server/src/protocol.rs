@@ -374,6 +374,193 @@ pub fn render_error(err: &EngineError) -> String {
     format!("ERR {err}")
 }
 
+// ---------------------------------------------------------------------------
+// Binary BATCH frames
+//
+// Next to the text protocol, a client may send a length-prefixed binary
+// batch — the high-throughput path for monitoring fleets that poll
+// thousands of perspectives. Framing (all integers little-endian):
+//
+// ```text
+// frame    = 0x01 , u32 payload_len , payload
+// request  = u32 npairs , npairs × ( u16 len , client-utf8 ,
+//                                    u16 len , provider-utf8 )
+// response = u8 status ,
+//            status 0: u32 n , n × f64 availability   (input order)
+//            status 1: u32 msg_len , msg-utf8         (first error wins)
+// ```
+//
+// `0x01` can never start a text command (all verbs are ASCII), so the
+// server distinguishes the two framings by the first byte and a client
+// may interleave text lines and binary frames on one connection —
+// responses still come back in receive order. Error semantics mirror
+// `render_batch`: one failing pair fails the whole frame with the first
+// error's message.
+// ---------------------------------------------------------------------------
+
+/// First byte of a binary frame; see the framing note above.
+pub const FRAME_MARKER: u8 = 0x01;
+
+/// Encodes a binary `BATCH` request frame (marker + length + payload) —
+/// the client-side half, used by the CLI's `--pipeline` mode, benches,
+/// and tests.
+pub fn encode_batch_frame(pairs: &[(String, String)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + pairs.len() * 16);
+    payload.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (client, provider) in pairs {
+        for name in [client, provider] {
+            payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }
+    }
+    frame_with_header(payload)
+}
+
+/// Parses a binary `BATCH` request payload (the bytes after the marker
+/// and length prefix). Errors are human-readable and rendered as a fatal
+/// `ERR bad frame: ...` — a malformed frame desynchronizes the framing,
+/// so the server closes the connection afterwards.
+pub fn parse_batch_frame(payload: &[u8]) -> Result<Vec<(String, String)>, String> {
+    let mut cursor = Cursor { buf: payload };
+    let npairs = cursor.u32()? as usize;
+    if npairs == 0 {
+        return Err("batch frame needs at least one pair".into());
+    }
+    // 4 bytes of length prefixes per pair is the floor; reject counts the
+    // payload cannot possibly hold before allocating for them.
+    if npairs > payload.len() / 4 {
+        return Err(format!("pair count {npairs} exceeds payload size"));
+    }
+    let mut pairs = Vec::with_capacity(npairs);
+    for _ in 0..npairs {
+        let client = cursor.string()?;
+        let provider = cursor.string()?;
+        pairs.push((client, provider));
+    }
+    if !cursor.buf.is_empty() {
+        return Err(format!(
+            "{} trailing bytes after last pair",
+            cursor.buf.len()
+        ));
+    }
+    Ok(pairs)
+}
+
+/// Encodes a binary `BATCH` response frame. Mirrors [`render_batch`]:
+/// all-success carries the availabilities in input order; any failure
+/// collapses the frame to the first error's message.
+pub fn encode_batch_response_frame(
+    results: &[Result<Arc<CachedPerspective>, EngineError>],
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + results.len() * 8);
+    if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+        let msg = err.to_string();
+        payload.push(1u8);
+        payload.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        payload.extend_from_slice(msg.as_bytes());
+    } else {
+        payload.push(0u8);
+        payload.extend_from_slice(&(results.len() as u32).to_le_bytes());
+        for result in results {
+            let entry = result.as_ref().expect("errors handled above");
+            payload.extend_from_slice(&entry.availability.to_le_bytes());
+        }
+    }
+    frame_with_header(payload)
+}
+
+/// Decodes a binary `BATCH` response payload into `Ok(availabilities)` or
+/// `Err(server error message)` — the client-side half. The outer `Result`
+/// reports malformed framing.
+#[allow(clippy::type_complexity)]
+pub fn parse_batch_response_frame(payload: &[u8]) -> Result<Result<Vec<f64>, String>, String> {
+    let mut cursor = Cursor { buf: payload };
+    match cursor.u8()? {
+        0 => {
+            let n = cursor.u32()? as usize;
+            if n > cursor.buf.len() / 8 {
+                return Err(format!("result count {n} exceeds payload size"));
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(f64::from_le_bytes(cursor.take(8)?.try_into().unwrap()));
+            }
+            Ok(Ok(values))
+        }
+        1 => {
+            let len = cursor.u32()? as usize;
+            let msg = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| "error message is not utf-8".to_string())?;
+            Ok(Err(msg.to_string()))
+        }
+        other => Err(format!("unknown response status {other}")),
+    }
+}
+
+/// Reads one whole binary frame (marker + length + payload) from a
+/// blocking stream and returns the payload — the client-side read loop.
+pub fn read_frame(reader: &mut impl std::io::Read, max_len: usize) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; 5];
+    reader.read_exact(&mut header)?;
+    if header[0] != FRAME_MARKER {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected frame marker 0x01, got 0x{:02x}", header[0]),
+        ));
+    }
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > max_len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn frame_with_header(payload: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(FRAME_MARKER);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() < n {
+            return Err(format!(
+                "truncated frame: needed {n} bytes, {} left",
+                self.buf.len()
+            ));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "name is not utf-8".to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

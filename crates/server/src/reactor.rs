@@ -1,0 +1,399 @@
+//! A minimal in-tree readiness wrapper — the `vendor/` precedent applied
+//! to the OS: just the epoll (Linux) / poll (other unix) subset the TCP
+//! front-end needs, declared directly against libc's ABI.
+//!
+//! The API is a deliberately tiny slice of what `mio`/`polling` offer:
+//! register a file descriptor under a caller-chosen `u64` token with a
+//! readable/writable interest, block until something is ready, and get
+//! `(token, readable, writable)` events back. Level-triggered semantics
+//! on both backends — an event repeats every wait until the condition is
+//! consumed — because they are the easiest to reason about and the
+//! front-end re-checks readiness by reading/writing to `WouldBlock`
+//! anyway. Error/hang-up conditions are folded into `readable` (a `read`
+//! will surface the EOF or error), which spares callers a third flag.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness event: the token the fd was registered under, plus which
+/// directions are ready. Error and peer-hangup conditions set `readable`
+/// so the owner discovers them on the next `read`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// Which directions a registered fd should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    pub fn new(readable: bool, writable: bool) -> Interest {
+        Interest { readable, writable }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use epoll::Poller;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use pollfd::Poller;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    // The x86_64 kernel ABI packs `epoll_event` (no padding between the
+    // u32 mask and the u64 payload); other architectures use natural
+    // alignment. Matching the ABI here is what makes the raw syscalls
+    // safe to call.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// The epoll-backed poller. All methods take `&self`; the kernel
+    /// serializes `epoll_ctl` against `epoll_wait` itself.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut mask = EPOLLRDHUP;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            mask
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+            let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            if unsafe { epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` under `token`.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(&mut event))
+        }
+
+        /// Changes the interest (and token) of an already-registered fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(&mut event))
+        }
+
+        /// Deregisters `fd`. Must be called before the fd is closed.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Blocks until at least one registered fd is ready (or `timeout`
+        /// elapses; `None` waits forever), appending events to `out`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for event in &buf[..n] {
+                // Copy out of the packed struct before touching the fields.
+                let (mask, token) = (event.events, event.data);
+                out.push(Event {
+                    token,
+                    readable: mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: mask & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod pollfd {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// The poll(2)-backed fallback: keeps the registered set in userspace
+    /// and rebuilds the `pollfd` array every wait. O(n) per wait, which is
+    /// fine for the non-Linux development case this exists for.
+    pub struct Poller {
+        registered: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut set = self.registered.lock().expect("poller poisoned");
+            if set.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            set.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut set = self.registered.lock().expect("poller poisoned");
+            for entry in set.iter_mut() {
+                if entry.0 == fd {
+                    *entry = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut set = self.registered.lock().expect("poller poisoned");
+            let before = set.len();
+            set.retain(|(f, _, _)| *f != fd);
+            if set.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, u64, Interest)> =
+                self.registered.lock().expect("poller poisoned").clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for (slot, (_, token, _)) in fds.iter().zip(&snapshot) {
+                let mask = slot.revents;
+                if mask == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token: *token,
+                    readable: mask & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: mask & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Convenience: `Poller::wait` with an empty scratch vec.
+pub fn wait_once(poller: &Poller, timeout: Option<Duration>) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    poller.wait(&mut events, timeout)?;
+    Ok(events)
+}
+
+#[allow(dead_code)]
+fn _assert_send_sync(p: &Poller, _fd: RawFd) {
+    fn takes<T: Send + Sync>(_: &T) {}
+    takes(p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("poller");
+        poller
+            .add(listener.as_raw_fd(), 7, Interest::READABLE)
+            .expect("register listener");
+
+        // Nothing pending yet: a zero timeout returns no events.
+        let events = wait_once(&poller, Some(Duration::from_millis(0))).expect("wait");
+        assert!(events.is_empty(), "unexpected events: {events:?}");
+
+        let _client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let events = wait_once(&poller, Some(Duration::from_secs(5))).expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "listener never became readable: {events:?}"
+        );
+    }
+
+    #[test]
+    fn stream_reports_writable_then_readable_then_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (mut server_side, _) = listener.accept().expect("accept");
+
+        let poller = Poller::new().expect("poller");
+        poller
+            .add(client.as_raw_fd(), 1, Interest::new(true, true))
+            .expect("register");
+
+        // A fresh connected socket with buffer space is writable.
+        let events = wait_once(&poller, Some(Duration::from_secs(5))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        assert!(!events.iter().any(|e| e.token == 1 && e.readable));
+
+        // Narrow the interest to readable-only: bytes from the peer flip it.
+        poller
+            .modify(client.as_raw_fd(), 1, Interest::READABLE)
+            .expect("modify");
+        server_side.write_all(b"hi\n").expect("peer write");
+        let events = wait_once(&poller, Some(Duration::from_secs(5))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        // Drain, then hang up the peer: readable again (EOF) — the
+        // level-triggered contract the front-end leans on for disconnect
+        // detection.
+        let mut buf = [0u8; 8];
+        let mut reader = &client;
+        let n = reader.read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"hi\n");
+        drop(server_side);
+        let events = wait_once(&poller, Some(Duration::from_secs(5))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        poller.delete(client.as_raw_fd()).expect("deregister");
+    }
+}

@@ -1,0 +1,249 @@
+//! The reactor's pipelining contract: N commands may be written before
+//! any reply is read, replies come back in receive order, and the result
+//! stream is bit-identical to sequential request/response — plus the
+//! binary `BATCH` frame and the idle-connection capacity the rewrite
+//! exists to provide.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+use upsim_server::protocol::{encode_batch_frame, parse_batch_response_frame, read_frame};
+use upsim_server::{serve, Engine, EngineConfig, ModelSnapshot};
+
+fn usi_engine(workers: usize) -> Engine {
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    Engine::new(
+        snapshot,
+        EngineConfig {
+            workers,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (reader, stream)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response line");
+    line.trim_end().to_string()
+}
+
+/// Masks the one timing-dependent token (`micros=<n>` in `OK query`
+/// responses) so two runs of the same script compare equal.
+fn normalize(line: &str) -> String {
+    line.split(' ')
+        .map(|token| {
+            if token.starts_with("micros=") {
+                "micros=_"
+            } else {
+                token
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A script that exercises every single-line verb, cache hits and misses,
+/// an interleaved UPDATE that invalidates mid-stream, an engine error,
+/// and a persistence error — the full response-ordering surface.
+const SCRIPT: &[&str] = &[
+    "QUERY t1 p1",             // miss — evaluated on a worker
+    "QUERY t1 p1",             // hit — served from cache
+    "BATCH t1:p1 t2:p2 t3:p3", // mixed hit/miss fan-out
+    "MC t1 p1 200000 77",      // seeded Monte-Carlo, deterministic
+    "UPDATE DISCONNECT d1 c2", // bumps epoch, invalidates t1:p1
+    "QUERY t1 p1",             // miss again — the update landed first
+    "QUERY nosuchclient p1",   // engine error, mid-pipeline
+    "SAVE",                    // persistence error (no state dir)
+    "QUERY t2 p2",             // re-evaluated at the post-update epoch
+];
+
+/// Tentpole acceptance: the same script, once pipelined (all commands
+/// written eagerly, then all replies read) and once sequential, yields
+/// identical response streams — order, content, and hit/miss provenance.
+#[test]
+fn pipelined_responses_match_sequential_execution() {
+    let run = |pipelined: bool| -> Vec<String> {
+        let server = serve(usi_engine(2), "127.0.0.1:0").expect("bind ephemeral port");
+        let (mut reader, mut writer) = connect(server.local_addr());
+        let mut replies = Vec::with_capacity(SCRIPT.len());
+        if pipelined {
+            let mut burst = String::new();
+            for command in SCRIPT {
+                burst.push_str(command);
+                burst.push('\n');
+            }
+            writer.write_all(burst.as_bytes()).expect("send burst");
+            writer.flush().expect("flush burst");
+            for _ in SCRIPT {
+                replies.push(normalize(&read_line(&mut reader)));
+            }
+        } else {
+            for command in SCRIPT {
+                writer
+                    .write_all(format!("{command}\n").as_bytes())
+                    .expect("send command");
+                writer.flush().expect("flush command");
+                replies.push(normalize(&read_line(&mut reader)));
+            }
+        }
+        server.stop();
+        server.join();
+        replies
+    };
+
+    let pipelined = run(true);
+    let sequential = run(false);
+    assert_eq!(
+        pipelined, sequential,
+        "pipelined replies diverge from sequential execution"
+    );
+
+    // Spot-check the provenance the comparison relies on: the update in
+    // the middle really did flip t1:p1 back to a miss.
+    assert!(
+        pipelined[0].contains("source=miss"),
+        "got: {}",
+        pipelined[0]
+    );
+    assert!(pipelined[1].contains("source=hit"), "got: {}", pipelined[1]);
+    assert!(
+        pipelined[4].starts_with("OK update "),
+        "got: {}",
+        pipelined[4]
+    );
+    assert!(
+        pipelined[5].contains("source=miss"),
+        "got: {}",
+        pipelined[5]
+    );
+    assert!(pipelined[6].starts_with("ERR "), "got: {}", pipelined[6]);
+    assert!(
+        pipelined[7].starts_with("ERR persistence"),
+        "got: {}",
+        pipelined[7]
+    );
+    // The disconnect touches t2:p2's UPSIM too, so it re-evaluates at the
+    // bumped epoch in both runs.
+    assert!(
+        pipelined[8].contains("source=miss") && pipelined[8].contains("epoch=1"),
+        "got: {}",
+        pipelined[8]
+    );
+}
+
+/// Binary `BATCH` frames interleave with text lines on one connection and
+/// answer in receive order with the same availabilities the text path
+/// reports.
+#[test]
+fn binary_batch_frame_round_trips_between_text_lines() {
+    let server = serve(usi_engine(2), "127.0.0.1:0").expect("bind ephemeral port");
+    let (mut reader, mut writer) = connect(server.local_addr());
+
+    // Text before, frame, text after — all written before any read.
+    let pairs = vec![
+        ("t1".to_string(), "p1".to_string()),
+        ("t2".to_string(), "p2".to_string()),
+    ];
+    writer.write_all(b"QUERY t1 p1\n").expect("send text query");
+    writer
+        .write_all(&encode_batch_frame(&pairs))
+        .expect("send frame");
+    writer
+        .write_all(b"BATCH t1:p1 t2:p2\n")
+        .expect("send text batch");
+    writer.flush().expect("flush");
+
+    let query = read_line(&mut reader);
+    assert!(query.starts_with("OK query "), "got: {query}");
+
+    let payload = read_frame(&mut reader, 4 << 20).expect("read response frame");
+    let availabilities = parse_batch_response_frame(&payload)
+        .expect("well-formed response frame")
+        .expect("all pairs succeed");
+    assert_eq!(availabilities.len(), 2);
+
+    // The text BATCH right behind it must report the same numbers.
+    let text = read_line(&mut reader);
+    assert!(text.starts_with("OK batch n=2 "), "got: {text}");
+    for value in &availabilities {
+        assert!(
+            text.contains(&format!("{value:.9}")),
+            "text batch {text} missing availability {value:.9}"
+        );
+    }
+
+    // A malformed frame is fatal: bad framing desynchronizes the stream.
+    writer
+        .write_all(&[0x01, 3, 0, 0, 0, 9, 9, 9])
+        .expect("send junk");
+    writer.flush().expect("flush junk");
+    let err = read_line(&mut reader);
+    assert!(err.starts_with("ERR bad frame:"), "got: {err}");
+
+    server.stop();
+    server.join();
+}
+
+/// Capacity smoke test: with over a thousand idle connections parked on
+/// the reactor (each a few kilobytes, no OS thread), a working client
+/// still gets a STATS answer in well under 100 ms.
+#[test]
+fn thousand_idle_connections_leave_the_server_responsive() {
+    const IDLE: usize = 1024;
+    let server = serve(usi_engine(2), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let idle: Vec<TcpStream> = (0..IDLE)
+        .map(|_| TcpStream::connect(addr).expect("open idle connection"))
+        .collect();
+
+    // Wait until the reactor has registered every socket.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while (server.metrics().open_connections.load(Ordering::Relaxed) as usize) < IDLE {
+        assert!(
+            Instant::now() < deadline,
+            "reactor never absorbed the idle fleet"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (mut reader, mut writer) = connect(addr);
+    // One warm-up round trip so the measurement excludes connect/accept.
+    writer.write_all(b"STATS\n").expect("send warmup");
+    writer.flush().expect("flush warmup");
+    assert!(read_line(&mut reader).starts_with("OK stats "));
+
+    let started = Instant::now();
+    writer.write_all(b"STATS\n").expect("send stats");
+    writer.flush().expect("flush stats");
+    let line = read_line(&mut reader);
+    let elapsed = started.elapsed();
+    assert!(line.starts_with("OK stats "), "got: {line}");
+    assert!(
+        line.contains(&format!("open_connections={}", IDLE + 1)),
+        "gauge missing from: {line}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "STATS took {elapsed:?} with {IDLE} idle connections"
+    );
+
+    drop(idle);
+    server.stop();
+    server.join();
+}
