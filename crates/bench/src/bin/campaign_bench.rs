@@ -1,33 +1,52 @@
-//! Campaign fan-out benchmark: scenarios/sec for a `kill-each-component`
-//! campaign over generated campus networks of 44, 358, and 1222 devices,
-//! at 1 worker and all cores. Emitted as `BENCH_campaign.json` for CI
-//! tracking.
+//! Campaign fan-out benchmark, emitted as `BENCH_campaign.json` for CI
+//! tracking. Two phases per campus size (44, 358, and 1222 devices):
+//!
+//! * `kill` — the structural `kill-each-component` campaign (one
+//!   scenario per device, BDD-exact pricing),
+//! * `crn` / `independent` — an `mc:`-priced `scale-mtbf` sweep (5
+//!   device classes × 8 factors = 40 parametric scenarios), priced once
+//!   under common-random-number reuse (the default) and once with
+//!   `independent-seeds` per-scenario draw streams.
 //!
 //! Usage:
 //!   `campaign_bench [--smoke] [--out <path>]`
 //!
-//! `--smoke` drops the 1222-device size so CI stays fast.
+//! `--smoke` drops the 1222-device size and shrinks the MC sample count
+//! so CI stays fast.
 //!
-//! Two hard invariants ride along, whatever the throughput:
+//! Hard invariants ride along, whatever the throughput:
 //!
 //! * isolation — after every campaign the live shard's epoch is still 0
 //!   and its perspective cache still empty (a campaign works on pinned
 //!   copies, never the shard),
-//! * determinism — the JSON report of the 1-worker run is byte-identical
-//!   to the all-cores run for the same size and spec.
+//! * determinism — for every phase the JSON report of the 1-worker run
+//!   is byte-identical to the 4-worker (and all-cores) run for the same
+//!   size and spec
+//!   (for the `mc:` sweeps this is the CRN/independent determinism
+//!   contract: estimates are pure functions of the spec, never of the
+//!   host's core count),
+//! * reuse — the CRN sweep must actually hit the shared draw table
+//!   (`campaign_crn_reuse > 0`) while the independent sweep never does.
+//!
+//! Outside `--smoke` the CRN sweep must additionally clear a 2×
+//! scenarios/sec speedup over the independent-seeds sweep on the
+//! 358-device campus at equal worker counts.
 
 use std::time::Instant;
 
 use netgen::campus::{campus_scenario, CampusParams};
 use upsim_server::{CampaignSpec, Engine, EngineConfig, ModelSnapshot};
 
-/// One timed cell of the devices × workers matrix.
+/// One timed cell of the phase × devices × workers matrix.
 struct Cell {
+    phase: &'static str,
     devices: usize,
     workers: usize,
     scenarios: usize,
     perspectives: usize,
     total_ns: u128,
+    mc_trials: u64,
+    crn_reuse: u64,
 }
 
 impl Cell {
@@ -57,8 +76,20 @@ fn sizes(smoke: bool) -> Vec<CampusParams> {
 /// Four perspectives spread over distinct edge trees — valid for every
 /// benchmark shape, and small enough that the baseline phase does not
 /// dominate the fan-out being measured.
-const SPEC: &str =
-    "kill-each-component pairs:t0_0_0:srv0,t0_1_0:srv1,t1_0_0:srv2,t1_1_0:srv0 top:5";
+const PAIRS: &str = "pairs:t0_0_0:srv0,t0_1_0:srv1,t1_0_0:srv2,t1_1_0:srv0";
+
+/// Structural campaign: one kill scenario per device, BDD-exact pricing.
+fn kill_spec() -> String {
+    format!("kill-each-component {PAIRS} top:5")
+}
+
+/// Parametric sweep: 5 campus device classes × 8 MTBF factors = 40
+/// scenarios, Monte-Carlo priced. `crn` toggles the shared-baseline
+/// draw stream (the default) vs per-scenario independent seeds.
+fn sweep_spec(samples: usize, crn: bool) -> String {
+    let tail = if crn { "" } else { " independent-seeds" };
+    format!("scale-mtbf:*:0.25,0.5,0.75,0.9,1.1,1.25,1.5,2 {PAIRS} mc:{samples}:2013 top:5{tail}")
+}
 
 fn campus_engine(params: CampusParams, workers: usize) -> Engine {
     let (infrastructure, service, _) = campus_scenario(params);
@@ -73,12 +104,86 @@ fn campus_engine(params: CampusParams, workers: usize) -> Engine {
     )
 }
 
-/// `{1, all cores}`, deduplicated on a single-core host.
+/// `{1, 4, all cores}`, deduplicated. The 4-worker column is pinned even
+/// on small hosts so the byte-identical-report assert always compares at
+/// least two genuinely different fan-out schedules.
 fn worker_counts(all_cores: usize) -> Vec<usize> {
-    if all_cores > 1 {
-        vec![1, all_cores]
-    } else {
-        vec![1]
+    let mut counts = vec![1, 4];
+    if all_cores > 4 {
+        counts.push(all_cores);
+    }
+    counts
+}
+
+/// Runs `spec` once per worker count on a fresh engine, asserting the
+/// isolation and byte-identical-report invariants, and returns the cells.
+fn run_phase(
+    phase: &'static str,
+    params: CampusParams,
+    spec_text: &str,
+    all_cores: usize,
+    expected_scenarios: Option<usize>,
+    cells: &mut Vec<Cell>,
+) {
+    let devices = params.device_count();
+    let mut reports: Vec<String> = Vec::new();
+    for workers in worker_counts(all_cores) {
+        let engine = campus_engine(params, workers);
+        let spec = CampaignSpec::parse(spec_text).expect("benchmark spec parses");
+        let crn = spec.mc.is_some() && spec.crn;
+        let mc = spec.mc.is_some();
+        let start = Instant::now();
+        let report = engine
+            .campaign(spec, |_, _| {})
+            .expect("campus campaign runs");
+        let total_ns = start.elapsed().as_nanos();
+        if let Some(expected) = expected_scenarios {
+            assert_eq!(report.scenarios, expected, "{phase} scenario count drifted");
+        }
+
+        // Isolation: the campaign pinned a snapshot and worked on
+        // copies — the live shard never noticed.
+        let stats = engine.stats();
+        assert_eq!(stats.epoch, 0, "campaign must not bump the epoch");
+        assert_eq!(stats.cache_len, 0, "campaign must not touch the cache");
+        assert_eq!(stats.campaigns_run, 1);
+        assert_eq!(stats.scenarios_evaluated, report.scenarios as u64);
+        if mc {
+            assert!(
+                stats.mc_trials_total > 0,
+                "{phase} sweep must price scenarios by Monte-Carlo"
+            );
+        }
+        if crn {
+            assert!(
+                stats.campaign_crn_reuse > 0,
+                "CRN sweep never reused a cached draw word at {devices} devices"
+            );
+        } else {
+            assert_eq!(
+                stats.campaign_crn_reuse, 0,
+                "{phase} campaign must not touch the CRN draw table"
+            );
+        }
+
+        cells.push(Cell {
+            phase,
+            devices,
+            workers,
+            scenarios: report.scenarios,
+            perspectives: report.perspectives,
+            total_ns,
+            mc_trials: stats.mc_trials_total,
+            crn_reuse: stats.campaign_crn_reuse,
+        });
+        reports.push(report.render_json());
+        engine.shutdown();
+    }
+    for other in &reports[1..] {
+        assert_eq!(
+            &reports[0], other,
+            "{phase} {devices}-device report drifted across worker counts"
+        );
     }
 }
 
@@ -96,89 +201,148 @@ fn main() {
     let all_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let samples: usize = if smoke { 20_000 } else { 100_000 };
     let mut cells: Vec<Cell> = Vec::new();
 
     for params in sizes(smoke) {
         let devices = params.device_count();
-        // One report per worker count; all must be byte-identical.
-        let mut reports: Vec<String> = Vec::new();
-        for workers in worker_counts(all_cores) {
-            let engine = campus_engine(params, workers);
-            let spec = CampaignSpec::parse(SPEC).expect("benchmark spec parses");
-            let start = Instant::now();
-            let report = engine
-                .campaign(spec, |_, _| {})
-                .expect("campus campaign runs");
-            let total_ns = start.elapsed().as_nanos();
-            assert_eq!(report.scenarios, devices, "one kill per device");
+        run_phase(
+            "kill",
+            params,
+            &kill_spec(),
+            all_cores,
+            Some(devices),
+            &mut cells,
+        );
+        // 5 device classes × 8 factors.
+        run_phase(
+            "crn",
+            params,
+            &sweep_spec(samples, true),
+            all_cores,
+            Some(40),
+            &mut cells,
+        );
+        run_phase(
+            "independent",
+            params,
+            &sweep_spec(samples, false),
+            all_cores,
+            Some(40),
+            &mut cells,
+        );
+    }
 
-            // Isolation: the campaign pinned a snapshot and worked on
-            // copies — the live shard never noticed.
-            let stats = engine.stats();
-            assert_eq!(stats.epoch, 0, "campaign must not bump the epoch");
-            assert_eq!(stats.cache_len, 0, "campaign must not touch the cache");
-            assert_eq!(stats.campaigns_run, 1);
-            assert_eq!(stats.scenarios_evaluated, report.scenarios as u64);
-
-            cells.push(Cell {
-                devices,
-                workers,
-                scenarios: report.scenarios,
-                perspectives: report.perspectives,
-                total_ns,
-            });
-            reports.push(report.render_json());
-            engine.shutdown();
-        }
-        for other in &reports[1..] {
-            assert_eq!(
-                &reports[0], other,
-                "{devices}-device report drifted across worker counts"
-            );
+    if !smoke {
+        for (devices, workers, speedup) in crn_speedups(&cells) {
+            if devices == 358 {
+                assert!(
+                    speedup >= 2.0,
+                    "CRN sweep must clear 2x over independent-seeds at {devices} devices / \
+                     {workers} worker(s), got {speedup:.2}x"
+                );
+            }
         }
     }
 
-    let json = render_json(smoke, &cells);
+    let json = render_json(smoke, samples, &cells);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
 
     println!("campaign bench → {out}");
     println!(
-        "{:>8} {:>8} {:>10} {:>13} {:>15}",
-        "devices", "workers", "scenarios", "perspectives", "scenarios/sec"
+        "{:>12} {:>8} {:>8} {:>10} {:>13} {:>15} {:>12} {:>12}",
+        "phase",
+        "devices",
+        "workers",
+        "scenarios",
+        "perspectives",
+        "scenarios/sec",
+        "mc_trials",
+        "crn_reuse"
     );
     for cell in &cells {
         println!(
-            "{:>8} {:>8} {:>10} {:>13} {:>15.1}",
+            "{:>12} {:>8} {:>8} {:>10} {:>13} {:>15.1} {:>12} {:>12}",
+            cell.phase,
             cell.devices,
             cell.workers,
             cell.scenarios,
             cell.perspectives,
-            cell.scenarios_per_sec()
+            cell.scenarios_per_sec(),
+            cell.mc_trials,
+            cell.crn_reuse
+        );
+    }
+    for (devices, workers, speedup) in crn_speedups(&cells) {
+        println!(
+            "CRN speedup vs independent-seeds @ {devices} devices / {workers} worker(s): {speedup:.2}x"
         );
     }
 }
 
+/// CRN vs independent-seeds scenarios/sec at equal worker counts.
+fn crn_speedups(cells: &[Cell]) -> Vec<(usize, usize, f64)> {
+    let find = |devices, phase, workers| {
+        cells
+            .iter()
+            .find(|c| c.devices == devices && c.phase == phase && c.workers == workers)
+            .expect("cell present")
+            .scenarios_per_sec()
+    };
+    cells
+        .iter()
+        .filter(|c| c.phase == "crn")
+        .map(|c| {
+            (
+                c.devices,
+                c.workers,
+                c.scenarios_per_sec() / find(c.devices, "independent", c.workers),
+            )
+        })
+        .collect()
+}
+
 /// Hand-rolled JSON (numbers + fixed keys only; nothing needs escaping).
-fn render_json(smoke: bool, cells: &[Cell]) -> String {
+fn render_json(smoke: bool, samples: usize, cells: &[Cell]) -> String {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"campaign\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"spec\": \"{SPEC}\",\n"));
+    json.push_str(&format!("  \"kill_spec\": \"{}\",\n", kill_spec()));
+    json.push_str(&format!(
+        "  \"crn_spec\": \"{}\",\n",
+        sweep_spec(samples, true)
+    ));
+    json.push_str(&format!(
+        "  \"independent_spec\": \"{}\",\n",
+        sweep_spec(samples, false)
+    ));
     json.push_str("  \"results\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"devices\": {}, \"workers\": {}, \"scenarios\": {}, \"perspectives\": {}, \
-             \"total_ns\": {}, \"scenarios_per_sec\": {:.1}}}{}\n",
+            "    {{\"phase\": \"{}\", \"devices\": {}, \"workers\": {}, \"scenarios\": {}, \
+             \"perspectives\": {}, \"total_ns\": {}, \"scenarios_per_sec\": {:.1}, \
+             \"mc_trials\": {}, \"crn_reuse\": {}}}{}\n",
+            cell.phase,
             cell.devices,
             cell.workers,
             cell.scenarios,
             cell.perspectives,
             cell.total_ns,
             cell.scenarios_per_sec(),
+            cell.mc_trials,
+            cell.crn_reuse,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"crn_speedup_vs_independent\": [");
+    let ratios = crn_speedups(cells);
+    for (i, (devices, workers, speedup)) in ratios.iter().enumerate() {
+        json.push_str(&format!(
+            "{{\"devices\": {devices}, \"workers\": {workers}, \"speedup\": {speedup:.3}}}{}",
+            if i + 1 == ratios.len() { "" } else { ", " }
+        ));
+    }
+    json.push_str("]\n}\n");
     json
 }

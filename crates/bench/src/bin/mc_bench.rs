@@ -1,23 +1,33 @@
-//! Monte-Carlo kernel benchmark: scalar (trial-at-a-time, per-worker RNG
-//! streams) vs the compiled bit-sliced kernel (64 trials per `u64`,
-//! counter-based draws) on generated campus networks (44, 358, 1222
-//! devices), emitted as `BENCH_montecarlo.json` for CI tracking.
+//! Monte-Carlo kernel benchmark: scalar (trial-at-a-time, counter-based
+//! draws) vs the narrow bit-sliced executor (one `u64` word — 64 trials —
+//! at a time) vs the wide kernel (8-word / 512-trial blocks, dispatched to
+//! the best SIMD pack routine at runtime) on generated campus networks
+//! (44, 358, 1222 devices), emitted as `BENCH_montecarlo.json` for CI
+//! tracking.
 //!
 //! Usage:
 //!   `mc_bench [--smoke] [--out <path>]`
 //!
 //! Per campus the full "fetch" service model (5 atomic services,
-//! client `t0_0_0` → `srv0`) is built once through the pipeline; both
-//! engines then estimate the same user-perceived availability at worker
-//! counts {1, all cores}. Every cell records trials/sec and whether its
-//! 95% CI covers the BDD-exact availability. The bit-sliced estimates
-//! are additionally asserted to be bit-identical across worker counts
-//! (counter-based draws), and — outside `--smoke` — the bit-sliced
-//! kernel must clear an 8× trials/sec speedup over the scalar sampler on
-//! the largest campus at equal worker counts.
+//! client `t0_0_0` → `srv0`) is built once through the pipeline; all
+//! three engines then estimate the same user-perceived availability at
+//! worker counts {1, 4, all cores}. Every cell records trials/sec and
+//! whether its 95% CI covers the BDD-exact availability. Hard invariants
+//! asserted in-bench, in every mode:
+//!
+//! * the wide kernel is bit-identical to the narrow executor in every
+//!   cell (same draws, same structure function, same count),
+//! * both bit-sliced estimates are invariant under the worker count
+//!   (counter-based draws), so their deterministic CIs must cover the
+//!   exact value outright.
+//!
+//! Outside `--smoke` the wide kernel must additionally clear a 2×
+//! trials/sec speedup over the narrow executor and an 8× speedup over
+//! the scalar sampler on the largest campus at equal worker counts.
 
 use std::time::Instant;
 
+use dependability::mcprog::wide_kernel_name;
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
 use netgen::campus::{campus_scenario, CampusParams};
 use upsim_core::pipeline::UpsimPipeline;
@@ -97,7 +107,7 @@ fn main() {
         let program = model.compile_mc();
 
         for workers in worker_counts(all_cores) {
-            // Scalar reference sampler (per-worker StdRng streams).
+            // Scalar reference sampler (trial-at-a-time, shared draw stream).
             let start = Instant::now();
             let mut mc = model.monte_carlo(samples, workers, SEED);
             for _ in 1..iters {
@@ -107,68 +117,71 @@ fn main() {
                 devices, "scalar", workers, samples, iters, start, mc, exact,
             ));
 
-            // Compiled bit-sliced kernel.
+            // Narrow bit-sliced executor (one 64-trial word at a time).
             let start = Instant::now();
-            let mut mc = program.run(samples, workers, SEED);
+            let mut narrow = program.run_narrow(samples, workers, SEED);
             for _ in 1..iters {
-                mc = program.run(samples, workers, SEED);
+                narrow = program.run_narrow(samples, workers, SEED);
             }
             cells.push(cell(
-                devices,
-                "bitsliced",
-                workers,
-                samples,
-                iters,
-                start,
-                mc,
-                exact,
+                devices, "narrow", workers, samples, iters, start, narrow, exact,
+            ));
+
+            // Wide kernel (512-trial blocks, runtime SIMD dispatch).
+            let start = Instant::now();
+            let mut wide = program.run(samples, workers, SEED);
+            for _ in 1..iters {
+                wide = program.run(samples, workers, SEED);
+            }
+            assert_eq!(
+                wide, narrow,
+                "wide kernel diverged from the narrow executor at {devices} devices / {workers} worker(s)"
+            );
+            cells.push(cell(
+                devices, "wide", workers, samples, iters, start, wide, exact,
             ));
         }
     }
 
-    // The bit-sliced estimate is a pure function of (samples, seed): the
+    // Both bit-sliced estimates are pure functions of (samples, seed): the
     // worker-count cells must agree bit for bit.
     for (devices, _) in campuses() {
-        let estimates: Vec<f64> = cells
-            .iter()
-            .filter(|c| c.devices == devices && c.engine == "bitsliced")
-            .map(|c| c.estimate)
-            .collect();
-        assert!(
-            estimates.windows(2).all(|w| w[0] == w[1]),
-            "bit-sliced estimates diverged across worker counts at {devices} devices: {estimates:?}"
-        );
-    }
-    // Bit-sliced coverage is deterministic for the fixed seed — assert it
-    // outright. The scalar sampler's estimate depends on the host's worker
-    // count, so it only gets a generous 4.5σ sanity bound here; its 95%
-    // coverage flag is still recorded in the JSON.
-    for cell in &cells {
-        if cell.engine == "bitsliced" {
+        for engine in ["narrow", "wide"] {
+            let estimates: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.devices == devices && c.engine == engine)
+                .map(|c| c.estimate)
+                .collect();
             assert!(
-                cell.covers,
-                "bit-sliced CI {:?} misses exact {} at {} devices",
-                cell.ci, cell.exact, cell.devices
-            );
-        } else {
-            let sigma = (cell.exact * (1.0 - cell.exact) / cell.samples as f64)
-                .sqrt()
-                .max(f64::EPSILON);
-            assert!(
-                (cell.estimate - cell.exact).abs() < 4.5 * sigma,
-                "scalar estimate {} strays from exact {} at {} devices",
-                cell.estimate,
-                cell.exact,
-                cell.devices
+                estimates.windows(2).all(|w| w[0] == w[1]),
+                "{engine} estimates diverged across worker counts at {devices} devices: {estimates:?}"
             );
         }
     }
+    // Every engine now draws the same counter-based stream, so every
+    // estimate is deterministic for the fixed seed — assert coverage
+    // outright across the whole matrix.
+    for cell in &cells {
+        assert!(
+            cell.covers,
+            "{} CI {:?} misses exact {} at {} devices",
+            cell.engine, cell.ci, cell.exact, cell.devices
+        );
+    }
     if !smoke {
-        for (devices, workers, speedup) in speedups(&cells) {
+        for (devices, workers, speedup) in speedups(&cells, "scalar") {
             if devices == 1222 {
                 assert!(
                     speedup >= 8.0,
-                    "bit-sliced kernel must clear 8x over scalar at {devices} devices / {workers} worker(s), got {speedup:.2}x"
+                    "wide kernel must clear 8x over scalar at {devices} devices / {workers} worker(s), got {speedup:.2}x"
+                );
+            }
+        }
+        for (devices, workers, speedup) in speedups(&cells, "narrow") {
+            if devices == 1222 {
+                assert!(
+                    speedup >= 2.0,
+                    "wide kernel must clear 2x over narrow at {devices} devices / {workers} worker(s), got {speedup:.2}x"
                 );
             }
         }
@@ -177,7 +190,10 @@ fn main() {
     let json = render_json(smoke, &cells);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
 
-    println!("montecarlo bench → {out}");
+    println!(
+        "montecarlo bench → {out} (wide kernel: {})",
+        wide_kernel_name()
+    );
     println!(
         "{:>8} {:>10} {:>8} {:>9} {:>15} {:>12} {:>7}",
         "devices", "engine", "workers", "samples", "trials/sec", "estimate", "covers"
@@ -194,18 +210,23 @@ fn main() {
             cell.covers
         );
     }
-    for (devices, workers, speedup) in speedups(&cells) {
-        println!("bit-sliced speedup @ {devices} devices / {workers} worker(s): {speedup:.2}x");
+    for (devices, workers, speedup) in speedups(&cells, "scalar") {
+        println!("wide speedup vs scalar @ {devices} devices / {workers} worker(s): {speedup:.2}x");
+    }
+    for (devices, workers, speedup) in speedups(&cells, "narrow") {
+        println!("wide speedup vs narrow @ {devices} devices / {workers} worker(s): {speedup:.2}x");
     }
 }
 
-/// `{1, all cores}`, deduplicated on a single-core host.
+/// `{1, 4, all cores}`, deduplicated. The 4-worker column is pinned even
+/// on small hosts so the worker-invariance assert always compares at
+/// least two genuinely different splits.
 fn worker_counts(all_cores: usize) -> Vec<usize> {
-    if all_cores > 1 {
-        vec![1, all_cores]
-    } else {
-        vec![1]
+    let mut counts = vec![1, 4];
+    if all_cores > 4 {
+        counts.push(all_cores);
     }
+    counts
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -233,8 +254,8 @@ fn cell(
     }
 }
 
-/// Bit-sliced vs scalar trials/sec at equal worker counts, per campus.
-fn speedups(cells: &[Cell]) -> Vec<(usize, usize, f64)> {
+/// Wide vs `baseline` trials/sec at equal worker counts, per campus.
+fn speedups(cells: &[Cell], baseline: &'static str) -> Vec<(usize, usize, f64)> {
     let find = |devices, engine, workers| {
         cells
             .iter()
@@ -244,12 +265,12 @@ fn speedups(cells: &[Cell]) -> Vec<(usize, usize, f64)> {
     };
     cells
         .iter()
-        .filter(|c| c.engine == "bitsliced")
+        .filter(|c| c.engine == "wide")
         .map(|c| {
             (
                 c.devices,
                 c.workers,
-                c.trials_per_sec() / find(c.devices, "scalar", c.workers),
+                c.trials_per_sec() / find(c.devices, baseline, c.workers),
             )
         })
         .collect()
@@ -261,6 +282,7 @@ fn render_json(smoke: bool, cells: &[Cell]) -> String {
     json.push_str("  \"bench\": \"montecarlo\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"wide_kernel\": \"{}\",\n", wide_kernel_name()));
     json.push_str("  \"pair\": \"t0_0_0 -> srv0 (fetch, 5 atomic services)\",\n");
     json.push_str("  \"results\": [\n");
     for (i, cell) in cells.iter().enumerate() {
@@ -284,14 +306,20 @@ fn render_json(smoke: bool, cells: &[Cell]) -> String {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str("  \"bitsliced_speedup_vs_scalar\": [");
-    let ratios = speedups(cells);
-    for (i, (devices, workers, speedup)) in ratios.iter().enumerate() {
-        json.push_str(&format!(
-            "{{\"devices\": {devices}, \"workers\": {workers}, \"speedup\": {speedup:.3}}}{}",
-            if i + 1 == ratios.len() { "" } else { ", " }
-        ));
+    for (key, baseline, last) in [
+        ("wide_speedup_vs_scalar", "scalar", false),
+        ("wide_speedup_vs_narrow", "narrow", true),
+    ] {
+        json.push_str(&format!("  \"{key}\": ["));
+        let ratios = speedups(cells, baseline);
+        for (i, (devices, workers, speedup)) in ratios.iter().enumerate() {
+            json.push_str(&format!(
+                "{{\"devices\": {devices}, \"workers\": {workers}, \"speedup\": {speedup:.3}}}{}",
+                if i + 1 == ratios.len() { "" } else { ", " }
+            ));
+        }
+        json.push_str(if last { "]\n" } else { "],\n" });
     }
-    json.push_str("]\n}\n");
+    json.push_str("}\n");
     json
 }

@@ -19,11 +19,30 @@
 //! bit-for-bit, which is what makes `kill-each-component` over hundreds
 //! of devices cheap: each kill re-prices only the handful of perspectives
 //! whose UPSIM contains the victim.
+//!
+//! # Common random numbers (`mc:` campaigns)
+//!
+//! By default an `mc:`-priced campaign uses **common random numbers**:
+//! each perspective compiles one *unfolded* program (every pathed
+//! component keeps a slot), packs its draw words once into a shared
+//! [`DrawTable`] under a per-perspective seed, and prices its baseline
+//! from that stream. A parametric scenario then rewrites only the
+//! perturbed thresholds (`kill` → threshold 0, `scale-mtbf` → threshold
+//! rewrite) and re-runs against the table — untouched components reuse
+//! their packed words, so an N-scenario sweep costs one full draw pass
+//! plus N cheap re-evaluations. Because baseline and scenario estimates
+//! share every unperturbed draw, their difference is *paired sampling*:
+//! the reported availability deltas carry only the variance of the
+//! trials the perturbation actually flips, not two independent runs'
+//! noise. The `independent-seeds` clause restores the per-scenario
+//! derived-seed behavior (exact-BDD baselines, fresh draws per
+//! scenario).
 
 use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::Arc;
 
+use dependability::mcprog::{derive_seed, DrawTable};
 use dependability::perturb::{availability_with, scaled_availability};
 use dependability::{AnalysisOptions, McProgram, ServiceAvailabilityModel};
 use upsim_core::discovery::DiscoveryOptions;
@@ -135,6 +154,24 @@ fn resolve_pairs(
     Ok(pairs)
 }
 
+/// Per-perspective draw-table memory ceiling (`u64` words): 32 MiB.
+/// Above it the perspective still prices with common random numbers
+/// (shared per-perspective seed) but re-packs draws per scenario instead
+/// of caching them — same estimates, just less reuse.
+const MAX_TABLE_WORDS: usize = 1 << 22;
+
+/// One perspective's common-random-number state: the shared baseline
+/// draw stream every scenario of the campaign prices against.
+pub struct McBaseline {
+    /// Unfolded baseline program (one slot per pathed component).
+    pub program: McProgram,
+    /// Packed baseline draw words, when within the memory budget.
+    pub table: Option<DrawTable>,
+    /// The perspective's seed (one [`derive_seed`] stride per
+    /// perspective index off the campaign's base seed).
+    pub seed: u64,
+}
+
 /// One perspective's baseline: exact availability plus everything needed
 /// to decide whether a perturbation touches it and to re-price it.
 pub struct BaselinePerspective {
@@ -142,7 +179,9 @@ pub struct BaselinePerspective {
     pub client: String,
     /// Providing device.
     pub provider: String,
-    /// Exact baseline availability (BDD).
+    /// Baseline availability: BDD-exact, except under common-random-number
+    /// `mc:` pricing, where it is the baseline-stream MC estimate so that
+    /// scenario deltas are paired-sampling differences.
     pub availability: f64,
     /// Devices in the baseline UPSIM (the targeted-invalidation set).
     pub upsim: HashSet<String>,
@@ -150,6 +189,9 @@ pub struct BaselinePerspective {
     pub model: ServiceAvailabilityModel,
     /// Device class per model component (parallel to `model.components`).
     pub classes: Vec<String>,
+    /// Common-random-number state (`mc:` campaigns without
+    /// `independent-seeds`).
+    pub mc: Option<McBaseline>,
 }
 
 /// All baselines of a campaign, in `pairs` order.
@@ -203,9 +245,37 @@ pub fn evaluate_baseline_chunk(
         };
         let run = p.run().map_err(|e| e.to_string())?;
         let model = ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
-        let availability = model.availability_bdd();
         let upsim = run.touched_devices().map(str::to_string).collect();
         let classes = component_classes(&input.infrastructure, &model);
+        let mc = match input.spec.mc {
+            Some(settings) if input.spec.crn => {
+                let program = model.compile_mc_unfolded();
+                let seed = derive_seed(settings.seed, ix as u64);
+                let table = (program.table_words(settings.samples) <= MAX_TABLE_WORDS)
+                    .then(|| program.draw_table(settings.samples, seed));
+                Some(McBaseline {
+                    program,
+                    table,
+                    seed,
+                })
+            }
+            _ => None,
+        };
+        // Under CRN the baseline is priced from the same stream the
+        // scenarios will share; otherwise it is BDD-exact.
+        let availability = match &mc {
+            Some(mcb) => {
+                let settings = input.spec.mc.expect("mc settings present");
+                match &mcb.table {
+                    Some(table) => {
+                        let mut scratch = mcb.program.scratch();
+                        mcb.program.run_with_table(table, &mut scratch).0.estimate
+                    }
+                    None => mcb.program.run(settings.samples, 1, mcb.seed).estimate,
+                }
+            }
+            None => model.availability_bdd(),
+        };
         out.push(BaselinePerspective {
             client: client.clone(),
             provider: provider.clone(),
@@ -213,6 +283,7 @@ pub fn evaluate_baseline_chunk(
             upsim,
             model,
             classes,
+            mc,
         });
     }
     Ok(out)
@@ -227,6 +298,11 @@ pub struct ScenarioOutcome {
     pub affected: usize,
     /// Availability per perspective, aligned with `Baseline::perspectives`.
     pub availabilities: Vec<f64>,
+    /// Monte-Carlo trials this scenario ran (0 for exact pricing).
+    pub mc_trials: u64,
+    /// Draw words served from the shared baseline table instead of being
+    /// re-packed (common-random-number reuse; 0 outside CRN pricing).
+    pub crn_reused: u64,
 }
 
 /// Evaluates scenario `index` against the shared baselines.
@@ -256,6 +332,8 @@ pub fn evaluate_scenario(
 
     let mut availabilities = Vec::with_capacity(baseline.perspectives.len());
     let mut affected_count = 0usize;
+    let mut mc_trials = 0u64;
+    let mut crn_reused = 0u64;
     for (p_ix, persp) in baseline.perspectives.iter().enumerate() {
         if !touches(persp, &scenario.perturbations) {
             availabilities.push(persp.availability);
@@ -292,7 +370,40 @@ pub fn evaluate_scenario(
             let model =
                 ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
             let classes = component_classes(&input.infrastructure, &model);
-            price(input, index, p_ix, &model, &classes, &kills, &scales)
+            price(
+                input,
+                index,
+                p_ix,
+                &model,
+                &classes,
+                &kills,
+                &scales,
+                &mut mc_trials,
+            )
+        } else if let Some(mcb) = &persp.mc {
+            // Parametric perturbation under common random numbers: the
+            // baseline program's shape survives, so only the perturbed
+            // thresholds are rewritten and every untouched component's
+            // draw words come straight from the shared table.
+            let probs = perturbed_probs(
+                &persp.model,
+                &persp.classes,
+                &kills,
+                &scales,
+                input.analysis.paper_formula,
+            );
+            let scenario_program = mcb.program.with_thresholds(&probs);
+            let settings = input.spec.mc.expect("mc settings present under CRN");
+            mc_trials += settings.samples as u64;
+            match &mcb.table {
+                Some(table) => {
+                    let mut scratch = scenario_program.scratch();
+                    let (result, reused) = scenario_program.run_with_table(table, &mut scratch);
+                    crn_reused += reused;
+                    result.estimate
+                }
+                None => scenario_program.run(settings.samples, 1, mcb.seed).estimate,
+            }
         } else {
             price(
                 input,
@@ -302,6 +413,7 @@ pub fn evaluate_scenario(
                 &persp.classes,
                 &kills,
                 &scales,
+                &mut mc_trials,
             )
         };
         availabilities.push(availability);
@@ -310,6 +422,8 @@ pub fn evaluate_scenario(
         index,
         affected: affected_count,
         availabilities,
+        mc_trials,
+        crn_reused,
     })
 }
 
@@ -348,10 +462,15 @@ fn build_perturbed(
     Ok((infra, service))
 }
 
-/// Prices one (scenario, perspective) pair: perturb the probability
-/// vector, then either re-price the exact BDD or run the bit-sliced MC
-/// kernel with a seed derived deterministically from (base seed,
-/// scenario, perspective) — worker-count invariant either way.
+/// Prices one (scenario, perspective) pair from a freshly built model:
+/// perturb the probability vector, then either re-price the exact BDD or
+/// run the bit-sliced MC kernel — worker-count invariant either way.
+/// Used for structural re-runs and for `independent-seeds` campaigns;
+/// parametric CRN pricing goes through the shared draw table instead.
+/// The MC seed is the perspective's CRN stream under common random
+/// numbers, or derived from (base seed, scenario, perspective) under
+/// `independent-seeds`.
+#[allow(clippy::too_many_arguments)]
 fn price(
     input: &CampaignInput,
     scenario_ix: usize,
@@ -360,16 +479,21 @@ fn price(
     classes: &[String],
     kills: &[&str],
     scales: &[(&str, f64)],
+    mc_trials: &mut u64,
 ) -> f64 {
     let probs = perturbed_probs(model, classes, kills, scales, input.analysis.paper_formula);
     match input.spec.mc {
         Some(mc) => {
             let program =
                 McProgram::compile(&probs, model.systems.iter().map(|s| s.path_sets.as_slice()));
-            let seed = mc
-                .seed
-                .wrapping_add((scenario_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                .wrapping_add(perspective_ix as u64);
+            let seed = if input.spec.crn {
+                derive_seed(mc.seed, perspective_ix as u64)
+            } else {
+                mc.seed
+                    .wrapping_add((scenario_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(perspective_ix as u64)
+            };
+            *mc_trials += mc.samples as u64;
             program.run(mc.samples, 1, seed).estimate
         }
         None => availability_with(model, &probs),

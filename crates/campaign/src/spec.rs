@@ -15,6 +15,9 @@
 //!   (default: every client × every server/printer),
 //! * `mc:<samples>[:<seed>]` — estimate perturbed perspectives with the
 //!   bit-sliced Monte-Carlo kernel instead of the exact BDD,
+//! * `independent-seeds` — opt out of common-random-number pricing: each
+//!   `mc:` scenario draws its own derived-seed stream instead of sharing
+//!   the baseline's (slower, and scenario deltas carry both runs' noise),
 //! * `top:<n>` — rows shown in the text report (default 10),
 //! * `limit:<n>` — refuse campaigns above this many scenarios
 //!   (default 10000),
@@ -66,6 +69,11 @@ pub struct CampaignSpec {
     pub pairs: Vec<(String, String)>,
     /// Monte-Carlo estimation instead of the exact BDD, when set.
     pub mc: Option<McSettings>,
+    /// Common-random-number pricing for `mc:` campaigns (default): all
+    /// scenarios share the baseline draw stream of their perspective and
+    /// only perturbed components are re-drawn. `false`
+    /// (`independent-seeds`) restores per-scenario derived seeds.
+    pub crn: bool,
     /// Rows shown in the text report.
     pub top: usize,
     /// Maximum scenario count before the campaign is refused.
@@ -88,6 +96,7 @@ impl CampaignSpec {
             axes: Vec::new(),
             pairs: Vec::new(),
             mc: None,
+            crn: true,
             top: 10,
             limit: DEFAULT_SCENARIO_LIMIT,
             json: false,
@@ -175,12 +184,13 @@ impl CampaignSpec {
                         return Err(format!("`{word}`: scenario limit must be positive"));
                     }
                 }
+                ("independent-seeds", None) => spec.crn = false,
                 ("json", None) => spec.json = true,
                 _ => {
                     return Err(format!(
                         "unknown clause `{word}` (try kill-each-component, cut-each-link, \
                          substitute-each-service, scale-mtbf:<class>:<f>, pairs:<c>:<p>, \
-                         mc:<samples>[:<seed>], top:<n>, limit:<n>, json)"
+                         mc:<samples>[:<seed>], independent-seeds, top:<n>, limit:<n>, json)"
                     ));
                 }
             }
@@ -224,6 +234,9 @@ impl CampaignSpec {
         }
         if let Some(mc) = self.mc {
             clauses.push(format!("mc:{}:{}", mc.samples, mc.seed));
+        }
+        if !self.crn {
+            clauses.push("independent-seeds".to_string());
         }
         if self.top != 10 {
             clauses.push(format!("top:{}", self.top));
@@ -331,5 +344,19 @@ mod tests {
         assert_eq!(spec.canonical(), raw);
         let again = CampaignSpec::parse(&spec.canonical()).expect("canonical re-parses");
         assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn crn_is_the_default_and_independent_seeds_opts_out() {
+        let spec = CampaignSpec::parse("kill-each-component mc:1024").expect("parses");
+        assert!(spec.crn, "common random numbers are the default");
+        let raw = "scale-mtbf:Server:0.5 mc:2048:9 independent-seeds";
+        let spec = CampaignSpec::parse(raw).expect("parses");
+        assert!(!spec.crn);
+        assert_eq!(spec.canonical(), raw);
+        assert_eq!(
+            CampaignSpec::parse(&spec.canonical()).expect("re-parses"),
+            spec
+        );
     }
 }

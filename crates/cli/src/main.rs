@@ -70,7 +70,8 @@ Campaign spec clauses (space-separated inside --spec): kill-each-component,
 cut-each-link, substitute-each-service, scale-mtbf:<class>:<f>[,f..] (class
 `*` sweeps every deployed class; several clauses cross-product),
 pairs:<client>:<provider>[,..] (default: every client x every provider),
-mc:<samples>[:<seed>], top:<n>, limit:<n>, json.
+mc:<samples>[:<seed>] (common-random-number pricing by default),
+independent-seeds (per-scenario draw streams), top:<n>, limit:<n>, json.
 
 Pipelined queries: `query --pipeline <depth>` keeps <depth> requests in
 flight on one connection (the server answers in receive order) and repeats

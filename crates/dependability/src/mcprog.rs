@@ -1,8 +1,8 @@
 //! Compiled bit-sliced Monte-Carlo structure-function programs.
 //!
 //! [`montecarlo::estimate`](crate::montecarlo::estimate) walks the path
-//! sets once per trial, drawing one `f64` per component into a
-//! `Vec<bool>`. This module compiles the same structure function — a
+//! sets once per trial, drawing one word per component into a reused
+//! bitset. This module compiles the same structure function — a
 //! word-AND over each path's components, a word-OR over each mapping
 //! pair's paths, a word-AND over the pairs — into a flat [`McProgram`]
 //! that evaluates **64 independent trials per `u64` word**: per-component
@@ -18,10 +18,36 @@
 //! nearby seeds produce decorrelated sample sets instead of shifted
 //! copies of each other. A draw is a pure function of its coordinates —
 //! no state is consumed — so the estimate is **bit-identical for a fixed
-//! `(seed, samples)` regardless of worker count** (an improvement over
-//! the per-worker streams of the scalar sampler, which change results
-//! when `workers` changes), and the trial-at-a-time twin
-//! [`McProgram::run_scalar`] reproduces [`McProgram::run`] exactly.
+//! `(seed, samples)` regardless of worker count**, and the twins
+//! [`McProgram::run_narrow`] (one 64-trial word at a time) and
+//! [`McProgram::run_scalar`] (one trial at a time) reproduce
+//! [`McProgram::run`] exactly.
+//!
+//! # Wide-lane execution
+//!
+//! The production executor [`McProgram::run`] generates draws in
+//! **wide blocks of [`WIDE_WORDS`] words = 512 trials**: because the
+//! draw counters advance by a constant Weyl stride, the whole
+//! mix/compare/pack loop is a pure function of `lane`, and the packing
+//! kernel is compiled three times — an AVX-512 version (native 64-bit
+//! vector multiply via `avx512dq`), an AVX2 version, and a portable
+//! scalar version — with the best one picked once per process by runtime
+//! CPU feature detection. All three run the *same* Rust loop over the
+//! same coordinates, so the choice never changes a single draw bit.
+//!
+//! # Draw-word reuse (common random numbers)
+//!
+//! [`McProgram::draw_table`] packs every slot's words for a whole
+//! `(seed, samples)` grid once; [`McProgram::run_with_table`] then
+//! evaluates a program against that table, re-packing only slots whose
+//! `(stream, threshold)` key differs from the table's. Combined with
+//! [`McProgram::compile_unfolded`] / [`McProgram::with_thresholds`]
+//! (which keep program shape fixed while thresholds move) this is the
+//! common-random-number engine behind campaign pricing: an N-scenario
+//! sweep draws the baseline stream once and each scenario re-packs only
+//! the components its perturbation touched. The table is a pure cache —
+//! `run_with_table` is bit-identical to `run(samples, 1, seed)` on the
+//! same program.
 //!
 //! Compilation constant-folds degenerate availabilities: a component with
 //! `p ≥ 1` is dropped from its paths (AND identity), a path containing a
@@ -34,24 +60,53 @@ use crate::montecarlo::MonteCarloResult;
 
 /// The SplitMix64 state increment (odd; "golden gamma") — the per-trial
 /// Weyl stride.
-const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A second odd constant (the first SplitMix64 mix multiplier) — the
 /// per-component stream stride. Distinct from [`GAMMA`] so that
 /// `(trial, component)` coordinates cannot alias each other within any
 /// realistic trial range.
-const STREAM: u64 = 0xBF58_476D_1CE4_E5B9;
+pub(crate) const STREAM: u64 = 0xBF58_476D_1CE4_E5B9;
 
 /// `2^64` as an `f64` — the Bernoulli threshold scale.
 const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
 
+/// Words per wide draw block: the wide kernel packs
+/// `WIDE_WORDS × 64 = 512` trials per component per step.
+pub const WIDE_WORDS: usize = 8;
+
+/// Trials per wide block.
+const WIDE_TRIALS: usize = WIDE_WORDS * 64;
+
 /// The SplitMix64 output finalizer (Steele et al., "Fast splittable
 /// pseudorandom number generators").
 #[inline(always)]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The Bernoulli threshold of an up-probability: a component is up in a
+/// lane iff its draw is `< threshold`. The boundaries are exact: `p ≤ 0`
+/// maps to 0 (no draw can be below it) and `p ≥ 1` to the
+/// always-up sentinel `u64::MAX` (handled without drawing).
+#[inline]
+pub(crate) fn threshold_for(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * TWO_POW_64) as u64
+    }
+}
+
+/// Derives a decorrelated seed from a base seed and a stream index (one
+/// golden-gamma stride per index) — used by campaign pricing to give
+/// each perspective its own common-random-number stream.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index.wrapping_mul(GAMMA))
 }
 
 /// One stochastic component of a compiled program.
@@ -62,7 +117,9 @@ struct CompDraw {
     /// depend on which other components survived constant folding.
     stream: u64,
     /// The component is up in a lane iff its draw is `< threshold`
-    /// (`threshold ≈ p·2⁶⁴`; relative quantization error ≤ 2⁻⁵³).
+    /// (`threshold ≈ p·2⁶⁴`; relative quantization error ≤ 2⁻⁵³). The
+    /// sentinel `u64::MAX` means certainly up, `0` certainly down —
+    /// both are decided without mixing.
     threshold: u64,
 }
 
@@ -70,6 +127,9 @@ impl CompDraw {
     /// The up/down draw for one global trial index.
     #[inline(always)]
     fn up(&self, seed: u64, trial: u64) -> bool {
+        if self.threshold == u64::MAX {
+            return true;
+        }
         let key = seed
             .wrapping_add(trial.wrapping_mul(GAMMA))
             .wrapping_add(self.stream);
@@ -77,9 +137,15 @@ impl CompDraw {
     }
 
     /// 64 consecutive trials packed one per bit lane (lane `l` holds
-    /// trial `base_trial + l`).
+    /// trial `base_trial + l`) — the narrow (one-word) packing step.
     #[inline(always)]
     fn pack(&self, seed: u64, base_trial: u64) -> u64 {
+        if self.threshold == 0 {
+            return 0;
+        }
+        if self.threshold == u64::MAX {
+            return !0;
+        }
         let mut key = seed
             .wrapping_add(base_trial.wrapping_mul(GAMMA))
             .wrapping_add(self.stream);
@@ -92,6 +158,160 @@ impl CompDraw {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wide packing kernel: one copy per instruction set, dispatched at runtime.
+// ---------------------------------------------------------------------------
+
+/// Packs the draw words of the listed slots for one wide block (trials
+/// `base_trial .. base_trial + 512`) into `words` (slot-major,
+/// [`WIDE_WORDS`] words per slot). The loop is written so the mix /
+/// compare stage is a pure function of the lane index — a constant-stride
+/// Weyl counter — which the vectorized instantiations below turn into
+/// straight-line SIMD.
+#[inline(always)]
+fn pack_slots_kernel(
+    draws: &[CompDraw],
+    slots: &[u32],
+    seed: u64,
+    base_trial: u64,
+    words: &mut [u64],
+) {
+    for &slot in slots {
+        let draw = &draws[slot as usize];
+        let out = &mut words[slot as usize * WIDE_WORDS..][..WIDE_WORDS];
+        if draw.threshold == 0 {
+            out.fill(0);
+            continue;
+        }
+        if draw.threshold == u64::MAX {
+            out.fill(!0);
+            continue;
+        }
+        let key0 = seed
+            .wrapping_add(base_trial.wrapping_mul(GAMMA))
+            .wrapping_add(draw.stream);
+        let mut bits = [0u64; 64];
+        for (w, word_out) in out.iter_mut().enumerate() {
+            let base = key0.wrapping_add(((w * 64) as u64).wrapping_mul(GAMMA));
+            for (lane, bit) in bits.iter_mut().enumerate() {
+                let key = base.wrapping_add((lane as u64).wrapping_mul(GAMMA));
+                *bit = u64::from(mix(key) < draw.threshold);
+            }
+            let mut word = 0u64;
+            for (lane, bit) in bits.iter().enumerate() {
+                word |= bit << lane;
+            }
+            *word_out = word;
+        }
+    }
+}
+
+/// The wide packing entry point: `(draws, slots, seed, base_trial, out)`.
+type PackSlotsFn = unsafe fn(&[CompDraw], &[u32], u64, u64, &mut [u64]);
+
+/// Portable instantiation (whatever the build target enables).
+///
+/// # Safety
+/// Unconditionally safe; `unsafe fn` only to share the dispatch type
+/// with the feature-gated instantiations.
+#[allow(unsafe_code)]
+unsafe fn pack_slots_portable(
+    draws: &[CompDraw],
+    slots: &[u32],
+    seed: u64,
+    base_trial: u64,
+    words: &mut [u64],
+) {
+    pack_slots_kernel(draws, slots, seed, base_trial, words);
+}
+
+/// AVX2 instantiation of the same loop (4 × u64 lanes).
+///
+/// # Safety
+/// Caller must have verified `avx2` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn pack_slots_avx2(
+    draws: &[CompDraw],
+    slots: &[u32],
+    seed: u64,
+    base_trial: u64,
+    words: &mut [u64],
+) {
+    pack_slots_kernel(draws, slots, seed, base_trial, words);
+}
+
+/// AVX-512 instantiation (8 × u64 lanes; `avx512dq` supplies the native
+/// 64-bit vector multiply the SplitMix64 finalizer leans on).
+///
+/// # Safety
+/// Caller must have verified `avx512f`/`avx512dq` (+`bw`/`vl`) support
+/// at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+#[allow(unsafe_code)]
+unsafe fn pack_slots_avx512(
+    draws: &[CompDraw],
+    slots: &[u32],
+    seed: u64,
+    base_trial: u64,
+    words: &mut [u64],
+) {
+    pack_slots_kernel(draws, slots, seed, base_trial, words);
+}
+
+/// Picks the widest packing kernel the host supports, once per process.
+/// Every instantiation runs the identical loop over the identical
+/// counters, so the pick affects speed only — never a draw bit.
+fn pack_slots_dispatch() -> (&'static str, PackSlotsFn) {
+    static CHOSEN: std::sync::OnceLock<(&'static str, PackSlotsFn)> = std::sync::OnceLock::new();
+    *CHOSEN.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return ("avx512", pack_slots_avx512 as PackSlotsFn);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return ("avx2", pack_slots_avx2 as PackSlotsFn);
+            }
+        }
+        ("portable", pack_slots_portable as PackSlotsFn)
+    })
+}
+
+fn pack_slots_fn() -> PackSlotsFn {
+    pack_slots_dispatch().1
+}
+
+/// The one unsafe expression in the crate, behind a safe face.
+#[allow(unsafe_code)]
+#[inline(always)]
+fn pack_with(
+    pack: PackSlotsFn,
+    draws: &[CompDraw],
+    slots: &[u32],
+    seed: u64,
+    base_trial: u64,
+    words: &mut [u64],
+) {
+    // SAFETY: every `PackSlotsFn` value originates in
+    // `pack_slots_dispatch`, which returns a feature-gated instantiation
+    // only after runtime detection of the features it was compiled for;
+    // the portable instantiation has no feature requirement at all.
+    unsafe { pack(draws, slots, seed, base_trial, words) }
+}
+
+/// Human-readable name of the packing kernel the host dispatches to
+/// (`"avx512"`, `"avx2"`, or `"portable"`) — recorded by benchmarks.
+pub fn wide_kernel_name() -> &'static str {
+    pack_slots_dispatch().0
+}
+
 /// A compiled bit-sliced Monte-Carlo program: the flat word encoding of
 /// one perspective's structure function over its stochastic components.
 ///
@@ -101,6 +321,9 @@ impl CompDraw {
 pub struct McProgram {
     /// One entry per drawn component slot.
     draws: Vec<CompDraw>,
+    /// Model component index per slot (parallel to `draws`) — the key
+    /// [`McProgram::with_thresholds`] rewrites by.
+    slot_comp: Vec<u32>,
     /// Flat slot ids; each path is a span of this.
     path_slots: Vec<u32>,
     /// `[start, end)` spans into `path_slots`, one per surviving path.
@@ -112,10 +335,56 @@ pub struct McProgram {
     dead: bool,
 }
 
-/// Reusable per-worker scratch: one packed draw word per program slot.
+/// Reusable per-worker scratch: the packed draw words of the current
+/// wide block (slot-major, [`WIDE_WORDS`] words per slot) plus the slot
+/// worklist of the common-random-number path.
 #[derive(Debug, Default, Clone)]
 pub struct McScratch {
     words: Vec<u64>,
+    /// Slots that must be packed fresh (all of them on the plain path;
+    /// only the perturbed ones when running against a draw table).
+    fresh: Vec<u32>,
+}
+
+impl McScratch {
+    fn ensure(&mut self, program: &McProgram) {
+        self.words.resize(program.draws.len() * WIDE_WORDS, 0);
+    }
+}
+
+/// Packed draw words for every slot of a program over a fixed
+/// `(seed, samples)` grid — the shared baseline stream of a
+/// common-random-number campaign. Keys are `(stream, threshold)` pairs:
+/// a later program reuses a slot's words iff its key matches, so
+/// perturbing a component (threshold rewrite) transparently invalidates
+/// exactly that component's cache line.
+#[derive(Debug, Clone)]
+pub struct DrawTable {
+    seed: u64,
+    samples: usize,
+    /// Words per slot (`wide_blocks × WIDE_WORDS`).
+    words_per_slot: usize,
+    /// `(stream, threshold)` the slot's words were packed for.
+    keys: Vec<(u64, u64)>,
+    /// Slot-major packed words.
+    words: Vec<u64>,
+}
+
+impl DrawTable {
+    /// The seed the table was drawn with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sample count the table covers.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Total `u64` words held (memory footprint / 8 bytes).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
 }
 
 impl McProgram {
@@ -128,6 +397,7 @@ impl McProgram {
         let mut slot_of: Vec<u32> = vec![u32::MAX; availability.len()];
         let mut program = McProgram {
             draws: Vec::new(),
+            slot_comp: Vec::new(),
             path_slots: Vec::new(),
             paths: Vec::new(),
             pairs: Vec::new(),
@@ -163,17 +433,7 @@ impl McProgram {
                 }
                 let lo = program.path_slots.len() as u32;
                 for &comp in &path_comps {
-                    let slot = if slot_of[comp] == u32::MAX {
-                        let slot = program.draws.len() as u32;
-                        slot_of[comp] = slot;
-                        program.draws.push(CompDraw {
-                            stream: (comp as u64 + 1).wrapping_mul(STREAM),
-                            threshold: (availability[comp] * TWO_POW_64) as u64,
-                        });
-                        slot
-                    } else {
-                        slot_of[comp]
-                    };
+                    let slot = program.intern_slot(&mut slot_of, comp, availability[comp]);
                     program.path_slots.push(slot);
                 }
                 program.paths.push((lo, program.path_slots.len() as u32));
@@ -192,9 +452,89 @@ impl McProgram {
         program
     }
 
+    /// Compiles **without constant folding**: every component referenced
+    /// by any path keeps a drawn slot (degenerate probabilities become
+    /// the 0 / `u64::MAX` sentinels, decided at pack time without
+    /// mixing), and every path and pair keeps its span. The program's
+    /// shape is therefore a function of the path structure alone — a
+    /// perturbed probability vector maps onto the same slots via
+    /// [`McProgram::with_thresholds`], which is what lets a
+    /// common-random-number sweep share one [`DrawTable`] across its
+    /// whole scenario list.
+    pub fn compile_unfolded<'a>(
+        availability: &[f64],
+        systems: impl IntoIterator<Item = &'a [Vec<usize>]>,
+    ) -> Self {
+        let mut slot_of: Vec<u32> = vec![u32::MAX; availability.len()];
+        let mut program = McProgram {
+            draws: Vec::new(),
+            slot_comp: Vec::new(),
+            path_slots: Vec::new(),
+            paths: Vec::new(),
+            pairs: Vec::new(),
+            dead: false,
+        };
+        let mut path_comps: Vec<usize> = Vec::new();
+        for sets in systems {
+            let pair_lo = program.paths.len();
+            for set in sets {
+                path_comps.clear();
+                for &comp in set {
+                    if !path_comps.contains(&comp) {
+                        path_comps.push(comp);
+                    }
+                }
+                let lo = program.path_slots.len() as u32;
+                for &comp in &path_comps {
+                    let slot = program.intern_slot(&mut slot_of, comp, availability[comp]);
+                    program.path_slots.push(slot);
+                }
+                program.paths.push((lo, program.path_slots.len() as u32));
+            }
+            program
+                .pairs
+                .push((pair_lo as u32, program.paths.len() as u32));
+        }
+        program
+    }
+
+    fn intern_slot(&mut self, slot_of: &mut [u32], comp: usize, p: f64) -> u32 {
+        if slot_of[comp] == u32::MAX {
+            let slot = self.draws.len() as u32;
+            slot_of[comp] = slot;
+            self.draws.push(CompDraw {
+                stream: (comp as u64 + 1).wrapping_mul(STREAM),
+                threshold: threshold_for(p),
+            });
+            self.slot_comp.push(comp as u32);
+            slot
+        } else {
+            slot_of[comp]
+        }
+    }
+
+    /// A copy of this program with every slot's threshold rewritten from
+    /// `probs` (indexed by model component, like the compile input). The
+    /// shape — slots, paths, pairs — is untouched, so the copy stays
+    /// key-compatible with any [`DrawTable`] drawn from this program:
+    /// slots whose probability did not move keep their cache line.
+    pub fn with_thresholds(&self, probs: &[f64]) -> McProgram {
+        let mut rewritten = self.clone();
+        for (slot, &comp) in self.slot_comp.iter().enumerate() {
+            rewritten.draws[slot].threshold = threshold_for(probs[comp as usize]);
+        }
+        rewritten
+    }
+
     /// Number of stochastic components the program draws per trial block.
     pub fn component_count(&self) -> usize {
         self.draws.len()
+    }
+
+    /// `u64` words a [`DrawTable`] over `samples` trials would hold —
+    /// callers use this to budget table memory before building one.
+    pub fn table_words(&self, samples: usize) -> usize {
+        self.draws.len() * samples.div_ceil(WIDE_TRIALS) * WIDE_WORDS
     }
 
     /// A constant estimate, when the structure function folded to one:
@@ -214,26 +554,25 @@ impl McProgram {
     /// parallel runner keeps one per worker).
     pub fn scratch(&self) -> McScratch {
         McScratch {
-            words: vec![0; self.draws.len()],
+            words: vec![0; self.draws.len() * WIDE_WORDS],
+            fresh: Vec::with_capacity(self.draws.len()),
         }
     }
 
-    /// Evaluates one 64-trial block (trials `block·64 .. block·64 + 64`),
-    /// returning the service word (bit lane = trial up). Early exits are
-    /// exact: draws are pure functions of their coordinates, so skipping
-    /// them cannot skew later blocks.
-    fn block_word(&self, seed: u64, block: u64, scratch: &mut McScratch) -> u64 {
-        let base_trial = block.wrapping_mul(64);
-        for (slot, draw) in self.draws.iter().enumerate() {
-            scratch.words[slot] = draw.pack(seed, base_trial);
-        }
+    /// Evaluates one 64-trial block (trials `block·64 .. block·64 + 64`)
+    /// over per-word draw storage with stride `stride` and word offset
+    /// `w`, returning the service word (bit lane = trial up). Early exits
+    /// are exact: draws are pure functions of their coordinates, so
+    /// skipping them cannot skew later blocks.
+    #[inline]
+    fn service_word(&self, words: &[u64], w: usize, stride: usize) -> u64 {
         let mut service = !0u64;
         for &(pair_lo, pair_hi) in &self.pairs {
             let mut pair_up = 0u64;
             for &(lo, hi) in &self.paths[pair_lo as usize..pair_hi as usize] {
                 let mut path_up = !0u64;
                 for &slot in &self.path_slots[lo as usize..hi as usize] {
-                    path_up &= scratch.words[slot as usize];
+                    path_up &= words[slot as usize * stride + w];
                     if path_up == 0 {
                         break;
                     }
@@ -251,31 +590,226 @@ impl McProgram {
         service
     }
 
-    /// Successes among trials `[block·64, block·64 + 64) ∩ [0, samples)`.
-    fn block_successes(
+    /// Successes among the 64-trial words of one **wide** block (trials
+    /// `wide_block·512 .. wide_block·512 + 512`, intersected with
+    /// `[0, samples)`), packing all slots through the dispatched kernel.
+    fn wide_successes(
         &self,
         seed: u64,
-        block: u64,
+        wide_block: u64,
         samples: usize,
+        pack: PackSlotsFn,
         scratch: &mut McScratch,
     ) -> u64 {
-        let lanes = samples - (block as usize) * 64;
-        let mask = if lanes >= 64 {
-            !0u64
-        } else {
-            (1u64 << lanes) - 1
-        };
-        u64::from((self.block_word(seed, block, scratch) & mask).count_ones())
+        let base_trial = wide_block * WIDE_TRIALS as u64;
+        pack_with(
+            pack,
+            &self.draws,
+            &scratch.fresh,
+            seed,
+            base_trial,
+            &mut scratch.words,
+        );
+        self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples)
+    }
+
+    /// Popcounts the service words of one wide block's draw storage,
+    /// masking lanes at or beyond `samples`.
+    #[inline]
+    fn masked_successes(
+        &self,
+        words: &[u64],
+        stride: usize,
+        base_trial: u64,
+        samples: usize,
+    ) -> u64 {
+        let mut ok = 0u64;
+        for w in 0..WIDE_WORDS {
+            let word_base = base_trial as usize + w * 64;
+            if word_base >= samples {
+                break;
+            }
+            let lanes = samples - word_base;
+            let mask = if lanes >= 64 {
+                !0u64
+            } else {
+                (1u64 << lanes) - 1
+            };
+            ok += u64::from((self.service_word(words, w, stride) & mask).count_ones());
+        }
+        ok
     }
 
     /// Bit-sliced parallel Monte-Carlo run: exactly `samples` trials,
     /// fanned out over `workers` crossbeam threads (0 = available
-    /// parallelism) in contiguous 64-trial block ranges with one reusable
-    /// scratch buffer per worker. Deterministic: the successes of a block
-    /// depend only on `(seed, block)`, and summation over blocks is
-    /// partition-invariant, so the estimate is bit-identical for any
-    /// `workers` value.
+    /// parallelism) in contiguous 512-trial wide-block ranges with one
+    /// reusable scratch buffer per worker. Deterministic: the successes
+    /// of a block depend only on `(seed, block)`, and summation over
+    /// blocks is partition-invariant, so the estimate is bit-identical
+    /// for any `workers` value — and bit-identical to the narrow and
+    /// scalar twins.
     pub fn run(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            return MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+        }
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let pack = pack_slots_fn();
+        let wide_blocks = samples.div_ceil(WIDE_TRIALS) as u64;
+        let per_worker = wide_blocks.div_ceil(workers as u64).max(1);
+        let successes: u64 = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers as u64 {
+                let lo = (w * per_worker).min(wide_blocks);
+                let hi = (lo + per_worker).min(wide_blocks);
+                if lo == hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = self.scratch();
+                    // No table here: every slot packs fresh.
+                    scratch.fresh.extend(0..self.draws.len() as u32);
+                    let mut ok = 0u64;
+                    for wide_block in lo..hi {
+                        ok += self.wide_successes(seed, wide_block, samples, pack, &mut scratch);
+                    }
+                    ok
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("crossbeam scope");
+        result_from(successes, samples)
+    }
+
+    /// Packs every slot's draw words for the whole `(seed, samples)`
+    /// grid once. The resulting table backs
+    /// [`run_with_table`](McProgram::run_with_table) — re-evaluating
+    /// this program (or a [`with_thresholds`](McProgram::with_thresholds)
+    /// rewrite of it) against the table skips the mix work of every slot
+    /// whose key still matches.
+    pub fn draw_table(&self, samples: usize, seed: u64) -> DrawTable {
+        assert!(samples > 0, "need at least one sample");
+        let pack = pack_slots_fn();
+        let wide_blocks = samples.div_ceil(WIDE_TRIALS);
+        let words_per_slot = wide_blocks * WIDE_WORDS;
+        let mut table = DrawTable {
+            seed,
+            samples,
+            words_per_slot,
+            keys: self.draws.iter().map(|d| (d.stream, d.threshold)).collect(),
+            words: vec![0; self.draws.len() * words_per_slot],
+        };
+        let mut scratch = self.scratch();
+        scratch.fresh.clear();
+        scratch.fresh.extend(0..self.draws.len() as u32);
+        for wide_block in 0..wide_blocks {
+            let base_trial = (wide_block * WIDE_TRIALS) as u64;
+            pack_with(
+                pack,
+                &self.draws,
+                &scratch.fresh,
+                seed,
+                base_trial,
+                &mut scratch.words,
+            );
+            for slot in 0..self.draws.len() {
+                let src = &scratch.words[slot * WIDE_WORDS..][..WIDE_WORDS];
+                let dst_lo = slot * words_per_slot + wide_block * WIDE_WORDS;
+                table.words[dst_lo..dst_lo + WIDE_WORDS].copy_from_slice(src);
+            }
+        }
+        table
+    }
+
+    /// Single-threaded run against a shared [`DrawTable`]: slots whose
+    /// `(stream, threshold)` key matches the table reuse its packed
+    /// words; everything else (the perturbed components of a scenario)
+    /// is packed fresh. Returns the result plus the number of `u64`
+    /// draw words served from the table. **The table is a cache, not a
+    /// semantic input**: the result is bit-identical to
+    /// `self.run(table.samples(), 1, table.seed())`.
+    ///
+    /// The program must be shape-compatible with the table (same slot
+    /// list — i.e. this program or a `with_thresholds` rewrite of the
+    /// one that built it).
+    pub fn run_with_table(
+        &self,
+        table: &DrawTable,
+        scratch: &mut McScratch,
+    ) -> (MonteCarloResult, u64) {
+        assert_eq!(
+            self.draws.len(),
+            table.keys.len(),
+            "draw table shape mismatch: {} slots vs {}",
+            self.draws.len(),
+            table.keys.len()
+        );
+        let samples = table.samples;
+        if let Some(estimate) = self.constant_estimate() {
+            return (
+                MonteCarloResult {
+                    estimate,
+                    std_error: 0.0,
+                    samples,
+                },
+                0,
+            );
+        }
+        let pack = pack_slots_fn();
+        scratch.ensure(self);
+        scratch.fresh.clear();
+        let mut cached_slots = 0u64;
+        for (slot, draw) in self.draws.iter().enumerate() {
+            if table.keys[slot] == (draw.stream, draw.threshold) {
+                cached_slots += 1;
+            } else {
+                scratch.fresh.push(slot as u32);
+            }
+        }
+        let wide_blocks = samples.div_ceil(WIDE_TRIALS);
+        let mut successes = 0u64;
+        for wide_block in 0..wide_blocks {
+            let base_trial = (wide_block * WIDE_TRIALS) as u64;
+            for (slot, draw) in self.draws.iter().enumerate() {
+                if table.keys[slot] == (draw.stream, draw.threshold) {
+                    let src_lo = slot * table.words_per_slot + wide_block * WIDE_WORDS;
+                    scratch.words[slot * WIDE_WORDS..][..WIDE_WORDS]
+                        .copy_from_slice(&table.words[src_lo..src_lo + WIDE_WORDS]);
+                }
+            }
+            pack_with(
+                pack,
+                &self.draws,
+                &scratch.fresh,
+                seed_of(table),
+                base_trial,
+                &mut scratch.words,
+            );
+            successes += self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples);
+        }
+        let reused_words = cached_slots * wide_blocks as u64 * WIDE_WORDS as u64;
+        (result_from(successes, samples), reused_words)
+    }
+
+    /// The one-word-at-a-time twin of [`run`](McProgram::run): the
+    /// pre-wide-kernel executor, kept as a differential-testing reference
+    /// — identical draws, identical structure function, 64 trials per
+    /// step. The two must agree bit-for-bit.
+    pub fn run_narrow(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
         assert!(samples > 0, "need at least one sample");
         if let Some(estimate) = self.constant_estimate() {
             return MonteCarloResult {
@@ -302,10 +836,20 @@ impl McProgram {
                     break;
                 }
                 handles.push(scope.spawn(move |_| {
-                    let mut scratch = self.scratch();
+                    let mut words = vec![0u64; self.draws.len()];
                     let mut ok = 0u64;
                     for block in lo..hi {
-                        ok += self.block_successes(seed, block, samples, &mut scratch);
+                        let base_trial = block * 64;
+                        for (slot, draw) in self.draws.iter().enumerate() {
+                            words[slot] = draw.pack(seed, base_trial);
+                        }
+                        let lanes = samples - block as usize * 64;
+                        let mask = if lanes >= 64 {
+                            !0u64
+                        } else {
+                            (1u64 << lanes) - 1
+                        };
+                        ok += u64::from((self.service_word(&words, 0, 1) & mask).count_ones());
                     }
                     ok
                 }));
@@ -322,7 +866,7 @@ impl McProgram {
     /// The trial-at-a-time twin of [`run`](McProgram::run): identical
     /// draws (same counter-based coordinates), identical structure
     /// function, one trial per iteration. Exists to differential-test the
-    /// bit-sliced executor — the two must agree bit-for-bit.
+    /// bit-sliced executors — all must agree bit-for-bit.
     pub fn run_scalar(&self, samples: usize, seed: u64) -> MonteCarloResult {
         assert!(samples > 0, "need at least one sample");
         if let Some(estimate) = self.constant_estimate() {
@@ -349,6 +893,11 @@ impl McProgram {
     }
 }
 
+/// Borrow-friendly accessor (keeps `run_with_table`'s call shape tidy).
+fn seed_of(table: &DrawTable) -> u64 {
+    table.seed
+}
+
 fn result_from(successes: u64, samples: usize) -> MonteCarloResult {
     let estimate = successes as f64 / samples as f64;
     MonteCarloResult {
@@ -367,12 +916,16 @@ mod tests {
         McProgram::compile(p, systems.iter().map(Vec::as_slice))
     }
 
+    fn compile_unfolded(p: &[f64], systems: &[Vec<Vec<usize>>]) -> McProgram {
+        McProgram::compile_unfolded(p, systems.iter().map(Vec::as_slice))
+    }
+
     #[test]
     fn estimate_is_bit_identical_for_any_worker_count() {
         let p = [0.9, 0.8, 0.7, 0.95];
         let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
         let program = compile(&p, &systems);
-        // 10_001 is deliberately not a multiple of 64 (tail block).
+        // 10_001 is deliberately not a multiple of 512 (tail block).
         let reference = program.run(10_001, 1, 42);
         for workers in [2, 3, 5, 8, 64] {
             assert_eq!(program.run(10_001, workers, 42), reference);
@@ -380,16 +933,22 @@ mod tests {
     }
 
     #[test]
-    fn bitsliced_equals_scalar_twin_exactly() {
+    fn wide_equals_narrow_and_scalar_twins_exactly() {
         let p = [0.9, 0.8, 0.7];
         let systems = vec![vec![vec![0, 1], vec![0, 2]]];
         let program = compile(&p, &systems);
-        for samples in [1, 63, 64, 65, 1000] {
+        for samples in [1, 63, 64, 65, 511, 512, 513, 1000, 4099] {
             for seed in [0, 7, 2013] {
+                let wide = program.run(samples, 3, seed);
                 assert_eq!(
-                    program.run(samples, 3, seed),
+                    wide,
+                    program.run_narrow(samples, 2, seed),
+                    "narrow twin diverged at samples={samples} seed={seed}"
+                );
+                assert_eq!(
+                    wide,
                     program.run_scalar(samples, seed),
-                    "samples={samples} seed={seed}"
+                    "scalar twin diverged at samples={samples} seed={seed}"
                 );
             }
         }
@@ -456,11 +1015,77 @@ mod tests {
     }
 
     #[test]
+    fn unfolded_compile_prices_degenerates_identically() {
+        // The unfolded program keeps degenerate components as 0 / MAX
+        // sentinel slots; the estimates must match the folded constants.
+        let p = [0.5, 1.0, 0.0];
+        let folded = compile(&p, &[vec![vec![0, 1], vec![2]]]);
+        let unfolded = compile_unfolded(&p, &[vec![vec![0, 1], vec![2]]]);
+        assert_eq!(unfolded.component_count(), 3, "no slot folded away");
+        for seed in [1, 9] {
+            assert_eq!(
+                folded.run(4096, 2, seed).estimate,
+                unfolded.run(4096, 2, seed).estimate
+            );
+            assert_eq!(
+                unfolded.run(4096, 3, seed),
+                unfolded.run_scalar(4096, seed),
+                "unfolded wide/scalar twins must agree"
+            );
+        }
+        // A dead path (p=0 member) contributes nothing either way.
+        let dead = compile_unfolded(&p, &[vec![vec![2]]]);
+        assert_eq!(dead.run(512, 1, 3).estimate, 0.0);
+    }
+
+    #[test]
+    fn with_thresholds_rewrites_only_probabilities() {
+        let p = [0.9, 0.8, 0.7];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]]];
+        let base = compile_unfolded(&p, &systems);
+        // Kill component 1, degrade component 2.
+        let perturbed = base.with_thresholds(&[0.9, 0.0, 0.35]);
+        let direct = compile_unfolded(&[0.9, 0.0, 0.35], &systems);
+        for seed in [2, 2013] {
+            assert_eq!(perturbed.run(8192, 2, seed), direct.run(8192, 2, seed));
+        }
+        // The base program is untouched.
+        assert_eq!(base, compile_unfolded(&p, &systems));
+    }
+
+    #[test]
+    fn draw_table_is_a_pure_cache() {
+        let p = [0.9, 0.8, 0.7, 0.6];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let base = compile_unfolded(&p, &systems);
+        // 5000 samples straddles several wide blocks with a ragged tail.
+        let table = base.draw_table(5000, 77);
+        assert_eq!(table.word_count(), base.table_words(5000));
+        let mut scratch = base.scratch();
+
+        // Unperturbed: everything reused, result identical to `run`.
+        let (same, reused) = base.run_with_table(&table, &mut scratch);
+        assert_eq!(same, base.run(5000, 1, 77));
+        assert_eq!(reused, base.table_words(5000) as u64);
+
+        // Perturbed: only untouched slots reused, result identical to a
+        // fresh run of the rewritten program under the same seed.
+        let rewritten = base.with_thresholds(&[0.9, 0.0, 0.35, 0.6]);
+        let (perturbed, reused) = rewritten.run_with_table(&table, &mut scratch);
+        assert_eq!(perturbed, rewritten.run(5000, 1, 77));
+        // Slots 0 and 3 kept their thresholds: half the table reused.
+        assert_eq!(reused, (base.table_words(5000) / 2) as u64);
+    }
+
+    #[test]
     fn perfect_components_give_certainty() {
         let p = [1.0, 1.0];
         let mc = compile(&p, &[vec![vec![0, 1]]]).run(5_000, 2, 9);
         assert_eq!(mc.estimate, 1.0);
         assert_eq!(mc.std_error, 0.0);
+        // Unfolded: the MAX-threshold sentinel draws certainly-up words.
+        let mc = compile_unfolded(&p, &[vec![vec![0, 1]]]).run(5_000, 2, 9);
+        assert_eq!(mc.estimate, 1.0);
     }
 
     #[test]
@@ -483,5 +1108,17 @@ mod tests {
         assert_eq!(program.component_count(), 1, "only component 0 is drawn");
         let mc = program.run(200_000, 2, 13);
         assert!(mc.covers(0.7), "CI {:?} misses 0.7", mc.confidence_95());
+    }
+
+    #[test]
+    fn derive_seed_strides_by_golden_gamma() {
+        assert_eq!(derive_seed(10, 0), 10);
+        assert_ne!(derive_seed(10, 1), derive_seed(10, 2));
+        assert_eq!(derive_seed(10, 1), 10u64.wrapping_add(GAMMA));
+    }
+
+    #[test]
+    fn kernel_name_is_reported() {
+        assert!(["avx512", "avx2", "portable"].contains(&wide_kernel_name()));
     }
 }

@@ -4,17 +4,23 @@
 //! whose structure functions are too large for them. Sampling: every
 //! component is up independently with its availability; the service is up
 //! when **every** mapping pair has at least one fully-up path (all atomic
-//! services of a composite service execute — paper Sec. V-E). Workers fan
-//! out over a crossbeam scope with deterministic per-worker RNG streams, so
-//! results are reproducible for a fixed `(seed, workers)` pair.
+//! services of a composite service execute — paper Sec. V-E).
+//!
+//! Draws are counter-based and shared with the compiled kernel in
+//! [`crate::mcprog`]: the draw for `(trial, component)` is the SplitMix64
+//! finalizer over `seed + trial·γ + (component + 1)·γ'` compared against
+//! the component's Bernoulli threshold. A draw is a pure function of its
+//! coordinates, so the estimate is **bit-identical for a fixed
+//! `(seed, samples)` regardless of worker count** — and trial-for-trial
+//! identical to what an [`crate::mcprog::McProgram`] over the same
+//! systems produces. Workers split the trial range contiguously over a
+//! crossbeam scope, each reusing one bitset of component states.
 //!
 //! This is the reference trial-at-a-time sampler. The production path is
-//! the compiled bit-sliced kernel in [`crate::mcprog`]: 64 trials per
-//! `u64` word and counter-based draws that make the estimate independent
-//! of the worker count.
+//! the compiled bit-sliced kernel in [`crate::mcprog`], which evaluates
+//! 64 trials per `u64` word (512 per wide block) over the same draws.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::mcprog::{mix, threshold_for, GAMMA, STREAM};
 
 /// The result of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,14 +64,52 @@ impl MonteCarloResult {
     }
 }
 
+/// Reused per-worker component-state scratch: one bit per component,
+/// refilled each trial — no per-trial allocation.
+struct StateBits {
+    words: Vec<u64>,
+}
+
+impl StateBits {
+    fn new(components: usize) -> Self {
+        StateBits {
+            words: vec![0; components.div_ceil(64)],
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Draws every component's state for one trial.
+    #[inline]
+    fn draw(&mut self, thresholds: &[u64], seed: u64, trial: u64) {
+        let trial_key = seed.wrapping_add(trial.wrapping_mul(GAMMA));
+        for (w, chunk) in thresholds.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (lane, &threshold) in chunk.iter().enumerate() {
+                let comp = (w * 64 + lane) as u64;
+                let up = threshold == u64::MAX
+                    || mix(trial_key.wrapping_add((comp + 1).wrapping_mul(STREAM))) < threshold;
+                word |= u64::from(up) << lane;
+            }
+            self.words[w] = word;
+        }
+    }
+}
+
 /// Estimates `P(every system has an up path)` where each system is a list
 /// of path sets over shared component indices.
 ///
 /// * `availability[i]` — up-probability of component `i`,
 /// * `systems` — one entry per mapping pair, each a list of path sets,
-/// * `samples` — total samples (split over workers),
+/// * `samples` — total samples (exact; split contiguously over workers),
 /// * `workers` — 0 = available parallelism,
 /// * `seed` — base RNG seed.
+///
+/// Deterministic: draws are keyed by `(seed, trial, component)` alone,
+/// so the estimate is bit-identical for any `workers` value.
 pub fn estimate(
     availability: &[f64],
     systems: &[Vec<Vec<usize>>],
@@ -81,26 +125,27 @@ pub fn estimate(
     } else {
         workers
     };
+    let thresholds: Vec<u64> = availability.iter().map(|&a| threshold_for(a)).collect();
     let per_worker = samples.div_ceil(workers);
-    let total = per_worker * workers;
 
-    let successes: usize = crossbeam::thread::scope(|scope| {
+    let successes: u64 = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
+        let thresholds = &thresholds;
         for w in 0..workers {
+            let lo = (w * per_worker).min(samples);
+            let hi = (lo + per_worker).min(samples);
+            if lo == hi {
+                break;
+            }
             handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
-                let mut up = vec![false; availability.len()];
-                let mut ok = 0usize;
-                for _ in 0..per_worker {
-                    for (i, &a) in availability.iter().enumerate() {
-                        up[i] = rng.random::<f64>() < a;
-                    }
+                let mut state = StateBits::new(thresholds.len());
+                let mut ok = 0u64;
+                for trial in lo as u64..hi as u64 {
+                    state.draw(thresholds, seed, trial);
                     let service_up = systems
                         .iter()
-                        .all(|paths| paths.iter().any(|set| set.iter().all(|&v| up[v])));
-                    if service_up {
-                        ok += 1;
-                    }
+                        .all(|paths| paths.iter().any(|set| set.iter().all(|&v| state.get(v))));
+                    ok += u64::from(service_up);
                 }
                 ok
             }));
@@ -112,12 +157,12 @@ pub fn estimate(
     })
     .expect("crossbeam scope");
 
-    let estimate = successes as f64 / total as f64;
-    let std_error = (estimate * (1.0 - estimate) / total as f64).sqrt();
+    let estimate = successes as f64 / samples as f64;
+    let std_error = (estimate * (1.0 - estimate) / samples as f64).sqrt();
     MonteCarloResult {
         estimate,
         std_error,
-        samples: total,
+        samples,
     }
 }
 
@@ -135,6 +180,7 @@ pub fn estimate_single(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mcprog::McProgram;
     use crate::sdp::union_probability;
 
     #[test]
@@ -144,6 +190,32 @@ mod tests {
         let a = estimate_single(&p, &sets, 10_000, 2, 42);
         let b = estimate_single(&p, &sets, 10_000, 2, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_estimate() {
+        let p = [0.9, 0.8, 0.7, 0.95];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let reference = estimate(&p, &systems, 10_001, 1, 42);
+        for workers in [2, 3, 5, 8, 64] {
+            assert_eq!(estimate(&p, &systems, 10_001, workers, 42), reference);
+        }
+    }
+
+    #[test]
+    fn draws_are_shared_with_the_compiled_kernel() {
+        // Same coordinates, same thresholds, same structure function: the
+        // scalar sampler and an unfolded McProgram must agree trial for
+        // trial, hence bit for bit — including at a degenerate p = 1.
+        let p = [0.9, 0.8, 1.0, 0.7];
+        let systems = vec![vec![vec![0, 1], vec![0, 2, 3]], vec![vec![3]]];
+        let program = McProgram::compile_unfolded(&p, systems.iter().map(Vec::as_slice));
+        for (samples, seed) in [(257, 1u64), (5000, 42), (12_345, 2013)] {
+            assert_eq!(
+                estimate(&p, &systems, samples, 3, seed),
+                program.run(samples, 2, seed)
+            );
+        }
     }
 
     #[test]
@@ -199,8 +271,12 @@ mod tests {
     #[test]
     fn worker_split_covers_requested_samples() {
         let p = [0.9];
+        // Exactly the requested count — contiguous ranges, no rounding up
+        // to a worker multiple.
         let mc = estimate_single(&p, &[vec![0]], 1001, 4, 3);
-        assert!(mc.samples >= 1001);
+        assert_eq!(mc.samples, 1001);
+        let mc = estimate_single(&p, &[vec![0]], 7, 64, 3);
+        assert_eq!(mc.samples, 7);
     }
 
     #[test]

@@ -265,7 +265,9 @@ impl ServiceAvailabilityModel {
     }
 
     /// Parallel Monte-Carlo estimate of the service availability
-    /// (trial-at-a-time reference sampler; results depend on `workers`).
+    /// (trial-at-a-time reference sampler). Draws the same counter-based
+    /// `(seed, trial, component)` stream as the compiled kernel, so the
+    /// estimate is bit-identical for any `workers` value.
     pub fn monte_carlo(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
         let systems: Vec<Vec<Vec<usize>>> =
             self.systems.iter().map(|s| s.path_sets.clone()).collect();
@@ -282,6 +284,18 @@ impl ServiceAvailabilityModel {
     /// program ([`McProgram`]): compile once per model, sample many times.
     pub fn compile_mc(&self) -> McProgram {
         McProgram::compile(
+            &self.availability_vector(),
+            self.systems.iter().map(|s| s.path_sets.as_slice()),
+        )
+    }
+
+    /// Compiles the structure function **without constant folding**: the
+    /// program keeps a slot for every pathed component, so scenario
+    /// probability vectors can be swapped in via
+    /// [`McProgram::with_thresholds`] while draw words stay shareable —
+    /// the compile used by common-random-number campaign pricing.
+    pub fn compile_mc_unfolded(&self) -> McProgram {
+        McProgram::compile_unfolded(
             &self.availability_vector(),
             self.systems.iter().map(|s| s.path_sets.as_slice()),
         )

@@ -52,9 +52,12 @@ fn params_strategy() -> impl Strategy<Value = CampusParams> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The word-parallel kernel is an exact reformulation of per-trial
-    /// sampling: same draws, same structure function, same count — for
-    /// any sample count (including ragged tails) and any worker split.
+    /// The wide (512-trial-block) kernel is an exact reformulation of
+    /// per-trial sampling: same draws, same structure function, same
+    /// count — for any sample count (including ragged tails) and any
+    /// worker split. Checked against both twins: the narrow
+    /// one-word-at-a-time executor (the pre-wide kernel) and the
+    /// trial-at-a-time scalar executor.
     #[test]
     fn bitsliced_equals_scalar_twin_on_random_campuses(
         params in params_strategy(),
@@ -63,10 +66,35 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let program = campus_model(params).compile_mc();
-        let sliced = program.run(samples, workers, seed);
-        prop_assert_eq!(sliced, program.run_scalar(samples, seed));
+        let wide = program.run(samples, workers, seed);
+        prop_assert_eq!(wide, program.run_narrow(samples, workers, seed));
+        prop_assert_eq!(wide, program.run_scalar(samples, seed));
         // Worker-count invariance (the counter-based RNG contract).
-        prop_assert_eq!(sliced, program.run(samples, 1, seed));
+        prop_assert_eq!(wide, program.run(samples, 1, seed));
+    }
+
+    /// The trial-at-a-time reference sampler draws the very same
+    /// counter-based stream: `montecarlo::estimate` over the raw path
+    /// sets is bit-identical to the compiled unfolded program — at any
+    /// worker count on either side.
+    #[test]
+    fn scalar_sampler_matches_compiled_kernel_on_random_campuses(
+        params in params_strategy(),
+        samples in 1usize..=1_000,
+        workers in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let model = campus_model(params);
+        let systems: Vec<Vec<Vec<usize>>> =
+            model.systems.iter().map(|s| s.path_sets.clone()).collect();
+        let sampled = dependability::montecarlo::estimate(
+            &model.availability_vector(),
+            &systems,
+            samples,
+            workers,
+            seed,
+        );
+        prop_assert_eq!(sampled, model.compile_mc_unfolded().run(samples, 1, seed));
     }
 }
 

@@ -777,6 +777,7 @@ impl Engine {
         let shard = Arc::clone(self.shard(model)?);
         let (entry, cached) = self.query_traced_on(model, client, provider)?;
         EngineMetrics::bump(&shard.metrics.mc_queries);
+        EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
         let result = entry.mc_program.run(samples, self.workers.max(1), seed);
         Ok((result, entry, cached))
     }
@@ -911,6 +912,7 @@ impl Engine {
                     };
                     done(looked_up.map(|(entry, cached)| {
                         EngineMetrics::bump(&shard.metrics.mc_queries);
+                        EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
                         let result = entry.mc_program.run(samples, 1, seed);
                         WireResponse::MonteCarlo {
                             result,
@@ -1046,6 +1048,14 @@ impl Engine {
             perspectives.extend(chunk.map_err(EngineError::Campaign)?);
         }
         let baseline = Arc::new(Baseline { perspectives });
+        // CRN baselines are themselves sampled (one run per perspective,
+        // packing the shared draw stream the scenarios reuse).
+        if let Some(mc) = input.spec.mc.filter(|_| input.spec.crn) {
+            EngineMetrics::add(
+                &shard.metrics.mc_trials_total,
+                mc.samples as u64 * baseline.perspectives.len() as u64,
+            );
+        }
 
         // Phase 2: one task per scenario; results come back keyed by
         // generation index, so aggregation order (and therefore the
@@ -1065,8 +1075,13 @@ impl Engine {
                         return Err("campaign cancelled".to_string());
                     }
                     let outcome = evaluate_scenario(&task_input, &task_baseline, index);
-                    if outcome.is_ok() {
+                    if let Ok(outcome) = &outcome {
                         EngineMetrics::bump(&task_shard.metrics.scenarios_evaluated);
+                        EngineMetrics::add(&task_shard.metrics.mc_trials_total, outcome.mc_trials);
+                        EngineMetrics::add(
+                            &task_shard.metrics.campaign_crn_reuse,
+                            outcome.crn_reused,
+                        );
                     }
                     outcome
                 }) as CampaignTask<upsim_campaign::ScenarioOutcome>

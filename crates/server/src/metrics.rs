@@ -175,10 +175,16 @@ pub struct EngineMetrics {
     /// `MC` requests served (the sampled estimate itself; the underlying
     /// perspective lookup is also counted under `queries`).
     pub mc_queries: AtomicU64,
+    /// Monte-Carlo trials drawn on this shard — `MC` requests plus every
+    /// sampled campaign pricing (baselines and scenarios).
+    pub mc_trials_total: AtomicU64,
     /// `CAMPAIGN` requests completed against this shard.
     pub campaigns_run: AtomicU64,
     /// Scenarios evaluated across all campaigns on this shard.
     pub scenarios_evaluated: AtomicU64,
+    /// Draw words campaign scenarios served from their perspective's
+    /// shared baseline table instead of re-packing (CRN reuse).
+    pub campaign_crn_reuse: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
     pub errors: AtomicU64,
@@ -234,8 +240,10 @@ impl EngineMetrics {
         let mut negative_hits = 0u64;
         let mut batches = 0u64;
         let mut mc_queries = 0u64;
+        let mut mc_trials_total = 0u64;
         let mut campaigns_run = 0u64;
         let mut scenarios_evaluated = 0u64;
+        let mut campaign_crn_reuse = 0u64;
         let mut updates = 0u64;
         let mut invalidations = 0u64;
         let mut errors = 0u64;
@@ -249,8 +257,10 @@ impl EngineMetrics {
             negative_hits += metrics.negative_hits.load(Ordering::Relaxed);
             batches += metrics.batches.load(Ordering::Relaxed);
             mc_queries += metrics.mc_queries.load(Ordering::Relaxed);
+            mc_trials_total += metrics.mc_trials_total.load(Ordering::Relaxed);
             campaigns_run += metrics.campaigns_run.load(Ordering::Relaxed);
             scenarios_evaluated += metrics.scenarios_evaluated.load(Ordering::Relaxed);
+            campaign_crn_reuse += metrics.campaign_crn_reuse.load(Ordering::Relaxed);
             updates += metrics.updates.load(Ordering::Relaxed);
             invalidations += metrics.invalidations.load(Ordering::Relaxed);
             errors += metrics.errors.load(Ordering::Relaxed);
@@ -273,8 +283,10 @@ impl EngineMetrics {
             },
             batches,
             mc_queries,
+            mc_trials_total,
             campaigns_run,
             scenarios_evaluated,
+            campaign_crn_reuse,
             updates,
             invalidations,
             errors,
@@ -310,10 +322,14 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Monte-Carlo (`MC`) requests served from compiled programs.
     pub mc_queries: u64,
+    /// Monte-Carlo trials drawn (`MC` requests + sampled campaign pricing).
+    pub mc_trials_total: u64,
     /// `CAMPAIGN` requests completed.
     pub campaigns_run: u64,
     /// Scenarios evaluated across all campaigns.
     pub scenarios_evaluated: u64,
+    /// Draw words served from shared campaign baseline tables (CRN reuse).
+    pub campaign_crn_reuse: u64,
     pub updates: u64,
     pub invalidations: u64,
     pub errors: u64,
@@ -368,7 +384,8 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         let mut line = format!(
             "queries={} cache_hits={} cache_misses={} stale_results={} negative_hits={} \
-             hit_rate={:.3} batches={} mc_queries={} campaigns={} scenarios={} updates={} \
+             hit_rate={:.3} batches={} mc_queries={} mc_trials={} campaigns={} scenarios={} \
+             crn_reuse={} updates={} \
              invalidations={} errors={} evals={} \
              eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
              cache_residency={}/{} cache_evictions={} epoch={} workers={} state_dir={} \
@@ -381,8 +398,10 @@ impl MetricsSnapshot {
             self.hit_rate,
             self.batches,
             self.mc_queries,
+            self.mc_trials_total,
             self.campaigns_run,
             self.scenarios_evaluated,
+            self.campaign_crn_reuse,
             self.updates,
             self.invalidations,
             self.errors,
@@ -536,11 +555,19 @@ mod tests {
         EngineMetrics::add(&a.scenarios_evaluated, 358);
         EngineMetrics::add(&b.campaigns_run, 2);
         EngineMetrics::add(&b.scenarios_evaluated, 90);
+        EngineMetrics::add(&a.mc_trials_total, 1_000_000);
+        EngineMetrics::add(&b.mc_trials_total, 500_000);
+        EngineMetrics::add(&a.campaign_crn_reuse, 4096);
+        EngineMetrics::add(&b.campaign_crn_reuse, 1024);
         let rolled = EngineMetrics::rollup([&a, &b], 2);
         assert_eq!(rolled.campaigns_run, 3);
         assert_eq!(rolled.scenarios_evaluated, 448);
+        assert_eq!(rolled.mc_trials_total, 1_500_000);
+        assert_eq!(rolled.campaign_crn_reuse, 5120);
         let line = rolled.render();
+        assert!(line.contains("mc_trials=1500000"), "line: {line}");
         assert!(line.contains("campaigns=3 scenarios=448"), "line: {line}");
+        assert!(line.contains("crn_reuse=5120"), "line: {line}");
     }
 
     #[test]
