@@ -20,17 +20,21 @@
 //!   and its perspective cache still empty (a campaign works on pinned
 //!   copies, never the shard),
 //! * determinism — for every phase the JSON report of the 1-worker run
-//!   is byte-identical to the 4-worker (and all-cores) run for the same
-//!   size and spec
+//!   is byte-identical to every other worker count in the {1, 2, 4, 8}
+//!   sweep for the same size and spec
 //!   (for the `mc:` sweeps this is the CRN/independent determinism
 //!   contract: estimates are pure functions of the spec, never of the
 //!   host's core count),
 //! * reuse — the CRN sweep must actually hit the shared draw table
 //!   (`campaign_crn_reuse > 0`) while the independent sweep never does.
 //!
-//! Outside `--smoke` the CRN sweep must additionally clear a 2×
-//! scenarios/sec speedup over the independent-seeds sweep on the
-//! 358-device campus at equal worker counts.
+//! The JSON records `host_cpus` and per-phase `parallel_efficiency`
+//! (throughput scaling / workers). Outside `--smoke` the CRN sweep must
+//! additionally clear a 2× scenarios/sec speedup over the
+//! independent-seeds sweep on the 358-device campus at equal worker
+//! counts, and scenarios/sec must be monotone non-decreasing in workers
+//! (5% noise floor) across every count the host can truly run in
+//! parallel (`workers <= host_cpus`).
 
 use std::time::Instant;
 
@@ -104,15 +108,44 @@ fn campus_engine(params: CampusParams, workers: usize) -> Engine {
     )
 }
 
-/// `{1, 4, all cores}`, deduplicated. The 4-worker column is pinned even
-/// on small hosts so the byte-identical-report assert always compares at
-/// least two genuinely different fan-out schedules.
+/// The worker-scaling sweep `{1, 2, 4, 8}` (+ all cores when larger),
+/// pinned even on small hosts so the byte-identical-report assert always
+/// compares several genuinely different fan-out schedules. `host_cpus`
+/// in the emitted JSON says which of these counts the host could truly
+/// run in parallel.
 fn worker_counts(all_cores: usize) -> Vec<usize> {
-    let mut counts = vec![1, 4];
-    if all_cores > 4 {
+    let mut counts = vec![1, 2, 4, 8];
+    if all_cores > 8 {
         counts.push(all_cores);
     }
     counts
+}
+
+/// Parallel efficiency of every multi-worker cell:
+/// `scenarios/sec at w workers / (w * scenarios/sec at 1 worker)` per
+/// phase and campus — 1.0 is perfect linear scaling.
+fn parallel_efficiency(cells: &[Cell]) -> Vec<(&'static str, usize, usize, f64, f64)> {
+    let base = |phase, devices| {
+        cells
+            .iter()
+            .find(|c| c.phase == phase && c.devices == devices && c.workers == 1)
+            .expect("1-worker cell present")
+            .scenarios_per_sec()
+    };
+    cells
+        .iter()
+        .filter(|c| c.workers > 1)
+        .map(|c| {
+            let scaling = c.scenarios_per_sec() / base(c.phase, c.devices);
+            (
+                c.phase,
+                c.devices,
+                c.workers,
+                scaling,
+                scaling / c.workers as f64,
+            )
+        })
+        .collect()
 }
 
 /// Runs `spec` once per worker count on a fresh engine, asserting the
@@ -243,9 +276,33 @@ fn main() {
                 );
             }
         }
+        // Worker scaling: scenarios/sec must be monotone non-decreasing
+        // in workers (5% noise floor) — but only across counts the host
+        // can actually run in parallel; oversubscribed columns are
+        // recorded (with `host_cpus` for context) and exempted.
+        for phase in ["kill", "crn", "independent"] {
+            for params in sizes(smoke) {
+                let devices = params.device_count();
+                let sweep: Vec<&Cell> = cells
+                    .iter()
+                    .filter(|c| c.phase == phase && c.devices == devices && c.workers <= all_cores)
+                    .collect();
+                for pair in sweep.windows(2) {
+                    assert!(
+                        pair[1].scenarios_per_sec() >= 0.95 * pair[0].scenarios_per_sec(),
+                        "{phase} throughput fell from {:.1}/s at {} worker(s) to {:.1}/s at {} \
+                         worker(s) on {devices} devices (host_cpus={all_cores})",
+                        pair[0].scenarios_per_sec(),
+                        pair[0].workers,
+                        pair[1].scenarios_per_sec(),
+                        pair[1].workers,
+                    );
+                }
+            }
+        }
     }
 
-    let json = render_json(smoke, samples, &cells);
+    let json = render_json(smoke, samples, all_cores, &cells);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
 
     println!("campaign bench → {out}");
@@ -278,6 +335,12 @@ fn main() {
             "CRN speedup vs independent-seeds @ {devices} devices / {workers} worker(s): {speedup:.2}x"
         );
     }
+    for (phase, devices, workers, scaling, efficiency) in parallel_efficiency(&cells) {
+        println!(
+            "{phase} scaling @ {devices} devices: {workers} workers = {scaling:.2}x \
+             (efficiency {efficiency:.2}, host_cpus {all_cores})"
+        );
+    }
 }
 
 /// CRN vs independent-seeds scenarios/sec at equal worker counts.
@@ -303,10 +366,11 @@ fn crn_speedups(cells: &[Cell]) -> Vec<(usize, usize, f64)> {
 }
 
 /// Hand-rolled JSON (numbers + fixed keys only; nothing needs escaping).
-fn render_json(smoke: bool, samples: usize, cells: &[Cell]) -> String {
+fn render_json(smoke: bool, samples: usize, host_cpus: usize, cells: &[Cell]) -> String {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"campaign\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!("  \"kill_spec\": \"{}\",\n", kill_spec()));
     json.push_str(&format!(
         "  \"crn_spec\": \"{}\",\n",
@@ -341,6 +405,20 @@ fn render_json(smoke: bool, samples: usize, cells: &[Cell]) -> String {
         json.push_str(&format!(
             "{{\"devices\": {devices}, \"workers\": {workers}, \"speedup\": {speedup:.3}}}{}",
             if i + 1 == ratios.len() { "" } else { ", " }
+        ));
+    }
+    json.push_str("],\n");
+    json.push_str("  \"parallel_efficiency\": [");
+    let efficiencies = parallel_efficiency(cells);
+    for (i, (phase, devices, workers, scaling, efficiency)) in efficiencies.iter().enumerate() {
+        json.push_str(&format!(
+            "{{\"phase\": \"{phase}\", \"devices\": {devices}, \"workers\": {workers}, \
+             \"scaling\": {scaling:.3}, \"parallel_efficiency\": {efficiency:.3}}}{}",
+            if i + 1 == efficiencies.len() {
+                ""
+            } else {
+                ", "
+            }
         ));
     }
     json.push_str("]\n}\n");

@@ -1,9 +1,12 @@
 //! Scenario evaluation against an immutable base model.
 //!
 //! A campaign never mutates the live model: it works on a
-//! [`CampaignInput`] — cloned infrastructure + service, the shard's
-//! shared interned graph, and a perspective scope — and prices every
-//! scenario against per-perspective *baselines* it evaluates itself.
+//! [`CampaignInput`] — `Arc`-pinned infrastructure + service (shared
+//! with the shard's snapshot, never deep-copied), the shard's shared
+//! interned graph, and a perspective scope — and prices every scenario
+//! against per-perspective *baselines* it evaluates itself. Structural
+//! scenarios overlay the pinned models copy-on-write: setup cost scales
+//! with the perturbation, not the model.
 //!
 //! Two cost tiers, chosen per (scenario, perspective):
 //!
@@ -44,7 +47,7 @@ use std::sync::Arc;
 
 use dependability::mcprog::{derive_seed, DrawTable};
 use dependability::perturb::{availability_with, scaled_availability};
-use dependability::{AnalysisOptions, McProgram, ServiceAvailabilityModel};
+use dependability::{AnalysisOptions, McProgram, McScratch, ServiceAvailabilityModel};
 use upsim_core::discovery::DiscoveryOptions;
 use upsim_core::infrastructure::{DeviceKind, Infrastructure};
 use upsim_core::interned::InternedGraph;
@@ -61,13 +64,18 @@ use crate::spec::CampaignSpec;
 pub type Mapper =
     Arc<dyn Fn(&CompositeService, &str, &str) -> upsim_core::mapping::ServiceMapping + Send + Sync>;
 
+/// Perspective scope as interned `(client, provider)` name pairs —
+/// every holder shares the `Arc<str>`s instead of re-cloning strings.
+pub type InternedPairs = Vec<(Arc<str>, Arc<str>)>;
+
 /// Everything a worker needs to evaluate campaign tasks: immutable once
 /// built, shared by `Arc` across the pool.
 pub struct CampaignInput {
-    /// Private copy of the base infrastructure (epoch-pinned).
-    pub infrastructure: Infrastructure,
-    /// Private copy of the base composite service.
-    pub service: CompositeService,
+    /// The pinned base infrastructure — an `Arc` share of the shard's
+    /// epoch-pinned snapshot, never a deep copy.
+    pub infrastructure: Arc<Infrastructure>,
+    /// The pinned base composite service.
+    pub service: Arc<CompositeService>,
     /// Perspective mapper (shared with the owning shard).
     pub mapper: Mapper,
     /// Discovery options (shared with the owning shard).
@@ -77,8 +85,10 @@ pub struct CampaignInput {
     pub graph: Arc<InternedGraph>,
     /// Availability-model options (the engine evaluates with defaults).
     pub analysis: AnalysisOptions,
-    /// Perspective scope, in deterministic model order.
-    pub pairs: Vec<(String, String)>,
+    /// Perspective scope, in deterministic model order. Names are
+    /// interned once here; baselines and reports share the `Arc`s
+    /// instead of re-cloning strings per pair.
+    pub pairs: InternedPairs,
     /// Generated scenarios, index == position.
     pub scenarios: Vec<Scenario>,
     /// The parsed spec (MC settings, report shape).
@@ -90,13 +100,15 @@ impl CampaignInput {
     /// bundles the immutable inputs. `graph` should be the shard's shared
     /// interned view when available; `None` interns a fresh one.
     pub fn prepare(
-        infrastructure: Infrastructure,
-        service: CompositeService,
+        infrastructure: impl Into<Arc<Infrastructure>>,
+        service: impl Into<Arc<CompositeService>>,
         mapper: Mapper,
         discovery: DiscoveryOptions,
         graph: Option<Arc<InternedGraph>>,
         spec: CampaignSpec,
     ) -> Result<Self, String> {
+        let infrastructure = infrastructure.into();
+        let service = service.into();
         let pairs = resolve_pairs(&infrastructure, &spec)?;
         let scenarios = generate(&infrastructure, &service, &spec)?;
         let graph = graph.unwrap_or_else(|| Arc::new(infrastructure.to_interned_graph()));
@@ -119,7 +131,7 @@ impl CampaignInput {
 fn resolve_pairs(
     infrastructure: &Infrastructure,
     spec: &CampaignSpec,
-) -> Result<Vec<(String, String)>, String> {
+) -> Result<InternedPairs, String> {
     if !spec.pairs.is_empty() {
         for (client, provider) in &spec.pairs {
             for device in [client, provider] {
@@ -128,22 +140,32 @@ fn resolve_pairs(
                 }
             }
         }
-        return Ok(spec.pairs.clone());
+        return Ok(spec
+            .pairs
+            .iter()
+            .map(|(c, p)| (Arc::from(c.as_str()), Arc::from(p.as_str())))
+            .collect());
     }
-    let mut clients = Vec::new();
-    let mut providers = Vec::new();
+    // Intern each device name exactly once; the cross product below (and
+    // every baseline perspective built from it) shares the same `Arc`s.
+    let mut clients: Vec<Arc<str>> = Vec::new();
+    let mut providers: Vec<Arc<str>> = Vec::new();
     for instance in &infrastructure.objects.instances {
         match infrastructure.kind_of(&instance.name) {
-            Ok(DeviceKind::Client) => clients.push(instance.name.clone()),
+            Ok(DeviceKind::Client) => clients.push(Arc::from(instance.name.as_str())),
             Ok(DeviceKind::Server) | Ok(DeviceKind::Printer) => {
-                providers.push(instance.name.clone());
+                providers.push(Arc::from(instance.name.as_str()));
             }
             _ => {}
         }
     }
-    let pairs: Vec<(String, String)> = clients
+    let pairs: InternedPairs = clients
         .iter()
-        .flat_map(|c| providers.iter().map(move |p| (c.clone(), p.clone())))
+        .flat_map(|c| {
+            providers
+                .iter()
+                .map(move |p| (Arc::clone(c), Arc::clone(p)))
+        })
         .collect();
     if pairs.is_empty() {
         return Err(
@@ -175,10 +197,10 @@ pub struct McBaseline {
 /// One perspective's baseline: exact availability plus everything needed
 /// to decide whether a perturbation touches it and to re-price it.
 pub struct BaselinePerspective {
-    /// Requesting client device.
-    pub client: String,
-    /// Providing device.
-    pub provider: String,
+    /// Requesting client device (shared with `CampaignInput::pairs`).
+    pub client: Arc<str>,
+    /// Providing device (shared with `CampaignInput::pairs`).
+    pub provider: Arc<str>,
     /// Baseline availability: BDD-exact, except under common-random-number
     /// `mc:` pricing, where it is the baseline-stream MC estimate so that
     /// scenario deltas are paired-sampling differences.
@@ -231,9 +253,11 @@ pub fn evaluate_baseline_chunk(
                 p
             }
             None => {
+                // Arc shares — the pipeline pins the same model copy the
+                // whole campaign runs against.
                 let mut fresh = UpsimPipeline::new(
-                    input.infrastructure.clone(),
-                    input.service.clone(),
+                    Arc::clone(&input.infrastructure),
+                    Arc::clone(&input.service),
                     mapping,
                 )
                 .map_err(|e| e.to_string())?;
@@ -277,8 +301,8 @@ pub fn evaluate_baseline_chunk(
             None => model.availability_bdd(),
         };
         out.push(BaselinePerspective {
-            client: client.clone(),
-            provider: provider.clone(),
+            client: Arc::clone(client),
+            provider: Arc::clone(provider),
             availability,
             upsim,
             model,
@@ -305,11 +329,33 @@ pub struct ScenarioOutcome {
     pub crn_reused: u64,
 }
 
-/// Evaluates scenario `index` against the shared baselines.
+/// Reusable per-worker evaluation state: scratch buffers shared by every
+/// scenario a worker prices, so an N-scenario chunk allocates MC scratch
+/// (words, overlay draws, worklists) once instead of once per scenario.
+#[derive(Default)]
+pub struct EvalCtx {
+    scratch: McScratch,
+}
+
+/// Evaluates scenario `index` against the shared baselines with
+/// throwaway per-call state (tests, one-off callers). Workers pricing
+/// many scenarios should hold an [`EvalCtx`] and call
+/// [`evaluate_scenario_with`].
 pub fn evaluate_scenario(
     input: &CampaignInput,
     baseline: &Baseline,
     index: usize,
+) -> Result<ScenarioOutcome, String> {
+    evaluate_scenario_with(input, baseline, index, &mut EvalCtx::default())
+}
+
+/// Evaluates scenario `index` against the shared baselines, reusing the
+/// worker's [`EvalCtx`] across calls.
+pub fn evaluate_scenario_with(
+    input: &CampaignInput,
+    baseline: &Baseline,
+    index: usize,
+    ctx: &mut EvalCtx,
 ) -> Result<ScenarioOutcome, String> {
     let scenario = &input.scenarios[index];
     let mut kills: Vec<&str> = Vec::new();
@@ -325,9 +371,11 @@ pub fn evaluate_scenario(
         }
     }
 
-    // Perturbed copies and the warm pipeline over them, built lazily on
-    // the first perspective that needs a structural re-run.
-    let mut rebuilt: Option<(Infrastructure, CompositeService)> = None;
+    // Perturbed overlays and the warm pipeline over them, built lazily on
+    // the first perspective that needs a structural re-run. The overlay is
+    // copy-on-write: components of the base model a perturbation does not
+    // touch stay `Arc`-shared with the campaign input.
+    let mut rebuilt: Option<(Arc<Infrastructure>, Arc<CompositeService>)> = None;
     let mut pipeline: Option<UpsimPipeline> = None;
 
     let mut availabilities = Vec::with_capacity(baseline.perspectives.len());
@@ -359,8 +407,9 @@ pub fn evaluate_scenario(
                     p
                 }
                 None => {
-                    let mut fresh = UpsimPipeline::new(infra2.clone(), service2.clone(), mapping)
-                        .map_err(|e| e.to_string())?;
+                    let mut fresh =
+                        UpsimPipeline::new(Arc::clone(infra2), Arc::clone(service2), mapping)
+                            .map_err(|e| e.to_string())?;
                     fresh.record_paths = false;
                     fresh.set_options(input.discovery);
                     pipeline.insert(fresh)
@@ -383,8 +432,9 @@ pub fn evaluate_scenario(
         } else if let Some(mcb) = &persp.mc {
             // Parametric perturbation under common random numbers: the
             // baseline program's shape survives, so only the perturbed
-            // thresholds are rewritten and every untouched component's
-            // draw words come straight from the shared table.
+            // thresholds are overlaid — no program clone, no fresh
+            // scratch — and every untouched component's draw words come
+            // straight from the shared table.
             let probs = perturbed_probs(
                 &persp.model,
                 &persp.classes,
@@ -392,17 +442,21 @@ pub fn evaluate_scenario(
                 &scales,
                 input.analysis.paper_formula,
             );
-            let scenario_program = mcb.program.with_thresholds(&probs);
             let settings = input.spec.mc.expect("mc settings present under CRN");
             mc_trials += settings.samples as u64;
             match &mcb.table {
                 Some(table) => {
-                    let mut scratch = scenario_program.scratch();
-                    let (result, reused) = scenario_program.run_with_table(table, &mut scratch);
+                    let (result, reused) =
+                        mcb.program
+                            .run_with_table_thresholds(table, &probs, &mut ctx.scratch);
                     crn_reused += reused;
                     result.estimate
                 }
-                None => scenario_program.run(settings.samples, 1, mcb.seed).estimate,
+                None => {
+                    mcb.program
+                        .run_thresholds(&probs, settings.samples, mcb.seed, &mut ctx.scratch)
+                        .estimate
+                }
             }
         } else {
             price(
@@ -437,19 +491,28 @@ fn touches(persp: &BaselinePerspective, perturbations: &[Perturbation]) -> bool 
     })
 }
 
-/// Applies the structural perturbations to private copies of the base
-/// models.
+/// Applies the structural perturbations as a copy-on-write overlay of
+/// the base models: an untouched side is an `Arc` share of the campaign
+/// input (O(1)); only a side a perturbation actually edits is copied —
+/// and the infrastructure copy itself shares its class-side state
+/// (classes, kinds, profiles) with the base, so a cut pays for the
+/// object diagram, not the whole model.
 fn build_perturbed(
     input: &CampaignInput,
     cuts: &[(&str, &str)],
     drops: &[&str],
-) -> Result<(Infrastructure, CompositeService), String> {
-    let mut infra = input.infrastructure.clone();
-    for (a, b) in cuts {
-        infra.disconnect(a, b).map_err(|e| e.to_string())?;
-    }
+) -> Result<(Arc<Infrastructure>, Arc<CompositeService>), String> {
+    let infra = if cuts.is_empty() {
+        Arc::clone(&input.infrastructure)
+    } else {
+        let mut infra = Infrastructure::clone(&input.infrastructure);
+        for (a, b) in cuts {
+            infra.disconnect(a, b).map_err(|e| e.to_string())?;
+        }
+        Arc::new(infra)
+    };
     let service = if drops.is_empty() {
-        input.service.clone()
+        Arc::clone(&input.service)
     } else {
         let remaining: Vec<&str> = input
             .service
@@ -457,7 +520,10 @@ fn build_perturbed(
             .into_iter()
             .filter(|atomic| !drops.contains(atomic))
             .collect();
-        CompositeService::sequential(input.service.name(), &remaining).map_err(|e| e.to_string())?
+        Arc::new(
+            CompositeService::sequential(input.service.name(), &remaining)
+                .map_err(|e| e.to_string())?,
+        )
     };
     Ok((infra, service))
 }
@@ -554,8 +620,9 @@ fn component_classes(
 pub fn run_serial(input: &CampaignInput) -> Result<(Baseline, Vec<ScenarioOutcome>), String> {
     let perspectives = evaluate_baseline_chunk(input, 0..input.pairs.len())?;
     let baseline = Baseline { perspectives };
+    let mut ctx = EvalCtx::default();
     let outcomes = (0..input.scenarios.len())
-        .map(|i| evaluate_scenario(input, &baseline, i))
+        .map(|i| evaluate_scenario_with(input, &baseline, i, &mut ctx))
         .collect::<Result<Vec<_>, _>>()?;
     Ok((baseline, outcomes))
 }

@@ -33,8 +33,8 @@ pub mod scenario;
 pub mod spec;
 
 pub use eval::{
-    evaluate_baseline_chunk, evaluate_scenario, run_serial, Baseline, BaselinePerspective,
-    CampaignInput, Mapper, ScenarioOutcome,
+    evaluate_baseline_chunk, evaluate_scenario, evaluate_scenario_with, run_serial, Baseline,
+    BaselinePerspective, CampaignInput, EvalCtx, Mapper, ScenarioOutcome,
 };
 pub use report::{aggregate, nines, CampaignReport, ScenarioRow, UserImpact};
 pub use scenario::{Perturbation, Scenario};

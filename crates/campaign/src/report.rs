@@ -139,9 +139,7 @@ pub fn aggregate(
             if persp.availability > SPOF_EPSILON && avail < SPOF_EPSILON {
                 spof = true;
             }
-            let entry = client_delta
-                .entry(persp.client.as_str())
-                .or_insert((0.0, 0));
+            let entry = client_delta.entry(&*persp.client).or_insert((0.0, 0));
             entry.0 += delta;
             entry.1 += 1;
         }
@@ -159,8 +157,8 @@ pub fn aggregate(
             affected: outcome.affected,
             mean,
             mean_delta: baseline_mean - mean,
-            worst_client: worst.client.clone(),
-            worst_provider: worst.provider.clone(),
+            worst_client: worst.client.to_string(),
+            worst_provider: worst.provider.to_string(),
             worst_availability: outcome.availabilities[worst_ix],
             worst_delta,
             nines_lost: nines(baseline_mean) - nines(mean),
@@ -205,8 +203,8 @@ pub fn aggregate(
         perspectives: baseline.perspectives.len(),
         affected_evaluations,
         baseline_mean,
-        baseline_worst_client: worst_persp.client.clone(),
-        baseline_worst_provider: worst_persp.provider.clone(),
+        baseline_worst_client: worst_persp.client.to_string(),
+        baseline_worst_provider: worst_persp.provider.to_string(),
         baseline_worst: worst_persp.availability,
         rows,
         spofs,

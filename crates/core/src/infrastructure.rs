@@ -11,6 +11,7 @@ use crate::error::{UpsimError, UpsimResult};
 use crate::profiles::{availability_profile, network_profile};
 use ict_graph::{Graph, NodeId};
 use std::collections::HashMap;
+use std::sync::Arc;
 use uml::class_diagram::{Association, Class, ClassDiagram};
 use uml::object_diagram::{InstanceSpecification, Link, ObjectDiagram};
 use uml::profile::Profile;
@@ -156,22 +157,28 @@ impl Default for LinkClassSpec {
 
 /// An ICT infrastructure: class diagram + object diagram + the profiles
 /// applied to them.
+///
+/// The class-side state — profiles, class diagram, kind table — is held
+/// behind `Arc`s with copy-on-write mutation, so cloning an
+/// infrastructure (campaign scenario overlays, snapshot generations)
+/// shares everything but the object diagram: a topology-only edit like a
+/// link cut pays for the instances and links, never for the classes.
 #[derive(Debug, Clone)]
 pub struct Infrastructure {
     /// Infrastructure name.
     pub name: String,
     /// The availability profile (Fig. 6).
-    availability: Profile,
+    availability: Arc<Profile>,
     /// The network profile (Fig. 7).
-    network: Profile,
+    network: Arc<Profile>,
     /// The class diagram (Step 1 output; Fig. 8 for the case study).
-    pub classes: ClassDiagram,
+    pub classes: Arc<ClassDiagram>,
     /// The object diagram (Step 2 output; Fig. 9 for the case study).
     pub objects: ObjectDiagram,
     /// Attributes applied to auto-created associations.
     default_link: LinkClassSpec,
     /// Kind per class, for census and lookups.
-    kinds: HashMap<String, DeviceKind>,
+    kinds: Arc<HashMap<String, DeviceKind>>,
 }
 
 impl Infrastructure {
@@ -179,12 +186,12 @@ impl Infrastructure {
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
         Infrastructure {
-            classes: ClassDiagram::new(format!("{name}-classes")),
+            classes: Arc::new(ClassDiagram::new(format!("{name}-classes"))),
             objects: ObjectDiagram::new(format!("{name}-topology")),
-            availability: availability_profile(),
-            network: network_profile(),
+            availability: Arc::new(availability_profile()),
+            network: Arc::new(network_profile()),
             default_link: LinkClassSpec::default(),
-            kinds: HashMap::new(),
+            kinds: Arc::new(HashMap::new()),
             name,
         }
     }
@@ -208,8 +215,9 @@ impl Infrastructure {
     /// Step 1: defines a device class with both profiles applied
     /// (`Component;<kind>` in the paper's Fig. 8 notation).
     pub fn define_device_class(&mut self, spec: DeviceClassSpec) -> UpsimResult<()> {
-        self.classes.add_class(Class::new(&spec.name))?;
-        self.classes.apply_to_class(
+        let classes = Arc::make_mut(&mut self.classes);
+        classes.add_class(Class::new(&spec.name))?;
+        classes.apply_to_class(
             &self.availability,
             &spec.name,
             "Device",
@@ -231,13 +239,13 @@ impl Infrastructure {
                 net_values.push(("processor".into(), Value::from(p.clone())));
             }
         }
-        self.classes.apply_to_class(
+        classes.apply_to_class(
             &self.network,
             &spec.name,
             spec.kind.stereotype(),
             &net_values,
         )?;
-        self.kinds.insert(spec.name.clone(), spec.kind);
+        Arc::make_mut(&mut self.kinds).insert(spec.name.clone(), spec.kind);
         Ok(())
     }
 
@@ -271,9 +279,9 @@ impl Infrastructure {
             Some(assoc) => assoc.name.clone(),
             None => {
                 let name = format!("{class_a}--{class_b}");
-                self.classes
-                    .add_association(Association::new(&name, &class_a, &class_b))?;
-                self.classes.apply_to_association(
+                let classes = Arc::make_mut(&mut self.classes);
+                classes.add_association(Association::new(&name, &class_a, &class_b))?;
+                classes.apply_to_association(
                     &self.availability,
                     &name,
                     "Connector",
@@ -286,7 +294,7 @@ impl Infrastructure {
                         ),
                     ],
                 )?;
-                self.classes.apply_to_association(
+                classes.apply_to_association(
                     &self.network,
                     &name,
                     "Communication",
@@ -496,12 +504,12 @@ impl Infrastructure {
         }
         Ok(Infrastructure {
             name,
-            availability: availability_profile(),
-            network: network_profile(),
-            classes,
+            availability: Arc::new(availability_profile()),
+            network: Arc::new(network_profile()),
+            classes: Arc::new(classes),
             objects,
             default_link: LinkClassSpec::default(),
-            kinds,
+            kinds: Arc::new(kinds),
         })
     }
 

@@ -124,9 +124,15 @@ impl UpsimRun {
 
 /// The methodology pipeline. Owns the three input models, the model space,
 /// and the cached graph view.
+///
+/// The infrastructure and service are held behind `Arc`s: a resident
+/// engine (or a campaign worker) hands the same pinned snapshot to many
+/// pipelines without deep-copying the model per pipeline, and
+/// [`UpsimPipeline::update_infrastructure`] copies-on-write only when an
+/// edit actually lands on a shared model.
 pub struct UpsimPipeline {
-    infrastructure: Infrastructure,
-    service: CompositeService,
+    infrastructure: Arc<Infrastructure>,
+    service: Arc<CompositeService>,
     mapping: ServiceMapping,
     options: DiscoveryOptions,
     /// Record discovered paths in the model space (Step 7's reserved tree).
@@ -141,12 +147,15 @@ pub struct UpsimPipeline {
 
 impl UpsimPipeline {
     /// Creates a pipeline, validating the three input models against each
-    /// other (Steps 1–4 sanity).
+    /// other (Steps 1–4 sanity). Accepts owned models or pre-shared
+    /// `Arc`s — passing an `Arc` shares the model instead of copying it.
     pub fn new(
-        infrastructure: Infrastructure,
-        service: CompositeService,
+        infrastructure: impl Into<Arc<Infrastructure>>,
+        service: impl Into<Arc<CompositeService>>,
         mapping: ServiceMapping,
     ) -> UpsimResult<Self> {
+        let infrastructure = infrastructure.into();
+        let service = service.into();
         infrastructure.validate()?;
         mapping.validate(&service, &infrastructure)?;
         Ok(UpsimPipeline {
@@ -237,7 +246,7 @@ impl UpsimPipeline {
         &mut self,
         edit: impl FnOnce(&mut Infrastructure) -> UpsimResult<()>,
     ) -> UpsimResult<()> {
-        edit(&mut self.infrastructure)?;
+        edit(Arc::make_mut(&mut self.infrastructure))?;
         self.infrastructure.validate()?;
         self.mapping.validate(&self.service, &self.infrastructure)?;
         self.models_imported = false;
@@ -254,7 +263,7 @@ impl UpsimPipeline {
         mapping: ServiceMapping,
     ) -> UpsimResult<()> {
         mapping.validate(&service, &self.infrastructure)?;
-        self.service = service;
+        self.service = Arc::new(service);
         self.mapping = mapping;
         // The activity import is part of Step 5; re-import models.
         self.models_imported = false;

@@ -60,6 +60,6 @@ pub mod transient;
 
 pub use availability::{paper_approximation, steady_state, with_redundancy, ComponentAvailability};
 pub use bdd::{Bdd, BddRef};
-pub use mcprog::{McProgram, McScratch};
+pub use mcprog::{mc_result_from, steal_chunk, wide_block_count, McProgram, McScratch};
 pub use rbd::Block;
 pub use transform::{AnalysisOptions, ServiceAvailabilityModel};

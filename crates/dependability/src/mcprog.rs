@@ -47,7 +47,21 @@
 //! sweep draws the baseline stream once and each scenario re-packs only
 //! the components its perturbation touched. The table is a pure cache —
 //! `run_with_table` is bit-identical to `run(samples, 1, seed)` on the
-//! same program.
+//! same program. The clone-free twins
+//! [`McProgram::run_with_table_thresholds`] and
+//! [`McProgram::run_thresholds`] apply the threshold rewrite as a
+//! scratch-held overlay instead of cloning the program, so per-scenario
+//! setup cost is O(slots copied), not O(program allocated).
+//!
+//! # Parallel execution
+//!
+//! [`McProgram::run`] executes inline when one worker (or one block)
+//! suffices; otherwise its workers drain a shared atomic block cursor
+//! ([`McProgram::run_partial`]) in [`steal_chunk`]-sized claims, so a
+//! straggler rebalances instead of serializing the tail. The same
+//! partial-run API lets the engine's persistent worker pool price one
+//! `MC` query cooperatively — successes sum identically for every
+//! partition ([`mc_result_from`]).
 //!
 //! Compilation constant-folds degenerate availabilities: a component with
 //! `p ≥ 1` is dropped from its paths (AND identity), a path containing a
@@ -55,6 +69,8 @@
 //! empty path is certainly up and dropped from the service, and a pair
 //! left with *no* path pins the whole estimate to 0. Only genuinely
 //! stochastic components are drawn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::montecarlo::MonteCarloResult;
 
@@ -337,13 +353,20 @@ pub struct McProgram {
 
 /// Reusable per-worker scratch: the packed draw words of the current
 /// wide block (slot-major, [`WIDE_WORDS`] words per slot) plus the slot
-/// worklist of the common-random-number path.
+/// worklist of the common-random-number path. One scratch can serve any
+/// number of programs of any shape — every run entry point resizes it —
+/// so a campaign worker allocates it once and reuses it across every
+/// (scenario, perspective) it prices.
 #[derive(Debug, Default, Clone)]
 pub struct McScratch {
     words: Vec<u64>,
     /// Slots that must be packed fresh (all of them on the plain path;
     /// only the perturbed ones when running against a draw table).
     fresh: Vec<u32>,
+    /// Threshold-overlaid draw vector of the clone-free scenario runs
+    /// ([`McProgram::run_thresholds`] /
+    /// [`McProgram::run_with_table_thresholds`]).
+    draws: Vec<CompDraw>,
 }
 
 impl McScratch {
@@ -556,6 +579,7 @@ impl McProgram {
         McScratch {
             words: vec![0; self.draws.len() * WIDE_WORDS],
             fresh: Vec::with_capacity(self.draws.len()),
+            draws: Vec::new(),
         }
     }
 
@@ -640,14 +664,16 @@ impl McProgram {
         ok
     }
 
-    /// Bit-sliced parallel Monte-Carlo run: exactly `samples` trials,
-    /// fanned out over `workers` crossbeam threads (0 = available
-    /// parallelism) in contiguous 512-trial wide-block ranges with one
-    /// reusable scratch buffer per worker. Deterministic: the successes
-    /// of a block depend only on `(seed, block)`, and summation over
-    /// blocks is partition-invariant, so the estimate is bit-identical
-    /// for any `workers` value — and bit-identical to the narrow and
-    /// scalar twins.
+    /// Bit-sliced parallel Monte-Carlo run: exactly `samples` trials over
+    /// 512-trial wide blocks. `workers == 1` (or a single block) runs
+    /// inline on the calling thread — no spawn, no join. Larger counts
+    /// fan `workers` crossbeam threads (0 = available parallelism) over a
+    /// shared work-stealing block cursor, one reusable scratch buffer per
+    /// worker, so a straggler never serializes the tail the way static
+    /// ranges did. Deterministic: the successes of a block depend only on
+    /// `(seed, block)`, and summation over blocks is partition-invariant,
+    /// so the estimate is bit-identical for any `workers` value — and
+    /// bit-identical to the narrow and scalar twins.
     pub fn run(&self, samples: usize, workers: usize, seed: u64) -> MonteCarloResult {
         assert!(samples > 0, "need at least one sample");
         if let Some(estimate) = self.constant_estimate() {
@@ -657,35 +683,24 @@ impl McProgram {
                 samples,
             };
         }
-        let workers = if workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            workers
-        };
-        let pack = pack_slots_fn();
-        let wide_blocks = samples.div_ceil(WIDE_TRIALS) as u64;
-        let per_worker = wide_blocks.div_ceil(workers as u64).max(1);
+        let wide_blocks = wide_block_count(samples);
+        let workers = resolve_workers(workers).min(wide_blocks as usize).max(1);
+        let cursor = AtomicU64::new(0);
+        if workers == 1 {
+            let mut scratch = self.scratch();
+            let successes = self.run_partial(samples, seed, &cursor, wide_blocks, &mut scratch);
+            return result_from(successes, samples);
+        }
+        let chunk = steal_chunk(wide_blocks, workers);
         let successes: u64 = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers as u64 {
-                let lo = (w * per_worker).min(wide_blocks);
-                let hi = (lo + per_worker).min(wide_blocks);
-                if lo == hi {
-                    break;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut scratch = self.scratch();
-                    // No table here: every slot packs fresh.
-                    scratch.fresh.extend(0..self.draws.len() as u32);
-                    let mut ok = 0u64;
-                    for wide_block in lo..hi {
-                        ok += self.wide_successes(seed, wide_block, samples, pack, &mut scratch);
-                    }
-                    ok
-                }));
-            }
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut scratch = self.scratch();
+                        self.run_partial(samples, seed, &cursor, chunk, &mut scratch)
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
@@ -693,6 +708,44 @@ impl McProgram {
         })
         .expect("crossbeam scope");
         result_from(successes, samples)
+    }
+
+    /// Work-stealing partial run: claims `chunk`-sized spans of the
+    /// `samples`-trial grid's wide blocks from the shared `cursor` until
+    /// it is exhausted, returning the successes of the claimed blocks.
+    /// Any set of callers sharing one cursor — scoped threads inside
+    /// [`run`](McProgram::run), or the engine's persistent worker pool —
+    /// partitions the block range exactly once, and because summation
+    /// over blocks is partition-invariant the summed total is
+    /// bit-identical to a single-threaded run. Reduce the summed total
+    /// with [`mc_result_from`].
+    pub fn run_partial(
+        &self,
+        samples: usize,
+        seed: u64,
+        cursor: &AtomicU64,
+        chunk: u64,
+        scratch: &mut McScratch,
+    ) -> u64 {
+        let chunk = chunk.max(1);
+        let wide_blocks = wide_block_count(samples);
+        let pack = pack_slots_fn();
+        scratch.ensure(self);
+        scratch.fresh.clear();
+        // No table here: every slot packs fresh.
+        scratch.fresh.extend(0..self.draws.len() as u32);
+        let mut ok = 0u64;
+        loop {
+            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= wide_blocks {
+                break;
+            }
+            let hi = (lo + chunk).min(wide_blocks);
+            for wide_block in lo..hi {
+                ok += self.wide_successes(seed, wide_block, samples, pack, scratch);
+            }
+        }
+        ok
     }
 
     /// Packs every slot's draw words for the whole `(seed, samples)`
@@ -751,11 +804,102 @@ impl McProgram {
         table: &DrawTable,
         scratch: &mut McScratch,
     ) -> (MonteCarloResult, u64) {
+        let McScratch { words, fresh, .. } = scratch;
+        self.table_run(&self.draws, table, words, fresh)
+    }
+
+    /// The clone-free twin of
+    /// `self.with_thresholds(probs).run_with_table(table, scratch)`: the
+    /// threshold overlay is written into a scratch-held draw vector
+    /// instead of a cloned program, so an N-scenario
+    /// common-random-number sweep allocates nothing per scenario once
+    /// its worker's scratch is warm. Bit-identical to the
+    /// clone-then-run form, including the reused-word count.
+    pub fn run_with_table_thresholds(
+        &self,
+        table: &DrawTable,
+        probs: &[f64],
+        scratch: &mut McScratch,
+    ) -> (MonteCarloResult, u64) {
+        let mut draws = std::mem::take(&mut scratch.draws);
+        self.overlay_thresholds(probs, &mut draws);
+        let McScratch { words, fresh, .. } = scratch;
+        let out = self.table_run(&draws, table, words, fresh);
+        scratch.draws = draws;
+        out
+    }
+
+    /// The clone-free twin of
+    /// `self.with_thresholds(probs).run(samples, 1, seed)` — the
+    /// no-table fallback of campaign pricing. Single-threaded (campaign
+    /// workers parallelize across scenarios), reusing `scratch` for the
+    /// overlaid draw vector and the packed words. Bit-identical to the
+    /// clone-then-run form.
+    pub fn run_thresholds(
+        &self,
+        probs: &[f64],
+        samples: usize,
+        seed: u64,
+        scratch: &mut McScratch,
+    ) -> MonteCarloResult {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            return MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+        }
+        let mut draws = std::mem::take(&mut scratch.draws);
+        self.overlay_thresholds(probs, &mut draws);
+        let pack = pack_slots_fn();
+        scratch.ensure(self);
+        scratch.fresh.clear();
+        scratch.fresh.extend(0..draws.len() as u32);
+        let wide_blocks = samples.div_ceil(WIDE_TRIALS);
+        let mut successes = 0u64;
+        for wide_block in 0..wide_blocks {
+            let base_trial = (wide_block * WIDE_TRIALS) as u64;
+            pack_with(
+                pack,
+                &draws,
+                &scratch.fresh,
+                seed,
+                base_trial,
+                &mut scratch.words,
+            );
+            successes += self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples);
+        }
+        scratch.draws = draws;
+        result_from(successes, samples)
+    }
+
+    /// Fills `draws` with this program's slots, thresholds rewritten
+    /// from `probs` (indexed by model component) — the allocation-free
+    /// core of [`with_thresholds`](McProgram::with_thresholds).
+    fn overlay_thresholds(&self, probs: &[f64], draws: &mut Vec<CompDraw>) {
+        draws.clear();
+        draws.extend_from_slice(&self.draws);
+        for (slot, &comp) in self.slot_comp.iter().enumerate() {
+            draws[slot].threshold = threshold_for(probs[comp as usize]);
+        }
+    }
+
+    /// Shared core of the draw-table runs: evaluates this program's
+    /// structure function over `draws` (either `self.draws` or a
+    /// threshold overlay of them) against the table.
+    fn table_run(
+        &self,
+        draws: &[CompDraw],
+        table: &DrawTable,
+        words: &mut Vec<u64>,
+        fresh: &mut Vec<u32>,
+    ) -> (MonteCarloResult, u64) {
         assert_eq!(
-            self.draws.len(),
+            draws.len(),
             table.keys.len(),
             "draw table shape mismatch: {} slots vs {}",
-            self.draws.len(),
+            draws.len(),
             table.keys.len()
         );
         let samples = table.samples;
@@ -770,36 +914,29 @@ impl McProgram {
             );
         }
         let pack = pack_slots_fn();
-        scratch.ensure(self);
-        scratch.fresh.clear();
+        words.resize(draws.len() * WIDE_WORDS, 0);
+        fresh.clear();
         let mut cached_slots = 0u64;
-        for (slot, draw) in self.draws.iter().enumerate() {
+        for (slot, draw) in draws.iter().enumerate() {
             if table.keys[slot] == (draw.stream, draw.threshold) {
                 cached_slots += 1;
             } else {
-                scratch.fresh.push(slot as u32);
+                fresh.push(slot as u32);
             }
         }
         let wide_blocks = samples.div_ceil(WIDE_TRIALS);
         let mut successes = 0u64;
         for wide_block in 0..wide_blocks {
             let base_trial = (wide_block * WIDE_TRIALS) as u64;
-            for (slot, draw) in self.draws.iter().enumerate() {
+            for (slot, draw) in draws.iter().enumerate() {
                 if table.keys[slot] == (draw.stream, draw.threshold) {
                     let src_lo = slot * table.words_per_slot + wide_block * WIDE_WORDS;
-                    scratch.words[slot * WIDE_WORDS..][..WIDE_WORDS]
+                    words[slot * WIDE_WORDS..][..WIDE_WORDS]
                         .copy_from_slice(&table.words[src_lo..src_lo + WIDE_WORDS]);
                 }
             }
-            pack_with(
-                pack,
-                &self.draws,
-                &scratch.fresh,
-                seed_of(table),
-                base_trial,
-                &mut scratch.words,
-            );
-            successes += self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples);
+            pack_with(pack, draws, fresh, seed_of(table), base_trial, words);
+            successes += self.masked_successes(words, WIDE_WORDS, base_trial, samples);
         }
         let reused_words = cached_slots * wide_blocks as u64 * WIDE_WORDS as u64;
         (result_from(successes, samples), reused_words)
@@ -818,48 +955,55 @@ impl McProgram {
                 samples,
             };
         }
-        let workers = if workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            workers
-        };
         let blocks = samples.div_ceil(64) as u64;
-        let per_worker = blocks.div_ceil(workers as u64).max(1);
-        let successes: u64 = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers as u64 {
-                let lo = (w * per_worker).min(blocks);
-                let hi = (lo + per_worker).min(blocks);
-                if lo == hi {
-                    break;
+        let workers = resolve_workers(workers).min(blocks as usize).max(1);
+        let narrow_span = |words: &mut Vec<u64>, lo: u64, hi: u64| {
+            let mut ok = 0u64;
+            for block in lo..hi {
+                let base_trial = block * 64;
+                for (slot, draw) in self.draws.iter().enumerate() {
+                    words[slot] = draw.pack(seed, base_trial);
                 }
-                handles.push(scope.spawn(move |_| {
-                    let mut words = vec![0u64; self.draws.len()];
-                    let mut ok = 0u64;
-                    for block in lo..hi {
-                        let base_trial = block * 64;
-                        for (slot, draw) in self.draws.iter().enumerate() {
-                            words[slot] = draw.pack(seed, base_trial);
-                        }
-                        let lanes = samples - block as usize * 64;
-                        let mask = if lanes >= 64 {
-                            !0u64
-                        } else {
-                            (1u64 << lanes) - 1
-                        };
-                        ok += u64::from((self.service_word(&words, 0, 1) & mask).count_ones());
-                    }
-                    ok
-                }));
+                let lanes = samples - block as usize * 64;
+                let mask = if lanes >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << lanes) - 1
+                };
+                ok += u64::from((self.service_word(words, 0, 1) & mask).count_ones());
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .sum()
-        })
-        .expect("crossbeam scope");
+            ok
+        };
+        let successes: u64 = if workers == 1 {
+            let mut words = vec![0u64; self.draws.len()];
+            narrow_span(&mut words, 0, blocks)
+        } else {
+            let cursor = AtomicU64::new(0);
+            let chunk = steal_chunk(blocks, workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut words = vec![0u64; self.draws.len()];
+                            let mut ok = 0u64;
+                            loop {
+                                let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if lo >= blocks {
+                                    break;
+                                }
+                                ok += narrow_span(&mut words, lo, (lo + chunk).min(blocks));
+                            }
+                            ok
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .sum()
+            })
+            .expect("crossbeam scope")
+        };
         result_from(successes, samples)
     }
 
@@ -893,7 +1037,40 @@ impl McProgram {
     }
 }
 
-/// Borrow-friendly accessor (keeps `run_with_table`'s call shape tidy).
+/// Number of 512-trial wide blocks a `samples`-trial run covers — the
+/// unit of [`McProgram::run_partial`] work-stealing.
+pub fn wide_block_count(samples: usize) -> u64 {
+    samples.div_ceil(WIDE_TRIALS) as u64
+}
+
+/// Steal-chunk size for fanning `blocks` wide blocks over `workers`:
+/// roughly eight claims per worker so stragglers rebalance, clamped to
+/// `[1, 64]` so neither the claim rate nor the per-claim latency
+/// degenerates. Chunking only changes which worker sums which blocks —
+/// never the total — so any chunk size preserves bit-exactness.
+pub fn steal_chunk(blocks: u64, workers: usize) -> u64 {
+    (blocks / (workers.max(1) as u64 * 8)).clamp(1, 64)
+}
+
+/// Reduces the summed successes of a [`McProgram::run_partial`] fan-out
+/// (or any other partition of a `samples`-trial grid) to the result
+/// [`McProgram::run`] would return.
+pub fn mc_result_from(successes: u64, samples: usize) -> MonteCarloResult {
+    result_from(successes, samples)
+}
+
+/// `0` means "use every core the host offers".
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// Borrow-friendly accessor (keeps `table_run`'s call shape tidy).
 fn seed_of(table: &DrawTable) -> u64 {
     table.seed
 }
@@ -1075,6 +1252,90 @@ mod tests {
         assert_eq!(perturbed, rewritten.run(5000, 1, 77));
         // Slots 0 and 3 kept their thresholds: half the table reused.
         assert_eq!(reused, (base.table_words(5000) / 2) as u64);
+    }
+
+    #[test]
+    fn threshold_overlay_runs_match_the_cloned_program() {
+        let p = [0.9, 0.8, 0.7, 0.6];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let base = compile_unfolded(&p, &systems);
+        let probs = [0.9, 0.0, 0.35, 0.6];
+        let rewritten = base.with_thresholds(&probs);
+        let mut scratch = base.scratch();
+
+        // No-table path: same bits as clone-then-run, scratch reusable.
+        for (samples, seed) in [(5000, 77), (512, 3), (8191, 2013)] {
+            assert_eq!(
+                base.run_thresholds(&probs, samples, seed, &mut scratch),
+                rewritten.run(samples, 1, seed),
+                "run_thresholds diverged at samples={samples} seed={seed}"
+            );
+        }
+
+        // Table path: same bits AND the same reused-word count.
+        let table = base.draw_table(5000, 77);
+        let mut clone_scratch = base.scratch();
+        let expected = rewritten.run_with_table(&table, &mut clone_scratch);
+        assert_eq!(
+            base.run_with_table_thresholds(&table, &probs, &mut scratch),
+            expected
+        );
+        // An identity overlay reuses the whole table.
+        let (same, reused) = base.run_with_table_thresholds(&table, &p, &mut scratch);
+        assert_eq!(same, base.run(5000, 1, 77));
+        assert_eq!(reused, base.table_words(5000) as u64);
+        // The base program is untouched by any of it.
+        assert_eq!(base, compile_unfolded(&p, &systems));
+    }
+
+    #[test]
+    fn work_stealing_handles_adversarial_splits() {
+        let p = [0.9, 0.8, 0.7];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]]];
+        let program = compile(&p, &systems);
+        // workers > blocks (600 samples = 2 wide blocks), workers == 1,
+        // and ragged tails must all agree with the twins.
+        for (samples, workers) in [(600, 8), (600, 1), (513, 64), (4099, 7)] {
+            let wide = program.run(samples, workers, 11);
+            assert_eq!(
+                wide,
+                program.run_narrow(samples, workers, 11),
+                "narrow diverged at samples={samples} workers={workers}"
+            );
+            assert_eq!(
+                wide,
+                program.run_scalar(samples, 11),
+                "scalar diverged at samples={samples} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_partial_fan_out_sums_to_run() {
+        let p = [0.9, 0.8, 0.7, 0.95];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let program = compile(&p, &systems);
+        let samples = 10_001;
+        let reference = program.run(samples, 1, 42);
+        // A pool fan-out: concurrent claimants drain one shared cursor
+        // with different chunk sizes; the summed successes must reduce to
+        // the exact single-threaded result.
+        for (chunk, claimants) in [(1, 4), (3, 2), (64, 5)] {
+            let cursor = AtomicU64::new(0);
+            let total: u64 = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..claimants)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut scratch = program.scratch();
+                            program.run_partial(samples, 42, &cursor, chunk, &mut scratch)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .expect("crossbeam scope");
+            assert_eq!(mc_result_from(total, samples), reference);
+        }
     }
 
     #[test]

@@ -96,6 +96,33 @@ proptest! {
         );
         prop_assert_eq!(sampled, model.compile_mc_unfolded().run(samples, 1, seed));
     }
+
+    /// Adversarial worker/block splits for the work-stealing cursor:
+    /// sample counts biased to the ragged edges of the 512-trial block
+    /// grid (one block plus a lane, one trial short of a block boundary,
+    /// a single trial) and worker counts far beyond the block count, so
+    /// most steal claims come back empty. The wide run must still agree
+    /// bit for bit with the narrow and scalar twins, and with itself at
+    /// one worker.
+    #[test]
+    fn adversarial_splits_are_partition_invariant(
+        params in params_strategy(),
+        samples in prop_oneof![
+            1usize..=64,               // a fraction of one block
+            Just(512usize),            // exactly one block
+            513usize..=1025,           // one block + ragged tail
+            (1usize..=8).prop_map(|k| k * 512 - 1), // one trial short
+            (1usize..=8).prop_map(|k| k * 512 + 1), // one trial over
+        ],
+        workers in prop_oneof![Just(1usize), 2usize..=64],
+        seed in any::<u64>(),
+    ) {
+        let program = campus_model(params).compile_mc();
+        let wide = program.run(samples, workers, seed);
+        prop_assert_eq!(wide, program.run_narrow(samples, workers, seed));
+        prop_assert_eq!(wide, program.run_scalar(samples, seed));
+        prop_assert_eq!(wide, program.run(samples, 1, seed));
+    }
 }
 
 /// Acceptance regression: for a fixed `(seed, samples)` the estimate is

@@ -29,9 +29,10 @@ use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, SendTimeoutError, Sender};
 use dependability::transform::{AnalysisOptions, ServiceAvailabilityModel};
+use dependability::{mc_result_from, steal_chunk, wide_block_count};
 use upsim_campaign::{
-    aggregate, evaluate_baseline_chunk, evaluate_scenario, Baseline, CampaignInput, CampaignReport,
-    CampaignSpec,
+    aggregate, evaluate_baseline_chunk, evaluate_scenario_with, Baseline, CampaignInput,
+    CampaignReport, CampaignSpec, EvalCtx,
 };
 use upsim_core::discovery::DiscoveryOptions;
 use upsim_core::error::UpsimError;
@@ -197,6 +198,10 @@ pub struct UpdateSummary {
 /// A boxed fallible unit of campaign work, fanned out via `scatter`.
 type CampaignTask<T> = Box<dyn FnOnce() -> Result<T, String> + Send>;
 
+/// A boxed streaming chunk of scatter work: sends one `(index, value)`
+/// pair through the result channel for every item it owns.
+type StreamTask<T> = Box<dyn FnOnce(&Sender<(usize, T)>) + Send>;
+
 /// A worker's warm-pipeline map: one `(epoch, pipeline)` per model name it
 /// has evaluated (see the note on [`worker_loop`]).
 type WarmPipelines = HashMap<String, (u64, UpsimPipeline)>;
@@ -208,17 +213,37 @@ enum Job {
         provider: String,
         reply: Sender<Result<Arc<CachedPerspective>, EngineError>>,
     },
-    /// An opaque unit of campaign work. The closure owns its result
-    /// sender; dropping an unexecuted Task (shutdown drain) drops the
-    /// sender, which the submitting thread observes as a closed channel.
-    Task(Box<dyn FnOnce() + Send>),
+    /// An opaque unit of campaign work — a chunk of scenarios or
+    /// baselines streaming results through the sender it owns; dropping
+    /// an unexecuted Task (shutdown drain) drops the sender, which the
+    /// submitting thread observes as a closed channel. The shard tag is
+    /// accounting only (`worker_busy_ns` / `tasks_executed`).
+    Task {
+        shard: Arc<Shard>,
+        run: Box<dyn FnOnce() + Send>,
+    },
     /// One wire request's pool half ([`Engine::execute_wire`]): runs on a
     /// worker with access to its warm pipelines and reports through the
     /// completion callback captured in the closure. Dropping an unexecuted
     /// Wire (shutdown drain) drops that callback, which the front-end's
-    /// ticket guard turns into a shutdown reply.
-    Wire(Box<dyn FnOnce(&mut WarmPipelines) + Send>),
+    /// ticket guard turns into a shutdown reply. The shard tag is
+    /// accounting only.
+    Wire {
+        shard: Arc<Shard>,
+        run: Box<dyn FnOnce(&mut WarmPipelines) + Send>,
+    },
     Stop,
+}
+
+/// Chunk size for fanning `total` independent items over `workers` pool
+/// threads. Adaptive on two axes: enough chunks that every worker gets
+/// several claims (~4, or ~8 when each item is `heavy`, i.e. carries a
+/// sampling loop — finer slices keep stragglers from serializing the
+/// tail), but never more than 64 items per chunk, which bounds how much
+/// latency one chunk can hide from progress reporting and cancellation.
+pub fn adaptive_chunk(total: usize, workers: usize, heavy: bool) -> usize {
+    let claims = if heavy { 8 } else { 4 };
+    total.div_ceil(workers.max(1) * claims).clamp(1, 64)
 }
 
 /// A wire-shaped request the TCP front-end hands to the engine without
@@ -778,8 +803,87 @@ impl Engine {
         let (entry, cached) = self.query_traced_on(model, client, provider)?;
         EngineMetrics::bump(&shard.metrics.mc_queries);
         EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
-        let result = entry.mc_program.run(samples, self.workers.max(1), seed);
+        let result = self.pooled_mc(&shard, &entry.mc_program, samples, seed);
         Ok((result, entry, cached))
+    }
+
+    /// Runs a compiled MC program on the engine's own worker pool: the
+    /// calling thread and up to `workers - 1` enqueued helpers share one
+    /// work-stealing block cursor via [`McProgram::run_partial`], so the
+    /// pool's persistent threads replace the per-call scoped spawn inside
+    /// [`McProgram::run`]. The block sum is partition-invariant, so the
+    /// estimate is bit-identical whether zero, some, or all helpers get
+    /// scheduled — the calling thread drains whatever the pool doesn't
+    /// claim, which also makes the fan-out deadlock-free: it never waits
+    /// on a helper for work it could do itself, and a helper that runs
+    /// after the cursor is exhausted just reports zero.
+    ///
+    /// Must only be called from non-pool threads (the blocking API): a
+    /// worker enqueueing helpers and then blocking on their results could
+    /// deadlock a fully-busy pool. Wire-path MC stays single-threaded on
+    /// its worker for exactly that reason.
+    ///
+    /// [`McProgram::run`]: dependability::McProgram::run
+    /// [`McProgram::run_partial`]: dependability::McProgram::run_partial
+    fn pooled_mc(
+        &self,
+        shard: &Arc<Shard>,
+        program: &Arc<dependability::McProgram>,
+        samples: usize,
+        seed: u64,
+    ) -> dependability::montecarlo::MonteCarloResult {
+        let blocks = wide_block_count(samples);
+        let participants = self.workers.max(1).min(blocks as usize).max(1);
+        if participants == 1 || program.constant_estimate().is_some() {
+            return program.run(samples, 1, seed);
+        }
+        let cursor = Arc::new(AtomicU64::new(0));
+        let chunk = steal_chunk(blocks, participants);
+        let helpers = participants - 1;
+        let (tx, rx) = channel::bounded::<u64>(helpers);
+        let mut queued = 0usize;
+        for _ in 0..helpers {
+            let task_program = Arc::clone(program);
+            let task_cursor = Arc::clone(&cursor);
+            let task_tx = tx.clone();
+            let job = Job::Task {
+                shard: Arc::clone(shard),
+                run: Box::new(move || {
+                    let mut scratch = task_program.scratch();
+                    let _ = task_tx.send(task_program.run_partial(
+                        samples,
+                        seed,
+                        &task_cursor,
+                        chunk,
+                        &mut scratch,
+                    ));
+                }),
+            };
+            // Best-effort: a full job queue means the pool is saturated
+            // with other work, so skip the helper rather than wait — the
+            // calling thread picks up its share through the cursor.
+            if self
+                .job_tx
+                .send_timeout(job, std::time::Duration::ZERO)
+                .is_err()
+            {
+                break;
+            }
+            queued += 1;
+        }
+        drop(tx);
+        let mut scratch = program.scratch();
+        let mut successes = program.run_partial(samples, seed, &cursor, chunk, &mut scratch);
+        for _ in 0..queued {
+            // A helper dropped by the shutdown drain never claimed blocks
+            // (the calling thread ran them), so a closed channel is safe
+            // to ignore: `successes` is already complete.
+            match rx.recv() {
+                Ok(part) => successes += part,
+                Err(_) => break,
+            }
+        }
+        mc_result_from(successes, samples)
     }
 
     /// Cache fast-path; on miss hands the evaluation to the pool and
@@ -842,16 +946,22 @@ impl Engine {
                         entry,
                         cached: true,
                     })),
-                    Ok(None) => self.spawn_wire(Box::new(move |warm| {
-                        let result = evaluate(&shard, warm, &client, &provider);
-                        if result.is_err() {
-                            EngineMetrics::bump(&shard.metrics.errors);
-                        }
-                        done(result.map(|entry| WireResponse::Query {
-                            entry,
-                            cached: false,
-                        }));
-                    })),
+                    Ok(None) => {
+                        let tag = Arc::clone(&shard);
+                        self.spawn_wire(
+                            &tag,
+                            Box::new(move |warm| {
+                                let result = evaluate(&shard, warm, &client, &provider);
+                                if result.is_err() {
+                                    EngineMetrics::bump(&shard.metrics.errors);
+                                }
+                                done(result.map(|entry| WireResponse::Query {
+                                    entry,
+                                    cached: false,
+                                }));
+                            }),
+                        )
+                    }
                 }
             }
             WireRequest::Batch { pairs } => {
@@ -875,13 +985,16 @@ impl Engine {
                         Ok(None) => {
                             let task_shard = Arc::clone(&shard);
                             let task_collector = Arc::clone(&collector);
-                            self.spawn_wire(Box::new(move |warm| {
-                                let result = evaluate(&task_shard, warm, &client, &provider);
-                                if result.is_err() {
-                                    EngineMetrics::bump(&task_shard.metrics.errors);
-                                }
-                                task_collector.fill(index, result);
-                            }));
+                            self.spawn_wire(
+                                &shard,
+                                Box::new(move |warm| {
+                                    let result = evaluate(&task_shard, warm, &client, &provider);
+                                    if result.is_err() {
+                                        EngineMetrics::bump(&task_shard.metrics.errors);
+                                    }
+                                    task_collector.fill(index, result);
+                                }),
+                            );
                         }
                     }
                 }
@@ -897,40 +1010,52 @@ impl Engine {
                 // is bit-identical for any thread split, so running the
                 // trials single-threaded on that worker reproduces
                 // `monte_carlo_on`'s estimate exactly.
-                self.spawn_wire(Box::new(move |warm| {
-                    EngineMetrics::bump(&shard.metrics.queries);
-                    let looked_up = match probe(&shard, &client, &provider) {
-                        Err(err) => Err(err),
-                        Ok(Some(entry)) => Ok((entry, true)),
-                        Ok(None) => match evaluate(&shard, warm, &client, &provider) {
-                            Ok(entry) => Ok((entry, false)),
-                            Err(err) => {
-                                EngineMetrics::bump(&shard.metrics.errors);
-                                Err(err)
+                let tag = Arc::clone(&shard);
+                self.spawn_wire(
+                    &tag,
+                    Box::new(move |warm| {
+                        EngineMetrics::bump(&shard.metrics.queries);
+                        let looked_up = match probe(&shard, &client, &provider) {
+                            Err(err) => Err(err),
+                            Ok(Some(entry)) => Ok((entry, true)),
+                            Ok(None) => match evaluate(&shard, warm, &client, &provider) {
+                                Ok(entry) => Ok((entry, false)),
+                                Err(err) => {
+                                    EngineMetrics::bump(&shard.metrics.errors);
+                                    Err(err)
+                                }
+                            },
+                        };
+                        done(looked_up.map(|(entry, cached)| {
+                            EngineMetrics::bump(&shard.metrics.mc_queries);
+                            EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
+                            let result = entry.mc_program.run(samples, 1, seed);
+                            WireResponse::MonteCarlo {
+                                result,
+                                entry,
+                                cached,
                             }
-                        },
-                    };
-                    done(looked_up.map(|(entry, cached)| {
-                        EngineMetrics::bump(&shard.metrics.mc_queries);
-                        EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
-                        let result = entry.mc_program.run(samples, 1, seed);
-                        WireResponse::MonteCarlo {
-                            result,
-                            entry,
-                            cached,
-                        }
-                    }));
-                }));
+                        }));
+                    }),
+                );
             }
             WireRequest::Update(command) => {
-                self.spawn_wire(Box::new(move |_warm| {
-                    done(apply_update(&shard, command).map(WireResponse::Update));
-                }));
+                let tag = Arc::clone(&shard);
+                self.spawn_wire(
+                    &tag,
+                    Box::new(move |_warm| {
+                        done(apply_update(&shard, command).map(WireResponse::Update));
+                    }),
+                );
             }
             WireRequest::Save => {
-                self.spawn_wire(Box::new(move |_warm| {
-                    done(save_shard(&shard).map(WireResponse::Save));
-                }));
+                let tag = Arc::clone(&shard);
+                self.spawn_wire(
+                    &tag,
+                    Box::new(move |_warm| {
+                        done(save_shard(&shard).map(WireResponse::Save));
+                    }),
+                );
             }
         }
     }
@@ -939,8 +1064,12 @@ impl Engine {
     /// `lookup_or_enqueue`: if the flag flipped after the send, the final
     /// drain drops the job (and its callback — the front-end's ticket
     /// guard answers the wire).
-    fn spawn_wire(&self, task: Box<dyn FnOnce(&mut WarmPipelines) + Send>) {
-        if self.job_tx.send(Job::Wire(task)).is_err() {
+    fn spawn_wire(&self, shard: &Arc<Shard>, task: Box<dyn FnOnce(&mut WarmPipelines) + Send>) {
+        let job = Job::Wire {
+            shard: Arc::clone(shard),
+            run: task,
+        };
+        if self.job_tx.send(job).is_err() {
             return;
         }
         if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -1028,9 +1157,11 @@ impl Engine {
         );
 
         // Phase 1: baselines, chunked so each task amortises one warm
-        // pipeline over a contiguous run of perspectives.
+        // pipeline over a contiguous run of perspectives. Baselines are
+        // always heavy (a pipeline run per perspective, plus the CRN
+        // pack when sampling), so they take the fine-grained policy.
         let pairs = input.pairs.len();
-        let chunk = pairs.div_ceil((self.workers.max(1)) * 2).max(1);
+        let chunk = adaptive_chunk(pairs, self.workers.max(1), true);
         let mut baseline_tasks: Vec<CampaignTask<Vec<upsim_campaign::BaselinePerspective>>> =
             Vec::new();
         let mut start = 0;
@@ -1042,7 +1173,7 @@ impl Engine {
             }));
             start = end;
         }
-        let chunks = self.scatter(baseline_tasks, |_| {}, Some(cancel))?;
+        let chunks = self.scatter(&shard, baseline_tasks, |_| {}, Some(cancel))?;
         let mut perspectives = Vec::with_capacity(pairs);
         for chunk in chunks {
             perspectives.extend(chunk.map_err(EngineError::Campaign)?);
@@ -1057,38 +1188,62 @@ impl Engine {
             );
         }
 
-        // Phase 2: one task per scenario; results come back keyed by
-        // generation index, so aggregation order (and therefore the
-        // report) is worker-count invariant. Each task re-checks the
-        // cancellation flag on the worker and bumps `scenarios_evaluated`
-        // itself, so the counter reflects work actually done — a cancelled
-        // campaign's count stops short of the scenario total.
+        // Phase 2: scenarios, coalesced into index-keyed chunks — one
+        // pool task prices a contiguous run of scenarios through a single
+        // reused `EvalCtx` (scratch words survive across the chunk) and
+        // streams each outcome back under the scenario's own index, so
+        // aggregation order (and therefore the report) stays worker-count
+        // invariant and `progress` still ticks per scenario, not per
+        // chunk. The cancellation flag is re-checked between scenarios on
+        // the worker: a cancelled chunk answers its remaining indexes
+        // with the cancel error instead of evaluating, so the collection
+        // loop always sees `total` results and the `scenarios_evaluated`
+        // counter reflects work actually done.
         let total = input.scenarios.len();
-        let scenario_tasks: Vec<CampaignTask<upsim_campaign::ScenarioOutcome>> = (0..total)
-            .map(|index| {
-                let task_input = Arc::clone(&input);
-                let task_baseline = Arc::clone(&baseline);
-                let task_cancel = Arc::clone(cancel);
-                let task_shard = Arc::clone(&shard);
-                Box::new(move || {
-                    if task_cancel.load(Ordering::Relaxed) {
-                        return Err("campaign cancelled".to_string());
-                    }
-                    let outcome = evaluate_scenario(&task_input, &task_baseline, index);
-                    if let Ok(outcome) = &outcome {
-                        EngineMetrics::bump(&task_shard.metrics.scenarios_evaluated);
-                        EngineMetrics::add(&task_shard.metrics.mc_trials_total, outcome.mc_trials);
-                        EngineMetrics::add(
-                            &task_shard.metrics.campaign_crn_reuse,
-                            outcome.crn_reused,
-                        );
-                    }
-                    outcome
-                }) as CampaignTask<upsim_campaign::ScenarioOutcome>
-            })
-            .collect();
+        let chunk = adaptive_chunk(total, self.workers.max(1), input.spec.mc.is_some());
+        let mut scenario_tasks: Vec<StreamTask<Result<upsim_campaign::ScenarioOutcome, String>>> =
+            Vec::new();
+        let mut start = 0;
+        while start < total {
+            let end = (start + chunk).min(total);
+            let task_input = Arc::clone(&input);
+            let task_baseline = Arc::clone(&baseline);
+            let task_cancel = Arc::clone(cancel);
+            let task_shard = Arc::clone(&shard);
+            scenario_tasks.push(Box::new(move |tx| {
+                let mut ctx = EvalCtx::default();
+                for index in start..end {
+                    let outcome = if task_cancel.load(Ordering::Relaxed) {
+                        Err("campaign cancelled".to_string())
+                    } else {
+                        let outcome =
+                            evaluate_scenario_with(&task_input, &task_baseline, index, &mut ctx);
+                        if let Ok(outcome) = &outcome {
+                            EngineMetrics::bump(&task_shard.metrics.scenarios_evaluated);
+                            EngineMetrics::add(
+                                &task_shard.metrics.mc_trials_total,
+                                outcome.mc_trials,
+                            );
+                            EngineMetrics::add(
+                                &task_shard.metrics.campaign_crn_reuse,
+                                outcome.crn_reused,
+                            );
+                        }
+                        outcome
+                    };
+                    let _ = tx.send((index, outcome));
+                }
+            }));
+            start = end;
+        }
         let outcomes = self
-            .scatter(scenario_tasks, |done| progress(done, total), Some(cancel))?
+            .scatter_stream(
+                &shard,
+                total,
+                scenario_tasks,
+                |done| progress(done, total),
+                Some(cancel),
+            )?
             .into_iter()
             .collect::<Result<Vec<_>, _>>()
             .map_err(EngineError::Campaign)?;
@@ -1099,24 +1254,57 @@ impl Engine {
     }
 
     /// Fans a batch of independent closures across the worker pool and
-    /// blocks until every result is back, returned in submission order.
-    /// If the engine shuts down mid-batch, drained tasks drop their
-    /// result senders and the collection loop observes the closed channel
-    /// — the caller gets `EngineError::Shutdown`, never a hang.
+    /// blocks until every result is back, returned in submission order —
+    /// the one-result-per-task face of [`Engine::scatter_stream`].
     fn scatter<T: Send + 'static>(
         &self,
+        shard: &Arc<Shard>,
         tasks: Vec<Box<dyn FnOnce() -> T + Send>>,
+        on_result: impl FnMut(usize),
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> Result<Vec<T>, EngineError> {
+        let expected = tasks.len();
+        let tasks: Vec<StreamTask<T>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, task)| {
+                Box::new(move |tx: &Sender<(usize, T)>| {
+                    let _ = tx.send((index, task()));
+                }) as StreamTask<T>
+            })
+            .collect();
+        self.scatter_stream(shard, expected, tasks, on_result, cancel)
+    }
+
+    /// The chunked scatter core: submits `tasks` to the pool, each task
+    /// streaming any number of `(index, value)` results through the
+    /// sender it is handed, and blocks until `expected` distinct indexes
+    /// have arrived, returned in index order. `on_result` fires once per
+    /// received item (not per task), which is what keeps per-scenario
+    /// `PROGRESS` milestones alive under chunked submission. The result
+    /// channel has room for every expected item, so workers never block
+    /// sending and the job queue always drains while workers live. If
+    /// the engine shuts down mid-batch, drained tasks drop their result
+    /// senders and the collection loop observes the closed channel — the
+    /// caller gets `EngineError::Shutdown`, never a hang.
+    fn scatter_stream<T: Send + 'static>(
+        &self,
+        shard: &Arc<Shard>,
+        expected: usize,
+        tasks: Vec<StreamTask<T>>,
         mut on_result: impl FnMut(usize),
         cancel: Option<&Arc<AtomicBool>>,
     ) -> Result<Vec<T>, EngineError> {
         let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
-        let total = tasks.len();
+        let total = expected;
+        EngineMetrics::add(&shard.metrics.scatter_chunks, tasks.len() as u64);
         let (result_tx, result_rx) = channel::bounded::<(usize, T)>(total.max(1));
-        for (index, task) in tasks.into_iter().enumerate() {
+        for task in tasks {
             let tx = result_tx.clone();
-            let mut job = Job::Task(Box::new(move || {
-                let _ = tx.send((index, task()));
-            }));
+            let mut job = Job::Task {
+                shard: Arc::clone(shard),
+                run: Box::new(move || task(&tx)),
+            };
             // The result channel has room for every result, so workers
             // never block sending — the job queue always drains while
             // workers live. A bounded-timeout send keeps us from parking
@@ -1262,11 +1450,11 @@ impl Engine {
                 // Dropping the closure drops its embedded result sender;
                 // the campaign's aggregation loop sees the channel close
                 // and reports `EngineError::Shutdown` itself.
-                Job::Task(task) => drop(task),
+                Job::Task { run, .. } => drop(run),
                 // Likewise: the wire completion callback inside is dropped
                 // unfired, which the front-end's ticket guard converts to a
                 // shutdown reply on the wire.
-                Job::Wire(task) => drop(task),
+                Job::Wire { run, .. } => drop(run),
                 Job::Stop => stolen_stops += 1,
             }
         }
@@ -1289,6 +1477,15 @@ fn worker_loop(rx: Receiver<Job>) {
     // model name means a cold sweep on one model (its epoch bumped) never
     // evicts another model's warm state from this worker.
     let mut warm: WarmPipelines = HashMap::new();
+    // Every executed job is accounted to its shard: busy wall time and a
+    // job count, so `STATS` can expose pool utilization per model.
+    let account = |shard: &Shard, started: Instant| {
+        EngineMetrics::add(
+            &shard.metrics.worker_busy_ns,
+            started.elapsed().as_nanos() as u64,
+        );
+        EngineMetrics::bump(&shard.metrics.tasks_executed);
+    };
     while let Ok(job) = rx.recv() {
         match job {
             Job::Stop => break,
@@ -1298,14 +1495,24 @@ fn worker_loop(rx: Receiver<Job>) {
                 provider,
                 reply,
             } => {
+                let started = Instant::now();
                 let result = evaluate(&shard, &mut warm, &client, &provider);
                 if result.is_err() {
                     EngineMetrics::bump(&shard.metrics.errors);
                 }
+                account(&shard, started);
                 let _ = reply.send(result);
             }
-            Job::Task(task) => task(),
-            Job::Wire(task) => task(&mut warm),
+            Job::Task { shard, run } => {
+                let started = Instant::now();
+                run();
+                account(&shard, started);
+            }
+            Job::Wire { shard, run } => {
+                let started = Instant::now();
+                run(&mut warm);
+                account(&shard, started);
+            }
         }
     }
 }

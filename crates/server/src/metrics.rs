@@ -188,6 +188,16 @@ pub struct EngineMetrics {
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
     pub errors: AtomicU64,
+    /// Nanoseconds pool workers spent executing this shard's jobs
+    /// (evaluations, campaign chunks, wire requests) — busy time, not
+    /// wall time, so `worker_busy_ns / (wall * workers)` is utilization.
+    pub worker_busy_ns: AtomicU64,
+    /// Pool jobs executed for this shard (every `Job` variant).
+    pub tasks_executed: AtomicU64,
+    /// Chunked scatter submissions for this shard's campaigns: how many
+    /// pool tasks its baseline + scenario fan-outs were coalesced into
+    /// (vs. `scenarios_evaluated`, the per-item count).
+    pub scatter_chunks: AtomicU64,
     pub eval_latency: LatencyHistogram,
     /// Cumulative nanoseconds per stage, indexed like [`STAGES`].
     stage_nanos: [AtomicU64; 4],
@@ -247,6 +257,9 @@ impl EngineMetrics {
         let mut updates = 0u64;
         let mut invalidations = 0u64;
         let mut errors = 0u64;
+        let mut worker_busy_ns = 0u64;
+        let mut tasks_executed = 0u64;
+        let mut scatter_chunks = 0u64;
         let mut latency = LatencyCounts::default();
         let mut stage_nanos = [0u64; 4];
         for metrics in parts {
@@ -264,6 +277,9 @@ impl EngineMetrics {
             updates += metrics.updates.load(Ordering::Relaxed);
             invalidations += metrics.invalidations.load(Ordering::Relaxed);
             errors += metrics.errors.load(Ordering::Relaxed);
+            worker_busy_ns += metrics.worker_busy_ns.load(Ordering::Relaxed);
+            tasks_executed += metrics.tasks_executed.load(Ordering::Relaxed);
+            scatter_chunks += metrics.scatter_chunks.load(Ordering::Relaxed);
             latency.absorb(&metrics.eval_latency);
             for (acc, nanos) in stage_nanos.iter_mut().zip(metrics.stage_nanos.iter()) {
                 *acc += nanos.load(Ordering::Relaxed);
@@ -290,6 +306,9 @@ impl EngineMetrics {
             updates,
             invalidations,
             errors,
+            worker_busy_ns,
+            tasks_executed,
+            scatter_chunks,
             evals: latency.count(),
             eval_mean_micros: latency.mean_micros(),
             eval_p50_micros: latency.quantile_upper_bound(0.50),
@@ -333,6 +352,12 @@ pub struct MetricsSnapshot {
     pub updates: u64,
     pub invalidations: u64,
     pub errors: u64,
+    /// Nanoseconds pool workers spent busy on jobs (summed over shards).
+    pub worker_busy_ns: u64,
+    /// Pool jobs executed (every `Job` variant, summed over shards).
+    pub tasks_executed: u64,
+    /// Pool tasks campaign fan-outs were coalesced into (chunked scatter).
+    pub scatter_chunks: u64,
     pub evals: u64,
     pub eval_mean_micros: f64,
     pub eval_p50_micros: u64,
@@ -388,7 +413,8 @@ impl MetricsSnapshot {
              crn_reuse={} updates={} \
              invalidations={} errors={} evals={} \
              eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
-             cache_residency={}/{} cache_evictions={} epoch={} workers={} state_dir={} \
+             cache_residency={}/{} cache_evictions={} epoch={} workers={} \
+             worker_busy_ms={:.2} tasks_executed={} scatter_chunks={} state_dir={} \
              journal_len={} last_save_epoch={}",
             self.queries,
             self.cache_hits,
@@ -415,6 +441,9 @@ impl MetricsSnapshot {
             self.cache_evictions,
             self.epoch,
             self.workers,
+            self.worker_busy_ns as f64 / 1.0e6,
+            self.tasks_executed,
+            self.scatter_chunks,
             self.state_dir.as_deref().unwrap_or("-"),
             self.journal_len,
             self.last_save_epoch,
@@ -527,12 +556,27 @@ mod tests {
         EngineMetrics::bump(&b.cache_misses);
         EngineMetrics::add(&a.negative_hits, 3);
         EngineMetrics::add(&b.negative_hits, 5);
+        EngineMetrics::add(&a.worker_busy_ns, 1_500_000);
+        EngineMetrics::add(&b.worker_busy_ns, 2_500_000);
+        EngineMetrics::add(&a.tasks_executed, 7);
+        EngineMetrics::add(&b.tasks_executed, 9);
+        EngineMetrics::add(&a.scatter_chunks, 2);
+        EngineMetrics::add(&b.scatter_chunks, 4);
         a.eval_latency.record(10);
         b.eval_latency.record(30);
         let rolled = EngineMetrics::rollup([&a, &b], 2);
         assert_eq!(rolled.queries, 10);
         assert_eq!(rolled.negative_hits, 8);
+        assert_eq!(rolled.worker_busy_ns, 4_000_000);
+        assert_eq!(rolled.tasks_executed, 16);
+        assert_eq!(rolled.scatter_chunks, 6);
         assert_eq!(rolled.evals, 2);
+        let line = rolled.render();
+        assert!(line.contains("worker_busy_ms=4.00"), "line: {line}");
+        assert!(
+            line.contains("tasks_executed=16 scatter_chunks=6"),
+            "line: {line}"
+        );
         assert!((rolled.eval_mean_micros - 20.0).abs() < 1e-9);
         // hit_rate over the summed lookups: 2 hits / 4 lookups.
         assert!((rolled.hit_rate - 0.5).abs() < 1e-9);

@@ -44,10 +44,15 @@ pub fn pingpong_mapper() -> PerspectiveMapper {
 }
 
 /// One immutable generation of the engine's model state.
+///
+/// Infrastructure and service are `Arc`-shared: pinning a snapshot for a
+/// campaign, building a cold pipeline, or deriving the next generation
+/// clones a pointer, not the model — [`ModelSnapshot::apply`] copies on
+/// write only when an edit actually lands.
 #[derive(Debug)]
 pub struct ModelSnapshot {
-    pub infrastructure: Infrastructure,
-    pub service: CompositeService,
+    pub infrastructure: Arc<Infrastructure>,
+    pub service: Arc<CompositeService>,
     /// Generation counter; bumped by every published update.
     pub epoch: u64,
     /// The interned graph view (name table + block-cut tree) of this
@@ -79,8 +84,8 @@ impl ModelSnapshot {
     pub fn new(infrastructure: Infrastructure, service: CompositeService) -> UpsimResult<Self> {
         infrastructure.validate()?;
         Ok(ModelSnapshot {
-            infrastructure,
-            service,
+            infrastructure: Arc::new(infrastructure),
+            service: Arc::new(service),
             epoch: 0,
             interned: OnceLock::new(),
         })
@@ -95,8 +100,8 @@ impl ModelSnapshot {
         epoch: u64,
     ) -> Self {
         ModelSnapshot {
-            infrastructure,
-            service,
+            infrastructure: Arc::new(infrastructure),
+            service: Arc::new(service),
             epoch,
             interned: OnceLock::new(),
         }
@@ -126,13 +131,13 @@ impl ModelSnapshot {
     pub fn apply(&mut self, command: &UpdateCommand) -> UpsimResult<()> {
         match command {
             UpdateCommand::Connect { a, b } => {
-                self.infrastructure.connect(a, b)?;
+                Arc::make_mut(&mut self.infrastructure).connect(a, b)?;
             }
             UpdateCommand::Disconnect { a, b } => {
-                self.infrastructure.disconnect(a, b)?;
+                Arc::make_mut(&mut self.infrastructure).disconnect(a, b)?;
             }
             UpdateCommand::SubstituteService { service } => {
-                self.service = service.clone();
+                self.service = Arc::new(service.clone());
             }
         }
         // Any applied command may have changed the topology (and journal

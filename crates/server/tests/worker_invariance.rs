@@ -1,0 +1,141 @@
+//! Worker-count invariance of campaign reports, property-tested: under
+//! the chunked scatter scheduler, copy-on-write scenario overlays, and
+//! per-chunk reused evaluation scratch, the rendered JSON report must be
+//! byte-identical at 1, 2, 4, and 8 workers for any campaign the spec
+//! grammar can express — exact or Monte-Carlo, CRN on or off.
+
+use std::sync::Arc;
+
+use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+use proptest::prelude::*;
+use upsim_server::{CampaignSpec, Engine, EngineConfig, ModelSnapshot};
+
+fn usi_engine(workers: usize) -> Engine {
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    Engine::new(
+        snapshot,
+        EngineConfig {
+            workers,
+            mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Builds a valid campaign spec from sampled toggles: at least one axis,
+/// a small explicit scope, optionally Monte-Carlo pricing with or
+/// without common random numbers.
+fn spec_text(kill: bool, cut: bool, scale: bool, mc: Option<(u16, bool)>) -> String {
+    let mut clauses: Vec<String> = Vec::new();
+    if kill {
+        clauses.push("kill-each-component".to_string());
+    }
+    if cut {
+        clauses.push("cut-each-link".to_string());
+    }
+    if scale {
+        clauses.push("scale-mtbf:*:0.5,2".to_string());
+    }
+    if clauses.is_empty() {
+        clauses.push("kill-each-component".to_string());
+    }
+    clauses.push("pairs:t1:p2,t6:p1".to_string());
+    clauses.push("limit:20000".to_string());
+    if let Some((samples, crn)) = mc {
+        clauses.push(format!("mc:{}:7", 512 + samples as usize));
+        if !crn {
+            clauses.push("independent-seeds".to_string());
+        }
+    }
+    clauses.join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same campaign priced by pools of 1, 2, 4, and 8 workers
+    /// renders to the same JSON bytes — chunk boundaries, steal order,
+    /// and receive order must all be invisible in the report.
+    #[test]
+    fn campaign_json_is_byte_identical_across_worker_counts(
+        kill in any::<bool>(),
+        cut in any::<bool>(),
+        scale in any::<bool>(),
+        mc_on in any::<bool>(),
+        mc_samples in 0u16..1024u16,
+        crn in any::<bool>(),
+    ) {
+        let text = spec_text(kill, cut, scale, mc_on.then_some((mc_samples, crn)));
+        let mut reference: Option<String> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let engine = usi_engine(workers);
+            let spec = CampaignSpec::parse(&text)
+                .unwrap_or_else(|e| panic!("generated spec `{text}` must parse: {e}"));
+            let report = engine
+                .campaign(spec, |_, _| {})
+                .unwrap_or_else(|e| panic!("campaign `{text}` must run: {e}"));
+            let json = report.render_json();
+            match &reference {
+                None => reference = Some(json),
+                Some(expected) => prop_assert_eq!(
+                    expected,
+                    &json,
+                    "report bytes diverged at {} workers for `{}`",
+                    workers,
+                    text
+                ),
+            }
+            engine.shutdown();
+        }
+    }
+}
+
+/// The per-scenario `progress` callback still ticks once per scenario
+/// (not per chunk) under chunked submission — the server's PROGRESS
+/// milestones depend on it — and the scatter-chunk counters show the
+/// coalescing actually happened.
+#[test]
+fn progress_ticks_per_scenario_under_chunked_scatter() {
+    let engine = usi_engine(4);
+    let spec =
+        CampaignSpec::parse("kill-each-component pairs:t1:p2,t6:p1").expect("literal spec parses");
+    let mut seen: Vec<(usize, usize)> = Vec::new();
+    let report = engine
+        .campaign(spec, |done, total| seen.push((done, total)))
+        .expect("campaign runs");
+    assert_eq!(seen.len(), report.scenarios);
+    let expected: Vec<(usize, usize)> = (1..=report.scenarios)
+        .map(|done| (done, report.scenarios))
+        .collect();
+    assert_eq!(seen, expected, "progress must tick 1..=total in order");
+    let stats = engine.stats();
+    assert!(
+        stats.scatter_chunks > 0,
+        "campaign fan-out must be accounted as scatter chunks"
+    );
+    assert!(
+        (stats.scatter_chunks as usize) < report.scenarios + stats.workers * 2,
+        "chunking must coalesce scenarios: {} chunks for {} scenarios",
+        stats.scatter_chunks,
+        report.scenarios
+    );
+    // Busy-time accounting lands on the worker *after* it streams its
+    // last result, so give the counters a moment to settle.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let stats = engine.stats();
+        if stats.tasks_executed >= stats.scatter_chunks {
+            assert!(stats.worker_busy_ns > 0, "executed chunks accrue busy time");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "every scatter chunk executes as a pool task ({} < {})",
+            stats.tasks_executed,
+            stats.scatter_chunks
+        );
+        std::thread::yield_now();
+    }
+    engine.shutdown();
+}

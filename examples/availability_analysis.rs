@@ -74,7 +74,9 @@ fn main() {
     // 4. What-if: the client dominates — give the Comp class a standby
     //    spare (redundantComponents = 1) and re-run the whole methodology.
     let mut infra = usi_infrastructure();
-    let comp = infra.classes.class_mut("Comp").unwrap();
+    let comp = std::sync::Arc::make_mut(&mut infra.classes)
+        .class_mut("Comp")
+        .unwrap();
     for app in &mut comp.applied {
         if let Some(slot) = app
             .values

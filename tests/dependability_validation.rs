@@ -49,7 +49,9 @@ fn redundancy_monotonicity_on_usi() {
     // Increasing redundantComponents on the client class can only help.
     let base = usi_model().availability_bdd();
     let mut infra = usi_infrastructure();
-    let comp = infra.classes.class_mut("Comp").unwrap();
+    let comp = std::sync::Arc::make_mut(&mut infra.classes)
+        .class_mut("Comp")
+        .unwrap();
     for app in &mut comp.applied {
         if let Some(slot) = app
             .values
