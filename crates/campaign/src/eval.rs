@@ -47,7 +47,10 @@ use std::sync::Arc;
 
 use dependability::mcprog::{derive_seed, DrawTable};
 use dependability::perturb::{availability_with, scaled_availability};
-use dependability::{AnalysisOptions, McProgram, McScratch, ServiceAvailabilityModel};
+use dependability::{
+    overlay_model, AnalysisOptions, McProgram, McScratch, ParamEstimator, PosteriorComponent,
+    ServiceAvailabilityModel,
+};
 use upsim_core::discovery::DiscoveryOptions;
 use upsim_core::infrastructure::{DeviceKind, Infrastructure};
 use upsim_core::interned::InternedGraph;
@@ -93,6 +96,13 @@ pub struct CampaignInput {
     pub scenarios: Vec<Scenario>,
     /// The parsed spec (MC settings, report shape).
     pub spec: CampaignSpec,
+    /// The shard's observation-fed parameter layer, pinned with the
+    /// models. A non-empty estimator refines every baseline's component
+    /// availabilities to the posterior means; the `posterior` clause
+    /// additionally block-resamples from it inside the MC kernel. An
+    /// empty estimator leaves every number bit-identical to the
+    /// authored-parameter campaign.
+    pub params: Arc<ParamEstimator>,
 }
 
 impl CampaignInput {
@@ -105,6 +115,7 @@ impl CampaignInput {
         mapper: Mapper,
         discovery: DiscoveryOptions,
         graph: Option<Arc<InternedGraph>>,
+        params: Arc<ParamEstimator>,
         spec: CampaignSpec,
     ) -> Result<Self, String> {
         let infrastructure = infrastructure.into();
@@ -122,6 +133,7 @@ impl CampaignInput {
             pairs,
             scenarios,
             spec,
+            params,
         })
     }
 }
@@ -212,8 +224,15 @@ pub struct BaselinePerspective {
     /// Device class per model component (parallel to `model.components`).
     pub classes: Vec<String>,
     /// Common-random-number state (`mc:` campaigns without
-    /// `independent-seeds`).
+    /// `independent-seeds`, and every `posterior` campaign).
     pub mc: Option<McBaseline>,
+    /// Per-component parameter posteriors (parallel to
+    /// `model.components`; `None` = authored). Empty outside `posterior`
+    /// campaigns.
+    pub posteriors: Vec<Option<PosteriorComponent>>,
+    /// The baseline's 95% posterior predictive interval (`posterior`
+    /// campaigns only).
+    pub interval: Option<(f64, f64)>,
 }
 
 /// All baselines of a campaign, in `pairs` order.
@@ -268,14 +287,34 @@ pub fn evaluate_baseline_chunk(
             }
         };
         let run = p.run().map_err(|e| e.to_string())?;
-        let model = ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
+        let mut model =
+            ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
+        // Refine authored parameters with the pinned observation evidence.
+        // An empty estimator touches nothing, and the posteriors only
+        // matter beyond their point estimates under the `posterior`
+        // clause.
+        let posteriors = if input.params.is_empty() {
+            Vec::new()
+        } else {
+            overlay_model(&mut model, &input.params, input.analysis.paper_formula)
+        };
+        let posteriors = if input.spec.posterior {
+            posteriors
+        } else {
+            Vec::new()
+        };
         let upsim = run.touched_devices().map(str::to_string).collect();
         let classes = component_classes(&input.infrastructure, &model);
+        // `posterior` campaigns always take the shared-stream MC path —
+        // block resampling rewrites thresholds between blocks, which a
+        // packed draw table cannot represent, so the table is skipped
+        // while the per-perspective seed (paired sampling) is kept.
         let mc = match input.spec.mc {
-            Some(settings) if input.spec.crn => {
+            Some(settings) if input.spec.crn || input.spec.posterior => {
                 let program = model.compile_mc_unfolded();
                 let seed = derive_seed(settings.seed, ix as u64);
-                let table = (program.table_words(settings.samples) <= MAX_TABLE_WORDS)
+                let table = (!input.spec.posterior
+                    && program.table_words(settings.samples) <= MAX_TABLE_WORDS)
                     .then(|| program.draw_table(settings.samples, seed));
                 Some(McBaseline {
                     program,
@@ -287,15 +326,25 @@ pub fn evaluate_baseline_chunk(
         };
         // Under CRN the baseline is priced from the same stream the
         // scenarios will share; otherwise it is BDD-exact.
+        let mut interval = None;
         let availability = match &mc {
             Some(mcb) => {
                 let settings = input.spec.mc.expect("mc settings present");
-                match &mcb.table {
-                    Some(table) => {
-                        let mut scratch = mcb.program.scratch();
-                        mcb.program.run_with_table(table, &mut scratch).0.estimate
+                if input.spec.posterior {
+                    let sampler = mcb.program.posterior_sampler(&posteriors);
+                    let (result, ci) =
+                        mcb.program
+                            .run_posterior(settings.samples, 1, mcb.seed, &sampler);
+                    interval = Some(ci);
+                    result.estimate
+                } else {
+                    match &mcb.table {
+                        Some(table) => {
+                            let mut scratch = mcb.program.scratch();
+                            mcb.program.run_with_table(table, &mut scratch).0.estimate
+                        }
+                        None => mcb.program.run(settings.samples, 1, mcb.seed).estimate,
                     }
-                    None => mcb.program.run(settings.samples, 1, mcb.seed).estimate,
                 }
             }
             None => model.availability_bdd(),
@@ -308,6 +357,8 @@ pub fn evaluate_baseline_chunk(
             model,
             classes,
             mc,
+            posteriors,
+            interval,
         });
     }
     Ok(out)
@@ -327,6 +378,10 @@ pub struct ScenarioOutcome {
     /// Draw words served from the shared baseline table instead of being
     /// re-packed (common-random-number reuse; 0 outside CRN pricing).
     pub crn_reused: u64,
+    /// 95% posterior predictive interval per perspective, aligned with
+    /// `availabilities` (`posterior` campaigns only; untouched
+    /// perspectives carry their baseline interval).
+    pub intervals: Option<Vec<(f64, f64)>>,
 }
 
 /// Reusable per-worker evaluation state: scratch buffers shared by every
@@ -379,12 +434,23 @@ pub fn evaluate_scenario_with(
     let mut pipeline: Option<UpsimPipeline> = None;
 
     let mut availabilities = Vec::with_capacity(baseline.perspectives.len());
+    let mut intervals = input
+        .spec
+        .posterior
+        .then(|| Vec::with_capacity(baseline.perspectives.len()));
     let mut affected_count = 0usize;
     let mut mc_trials = 0u64;
     let mut crn_reused = 0u64;
     for (p_ix, persp) in baseline.perspectives.iter().enumerate() {
         if !touches(persp, &scenario.perturbations) {
             availabilities.push(persp.availability);
+            if let Some(ivs) = intervals.as_mut() {
+                ivs.push(
+                    persp
+                        .interval
+                        .unwrap_or((persp.availability, persp.availability)),
+                );
+            }
             continue;
         }
         affected_count += 1;
@@ -392,7 +458,7 @@ pub fn evaluate_scenario_with(
             || cuts
                 .iter()
                 .any(|(a, b)| persp.upsim.contains(*a) && persp.upsim.contains(*b));
-        let availability = if needs_rerun {
+        let (availability, interval) = if needs_rerun {
             if rebuilt.is_none() {
                 rebuilt = Some(build_perturbed(input, &cuts, &drops)?);
             }
@@ -416,8 +482,16 @@ pub fn evaluate_scenario_with(
                 }
             };
             let run = p.run().map_err(|e| e.to_string())?;
-            let model =
+            let mut model =
                 ServiceAvailabilityModel::from_run(p.infrastructure(), &run, input.analysis);
+            // The rebuilt model starts from authored parameters; re-apply
+            // the observation overlay so a structural scenario prices
+            // against the same refined estimates as its baseline.
+            let posteriors = if input.params.is_empty() {
+                Vec::new()
+            } else {
+                overlay_model(&mut model, &input.params, input.analysis.paper_formula)
+            };
             let classes = component_classes(&input.infrastructure, &model);
             price(
                 input,
@@ -425,9 +499,11 @@ pub fn evaluate_scenario_with(
                 p_ix,
                 &model,
                 &classes,
+                &posteriors,
                 &kills,
                 &scales,
                 &mut mc_trials,
+                &mut ctx.scratch,
             )
         } else if let Some(mcb) = &persp.mc {
             // Parametric perturbation under common random numbers: the
@@ -444,19 +520,43 @@ pub fn evaluate_scenario_with(
             );
             let settings = input.spec.mc.expect("mc settings present under CRN");
             mc_trials += settings.samples as u64;
-            match &mcb.table {
-                Some(table) => {
-                    let (result, reused) =
+            if input.spec.posterior {
+                // A perturbation overrides an observation: perturbed
+                // components keep their overlaid point threshold instead
+                // of resampling around a posterior the perturbation just
+                // invalidated.
+                let sampler = mcb.program.posterior_sampler(&blank_perturbed(
+                    &persp.posteriors,
+                    &persp.model,
+                    &persp.classes,
+                    &kills,
+                    &scales,
+                ));
+                let seed = scenario_seed(input, mcb.seed, index, p_ix);
+                let (result, ci) = mcb.program.run_posterior_thresholds(
+                    &probs,
+                    settings.samples,
+                    seed,
+                    &sampler,
+                    &mut ctx.scratch,
+                );
+                (result.estimate, Some(ci))
+            } else {
+                let estimate = match &mcb.table {
+                    Some(table) => {
+                        let (result, reused) =
+                            mcb.program
+                                .run_with_table_thresholds(table, &probs, &mut ctx.scratch);
+                        crn_reused += reused;
+                        result.estimate
+                    }
+                    None => {
                         mcb.program
-                            .run_with_table_thresholds(table, &probs, &mut ctx.scratch);
-                    crn_reused += reused;
-                    result.estimate
-                }
-                None => {
-                    mcb.program
-                        .run_thresholds(&probs, settings.samples, mcb.seed, &mut ctx.scratch)
-                        .estimate
-                }
+                            .run_thresholds(&probs, settings.samples, mcb.seed, &mut ctx.scratch)
+                            .estimate
+                    }
+                };
+                (estimate, None)
             }
         } else {
             price(
@@ -465,12 +565,17 @@ pub fn evaluate_scenario_with(
                 p_ix,
                 &persp.model,
                 &persp.classes,
+                &persp.posteriors,
                 &kills,
                 &scales,
                 &mut mc_trials,
+                &mut ctx.scratch,
             )
         };
         availabilities.push(availability);
+        if let Some(ivs) = intervals.as_mut() {
+            ivs.push(interval.unwrap_or((availability, availability)));
+        }
     }
     Ok(ScenarioOutcome {
         index,
@@ -478,7 +583,49 @@ pub fn evaluate_scenario_with(
         availabilities,
         mc_trials,
         crn_reused,
+        intervals,
     })
+}
+
+/// The per-evaluation seed: the perspective's shared stream under common
+/// random numbers (paired sampling), or derived from (base seed,
+/// scenario, perspective) under `independent-seeds`.
+fn scenario_seed(input: &CampaignInput, crn_seed: u64, scenario_ix: usize, p_ix: usize) -> u64 {
+    if input.spec.crn {
+        crn_seed
+    } else {
+        let mc = input.spec.mc.expect("mc settings present");
+        mc.seed
+            .wrapping_add((scenario_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(p_ix as u64)
+    }
+}
+
+/// Copies the posterior vector with every perturbed component's entry
+/// blanked — killed components and members of a scaled class price from
+/// their perturbed point threshold, not from an observation posterior the
+/// perturbation no longer describes.
+fn blank_perturbed(
+    posteriors: &[Option<PosteriorComponent>],
+    model: &ServiceAvailabilityModel,
+    classes: &[String],
+    kills: &[&str],
+    scales: &[(&str, f64)],
+) -> Vec<Option<PosteriorComponent>> {
+    posteriors
+        .iter()
+        .enumerate()
+        .map(|(i, post)| {
+            let component = &model.components[i];
+            if kills.iter().any(|k| *k == component.name)
+                || scales.iter().any(|(class, _)| classes[i] == *class)
+            {
+                None
+            } else {
+                *post
+            }
+        })
+        .collect()
 }
 
 /// Does any perturbation of the scenario touch this perspective?
@@ -535,7 +682,9 @@ fn build_perturbed(
 /// parametric CRN pricing goes through the shared draw table instead.
 /// The MC seed is the perspective's CRN stream under common random
 /// numbers, or derived from (base seed, scenario, perspective) under
-/// `independent-seeds`.
+/// `independent-seeds`. Under `posterior` the kernel block-resamples the
+/// unperturbed components' thresholds from `posteriors` and the second
+/// element carries the 95% predictive interval.
 #[allow(clippy::too_many_arguments)]
 fn price(
     input: &CampaignInput,
@@ -543,15 +692,15 @@ fn price(
     perspective_ix: usize,
     model: &ServiceAvailabilityModel,
     classes: &[String],
+    posteriors: &[Option<PosteriorComponent>],
     kills: &[&str],
     scales: &[(&str, f64)],
     mc_trials: &mut u64,
-) -> f64 {
+    scratch: &mut McScratch,
+) -> (f64, Option<(f64, f64)>) {
     let probs = perturbed_probs(model, classes, kills, scales, input.analysis.paper_formula);
     match input.spec.mc {
         Some(mc) => {
-            let program =
-                McProgram::compile(&probs, model.systems.iter().map(|s| s.path_sets.as_slice()));
             let seed = if input.spec.crn {
                 derive_seed(mc.seed, perspective_ix as u64)
             } else {
@@ -560,9 +709,26 @@ fn price(
                     .wrapping_add(perspective_ix as u64)
             };
             *mc_trials += mc.samples as u64;
-            program.run(mc.samples, 1, seed).estimate
+            if input.spec.posterior {
+                // Folding would bake posterior-bearing components into
+                // constants, so posterior pricing compiles unfolded (every
+                // pathed component keeps a slot) and overlays the perturbed
+                // thresholds on top.
+                let program = model.compile_mc_unfolded();
+                let sampler = program
+                    .posterior_sampler(&blank_perturbed(posteriors, model, classes, kills, scales));
+                let (result, ci) =
+                    program.run_posterior_thresholds(&probs, mc.samples, seed, &sampler, scratch);
+                (result.estimate, Some(ci))
+            } else {
+                let program = McProgram::compile(
+                    &probs,
+                    model.systems.iter().map(|s| s.path_sets.as_slice()),
+                );
+                (program.run(mc.samples, 1, seed).estimate, None)
+            }
         }
-        None => availability_with(model, &probs),
+        None => (availability_with(model, &probs), None),
     }
 }
 

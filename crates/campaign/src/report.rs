@@ -40,6 +40,10 @@ pub struct ScenarioRow {
     pub nines_lost: f64,
     /// Some perspective that worked at baseline is dead (`A < 1e-12`).
     pub spof: bool,
+    /// Mean 95% credible band over the perspective scope — present only
+    /// for `posterior` campaigns, where every scenario price carries the
+    /// predictive interval from block-resampled component parameters.
+    pub mean_interval: Option<(f64, f64)>,
 }
 
 /// Aggregate damage per client across every scenario.
@@ -72,6 +76,8 @@ pub struct CampaignReport {
     pub baseline_worst_provider: String,
     /// Worst baseline availability.
     pub baseline_worst: f64,
+    /// Mean baseline 95% credible band (posterior campaigns only).
+    pub baseline_interval: Option<(f64, f64)>,
     /// Every scenario, ranked by damage (mean delta desc, worst delta
     /// desc, label asc).
     pub rows: Vec<ScenarioRow>,
@@ -163,6 +169,7 @@ pub fn aggregate(
             worst_delta,
             nines_lost: nines(baseline_mean) - nines(mean),
             spof,
+            mean_interval: outcome.intervals.as_ref().map(|ivs| mean_band(ivs)),
         });
     }
     rows.sort_by(|a, b| {
@@ -196,6 +203,16 @@ pub fn aggregate(
             .then_with(|| a.client.cmp(&b.client))
     });
 
+    let baseline_interval = if input.spec.posterior {
+        let bands: Vec<(f64, f64)> = baseline
+            .perspectives
+            .iter()
+            .map(|p| p.interval.unwrap_or((p.availability, p.availability)))
+            .collect();
+        (!bands.is_empty()).then(|| mean_band(&bands))
+    } else {
+        None
+    };
     let worst_persp = &baseline.perspectives[bw_ix];
     CampaignReport {
         spec: input.spec.canonical(),
@@ -206,11 +223,22 @@ pub fn aggregate(
         baseline_worst_client: worst_persp.client.to_string(),
         baseline_worst_provider: worst_persp.provider.to_string(),
         baseline_worst: worst_persp.availability,
+        baseline_interval,
         rows,
         spofs,
         worst_users,
         top: input.spec.top,
     }
+}
+
+/// Mean of per-perspective credible bands — the scope-level band shown
+/// next to the scope-level mean availability.
+fn mean_band(bands: &[(f64, f64)]) -> (f64, f64) {
+    let n = bands.len() as f64;
+    (
+        bands.iter().map(|b| b.0).sum::<f64>() / n,
+        bands.iter().map(|b| b.1).sum::<f64>() / n,
+    )
 }
 
 /// Is this scenario purely a kill of one component? (Used by callers to
@@ -231,12 +259,20 @@ impl CampaignReport {
             .take(3)
             .map(|row| row.label.as_str())
             .collect();
+        let band = match self.baseline_interval {
+            // Posterior campaigns surface the scope-level credible band in
+            // the one-line summary; point campaigns keep the exact legacy
+            // byte layout.
+            Some((lo, hi)) => format!(" baseline_band={lo:.9}..{hi:.9}"),
+            None => String::new(),
+        };
         format!(
-            "scenarios={} perspectives={} affected={} baseline_mean={:.9} spofs={} top={}",
+            "scenarios={} perspectives={} affected={} baseline_mean={:.9}{} spofs={} top={}",
             self.scenarios,
             self.perspectives,
             self.affected_evaluations,
             self.baseline_mean,
+            band,
             self.spofs.len(),
             if top.is_empty() {
                 "-".to_string()
@@ -255,13 +291,22 @@ impl CampaignReport {
             "scenarios={} perspectives={} affected_evaluations={}\n",
             self.scenarios, self.perspectives, self.affected_evaluations
         ));
-        out.push_str(&format!(
-            "baseline: mean={:.9} worst={}->{} @ {:.9}\n",
-            self.baseline_mean,
-            self.baseline_worst_client,
-            self.baseline_worst_provider,
-            self.baseline_worst
-        ));
+        match self.baseline_interval {
+            Some((lo, hi)) => out.push_str(&format!(
+                "baseline: mean={:.9} band95={lo:.9}..{hi:.9} worst={}->{} @ {:.9}\n",
+                self.baseline_mean,
+                self.baseline_worst_client,
+                self.baseline_worst_provider,
+                self.baseline_worst
+            )),
+            None => out.push_str(&format!(
+                "baseline: mean={:.9} worst={}->{} @ {:.9}\n",
+                self.baseline_mean,
+                self.baseline_worst_client,
+                self.baseline_worst_provider,
+                self.baseline_worst
+            )),
+        }
         let shown = self.rows.len().min(self.top);
         out.push_str(&format!(
             "top {shown} of {} scenarios by mean availability delta:\n",
@@ -271,15 +316,20 @@ impl CampaignReport {
             "  rank  label                            mean_delta    worst_pair        worst_delta   nines_lost  spof\n",
         );
         for (i, row) in self.rows.iter().take(self.top).enumerate() {
+            let band = match row.mean_interval {
+                Some((lo, hi)) => format!("  band95={lo:.9}..{hi:.9}"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  {:>4}  {:<32} {:.9}   {:<16} {:.9}   {:>8.4}  {}\n",
+                "  {:>4}  {:<32} {:.9}   {:<16} {:.9}   {:>8.4}  {}{}\n",
                 i + 1,
                 row.label,
                 row.mean_delta,
                 format!("{}->{}", row.worst_client, row.worst_provider),
                 row.worst_delta,
                 row.nines_lost,
-                if row.spof { "yes" } else { "-" }
+                if row.spof { "yes" } else { "-" },
+                band
             ));
         }
         if self.spofs.is_empty() {
@@ -312,9 +362,14 @@ impl CampaignReport {
             "\"affected_evaluations\":{},",
             self.affected_evaluations
         ));
+        let baseline_band = match self.baseline_interval {
+            Some((lo, hi)) => format!(",\"interval95\":[{lo:.12},{hi:.12}]"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "\"baseline\":{{\"mean\":{:.12},\"worst\":{{\"client\":\"{}\",\"provider\":\"{}\",\"availability\":{:.12}}}}},",
+            "\"baseline\":{{\"mean\":{:.12}{},\"worst\":{{\"client\":\"{}\",\"provider\":\"{}\",\"availability\":{:.12}}}}},",
             self.baseline_mean,
+            baseline_band,
             escape(&self.baseline_worst_client),
             escape(&self.baseline_worst_provider),
             self.baseline_worst
@@ -324,11 +379,16 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
+            let band = match row.mean_interval {
+                Some((lo, hi)) => format!(",\"interval95\":[{lo:.12},{hi:.12}]"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{{\"label\":\"{}\",\"affected\":{},\"mean\":{:.12},\"mean_delta\":{:.12},\"worst\":{{\"client\":\"{}\",\"provider\":\"{}\",\"availability\":{:.12},\"delta\":{:.12}}},\"nines_lost\":{:.6},\"spof\":{}}}",
+                "{{\"label\":\"{}\",\"affected\":{},\"mean\":{:.12}{},\"mean_delta\":{:.12},\"worst\":{{\"client\":\"{}\",\"provider\":\"{}\",\"availability\":{:.12},\"delta\":{:.12}}},\"nines_lost\":{:.6},\"spof\":{}}}",
                 escape(&row.label),
                 row.affected,
                 row.mean,
+                band,
                 row.mean_delta,
                 escape(&row.worst_client),
                 escape(&row.worst_provider),

@@ -18,6 +18,9 @@
 //! * `independent-seeds` — opt out of common-random-number pricing: each
 //!   `mc:` scenario draws its own derived-seed stream instead of sharing
 //!   the baseline's (slower, and scenario deltas carry both runs' noise),
+//! * `posterior` — block-resample component availabilities from the
+//!   observation-fed parameter posteriors (requires `mc:`), so every row
+//!   of the ranking carries a 95% uncertainty band,
 //! * `top:<n>` — rows shown in the text report (default 10),
 //! * `limit:<n>` — refuse campaigns above this many scenarios
 //!   (default 10000),
@@ -74,6 +77,10 @@ pub struct CampaignSpec {
     /// only perturbed components are re-drawn. `false`
     /// (`independent-seeds`) restores per-scenario derived seeds.
     pub crn: bool,
+    /// Block-resample availabilities from the parameter posteriors
+    /// (`posterior` clause, `mc:` only): rankings carry uncertainty bands
+    /// at the cost of the `DrawTable` reuse fast path.
+    pub posterior: bool,
     /// Rows shown in the text report.
     pub top: usize,
     /// Maximum scenario count before the campaign is refused.
@@ -97,6 +104,7 @@ impl CampaignSpec {
             pairs: Vec::new(),
             mc: None,
             crn: true,
+            posterior: false,
             top: 10,
             limit: DEFAULT_SCENARIO_LIMIT,
             json: false,
@@ -185,12 +193,14 @@ impl CampaignSpec {
                     }
                 }
                 ("independent-seeds", None) => spec.crn = false,
+                ("posterior", None) => spec.posterior = true,
                 ("json", None) => spec.json = true,
                 _ => {
                     return Err(format!(
                         "unknown clause `{word}` (try kill-each-component, cut-each-link, \
                          substitute-each-service, scale-mtbf:<class>:<f>, pairs:<c>:<p>, \
-                         mc:<samples>[:<seed>], independent-seeds, top:<n>, limit:<n>, json)"
+                         mc:<samples>[:<seed>], independent-seeds, posterior, top:<n>, \
+                         limit:<n>, json)"
                     ));
                 }
             }
@@ -199,6 +209,13 @@ impl CampaignSpec {
             return Err(
                 "campaign needs at least one axis (kill-each-component, cut-each-link, \
                  substitute-each-service, scale-mtbf:<class>:<f>)"
+                    .to_string(),
+            );
+        }
+        if spec.posterior && spec.mc.is_none() {
+            return Err(
+                "`posterior` requires `mc:` (posterior resampling runs inside the \
+                 Monte-Carlo kernel)"
                     .to_string(),
             );
         }
@@ -237,6 +254,9 @@ impl CampaignSpec {
         }
         if !self.crn {
             clauses.push("independent-seeds".to_string());
+        }
+        if self.posterior {
+            clauses.push("posterior".to_string());
         }
         if self.top != 10 {
             clauses.push(format!("top:{}", self.top));
@@ -344,6 +364,27 @@ mod tests {
         assert_eq!(spec.canonical(), raw);
         let again = CampaignSpec::parse(&spec.canonical()).expect("canonical re-parses");
         assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn posterior_requires_mc_and_round_trips() {
+        let spec = CampaignSpec::parse("kill-each-component mc:1024 posterior").expect("parses");
+        assert!(spec.posterior);
+        assert_eq!(
+            spec.canonical(),
+            "kill-each-component mc:1024:2013 posterior"
+        );
+        assert_eq!(
+            CampaignSpec::parse(&spec.canonical()).expect("re-parses"),
+            spec
+        );
+        // Point-estimate campaigns stay posterior-free by default.
+        let spec = CampaignSpec::parse("kill-each-component mc:1024").expect("parses");
+        assert!(!spec.posterior);
+        // Without an `mc:` clause there is no kernel to resample in.
+        assert!(CampaignSpec::parse("kill-each-component posterior")
+            .unwrap_err()
+            .contains("requires `mc:`"));
     }
 
     #[test]

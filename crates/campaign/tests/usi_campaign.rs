@@ -21,6 +21,7 @@ fn usi_input(spec: &str) -> CampaignInput {
         usi_mapper(),
         DiscoveryOptions::default(),
         None,
+        Arc::new(dependability::ParamEstimator::new()),
         CampaignSpec::parse(spec).expect("spec parses"),
     )
     .expect("USI input prepares")
@@ -213,4 +214,109 @@ fn reports_are_run_to_run_deterministic() {
     assert_eq!(first, second, "same spec + seed must be byte-identical");
     assert!(first.contains("\"spec\":\""));
     assert!(!first.contains("seconds"), "no timing state in the report");
+}
+
+/// Prepares a USI campaign input whose estimator holds real closed
+/// sojourns for the core switch `c1` and the printer `p1`: posterior
+/// campaigns must carry uncertainty bands sourced from exactly these.
+fn usi_input_observed(spec: &str) -> CampaignInput {
+    let mut est = dependability::ParamEstimator::new();
+    for (name, down_at, up_at) in [
+        ("c1", 400u64, 406u64),
+        ("c1", 900, 903),
+        ("p1", 250, 251),
+        ("p1", 700, 702),
+    ] {
+        est.observe(name, false, down_at * 3600).expect("failure");
+        est.observe(name, true, up_at * 3600).expect("repair");
+    }
+    CampaignInput::prepare(
+        usi_infrastructure(),
+        printing_service(),
+        usi_mapper(),
+        DiscoveryOptions::default(),
+        None,
+        Arc::new(est),
+        CampaignSpec::parse(spec).expect("spec parses"),
+    )
+    .expect("USI input prepares")
+}
+
+#[test]
+fn posterior_campaign_carries_uncertainty_bands() {
+    let input = usi_input_observed("kill-each-component pairs:t1:p2,t6:p1 mc:4096:2013 posterior");
+    let (baseline, outcomes) = run_serial(&input).expect("campaign runs");
+
+    // Every baseline perspective prices with a predictive interval that
+    // brackets its own estimate (up to accumulator rounding).
+    for persp in &baseline.perspectives {
+        let (lo, hi) = persp.interval.expect("posterior baseline carries a band");
+        assert!(
+            lo <= persp.availability + 1e-9 && persp.availability <= hi + 1e-9,
+            "{}->{}: band {lo}..{hi} misses estimate {}",
+            persp.client,
+            persp.provider,
+            persp.availability
+        );
+    }
+    // Every scenario outcome carries one band per perspective.
+    for outcome in &outcomes {
+        let intervals = outcome.intervals.as_ref().expect("posterior outcome bands");
+        assert_eq!(intervals.len(), baseline.perspectives.len());
+        for ((lo, hi), &avail) in intervals.iter().zip(&outcome.availabilities) {
+            assert!(
+                *lo <= avail + 1e-9 && avail <= *hi + 1e-9,
+                "scenario band {lo}..{hi} misses estimate {avail}"
+            );
+        }
+    }
+
+    let report = aggregate(&input, &baseline, &outcomes);
+    let (blo, bhi) = report.baseline_interval.expect("report baseline band");
+    assert!(blo <= report.baseline_mean + 1e-9 && report.baseline_mean <= bhi + 1e-9);
+    assert!(report.rows.iter().all(|row| row.mean_interval.is_some()));
+    assert!(report.summary_line().contains(" baseline_band="));
+    let json = report.render_json();
+    assert!(json.contains("\"interval95\":["), "bands in JSON: {json}");
+    assert!(report.render_text().contains("band95="));
+
+    // Determinism: the banded report is a pure function of the spec.
+    let again = {
+        let input =
+            usi_input_observed("kill-each-component pairs:t1:p2,t6:p1 mc:4096:2013 posterior");
+        let (baseline, outcomes) = run_serial(&input).expect("campaign reruns");
+        aggregate(&input, &baseline, &outcomes).render_json()
+    };
+    assert_eq!(json, again, "posterior report must be byte-identical");
+}
+
+#[test]
+fn point_campaigns_stay_band_free_even_with_observations() {
+    // Observations refine the point estimates, but without `posterior`
+    // the report keeps the legacy byte layout: no band tokens anywhere.
+    let input = usi_input_observed("kill-each-component pairs:t1:p2 mc:2048:7");
+    let (baseline, outcomes) = run_serial(&input).expect("campaign runs");
+    assert!(baseline.perspectives.iter().all(|p| p.interval.is_none()));
+    assert!(outcomes.iter().all(|o| o.intervals.is_none()));
+    let report = aggregate(&input, &baseline, &outcomes);
+    assert!(report.baseline_interval.is_none());
+    assert!(!report.summary_line().contains("baseline_band="));
+    assert!(!report.render_json().contains("interval95"));
+    assert!(!report.render_text().contains("band95="));
+}
+
+#[test]
+fn observations_shift_the_campaign_baseline() {
+    // The estimator's closed sojourns for c1/p1 disagree with the
+    // authored MTBF/MTTR, so refined baselines must move for any
+    // perspective whose model prices those components — here t1->p1.
+    let authored = usi_input("kill-each-component pairs:t1:p1 mc:2048:7");
+    let refined = usi_input_observed("kill-each-component pairs:t1:p1 mc:2048:7");
+    let (base_a, _) = run_serial(&authored).expect("authored campaign");
+    let (base_r, _) = run_serial(&refined).expect("refined campaign");
+    assert_ne!(
+        base_a.perspectives[0].availability.to_bits(),
+        base_r.perspectives[0].availability.to_bits(),
+        "observed sojourns must move the refined baseline"
+    );
 }

@@ -71,7 +71,9 @@ cut-each-link, substitute-each-service, scale-mtbf:<class>:<f>[,f..] (class
 `*` sweeps every deployed class; several clauses cross-product),
 pairs:<client>:<provider>[,..] (default: every client x every provider),
 mc:<samples>[:<seed>] (common-random-number pricing by default),
-independent-seeds (per-scenario draw streams), top:<n>, limit:<n>, json.
+independent-seeds (per-scenario draw streams), posterior (block-resample
+availabilities from observation-fed parameter posteriors; requires mc:,
+rows gain band95= uncertainty bands), top:<n>, limit:<n>, json.
 
 Pipelined queries: `query --pipeline <depth>` keeps <depth> requests in
 flight on one connection (the server answers in receive order) and repeats
@@ -703,6 +705,7 @@ fn campaign(flags: &Flags) -> Result<(), CliError> {
         mapper,
         DiscoveryOptions::default(),
         None,
+        std::sync::Arc::new(dependability::ParamEstimator::new()),
         spec,
     )
     .map_err(CliError::Runtime)?;

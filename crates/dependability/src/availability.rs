@@ -61,6 +61,9 @@ pub struct ComponentAvailability {
     pub redundant: i64,
     /// Steady-state availability including redundancy.
     pub availability: f64,
+    /// Where the MTBF/MTTR values came from: authored model constants, or
+    /// refined online from observed transitions (see [`crate::params`]).
+    pub source: crate::params::ParamSource,
 }
 
 impl ComponentAvailability {
@@ -85,6 +88,7 @@ impl ComponentAvailability {
             mttr,
             redundant,
             availability: with_redundancy(base, redundant),
+            source: crate::params::ParamSource::Authored,
         }
     }
 

@@ -85,6 +85,7 @@ mod tests {
             mttr: 0.0,
             redundant: 0,
             availability: a,
+            source: crate::params::ParamSource::Authored,
         };
         ServiceAvailabilityModel {
             components: vec![comp("t", 0.9), comp("m", 0.8), comp("s", 0.7)],
@@ -132,6 +133,7 @@ mod tests {
             mttr: 0.0,
             redundant: 0,
             availability: a,
+            source: crate::params::ParamSource::Authored,
         };
         let model = ServiceAvailabilityModel {
             components: vec![
@@ -162,6 +164,7 @@ mod tests {
             mttr: 0.0,
             redundant: 0,
             availability: 1.0,
+            source: crate::params::ParamSource::Authored,
         };
         let model = ServiceAvailabilityModel {
             components: vec![comp("x")],

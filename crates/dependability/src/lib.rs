@@ -50,6 +50,7 @@ pub mod faulttree;
 pub mod importance;
 pub mod mcprog;
 pub mod montecarlo;
+pub mod params;
 pub mod performance;
 pub mod perturb;
 pub mod rbd;
@@ -60,6 +61,13 @@ pub mod transient;
 
 pub use availability::{paper_approximation, steady_state, with_redundancy, ComponentAvailability};
 pub use bdd::{Bdd, BddRef};
-pub use mcprog::{mc_result_from, steal_chunk, wide_block_count, McProgram, McScratch};
+pub use mcprog::{
+    mc_result_from, steal_chunk, wide_block_count, McProgram, McScratch, PosteriorAccum,
+    PosteriorSampler,
+};
+pub use params::{
+    overlay_model, refine, ComponentObservations, GammaPosterior, NonMonotoneTimestamp,
+    ParamEstimator, ParamSource, PosteriorComponent,
+};
 pub use rbd::Block;
 pub use transform::{AnalysisOptions, ServiceAvailabilityModel};

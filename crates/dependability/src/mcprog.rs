@@ -73,6 +73,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::montecarlo::MonteCarloResult;
+use crate::params::{unit_open, PosteriorComponent};
 
 /// The SplitMix64 state increment (odd; "golden gamma") — the per-trial
 /// Weyl stride.
@@ -83,6 +84,14 @@ pub(crate) const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 /// `(trial, component)` coordinates cannot alias each other within any
 /// realistic trial range.
 pub(crate) const STREAM: u64 = 0xBF58_476D_1CE4_E5B9;
+
+/// Salt of the per-block posterior *failure-rate* draw stream. XORed
+/// into the counter key before mixing, so posterior draws can never
+/// alias the trial draw stream (which is never salted).
+const POSTERIOR_FAIL_SALT: u64 = 0x94D0_49BB_1331_11EB;
+
+/// Salt of the per-block posterior *repair-rate* draw stream.
+const POSTERIOR_REPAIR_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// `2^64` as an `f64` — the Bernoulli threshold scale.
 const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
@@ -407,6 +416,125 @@ impl DrawTable {
     /// Total `u64` words held (memory footprint / 8 bytes).
     pub fn word_count(&self) -> usize {
         self.words.len()
+    }
+}
+
+/// Per-slot parameter posteriors of a program — the block-resampling
+/// input of [`McProgram::run_posterior`]. Built by
+/// [`McProgram::posterior_sampler`] from the per-model-component
+/// posterior vector an observation overlay produced
+/// ([`crate::params::overlay_model`]); components without a posterior
+/// keep their fixed point-estimate threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosteriorSampler {
+    /// `(slot, model component index, posterior)` triples, slot-sorted.
+    slots: Vec<(u32, u32, PosteriorComponent)>,
+}
+
+impl PosteriorSampler {
+    /// `true` when no slot resamples — the posterior run then degrades
+    /// bit-for-bit to the point-estimate run.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots drawing from a parameter posterior.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rewrites the thresholds of the posterior-bearing slots for one
+    /// wide block. The two uniforms behind each slot's availability draw
+    /// are counter-based — pure functions of `(seed, wide_block,
+    /// component)` under distinct salts — so any partition of the block
+    /// range resamples identically: worker count and partitioning can
+    /// never change a draw bit.
+    fn resample(&self, seed: u64, wide_block: u64, draws: &mut [CompDraw]) {
+        for &(slot, comp, post) in &self.slots {
+            let base = seed
+                .wrapping_add(wide_block.wrapping_mul(GAMMA))
+                .wrapping_add((comp as u64 + 1).wrapping_mul(STREAM));
+            let u_fail = unit_open(mix(base ^ POSTERIOR_FAIL_SALT));
+            let u_repair = unit_open(mix(base ^ POSTERIOR_REPAIR_SALT));
+            draws[slot as usize].threshold =
+                threshold_for(post.sample_availability(u_fail, u_repair));
+        }
+    }
+}
+
+/// Partition-invariant success accumulator of a posterior-resampled run.
+///
+/// Every field is an integer sum over blocks, so merging per-worker (or
+/// per-partition) accumulators in any order reproduces the
+/// single-threaded totals exactly — no float summation order to drift.
+/// Full 512-trial blocks additionally record per-block success moments,
+/// from which [`PosteriorAccum::interval95`] forms the posterior
+/// predictive interval: block means vary with both the Bernoulli noise
+/// *and* the per-block parameter draws, so their spread is the honest
+/// total uncertainty.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PosteriorAccum {
+    /// Successes over every evaluated trial.
+    pub successes: u64,
+    /// Full (512-trial) blocks evaluated.
+    pub full_blocks: u64,
+    /// Σ successes over full blocks.
+    pub block_sum: u64,
+    /// Σ successes² over full blocks.
+    pub block_sum_sq: u128,
+    /// Successes of the ragged tail block, if any.
+    pub tail_successes: u64,
+}
+
+impl PosteriorAccum {
+    /// Folds another partition's accumulator in (field-wise integer
+    /// sums — order-independent).
+    pub fn merge(&mut self, other: &PosteriorAccum) {
+        self.successes += other.successes;
+        self.full_blocks += other.full_blocks;
+        self.block_sum += other.block_sum;
+        self.block_sum_sq += other.block_sum_sq;
+        self.tail_successes += other.tail_successes;
+    }
+
+    fn record(&mut self, successes: u64, full: bool) {
+        self.successes += successes;
+        if full {
+            self.full_blocks += 1;
+            self.block_sum += successes;
+            self.block_sum_sq += (successes as u128) * (successes as u128);
+        } else {
+            self.tail_successes += successes;
+        }
+    }
+
+    /// The point result over all evaluated trials (same reduction as
+    /// [`mc_result_from`]).
+    pub fn result(&self, samples: usize) -> MonteCarloResult {
+        result_from(self.successes, samples)
+    }
+
+    /// 95% posterior predictive interval on the availability: the
+    /// estimate ± 1.96 standard errors of the block means (each full
+    /// block is one draw from the posterior predictive distribution).
+    /// With fewer than two full blocks there is no between-block spread
+    /// to measure, so the Wilson interval of the point result stands in.
+    pub fn interval95(&self, samples: usize) -> (f64, f64) {
+        let estimate = self.successes as f64 / samples as f64;
+        if self.full_blocks < 2 {
+            return self.result(samples).confidence_95();
+        }
+        let blocks = self.full_blocks as f64;
+        let mean = self.block_sum as f64 / blocks;
+        // Σx² − B·mean² in f64: block successes are ≤ 512, so the u128
+        // sum is far below f64's exact-integer range for any real run.
+        let ss = self.block_sum_sq as f64 - blocks * mean * mean;
+        let var = (ss / (blocks - 1.0)).max(0.0);
+        let se = (var / blocks).sqrt() / WIDE_TRIALS as f64;
+        (
+            (estimate - 1.96 * se).max(0.0),
+            (estimate + 1.96 * se).min(1.0),
+        )
     }
 }
 
@@ -746,6 +874,200 @@ impl McProgram {
             }
         }
         ok
+    }
+
+    /// Binds per-model-component posteriors (as produced by
+    /// [`crate::params::overlay_model`], indexed like the compile input)
+    /// to this program's slots. Components that folded away, or whose
+    /// entry is `None`, do not resample. Callers that must pin a
+    /// component to its point estimate (e.g. a campaign perturbation
+    /// overriding an observation) blank its entry before calling.
+    pub fn posterior_sampler(&self, posteriors: &[Option<PosteriorComponent>]) -> PosteriorSampler {
+        let mut slots = Vec::new();
+        for (slot, &comp) in self.slot_comp.iter().enumerate() {
+            if let Some(post) = posteriors.get(comp as usize).copied().flatten() {
+                slots.push((slot as u32, comp, post));
+            }
+        }
+        PosteriorSampler { slots }
+    }
+
+    /// The posterior-resampling twin of
+    /// [`run_partial`](McProgram::run_partial): before packing each wide
+    /// block, the `sampler`'s slots redraw their availability from the
+    /// parameter posterior (counter-based on `(seed, block, component)`),
+    /// so the 512 trials of a block share one parameter draw and blocks
+    /// are independent draws from the posterior predictive distribution.
+    /// Block successes fold into `accum` instead of a bare sum so the
+    /// caller can form the predictive interval; partition invariance
+    /// holds exactly as for `run_partial` (merge the accumulators in any
+    /// order). With an empty sampler every threshold stays at its point
+    /// estimate and the evaluated bits are identical to `run_partial`.
+    pub fn run_posterior_partial(
+        &self,
+        samples: usize,
+        seed: u64,
+        cursor: &AtomicU64,
+        chunk: u64,
+        scratch: &mut McScratch,
+        sampler: &PosteriorSampler,
+        accum: &mut PosteriorAccum,
+    ) {
+        let chunk = chunk.max(1);
+        let wide_blocks = wide_block_count(samples);
+        let pack = pack_slots_fn();
+        scratch.ensure(self);
+        scratch.fresh.clear();
+        scratch.fresh.extend(0..self.draws.len() as u32);
+        let mut draws = std::mem::take(&mut scratch.draws);
+        draws.clear();
+        draws.extend_from_slice(&self.draws);
+        loop {
+            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= wide_blocks {
+                break;
+            }
+            let hi = (lo + chunk).min(wide_blocks);
+            for wide_block in lo..hi {
+                sampler.resample(seed, wide_block, &mut draws);
+                let base_trial = wide_block * WIDE_TRIALS as u64;
+                pack_with(
+                    pack,
+                    &draws,
+                    &scratch.fresh,
+                    seed,
+                    base_trial,
+                    &mut scratch.words,
+                );
+                let ok = self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples);
+                let full = base_trial as usize + WIDE_TRIALS <= samples;
+                accum.record(ok, full);
+            }
+        }
+        scratch.draws = draws;
+    }
+
+    /// Posterior-resampled parallel run: like [`run`](McProgram::run),
+    /// but each wide block draws its component availabilities from the
+    /// parameter posteriors in `sampler`, and the returned interval is
+    /// the 95% posterior *predictive* interval — parameter uncertainty
+    /// and sampling noise combined — rather than the Bernoulli-only
+    /// Wilson interval. Bit-identical for any `workers` value, and with
+    /// an empty sampler the estimate is bit-identical to `run`.
+    pub fn run_posterior(
+        &self,
+        samples: usize,
+        workers: usize,
+        seed: u64,
+        sampler: &PosteriorSampler,
+    ) -> (MonteCarloResult, (f64, f64)) {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            let result = MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+            return (result, (estimate, estimate));
+        }
+        let wide_blocks = wide_block_count(samples);
+        let workers = resolve_workers(workers).min(wide_blocks as usize).max(1);
+        let cursor = AtomicU64::new(0);
+        let mut accum = PosteriorAccum::default();
+        if workers == 1 {
+            let mut scratch = self.scratch();
+            self.run_posterior_partial(
+                samples,
+                seed,
+                &cursor,
+                wide_blocks,
+                &mut scratch,
+                sampler,
+                &mut accum,
+            );
+        } else {
+            let chunk = steal_chunk(wide_blocks, workers);
+            let partials: Vec<PosteriorAccum> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut scratch = self.scratch();
+                            let mut part = PosteriorAccum::default();
+                            self.run_posterior_partial(
+                                samples,
+                                seed,
+                                &cursor,
+                                chunk,
+                                &mut scratch,
+                                sampler,
+                                &mut part,
+                            );
+                            part
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+            for part in &partials {
+                accum.merge(part);
+            }
+        }
+        (accum.result(samples), accum.interval95(samples))
+    }
+
+    /// The campaign twin of [`run_posterior`]: prices a perturbed
+    /// probability vector (scratch-held threshold overlay, exactly like
+    /// [`run_thresholds`](McProgram::run_thresholds)) while the
+    /// `sampler`'s slots resample per block *on top of* the overlay.
+    /// The sampler must not cover perturbed components — a perturbation
+    /// overrides an observation — which the caller enforces by blanking
+    /// those entries before [`posterior_sampler`](McProgram::posterior_sampler).
+    /// Single-threaded (campaign workers parallelize across scenarios).
+    pub fn run_posterior_thresholds(
+        &self,
+        probs: &[f64],
+        samples: usize,
+        seed: u64,
+        sampler: &PosteriorSampler,
+        scratch: &mut McScratch,
+    ) -> (MonteCarloResult, (f64, f64)) {
+        assert!(samples > 0, "need at least one sample");
+        if let Some(estimate) = self.constant_estimate() {
+            let result = MonteCarloResult {
+                estimate,
+                std_error: 0.0,
+                samples,
+            };
+            return (result, (estimate, estimate));
+        }
+        let mut draws = std::mem::take(&mut scratch.draws);
+        self.overlay_thresholds(probs, &mut draws);
+        let pack = pack_slots_fn();
+        scratch.ensure(self);
+        scratch.fresh.clear();
+        scratch.fresh.extend(0..draws.len() as u32);
+        let wide_blocks = samples.div_ceil(WIDE_TRIALS);
+        let mut accum = PosteriorAccum::default();
+        for wide_block in 0..wide_blocks {
+            sampler.resample(seed, wide_block as u64, &mut draws);
+            let base_trial = (wide_block * WIDE_TRIALS) as u64;
+            pack_with(
+                pack,
+                &draws,
+                &scratch.fresh,
+                seed,
+                base_trial,
+                &mut scratch.words,
+            );
+            let ok = self.masked_successes(&scratch.words, WIDE_WORDS, base_trial, samples);
+            accum.record(ok, base_trial as usize + WIDE_TRIALS <= samples);
+        }
+        scratch.draws = draws;
+        (accum.result(samples), accum.interval95(samples))
     }
 
     /// Packs every slot's draw words for the whole `(seed, samples)`
@@ -1369,6 +1691,150 @@ mod tests {
         assert_eq!(program.component_count(), 1, "only component 0 is drawn");
         let mc = program.run(200_000, 2, 13);
         assert!(mc.covers(0.7), "CI {:?} misses 0.7", mc.confidence_95());
+    }
+
+    #[test]
+    fn posterior_run_with_empty_sampler_degrades_to_point_run() {
+        let p = [0.9, 0.8, 0.7, 0.95];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let program = compile(&p, &systems);
+        let sampler = program.posterior_sampler(&[None, None, None, None]);
+        assert!(sampler.is_empty());
+        for (samples, seed) in [(513, 7), (10_001, 42)] {
+            let point = program.run(samples, 2, seed);
+            let (posterior, _) = program.run_posterior(samples, 2, seed, &sampler);
+            assert_eq!(posterior, point, "empty sampler must not change a bit");
+        }
+    }
+
+    fn diffuse_sampler(program: &McProgram, comps: usize) -> PosteriorSampler {
+        use crate::params::GammaPosterior;
+        // Loose posteriors (n = 4 pseudo-sojourns) around MTBF 3000h /
+        // MTTR 24h: availability draws visibly spread around ~0.992.
+        let post = PosteriorComponent {
+            fail: GammaPosterior {
+                alpha: 5.0,
+                beta: 5.0 * 3000.0,
+            },
+            repair: GammaPosterior {
+                alpha: 5.0,
+                beta: 5.0 * 24.0,
+            },
+            redundant: 0,
+        };
+        program.posterior_sampler(&vec![Some(post); comps])
+    }
+
+    #[test]
+    fn posterior_estimates_are_worker_and_partition_invariant() {
+        let p = [0.992, 0.992, 0.992, 0.992];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]], vec![vec![3, 0]]];
+        let program = compile(&p, &systems);
+        let sampler = diffuse_sampler(&program, 4);
+        let samples = 10_001;
+        let reference = program.run_posterior(samples, 1, 42, &sampler);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                program.run_posterior(samples, workers, 42, &sampler),
+                reference,
+                "posterior run diverged at workers={workers}"
+            );
+        }
+        // Pool-style partitions: arbitrary chunk sizes and claimant
+        // counts must merge to the exact same accumulator.
+        for (chunk, claimants) in [(1, 4), (3, 2), (64, 5)] {
+            let cursor = AtomicU64::new(0);
+            let partials: Vec<PosteriorAccum> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..claimants)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut scratch = program.scratch();
+                            let mut part = PosteriorAccum::default();
+                            program.run_posterior_partial(
+                                samples,
+                                42,
+                                &cursor,
+                                chunk,
+                                &mut scratch,
+                                &sampler,
+                                &mut part,
+                            );
+                            part
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("crossbeam scope");
+            let mut merged = PosteriorAccum::default();
+            for part in &partials {
+                merged.merge(part);
+            }
+            assert_eq!(
+                (merged.result(samples), merged.interval95(samples)),
+                reference,
+                "partition chunk={chunk} claimants={claimants} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn posterior_interval_is_wider_than_the_bernoulli_interval() {
+        let p = [0.992, 0.992];
+        let systems = vec![vec![vec![0], vec![1]]];
+        let program = compile(&p, &systems);
+        let sampler = diffuse_sampler(&program, 2);
+        let samples = 400_000;
+        let point = program.run(samples, 2, 7);
+        let (posterior, interval) = program.run_posterior(samples, 2, 7, &sampler);
+        let wilson = point.confidence_95();
+        assert!(
+            interval.1 - interval.0 > wilson.1 - wilson.0,
+            "parameter uncertainty must widen the interval: {interval:?} vs {wilson:?}"
+        );
+        // The posterior-mean availability stays near the point estimate.
+        assert!((posterior.estimate - point.estimate).abs() < 0.005);
+        assert!(interval.0 < posterior.estimate && posterior.estimate < interval.1);
+    }
+
+    #[test]
+    fn posterior_thresholds_pins_perturbed_components() {
+        use crate::params::GammaPosterior;
+        let p = [0.992, 0.992, 0.992];
+        let systems = vec![vec![vec![0, 1], vec![0, 2]]];
+        let program = compile_unfolded(&p, &systems);
+        let post = PosteriorComponent {
+            fail: GammaPosterior {
+                alpha: 5.0,
+                beta: 5.0 * 3000.0,
+            },
+            repair: GammaPosterior {
+                alpha: 5.0,
+                beta: 5.0 * 24.0,
+            },
+            redundant: 0,
+        };
+        let mut scratch = program.scratch();
+        // Kill component 1: the perturbation overrides its observation,
+        // so the caller blanks its posterior before building the
+        // sampler; the priced scenario must fall below the unperturbed
+        // posterior estimate.
+        let probs = [0.992, 0.0, 0.992];
+        let sampler = program.posterior_sampler(&[Some(post), None, Some(post)]);
+        let (perturbed, interval) =
+            program.run_posterior_thresholds(&probs, 50_000, 11, &sampler, &mut scratch);
+        let full = program.posterior_sampler(&[Some(post); 3]);
+        let (baseline, _) = program.run_posterior(50_000, 1, 11, &full);
+        assert!(perturbed.estimate < baseline.estimate);
+        assert!(interval.0 <= perturbed.estimate && perturbed.estimate <= interval.1);
+        // With an empty sampler the threshold run matches run_thresholds
+        // bit for bit.
+        let empty = program.posterior_sampler(&[None, None, None]);
+        let (plain, _) = program.run_posterior_thresholds(&probs, 50_000, 11, &empty, &mut scratch);
+        assert_eq!(
+            plain,
+            program.run_thresholds(&probs, 50_000, 11, &mut scratch)
+        );
     }
 
     #[test]

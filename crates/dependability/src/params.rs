@@ -1,0 +1,702 @@
+//! Observation-fed parameter estimation: interval-censored exponential
+//! MTBF/MTTR learning with conjugate Gamma posteriors.
+//!
+//! The paper treats each component's MTBF/MTTR as hand-authored
+//! constants. Following "Observation-Enhanced QoS Analysis of
+//! Component-Based Systems" (Paterson & Calinescu), this module refines
+//! those parameters from runtime `up|down` transition events:
+//!
+//! * [`ParamEstimator`] folds a monotone stream of per-component state
+//!   transitions into *sufficient statistics* — closed up/down sojourn
+//!   counts and their integer-second durations. Only **closed** sojourns
+//!   contribute (interval censoring): the open tail of the current state
+//!   is never counted, so a component that has been up for a year but
+//!   never observed failing contributes nothing to its failure rate.
+//! * Failure and repair rates get independent conjugate Gamma posteriors
+//!   anchored at the authored values: `rate ~ Gamma(α₀ + n, β₀ + T)`
+//!   with `α₀ = 1`, `β₀ =` the authored mean time (one pseudo-sojourn of
+//!   exactly the authored length). With zero closed sojourns the
+//!   posterior mean reproduces the authored parameter *exactly*, which is
+//!   what lets the observed path degrade bit-for-bit to the authored
+//!   path (see [`refine`]).
+//! * [`ParamSource`] is carried next to every probability the pipeline
+//!   consumes, so downstream consumers (wire responses, reports) can tell
+//!   an authored constant from a learned estimate with `n` observations
+//!   and a 95% credible interval.
+//! * [`PosteriorComponent`] is the sampling-side view: the two Gamma
+//!   posteriors plus the redundancy attribute, enough to draw a fresh
+//!   availability per Monte-Carlo trial block via inverse-CDF sampling
+//!   ([`PosteriorComponent::sample_availability`]) — uncertainty
+//!   propagation through the bit-sliced kernel.
+//!
+//! The incomplete-gamma numerics ([`ln_gamma`], [`gammap`],
+//! [`inv_gammap`]) are hand-rolled (Lanczos + series/continued-fraction +
+//! Newton inversion) so the crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::availability::{paper_approximation, steady_state, with_redundancy};
+use crate::transform::ServiceAvailabilityModel;
+
+/// Where a component's dependability parameters came from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ParamSource {
+    /// Hand-authored model constants (the paper's Fig. 6 attributes).
+    #[default]
+    Authored,
+    /// Refined online from observed state transitions.
+    Observed {
+        /// Closed sojourns folded into the posterior (both states).
+        n: u64,
+        /// 95% credible interval on the component availability
+        /// (redundancy included), from the rate posteriors.
+        ci: (f64, f64),
+    },
+}
+
+/// An out-of-order or duplicate observation timestamp. Accepting it would
+/// silently corrupt interval censoring (a negative or double-counted
+/// sojourn), so the event is rejected before any state changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonMonotoneTimestamp {
+    /// The observed component.
+    pub component: String,
+    /// The rejected event's timestamp.
+    pub ts: u64,
+    /// The component's latest accepted timestamp.
+    pub last: u64,
+}
+
+impl fmt::Display for NonMonotoneTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-monotone timestamp for `{}`: {} <= {} (observations must strictly advance)",
+            self.component, self.ts, self.last
+        )
+    }
+}
+
+/// Sufficient statistics of one component's observed transition history.
+///
+/// Durations are kept as exact integer seconds so a journal replay
+/// reproduces the posterior state bit-for-bit; they are converted to
+/// hours (the unit of the authored MTBF/MTTR attributes) only when a
+/// posterior is formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentObservations {
+    /// Current state: `true` = up.
+    pub up: bool,
+    /// When the current state was entered (seconds).
+    pub entered_ts: u64,
+    /// Latest accepted event timestamp (seconds).
+    pub last_ts: u64,
+    /// Closed up-sojourns (ended by an observed failure).
+    pub up_closed: u64,
+    /// Total seconds across closed up-sojourns.
+    pub up_seconds: u64,
+    /// Closed down-sojourns (ended by an observed repair).
+    pub down_closed: u64,
+    /// Total seconds across closed down-sojourns.
+    pub down_seconds: u64,
+}
+
+impl ComponentObservations {
+    fn first(up: bool, ts: u64) -> Self {
+        ComponentObservations {
+            up,
+            entered_ts: ts,
+            last_ts: ts,
+            up_closed: 0,
+            up_seconds: 0,
+            down_closed: 0,
+            down_seconds: 0,
+        }
+    }
+
+    /// Does this history refine the authored parameters at all? Only
+    /// closed sojourns carry rate information.
+    pub fn refines(&self) -> bool {
+        self.up_closed + self.down_closed > 0
+    }
+
+    /// Total accepted events is not recoverable from the sufficient
+    /// statistics alone; closed sojourns are what the posterior sees.
+    pub fn closed(&self) -> u64 {
+        self.up_closed + self.down_closed
+    }
+
+    fn apply(&mut self, up: bool, ts: u64) {
+        debug_assert!(ts > self.last_ts);
+        if up != self.up {
+            // The old state's sojourn closes: `entered..ts`.
+            let dt = ts - self.entered_ts;
+            if self.up {
+                self.up_closed += 1;
+                self.up_seconds += dt;
+            } else {
+                self.down_closed += 1;
+                self.down_seconds += dt;
+            }
+            self.up = up;
+            self.entered_ts = ts;
+        }
+        // A same-state repeat (heartbeat) just advances the clock; the
+        // open sojourn stays open and censored.
+        self.last_ts = ts;
+    }
+}
+
+/// Per-component online MTBF/MTTR estimators for one model.
+///
+/// Deterministic: the map is ordered by component name, every duration is
+/// integer seconds, and [`ParamEstimator::observe`] is a pure state
+/// transition — replaying the same event stream always reproduces the
+/// same estimator, which is what the journal-replay restore path relies
+/// on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamEstimator {
+    components: BTreeMap<String, ComponentObservations>,
+    total: u64,
+}
+
+impl ParamEstimator {
+    /// An estimator with no observations.
+    pub fn new() -> Self {
+        ParamEstimator::default()
+    }
+
+    /// Folds one `up|down` transition event in. Timestamps must strictly
+    /// increase per component; a stale or duplicate timestamp is rejected
+    /// without changing any state.
+    pub fn observe(
+        &mut self,
+        component: &str,
+        up: bool,
+        ts: u64,
+    ) -> Result<(), NonMonotoneTimestamp> {
+        match self.components.get_mut(component) {
+            Some(obs) => {
+                if ts <= obs.last_ts {
+                    return Err(NonMonotoneTimestamp {
+                        component: component.to_string(),
+                        ts,
+                        last: obs.last_ts,
+                    });
+                }
+                obs.apply(up, ts);
+            }
+            None => {
+                self.components
+                    .insert(component.to_string(), ComponentObservations::first(up, ts));
+            }
+        }
+        self.total += 1;
+        Ok(())
+    }
+
+    /// The observed history of one component, if any event arrived.
+    pub fn get(&self, component: &str) -> Option<&ComponentObservations> {
+        self.components.get(component)
+    }
+
+    /// Restores one component's sufficient statistics verbatim (snapshot
+    /// import). `total` must be restored separately via
+    /// [`ParamEstimator::set_total`].
+    pub fn insert(&mut self, component: impl Into<String>, obs: ComponentObservations) {
+        self.components.insert(component.into(), obs);
+    }
+
+    /// Restores the accepted-event counter (snapshot import).
+    pub fn set_total(&mut self, total: u64) {
+        self.total = total;
+    }
+
+    /// Every component with observed history, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ComponentObservations)> {
+        self.components.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Accepted observation events, total.
+    pub fn observations_total(&self) -> u64 {
+        self.total
+    }
+
+    /// Components whose parameters are actually refined (at least one
+    /// closed sojourn).
+    pub fn observed_components(&self) -> usize {
+        self.components.values().filter(|o| o.refines()).count()
+    }
+
+    /// `true` when no event has ever been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// A Gamma posterior over a rate (failures or repairs per hour):
+/// `rate ~ Gamma(alpha, beta)` with mean `alpha / beta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaPosterior {
+    /// Shape: prior pseudo-count plus closed sojourns.
+    pub alpha: f64,
+    /// Rate parameter in hours: prior mean time plus observed exposure.
+    pub beta: f64,
+}
+
+impl GammaPosterior {
+    /// Posterior mean rate (events per hour).
+    pub fn mean_rate(&self) -> f64 {
+        self.alpha / self.beta
+    }
+
+    /// Rate quantile via the inverse regularized incomplete gamma.
+    pub fn rate_quantile(&self, p: f64) -> f64 {
+        inv_gammap(self.alpha, p) / self.beta
+    }
+
+    /// 95% credible interval on the *mean time* `1 / rate` (hours).
+    pub fn mean_time_ci95(&self) -> (f64, f64) {
+        let hi_rate = self.rate_quantile(0.975);
+        let lo_rate = self.rate_quantile(0.025);
+        (1.0 / hi_rate, 1.0 / lo_rate)
+    }
+}
+
+/// Floor for the prior exposure so a (pathological) zero authored mean
+/// time still yields a proper posterior.
+const MIN_PRIOR_BETA: f64 = 1e-9;
+
+fn posterior(closed: u64, seconds: u64, authored_hours: f64) -> GammaPosterior {
+    GammaPosterior {
+        alpha: 1.0 + closed as f64,
+        beta: authored_hours.max(MIN_PRIOR_BETA) + seconds as f64 / 3600.0,
+    }
+}
+
+/// A component's refined parameters: posterior point estimates, credible
+/// intervals, and the posteriors themselves for block resampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinedParams {
+    /// Posterior point MTBF (hours): inverse of the posterior mean
+    /// failure rate.
+    pub mtbf: f64,
+    /// Posterior point MTTR (hours).
+    pub mttr: f64,
+    /// 95% credible interval on MTBF (hours).
+    pub mtbf_ci: (f64, f64),
+    /// 95% credible interval on MTTR (hours).
+    pub mttr_ci: (f64, f64),
+    /// Closed sojourns behind the estimate (both states).
+    pub n: u64,
+    /// Failure-rate posterior.
+    pub fail: GammaPosterior,
+    /// Repair-rate posterior.
+    pub repair: GammaPosterior,
+}
+
+/// Refines authored MTBF/MTTR with a component's observed history, or
+/// `None` when the history carries no rate information (zero closed
+/// sojourns — the authored parameters stand untouched, so the observed
+/// path is byte-identical to the authored one).
+///
+/// With `α₀ = 1, β₀ = authored` the posterior mean rate after zero closed
+/// sojourns of a given kind is exactly `1 / authored`: a side with
+/// observations moves, the other side stays at its authored value.
+pub fn refine(
+    obs: &ComponentObservations,
+    authored_mtbf: f64,
+    authored_mttr: f64,
+) -> Option<RefinedParams> {
+    if !obs.refines() {
+        return None;
+    }
+    let fail = posterior(obs.up_closed, obs.up_seconds, authored_mtbf);
+    let repair = posterior(obs.down_closed, obs.down_seconds, authored_mttr);
+    Some(RefinedParams {
+        mtbf: 1.0 / fail.mean_rate(),
+        mttr: 1.0 / repair.mean_rate(),
+        mtbf_ci: fail.mean_time_ci95(),
+        mttr_ci: repair.mean_time_ci95(),
+        n: obs.closed(),
+        fail,
+        repair,
+    })
+}
+
+/// The sampling-side view of one refined component: enough to draw a
+/// fresh availability per Monte-Carlo trial block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PosteriorComponent {
+    /// Failure-rate posterior.
+    pub fail: GammaPosterior,
+    /// Repair-rate posterior.
+    pub repair: GammaPosterior,
+    /// `redundantComponents` attribute of the component.
+    pub redundant: i64,
+}
+
+impl PosteriorComponent {
+    /// Draws one availability from the parameter posterior via inverse-CDF
+    /// sampling: `λ_f ~ Gamma(fail)`, `λ_r ~ Gamma(repair)`,
+    /// `A = λ_r / (λ_f + λ_r)` (the exact steady-state formula in rate
+    /// form), then redundancy expansion. `u_fail`/`u_repair` must lie in
+    /// the open unit interval.
+    pub fn sample_availability(&self, u_fail: f64, u_repair: f64) -> f64 {
+        let lambda_fail = inv_gammap(self.fail.alpha, u_fail) / self.fail.beta;
+        let lambda_repair = inv_gammap(self.repair.alpha, u_repair) / self.repair.beta;
+        let total = lambda_fail + lambda_repair;
+        let base = if total > 0.0 {
+            (lambda_repair / total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        with_redundancy(base, self.redundant)
+    }
+}
+
+/// Overlays refined parameters onto an availability model in place and
+/// returns the per-component posteriors (aligned with
+/// `model.components`; `None` = authored, untouched).
+///
+/// Components without rate-carrying observations keep their authored
+/// MTBF/MTTR, availability, and `ParamSource::Authored` bit-for-bit.
+pub fn overlay_model(
+    model: &mut ServiceAvailabilityModel,
+    params: &ParamEstimator,
+    paper_formula: bool,
+) -> Vec<Option<PosteriorComponent>> {
+    let mut posteriors = Vec::with_capacity(model.components.len());
+    for component in &mut model.components {
+        let refined = params
+            .get(&component.name)
+            .and_then(|obs| refine(obs, component.mtbf, component.mttr));
+        let Some(r) = refined else {
+            posteriors.push(None);
+            continue;
+        };
+        let base = |mtbf: f64, mttr: f64| {
+            if paper_formula {
+                paper_approximation(mtbf, mttr)
+            } else {
+                steady_state(mtbf, mttr)
+            }
+        };
+        // Availability is increasing in MTBF and decreasing in MTTR, so
+        // the credible interval's corners bound it.
+        let lo = with_redundancy(base(r.mtbf_ci.0, r.mttr_ci.1), component.redundant);
+        let hi = with_redundancy(base(r.mtbf_ci.1, r.mttr_ci.0), component.redundant);
+        component.mtbf = r.mtbf;
+        component.mttr = r.mttr;
+        component.availability = with_redundancy(base(r.mtbf, r.mttr), component.redundant);
+        component.source = ParamSource::Observed {
+            n: r.n,
+            ci: (lo, hi),
+        };
+        posteriors.push(Some(PosteriorComponent {
+            fail: r.fail,
+            repair: r.repair,
+            redundant: component.redundant,
+        }));
+    }
+    posteriors
+}
+
+// ---------------------------------------------------------------------------
+// Incomplete-gamma numerics (hand-rolled; no external dependencies).
+// ---------------------------------------------------------------------------
+
+/// Natural log of the gamma function (Lanczos approximation, ~1e-10
+/// relative accuracy for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma needs a positive argument, got {x}");
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`: series expansion for
+/// `x < a + 1`, continued fraction (modified Lentz) otherwise.
+pub fn gammap(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gammap needs a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+const GAMMA_EPS: f64 = 1e-15;
+const GAMMA_ITMAX: usize = 500;
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut del = 1.0 / a;
+    let mut sum = del;
+    for _ in 0..GAMMA_ITMAX {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * GAMMA_EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=GAMMA_ITMAX {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < GAMMA_EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Inverse of [`gammap`] in `x`: the `p`-quantile of a Gamma(`a`, 1)
+/// distribution. Wilson–Hilferty initial guess refined by Halley steps.
+pub fn inv_gammap(a: f64, p: f64) -> f64 {
+    assert!(a > 0.0, "inv_gammap needs a > 0");
+    assert!(
+        (0.0..1.0).contains(&p) || p == 0.0,
+        "inv_gammap needs p in [0, 1), got {p}"
+    );
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let gln = ln_gamma(a);
+    let a1 = a - 1.0;
+    let mut x = if a > 1.0 {
+        // Wilson–Hilferty via an inverse-normal rational approximation.
+        // After the `p < 0.5` flip, `z` is the magnitude of the normal
+        // deviate on the low side, so the cube-root term subtracts it.
+        let pp = if p < 0.5 { p } else { 1.0 - p };
+        let t = (-2.0 * pp.ln()).sqrt();
+        let mut z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+        if p < 0.5 {
+            z = -z;
+        }
+        let wh = 1.0 - 1.0 / (9.0 * a) - z / (3.0 * a.sqrt());
+        (a * wh * wh * wh).max(1e-3)
+    } else {
+        let t = 1.0 - a * (0.253 + a * 0.12);
+        if p < t {
+            (p / t).powf(1.0 / a)
+        } else {
+            1.0 - ((1.0 - (p - t) / (1.0 - t)).ln())
+        }
+    };
+    for _ in 0..24 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let err = gammap(a, x) - p;
+        // Density of Gamma(a, 1) at x.
+        let t = (-x + a1 * x.ln() - gln).exp();
+        if t == 0.0 {
+            break;
+        }
+        let u = err / t;
+        // Halley correction accelerates convergence near the tails.
+        let dx = u / (1.0 - 0.5 * (u * (a1 / x - 1.0)).min(1.0));
+        x -= dx;
+        if x <= 0.0 {
+            x = 0.5 * (x + dx);
+        }
+        if dx.abs() < 1e-12 * x.max(1.0) {
+            break;
+        }
+    }
+    x
+}
+
+/// Maps 64 random bits to the open unit interval `(0, 1)`: 52 bits of
+/// resolution, offset by half a step so 0 is unreachable and the largest
+/// value `1 - 2^-53` still rounds below 1.
+pub fn unit_open(bits: u64) -> f64 {
+    ((bits >> 12) as f64 + 0.5) * (1.0 / 4_503_599_627_370_496.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_closes_sojourns_on_transitions_only() {
+        let mut est = ParamEstimator::new();
+        est.observe("c", true, 100).expect("first event");
+        // Heartbeat: same state, clock advances, nothing closes.
+        est.observe("c", true, 200).expect("heartbeat");
+        let obs = est.get("c").expect("present");
+        assert_eq!(obs.up_closed + obs.down_closed, 0);
+        assert!(!obs.refines());
+        // Failure at 460: closes a 360s up-sojourn (entered at 100).
+        est.observe("c", false, 460).expect("failure");
+        let obs = est.get("c").expect("present");
+        assert_eq!(obs.up_closed, 1);
+        assert_eq!(obs.up_seconds, 360);
+        assert!(obs.refines());
+        // Repair at 560: closes a 100s down-sojourn.
+        est.observe("c", true, 560).expect("repair");
+        let obs = est.get("c").expect("present");
+        assert_eq!(obs.down_closed, 1);
+        assert_eq!(obs.down_seconds, 100);
+        assert_eq!(est.observations_total(), 4);
+        assert_eq!(est.observed_components(), 1);
+    }
+
+    #[test]
+    fn non_monotone_timestamps_are_rejected_without_side_effects() {
+        let mut est = ParamEstimator::new();
+        est.observe("c", true, 100).expect("first event");
+        let err = est.observe("c", false, 100).expect_err("duplicate ts");
+        assert_eq!(err.ts, 100);
+        assert_eq!(err.last, 100);
+        let err = est.observe("c", false, 50).expect_err("stale ts");
+        assert_eq!(err.last, 100);
+        // Nothing moved: the rejected events left no trace.
+        assert_eq!(est.observations_total(), 1);
+        assert_eq!(est.get("c").expect("present").last_ts, 100);
+        assert!(format!("{err}").contains("non-monotone timestamp"));
+    }
+
+    #[test]
+    fn zero_closed_sojourns_reproduce_authored_parameters_exactly() {
+        let mut est = ParamEstimator::new();
+        est.observe("c", true, 0).expect("first event");
+        let obs = *est.get("c").expect("present");
+        assert!(refine(&obs, 3000.0, 24.0).is_none());
+        // One closed up-sojourn: MTBF moves, MTTR stays exactly authored.
+        est.observe("c", false, 3_600_000).expect("failure");
+        let obs = *est.get("c").expect("present");
+        let r = refine(&obs, 3000.0, 24.0).expect("refines");
+        assert_eq!(r.mttr, 24.0, "unobserved side must stay authored");
+        // Posterior MTBF: (3000 + 1000) hours exposure over 2 pseudo+real
+        // sojourns.
+        assert!((r.mtbf - 2000.0).abs() < 1e-9, "mtbf={}", r.mtbf);
+        assert!(r.mtbf_ci.0 < r.mtbf && r.mtbf < r.mtbf_ci.1);
+    }
+
+    #[test]
+    fn posterior_concentrates_with_observations() {
+        // 50 sojourns of exactly 100h each: posterior mean pulls toward
+        // 100h and the CI tightens around it.
+        let mut est = ParamEstimator::new();
+        let mut ts = 0u64;
+        est.observe("c", true, ts).expect("first");
+        for _ in 0..50 {
+            ts += 100 * 3600;
+            est.observe("c", false, ts).expect("failure");
+            ts += 1;
+            est.observe("c", true, ts).expect("repair");
+        }
+        let obs = *est.get("c").expect("present");
+        let r = refine(&obs, 3000.0, 24.0).expect("refines");
+        assert!(
+            (r.mtbf - 100.0).abs() < 60.0,
+            "posterior must approach the observed 100h, got {}",
+            r.mtbf
+        );
+        let width = r.mtbf_ci.1 - r.mtbf_ci.0;
+        assert!(width < r.mtbf, "CI must be tighter than the mean: {width}");
+    }
+
+    #[test]
+    fn incomplete_gamma_matches_known_values() {
+        // P(1, x) = 1 - e^-x.
+        for x in [0.1, 1.0, 2.5, 7.0] {
+            assert!((gammap(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+        // Median of Gamma(1,1) is ln 2.
+        assert!((inv_gammap(1.0, 0.5) - std::f64::consts::LN_2).abs() < 1e-9);
+        // Round trip across shapes and quantiles.
+        for a in [0.3, 1.0, 2.7, 15.0, 120.0] {
+            for p in [0.01, 0.025, 0.5, 0.975, 0.99] {
+                let x = inv_gammap(a, p);
+                assert!(
+                    (gammap(a, x) - p).abs() < 1e-8,
+                    "round trip failed at a={a}, p={p}: x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_sampling_stays_in_unit_interval_and_tracks_mean() {
+        let post = PosteriorComponent {
+            fail: GammaPosterior {
+                alpha: 11.0,
+                beta: 11.0 * 3000.0,
+            },
+            repair: GammaPosterior {
+                alpha: 11.0,
+                beta: 11.0 * 24.0,
+            },
+            redundant: 0,
+        };
+        let point = steady_state(3000.0, 24.0);
+        // Midpoint product grid over the two independent uniforms.
+        let mut sum = 0.0;
+        let n = 24;
+        for i in 0..n {
+            for j in 0..n {
+                let u1 = (i as f64 + 0.5) / n as f64;
+                let u2 = (j as f64 + 0.5) / n as f64;
+                let a = post.sample_availability(u1, u2);
+                assert!((0.0..=1.0).contains(&a));
+                sum += a;
+            }
+        }
+        let mean = sum / (n * n) as f64;
+        assert!(
+            (mean - point).abs() < 0.01,
+            "sampled mean {mean} far from point {point}"
+        );
+    }
+
+    #[test]
+    fn unit_open_never_hits_the_endpoints() {
+        for bits in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let u = unit_open(bits);
+            assert!(u > 0.0 && u < 1.0, "unit_open({bits}) = {u}");
+        }
+    }
+}

@@ -57,6 +57,19 @@ pub struct CachedPerspective {
     /// part of the evaluation; `MC` requests run it without touching the
     /// pipeline.
     pub mc_program: Arc<dependability::McProgram>,
+    /// Components of this perspective's availability model whose MTBF/MTTR
+    /// were refined from observed transitions (vs. authored constants).
+    pub observed: usize,
+    /// 95% credible bounds on the exact availability, propagated from the
+    /// refined components' parameter posteriors through the monotone
+    /// structure function. `None` when every parameter is authored.
+    pub availability_ci: Option<(f64, f64)>,
+    /// Per-component parameter posteriors, aligned with the availability
+    /// model's component order (the `mc_program` compile input); `None`
+    /// entries are authored components. Feeds
+    /// [`dependability::McProgram::posterior_sampler`] for block-resampled
+    /// `MC ... interval` runs.
+    pub posterior: Vec<Option<dependability::PosteriorComponent>>,
 }
 
 impl CachedPerspective {
@@ -192,6 +205,29 @@ impl PerspectiveCache {
         before - map.len()
     }
 
+    /// Removes the perspectives whose UPSIM contains the observed
+    /// component — the only ones whose availability a refined parameter
+    /// can change; returns how many entries were dropped.
+    pub fn invalidate_component(&self, name: &str) -> usize {
+        self.invalidate_components(&[name])
+    }
+
+    /// [`PerspectiveCache::invalidate_component`] for a batch of observed
+    /// components in one retain sweep; returns how many entries were
+    /// dropped.
+    pub fn invalidate_components(&self, names: &[&str]) -> usize {
+        let mut map = self.map.write().expect("cache poisoned");
+        let before = map.len();
+        map.retain(|_, slot| {
+            !slot
+                .entry
+                .upsim_nodes
+                .iter()
+                .any(|node| names.iter().any(|name| node == name))
+        });
+        before - map.len()
+    }
+
     /// Removes every perspective of the named service (service
     /// substitution, Sec. V-A3); returns how many entries were dropped.
     pub fn invalidate_service(&self, service: &str) -> usize {
@@ -288,6 +324,9 @@ mod tests {
             reduction_ratio: 0.5,
             eval_micros: 1,
             mc_program: Arc::new(dependability::McProgram::compile(&[], std::iter::empty())),
+            observed: 0,
+            availability_ci: None,
+            posterior: Vec::new(),
         })
     }
 

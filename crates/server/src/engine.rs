@@ -76,6 +76,11 @@ pub enum EngineError {
     Campaign(String),
     /// A persistence failure (journal append, snapshot save, state dir).
     Persist(String),
+    /// An `OBSERVE` carried a timestamp that does not strictly advance
+    /// the component's observation clock (out-of-order or duplicate) —
+    /// rejected before any state changes, so interval censoring never
+    /// silently corrupts.
+    NonMonotoneObservation(String),
     /// The engine is shut down (or a worker disappeared mid-request).
     Shutdown,
 }
@@ -88,6 +93,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Model(msg) => write!(f, "model error: {msg}"),
             EngineError::Campaign(msg) => write!(f, "campaign error: {msg}"),
             EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            EngineError::NonMonotoneObservation(msg) => write!(f, "{msg}"),
             EngineError::Shutdown => write!(f, "engine is shut down"),
         }
     }
@@ -158,6 +164,8 @@ pub struct ModelInfo {
     pub epoch: u64,
     pub cache_len: usize,
     pub cache_capacity: usize,
+    /// Components whose MTBF/MTTR are observation-refined on this shard.
+    pub observed: usize,
 }
 
 /// A dynamicity command (paper Sec. V-A3), applied atomically to the
@@ -172,6 +180,18 @@ pub enum UpdateCommand {
     Disconnect { a: String, b: String },
     /// Replace the composite service, keeping the network model.
     SubstituteService { service: CompositeService },
+    /// Fold one observed `up|down` transition of a component into the
+    /// shard's parameter estimators (`OBSERVE <component> <up|down> <ts>`).
+    /// Invalidates only perspectives whose UPSIM contains the component.
+    Observe {
+        component: String,
+        up: bool,
+        /// Event time, integer seconds (strictly increasing per component).
+        ts: u64,
+    },
+    /// A batched run of transitions (`OBSERVE BATCH c:up:ts ...`) applied
+    /// atomically: one epoch bump, one journal line, one cache sweep.
+    ObserveBatch { events: Vec<(String, bool, u64)> },
 }
 
 impl UpdateCommand {
@@ -180,6 +200,18 @@ impl UpdateCommand {
             UpdateCommand::Connect { .. } => "connect",
             UpdateCommand::Disconnect { .. } => "disconnect",
             UpdateCommand::SubstituteService { .. } => "substitute-service",
+            UpdateCommand::Observe { .. } => "observe",
+            UpdateCommand::ObserveBatch { .. } => "observe-batch",
+        }
+    }
+
+    /// How many transition events this command carries (0 for topology
+    /// and service updates) — the `observations_total` metric increment.
+    fn observation_count(&self) -> u64 {
+        match self {
+            UpdateCommand::Observe { .. } => 1,
+            UpdateCommand::ObserveBatch { events } => events.len() as u64,
+            _ => 0,
         }
     }
 }
@@ -263,6 +295,11 @@ pub enum WireRequest {
         provider: String,
         samples: usize,
         seed: u64,
+        /// `MC ... interval`: also report a 95% interval — the posterior
+        /// predictive interval (block-resampled thresholds) when the
+        /// perspective has observation-refined components, the Wilson
+        /// sampling interval otherwise.
+        interval: bool,
     },
     Update(UpdateCommand),
     Save,
@@ -280,6 +317,8 @@ pub enum WireResponse {
         result: dependability::montecarlo::MonteCarloResult,
         entry: Arc<CachedPerspective>,
         cached: bool,
+        /// The requested 95% interval (`MC ... interval` only).
+        interval: Option<(f64, f64)>,
     },
     Update(UpdateSummary),
     Save(SaveSummary),
@@ -568,6 +607,7 @@ impl Engine {
                 epoch: shard.epoch(),
                 cache_len: shard.cache.len(),
                 cache_capacity: shard.cache.capacity(),
+                observed: shard.model().params.observed_components(),
             })
             .collect()
     }
@@ -1004,6 +1044,7 @@ impl Engine {
                 provider,
                 samples,
                 seed,
+                interval,
             } => {
                 // The whole request runs on one worker: probe + (maybe)
                 // evaluation + the sampling loop. The counter-based kernel
@@ -1029,11 +1070,28 @@ impl Engine {
                         done(looked_up.map(|(entry, cached)| {
                             EngineMetrics::bump(&shard.metrics.mc_queries);
                             EngineMetrics::add(&shard.metrics.mc_trials_total, samples as u64);
-                            let result = entry.mc_program.run(samples, 1, seed);
+                            // Point estimate unless an interval was asked
+                            // for; with refined parameters the interval
+                            // run block-resamples thresholds from the
+                            // posterior (predictive interval), otherwise
+                            // it is the Wilson interval around the same
+                            // point estimate — zero observations degrade
+                            // to exactly the point run.
+                            let (result, ci) = if interval && entry.observed > 0 {
+                                let sampler = entry.mc_program.posterior_sampler(&entry.posterior);
+                                let (result, ci) =
+                                    entry.mc_program.run_posterior(samples, 1, seed, &sampler);
+                                (result, Some(ci))
+                            } else {
+                                let result = entry.mc_program.run(samples, 1, seed);
+                                let ci = interval.then(|| result.confidence_95());
+                                (result, ci)
+                            };
                             WireResponse::MonteCarlo {
                                 result,
                                 entry,
                                 cached,
+                                interval: ci,
                             }
                         }));
                     }),
@@ -1151,6 +1209,7 @@ impl Engine {
                 Arc::clone(&shard.mapper),
                 shard.discovery,
                 Some(snapshot.interned_graph()),
+                Arc::clone(&snapshot.params),
                 spec,
             )
             .map_err(EngineError::Campaign)?,
@@ -1379,6 +1438,10 @@ impl Engine {
             .map(|shard| shard.last_save_epoch.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0);
+        snapshot.observed_components = shards
+            .iter()
+            .map(|shard| shard.model().params.observed_components() as u64)
+            .sum();
         snapshot.state_dir = self
             .shared
             .state_root
@@ -1401,6 +1464,8 @@ impl Engine {
                     scenarios_evaluated: shard.metrics.scenarios_evaluated.load(Ordering::Relaxed),
                     journal_len: shard.journal_len.load(Ordering::Relaxed),
                     last_save_epoch: shard.last_save_epoch.load(Ordering::Relaxed),
+                    observations_total: shard.metrics.observations_total.load(Ordering::Relaxed),
+                    observed_components: shard.model().params.observed_components() as u64,
                 })
                 .collect();
         }
@@ -1560,7 +1625,22 @@ fn apply_update(shard: &Shard, command: UpdateCommand) -> Result<UpdateSummary, 
     let mut guard = shard.snapshot.write().expect("snapshot poisoned");
     let mut next = (**guard).clone();
     let old_service = next.service_name().to_string();
-    next.apply(&command)?;
+    match &command {
+        // Observations bypass `apply`: the dedicated method keeps the
+        // distinct non-monotone error (a batch that fails part-way drops
+        // `next`, so the published state never carries a partial batch),
+        // and since no edge changed the new generation inherits the old
+        // one's interned graph view instead of re-interning.
+        UpdateCommand::Observe { component, up, ts } => {
+            next.observe_events(std::iter::once((component.as_str(), *up, *ts)))?;
+            next.inherit_interned(guard.as_ref());
+        }
+        UpdateCommand::ObserveBatch { events } => {
+            next.observe_events(events.iter().map(|(c, up, ts)| (c.as_str(), *up, *ts)))?;
+            next.inherit_interned(guard.as_ref());
+        }
+        _ => next.apply(&command)?,
+    }
     next.epoch = guard.epoch + 1;
     let published = Arc::new(next);
     // Journal before any in-memory effect, while still holding the
@@ -1577,6 +1657,13 @@ fn apply_update(shard: &Shard, command: UpdateCommand) -> Result<UpdateSummary, 
         UpdateCommand::Connect { .. } => shard.cache.invalidate_all(),
         UpdateCommand::Disconnect { a, b } => shard.cache.invalidate_link(a, b),
         UpdateCommand::SubstituteService { .. } => shard.cache.invalidate_service(&old_service),
+        UpdateCommand::Observe { component, .. } => shard.cache.invalidate_component(component),
+        UpdateCommand::ObserveBatch { events } => {
+            let mut names: Vec<&str> = events.iter().map(|(c, _, _)| c.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            shard.cache.invalidate_components(&names)
+        }
     };
     let epoch = published.epoch;
     *guard = Arc::clone(&published);
@@ -1587,6 +1674,10 @@ fn apply_update(shard: &Shard, command: UpdateCommand) -> Result<UpdateSummary, 
     shard.maybe_autosave(&published);
     EngineMetrics::bump(&shard.metrics.updates);
     EngineMetrics::add(&shard.metrics.invalidations, invalidated as u64);
+    EngineMetrics::add(
+        &shard.metrics.observations_total,
+        command.observation_count(),
+    );
     Ok(UpdateSummary {
         epoch,
         invalidated,
@@ -1669,12 +1760,48 @@ fn evaluate_uncached(
     }
     let (_, pipeline) = warm.get_mut(&shard.name).expect("warm pipeline present");
     let run = pipeline.run()?;
-    let model = ServiceAvailabilityModel::from_run(
+    let mut model = ServiceAvailabilityModel::from_run(
         pipeline.infrastructure(),
         &run,
         AnalysisOptions::default(),
     );
+    // Overlay the observation-fed parameter layer: components with
+    // rate-carrying observations swap their authored MTBF/MTTR for the
+    // posterior means (tagged `ParamSource::Observed`); everything else
+    // stays byte-identical to the authored model, so with an empty
+    // estimator this whole block is a no-op.
+    let posterior = dependability::overlay_model(
+        &mut model,
+        &snapshot.params,
+        AnalysisOptions::default().paper_formula,
+    );
+    let observed = posterior.iter().filter(|p| p.is_some()).count();
     let availability = model.availability_bdd();
+    // 95% credible bounds on the exact availability: the structure
+    // function is monotone in every component probability, so pricing
+    // the two credible-corner probability vectors exactly brackets it.
+    let availability_ci = (observed > 0).then(|| {
+        let corner = |low: bool| -> Vec<f64> {
+            model
+                .components
+                .iter()
+                .map(|c| match c.source {
+                    dependability::ParamSource::Observed { ci, .. } => {
+                        if low {
+                            ci.0
+                        } else {
+                            ci.1
+                        }
+                    }
+                    dependability::ParamSource::Authored => c.availability,
+                })
+                .collect()
+        };
+        (
+            dependability::perturb::availability_with(&model, &corner(true)),
+            dependability::perturb::availability_with(&model, &corner(false)),
+        )
+    });
     // Compile the bit-sliced Monte-Carlo program while the model is in
     // hand: `MC` requests against this perspective replay the cached
     // program instead of re-deriving the structure function.
@@ -1695,6 +1822,9 @@ fn evaluate_uncached(
         reduction_ratio: run.reduction_ratio,
         eval_micros,
         mc_program,
+        observed,
+        availability_ci,
+        posterior,
     });
     // A miss only counts once the cache admitted the entry; a result the
     // insert rejected for a stale epoch (an update raced the evaluation)

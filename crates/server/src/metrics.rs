@@ -187,6 +187,10 @@ pub struct EngineMetrics {
     pub campaign_crn_reuse: AtomicU64,
     pub updates: AtomicU64,
     pub invalidations: AtomicU64,
+    /// Transition events accepted by `OBSERVE`/`OBSERVE BATCH` on this
+    /// shard (rejected non-monotone events are not counted — they leave
+    /// no state behind).
+    pub observations_total: AtomicU64,
     pub errors: AtomicU64,
     /// Nanoseconds pool workers spent executing this shard's jobs
     /// (evaluations, campaign chunks, wire requests) — busy time, not
@@ -256,6 +260,7 @@ impl EngineMetrics {
         let mut campaign_crn_reuse = 0u64;
         let mut updates = 0u64;
         let mut invalidations = 0u64;
+        let mut observations_total = 0u64;
         let mut errors = 0u64;
         let mut worker_busy_ns = 0u64;
         let mut tasks_executed = 0u64;
@@ -276,6 +281,7 @@ impl EngineMetrics {
             campaign_crn_reuse += metrics.campaign_crn_reuse.load(Ordering::Relaxed);
             updates += metrics.updates.load(Ordering::Relaxed);
             invalidations += metrics.invalidations.load(Ordering::Relaxed);
+            observations_total += metrics.observations_total.load(Ordering::Relaxed);
             errors += metrics.errors.load(Ordering::Relaxed);
             worker_busy_ns += metrics.worker_busy_ns.load(Ordering::Relaxed);
             tasks_executed += metrics.tasks_executed.load(Ordering::Relaxed);
@@ -305,6 +311,8 @@ impl EngineMetrics {
             campaign_crn_reuse,
             updates,
             invalidations,
+            observations_total,
+            observed_components: 0,
             errors,
             worker_busy_ns,
             tasks_executed,
@@ -351,6 +359,13 @@ pub struct MetricsSnapshot {
     pub campaign_crn_reuse: u64,
     pub updates: u64,
     pub invalidations: u64,
+    /// Transition events accepted by the `OBSERVE` verbs (summed over
+    /// shards).
+    pub observations_total: u64,
+    /// Components whose MTBF/MTTR are observation-refined (at least one
+    /// closed sojourn), summed over shards. Filled by the engine — it
+    /// lives on the shards' parameter layers, not in the counters.
+    pub observed_components: u64,
     pub errors: u64,
     /// Nanoseconds pool workers spent busy on jobs (summed over shards).
     pub worker_busy_ns: u64,
@@ -400,6 +415,10 @@ pub struct ShardRollup {
     pub campaigns_run: u64,
     /// Scenarios evaluated across this shard's campaigns.
     pub scenarios_evaluated: u64,
+    /// Transition events this shard's `OBSERVE` verbs accepted.
+    pub observations_total: u64,
+    /// Components with observation-refined parameters on this shard.
+    pub observed_components: u64,
     pub journal_len: u64,
     pub last_save_epoch: u64,
 }
@@ -410,7 +429,7 @@ impl MetricsSnapshot {
         let mut line = format!(
             "queries={} cache_hits={} cache_misses={} stale_results={} negative_hits={} \
              hit_rate={:.3} batches={} mc_queries={} mc_trials={} campaigns={} scenarios={} \
-             crn_reuse={} updates={} \
+             crn_reuse={} observations_total={} observed_components={} updates={} \
              invalidations={} errors={} evals={} \
              eval_mean_us={:.1} eval_p50_us<={} eval_p99_us<={} cache_len={} \
              cache_residency={}/{} cache_evictions={} epoch={} workers={} \
@@ -428,6 +447,8 @@ impl MetricsSnapshot {
             self.campaigns_run,
             self.scenarios_evaluated,
             self.campaign_crn_reuse,
+            self.observations_total,
+            self.observed_components,
             self.updates,
             self.invalidations,
             self.errors,
@@ -453,7 +474,7 @@ impl MetricsSnapshot {
         }
         for shard in &self.per_model {
             line.push_str(&format!(
-                " model[{}]=epoch:{},queries:{},cache:{}/{},evictions:{},negative_hits:{},campaigns:{},scenarios:{},journal:{},saved:{}",
+                " model[{}]=epoch:{},queries:{},cache:{}/{},evictions:{},negative_hits:{},campaigns:{},scenarios:{},observations:{},observed:{},journal:{},saved:{}",
                 shard.model,
                 shard.epoch,
                 shard.queries,
@@ -463,6 +484,8 @@ impl MetricsSnapshot {
                 shard.negative_hits,
                 shard.campaigns_run,
                 shard.scenarios_evaluated,
+                shard.observations_total,
+                shard.observed_components,
                 shard.journal_len,
                 shard.last_save_epoch,
             ));
@@ -603,15 +626,26 @@ mod tests {
         EngineMetrics::add(&b.mc_trials_total, 500_000);
         EngineMetrics::add(&a.campaign_crn_reuse, 4096);
         EngineMetrics::add(&b.campaign_crn_reuse, 1024);
+        EngineMetrics::add(&a.observations_total, 40);
+        EngineMetrics::add(&b.observations_total, 2);
         let rolled = EngineMetrics::rollup([&a, &b], 2);
         assert_eq!(rolled.campaigns_run, 3);
         assert_eq!(rolled.scenarios_evaluated, 448);
         assert_eq!(rolled.mc_trials_total, 1_500_000);
         assert_eq!(rolled.campaign_crn_reuse, 5120);
+        // Observation counters roll up as plain sums too; the refined
+        // component count is the engine's to fill (it lives on the shards'
+        // parameter layers, not in the atomic counters).
+        assert_eq!(rolled.observations_total, 42);
+        assert_eq!(rolled.observed_components, 0);
         let line = rolled.render();
         assert!(line.contains("mc_trials=1500000"), "line: {line}");
         assert!(line.contains("campaigns=3 scenarios=448"), "line: {line}");
         assert!(line.contains("crn_reuse=5120"), "line: {line}");
+        assert!(
+            line.contains("observations_total=42 observed_components=0"),
+            "line: {line}"
+        );
     }
 
     #[test]
@@ -629,12 +663,14 @@ mod tests {
             negative_hits: 4,
             campaigns_run: 2,
             scenarios_evaluated: 450,
+            observations_total: 12,
+            observed_components: 3,
             journal_len: 3,
             last_save_epoch: 2,
         });
         let line = snap.render();
         assert!(line.contains(
-            "model[campus]=epoch:3,queries:7,cache:2/8,evictions:1,negative_hits:4,campaigns:2,scenarios:450,journal:3,saved:2"
+            "model[campus]=epoch:3,queries:7,cache:2/8,evictions:1,negative_hits:4,campaigns:2,scenarios:450,observations:12,observed:3,journal:3,saved:2"
         ));
         assert!(!line.contains('\n'));
     }

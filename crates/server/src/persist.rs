@@ -33,6 +33,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use dependability::{ComponentObservations, ParamEstimator};
 use upsim_core::infrastructure::Infrastructure;
 use upsim_core::service::CompositeService;
 
@@ -172,17 +173,91 @@ pub fn read_manifest(root: &Path) -> Result<Option<Vec<String>>, PersistError> {
 }
 
 /// Serializes a snapshot as the `<engine-state>` envelope around the
-/// infrastructure and service interchange documents.
+/// infrastructure and service interchange documents. A non-empty
+/// parameter layer adds an `<observations>` child carrying every
+/// component's sufficient statistics (integer seconds), so a restore
+/// rebuilds the exact posterior state; an estimator that never saw an
+/// event adds nothing, keeping the document byte-identical to the
+/// pre-parameter-layer format.
 pub fn snapshot_to_xml(snapshot: &ModelSnapshot) -> String {
     let infrastructure = xmlio::parse(&snapshot.infrastructure.to_xml())
         .expect("self-produced infrastructure XML parses");
     let service =
         xmlio::parse(&snapshot.service.to_xml()).expect("self-produced service XML parses");
-    let root = xmlio::Element::new("engine-state")
+    let mut root = xmlio::Element::new("engine-state")
         .with_attr("epoch", snapshot.epoch.to_string())
         .with_child(infrastructure.root)
         .with_child(service.root);
+    if !snapshot.params.is_empty() {
+        root.push_element(observations_to_xml(&snapshot.params));
+    }
     xmlio::to_string_pretty(&xmlio::Document::new(root))
+}
+
+/// `<observations total="..">` with one `<component>` per observed device:
+/// the sufficient statistics of [`ComponentObservations`], verbatim.
+fn observations_to_xml(params: &ParamEstimator) -> xmlio::Element {
+    let mut el = xmlio::Element::new("observations")
+        .with_attr("total", params.observations_total().to_string());
+    for (name, obs) in params.iter() {
+        el.push_element(
+            xmlio::Element::new("component")
+                .with_attr("name", name)
+                .with_attr("state", if obs.up { "up" } else { "down" })
+                .with_attr("entered", obs.entered_ts.to_string())
+                .with_attr("last", obs.last_ts.to_string())
+                .with_attr("up-closed", obs.up_closed.to_string())
+                .with_attr("up-seconds", obs.up_seconds.to_string())
+                .with_attr("down-closed", obs.down_closed.to_string())
+                .with_attr("down-seconds", obs.down_seconds.to_string()),
+        );
+    }
+    el
+}
+
+fn observations_from_xml(el: &xmlio::Element) -> Result<ParamEstimator, PersistError> {
+    let corrupt = |reason: String| PersistError::Corrupt { line: 1, reason };
+    let attr_u64 = |c: &xmlio::Element, name: &str| -> Result<u64, PersistError> {
+        c.attr(name)
+            .ok_or_else(|| corrupt(format!("<component> misses `{name}` attribute")))?
+            .parse()
+            .map_err(|_| corrupt(format!("<component> attribute `{name}` is not an integer")))
+    };
+    let mut params = ParamEstimator::new();
+    for component in el.children_named("component") {
+        let name = component
+            .attr("name")
+            .ok_or_else(|| corrupt("<component> misses `name` attribute".into()))?;
+        let up = match component.attr("state") {
+            Some("up") => true,
+            Some("down") => false,
+            other => {
+                return Err(corrupt(format!(
+                    "<component name=\"{name}\"> state must be `up` or `down`, found `{}`",
+                    other.unwrap_or("")
+                )));
+            }
+        };
+        params.insert(
+            name,
+            ComponentObservations {
+                up,
+                entered_ts: attr_u64(component, "entered")?,
+                last_ts: attr_u64(component, "last")?,
+                up_closed: attr_u64(component, "up-closed")?,
+                up_seconds: attr_u64(component, "up-seconds")?,
+                down_closed: attr_u64(component, "down-closed")?,
+                down_seconds: attr_u64(component, "down-seconds")?,
+            },
+        );
+    }
+    params.set_total(
+        el.attr("total")
+            .ok_or_else(|| corrupt("<observations> misses `total` attribute".into()))?
+            .parse()
+            .map_err(|_| corrupt("<observations> total is not an integer".into()))?,
+    );
+    Ok(params)
 }
 
 /// Parses a snapshot from the [`snapshot_to_xml`] format, re-validating
@@ -229,7 +304,13 @@ pub fn snapshot_from_xml(xml: &str) -> Result<ModelSnapshot, PersistError> {
         .map_err(|e| PersistError::Model(format!("snapshot infrastructure: {e}")))?;
     let service = CompositeService::from_xml(&compact.element(service_el))
         .map_err(|e| PersistError::Model(format!("snapshot service: {e}")))?;
-    Ok(ModelSnapshot::restored(infrastructure, service, epoch))
+    let mut snapshot = ModelSnapshot::restored(infrastructure, service, epoch);
+    // Absent <observations> = a legacy snapshot (or an authored-only one):
+    // the estimator starts empty either way.
+    if let Some(obs_el) = doc.root.child_named("observations") {
+        snapshot.params = std::sync::Arc::new(observations_from_xml(obs_el)?);
+    }
+    Ok(snapshot)
 }
 
 /// Atomically writes `snapshot.xml` into `dir`; returns the final path.

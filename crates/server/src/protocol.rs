@@ -6,10 +6,12 @@
 //! ```text
 //! QUERY <client> <provider>
 //! BATCH <client>:<provider> [<client>:<provider> ...]
-//! MC <client> <provider> <samples> [<seed>]
+//! MC <client> <provider> <samples> [<seed>] [interval]
 //! UPDATE CONNECT <a> <b>
 //! UPDATE DISCONNECT <a> <b>
 //! UPDATE SERVICE <name> <atomic> [<atomic> ...]
+//! OBSERVE <component> <up|down> <ts>
+//! OBSERVE BATCH <component>:<up|down>:<ts> [...]
 //! CAMPAIGN <axis|clause> [...]
 //! STATS
 //! SAVE
@@ -56,12 +58,16 @@ pub enum Request {
         pairs: Vec<(String, String)>,
     },
     /// Monte-Carlo estimate from the perspective's compiled bit-sliced
-    /// program (`seed` defaults to 2013 when omitted).
+    /// program (`seed` defaults to 2013 when omitted). With `interval`,
+    /// the response also carries a 95% interval — posterior predictive
+    /// (block-resampled thresholds) when the perspective has
+    /// observation-refined parameters, Wilson sampling interval otherwise.
     MonteCarlo {
         client: String,
         provider: String,
         samples: usize,
         seed: u64,
+        interval: bool,
     },
     Update(UpdateCommand),
     /// Run a mass what-if campaign (spec grammar: `upsim_campaign::spec`).
@@ -112,7 +118,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Batch { pairs })
         }
         "MC" => {
-            const USAGE: &str = "usage: MC <client> <provider> <samples> [<seed>]";
+            const USAGE: &str = "usage: MC <client> <provider> <samples> [<seed>] [interval]";
             let client = words.next().ok_or(USAGE)?;
             let provider = words.next().ok_or(USAGE)?;
             let samples: usize = words
@@ -123,28 +129,42 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if samples == 0 {
                 return Err("samples must be a positive integer".to_string());
             }
-            let seed = match words.next() {
-                Some(word) => word
-                    .parse()
-                    .map_err(|_| "seed must be a non-negative integer".to_string())?,
-                None => DEFAULT_MC_SEED,
-            };
+            let mut seed = DEFAULT_MC_SEED;
+            let mut interval = false;
+            if let Some(word) = words.next() {
+                if word.eq_ignore_ascii_case("interval") {
+                    interval = true;
+                } else {
+                    seed = word
+                        .parse()
+                        .map_err(|_| "seed must be a non-negative integer".to_string())?;
+                    if let Some(word) = words.next() {
+                        if word.eq_ignore_ascii_case("interval") {
+                            interval = true;
+                        } else {
+                            return Err(format!("unexpected trailing argument `{word}` after MC"));
+                        }
+                    }
+                }
+            }
             expect_end(words, "MC")?;
             Ok(Request::MonteCarlo {
                 client: client.to_string(),
                 provider: provider.to_string(),
                 samples,
                 seed,
+                interval,
             })
         }
         "UPDATE" => parse_update(words).map(Request::Update),
+        "OBSERVE" => parse_observe(words).map(Request::Update),
         "CAMPAIGN" => {
             let clauses: Vec<&str> = words.collect();
             if clauses.is_empty() {
                 return Err(
                     "usage: CAMPAIGN <kill-each-component|cut-each-link|substitute-each-service\
                      |scale-mtbf:<class>:<f,..>> [pairs:c:p,..] [mc:<samples>[:<seed>]] \
-                     [top:<n>] [limit:<n>] [json]"
+                     [posterior] [top:<n>] [limit:<n>] [json]"
                         .to_string(),
                 );
             }
@@ -174,8 +194,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, CAMPAIGN, STATS, SAVE, \
-             USE, MODELS, SHUTDOWN)"
+            "unknown command `{other}` (try QUERY, BATCH, MC, UPDATE, OBSERVE, CAMPAIGN, STATS, \
+             SAVE, USE, MODELS, SHUTDOWN)"
         )),
     }
 }
@@ -215,10 +235,72 @@ fn parse_update<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<UpdateCo
                 .map_err(|e| format!("invalid service: {e}"))?;
             Ok(UpdateCommand::SubstituteService { service })
         }
+        // Journal replay: `OBSERVE` lines share the bare update syntax, so
+        // restore walks one parser for the whole journal.
+        "OBSERVE" => parse_observe(words),
         other => Err(format!(
-            "unknown update `{other}` (try CONNECT, DISCONNECT, SERVICE)"
+            "unknown update `{other}` (try CONNECT, DISCONNECT, SERVICE, OBSERVE)"
         )),
     }
+}
+
+/// Parses the words after the `OBSERVE` verb: either one transition
+/// (`<component> <up|down> <ts>`) or an atomic batch
+/// (`BATCH <component>:<up|down>:<ts> [...]`). The batch keyword is
+/// matched case-insensitively, so a component literally named `BATCH`
+/// must be observed through the batched form.
+fn parse_observe<'a>(mut words: impl Iterator<Item = &'a str>) -> Result<UpdateCommand, String> {
+    const USAGE: &str =
+        "usage: OBSERVE <component> <up|down> <ts> | OBSERVE BATCH <component>:<up|down>:<ts> [...]";
+    let first = words.next().ok_or(USAGE)?;
+    if first.eq_ignore_ascii_case("BATCH") {
+        let mut events = Vec::new();
+        for word in words {
+            let mut parts = word.splitn(3, ':');
+            let component = parts
+                .next()
+                .filter(|c| !c.is_empty())
+                .ok_or_else(|| format!("malformed event `{word}` (want component:up|down:ts)"))?;
+            let state = parts
+                .next()
+                .ok_or_else(|| format!("malformed event `{word}` (want component:up|down:ts)"))?;
+            let ts = parts
+                .next()
+                .ok_or_else(|| format!("malformed event `{word}` (want component:up|down:ts)"))?;
+            events.push((
+                component.to_string(),
+                parse_up_down(state)?,
+                parse_observe_ts(ts)?,
+            ));
+        }
+        if events.is_empty() {
+            return Err(USAGE.to_string());
+        }
+        Ok(UpdateCommand::ObserveBatch { events })
+    } else {
+        let state = words.next().ok_or(USAGE)?;
+        let up = parse_up_down(state)?;
+        let ts = parse_observe_ts(words.next().ok_or(USAGE)?)?;
+        expect_end(words, "OBSERVE")?;
+        Ok(UpdateCommand::Observe {
+            component: first.to_string(),
+            up,
+            ts,
+        })
+    }
+}
+
+fn parse_up_down(state: &str) -> Result<bool, String> {
+    match state.to_ascii_lowercase().as_str() {
+        "up" => Ok(true),
+        "down" => Ok(false),
+        other => Err(format!("transition must be `up` or `down`, got `{other}`")),
+    }
+}
+
+fn parse_observe_ts(word: &str) -> Result<u64, String> {
+    word.parse()
+        .map_err(|_| format!("timestamp must be integer seconds, got `{word}`"))
 }
 
 /// Parses a bare update command (no `UPDATE` prefix) — the journal's
@@ -242,6 +324,22 @@ pub fn render_update_wire(command: &UpdateCommand) -> String {
             }
             line
         }
+        UpdateCommand::Observe { component, up, ts } => {
+            format!(
+                "OBSERVE {component} {} {ts}",
+                if *up { "up" } else { "down" }
+            )
+        }
+        UpdateCommand::ObserveBatch { events } => {
+            let mut line = String::from("OBSERVE BATCH");
+            for (component, up, ts) in events {
+                line.push_str(&format!(
+                    " {component}:{}:{ts}",
+                    if *up { "up" } else { "down" }
+                ));
+            }
+            line
+        }
     }
 }
 
@@ -254,10 +352,13 @@ fn expect_end<'a>(mut words: impl Iterator<Item = &'a str>, command: &str) -> Re
     }
 }
 
-/// `OK query ...` — one perspective result.
+/// `OK query ...` — one perspective result. Perspectives priced entirely
+/// from authored parameters render byte-identically to the pre-parameter
+/// -layer protocol; the `observed=`/`ci95=` tokens appear only once at
+/// least one component's MTBF/MTTR has been observation-refined.
 pub fn render_perspective(entry: &CachedPerspective, source: &str) -> String {
     let paths: usize = entry.path_counts.iter().map(|(_, n)| n).sum();
-    format!(
+    let mut line = format!(
         "OK query client={} provider={} service={} availability={:.9} upsim={} paths={} \
          pairs={} ratio={:.4} source={} epoch={} micros={}",
         entry.key.client,
@@ -271,7 +372,14 @@ pub fn render_perspective(entry: &CachedPerspective, source: &str) -> String {
         source,
         entry.epoch,
         entry.eval_micros,
-    )
+    );
+    if entry.observed > 0 {
+        line.push_str(&format!(" observed={}", entry.observed));
+        if let Some((lo, hi)) = entry.availability_ci {
+            line.push_str(&format!(" ci95={lo:.9}..{hi:.9}"));
+        }
+    }
+    line
 }
 
 /// `OK batch ...` — aggregate line for a batch (first error wins).
@@ -291,14 +399,18 @@ pub fn render_batch(results: &[Result<Arc<CachedPerspective>, EngineError>]) -> 
 }
 
 /// `OK mc ...` — a Monte-Carlo estimate next to the exact availability of
-/// the entry it ran against.
+/// the entry it ran against. `interval` is the requested 95% interval
+/// (`MC ... interval` only): posterior predictive when the perspective has
+/// observation-refined parameters, Wilson otherwise — the `sampling=`
+/// token says which one the kernel ran.
 pub fn render_mc(
     entry: &CachedPerspective,
     result: &dependability::montecarlo::MonteCarloResult,
+    interval: Option<(f64, f64)>,
     source: &str,
 ) -> String {
     let (lo, hi) = result.confidence_95();
-    format!(
+    let mut line = format!(
         "OK mc client={} provider={} service={} estimate={:.9} ci95={:.9}..{:.9} samples={} \
          exact={:.9} source={} epoch={}",
         entry.key.client,
@@ -311,7 +423,18 @@ pub fn render_mc(
         entry.availability,
         source,
         entry.epoch,
-    )
+    );
+    if let Some((ilo, ihi)) = interval {
+        line.push_str(&format!(
+            " interval95={ilo:.9}..{ihi:.9} sampling={}",
+            if entry.observed > 0 {
+                "posterior"
+            } else {
+                "point"
+            }
+        ));
+    }
+    line
 }
 
 /// `OK update ...`
@@ -358,6 +481,9 @@ pub fn render_use(model: &str, epoch: u64) -> String {
 }
 
 /// `OK models ...` — registered models with epoch and cache residency.
+/// The `observed=` token (observation-refined component count) appears
+/// only for shards that have absorbed `OBSERVE` events, keeping the line
+/// byte-identical for authored-only servers.
 pub fn render_models(models: &[ModelInfo]) -> String {
     let mut line = format!("OK models n={}", models.len());
     for info in models {
@@ -365,6 +491,9 @@ pub fn render_models(models: &[ModelInfo]) -> String {
             " {}:epoch={}:cache={}/{}",
             info.name, info.epoch, info.cache_len, info.cache_capacity
         ));
+        if info.observed > 0 {
+            line.push_str(&format!(":observed={}", info.observed));
+        }
     }
     line
 }
@@ -653,21 +782,44 @@ mod tests {
                 &[0.9],
                 [vec![vec![0usize]]].iter().map(|s| s.as_slice()),
             )),
+            observed: 0,
+            availability_ci: None,
+            posterior: Vec::new(),
         };
         let line = render_perspective(&entry, "miss");
         assert!(line.starts_with("OK query "));
         assert!(line.contains("availability=0.987654321"));
         assert!(line.contains("source=miss"));
+        // Authored-only perspectives stay byte-identical: no parameter-layer
+        // tokens until a component is observation-refined.
+        assert!(!line.contains("observed="));
         assert!(!line.contains('\n'));
 
         let mc = entry.mc_program.run(10_000, 1, 7);
-        let mc_line = render_mc(&entry, &mc, "hit");
+        let mc_line = render_mc(&entry, &mc, None, "hit");
         assert!(mc_line.starts_with("OK mc "));
         assert!(mc_line.contains("samples=10000"));
         assert!(mc_line.contains("exact=0.987654321"));
         assert!(mc_line.contains("source=hit"));
         assert!(mc_line.contains("ci95="));
+        assert!(!mc_line.contains("interval95="));
         assert!(!mc_line.contains('\n'));
+
+        // `MC ... interval` appends the requested interval and names the
+        // sampling mode (point here: nothing observed).
+        let with_interval = render_mc(&entry, &mc, Some((0.9, 0.99)), "hit");
+        assert!(with_interval.contains("interval95=0.900000000..0.990000000"));
+        assert!(with_interval.contains("sampling=point"));
+
+        // An observation-refined perspective grows the provenance tokens.
+        let mut refined = entry.clone();
+        refined.observed = 2;
+        refined.availability_ci = Some((0.981234567, 0.991234567));
+        let refined_line = render_perspective(&refined, "miss");
+        assert!(refined_line.contains(" observed=2"));
+        assert!(refined_line.contains(" ci95=0.981234567..0.991234567"));
+        let refined_mc = render_mc(&refined, &mc, Some((0.9, 0.99)), "hit");
+        assert!(refined_mc.contains("sampling=posterior"));
 
         let batch = render_batch(&[Ok(Arc::new(entry))]);
         assert!(batch.starts_with("OK batch n=1 "));
@@ -703,17 +855,31 @@ mod tests {
                 epoch: 2,
                 cache_len: 3,
                 cache_capacity: 4096,
+                observed: 0,
             },
             ModelInfo {
                 name: "campus".into(),
                 epoch: 0,
                 cache_len: 0,
                 cache_capacity: 4096,
+                observed: 0,
             },
         ]);
         assert_eq!(
             line,
             "OK models n=2 default:epoch=2:cache=3/4096 campus:epoch=0:cache=0/4096"
+        );
+        // A shard that absorbed observations advertises its refined count.
+        let line = render_models(&[ModelInfo {
+            name: "default".into(),
+            epoch: 5,
+            cache_len: 1,
+            cache_capacity: 4096,
+            observed: 3,
+        }]);
+        assert_eq!(
+            line,
+            "OK models n=1 default:epoch=5:cache=1/4096:observed=3"
         );
         // `USE ghost` surfaces as its own error shape, not a parse error.
         let err = render_error(&EngineError::UnknownModel("ghost".into()));
@@ -761,6 +927,7 @@ mod tests {
             baseline_worst_client: "t1".to_string(),
             baseline_worst_provider: "p1".to_string(),
             baseline_worst: 0.99,
+            baseline_interval: None,
             rows: Vec::new(),
             spofs: Vec::new(),
             worst_users: Vec::new(),
@@ -782,22 +949,99 @@ mod tests {
                 provider,
                 samples,
                 seed,
+                interval,
             } => {
                 assert_eq!(client, "t1");
                 assert_eq!(provider, "p1");
                 assert_eq!(samples, 200_000);
                 assert_eq!(seed, 42);
+                assert!(!interval);
             }
             other => panic!("wrong request: {other:?}"),
         }
         // The seed is optional and defaults to the documented constant.
         match parse_request("mc t1 p1 1000").expect("parses") {
-            Request::MonteCarlo { seed, .. } => assert_eq!(seed, DEFAULT_MC_SEED),
+            Request::MonteCarlo { seed, interval, .. } => {
+                assert_eq!(seed, DEFAULT_MC_SEED);
+                assert!(!interval);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // `interval` composes with and without an explicit seed.
+        match parse_request("MC t1 p1 1000 interval").expect("parses") {
+            Request::MonteCarlo { seed, interval, .. } => {
+                assert_eq!(seed, DEFAULT_MC_SEED);
+                assert!(interval);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        match parse_request("MC t1 p1 1000 7 INTERVAL").expect("parses") {
+            Request::MonteCarlo { seed, interval, .. } => {
+                assert_eq!(seed, 7);
+                assert!(interval);
+            }
             other => panic!("wrong request: {other:?}"),
         }
         assert!(parse_request("MC t1 p1").is_err());
         assert!(parse_request("MC t1 p1 0").is_err());
         assert!(parse_request("MC t1 p1 many").is_err());
         assert!(parse_request("MC t1 p1 100 7 extra").is_err());
+        assert!(parse_request("MC t1 p1 100 7 interval extra").is_err());
+    }
+
+    #[test]
+    fn parses_observe_requests_and_round_trips_the_journal_syntax() {
+        match parse_request("OBSERVE sw1 down 1000").expect("parses") {
+            Request::Update(UpdateCommand::Observe { component, up, ts }) => {
+                assert_eq!(component, "sw1");
+                assert!(!up);
+                assert_eq!(ts, 1000);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Case-insensitive verb and state, like every other command word.
+        assert!(matches!(
+            parse_request("observe sw1 UP 1001"),
+            Ok(Request::Update(UpdateCommand::Observe { up: true, .. }))
+        ));
+        match parse_request("OBSERVE BATCH sw1:down:10 sw1:up:40 p1:down:12").expect("parses") {
+            Request::Update(UpdateCommand::ObserveBatch { events }) => {
+                assert_eq!(
+                    events,
+                    vec![
+                        ("sw1".to_string(), false, 10),
+                        ("sw1".to_string(), true, 40),
+                        ("p1".to_string(), false, 12),
+                    ]
+                );
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Malformed observations are parse errors, not panics.
+        assert!(parse_request("OBSERVE").is_err());
+        assert!(parse_request("OBSERVE sw1").is_err());
+        assert!(parse_request("OBSERVE sw1 sideways 10").is_err());
+        assert!(parse_request("OBSERVE sw1 up notanumber").is_err());
+        assert!(parse_request("OBSERVE sw1 up 10 extra").is_err());
+        assert!(parse_request("OBSERVE BATCH").is_err());
+        assert!(parse_request("OBSERVE BATCH sw1down10").is_err());
+        assert!(parse_request("OBSERVE BATCH :down:10").is_err());
+
+        // The journal stores observations in the bare update syntax; both
+        // forms must round-trip exactly for restore to replay them.
+        let single = parse_update_wire("OBSERVE sw1 down 1000").expect("parses");
+        assert_eq!(render_update_wire(&single), "OBSERVE sw1 down 1000");
+        let batch = parse_update_wire("OBSERVE BATCH sw1:down:10 sw1:up:40").expect("parses");
+        assert_eq!(
+            render_update_wire(&batch),
+            "OBSERVE BATCH sw1:down:10 sw1:up:40"
+        );
+
+        // The unknown-command hint advertises the new verb.
+        let hint = parse_request("FROBNICATE").expect_err("unknown command");
+        assert!(
+            hint.contains("OBSERVE"),
+            "hint must mention OBSERVE: {hint}"
+        );
     }
 }

@@ -933,6 +933,7 @@ impl Reactor {
                 provider,
                 samples,
                 seed,
+                interval,
             } => {
                 self.dispatch_engine(
                     slot,
@@ -941,6 +942,7 @@ impl Reactor {
                         provider,
                         samples,
                         seed,
+                        interval,
                     },
                     false,
                 );
@@ -1052,7 +1054,13 @@ fn render_wire_response(result: Result<WireResponse, EngineError>) -> String {
             result,
             entry,
             cached,
-        }) => render_mc(&entry, &result, if cached { "hit" } else { "miss" }),
+            interval,
+        }) => render_mc(
+            &entry,
+            &result,
+            interval,
+            if cached { "hit" } else { "miss" },
+        ),
         Ok(WireResponse::Update(summary)) => render_update(&summary),
         Ok(WireResponse::Save(summary)) => render_save(&summary),
     }

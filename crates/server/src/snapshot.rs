@@ -6,8 +6,9 @@
 //! service and the epoch tells every worker when its warm pipeline is
 //! stale.
 
+use dependability::ParamEstimator;
 use std::sync::{Arc, OnceLock};
-use upsim_core::error::UpsimResult;
+use upsim_core::error::{UpsimError, UpsimResult};
 use upsim_core::infrastructure::Infrastructure;
 use upsim_core::interned::InternedGraph;
 use upsim_core::mapping::{ServiceMapping, ServiceMappingPair};
@@ -55,6 +56,12 @@ pub struct ModelSnapshot {
     pub service: Arc<CompositeService>,
     /// Generation counter; bumped by every published update.
     pub epoch: u64,
+    /// The observation-fed parameter layer of this generation: interval-
+    /// censored MTBF/MTTR evidence per component, folded in by the
+    /// `OBSERVE` verb. `Arc`-shared like the models — an observation
+    /// copies the estimator on write, a topology update just clones the
+    /// pointer.
+    pub params: Arc<ParamEstimator>,
     /// The interned graph view (name table + block-cut tree) of this
     /// generation, built once on first use and shared by every worker
     /// evaluating against it — a 45-perspective batch interns and prunes
@@ -74,6 +81,7 @@ impl Clone for ModelSnapshot {
             infrastructure: self.infrastructure.clone(),
             service: self.service.clone(),
             epoch: self.epoch,
+            params: self.params.clone(),
             interned: OnceLock::new(),
         }
     }
@@ -87,6 +95,7 @@ impl ModelSnapshot {
             infrastructure: Arc::new(infrastructure),
             service: Arc::new(service),
             epoch: 0,
+            params: Arc::new(ParamEstimator::new()),
             interned: OnceLock::new(),
         })
     }
@@ -103,8 +112,44 @@ impl ModelSnapshot {
             infrastructure: Arc::new(infrastructure),
             service: Arc::new(service),
             epoch,
+            params: Arc::new(ParamEstimator::new()),
             interned: OnceLock::new(),
         }
+    }
+
+    /// Copies the previous generation's built graph view into this one.
+    /// Only valid when the topology is unchanged between the two — an
+    /// observation refines parameters without touching a single edge, so
+    /// the interned name table and block-cut tree stay exact and workers
+    /// keep sharing them across the epoch bump instead of re-interning.
+    pub(crate) fn inherit_interned(&mut self, prev: &ModelSnapshot) {
+        if let Some(graph) = prev.interned.get() {
+            let _ = self.interned.set(Arc::clone(graph));
+        }
+    }
+
+    /// Folds a run of `up|down` transition events into this (unpublished)
+    /// snapshot's parameter layer. Every component must exist and every
+    /// timestamp must strictly advance that component's observation
+    /// clock; the first violation aborts with the distinct error and the
+    /// caller drops the half-mutated clone, so a published snapshot never
+    /// carries a partial batch.
+    pub(crate) fn observe_events<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = (&'a str, bool, u64)>,
+    ) -> Result<(), crate::engine::EngineError> {
+        let params = Arc::make_mut(&mut self.params);
+        for (component, up, ts) in events {
+            if !self.infrastructure.has_device(component) {
+                return Err(crate::engine::EngineError::UnknownDevice(
+                    component.to_string(),
+                ));
+            }
+            params.observe(component, up, ts).map_err(|err| {
+                crate::engine::EngineError::NonMonotoneObservation(err.to_string())
+            })?;
+        }
+        Ok(())
     }
 
     /// The shared interned graph view of this generation (built on first
@@ -138,6 +183,20 @@ impl ModelSnapshot {
             }
             UpdateCommand::SubstituteService { service } => {
                 self.service = Arc::new(service.clone());
+            }
+            // Observations (journal replay path; the live engine routes
+            // them through `observe_events` directly to keep the distinct
+            // error). No topology change: skip the interned reset and the
+            // re-validation below.
+            UpdateCommand::Observe { component, up, ts } => {
+                return self
+                    .observe_events(std::iter::once((component.as_str(), *up, *ts)))
+                    .map_err(|err| UpsimError::Mapping(err.to_string()));
+            }
+            UpdateCommand::ObserveBatch { events } => {
+                return self
+                    .observe_events(events.iter().map(|(c, up, ts)| (c.as_str(), *up, *ts)))
+                    .map_err(|err| UpsimError::Mapping(err.to_string()));
             }
         }
         // Any applied command may have changed the topology (and journal

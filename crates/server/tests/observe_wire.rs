@@ -1,0 +1,139 @@
+//! Wire-level regression for the observation verbs: OBSERVE /
+//! OBSERVE BATCH round-trips, the distinct non-monotone-timestamp error,
+//! targeted cache invalidation, posterior-refined QUERY/MC tokens, and
+//! the STATS / MODELS observation counters — all over a real TCP client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use netgen::usi::{perspective_mapping, printing_service, usi_infrastructure};
+use upsim_server::{serve, Engine, EngineConfig, ModelSnapshot};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim_end().to_string()
+    }
+}
+
+#[test]
+fn observe_verbs_round_trip_over_tcp() {
+    let snapshot = ModelSnapshot::new(usi_infrastructure(), printing_service())
+        .expect("USI models are consistent");
+    let config = EngineConfig {
+        workers: 2,
+        mapper: Arc::new(|_, client, provider| perspective_mapping(client, provider)),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(snapshot, config);
+    let server = serve(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr());
+
+    // Before any observation the wire is byte-compatible with the
+    // authored-only protocol: no observed= / ci95= tokens anywhere.
+    let authored = client.request("QUERY t1 p1");
+    assert!(authored.starts_with("OK query "), "{authored}");
+    assert!(
+        !authored.contains("observed=") && !authored.contains("ci95="),
+        "authored response must carry no posterior tokens: {authored}"
+    );
+    let mc_authored = client.request("MC t1 p1 20000 7");
+    assert!(mc_authored.starts_with("OK mc "), "{mc_authored}");
+    assert!(
+        !mc_authored.contains("interval95="),
+        "point MC must carry no interval token: {mc_authored}"
+    );
+
+    // A closed down-sojourn for the core switch c1 (epochs 1..=2).
+    let down = client.request("OBSERVE c1 down 1000");
+    assert!(
+        down.starts_with("OK update kind=observe epoch=1 "),
+        "{down}"
+    );
+    let up = client.request("OBSERVE c1 up 1360");
+    assert!(up.starts_with("OK update kind=observe epoch=2 "), "{up}");
+
+    // Unknown devices and non-monotone timestamps get distinct errors,
+    // and neither advances the epoch.
+    let ghost = client.request("OBSERVE ghost up 2000");
+    assert_eq!(ghost, "ERR unknown device `ghost`");
+    let stale = client.request("OBSERVE c1 down 500");
+    assert_eq!(
+        stale,
+        "ERR non-monotone timestamp for `c1`: 500 <= 1360 (observations must strictly advance)"
+    );
+    let duplicate = client.request("OBSERVE c1 down 1360");
+    assert_eq!(
+        duplicate,
+        "ERR non-monotone timestamp for `c1`: 1360 <= 1360 (observations must strictly advance)"
+    );
+
+    // Batched events land as one epoch.
+    let batch = client.request("OBSERVE BATCH c1:down:2000 c1:up:2090");
+    assert!(
+        batch.starts_with("OK update kind=observe-batch epoch=3 "),
+        "{batch}"
+    );
+
+    // The refined perspective now reports its observation count and the
+    // credible band on availability.
+    let refined = client.request("QUERY t1 p1");
+    assert!(refined.contains("source=miss"), "{refined}");
+    assert!(refined.contains(" observed="), "{refined}");
+    assert!(refined.contains(" ci95="), "{refined}");
+
+    // Targeted invalidation: observing a device outside t1->p1's UPSIM
+    // (another terminal) leaves the cached entry alone; observing t1
+    // itself evicts it.
+    assert!(client.request("QUERY t1 p1").contains("source=hit"));
+    client.request("OBSERVE t9 down 5000");
+    client.request("OBSERVE t9 up 5090");
+    assert!(
+        client.request("QUERY t1 p1").contains("source=hit"),
+        "observation outside the UPSIM must not invalidate"
+    );
+    client.request("OBSERVE t1 down 6000");
+    assert!(
+        client.request("QUERY t1 p1").contains("source=miss"),
+        "observation inside the UPSIM must invalidate"
+    );
+
+    // Posterior-propagated MC: the interval keyword surfaces the 95%
+    // predictive interval and names the sampling mode.
+    let mc = client.request("MC t1 p1 20000 7 interval");
+    assert!(mc.starts_with("OK mc "), "{mc}");
+    assert!(mc.contains(" interval95="), "{mc}");
+    assert!(mc.ends_with("sampling=posterior"), "{mc}");
+
+    // STATS counts accepted events (4 on c1, 2 on t9, 1 on t1) and
+    // refined components — c1 and t9 have closed sojourns, t1's lone
+    // open sojourn carries no rate information yet. MODELS shows the
+    // same refined count per shard.
+    let stats = client.request("STATS");
+    assert!(stats.contains(" observations_total=7 "), "{stats}");
+    assert!(stats.contains(" observed_components=2 "), "{stats}");
+    let models = client.request("MODELS");
+    assert!(models.contains(":observed=2"), "{models}");
+
+    client.request("SHUTDOWN");
+    server.join();
+}

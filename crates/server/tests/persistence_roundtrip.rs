@@ -148,6 +148,143 @@ fn save_restore_resumes_exact_epoch_and_perspectives() {
 }
 
 #[test]
+fn observe_stream_restores_exact_posterior_state() {
+    let dir = state_dir("observe");
+    let engine = usi_engine(fresh_snapshot(), 2);
+    engine
+        .enable_persistence(&dir, 0)
+        .expect("enable persistence");
+
+    // Mixed UPDATE / OBSERVE stream, epochs 1..=5: a closed down sojourn
+    // and a closed up sojourn for c1, one closed down sojourn for d1, and
+    // topology churn interleaved so replay must keep both machines in step.
+    engine
+        .update(UpdateCommand::Observe {
+            component: "c1".into(),
+            up: false,
+            ts: 1_000,
+        })
+        .expect("c1 goes down");
+    engine
+        .update(UpdateCommand::Disconnect {
+            a: "d1".into(),
+            b: "c2".into(),
+        })
+        .expect("disconnect mid-stream");
+    engine
+        .update(UpdateCommand::Observe {
+            component: "c1".into(),
+            up: true,
+            ts: 1_360,
+        })
+        .expect("c1 repaired after 360s");
+    engine
+        .update(UpdateCommand::ObserveBatch {
+            events: vec![
+                ("d1".into(), false, 2_000),
+                ("d1".into(), true, 2_090),
+                ("c1".into(), false, 40_000),
+            ],
+        })
+        .expect("batched transitions");
+    engine
+        .update(UpdateCommand::Connect {
+            a: "d1".into(),
+            b: "c2".into(),
+        })
+        .expect("reconnect");
+
+    // SAVE at epoch 5 (sufficient statistics land in snapshot.xml), then
+    // one more OBSERVE past the snapshot — the journal suffix replay must
+    // re-fold it into the posterior.
+    let save = engine.save_state().expect("save");
+    assert_eq!(save.epoch, 5);
+    engine
+        .update(UpdateCommand::Observe {
+            component: "c1".into(),
+            up: true,
+            ts: 40_600,
+        })
+        .expect("repair past the snapshot");
+    assert_eq!(engine.epoch(), 6);
+
+    let expected_params = Arc::clone(&engine.model().params);
+    assert_eq!(expected_params.observations_total(), 6);
+    assert_eq!(expected_params.observed_components(), 2);
+    let pairs = all_pairs();
+    let before: Vec<_> = engine
+        .batch(&pairs)
+        .into_iter()
+        .map(|r| r.expect("pre-kill evaluation"))
+        .collect();
+
+    // Kill mid-stream: no shutdown, no final save — the fsynced journal
+    // and the epoch-5 snapshot are all a restart gets. Leak the engine the
+    // way a SIGKILL would.
+    std::mem::forget(engine);
+
+    // A torn OBSERVE half-line at the tail (crash mid-append) must be
+    // trimmed, not folded and not fatal.
+    use std::io::Write as _;
+    let mut journal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(persist::journal_path(&dir))
+        .expect("open journal");
+    journal.write_all(b"7 OBSERVE c1 dow").expect("torn append");
+    drop(journal);
+
+    let report = persist::restore(&dir, fresh_snapshot()).expect("restore");
+    assert!(report.from_snapshot);
+    assert_eq!(report.snapshot.epoch, 6);
+    assert_eq!(report.replayed, 1, "only the post-save OBSERVE replays");
+    assert_eq!(
+        *report.snapshot.params, *expected_params,
+        "posterior sufficient statistics must round-trip exactly"
+    );
+
+    let restored = usi_engine(report.snapshot, 2);
+    restored
+        .enable_persistence(&dir, 0)
+        .expect("re-open trims the torn tail");
+    assert_eq!(restored.epoch(), 6);
+    let after: Vec<_> = restored
+        .batch(&pairs)
+        .into_iter()
+        .map(|r| r.expect("post-restart evaluation"))
+        .collect();
+    for (((client, provider), a), b) in pairs.iter().zip(&before).zip(&after) {
+        assert_eq!(
+            a.availability.to_bits(),
+            b.availability.to_bits(),
+            "({client}, {provider}): observation-refined availability drifted"
+        );
+    }
+
+    // The restored monotonicity guard still sits at c1's last_ts = 40600:
+    // an older timestamp is rejected, the next newer one lands at epoch 7.
+    restored
+        .update(UpdateCommand::Observe {
+            component: "c1".into(),
+            up: false,
+            ts: 40_000,
+        })
+        .expect_err("stale timestamp rejected after restore");
+    restored
+        .update(UpdateCommand::Observe {
+            component: "c1".into(),
+            up: false,
+            ts: 50_000,
+        })
+        .expect("fresh observation appends after trim");
+    assert_eq!(restored.epoch(), 7);
+    restored.shutdown();
+    let entries = persist::read_journal(&persist::journal_path(&dir)).expect("journal valid");
+    assert_eq!(entries.len(), 7, "torn tail replaced by the clean record");
+    assert_eq!(entries[6].epoch, 7);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn restore_without_snapshot_replays_full_journal() {
     let dir = state_dir("journal-only");
     let engine = usi_engine(fresh_snapshot(), 1);
